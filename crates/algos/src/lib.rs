@@ -1,0 +1,29 @@
+//! # pdc-algos — the CS41 algorithm suite
+//!
+//! Paper Table III's "Algorithmic Problems: Sorting, Selection, Matrix
+//! Computation" and "Algorithmic Paradigms: Divide and Conquer,
+//! Recursion, Scan, Blocking", implemented across models:
+//!
+//! * [`mergesort`] — the course's unifying example: sequential,
+//!   fork-join with serial merges (span Θ(n)), and fork-join with
+//!   *parallel* merges (span Θ(log³ n)), plus closed-form work/span.
+//! * [`sorting`] — quicksort (sequential/parallel) and sample sort (the
+//!   bucket algorithm distributed-memory sorts are built on).
+//! * [`selection`] — quickselect, deterministic median-of-medians, and
+//!   a filter-based parallel selection.
+//! * [`matrix`] — dense matmul: naive, loop-reordered (ikj), blocked,
+//!   parallel, and Strassen.
+//! * [`scanapps`] — scan applications: line-of-sight and a scan-based
+//!   binary LSD radix sort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod mergesort;
+pub mod scanapps;
+pub mod selection;
+pub mod sorting;
+
+pub use matrix::Matrix;
+pub use mergesort::{merge_sort, parallel_merge_sort};

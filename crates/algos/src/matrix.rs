@@ -1,0 +1,294 @@
+//! Dense matrix computation: naive, reordered, blocked, parallel,
+//! Strassen.
+//!
+//! "Matrix Computation" is the third algorithmic problem of Table III;
+//! the variants ladder the course's two big lessons — memory layout
+//! (ijk vs ikj vs blocked) and work vs span (row-parallel, Strassen).
+
+use pdc_threads::parfor::{parallel_for, Schedule};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a function of `(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| f64::from(u8::from(i == j)))
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Max absolute elementwise difference (for float comparisons).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Naive ijk matmul (the column-strided inner loop is cache-hostile).
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut acc = 0.0;
+            for k in 0..a.cols {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// Loop-reordered ikj matmul: B is walked row-wise (unit stride).
+pub fn matmul_ikj(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let aik = a.get(i, k);
+            for j in 0..b.cols {
+                c.data[i * c.cols + j] += aik * b.data[k * b.cols + j];
+            }
+        }
+    }
+    c
+}
+
+/// Blocked (tiled) matmul with `tile × tile` tiles.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert!(tile > 0);
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    let (n, m, p) = (a.rows, a.cols, b.cols);
+    for ii in (0..n).step_by(tile) {
+        for kk in (0..m).step_by(tile) {
+            for jj in (0..p).step_by(tile) {
+                for i in ii..(ii + tile).min(n) {
+                    for k in kk..(kk + tile).min(m) {
+                        let aik = a.get(i, k);
+                        for j in jj..(jj + tile).min(p) {
+                            c.data[i * p + j] += aik * b.data[k * p + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Row-parallel matmul: output rows are independent, computed with a
+/// dynamic-scheduled `parallel_for`.
+pub fn matmul_parallel(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let (n, m, p) = (a.rows, a.cols, b.cols);
+    // Compute rows into a Vec of row buffers to keep everything safe.
+    let rows: Vec<std::sync::Mutex<Vec<f64>>> =
+        (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    parallel_for(0..n, workers, Schedule::Dynamic { chunk: 4 }, |i| {
+        let mut row = vec![0.0; p];
+        for k in 0..m {
+            let aik = a.get(i, k);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += aik * b.data[k * p + j];
+            }
+        }
+        *rows[i].lock().unwrap() = row;
+    });
+    let mut c = Matrix::zeros(n, p);
+    for (i, row) in rows.into_iter().enumerate() {
+        let row = row.into_inner().unwrap();
+        c.data[i * p..(i + 1) * p].copy_from_slice(&row);
+    }
+    c
+}
+
+/// Strassen's algorithm (power-of-two square matrices; falls back to ikj
+/// below the cutoff). Work Θ(n^2.807).
+pub fn matmul_strassen(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.rows, a.cols, "strassen needs square matrices");
+    assert_eq!(b.rows, b.cols, "strassen needs square matrices");
+    assert_eq!(a.rows, b.rows, "dimensions must agree");
+    assert!(a.rows.is_power_of_two(), "strassen needs power-of-two n");
+    strassen_rec(a, b, cutoff.max(2))
+}
+
+fn quad(a: &Matrix) -> [Matrix; 4] {
+    let h = a.rows / 2;
+    let mk = |r0: usize, c0: usize| {
+        Matrix::from_fn(h, h, |i, j| a.get(r0 + i, c0 + j))
+    };
+    [mk(0, 0), mk(0, h), mk(h, 0), mk(h, h)]
+}
+
+fn madd(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows, a.cols, |i, j| a.get(i, j) + b.get(i, j))
+}
+
+fn msub(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows, a.cols, |i, j| a.get(i, j) - b.get(i, j))
+}
+
+fn strassen_rec(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    let n = a.rows;
+    if n <= cutoff {
+        return matmul_ikj(a, b);
+    }
+    let [a11, a12, a21, a22] = quad(a);
+    let [b11, b12, b21, b22] = quad(b);
+    let m1 = strassen_rec(&madd(&a11, &a22), &madd(&b11, &b22), cutoff);
+    let m2 = strassen_rec(&madd(&a21, &a22), &b11, cutoff);
+    let m3 = strassen_rec(&a11, &msub(&b12, &b22), cutoff);
+    let m4 = strassen_rec(&a22, &msub(&b21, &b11), cutoff);
+    let m5 = strassen_rec(&madd(&a11, &a12), &b22, cutoff);
+    let m6 = strassen_rec(&msub(&a21, &a11), &madd(&b11, &b12), cutoff);
+    let m7 = strassen_rec(&msub(&a12, &a22), &madd(&b21, &b22), cutoff);
+    let h = n / 2;
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..h {
+        for j in 0..h {
+            // C11 = M1 + M4 − M5 + M7
+            c.set(i, j, m1.get(i, j) + m4.get(i, j) - m5.get(i, j) + m7.get(i, j));
+            // C12 = M3 + M5
+            c.set(i, j + h, m3.get(i, j) + m5.get(i, j));
+            // C21 = M2 + M4
+            c.set(i + h, j, m2.get(i, j) + m4.get(i, j));
+            // C22 = M1 − M2 + M3 + M6
+            c.set(
+                i + h,
+                j + h,
+                m1.get(i, j) - m2.get(i, j) + m3.get(i, j) + m6.get(i, j),
+            );
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::rng::Rng;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.f64() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_matrix(8, 8, 1);
+        let i = Matrix::identity(8);
+        assert!(matmul_naive(&a, &i).max_abs_diff(&a) < 1e-12);
+        assert!(matmul_naive(&i, &a).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn known_product() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = Matrix::from_fn(2, 2, |i, j| [[1.0, 2.0], [3.0, 4.0]][i][j]);
+        let b = Matrix::from_fn(2, 2, |i, j| [[5.0, 6.0], [7.0, 8.0]][i][j]);
+        let c = matmul_naive(&a, &b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let a = random_matrix(32, 48, 2);
+        let b = random_matrix(48, 24, 3);
+        let want = matmul_naive(&a, &b);
+        assert!(matmul_ikj(&a, &b).max_abs_diff(&want) < 1e-9);
+        for tile in [4, 8, 16, 100] {
+            assert!(matmul_blocked(&a, &b, tile).max_abs_diff(&want) < 1e-9);
+        }
+        for w in [1, 2, 4] {
+            assert!(matmul_parallel(&a, &b, w).max_abs_diff(&want) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn strassen_agrees_with_naive() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let a = random_matrix(n, n, 5);
+            let b = random_matrix(n, n, 6);
+            let want = matmul_naive(&a, &b);
+            let got = matmul_strassen(&a, &b, 8);
+            assert!(got.max_abs_diff(&want) < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rectangular_dims_validated() {
+        let a = random_matrix(3, 4, 1);
+        let b = random_matrix(4, 5, 2);
+        let c = matmul_naive(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (3, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = random_matrix(3, 4, 1);
+        let b = random_matrix(5, 6, 2);
+        matmul_naive(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn strassen_rejects_non_power_of_two() {
+        let a = random_matrix(6, 6, 1);
+        matmul_strassen(&a, &a, 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Merge sort — "a primary example, revisiting the analysis of its
+//! complexity in the RAM and out-of-core contexts, as well as discussing
+//! the work and span of parallel merge sort" (paper, Section III-A).
+//!
+//! Three executable variants plus the closed-form analysis:
+//!
+//! | variant                    | work        | span          |
+//! |----------------------------|-------------|---------------|
+//! | [`merge_sort`] (RAM model) | Θ(n log n)  | Θ(n log n)    |
+//! | [`parallel_merge_sort`]    | Θ(n log n)  | Θ(n) — serial merges gate |
+//! | [`parallel_merge_sort_pmerge`] | Θ(n log n) | Θ(log³ n) — CLRS 27.3 |
+//!
+//! (The out-of-core variant lives in `pdc-extmem::extsort`.)
+
+use pdc_core::workspan::{closed_form, WorkSpan};
+use pdc_threads::join::{depth_for, join_depth};
+
+/// Stable sequential merge of two sorted slices into a vector.
+pub fn merge<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sequential (RAM-model) top-down merge sort. Stable.
+pub fn merge_sort<T: Ord + Clone>(data: &[T]) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    let mid = data.len() / 2;
+    let left = merge_sort(&data[..mid]);
+    let right = merge_sort(&data[mid..]);
+    merge(&left, &right)
+}
+
+/// Fork-join merge sort with **serial merges**: the halves sort in
+/// parallel (down to `depth` fork levels) but each merge is sequential,
+/// so the final Θ(n) merge gates the span.
+pub fn parallel_merge_sort<T: Ord + Clone + Send + Sync>(data: &[T], workers: usize) -> Vec<T> {
+    let depth = depth_for(workers, data.len(), 1024);
+    psort(data, depth)
+}
+
+fn psort<T: Ord + Clone + Send + Sync>(data: &[T], depth: u32) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    if depth == 0 {
+        return merge_sort(data);
+    }
+    let mid = data.len() / 2;
+    let (left, right) = join_depth(
+        depth,
+        || psort(&data[..mid], depth - 1),
+        || psort(&data[mid..], depth - 1),
+    );
+    merge(&left, &right)
+}
+
+/// Fork-join merge sort with the **parallel merge** of CLRS §27.3:
+/// the larger half's median splits the smaller half by binary search and
+/// the two sub-merges recurse in parallel. Span Θ(log³ n).
+pub fn parallel_merge_sort_pmerge<T: Ord + Clone + Send + Sync>(
+    data: &[T],
+    workers: usize,
+) -> Vec<T> {
+    let depth = depth_for(workers, data.len(), 1024);
+    psort_pmerge(data, depth)
+}
+
+fn psort_pmerge<T: Ord + Clone + Send + Sync>(data: &[T], depth: u32) -> Vec<T> {
+    if data.len() <= 1 {
+        return data.to_vec();
+    }
+    if depth == 0 {
+        return merge_sort(data);
+    }
+    let mid = data.len() / 2;
+    let (left, right) = join_depth(
+        depth,
+        || psort_pmerge(&data[..mid], depth - 1),
+        || psort_pmerge(&data[mid..], depth - 1),
+    );
+    parallel_merge(&left, &right, depth)
+}
+
+/// The CLRS parallel merge: recursive median splitting, sub-merges in
+/// parallel down to `depth` forks.
+pub fn parallel_merge<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T], depth: u32) -> Vec<T> {
+    // Ensure a is the longer side.
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return Vec::new();
+    }
+    if depth == 0 || a.len() + b.len() <= 64 {
+        return merge_stable_sided(a, b);
+    }
+    let ma = a.len() / 2;
+    let pivot = &a[ma];
+    // partition_point: first index in b with b[j] > pivot keeps stability
+    // for the (a-first) convention used by merge().
+    let mb = b.partition_point(|x| x <= pivot);
+    let (lo, hi) = join_depth(
+        depth,
+        || parallel_merge(&a[..ma], &b[..mb], depth - 1),
+        || parallel_merge(&a[ma + 1..], &b[mb..], depth - 1),
+    );
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend(lo);
+    out.push(pivot.clone());
+    out.extend(hi);
+    out
+}
+
+// NOTE: the recursive splitting swaps sides, so full stability across
+// equal elements of a and b is not preserved by parallel_merge; the
+// *sortedness* and multiset equality are (tested). This mirrors CLRS,
+// which presents P-MERGE without a stability claim.
+fn merge_stable_sided<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    merge(a, b)
+}
+
+/// Closed-form work/span of sequential merge sort on `n` elements
+/// (unit = comparisons, merge modeled as n).
+pub fn analysis_sequential(n: u64) -> WorkSpan {
+    if n <= 1 {
+        return WorkSpan::ZERO;
+    }
+    let logn = closed_form::ceil_log2(n);
+    WorkSpan::new(n * logn, n * logn)
+}
+
+/// Closed-form work/span of parallel merge sort with serial merges:
+/// span = sum of merge sizes down one recursion path ≈ 2n.
+pub fn analysis_parallel_serial_merge(n: u64) -> WorkSpan {
+    if n <= 1 {
+        return WorkSpan::ZERO;
+    }
+    let logn = closed_form::ceil_log2(n);
+    WorkSpan::new(n * logn, 2 * n)
+}
+
+/// Closed-form work/span of parallel merge sort with parallel merges:
+/// span Θ(log³ n) (CLRS 27.3).
+pub fn analysis_parallel_pmerge(n: u64) -> WorkSpan {
+    if n <= 1 {
+        return WorkSpan::ZERO;
+    }
+    let logn = closed_form::ceil_log2(n).max(1);
+    WorkSpan::new(n * logn, logn * logn * logn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::rng::Rng;
+
+    fn workloads() -> Vec<Vec<i64>> {
+        let mut rng = Rng::new(2024);
+        vec![
+            vec![],
+            vec![5],
+            vec![2, 1],
+            (0..100).collect(),
+            (0..100).rev().collect(),
+            vec![7; 50],
+            rng.i64_vec(1000),
+            (0..1000).map(|i| (i * 37) % 101).collect(),
+        ]
+    }
+
+    #[test]
+    fn merge_basic() {
+        assert_eq!(merge(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(merge::<i32>(&[], &[]), Vec::<i32>::new());
+        assert_eq!(merge(&[1, 2], &[]), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_variants_sort_correctly() {
+        for w in workloads() {
+            let mut want = w.clone();
+            want.sort();
+            assert_eq!(merge_sort(&w), want, "seq");
+            for p in [1usize, 2, 4] {
+                assert_eq!(parallel_merge_sort(&w, p), want, "par p={p}");
+                assert_eq!(parallel_merge_sort_pmerge(&w, p), want, "pmerge p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sort_is_stable() {
+        // Sort (key, id) pairs by key only; ids must stay in order.
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        struct Item(u32, usize);
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let items: Vec<Item> = (0..200).map(|i| Item((i * 7) % 5, i as usize)).collect();
+        let sorted = merge_sort(&items);
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_correct_on_adversarial_splits() {
+        let mut rng = Rng::new(5);
+        for _ in 0..50 {
+            let na = rng.usize_in(0, 200);
+            let nb = rng.usize_in(0, 200);
+            let mut a = rng.i64_vec(na);
+            let mut b = rng.i64_vec(nb);
+            a.sort();
+            b.sort();
+            let got = parallel_merge(&a, &b, 3);
+            let want = merge(&a, &b);
+            assert_eq!(got.len(), want.len());
+            // Same multiset, sorted.
+            assert!(got.windows(2).all(|w| w[0] <= w[1]));
+            let mut g = got.clone();
+            let mut w2 = want.clone();
+            g.sort();
+            w2.sort();
+            assert_eq!(g, w2);
+        }
+    }
+
+    #[test]
+    fn analysis_span_ordering() {
+        // For large n: seq span >> serial-merge span >> pmerge span.
+        let n = 1 << 20;
+        let seq = analysis_sequential(n);
+        let par = analysis_parallel_serial_merge(n);
+        let pm = analysis_parallel_pmerge(n);
+        assert_eq!(seq.work, par.work);
+        assert_eq!(seq.work, pm.work);
+        assert!(seq.span > par.span * 5);
+        assert!(par.span > pm.span * 100);
+        // Parallelism ordering follows.
+        assert!(pm.parallelism() > par.parallelism());
+        assert!(par.parallelism() > seq.parallelism());
+    }
+
+    #[test]
+    fn analysis_degenerate_cases() {
+        assert_eq!(analysis_sequential(0), WorkSpan::ZERO);
+        assert_eq!(analysis_sequential(1), WorkSpan::ZERO);
+        assert_eq!(analysis_parallel_pmerge(1), WorkSpan::ZERO);
+    }
+}

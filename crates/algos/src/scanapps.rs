@@ -1,0 +1,198 @@
+//! Scan applications: line-of-sight and scan-based radix sort.
+//!
+//! "Scan" appears by name in Table III's paradigms row. Beyond the
+//! primitive (in `pdc-threads` and `pdc-pram`), the course teaches that
+//! scan *composes into algorithms*; these are the two classics.
+
+use pdc_threads::sliceops::{par_exclusive_scan, par_inclusive_scan, par_map};
+
+/// Line-of-sight: given terrain `altitudes` seen from position 0,
+/// return for each point whether it is visible from the origin
+/// (no earlier point subtends a larger angle).
+///
+/// Parallel structure: angle = map; running max = inclusive max-scan;
+/// `visible[i] = angle[i] >= max of angles before i`.
+pub fn line_of_sight(altitudes: &[f64], workers: usize) -> Vec<bool> {
+    let n = altitudes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let origin = altitudes[0];
+    // Angle proxy: slope (alt - origin) / distance; index 0 sees itself.
+    let slopes: Vec<f64> = altitudes
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                (a - origin) / i as f64
+            }
+        })
+        .collect();
+    // Exclusive max-scan gives the max slope strictly before each point.
+    let (prefix_max, _) = par_exclusive_scan(&slopes, workers, f64::NEG_INFINITY, |a, b| {
+        a.max(*b)
+    });
+    slopes
+        .iter()
+        .zip(&prefix_max)
+        .enumerate()
+        .map(|(i, (&s, &m))| i == 0 || s > m)
+        .collect()
+}
+
+/// Stable LSD radix sort of `u64`s using scan-based split (partition by
+/// bit) — each of the 64 passes is two scans and a scatter, the
+/// textbook "split" primitive.
+pub fn radix_sort_u64(data: &[u64], workers: usize) -> Vec<u64> {
+    let mut cur = data.to_vec();
+    if cur.len() <= 1 {
+        return cur;
+    }
+    let bits_needed = 64 - data.iter().copied().max().unwrap_or(0).leading_zeros();
+    for bit in 0..bits_needed {
+        cur = split_by_bit(&cur, bit, workers);
+    }
+    cur
+}
+
+/// One split pass: stable partition by bit `bit` (zeros first), built
+/// from flags + exclusive scan + scatter.
+fn split_by_bit(data: &[u64], bit: u32, workers: usize) -> Vec<u64> {
+    let n = data.len();
+    let zero_flags: Vec<u64> = par_map(data, workers, |&x| u64::from(x >> bit & 1 == 0));
+    let (zero_pos, zero_total) = par_exclusive_scan(&zero_flags, workers, 0u64, |a, b| a + b);
+    // Position of each element: zeros go to zero_pos[i]; ones go to
+    // zero_total + (i - zero_pos[i] adjusted) = ones before i + base.
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        let idx = if zero_flags[i] == 1 {
+            zero_pos[i] as usize
+        } else {
+            // ones before i = i - zeros before i.
+            zero_total as usize + (i - zero_pos[i] as usize)
+        };
+        out[idx] = data[i];
+    }
+    out
+}
+
+/// Maximum-subarray sum via two scans (Kadane's parallel cousin):
+/// `best = max over i of (prefix[i] - min prefix before i)`.
+pub fn max_subarray_sum(data: &[i64], workers: usize) -> i64 {
+    assert!(!data.is_empty(), "max subarray of empty input");
+    let prefix = par_inclusive_scan(data, workers, 0i64, |a, b| a + b);
+    // min of prefix[0..i] with a leading 0 (empty prefix).
+    let (min_before, _) = par_exclusive_scan(&prefix, workers, 0i64, |a, b| *a.min(b));
+    prefix
+        .iter()
+        .zip(&min_before)
+        .map(|(&p, &m)| p - m)
+        .max()
+        .expect("non-empty")
+        .max(0) // the empty subarray is allowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::rng::Rng;
+
+    #[test]
+    fn line_of_sight_flat_terrain_all_visible() {
+        let v = line_of_sight(&[0.0; 10], 2);
+        // Flat ground at eye level: only the first point subtends the
+        // maximal slope; equal slopes are occluded (strictly-greater
+        // rule), except point 1 which has nothing before it.
+        assert!(v[0] && v[1]);
+        assert!(!v[2..].iter().any(|&x| x));
+    }
+
+    #[test]
+    fn line_of_sight_monotone_rise_all_visible() {
+        let alt: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let v = line_of_sight(&alt, 3);
+        assert!(v.iter().all(|&x| x), "{v:?}");
+    }
+
+    #[test]
+    fn line_of_sight_peak_blocks_valley() {
+        // Big hill at index 2 hides the valley behind it; far mountain
+        // at index 5 pokes above.
+        let alt = vec![0.0, 1.0, 50.0, 2.0, 3.0, 200.0];
+        let v = line_of_sight(&alt, 2);
+        assert_eq!(v, vec![true, true, true, false, false, true]);
+    }
+
+    #[test]
+    fn line_of_sight_matches_serial_reference() {
+        let mut rng = Rng::new(12);
+        let alt: Vec<f64> = (0..500).map(|_| rng.f64() * 100.0).collect();
+        let got = line_of_sight(&alt, 4);
+        // Serial reference.
+        let mut best = f64::NEG_INFINITY;
+        let mut want = Vec::with_capacity(alt.len());
+        for (i, &a) in alt.iter().enumerate() {
+            if i == 0 {
+                want.push(true);
+                continue;
+            }
+            let s = (a - alt[0]) / i as f64;
+            want.push(s > best);
+            best = best.max(s);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn radix_sort_matches_std() {
+        let mut rng = Rng::new(55);
+        for n in [0usize, 1, 2, 100, 5000] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(1 << 40)).collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(radix_sort_u64(&data, 3), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_small_keys_fast_path() {
+        // bits_needed limits passes: keys < 16 need only 4 passes.
+        let data = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(radix_sort_u64(&data, 2), vec![1, 1, 2, 3, 4, 5, 6, 9]);
+    }
+
+    #[test]
+    fn split_is_stable() {
+        // Equal bits preserve relative order: tag values in low bits.
+        let data = vec![0b1000, 0b0001, 0b1010, 0b0011]; // bit 3: 1,0,1,0
+        let out = split_by_bit(&data, 3, 2);
+        assert_eq!(out, vec![0b0001, 0b0011, 0b1000, 0b1010]);
+    }
+
+    #[test]
+    fn max_subarray_known_cases() {
+        assert_eq!(max_subarray_sum(&[-2, 1, -3, 4, -1, 2, 1, -5, 4], 2), 6);
+        assert_eq!(max_subarray_sum(&[5], 1), 5);
+        // All negative: empty prefix allowed -> best single... with the
+        // empty-prefix convention the result is the max single element
+        // only if positive; otherwise 0 (empty subarray).
+        assert_eq!(max_subarray_sum(&[-3, -1, -2], 2), 0);
+        assert_eq!(max_subarray_sum(&[1, 2, 3], 2), 6);
+    }
+
+    #[test]
+    fn max_subarray_matches_kadane() {
+        let mut rng = Rng::new(88);
+        let data: Vec<i64> = (0..2000).map(|_| rng.gen_range(41) as i64 - 20).collect();
+        // Kadane allowing empty subarray.
+        let mut best = 0i64;
+        let mut cur = 0i64;
+        for &x in &data {
+            cur = (cur + x).max(0);
+            best = best.max(cur);
+        }
+        assert_eq!(max_subarray_sum(&data, 4), best);
+    }
+}

@@ -1,0 +1,184 @@
+//! Selection: quickselect, median-of-medians, and parallel selection.
+//!
+//! CS41's "Selection" row (Table III): the expected-linear randomized
+//! algorithm, the worst-case-linear deterministic one, and a parallel
+//! version built from the scan-based filter primitive.
+
+use pdc_core::rng::Rng;
+use pdc_threads::sliceops::par_filter;
+
+/// The `k`-th smallest element (0-based) by randomized quickselect.
+/// Expected O(n).
+///
+/// # Panics
+/// Panics if `k >= data.len()`.
+pub fn quickselect<T: Ord + Clone>(data: &[T], k: usize, seed: u64) -> T {
+    assert!(k < data.len(), "k={k} out of range {}", data.len());
+    let mut rng = Rng::new(seed);
+    let mut work: Vec<T> = data.to_vec();
+    let mut k = k;
+    loop {
+        if work.len() == 1 {
+            return work.pop().unwrap();
+        }
+        let pivot = work[rng.usize_in(0, work.len())].clone();
+        let (less, rest): (Vec<T>, Vec<T>) = work.into_iter().partition(|x| *x < pivot);
+        let (equal, greater): (Vec<T>, Vec<T>) = rest.into_iter().partition(|x| *x == pivot);
+        if k < less.len() {
+            work = less;
+        } else if k < less.len() + equal.len() {
+            return pivot;
+        } else {
+            k -= less.len() + equal.len();
+            work = greater;
+        }
+    }
+}
+
+/// The `k`-th smallest element by deterministic median-of-medians.
+/// Worst-case O(n).
+///
+/// # Panics
+/// Panics if `k >= data.len()`.
+pub fn median_of_medians<T: Ord + Clone>(data: &[T], k: usize) -> T {
+    assert!(k < data.len(), "k={k} out of range {}", data.len());
+    mom_select(data.to_vec(), k)
+}
+
+fn mom_select<T: Ord + Clone>(mut data: Vec<T>, mut k: usize) -> T {
+    loop {
+        if data.len() <= 10 {
+            data.sort();
+            return data[k].clone();
+        }
+        // Medians of groups of 5.
+        let medians: Vec<T> = data
+            .chunks(5)
+            .map(|g| {
+                let mut g = g.to_vec();
+                g.sort();
+                g[g.len() / 2].clone()
+            })
+            .collect();
+        let m = medians.len();
+        let pivot = mom_select(medians, m / 2);
+        let (less, rest): (Vec<T>, Vec<T>) = data.into_iter().partition(|x| *x < pivot);
+        let (equal, greater): (Vec<T>, Vec<T>) = rest.into_iter().partition(|x| *x == pivot);
+        if k < less.len() {
+            data = less;
+        } else if k < less.len() + equal.len() {
+            return pivot;
+        } else {
+            k -= less.len() + equal.len();
+            data = greater;
+        }
+    }
+}
+
+/// Parallel quickselect: the partition step uses the parallel filter
+/// (flag + scan + pack) from `pdc-threads`, the CS41 scan application.
+///
+/// # Panics
+/// Panics if `k >= data.len()`.
+pub fn parallel_select<T: Ord + Clone + Send + Sync>(
+    data: &[T],
+    k: usize,
+    workers: usize,
+    seed: u64,
+) -> T {
+    assert!(k < data.len(), "k={k} out of range {}", data.len());
+    let mut rng = Rng::new(seed);
+    let mut work: Vec<T> = data.to_vec();
+    let mut k = k;
+    loop {
+        if work.len() <= 256 {
+            work.sort();
+            return work[k].clone();
+        }
+        let pivot = work[rng.usize_in(0, work.len())].clone();
+        let less = par_filter(&work, workers, |x| *x < pivot);
+        if k < less.len() {
+            work = less;
+            continue;
+        }
+        let equal_count = work.iter().filter(|x| **x == pivot).count();
+        if k < less.len() + equal_count {
+            return pivot;
+        }
+        k -= less.len() + equal_count;
+        work = par_filter(&work, workers, |x| *x > pivot);
+    }
+}
+
+/// Convenience: the median (lower median for even lengths).
+pub fn median<T: Ord + Clone>(data: &[T]) -> T {
+    quickselect(data, (data.len() - 1) / 2, 0xC0FFEE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_ks(data: &[i64]) {
+        let mut sorted = data.to_vec();
+        sorted.sort();
+        for k in 0..data.len() {
+            assert_eq!(quickselect(data, k, 42), sorted[k], "qs k={k}");
+            assert_eq!(median_of_medians(data, k), sorted[k], "mom k={k}");
+        }
+    }
+
+    #[test]
+    fn selects_correctly_small() {
+        check_all_ks(&[5]);
+        check_all_ks(&[2, 1]);
+        check_all_ks(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3]);
+        check_all_ks(&(0..50).rev().collect::<Vec<i64>>());
+        check_all_ks(&[7; 20]);
+    }
+
+    #[test]
+    fn selects_correctly_large_random() {
+        let mut rng = Rng::new(777);
+        let data = rng.i64_vec(10_000);
+        let mut sorted = data.clone();
+        sorted.sort();
+        for k in [0usize, 1, 4_999, 5_000, 9_998, 9_999] {
+            assert_eq!(quickselect(&data, k, 1), sorted[k]);
+            assert_eq!(median_of_medians(&data, k), sorted[k]);
+            assert_eq!(parallel_select(&data, k, 4, 1), sorted[k]);
+        }
+    }
+
+    #[test]
+    fn parallel_select_matches_on_duplicates() {
+        let data: Vec<i64> = (0..5000).map(|i| i % 7).collect();
+        let mut sorted = data.clone();
+        sorted.sort();
+        for k in [0usize, 100, 2500, 4999] {
+            assert_eq!(parallel_select(&data, k, 3, 9), sorted[k]);
+        }
+    }
+
+    #[test]
+    fn median_lower_for_even() {
+        assert_eq!(median(&[4, 1, 3, 2]), 2);
+        assert_eq!(median(&[5, 1, 3]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_out_of_range_panics() {
+        quickselect(&[1, 2, 3], 3, 0);
+    }
+
+    #[test]
+    fn mom_adversarial_sorted_runs() {
+        // Deterministic algorithm on pathological inputs: still linear
+        // (we just check correctness here; the bench checks scaling).
+        let data: Vec<i64> = (0..20_000).collect();
+        assert_eq!(median_of_medians(&data, 10_000), 10_000);
+        let data: Vec<i64> = (0..20_000).rev().collect();
+        assert_eq!(median_of_medians(&data, 0), 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Quicksort and sample sort.
+//!
+//! Quicksort is the divide-and-conquer partner to merge sort in CS41;
+//! sample sort is the bucket algorithm that underlies practical
+//! distributed sorts (and the "parallel join" discussion planned for the
+//! Databases course).
+
+use pdc_core::rng::Rng;
+use pdc_threads::join::{depth_for, join_depth};
+use pdc_threads::sliceops::par_map;
+
+/// In-place sequential quicksort with deterministic seeded pivot choice
+/// (median-of-three of random probes).
+pub fn quicksort<T: Ord>(data: &mut [T]) {
+    let mut rng = Rng::new(0x5EED);
+    qsort(data, &mut rng);
+}
+
+fn qsort<T: Ord>(data: &mut [T], rng: &mut Rng) {
+    if data.len() <= 16 {
+        insertion_sort(data);
+        return;
+    }
+    let p = partition(data, rng);
+    let (lo, hi) = data.split_at_mut(p);
+    qsort(lo, rng);
+    qsort(&mut hi[1..], rng);
+}
+
+fn insertion_sort<T: Ord>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j] < data[j - 1] {
+            data.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Hoare-style partition around a randomly probed pivot; returns the
+/// pivot's final index.
+fn partition<T: Ord>(data: &mut [T], rng: &mut Rng) -> usize {
+    let n = data.len();
+    // Median of three random probes resists adversarial inputs.
+    let (a, b, c) = (
+        rng.usize_in(0, n),
+        rng.usize_in(0, n),
+        rng.usize_in(0, n),
+    );
+    let pivot_idx = median3(data, a, b, c);
+    data.swap(pivot_idx, n - 1);
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if data[i] < data[n - 1] {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, n - 1);
+    store
+}
+
+fn median3<T: Ord>(data: &[T], a: usize, b: usize, c: usize) -> usize {
+    let mut idx = [a, b, c];
+    idx.sort_by(|&x, &y| data[x].cmp(&data[y]));
+    idx[1]
+}
+
+/// Parallel quicksort: partitions sequentially, recurses on the two
+/// sides in parallel down to `depth_for(workers, ...)` fork levels.
+pub fn parallel_quicksort<T: Ord + Send>(data: &mut [T], workers: usize) {
+    let depth = depth_for(workers, data.len(), 4096);
+    pqsort(data, depth, 0x5EED);
+}
+
+fn pqsort<T: Ord + Send>(data: &mut [T], depth: u32, seed: u64) {
+    if data.len() <= 16 {
+        insertion_sort(data);
+        return;
+    }
+    if depth == 0 {
+        let mut rng = Rng::new(seed);
+        qsort(data, &mut rng);
+        return;
+    }
+    let mut rng = Rng::new(seed);
+    let p = partition(data, &mut rng);
+    let (lo, hi) = data.split_at_mut(p);
+    let hi = &mut hi[1..];
+    join_depth(
+        depth,
+        || pqsort(lo, depth - 1, seed.wrapping_mul(0x9E3779B97F4A7C15) + 1),
+        || pqsort(hi, depth - 1, seed.wrapping_mul(0x9E3779B97F4A7C15) + 2),
+    );
+}
+
+/// Statistics from a sample-sort run (bucket balance is the point).
+#[derive(Debug, Clone)]
+pub struct SampleSortStats {
+    /// Final bucket sizes.
+    pub bucket_sizes: Vec<usize>,
+}
+
+impl SampleSortStats {
+    /// Largest bucket over ideal size (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.bucket_sizes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.bucket_sizes.len() as f64;
+        *self.bucket_sizes.iter().max().unwrap() as f64 / ideal
+    }
+}
+
+/// Sample sort with `buckets` buckets and an oversampling factor:
+/// sample `buckets * oversample` elements, sort the sample, pick evenly
+/// spaced splitters, partition all elements by binary search (in
+/// parallel), sort each bucket (in parallel), concatenate.
+pub fn sample_sort<T: Ord + Clone + Send + Sync>(
+    data: &[T],
+    buckets: usize,
+    workers: usize,
+    seed: u64,
+) -> (Vec<T>, SampleSortStats) {
+    assert!(buckets >= 1);
+    if data.len() <= 1 || buckets == 1 {
+        let mut out = data.to_vec();
+        out.sort();
+        let n = out.len();
+        return (
+            out,
+            SampleSortStats {
+                bucket_sizes: vec![n],
+            },
+        );
+    }
+    let mut rng = Rng::new(seed);
+    let oversample = 8;
+    let mut sample: Vec<T> = (0..buckets * oversample)
+        .map(|_| data[rng.usize_in(0, data.len())].clone())
+        .collect();
+    sample.sort();
+    let splitters: Vec<T> = (1..buckets)
+        .map(|i| sample[i * oversample].clone())
+        .collect();
+    // Classify in parallel.
+    let labels: Vec<usize> = par_map(data, workers, |x| splitters.partition_point(|s| s <= x));
+    let mut bucket_vecs: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for (x, &b) in data.iter().zip(&labels) {
+        bucket_vecs[b].push(x.clone());
+    }
+    let bucket_sizes: Vec<usize> = bucket_vecs.iter().map(Vec::len).collect();
+    // Sort buckets in parallel.
+    let sorted: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = bucket_vecs
+            .into_iter()
+            .map(|mut b| {
+                s.spawn(move || {
+                    b.sort();
+                    b
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = Vec::with_capacity(data.len());
+    for b in sorted {
+        out.extend(b);
+    }
+    (out, SampleSortStats { bucket_sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workloads() -> Vec<Vec<i64>> {
+        let mut rng = Rng::new(404);
+        vec![
+            vec![],
+            vec![1],
+            vec![3, 1, 2],
+            (0..500).rev().collect(),
+            vec![42; 100],
+            rng.i64_vec(5000),
+            (0..2000).map(|i| (i * 31) % 97).collect(),
+        ]
+    }
+
+    #[test]
+    fn quicksort_correct() {
+        for mut w in workloads() {
+            let mut want = w.clone();
+            want.sort();
+            quicksort(&mut w);
+            assert_eq!(w, want);
+        }
+    }
+
+    #[test]
+    fn parallel_quicksort_correct() {
+        for mut w in workloads() {
+            let mut want = w.clone();
+            want.sort();
+            parallel_quicksort(&mut w, 4);
+            assert_eq!(w, want);
+        }
+    }
+
+    #[test]
+    fn quicksort_handles_sorted_input_without_blowup() {
+        // Already-sorted input: randomized median-of-3 keeps recursion
+        // shallow enough to not overflow the stack at 100k.
+        let mut v: Vec<i64> = (0..100_000).collect();
+        quicksort(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sample_sort_correct_and_balanced() {
+        let mut rng = Rng::new(31337);
+        let data = rng.i64_vec(20_000);
+        let mut want = data.clone();
+        want.sort();
+        let (got, stats) = sample_sort(&data, 8, 4, 1);
+        assert_eq!(got, want);
+        assert_eq!(stats.bucket_sizes.len(), 8);
+        assert_eq!(stats.bucket_sizes.iter().sum::<usize>(), 20_000);
+        assert!(
+            stats.imbalance() < 2.0,
+            "oversampling should balance: {}",
+            stats.imbalance()
+        );
+    }
+
+    #[test]
+    fn sample_sort_edge_cases() {
+        let (got, _) = sample_sort(&Vec::<i64>::new(), 4, 2, 0);
+        assert!(got.is_empty());
+        let (got, _) = sample_sort(&[5i64], 4, 2, 0);
+        assert_eq!(got, vec![5]);
+        let (got, stats) = sample_sort(&[9i64, 8, 7], 1, 2, 0);
+        assert_eq!(got, vec![7, 8, 9]);
+        assert_eq!(stats.bucket_sizes, vec![3]);
+    }
+
+    #[test]
+    fn sample_sort_all_duplicates() {
+        let data = vec![3i64; 5000];
+        let (got, _) = sample_sort(&data, 8, 4, 7);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn insertion_sort_base_case() {
+        let mut v = vec![5, 2, 9, 1];
+        insertion_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 5, 9]);
+    }
+}

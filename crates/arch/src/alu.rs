@@ -1,0 +1,247 @@
+//! A word-level ALU with NZCV condition codes — the top of the CS31
+//! "Building an ALU" lab.
+//!
+//! The ALU operates on `bits`-wide patterns (1..=64) using the semantics
+//! from [`crate::datarep`]; its ADD/SUB paths are cross-checked in tests
+//! against the gate-level adders from [`crate::logic`], closing the loop
+//! from transistors to instructions.
+
+use crate::datarep::{self, add_with_flags, sub_with_flags, truncate, unsigned_max};
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction (`a - b`).
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT of `a` (ignores `b`).
+    Not,
+    /// Logical shift left of `a` by `b` (shift amounts >= width yield 0).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right (sign-replicating).
+    Sar,
+    /// Pass `b` through (used for moves).
+    PassB,
+}
+
+/// Condition codes produced by an ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Result is negative (sign bit set).
+    pub n: bool,
+    /// Result is zero.
+    pub z: bool,
+    /// Carry out (unsigned overflow for Add; "no borrow" for Sub).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+/// A fixed-width ALU.
+#[derive(Debug, Clone, Copy)]
+pub struct Alu {
+    bits: u32,
+}
+
+impl Alu {
+    /// Create an ALU of the given width (1..=64).
+    ///
+    /// # Panics
+    /// Panics on an invalid width.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "width {bits} not in 1..=64");
+        Alu { bits }
+    }
+
+    /// The ALU's word width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Execute `op` on patterns `a`, `b`; returns the result pattern and
+    /// the condition codes.
+    ///
+    /// # Panics
+    /// Panics (debug) if inputs exceed the word width.
+    pub fn exec(&self, op: AluOp, a: u64, b: u64) -> (u64, Flags) {
+        let w = self.bits;
+        debug_assert!(a <= unsigned_max(w), "a out of width");
+        debug_assert!(b <= unsigned_max(w), "b out of width");
+        let (pattern, c, v) = match op {
+            AluOp::Add => {
+                let r = add_with_flags(a, b, w);
+                (r.pattern, r.carry, r.overflow)
+            }
+            AluOp::Sub => {
+                let r = sub_with_flags(a, b, w);
+                (r.pattern, r.carry, r.overflow)
+            }
+            AluOp::And => (a & b, false, false),
+            AluOp::Or => (a | b, false, false),
+            AluOp::Xor => (a ^ b, false, false),
+            AluOp::Not => (truncate(!a, w), false, false),
+            AluOp::Shl => {
+                if b >= w as u64 {
+                    (0, a != 0 && b == w as u64 && a & 1 == 1, false)
+                } else {
+                    let carry = b > 0 && (a >> (w as u64 - b)) & 1 == 1;
+                    (truncate(a << b, w), carry, false)
+                }
+            }
+            AluOp::Shr => {
+                if b >= w as u64 {
+                    (0, false, false)
+                } else {
+                    let carry = b > 0 && (a >> (b - 1)) & 1 == 1;
+                    (a >> b, carry, false)
+                }
+            }
+            AluOp::Sar => {
+                let signed = datarep::from_twos_complement(a, w).expect("in range");
+                let shift = (b as u32).min(w - 1).min(63);
+                let shifted = signed >> shift;
+                let pattern = datarep::to_twos_complement(shifted, w).expect("in range");
+                let carry = b > 0 && b <= w as u64 && (a >> (b - 1).min(63)) & 1 == 1;
+                (pattern, carry, false)
+            }
+            AluOp::PassB => (b, false, false),
+        };
+        let flags = Flags {
+            n: pattern >> (w - 1) & 1 == 1,
+            z: pattern == 0,
+            c,
+            v,
+        };
+        (pattern, flags)
+    }
+
+    /// Signed comparison result using the SUB flags, the way conditional
+    /// jumps read them: returns the ordering of `a` vs `b` interpreted as
+    /// `bits`-wide signed values.
+    pub fn cmp_signed(&self, a: u64, b: u64) -> std::cmp::Ordering {
+        let (_, f) = self.exec(AluOp::Sub, a, b);
+        if f.z {
+            std::cmp::Ordering::Equal
+        } else if f.n != f.v {
+            // "less" condition: N != V, exactly the jl rule students trace.
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datarep::{from_twos_complement, to_twos_complement};
+    use crate::logic::{to_bits, Circuit};
+
+    #[test]
+    fn add_matches_gate_level_adder() {
+        // The word-level ALU must agree with the NAND-gate ripple adder.
+        let alu = Alu::new(8);
+        let mut c = Circuit::new();
+        let a = c.input_bus("a", 8);
+        let b = c.input_bus("b", 8);
+        let cin = c.constant(false);
+        let (sum, cout) = c.ripple_adder(&a, &b, cin);
+        for x in (0..256u64).step_by(5) {
+            for y in (0..256u64).step_by(9) {
+                let (r, f) = alu.exec(AluOp::Add, x, y);
+                let mut inputs = to_bits(x, 8);
+                inputs.extend(to_bits(y, 8));
+                assert_eq!(r, c.eval_bus_u64(&inputs, &sum), "{x}+{y}");
+                assert_eq!(f.c, c.eval(&inputs, &[cout])[0], "carry {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn logic_ops() {
+        let alu = Alu::new(8);
+        assert_eq!(alu.exec(AluOp::And, 0xF0, 0x3C).0, 0x30);
+        assert_eq!(alu.exec(AluOp::Or, 0xF0, 0x3C).0, 0xFC);
+        assert_eq!(alu.exec(AluOp::Xor, 0xF0, 0x3C).0, 0xCC);
+        assert_eq!(alu.exec(AluOp::Not, 0xF0, 0).0, 0x0F);
+        assert_eq!(alu.exec(AluOp::PassB, 0, 0x7B).0, 0x7B);
+    }
+
+    #[test]
+    fn zero_and_negative_flags() {
+        let alu = Alu::new(8);
+        let (_, f) = alu.exec(AluOp::Sub, 5, 5);
+        assert!(f.z && !f.n);
+        let (_, f) = alu.exec(AluOp::Sub, 3, 5);
+        assert!(f.n && !f.z);
+    }
+
+    #[test]
+    fn shifts() {
+        let alu = Alu::new(8);
+        assert_eq!(alu.exec(AluOp::Shl, 0b0000_0101, 1).0, 0b0000_1010);
+        assert_eq!(alu.exec(AluOp::Shr, 0b1000_0000, 7).0, 1);
+        // Arithmetic shift replicates the sign bit.
+        let minus8 = to_twos_complement(-8, 8).unwrap();
+        let (r, _) = alu.exec(AluOp::Sar, minus8, 2);
+        assert_eq!(from_twos_complement(r, 8).unwrap(), -2);
+        // Logical shift of the same pattern does not.
+        let (r, _) = alu.exec(AluOp::Shr, minus8, 2);
+        assert!(from_twos_complement(r, 8).unwrap() > 0);
+    }
+
+    #[test]
+    fn shift_by_width_or_more() {
+        let alu = Alu::new(8);
+        assert_eq!(alu.exec(AluOp::Shl, 0xFF, 8).0, 0);
+        assert_eq!(alu.exec(AluOp::Shr, 0xFF, 9).0, 0);
+        // SAR saturates to all-sign.
+        let (r, _) = alu.exec(AluOp::Sar, 0x80, 100);
+        assert_eq!(r, 0xFF);
+        let (r, _) = alu.exec(AluOp::Sar, 0x40, 100);
+        assert_eq!(r, 0x00);
+    }
+
+    #[test]
+    fn shl_carry_is_last_bit_out() {
+        let alu = Alu::new(8);
+        let (_, f) = alu.exec(AluOp::Shl, 0b1000_0000, 1);
+        assert!(f.c);
+        let (_, f) = alu.exec(AluOp::Shl, 0b0100_0000, 1);
+        assert!(!f.c);
+        let (_, f) = alu.exec(AluOp::Shr, 0b0000_0001, 1);
+        assert!(f.c);
+    }
+
+    #[test]
+    fn cmp_signed_matches_i8() {
+        let alu = Alu::new(8);
+        for a in -128i64..=127 {
+            for b in [-128i64, -1, 0, 1, 127, 64, -64] {
+                let pa = to_twos_complement(a, 8).unwrap();
+                let pb = to_twos_complement(b, 8).unwrap();
+                assert_eq!(alu.cmp_signed(pa, pb), a.cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_at_64_bits() {
+        let alu = Alu::new(64);
+        let (r, f) = alu.exec(AluOp::Add, u64::MAX, 1);
+        assert_eq!(r, 0);
+        assert!(f.c && f.z && !f.v);
+        let (r, f) = alu.exec(AluOp::Add, i64::MAX as u64, 1);
+        assert_eq!(r as i64, i64::MIN);
+        assert!(f.v && f.n);
+    }
+}

@@ -1,0 +1,316 @@
+//! A packed bit vector — the CS31 "bit vectors" lab.
+//!
+//! Students implement a set-of-small-integers as one bit per element over
+//! an array of words. This version adds the full set-algebra interface
+//! plus rank (popcount prefix) used by the pack/filter parallel primitive
+//! in `pdc-algos`.
+
+/// A growable, packed vector of bits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitVec {
+    /// An empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bit vector of `len` bits, all zero.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// A bit vector of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Build from a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    fn clear_tail(&mut self) {
+        let used = self.len % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Flip bit `i`, returning its new value.
+    pub fn flip(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+        self.get(i)
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % WORD_BITS == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, value);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Rank: number of set bits strictly before index `i` (`i` may equal
+    /// `len`). This is the prefix-sum view used by parallel pack.
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        let full_words = i / WORD_BITS;
+        let mut count: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let rem = i % WORD_BITS;
+        if rem != 0 {
+            count += (self.words[full_words] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Index of the `k`-th (0-based) set bit, or `None` if fewer exist.
+    pub fn select(&self, k: usize) -> Option<usize> {
+        let mut remaining = k;
+        for (wi, &w) in self.words.iter().enumerate() {
+            let ones = w.count_ones() as usize;
+            if remaining < ones {
+                // Scan inside the word.
+                let mut word = w;
+                for _ in 0..remaining {
+                    word &= word - 1; // clear lowest set bit
+                }
+                return Some(wi * WORD_BITS + word.trailing_zeros() as usize);
+            }
+            remaining -= ones;
+        }
+        None
+    }
+
+    /// Bitwise AND with another vector of equal length.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR with another vector of equal length.
+    #[must_use]
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR with another vector of equal length.
+    #[must_use]
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT (within `len`).
+    #[must_use]
+    pub fn not(&self) -> BitVec {
+        let mut out = BitVec {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.clear_tail();
+        out
+    }
+
+    fn zip_with(&self, other: &BitVec, f: impl Fn(u64, u64) -> u64) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch");
+        BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Iterate over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_counts() {
+        assert_eq!(BitVec::zeros(130).count_ones(), 0);
+        assert_eq!(BitVec::ones(130).count_ones(), 130);
+        assert_eq!(BitVec::ones(64).count_ones(), 64);
+        assert_eq!(BitVec::ones(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(99));
+        assert!(!v.get(1) && !v.get(65));
+        assert_eq!(v.count_ones(), 4);
+        assert!(!v.flip(0));
+        assert!(v.flip(1));
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut v = BitVec::new();
+        for i in 0..200 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        assert_eq!(v.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let bits: Vec<bool> = (0..300).map(|i| (i * 7) % 5 == 0).collect();
+        let v = BitVec::from_bools(&bits);
+        let mut naive = 0;
+        for i in 0..=300 {
+            assert_eq!(v.rank(i), naive, "rank({i})");
+            if i < 300 && bits[i] {
+                naive += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn select_inverts_rank() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 7 == 2).collect();
+        let v = BitVec::from_bools(&bits);
+        for k in 0..v.count_ones() {
+            let idx = v.select(k).unwrap();
+            assert!(v.get(idx));
+            assert_eq!(v.rank(idx), k);
+        }
+        assert_eq!(v.select(v.count_ones()), None);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b), BitVec::from_bools(&[true, false, false, false]));
+        assert_eq!(a.or(&b), BitVec::from_bools(&[true, true, true, false]));
+        assert_eq!(a.xor(&b), BitVec::from_bools(&[false, true, true, false]));
+        assert_eq!(a.not(), BitVec::from_bools(&[false, false, true, true]));
+    }
+
+    #[test]
+    fn demorgan_holds() {
+        let a = BitVec::from_bools(&(0..130).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let b = BitVec::from_bools(&(0..130).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let v = BitVec::from_bools(&(0..200).map(|i| i % 31 == 0).collect::<Vec<_>>());
+        let ones: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(ones, vec![0, 31, 62, 93, 124, 155, 186]);
+    }
+
+    #[test]
+    fn not_does_not_leak_past_len() {
+        let v = BitVec::zeros(65).not();
+        assert_eq!(v.count_ones(), 65);
+        assert_eq!(v.len(), 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = BitVec::zeros(10).and(&BitVec::zeros(11));
+    }
+}

@@ -1,0 +1,323 @@
+//! The "binary bomb" lab on PDC-1.
+//!
+//! Bryant & O'Hallaron's binary bomb gives each student a compiled
+//! program with several *phases*; each phase reads input and "explodes"
+//! unless the input satisfies a hidden predicate, which students discover
+//! by reading the disassembly. [`Bomb`] generates such programs on the
+//! PDC-1 ISA, seeded per student so every bomb is different, and provides
+//! the grader-side check.
+//!
+//! A phase explodes by jumping to a trap that emits [`EXPLOSION_CODE`] and
+//! halts; a defused bomb emits [`DEFUSED_CODE`] once per phase and then a
+//! final success code.
+
+use crate::isa::{assemble, Program, Vm, VmError};
+
+/// Output value emitted when the bomb explodes.
+pub const EXPLOSION_CODE: i64 = -666;
+/// Output value emitted when a phase is defused.
+pub const DEFUSED_CODE: i64 = 1;
+/// Output value emitted when the whole bomb is defused.
+pub const SUCCESS_CODE: i64 = 424242;
+
+/// The hidden predicate of one phase, kept by the grader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Input must equal this constant.
+    Equals(i64),
+    /// Two inputs must sum to this constant.
+    PairSum(i64),
+    /// Input must equal the XOR of two constants baked into the code.
+    XorKey(i64, i64),
+    /// Three inputs must be strictly increasing.
+    IncreasingTriple,
+    /// Input must be the n-th Fibonacci number (computed by the bomb).
+    Fibonacci(u32),
+}
+
+impl Phase {
+    /// The inputs that defuse this phase (the grader's answer key).
+    pub fn solution(&self) -> Vec<i64> {
+        match *self {
+            Phase::Equals(k) => vec![k],
+            Phase::PairSum(k) => vec![k / 2, k - k / 2],
+            Phase::XorKey(a, b) => vec![a ^ b],
+            Phase::IncreasingTriple => vec![1, 2, 3],
+            Phase::Fibonacci(n) => {
+                let (mut a, mut b) = (0i64, 1i64);
+                for _ in 0..n {
+                    let t = a + b;
+                    a = b;
+                    b = t;
+                }
+                vec![a]
+            }
+        }
+    }
+
+    /// Emit the assembly for this phase. `idx` uniquely suffixes labels.
+    fn emit(&self, idx: usize) -> String {
+        match *self {
+            Phase::Equals(k) => format!(
+                "in\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
+            ),
+            Phase::PairSum(k) => format!(
+                "in\nin\nadd\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
+            ),
+            Phase::XorKey(a, b) => format!(
+                "in\npush {a}\npush {b}\nxor\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
+            ),
+            Phase::IncreasingTriple => format!(
+                concat!(
+                    "in\nin\nin\n", // stack: a b c
+                    "over\n",       // a b c b
+                    "gt\n",         // a b (c>b)
+                    "jz explode\n", // a b
+                    "lt\n",         // (a<b)
+                    "jz explode\n",
+                    "push {defused}\nout\n"
+                ),
+                defused = DEFUSED_CODE,
+            ),
+            // Iterative Fibonacci using mem[0..2] as scratch. Loop
+            // invariant at `fib{idx}`: stack = [guess, i, a, b] with
+            // (a, b) = (fib(n-i), fib(n-i+1)).
+            Phase::Fibonacci(n) => format!(
+                concat!(
+                    "in\n",                       // guess
+                    "push {n}\npush 0\npush 1\n", // guess i a b
+                    "fib{idx}:\n",
+                    "push 0\nstore\n",            // mem[0]=b ; guess i a
+                    "push 1\nstore\n",            // mem[1]=a ; guess i
+                    "dup\njz fibdone{idx}\n",
+                    "push 1\nsub\n",              // guess i-1
+                    "push 0\nload\n",             // guess i' b        (a' = b)
+                    "push 1\nload\n",             // guess i' b a
+                    "push 0\nload\n",             // guess i' b a b
+                    "add\n",                      // guess i' b (a+b)  (b' = a+b)
+                    "jmp fib{idx}\n",
+                    "fibdone{idx}:\n",
+                    "pop\n",                      // guess
+                    "push 1\nload\n",             // guess fib(n)
+                    "eq\njz explode\n",
+                    "push {defused}\nout\n"
+                ),
+                n = n,
+                idx = idx,
+                defused = DEFUSED_CODE,
+            ),
+        }
+    }
+}
+
+/// A generated binary bomb: the program plus the hidden phases.
+#[derive(Debug, Clone)]
+pub struct Bomb {
+    phases: Vec<Phase>,
+    program: Program,
+}
+
+impl Bomb {
+    /// Build a bomb from explicit phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or the generated assembly fails to
+    /// assemble (a bug in this module).
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "a bomb needs at least one phase");
+        let mut src = String::new();
+        for (i, phase) in phases.iter().enumerate() {
+            src.push_str(&format!("; phase {i}\n"));
+            src.push_str(&phase.emit(i));
+        }
+        src.push_str(&format!("push {SUCCESS_CODE}\nout\nhalt\n"));
+        src.push_str(&format!(
+            "explode:\npush {EXPLOSION_CODE}\nout\nhalt\n"
+        ));
+        let program = assemble(&src).expect("bomb assembly is well-formed");
+        Bomb { phases, program }
+    }
+
+    /// Generate a seeded student bomb with `n_phases` phases drawn from the
+    /// standard set.
+    pub fn generate(seed: u64, n_phases: usize) -> Self {
+        assert!(n_phases > 0);
+        // Simple deterministic mixing (SplitMix64 step), to avoid a
+        // dependency; pdc-core's Rng is not available to this crate.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let phases = (0..n_phases)
+            .map(|_| match next() % 3 {
+                0 => Phase::Equals((next() % 10_000) as i64),
+                1 => Phase::PairSum((next() % 10_000) as i64),
+                _ => Phase::XorKey((next() % 100_000) as i64, (next() % 100_000) as i64),
+            })
+            .collect();
+        Bomb::new(phases)
+    }
+
+    /// The hidden phases (grader side).
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The assembled program (what the student receives, e.g. to
+    /// disassemble with [`crate::isa::disassemble`]).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The full answer key: concatenated solutions of all phases.
+    pub fn answer_key(&self) -> Vec<i64> {
+        self.phases.iter().flat_map(|p| p.solution()).collect()
+    }
+
+    /// Run the bomb against an input attempt. Returns the number of phases
+    /// defused and whether the bomb exploded.
+    pub fn attempt(&self, inputs: &[i64]) -> Result<AttemptOutcome, VmError> {
+        let mut vm = Vm::new(self.program.clone(), 16).with_input(inputs.iter().copied());
+        match vm.run(1_000_000) {
+            Ok(()) => {}
+            // Running out of input mid-phase counts as a failed attempt,
+            // not a harness error.
+            Err(VmError::InputExhausted { .. }) => {
+                return Ok(AttemptOutcome {
+                    phases_defused: vm
+                        .output
+                        .iter()
+                        .filter(|&&v| v == DEFUSED_CODE)
+                        .count(),
+                    exploded: false,
+                    fully_defused: false,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        let exploded = vm.output.contains(&EXPLOSION_CODE);
+        let fully_defused = vm.output.contains(&SUCCESS_CODE);
+        Ok(AttemptOutcome {
+            phases_defused: vm.output.iter().filter(|&&v| v == DEFUSED_CODE).count(),
+            exploded,
+            fully_defused,
+        })
+    }
+}
+
+/// Result of one defusal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptOutcome {
+    /// Number of phases passed before stopping.
+    pub phases_defused: usize,
+    /// Whether the bomb exploded.
+    pub exploded: bool,
+    /// Whether every phase was defused.
+    pub fully_defused: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equals_phase_defuses_with_key() {
+        let bomb = Bomb::new(vec![Phase::Equals(1234)]);
+        let out = bomb.attempt(&bomb.answer_key()).unwrap();
+        assert!(out.fully_defused && !out.exploded);
+        assert_eq!(out.phases_defused, 1);
+    }
+
+    #[test]
+    fn equals_phase_explodes_on_wrong_input() {
+        let bomb = Bomb::new(vec![Phase::Equals(1234)]);
+        let out = bomb.attempt(&[1235]).unwrap();
+        assert!(out.exploded && !out.fully_defused);
+        assert_eq!(out.phases_defused, 0);
+    }
+
+    #[test]
+    fn pair_sum_phase() {
+        let bomb = Bomb::new(vec![Phase::PairSum(101)]);
+        assert!(bomb.attempt(&[50, 51]).unwrap().fully_defused);
+        assert!(bomb.attempt(&[100, 1]).unwrap().fully_defused);
+        assert!(bomb.attempt(&[1, 1]).unwrap().exploded);
+    }
+
+    #[test]
+    fn xor_phase() {
+        let bomb = Bomb::new(vec![Phase::XorKey(0xABCD, 0x1234)]);
+        assert!(bomb.attempt(&[0xABCD ^ 0x1234]).unwrap().fully_defused);
+        assert!(bomb.attempt(&[0]).unwrap().exploded);
+    }
+
+    #[test]
+    fn increasing_triple_phase() {
+        let bomb = Bomb::new(vec![Phase::IncreasingTriple]);
+        assert!(bomb.attempt(&[1, 2, 3]).unwrap().fully_defused);
+        assert!(bomb.attempt(&[-5, 0, 100]).unwrap().fully_defused);
+        assert!(bomb.attempt(&[3, 2, 1]).unwrap().exploded);
+        assert!(bomb.attempt(&[1, 1, 2]).unwrap().exploded);
+        assert!(bomb.attempt(&[1, 2, 2]).unwrap().exploded);
+    }
+
+    #[test]
+    fn fibonacci_phase() {
+        for n in [0u32, 1, 2, 3, 10, 20] {
+            let bomb = Bomb::new(vec![Phase::Fibonacci(n)]);
+            let key = bomb.answer_key();
+            assert!(
+                bomb.attempt(&key).unwrap().fully_defused,
+                "fib({n}) key {key:?} should defuse"
+            );
+            assert!(bomb.attempt(&[key[0] + 1]).unwrap().exploded);
+        }
+    }
+
+    #[test]
+    fn multi_phase_partial_progress() {
+        let bomb = Bomb::new(vec![
+            Phase::Equals(1),
+            Phase::Equals(2),
+            Phase::Equals(3),
+        ]);
+        // Defuse two phases, explode on the third.
+        let out = bomb.attempt(&[1, 2, 999]).unwrap();
+        assert_eq!(out.phases_defused, 2);
+        assert!(out.exploded);
+        // Full key wins.
+        let out = bomb.attempt(&[1, 2, 3]).unwrap();
+        assert!(out.fully_defused);
+        assert_eq!(out.phases_defused, 3);
+    }
+
+    #[test]
+    fn insufficient_input_is_not_an_explosion() {
+        let bomb = Bomb::new(vec![Phase::Equals(1), Phase::Equals(2)]);
+        let out = bomb.attempt(&[1]).unwrap();
+        assert_eq!(out.phases_defused, 1);
+        assert!(!out.exploded && !out.fully_defused);
+    }
+
+    #[test]
+    fn generated_bombs_solvable_and_distinct() {
+        let a = Bomb::generate(1, 4);
+        let b = Bomb::generate(2, 4);
+        assert!(a.attempt(&a.answer_key()).unwrap().fully_defused);
+        assert!(b.attempt(&b.answer_key()).unwrap().fully_defused);
+        assert_ne!(a.phases(), b.phases(), "seeds should differ");
+        // Cross keys should (almost surely) explode.
+        assert!(!a.attempt(&b.answer_key()).unwrap().fully_defused);
+    }
+
+    #[test]
+    fn same_seed_same_bomb() {
+        let a = Bomb::generate(99, 3);
+        let b = Bomb::generate(99, 3);
+        assert_eq!(a.phases(), b.phases());
+    }
+}

@@ -1,0 +1,391 @@
+//! A small expression compiler targeting PDC-1 — the CS75 hook.
+//!
+//! The paper's plan for Compilers adds "content on compiler optimization
+//! ... for super-scalar, multi-core and SMP systems". This module is the
+//! sequential foundation of that unit: an expression AST, a code
+//! generator for the PDC-1 stack machine, and three classic optimization
+//! passes whose payoff is *measured* (instruction counts and executed
+//! steps), not asserted:
+//!
+//! * **constant folding** — evaluate constant subtrees at compile time;
+//! * **algebraic simplification** — `x+0`, `x*1`, `x*0`, `x-x`, double
+//!   negation;
+//! * **strength reduction** — `x * 2^k` → `x << k`.
+//!
+//! Correctness is checked by comparing the optimized program's output
+//! against a reference interpreter on many inputs (and the unoptimized
+//! program, which must agree everywhere it does not trap).
+
+use crate::isa::{Instr, Program, Vm, VmError};
+use std::collections::HashMap;
+
+/// Expression AST over `n` integer input variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Input variable by index.
+    Var(u32),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructors.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    /// `-a`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+
+    /// The number of variables referenced (max index + 1).
+    pub fn num_vars(&self) -> u32 {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(i) => i + 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.num_vars().max(b.num_vars())
+            }
+            Expr::Neg(a) => a.num_vars(),
+        }
+    }
+
+    /// Reference interpreter (wrapping arithmetic, like the VM).
+    pub fn eval(&self, vars: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => vars[*i as usize],
+            Expr::Add(a, b) => a.eval(vars).wrapping_add(b.eval(vars)),
+            Expr::Sub(a, b) => a.eval(vars).wrapping_sub(b.eval(vars)),
+            Expr::Mul(a, b) => a.eval(vars).wrapping_mul(b.eval(vars)),
+            Expr::Neg(a) => a.eval(vars).wrapping_neg(),
+        }
+    }
+
+    /// Node count (for optimizer metrics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => 1 + a.size() + b.size(),
+            Expr::Neg(a) => 1 + a.size(),
+        }
+    }
+}
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Straight postorder code generation.
+    O0,
+    /// Constant folding + algebraic simplification + strength reduction.
+    O1,
+}
+
+/// The optimizer: one bottom-up rewriting pass to fixpoint.
+pub fn optimize(e: &Expr) -> Expr {
+    let mut cur = rewrite(e);
+    loop {
+        let next = rewrite(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn rewrite(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) => e.clone(),
+        Expr::Neg(a) => {
+            let a = rewrite(a);
+            match a {
+                Expr::Const(c) => Expr::Const(c.wrapping_neg()),
+                // --x = x
+                Expr::Neg(inner) => *inner,
+                other => Expr::neg(other),
+            }
+        }
+        Expr::Add(a, b) => {
+            let (a, b) = (rewrite(a), rewrite(b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_add(*y)),
+                (Expr::Const(0), _) => b,
+                (_, Expr::Const(0)) => a,
+                _ => Expr::add(a, b),
+            }
+        }
+        Expr::Sub(a, b) => {
+            let (a, b) = (rewrite(a), rewrite(b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_sub(*y)),
+                (_, Expr::Const(0)) => a,
+                // x - x = 0 (syntactic equality is sound: Expr is pure).
+                _ if a == b => Expr::Const(0),
+                _ => Expr::sub(a, b),
+            }
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (rewrite(a), rewrite(b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_mul(*y)),
+                (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
+                (Expr::Const(1), _) => b,
+                (_, Expr::Const(1)) => a,
+                _ => Expr::mul(a, b),
+            }
+        }
+    }
+}
+
+/// Compile `expr` into a PDC-1 program: a prologue reads each variable
+/// from the input stream into memory, the body evaluates the expression
+/// on the stack, and the epilogue `out`s the result and halts. Strength
+/// reduction (`x * 2^k` → shifts) happens at code generation under O1.
+pub fn compile(expr: &Expr, level: OptLevel) -> Program {
+    let expr = match level {
+        OptLevel::O0 => expr.clone(),
+        OptLevel::O1 => optimize(expr),
+    };
+    let nvars = expr.num_vars();
+    let mut code = Vec::new();
+    // Prologue: mem[i] = input i.
+    for i in 0..nvars {
+        code.push(Instr::In);
+        code.push(Instr::Push(i64::from(i)));
+        code.push(Instr::Store);
+    }
+    emit(&expr, level, &mut code);
+    code.push(Instr::Out);
+    code.push(Instr::Halt);
+    Program {
+        code,
+        labels: HashMap::new(),
+    }
+}
+
+fn emit(e: &Expr, level: OptLevel, code: &mut Vec<Instr>) {
+    match e {
+        Expr::Const(c) => code.push(Instr::Push(*c)),
+        Expr::Var(i) => {
+            code.push(Instr::Push(i64::from(*i)));
+            code.push(Instr::Load);
+        }
+        Expr::Add(a, b) => {
+            emit(a, level, code);
+            emit(b, level, code);
+            code.push(Instr::Add);
+        }
+        Expr::Sub(a, b) => {
+            emit(a, level, code);
+            emit(b, level, code);
+            code.push(Instr::Sub);
+        }
+        Expr::Mul(a, b) => {
+            // Strength reduction at O1: multiply by 2^k becomes a shift.
+            if level == OptLevel::O1 {
+                let (shiftee, k) = match (&**a, &**b) {
+                    (Expr::Const(c), x) if c.count_ones() == 1 && *c > 0 => {
+                        (Some(x), c.trailing_zeros())
+                    }
+                    (x, Expr::Const(c)) if c.count_ones() == 1 && *c > 0 => {
+                        (Some(x), c.trailing_zeros())
+                    }
+                    _ => (None, 0),
+                };
+                if let Some(x) = shiftee {
+                    emit(x, level, code);
+                    code.push(Instr::Push(i64::from(k)));
+                    code.push(Instr::Shl);
+                    return;
+                }
+            }
+            emit(a, level, code);
+            emit(b, level, code);
+            code.push(Instr::Mul);
+        }
+        Expr::Neg(a) => {
+            emit(a, level, code);
+            code.push(Instr::Neg);
+        }
+    }
+}
+
+/// Compile, run on `inputs`, and return `(result, executed_steps)`.
+pub fn compile_and_run(
+    expr: &Expr,
+    level: OptLevel,
+    inputs: &[i64],
+) -> Result<(i64, u64), VmError> {
+    let prog = compile(expr, level);
+    let nvars = expr.num_vars() as usize;
+    assert!(inputs.len() >= nvars, "need {nvars} inputs");
+    let mut vm = Vm::new(prog, nvars.max(1)).with_input(inputs.iter().copied());
+    vm.run(1_000_000)?;
+    Ok((vm.output[0], vm.steps()))
+}
+
+/// A deterministic random expression (for differential testing).
+pub fn random_expr(seed: u64, depth: u32, nvars: u32) -> Expr {
+    fn go(state: &mut u64, depth: u32, nvars: u32) -> Expr {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = *state >> 33;
+        if depth == 0 || r % 5 == 0 {
+            if r % 2 == 0 && nvars > 0 {
+                Expr::Var((r >> 8) as u32 % nvars)
+            } else {
+                // Small constants keep products from always wrapping, and
+                // include the strength-reduction-friendly powers of two.
+                let consts = [-3i64, -1, 0, 1, 2, 3, 4, 7, 8, 16];
+                Expr::Const(consts[(r >> 8) as usize % consts.len()])
+            }
+        } else {
+            let a = go(state, depth - 1, nvars);
+            let b = go(state, depth - 1, nvars);
+            match r % 4 {
+                0 => Expr::add(a, b),
+                1 => Expr::sub(a, b),
+                2 => Expr::mul(a, b),
+                _ => Expr::neg(a),
+            }
+        }
+    }
+    let mut state = seed | 1;
+    go(&mut state, depth, nvars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Expr {
+        Expr::Var(0)
+    }
+    fn y() -> Expr {
+        Expr::Var(1)
+    }
+    fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    #[test]
+    fn basic_compile_and_run() {
+        // (x + 3) * (y - 1)
+        let e = Expr::mul(Expr::add(x(), c(3)), Expr::sub(y(), c(1)));
+        let (r, _) = compile_and_run(&e, OptLevel::O0, &[5, 10]).unwrap();
+        assert_eq!(r, 8 * 9);
+    }
+
+    #[test]
+    fn constant_folding_collapses_to_one_push() {
+        // (2 + 3) * (10 - 4) = 30 with no runtime arithmetic.
+        let e = Expr::mul(Expr::add(c(2), c(3)), Expr::sub(c(10), c(4)));
+        let prog = compile(&e, OptLevel::O1);
+        assert_eq!(prog.code, vec![Instr::Push(30), Instr::Out, Instr::Halt]);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        assert_eq!(optimize(&Expr::add(x(), c(0))), x());
+        assert_eq!(optimize(&Expr::mul(x(), c(1))), x());
+        assert_eq!(optimize(&Expr::mul(x(), c(0))), c(0));
+        assert_eq!(optimize(&Expr::sub(x(), x())), c(0));
+        assert_eq!(optimize(&Expr::neg(Expr::neg(x()))), x());
+        // Nested: ((x*1) + 0) - (x - x) = x.
+        let e = Expr::sub(
+            Expr::add(Expr::mul(x(), c(1)), c(0)),
+            Expr::sub(x(), x()),
+        );
+        assert_eq!(optimize(&e), x());
+    }
+
+    #[test]
+    fn strength_reduction_emits_shift() {
+        let e = Expr::mul(x(), c(8));
+        let prog = compile(&e, OptLevel::O1);
+        assert!(
+            prog.code.contains(&Instr::Shl),
+            "expected a shift: {:?}",
+            prog.code
+        );
+        assert!(!prog.code.contains(&Instr::Mul));
+        let (r, _) = compile_and_run(&e, OptLevel::O1, &[-7]).unwrap();
+        assert_eq!(r, -56, "shift must preserve two's-complement semantics");
+    }
+
+    #[test]
+    fn o1_never_slower_and_often_faster() {
+        for seed in 0..30u64 {
+            let e = random_expr(seed, 4, 2);
+            let inputs = [(seed as i64 % 13) - 6, (seed as i64 % 7) - 3];
+            let (r0, s0) = compile_and_run(&e, OptLevel::O0, &inputs).unwrap();
+            let (r1, s1) = compile_and_run(&e, OptLevel::O1, &inputs).unwrap();
+            assert_eq!(r0, r1, "seed {seed}: optimizer changed semantics");
+            assert!(s1 <= s0, "seed {seed}: O1 ({s1}) slower than O0 ({s0})");
+        }
+    }
+
+    #[test]
+    fn differential_vs_interpreter_many_inputs() {
+        for seed in 0..20u64 {
+            let e = random_expr(seed.wrapping_mul(77), 5, 3);
+            for trial in 0..10i64 {
+                let inputs = [trial - 5, trial * 3 - 7, -trial];
+                let want = e.eval(&inputs);
+                let (got, _) = compile_and_run(&e, OptLevel::O1, &inputs).unwrap();
+                assert_eq!(got, want, "seed {seed}, trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_shrinks_random_expressions() {
+        let mut shrunk = 0;
+        for seed in 0..40u64 {
+            let e = random_expr(seed, 5, 2);
+            let o = optimize(&e);
+            assert!(o.size() <= e.size(), "optimizer grew the tree");
+            if o.size() < e.size() {
+                shrunk += 1;
+            }
+        }
+        assert!(shrunk > 10, "optimizer should fire often, got {shrunk}");
+    }
+
+    #[test]
+    fn wrapping_semantics_preserved() {
+        let e = Expr::mul(x(), x());
+        let (r, _) = compile_and_run(&e, OptLevel::O1, &[i64::MAX]).unwrap();
+        assert_eq!(r, i64::MAX.wrapping_mul(i64::MAX));
+        // Folding a wrapping constant product.
+        let e = Expr::mul(c(i64::MAX), c(3));
+        assert_eq!(optimize(&e), c(i64::MAX.wrapping_mul(3)));
+    }
+
+    #[test]
+    fn num_vars_and_prologue() {
+        let e = Expr::add(Expr::Var(2), c(1));
+        assert_eq!(e.num_vars(), 3);
+        let prog = compile(&e, OptLevel::O0);
+        // Three In instructions in the prologue.
+        let ins = prog.code.iter().filter(|i| matches!(i, Instr::In)).count();
+        assert_eq!(ins, 3);
+        let (r, _) = compile_and_run(&e, OptLevel::O0, &[9, 9, 41]).unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,422 @@
+//! Binary data representation: the CS31 "Data Representation" lab.
+//!
+//! Conversions between decimal, binary, and hex; two's-complement
+//! encoding/decoding at arbitrary widths up to 64 bits; sign extension;
+//! and overflow-detecting arithmetic with the precise semantics students
+//! must learn (signed overflow = operands same sign, result different;
+//! unsigned overflow = carry out).
+
+/// Errors from parsing or range-checking representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepError {
+    /// The value does not fit in the requested bit width.
+    OutOfRange {
+        /// The offending value.
+        value: i128,
+        /// The width it was supposed to fit.
+        bits: u32,
+    },
+    /// A string could not be parsed as a number in the given base.
+    Parse(String),
+    /// Requested width outside 1..=64.
+    BadWidth(u32),
+}
+
+impl std::fmt::Display for RepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepError::OutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+            RepError::Parse(s) => write!(f, "cannot parse {s:?}"),
+            RepError::BadWidth(b) => write!(f, "bit width {b} not in 1..=64"),
+        }
+    }
+}
+
+impl std::error::Error for RepError {}
+
+fn check_width(bits: u32) -> Result<(), RepError> {
+    if (1..=64).contains(&bits) {
+        Ok(())
+    } else {
+        Err(RepError::BadWidth(bits))
+    }
+}
+
+/// Smallest signed value representable in `bits` bits (two's complement).
+pub fn signed_min(bits: u32) -> i64 {
+    check_width(bits).expect("bad width");
+    if bits == 64 {
+        i64::MIN
+    } else {
+        -(1i64 << (bits - 1))
+    }
+}
+
+/// Largest signed value representable in `bits` bits.
+pub fn signed_max(bits: u32) -> i64 {
+    check_width(bits).expect("bad width");
+    if bits == 64 {
+        i64::MAX
+    } else {
+        (1i64 << (bits - 1)) - 1
+    }
+}
+
+/// Largest unsigned value representable in `bits` bits.
+pub fn unsigned_max(bits: u32) -> u64 {
+    check_width(bits).expect("bad width");
+    if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Encode a signed value into its two's-complement bit pattern at the
+/// given width.
+pub fn to_twos_complement(value: i64, bits: u32) -> Result<u64, RepError> {
+    check_width(bits)?;
+    if value < signed_min(bits) || value > signed_max(bits) {
+        return Err(RepError::OutOfRange {
+            value: value as i128,
+            bits,
+        });
+    }
+    Ok((value as u64) & unsigned_max(bits))
+}
+
+/// Decode a `bits`-wide two's-complement bit pattern into a signed value.
+///
+/// Bits above `bits` in `pattern` must be zero.
+pub fn from_twos_complement(pattern: u64, bits: u32) -> Result<i64, RepError> {
+    check_width(bits)?;
+    if pattern > unsigned_max(bits) {
+        return Err(RepError::OutOfRange {
+            value: pattern as i128,
+            bits,
+        });
+    }
+    let sign_bit = 1u64 << (bits - 1);
+    if pattern & sign_bit != 0 {
+        // Negative: subtract 2^bits, in wrapping u64 arithmetic so the
+        // computation is well-defined at every width up to 64 (at
+        // bits = 63 the i64 literal `1 << 63` would itself overflow).
+        if bits == 64 {
+            Ok(pattern as i64)
+        } else {
+            Ok(pattern.wrapping_sub(1u64 << bits) as i64)
+        }
+    } else {
+        Ok(pattern as i64)
+    }
+}
+
+/// Sign-extend a `from_bits`-wide pattern to `to_bits` wide.
+pub fn sign_extend(pattern: u64, from_bits: u32, to_bits: u32) -> Result<u64, RepError> {
+    check_width(from_bits)?;
+    check_width(to_bits)?;
+    if to_bits < from_bits {
+        return Err(RepError::BadWidth(to_bits));
+    }
+    let v = from_twos_complement(pattern, from_bits)?;
+    to_twos_complement(v, to_bits)
+}
+
+/// Zero-extend a `from_bits`-wide pattern to `to_bits` wide (identity on
+/// the pattern, but validates ranges).
+pub fn zero_extend(pattern: u64, from_bits: u32, to_bits: u32) -> Result<u64, RepError> {
+    check_width(from_bits)?;
+    check_width(to_bits)?;
+    if to_bits < from_bits || pattern > unsigned_max(from_bits) {
+        return Err(RepError::OutOfRange {
+            value: pattern as i128,
+            bits: from_bits,
+        });
+    }
+    Ok(pattern)
+}
+
+/// Truncate a pattern to `bits` wide (the C cast-to-smaller-type rule).
+pub fn truncate(pattern: u64, bits: u32) -> u64 {
+    check_width(bits).expect("bad width");
+    pattern & unsigned_max(bits)
+}
+
+/// Render a pattern as a binary string of exactly `bits` digits,
+/// grouped in nibbles: `1010_0101`.
+pub fn to_binary_string(pattern: u64, bits: u32) -> String {
+    check_width(bits).expect("bad width");
+    let mut s = String::new();
+    for i in (0..bits).rev() {
+        s.push(if pattern >> i & 1 == 1 { '1' } else { '0' });
+        if i != 0 && i % 4 == 0 {
+            s.push('_');
+        }
+    }
+    s
+}
+
+/// Render a pattern as `0x`-prefixed hex with `bits/4` (rounded up) digits.
+pub fn to_hex_string(pattern: u64, bits: u32) -> String {
+    check_width(bits).expect("bad width");
+    let digits = bits.div_ceil(4) as usize;
+    format!("0x{pattern:0digits$x}")
+}
+
+/// Parse a numeric literal in any of the lab's accepted forms:
+/// decimal (`-42`), hex (`0x2A`), or binary (`0b101010`, underscores ok).
+pub fn parse_literal(s: &str) -> Result<i64, RepError> {
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let mag: u64 = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+            .map_err(|_| RepError::Parse(s.to_string()))?
+    } else if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        u64::from_str_radix(&bin.replace('_', ""), 2).map_err(|_| RepError::Parse(s.to_string()))?
+    } else {
+        t.replace('_', "")
+            .parse()
+            .map_err(|_| RepError::Parse(s.to_string()))?
+    };
+    // Magnitude fits i64, except that -2^63 is also representable.
+    if neg {
+        if mag > 1u64 << 63 {
+            return Err(RepError::OutOfRange {
+                value: -(mag as i128),
+                bits: 64,
+            });
+        }
+        Ok((mag as i64).wrapping_neg())
+    } else {
+        i64::try_from(mag).map_err(|_| RepError::OutOfRange {
+            value: mag as i128,
+            bits: 64,
+        })
+    }
+}
+
+/// Result of a width-limited arithmetic operation, carrying the condition
+/// information students must reason about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArithResult {
+    /// The truncated result bit pattern.
+    pub pattern: u64,
+    /// Carry out of the most significant bit (unsigned overflow on add).
+    pub carry: bool,
+    /// Signed (two's-complement) overflow.
+    pub overflow: bool,
+}
+
+/// Add two `bits`-wide patterns with full carry/overflow semantics.
+pub fn add_with_flags(a: u64, b: u64, bits: u32) -> ArithResult {
+    check_width(bits).expect("bad width");
+    debug_assert!(a <= unsigned_max(bits) && b <= unsigned_max(bits));
+    let wide = a as u128 + b as u128;
+    let pattern = truncate(wide as u64, bits);
+    let carry = wide > unsigned_max(bits) as u128;
+    let sign = 1u64 << (bits - 1);
+    // Signed overflow: operands share a sign and the result's differs.
+    let overflow = (a & sign) == (b & sign) && (pattern & sign) != (a & sign);
+    ArithResult {
+        pattern,
+        carry,
+        overflow,
+    }
+}
+
+/// Subtract (`a - b`) at width `bits`: implemented as `a + ~b + 1`, the way
+/// the ALU lab builds it. `carry` is the *borrow-free* flag (carry out of
+/// the adder), matching x86 semantics where CF=1 means borrow on SUB is 0.
+pub fn sub_with_flags(a: u64, b: u64, bits: u32) -> ArithResult {
+    check_width(bits).expect("bad width");
+    let not_b = truncate(!b, bits);
+    let step = add_with_flags(a, not_b, bits);
+    let step2 = add_with_flags(step.pattern, 1, bits);
+    let pattern = step2.pattern;
+    let carry = step.carry || step2.carry;
+    let sign = 1u64 << (bits - 1);
+    // Signed overflow for a - b: a and b differ in sign and result has b's sign.
+    let overflow = (a & sign) != (b & sign) && (pattern & sign) == (b & sign);
+    ArithResult {
+        pattern,
+        carry,
+        overflow,
+    }
+}
+
+/// Count set bits with the classic shift-and-mask loop from the lab
+/// (deliberately not `count_ones`, so students can compare).
+pub fn popcount_loop(mut pattern: u64) -> u32 {
+    let mut n = 0;
+    while pattern != 0 {
+        n += (pattern & 1) as u32;
+        pattern >>= 1;
+    }
+    n
+}
+
+/// Is the pattern a power of two? (`x != 0 && (x & (x-1)) == 0`, the bit
+/// trick taught in the bit-compare lab.)
+pub fn is_power_of_two(pattern: u64) -> bool {
+    pattern != 0 && pattern & (pattern - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_by_width() {
+        assert_eq!(signed_min(8), -128);
+        assert_eq!(signed_max(8), 127);
+        assert_eq!(unsigned_max(8), 255);
+        assert_eq!(signed_min(64), i64::MIN);
+        assert_eq!(signed_max(64), i64::MAX);
+        assert_eq!(unsigned_max(64), u64::MAX);
+        assert_eq!(signed_min(1), -1);
+        assert_eq!(signed_max(1), 0);
+    }
+
+    #[test]
+    fn twos_complement_roundtrip_8bit() {
+        for v in -128i64..=127 {
+            let p = to_twos_complement(v, 8).unwrap();
+            assert!(p <= 255);
+            assert_eq!(from_twos_complement(p, 8).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(to_twos_complement(-1, 8).unwrap(), 0xFF);
+        assert_eq!(to_twos_complement(-128, 8).unwrap(), 0x80);
+        assert_eq!(from_twos_complement(0x80, 8).unwrap(), -128);
+        assert_eq!(from_twos_complement(0x7F, 8).unwrap(), 127);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            to_twos_complement(128, 8),
+            Err(RepError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            to_twos_complement(-129, 8),
+            Err(RepError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sign_extension() {
+        // 0xFF as 8-bit -1 extends to 16-bit 0xFFFF.
+        assert_eq!(sign_extend(0xFF, 8, 16).unwrap(), 0xFFFF);
+        // 0x7F stays 0x007F.
+        assert_eq!(sign_extend(0x7F, 8, 16).unwrap(), 0x007F);
+        // Zero-extension never fills ones.
+        assert_eq!(zero_extend(0xFF, 8, 16).unwrap(), 0x00FF);
+    }
+
+    #[test]
+    fn truncation_is_c_cast() {
+        // (u8)0x1FF == 0xFF
+        assert_eq!(truncate(0x1FF, 8), 0xFF);
+        // casting -1 i16 -> i8 keeps -1.
+        let p16 = to_twos_complement(-1, 16).unwrap();
+        let p8 = truncate(p16, 8);
+        assert_eq!(from_twos_complement(p8, 8).unwrap(), -1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(to_binary_string(0xA5, 8), "1010_0101");
+        assert_eq!(to_hex_string(0xA5, 8), "0xa5");
+        assert_eq!(to_hex_string(0x5, 4), "0x5");
+        assert_eq!(to_binary_string(5, 4), "0101");
+        assert_eq!(to_hex_string(0xBEEF, 16), "0xbeef");
+    }
+
+    #[test]
+    fn parse_all_bases() {
+        assert_eq!(parse_literal("42").unwrap(), 42);
+        assert_eq!(parse_literal("-42").unwrap(), -42);
+        assert_eq!(parse_literal("0x2A").unwrap(), 42);
+        assert_eq!(parse_literal("0b10_1010").unwrap(), 42);
+        assert_eq!(parse_literal("-0x2a").unwrap(), -42);
+        assert!(parse_literal("0xZZ").is_err());
+        assert!(parse_literal("").is_err());
+    }
+
+    #[test]
+    fn add_flags_unsigned_overflow() {
+        let r = add_with_flags(0xFF, 0x01, 8);
+        assert_eq!(r.pattern, 0x00);
+        assert!(r.carry, "255 + 1 carries at 8 bits");
+        assert!(!r.overflow, "-1 + 1 = 0 has no signed overflow");
+    }
+
+    #[test]
+    fn add_flags_signed_overflow() {
+        // 127 + 1 = -128: signed overflow, no carry.
+        let r = add_with_flags(0x7F, 0x01, 8);
+        assert_eq!(from_twos_complement(r.pattern, 8).unwrap(), -128);
+        assert!(r.overflow);
+        assert!(!r.carry);
+        // -128 + -1 = +127: overflow and carry.
+        let r = add_with_flags(0x80, 0xFF, 8);
+        assert_eq!(from_twos_complement(r.pattern, 8).unwrap(), 127);
+        assert!(r.overflow);
+        assert!(r.carry);
+    }
+
+    #[test]
+    fn sub_flags() {
+        // 5 - 3 = 2, no borrow (carry set in x86 convention), no overflow.
+        let r = sub_with_flags(5, 3, 8);
+        assert_eq!(r.pattern, 2);
+        assert!(r.carry);
+        assert!(!r.overflow);
+        // 3 - 5 = -2 with borrow (carry clear).
+        let r = sub_with_flags(3, 5, 8);
+        assert_eq!(from_twos_complement(r.pattern, 8).unwrap(), -2);
+        assert!(!r.carry);
+        assert!(!r.overflow);
+        // -128 - 1 overflows to +127.
+        let r = sub_with_flags(0x80, 0x01, 8);
+        assert_eq!(from_twos_complement(r.pattern, 8).unwrap(), 127);
+        assert!(r.overflow);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_semantics_exhaustive_8bit() {
+        for a in 0u64..=255 {
+            for b in 0u64..=255 {
+                let r = sub_with_flags(a, b, 8);
+                assert_eq!(r.pattern, (a.wrapping_sub(b)) & 0xFF, "{a} - {b}");
+                // Carry in x86 SUB convention: set iff no borrow (a >= b).
+                assert_eq!(r.carry, a >= b, "borrow for {a} - {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_and_power_of_two() {
+        for x in [0u64, 1, 2, 3, 0xFF, 0xA5A5, u64::MAX] {
+            assert_eq!(popcount_loop(x), x.count_ones());
+        }
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1 << 63));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad width")]
+    fn zero_width_panics() {
+        truncate(1, 0);
+    }
+}

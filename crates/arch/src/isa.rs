@@ -1,0 +1,930 @@
+//! PDC-1: a small stack-machine ISA with assembler, disassembler, and VM.
+//!
+//! CS31's assembly content (reading/tracing assembly, the stack, function
+//! call mechanics) used IA32; reproducing that content does not require
+//! x86 — it requires *an* ISA whose programs students can assemble, trace
+//! instruction by instruction, and inspect the call stack of. PDC-1 is
+//! that ISA: a word-addressed stack machine with explicit call frames.
+//!
+//! ## Assembly syntax
+//!
+//! One instruction per line; `;` starts a comment; `label:` defines a
+//! label; operands are numeric literals (decimal/hex/binary, see
+//! [`crate::datarep::parse_literal`]) or label names.
+//!
+//! ```text
+//! ; sum 1..n, n on top of stack at entry
+//!         push 0        ; acc
+//! loop:   over          ; n acc n
+//!         jz done
+//!         over          ; n acc n
+//!         add           ; n acc+n
+//!         swap
+//!         push 1
+//!         sub           ; n-1
+//!         swap
+//!         jmp loop
+//! done:   swap
+//!         pop
+//!         halt
+//! ```
+
+use crate::datarep::parse_literal;
+use std::collections::HashMap;
+
+/// One PDC-1 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an immediate.
+    Push(i64),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two entries.
+    Swap,
+    /// Copy the second entry to the top (`a b -> a b a`).
+    Over,
+    /// Pop b, a; push a + b (wrapping).
+    Add,
+    /// Pop b, a; push a - b (wrapping).
+    Sub,
+    /// Pop b, a; push a * b (wrapping).
+    Mul,
+    /// Pop b, a; push a / b (traps on zero or overflow).
+    Div,
+    /// Pop b, a; push a % b (traps on zero).
+    Mod,
+    /// Negate the top of stack (wrapping).
+    Neg,
+    /// Pop b, a; push a & b.
+    And,
+    /// Pop b, a; push a | b.
+    Or,
+    /// Pop b, a; push a ^ b.
+    Xor,
+    /// Bitwise NOT of the top of stack.
+    Not,
+    /// Pop b, a; push a << (b & 63).
+    Shl,
+    /// Pop b, a; push ((a as u64) >> (b & 63)) as i64 (logical).
+    Shr,
+    /// Pop b, a; push 1 if a == b else 0.
+    Eq,
+    /// Pop b, a; push 1 if a < b else 0 (signed).
+    Lt,
+    /// Pop b, a; push 1 if a > b else 0 (signed).
+    Gt,
+    /// Pop address; push `mem[addr]`.
+    Load,
+    /// Pop address, then value; `mem[addr] = value`.
+    Store,
+    /// Push the value of local slot `n` of the current frame.
+    LoadLocal(u32),
+    /// Pop into local slot `n` of the current frame.
+    StoreLocal(u32),
+    /// Unconditional jump to code address.
+    Jmp(u32),
+    /// Pop; jump if zero.
+    Jz(u32),
+    /// Pop; jump if nonzero.
+    Jnz(u32),
+    /// Call a function at a code address, creating a frame with `locals`
+    /// local slots.
+    Call(u32, u32),
+    /// Return to the caller (frame is torn down; top of stack, if the
+    /// callee left one more value than it was given, is the return value).
+    Ret,
+    /// Pop and append to the output stream.
+    Out,
+    /// Read the next input value and push it (traps when exhausted).
+    In,
+    /// Do nothing.
+    Nop,
+    /// Stop execution successfully.
+    Halt,
+}
+
+/// An assembled program: instructions plus the label map (for tooling).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction sequence.
+    pub code: Vec<Instr>,
+    /// Label name → code address.
+    pub labels: HashMap<String, u32>,
+}
+
+/// Errors from assembling PDC-1 source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic at a source line.
+    UnknownMnemonic {
+        /// 1-based line number.
+        line: usize,
+        /// The mnemonic text.
+        text: String,
+    },
+    /// Operand missing or malformed.
+    BadOperand {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        what: String,
+    },
+    /// A jump/call referenced an undefined label.
+    UndefinedLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, text } => {
+                write!(f, "line {line}: unknown mnemonic {text:?}")
+            }
+            AsmError::BadOperand { line, what } => write!(f, "line {line}: {what}"),
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label {label:?}")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum PendingOperand {
+    None,
+    Imm(i64),
+    Target(String, usize), // label or address text + line for errors
+    CallTarget(String, u32, usize),
+    Slot(u32),
+}
+
+/// Assemble PDC-1 source into a [`Program`] (two passes: collect labels,
+/// then resolve).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut items: Vec<(usize, String, PendingOperand)> = Vec::new();
+
+    // Pass 1: strip comments, record labels, collect (mnemonic, operand).
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(idx) = text.find(';') {
+            text = &text[..idx];
+        }
+        let mut rest = text.trim();
+        // Possibly several labels on one line ("a: b: instr").
+        while let Some(colon) = rest.find(':') {
+            let (lbl, tail) = rest.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || lbl.contains(char::is_whitespace) {
+                break; // not a label; leave for mnemonic parsing
+            }
+            if labels
+                .insert(lbl.to_string(), items.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: lbl.to_string(),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.split_whitespace();
+        let mnem = parts.next().unwrap().to_ascii_lowercase();
+        let op1 = parts.next().map(str::to_string);
+        let op2 = parts.next().map(str::to_string);
+        let operand = match (mnem.as_str(), op1, op2) {
+            ("push", Some(o), None) => {
+                PendingOperand::Imm(parse_literal(&o).map_err(|_| AsmError::BadOperand {
+                    line,
+                    what: format!("bad immediate {o:?}"),
+                })?)
+            }
+            ("jmp" | "jz" | "jnz", Some(o), None) => PendingOperand::Target(o, line),
+            ("call", Some(o), locals) => {
+                let n = match locals {
+                    Some(l) => parse_literal(&l).map_err(|_| AsmError::BadOperand {
+                        line,
+                        what: format!("bad locals count {l:?}"),
+                    })? as u32,
+                    None => 0,
+                };
+                PendingOperand::CallTarget(o, n, line)
+            }
+            ("loadl" | "storel", Some(o), None) => {
+                let n = parse_literal(&o).map_err(|_| AsmError::BadOperand {
+                    line,
+                    what: format!("bad slot {o:?}"),
+                })?;
+                if n < 0 {
+                    return Err(AsmError::BadOperand {
+                        line,
+                        what: format!("negative slot {n}"),
+                    });
+                }
+                PendingOperand::Slot(n as u32)
+            }
+            (_, None, None) => PendingOperand::None,
+            (_, None, Some(_)) => unreachable!("second operand without a first"),
+            (_, Some(o), _) => {
+                return Err(AsmError::BadOperand {
+                    line,
+                    what: format!("unexpected operand {o:?} for {mnem}"),
+                })
+            }
+        };
+        items.push((line, mnem, operand));
+    }
+
+    // Pass 2: resolve.
+    let resolve = |name: &str, line: usize, labels: &HashMap<String, u32>| -> Result<u32, AsmError> {
+        if let Some(&a) = labels.get(name) {
+            return Ok(a);
+        }
+        parse_literal(name)
+            .ok()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| AsmError::UndefinedLabel {
+                line,
+                label: name.to_string(),
+            })
+    };
+
+    let mut code = Vec::with_capacity(items.len());
+    for (line, mnem, operand) in items {
+        let instr = match (mnem.as_str(), operand) {
+            ("push", PendingOperand::Imm(v)) => Instr::Push(v),
+            ("pop", _) => Instr::Pop,
+            ("dup", _) => Instr::Dup,
+            ("swap", _) => Instr::Swap,
+            ("over", _) => Instr::Over,
+            ("add", _) => Instr::Add,
+            ("sub", _) => Instr::Sub,
+            ("mul", _) => Instr::Mul,
+            ("div", _) => Instr::Div,
+            ("mod", _) => Instr::Mod,
+            ("neg", _) => Instr::Neg,
+            ("and", _) => Instr::And,
+            ("or", _) => Instr::Or,
+            ("xor", _) => Instr::Xor,
+            ("not", _) => Instr::Not,
+            ("shl", _) => Instr::Shl,
+            ("shr", _) => Instr::Shr,
+            ("eq", _) => Instr::Eq,
+            ("lt", _) => Instr::Lt,
+            ("gt", _) => Instr::Gt,
+            ("load", _) => Instr::Load,
+            ("store", _) => Instr::Store,
+            ("loadl", PendingOperand::Slot(n)) => Instr::LoadLocal(n),
+            ("storel", PendingOperand::Slot(n)) => Instr::StoreLocal(n),
+            ("jmp", PendingOperand::Target(t, l)) => Instr::Jmp(resolve(&t, l, &labels)?),
+            ("jz", PendingOperand::Target(t, l)) => Instr::Jz(resolve(&t, l, &labels)?),
+            ("jnz", PendingOperand::Target(t, l)) => Instr::Jnz(resolve(&t, l, &labels)?),
+            ("call", PendingOperand::CallTarget(t, n, l)) => {
+                Instr::Call(resolve(&t, l, &labels)?, n)
+            }
+            ("ret", _) => Instr::Ret,
+            ("out", _) => Instr::Out,
+            ("in", _) => Instr::In,
+            ("nop", _) => Instr::Nop,
+            ("halt", _) => Instr::Halt,
+            ("jmp" | "jz" | "jnz" | "call", _) => {
+                return Err(AsmError::BadOperand {
+                    line,
+                    what: format!("{mnem} requires a target"),
+                })
+            }
+            ("loadl" | "storel", _) => {
+                return Err(AsmError::BadOperand {
+                    line,
+                    what: format!("{mnem} requires a slot number"),
+                })
+            }
+            ("push", _) => {
+                return Err(AsmError::BadOperand {
+                    line,
+                    what: "push requires an immediate".into(),
+                })
+            }
+            _ => {
+                return Err(AsmError::UnknownMnemonic {
+                    line,
+                    text: mnem.clone(),
+                })
+            }
+        };
+        code.push(instr);
+    }
+    Ok(Program { code, labels })
+}
+
+/// Render one instruction as assembly text.
+pub fn disassemble(instr: Instr) -> String {
+    match instr {
+        Instr::Push(v) => format!("push {v}"),
+        Instr::Pop => "pop".into(),
+        Instr::Dup => "dup".into(),
+        Instr::Swap => "swap".into(),
+        Instr::Over => "over".into(),
+        Instr::Add => "add".into(),
+        Instr::Sub => "sub".into(),
+        Instr::Mul => "mul".into(),
+        Instr::Div => "div".into(),
+        Instr::Mod => "mod".into(),
+        Instr::Neg => "neg".into(),
+        Instr::And => "and".into(),
+        Instr::Or => "or".into(),
+        Instr::Xor => "xor".into(),
+        Instr::Not => "not".into(),
+        Instr::Shl => "shl".into(),
+        Instr::Shr => "shr".into(),
+        Instr::Eq => "eq".into(),
+        Instr::Lt => "lt".into(),
+        Instr::Gt => "gt".into(),
+        Instr::Load => "load".into(),
+        Instr::Store => "store".into(),
+        Instr::LoadLocal(n) => format!("loadl {n}"),
+        Instr::StoreLocal(n) => format!("storel {n}"),
+        Instr::Jmp(a) => format!("jmp {a}"),
+        Instr::Jz(a) => format!("jz {a}"),
+        Instr::Jnz(a) => format!("jnz {a}"),
+        Instr::Call(a, n) => format!("call {a} {n}"),
+        Instr::Ret => "ret".into(),
+        Instr::Out => "out".into(),
+        Instr::In => "in".into(),
+        Instr::Nop => "nop".into(),
+        Instr::Halt => "halt".into(),
+    }
+}
+
+/// Runtime errors (traps) of the PDC-1 VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Operand-stack underflow.
+    StackUnderflow {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// Operand-stack overflow (configured limit).
+    StackOverflow {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// Call-stack overflow (runaway recursion).
+    CallStackOverflow {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// Division by zero or `i64::MIN / -1`.
+    DivideError {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// Memory access out of bounds.
+    MemFault {
+        /// Program counter at the fault.
+        pc: u32,
+        /// The offending address.
+        addr: i64,
+    },
+    /// Local-slot index out of the frame's range.
+    LocalFault {
+        /// Program counter at the fault.
+        pc: u32,
+        /// The offending slot.
+        slot: u32,
+    },
+    /// PC ran off the end of the code without `halt`.
+    PcOutOfRange {
+        /// The bad program counter.
+        pc: u32,
+    },
+    /// `ret` with no active frame.
+    RetWithoutCall {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// `in` with the input stream exhausted.
+    InputExhausted {
+        /// Program counter at the fault.
+        pc: u32,
+    },
+    /// The step budget was exhausted (possible infinite loop).
+    FuelExhausted,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::StackUnderflow { pc } => write!(f, "stack underflow at pc {pc}"),
+            VmError::StackOverflow { pc } => write!(f, "stack overflow at pc {pc}"),
+            VmError::CallStackOverflow { pc } => write!(f, "call stack overflow at pc {pc}"),
+            VmError::DivideError { pc } => write!(f, "divide error at pc {pc}"),
+            VmError::MemFault { pc, addr } => write!(f, "memory fault at pc {pc}, addr {addr}"),
+            VmError::LocalFault { pc, slot } => write!(f, "bad local slot {slot} at pc {pc}"),
+            VmError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+            VmError::RetWithoutCall { pc } => write!(f, "ret without call at pc {pc}"),
+            VmError::InputExhausted { pc } => write!(f, "input exhausted at pc {pc}"),
+            VmError::FuelExhausted => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// One call-stack frame (visible to debugger-style inspection, the way the
+/// lab has students examine `%ebp` chains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Code address to return to.
+    pub return_pc: u32,
+    /// Operand-stack depth at entry (for unwinding).
+    pub stack_base: usize,
+    /// The frame's local variable slots.
+    pub locals: Vec<i64>,
+}
+
+/// The PDC-1 virtual machine.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Program,
+    /// Data memory (word addressed).
+    pub mem: Vec<i64>,
+    /// Operand stack.
+    pub stack: Vec<i64>,
+    /// Call stack.
+    pub frames: Vec<Frame>,
+    /// Program counter.
+    pub pc: u32,
+    input: std::collections::VecDeque<i64>,
+    /// Values emitted by `out`.
+    pub output: Vec<i64>,
+    steps: u64,
+    max_stack: usize,
+    max_frames: usize,
+    halted: bool,
+}
+
+impl Vm {
+    /// Create a VM for `program` with `mem_words` words of zeroed memory.
+    pub fn new(program: Program, mem_words: usize) -> Self {
+        Vm {
+            program,
+            mem: vec![0; mem_words],
+            stack: Vec::new(),
+            frames: Vec::new(),
+            pc: 0,
+            input: std::collections::VecDeque::new(),
+            output: Vec::new(),
+            steps: 0,
+            max_stack: 1 << 16,
+            max_frames: 1 << 12,
+            halted: false,
+        }
+    }
+
+    /// Provide the input stream consumed by `in`.
+    pub fn with_input(mut self, input: impl IntoIterator<Item = i64>) -> Self {
+        self.input = input.into_iter().collect();
+        self
+    }
+
+    /// Override the operand-stack limit.
+    pub fn with_stack_limit(mut self, limit: usize) -> Self {
+        self.max_stack = limit;
+        self
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn pop(&mut self) -> Result<i64, VmError> {
+        self.stack
+            .pop()
+            .ok_or(VmError::StackUnderflow { pc: self.pc })
+    }
+
+    fn push(&mut self, v: i64) -> Result<(), VmError> {
+        if self.stack.len() >= self.max_stack {
+            return Err(VmError::StackOverflow { pc: self.pc });
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    fn mem_index(&self, addr: i64) -> Result<usize, VmError> {
+        usize::try_from(addr)
+            .ok()
+            .filter(|&a| a < self.mem.len())
+            .ok_or(VmError::MemFault { pc: self.pc, addr })
+    }
+
+    /// Execute one instruction. Returns `Ok(true)` if the machine is still
+    /// running, `Ok(false)` after `halt`.
+    pub fn step(&mut self) -> Result<bool, VmError> {
+        if self.halted {
+            return Ok(false);
+        }
+        let instr = *self
+            .program
+            .code
+            .get(self.pc as usize)
+            .ok_or(VmError::PcOutOfRange { pc: self.pc })?;
+        self.steps += 1;
+        let mut next_pc = self.pc + 1;
+        match instr {
+            Instr::Push(v) => self.push(v)?,
+            Instr::Pop => {
+                self.pop()?;
+            }
+            Instr::Dup => {
+                let v = self.pop()?;
+                self.push(v)?;
+                self.push(v)?;
+            }
+            Instr::Swap => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b)?;
+                self.push(a)?;
+            }
+            Instr::Over => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(a)?;
+                self.push(b)?;
+                self.push(a)?;
+            }
+            Instr::Add | Instr::Sub | Instr::Mul | Instr::And | Instr::Or | Instr::Xor
+            | Instr::Shl | Instr::Shr | Instr::Eq | Instr::Lt | Instr::Gt => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                let r = match instr {
+                    Instr::Add => a.wrapping_add(b),
+                    Instr::Sub => a.wrapping_sub(b),
+                    Instr::Mul => a.wrapping_mul(b),
+                    Instr::And => a & b,
+                    Instr::Or => a | b,
+                    Instr::Xor => a ^ b,
+                    Instr::Shl => a.wrapping_shl(b as u32 & 63),
+                    Instr::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                    Instr::Eq => i64::from(a == b),
+                    Instr::Lt => i64::from(a < b),
+                    Instr::Gt => i64::from(a > b),
+                    _ => unreachable!(),
+                };
+                self.push(r)?;
+            }
+            Instr::Div | Instr::Mod => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    return Err(VmError::DivideError { pc: self.pc });
+                }
+                self.push(if matches!(instr, Instr::Div) { a / b } else { a % b })?;
+            }
+            Instr::Neg => {
+                let a = self.pop()?;
+                self.push(a.wrapping_neg())?;
+            }
+            Instr::Not => {
+                let a = self.pop()?;
+                self.push(!a)?;
+            }
+            Instr::Load => {
+                let addr = self.pop()?;
+                let idx = self.mem_index(addr)?;
+                self.push(self.mem[idx])?;
+            }
+            Instr::Store => {
+                let addr = self.pop()?;
+                let value = self.pop()?;
+                let idx = self.mem_index(addr)?;
+                self.mem[idx] = value;
+            }
+            Instr::LoadLocal(slot) => {
+                let frame = self
+                    .frames
+                    .last()
+                    .ok_or(VmError::RetWithoutCall { pc: self.pc })?;
+                let v = *frame
+                    .locals
+                    .get(slot as usize)
+                    .ok_or(VmError::LocalFault { pc: self.pc, slot })?;
+                self.push(v)?;
+            }
+            Instr::StoreLocal(slot) => {
+                let v = self.pop()?;
+                let pc = self.pc;
+                let frame = self
+                    .frames
+                    .last_mut()
+                    .ok_or(VmError::RetWithoutCall { pc })?;
+                *frame
+                    .locals
+                    .get_mut(slot as usize)
+                    .ok_or(VmError::LocalFault { pc, slot })? = v;
+            }
+            Instr::Jmp(a) => next_pc = a,
+            Instr::Jz(a) => {
+                if self.pop()? == 0 {
+                    next_pc = a;
+                }
+            }
+            Instr::Jnz(a) => {
+                if self.pop()? != 0 {
+                    next_pc = a;
+                }
+            }
+            Instr::Call(a, locals) => {
+                if self.frames.len() >= self.max_frames {
+                    return Err(VmError::CallStackOverflow { pc: self.pc });
+                }
+                self.frames.push(Frame {
+                    return_pc: next_pc,
+                    stack_base: self.stack.len(),
+                    locals: vec![0; locals as usize],
+                });
+                next_pc = a;
+            }
+            Instr::Ret => {
+                let frame = self
+                    .frames
+                    .pop()
+                    .ok_or(VmError::RetWithoutCall { pc: self.pc })?;
+                next_pc = frame.return_pc;
+            }
+            Instr::Out => {
+                let v = self.pop()?;
+                self.output.push(v);
+            }
+            Instr::In => {
+                let v = self
+                    .input
+                    .pop_front()
+                    .ok_or(VmError::InputExhausted { pc: self.pc })?;
+                self.push(v)?;
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                return Ok(false);
+            }
+        }
+        self.pc = next_pc;
+        Ok(true)
+    }
+
+    /// Run until `halt`, a trap, or `fuel` instructions have executed.
+    pub fn run(&mut self, fuel: u64) -> Result<(), VmError> {
+        for _ in 0..fuel {
+            if !self.step()? {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(VmError::FuelExhausted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str, input: Vec<i64>) -> Result<Vm, VmError> {
+        let prog = assemble(src).expect("assembles");
+        let mut vm = Vm::new(prog, 256).with_input(input);
+        vm.run(1_000_000)?;
+        Ok(vm)
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let vm = run_src("push 2\npush 3\nadd\npush 4\nmul\nout\nhalt", vec![]).unwrap();
+        assert_eq!(vm.output, vec![20]);
+    }
+
+    #[test]
+    fn stack_manipulation() {
+        // dup/swap/over
+        let vm = run_src(
+            "push 1\npush 2\nover\nout\nout\nout\nhalt", // 1 2 1 -> out 1,2,1
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(vm.output, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn loop_sums_one_to_n() {
+        let src = r#"
+            in              ; n
+            push 0          ; n acc
+        loop:
+            over            ; n acc n
+            jz done
+            over            ; n acc n
+            add             ; n acc'
+            swap            ; acc' n
+            push 1
+            sub             ; acc' n-1
+            swap            ; n-1 acc'
+            jmp loop
+        done:
+            out             ; print acc
+            halt
+        "#;
+        let vm = run_src(src, vec![10]).unwrap();
+        assert_eq!(vm.output, vec![55]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_back() {
+        let src = "jmp end\nstart: push 1\nout\nhalt\nend: jmp start";
+        let vm = run_src(src, vec![]).unwrap();
+        assert_eq!(vm.output, vec![1]);
+    }
+
+    #[test]
+    fn call_ret_with_locals() {
+        // square(x): reads arg from stack, stores in local, multiplies.
+        let src = r#"
+            in
+            call square 1
+            out
+            halt
+        square:
+            storel 0
+            loadl 0
+            loadl 0
+            mul
+            ret
+        "#;
+        let vm = run_src(src, vec![7]).unwrap();
+        assert_eq!(vm.output, vec![49]);
+        assert!(vm.frames.is_empty(), "frames torn down");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let src = r#"
+            in
+            call fact 1
+            out
+            halt
+        fact:
+            storel 0
+            loadl 0
+            jz base
+            loadl 0
+            push 1
+            sub
+            call fact 1
+            loadl 0
+            mul
+            ret
+        base:
+            push 1
+            ret
+        "#;
+        let vm = run_src(src, vec![10]).unwrap();
+        assert_eq!(vm.output, vec![3628800]);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let src = "push 42\npush 5\nstore\npush 5\nload\nout\nhalt";
+        let vm = run_src(src, vec![]).unwrap();
+        assert_eq!(vm.output, vec![42]);
+        assert_eq!(vm.mem[5], 42);
+    }
+
+    #[test]
+    fn traps() {
+        assert!(matches!(
+            run_src("pop\nhalt", vec![]),
+            Err(VmError::StackUnderflow { pc: 0 })
+        ));
+        assert!(matches!(
+            run_src("push 1\npush 0\ndiv\nhalt", vec![]),
+            Err(VmError::DivideError { .. })
+        ));
+        assert!(matches!(
+            run_src("push 1\npush 9999\nstore\nhalt", vec![]),
+            Err(VmError::MemFault { addr: 9999, .. })
+        ));
+        assert!(matches!(
+            run_src("in\nhalt", vec![]),
+            Err(VmError::InputExhausted { .. })
+        ));
+        assert!(matches!(
+            run_src("ret", vec![]),
+            Err(VmError::RetWithoutCall { .. })
+        ));
+        assert!(matches!(
+            run_src("loop: jmp loop", vec![]),
+            Err(VmError::FuelExhausted)
+        ));
+        assert!(matches!(
+            run_src("nop", vec![]),
+            Err(VmError::PcOutOfRange { pc: 1 })
+        ));
+    }
+
+    #[test]
+    fn runaway_recursion_trapped() {
+        let err = run_src("f: call f 0", vec![]).unwrap_err();
+        assert!(matches!(err, VmError::CallStackOverflow { .. }));
+    }
+
+    #[test]
+    fn min_div_minus_one_traps() {
+        let src = format!("push {}\npush -1\ndiv\nhalt", i64::MIN);
+        assert!(matches!(
+            run_src(&src, vec![]),
+            Err(VmError::DivideError { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_errors() {
+        assert!(matches!(
+            assemble("frobnicate"),
+            Err(AsmError::UnknownMnemonic { line: 1, .. })
+        ));
+        assert!(matches!(
+            assemble("jmp nowhere"),
+            Err(AsmError::UndefinedLabel { .. })
+        ));
+        assert!(matches!(
+            assemble("a: nop\na: nop"),
+            Err(AsmError::DuplicateLabel { line: 2, .. })
+        ));
+        assert!(matches!(
+            assemble("push"),
+            Err(AsmError::BadOperand { .. })
+        ));
+        assert!(matches!(
+            assemble("add 3"),
+            Err(AsmError::BadOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let src = "push 5\nloop: dup\njz 6\npush 1\nsub\njmp loop\nhalt";
+        let prog = assemble(src).unwrap();
+        let text: Vec<String> = prog.code.iter().map(|&i| disassemble(i)).collect();
+        // Re-assemble the disassembly (numeric targets) and compare code.
+        let prog2 = assemble(&text.join("\n")).unwrap();
+        assert_eq!(prog.code, prog2.code);
+    }
+
+    #[test]
+    fn hex_and_binary_immediates() {
+        let vm = run_src("push 0x10\npush 0b100\nor\nout\nhalt", vec![]).unwrap();
+        assert_eq!(vm.output, vec![20]);
+    }
+
+    #[test]
+    fn step_counting() {
+        let vm = run_src("push 1\npush 2\nadd\nout\nhalt", vec![]).unwrap();
+        assert_eq!(vm.steps(), 5);
+        assert!(vm.halted());
+    }
+}

@@ -1,0 +1,39 @@
+//! # pdc-arch — machine organization substrate
+//!
+//! Implements the CS31 "vertical slice through the computer" (Danner &
+//! Newhall, EduPar 2013, Table I): binary data representation, gate-level
+//! circuits up to an ALU, a small stack-machine ISA with assembler and VM,
+//! the "binary bomb" lab, the growable-array ("Python lists in C") lab,
+//! and an instruction-pipeline simulator.
+//!
+//! * [`datarep`] — two's-complement conversions, overflow semantics,
+//!   hex/binary formatting, sign extension.
+//! * [`bitvec`] — a packed bit-vector (the "bit vectors" lab).
+//! * [`logic`] — combinational circuits from NAND up: adders, muxes.
+//! * [`alu`] — a word-level ALU built from the gate layer, with NZCV
+//!   condition codes.
+//! * [`isa`] — the PDC-1 stack-machine ISA: assembler, disassembler, VM.
+//! * [`bomb`] — binary-bomb construction and defusal checking on PDC-1.
+//! * [`compiler`] — an optimizing expression compiler targeting PDC-1
+//!   (constant folding, algebraic simplification, strength reduction) —
+//!   the CS75 compilers hook.
+//! * [`veclab`] — growable array with explicit capacity/copy accounting.
+//! * [`pipeline`] — a 5-stage in-order pipeline model with hazard
+//!   accounting (stalls, forwarding, branch flushes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod bitvec;
+pub mod bomb;
+pub mod compiler;
+pub mod datarep;
+pub mod isa;
+pub mod logic;
+pub mod pipeline;
+pub mod veclab;
+
+pub use alu::{Alu, AluOp, Flags};
+pub use bitvec::BitVec;
+pub use isa::{assemble, disassemble, Instr, Program, Vm, VmError};

@@ -1,0 +1,393 @@
+//! Gate-level combinational circuits — the CS31 "Building an ALU" lab.
+//!
+//! Everything is built from two-input NAND gates (universality is part of
+//! the lesson). A [`Circuit`] is a DAG of gates; it reports **gate count**
+//! (hardware cost ~ work) and **depth** (propagation delay ~ span), which
+//! ties the hardware story to the work/span story of `pdc-core`.
+//!
+//! The adder builders make the parallelism lesson concrete: the
+//! ripple-carry adder has Θ(n) depth, while the Kogge–Stone adder computes
+//! carries with a parallel *prefix* network in Θ(log n) depth — the same
+//! scan pattern CS41 teaches in software.
+
+/// Handle to a node inside a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire(usize);
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// External input, by index into the circuit's input list.
+    Input(usize),
+    /// Constant signal.
+    Const(bool),
+    /// Two-input NAND — the only real gate.
+    Nand(Wire, Wire),
+}
+
+/// A combinational circuit: a DAG of NAND gates over named inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    input_names: Vec<String>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an external input and get its wire.
+    pub fn input(&mut self, name: impl Into<String>) -> Wire {
+        let idx = self.input_names.len();
+        self.input_names.push(name.into());
+        self.push(Node::Input(idx))
+    }
+
+    /// Declare `n` inputs named `prefix0..prefixN-1`, LSB first.
+    pub fn input_bus(&mut self, prefix: &str, n: usize) -> Vec<Wire> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// A constant wire.
+    pub fn constant(&mut self, v: bool) -> Wire {
+        self.push(Node::Const(v))
+    }
+
+    fn push(&mut self, node: Node) -> Wire {
+        self.nodes.push(node);
+        Wire(self.nodes.len() - 1)
+    }
+
+    /// The primitive gate.
+    pub fn nand(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Node::Nand(a, b))
+    }
+
+    /// NOT from one NAND.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        self.nand(a, a)
+    }
+
+    /// AND from two NANDs.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Wire {
+        let n = self.nand(a, b);
+        self.not(n)
+    }
+
+    /// OR from three NANDs (De Morgan).
+    pub fn or(&mut self, a: Wire, b: Wire) -> Wire {
+        let na = self.not(a);
+        let nb = self.not(b);
+        self.nand(na, nb)
+    }
+
+    /// XOR from four NANDs (the classic minimal construction).
+    pub fn xor(&mut self, a: Wire, b: Wire) -> Wire {
+        let nab = self.nand(a, b);
+        let x = self.nand(a, nab);
+        let y = self.nand(b, nab);
+        self.nand(x, y)
+    }
+
+    /// 2-to-1 multiplexer: `sel ? b : a`.
+    pub fn mux2(&mut self, sel: Wire, a: Wire, b: Wire) -> Wire {
+        let ns = self.not(sel);
+        let pa = self.and(ns, a);
+        let pb = self.and(sel, b);
+        self.or(pa, pb)
+    }
+
+    /// Half adder: returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: Wire, b: Wire) -> (Wire, Wire) {
+        (self.xor(a, b), self.and(a, b))
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: Wire, b: Wire, cin: Wire) -> (Wire, Wire) {
+        let (s1, c1) = self.half_adder(a, b);
+        let (sum, c2) = self.half_adder(s1, cin);
+        let cout = self.or(c1, c2);
+        (sum, cout)
+    }
+
+    /// Ripple-carry adder over two LSB-first buses; returns
+    /// `(sum_bus, carry_out)`. Depth grows linearly in width.
+    ///
+    /// # Panics
+    /// Panics if buses differ in width or are empty.
+    pub fn ripple_adder(&mut self, a: &[Wire], b: &[Wire], cin: Wire) -> (Vec<Wire>, Wire) {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        assert!(!a.is_empty(), "empty bus");
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&ai, &bi) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(ai, bi, carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    /// Kogge–Stone carry-lookahead adder; returns `(sum_bus, carry_out)`.
+    ///
+    /// Computes generate/propagate pairs, combines them with a
+    /// Kogge–Stone parallel-prefix network (`log2` levels), then forms the
+    /// sums. Depth is Θ(log n) versus the ripple adder's Θ(n) — the
+    /// hardware incarnation of parallel scan.
+    pub fn kogge_stone_adder(&mut self, a: &[Wire], b: &[Wire], cin: Wire) -> (Vec<Wire>, Wire) {
+        assert_eq!(a.len(), b.len(), "bus width mismatch");
+        assert!(!a.is_empty(), "empty bus");
+        let n = a.len();
+        // g[i] = a & b (generate), p[i] = a ^ b (propagate).
+        let mut g: Vec<Wire> = Vec::with_capacity(n);
+        let mut p: Vec<Wire> = Vec::with_capacity(n);
+        for i in 0..n {
+            g.push(self.and(a[i], b[i]));
+            p.push(self.xor(a[i], b[i]));
+        }
+        let p_orig = p.clone();
+        // Fold cin into position 0: g0' = g0 | (p0 & cin).
+        let t = self.and(p[0], cin);
+        g[0] = self.or(g[0], t);
+        // Kogge–Stone prefix: (g, p) ∘ (g', p') = (g | (p & g'), p & p').
+        let mut dist = 1;
+        while dist < n {
+            let (g_prev, p_prev) = (g.clone(), p.clone());
+            for i in dist..n {
+                let t = self.and(p_prev[i], g_prev[i - dist]);
+                g[i] = self.or(g_prev[i], t);
+                p[i] = self.and(p_prev[i], p_prev[i - dist]);
+            }
+            dist *= 2;
+        }
+        // carry into bit i is g[i-1] (with cin folded in); sum = p ^ carry_in.
+        let mut sum = Vec::with_capacity(n);
+        let s0 = self.xor(p_orig[0], cin);
+        sum.push(s0);
+        for i in 1..n {
+            let s = self.xor(p_orig[i], g[i - 1]);
+            sum.push(s);
+        }
+        (sum, g[n - 1])
+    }
+
+    /// Total NAND-gate count (inputs and constants are free).
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Nand(..)))
+            .count()
+    }
+
+    /// Propagation depth (longest gate chain) to reach `wire`.
+    pub fn depth_of(&self, wire: Wire) -> usize {
+        let mut memo = vec![usize::MAX; self.nodes.len()];
+        self.depth_rec(wire, &mut memo)
+    }
+
+    fn depth_rec(&self, w: Wire, memo: &mut [usize]) -> usize {
+        if memo[w.0] != usize::MAX {
+            return memo[w.0];
+        }
+        let d = match self.nodes[w.0] {
+            Node::Input(_) | Node::Const(_) => 0,
+            Node::Nand(a, b) => 1 + self.depth_rec(a, memo).max(self.depth_rec(b, memo)),
+        };
+        memo[w.0] = d;
+        d
+    }
+
+    /// Maximum depth over a set of wires (e.g. an output bus).
+    pub fn depth_of_bus(&self, wires: &[Wire]) -> usize {
+        wires.iter().map(|&w| self.depth_of(w)).max().unwrap_or(0)
+    }
+
+    /// Evaluate the circuit for the given input assignment (by declaration
+    /// order) and read the listed output wires.
+    ///
+    /// # Panics
+    /// Panics if `inputs` does not match the declared input count.
+    pub fn eval(&self, inputs: &[bool], outputs: &[Wire]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.input_names.len(),
+            "expected {} inputs",
+            self.input_names.len()
+        );
+        // Nodes are created in topological order by construction.
+        let mut val = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            val[i] = match *node {
+                Node::Input(idx) => inputs[idx],
+                Node::Const(c) => c,
+                Node::Nand(a, b) => !(val[a.0] && val[b.0]),
+            };
+        }
+        outputs.iter().map(|&w| val[w.0]).collect()
+    }
+
+    /// Helper: evaluate a bus as an LSB-first unsigned integer.
+    pub fn eval_bus_u64(&self, inputs: &[bool], bus: &[Wire]) -> u64 {
+        let bits = self.eval(inputs, bus);
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+}
+
+/// Encode a `width`-bit unsigned value as LSB-first bools (test helper and
+/// lab utility).
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_gates_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut c = Circuit::new();
+            let wa = c.input("a");
+            let wb = c.input("b");
+            let w_nand = c.nand(wa, wb);
+            let w_and = c.and(wa, wb);
+            let w_or = c.or(wa, wb);
+            let w_xor = c.xor(wa, wb);
+            let w_not = c.not(wa);
+            let out = c.eval(&[a, b], &[w_nand, w_and, w_or, w_xor, w_not]);
+            assert_eq!(out[0], !(a && b));
+            assert_eq!(out[1], a && b);
+            assert_eq!(out[2], a || b);
+            assert_eq!(out[3], a ^ b);
+            assert_eq!(out[4], !a);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut c = Circuit::new();
+        let s = c.input("s");
+        let a = c.input("a");
+        let b = c.input("b");
+        let m = c.mux2(s, a, b);
+        assert_eq!(c.eval(&[false, true, false], &[m]), vec![true]); // sel=0 -> a
+        assert_eq!(c.eval(&[true, true, false], &[m]), vec![false]); // sel=1 -> b
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for bits in 0..8u32 {
+            let (a, b, cin) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let mut c = Circuit::new();
+            let wa = c.input("a");
+            let wb = c.input("b");
+            let wc = c.input("cin");
+            let (s, cout) = c.full_adder(wa, wb, wc);
+            let out = c.eval(&[a, b, cin], &[s, cout]);
+            let total = u8::from(a) + u8::from(b) + u8::from(cin);
+            assert_eq!(out[0], total & 1 == 1, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    fn check_adder_exhaustive_8bit(kogge: bool) {
+        let width = 8;
+        let mut c = Circuit::new();
+        let a = c.input_bus("a", width);
+        let b = c.input_bus("b", width);
+        let cin = c.constant(false);
+        let (sum, cout) = if kogge {
+            c.kogge_stone_adder(&a, &b, cin)
+        } else {
+            c.ripple_adder(&a, &b, cin)
+        };
+        for x in (0..256u64).step_by(7) {
+            for y in (0..256u64).step_by(11) {
+                let mut inputs = to_bits(x, width);
+                inputs.extend(to_bits(y, width));
+                let got = c.eval_bus_u64(&inputs, &sum);
+                assert_eq!(got, (x + y) & 0xFF, "{x}+{y} ({kogge})");
+                let carry = c.eval(&inputs, &[cout])[0];
+                assert_eq!(carry, x + y > 0xFF, "carry {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_adder_correct() {
+        check_adder_exhaustive_8bit(false);
+    }
+
+    #[test]
+    fn kogge_stone_adder_correct() {
+        check_adder_exhaustive_8bit(true);
+    }
+
+    #[test]
+    fn kogge_stone_with_carry_in() {
+        let width = 8;
+        let mut c = Circuit::new();
+        let a = c.input_bus("a", width);
+        let b = c.input_bus("b", width);
+        let cin = c.input("cin");
+        let (sum, cout) = c.kogge_stone_adder(&a, &b, cin);
+        for (x, y) in [(0u64, 0u64), (255, 0), (254, 1), (100, 155), (128, 127)] {
+            let mut inputs = to_bits(x, width);
+            inputs.extend(to_bits(y, width));
+            inputs.push(true); // cin = 1
+            let got = c.eval_bus_u64(&inputs, &sum);
+            assert_eq!(got, (x + y + 1) & 0xFF, "{x}+{y}+1");
+            let carry = c.eval(&inputs, &[cout])[0];
+            assert_eq!(carry, x + y + 1 > 0xFF);
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_than_ripple() {
+        let width = 32;
+        let mut r = Circuit::new();
+        let a = r.input_bus("a", width);
+        let b = r.input_bus("b", width);
+        let cin = r.constant(false);
+        let (sum_r, _) = r.ripple_adder(&a, &b, cin);
+        let ripple_depth = r.depth_of_bus(&sum_r);
+
+        let mut k = Circuit::new();
+        let a = k.input_bus("a", width);
+        let b = k.input_bus("b", width);
+        let cin = k.constant(false);
+        let (sum_k, _) = k.kogge_stone_adder(&a, &b, cin);
+        let kogge_depth = k.depth_of_bus(&sum_k);
+
+        assert!(
+            kogge_depth * 2 < ripple_depth,
+            "expected big depth win: kogge {kogge_depth} vs ripple {ripple_depth}"
+        );
+        // And it pays for depth with more gates (work/span trade-off).
+        assert!(k.gate_count() > r.gate_count());
+    }
+
+    #[test]
+    fn depth_and_count_basics() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let n1 = c.not(a); // 1 gate, depth 1
+        let n2 = c.not(n1); // depth 2
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.depth_of(a), 0);
+        assert_eq!(c.depth_of(n2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 inputs")]
+    fn eval_input_count_checked() {
+        let mut c = Circuit::new();
+        let a = c.input("a");
+        let b = c.input("b");
+        let x = c.and(a, b);
+        c.eval(&[true], &[x]);
+    }
+}

@@ -1,0 +1,414 @@
+//! An instruction-pipeline cost model — CS31's "pipelining, super-scalar,
+//! implicit parallelism" lecture topics (paper Table II, last row).
+//!
+//! Models a classic 5-stage in-order pipeline (IF ID EX MEM WB) executing
+//! a straight-line instruction trace, under configurable hazard handling:
+//!
+//! * **Forwarding off** — a dependent instruction waits until the
+//!   producer's write-back: 3 bubble cycles per RAW dependence.
+//! * **Forwarding on** — ALU results bypass to EX (0 bubbles); loads
+//!   forward from MEM, leaving the unavoidable 1-cycle load-use bubble.
+//! * **Branches** — `predict-not-taken`: taken branches flush
+//!   `branch_penalty` cycles; `perfect` prediction flushes nothing.
+//! * **Superscalar width `w`** — up to `w` *independent* consecutive
+//!   instructions issue in the same cycle (in-order dual/quad issue).
+//!
+//! The model reports total cycles, CPI, and the stall/flush breakdown, and
+//! is the quantitative demo that pipelining is *implicit* parallelism:
+//! the speedup over an unpipelined machine approaches the stage count on
+//! hazard-free code and collapses under dependence chains.
+
+/// Register name (just an index).
+pub type Reg = u8;
+
+/// Kinds of instructions the model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Register-to-register ALU operation.
+    Alu,
+    /// Memory load (result available after MEM).
+    Load,
+    /// Memory store (no destination register).
+    Store,
+    /// Conditional branch; `taken` says whether it is taken at runtime.
+    Branch {
+        /// Whether the branch is taken.
+        taken: bool,
+    },
+}
+
+/// One instruction of a trace: kind, destination, sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeOp {
+    /// Instruction kind.
+    pub kind: OpKind,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Source registers.
+    pub srcs: Vec<Reg>,
+}
+
+impl PipeOp {
+    /// ALU op `dst = f(srcs)`.
+    pub fn alu(dst: Reg, srcs: &[Reg]) -> Self {
+        PipeOp {
+            kind: OpKind::Alu,
+            dst: Some(dst),
+            srcs: srcs.to_vec(),
+        }
+    }
+
+    /// Load into `dst` from an address formed from `addr_regs`.
+    pub fn load(dst: Reg, addr_regs: &[Reg]) -> Self {
+        PipeOp {
+            kind: OpKind::Load,
+            dst: Some(dst),
+            srcs: addr_regs.to_vec(),
+        }
+    }
+
+    /// Store `value_reg` to an address formed from `addr_regs`.
+    pub fn store(value_reg: Reg, addr_regs: &[Reg]) -> Self {
+        let mut srcs = vec![value_reg];
+        srcs.extend_from_slice(addr_regs);
+        PipeOp {
+            kind: OpKind::Store,
+            dst: None,
+            srcs,
+        }
+    }
+
+    /// Conditional branch reading `srcs`.
+    pub fn branch(taken: bool, srcs: &[Reg]) -> Self {
+        PipeOp {
+            kind: OpKind::Branch { taken },
+            dst: None,
+            srcs: srcs.to_vec(),
+        }
+    }
+}
+
+/// Branch handling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchPolicy {
+    /// Fetch falls through; taken branches pay the flush penalty.
+    PredictNotTaken,
+    /// Oracle prediction: no branch ever stalls.
+    Perfect,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of pipeline stages (depth); 5 for the classic model.
+    pub stages: u32,
+    /// Whether EX/MEM results forward to dependent instructions.
+    pub forwarding: bool,
+    /// Branch handling.
+    pub branch_policy: BranchPolicy,
+    /// Cycles flushed on a mispredicted (taken) branch.
+    pub branch_penalty: u64,
+    /// Issue width (1 = scalar, 2 = dual-issue, ...).
+    pub width: u32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            stages: 5,
+            forwarding: true,
+            branch_policy: BranchPolicy::PredictNotTaken,
+            branch_penalty: 2,
+            width: 1,
+        }
+    }
+}
+
+/// Execution report of a trace through the pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Total cycles from first fetch to last write-back.
+    pub cycles: u64,
+    /// Instruction count.
+    pub instructions: u64,
+    /// Cycles lost to data-hazard stalls.
+    pub stall_cycles: u64,
+    /// Cycles lost to branch flushes.
+    pub flush_cycles: u64,
+}
+
+impl PipelineReport {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Speedup over an unpipelined machine where every instruction takes
+    /// `stages` cycles.
+    pub fn speedup_vs_unpipelined(&self, stages: u32) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        (self.instructions * stages as u64) as f64 / self.cycles as f64
+    }
+}
+
+/// Simulate `trace` through the configured pipeline.
+///
+/// The model tracks, per instruction, the cycle it *issues to EX*. An
+/// instruction's sources must be ready; readiness depends on the producer
+/// kind and forwarding. With issue width `w`, at most `w` instructions
+/// share an issue cycle, and only if they are mutually independent.
+pub fn simulate(config: &PipelineConfig, trace: &[PipeOp]) -> PipelineReport {
+    assert!(config.stages >= 2, "pipeline needs at least 2 stages");
+    assert!(config.width >= 1, "issue width must be >= 1");
+    // ready[r] = earliest cycle an instruction in EX can consume r.
+    let mut ready = [0u64; 256];
+    let mut stall_cycles = 0u64;
+    let mut flush_cycles = 0u64;
+    let mut next_issue = 0u64; // earliest EX cycle for the next instruction
+    let mut issued_this_cycle = 0u32;
+    let mut last_ex = 0u64;
+
+    for op in trace {
+        // Earliest cycle all sources are available.
+        let src_ready = op.srcs.iter().map(|&r| ready[r as usize]).fold(0, u64::max);
+        let unconstrained = next_issue;
+        let mut ex = unconstrained.max(src_ready);
+        // Pure data-hazard wait, before structural (width) adjustments.
+        stall_cycles += ex - unconstrained;
+
+        // Superscalar bookkeeping: same-cycle issue only while width lasts.
+        if ex == last_ex && issued_this_cycle >= config.width {
+            ex += 1;
+        }
+        if ex != last_ex {
+            issued_this_cycle = 0;
+        }
+        issued_this_cycle += 1;
+        last_ex = ex;
+
+        // Destination availability for consumers *in EX*:
+        if let Some(d) = op.dst {
+            let latency = match op.kind {
+                // ALU: forwards from EX output -> consumer EX next cycle.
+                OpKind::Alu => {
+                    if config.forwarding {
+                        1
+                    } else {
+                        config.stages as u64 - 2 // wait until WB
+                    }
+                }
+                // Load: value exists after MEM -> 1 bubble with forwarding.
+                OpKind::Load => {
+                    if config.forwarding {
+                        2
+                    } else {
+                        config.stages as u64 - 2
+                    }
+                }
+                OpKind::Store | OpKind::Branch { .. } => 1,
+            };
+            ready[d as usize] = ex + latency;
+        }
+
+        // In-order issue: next instruction's EX is at least this one's
+        // (same cycle allowed for superscalar; handled above).
+        next_issue = if config.width > 1 { ex } else { ex + 1 };
+        if config.width > 1 && issued_this_cycle >= config.width {
+            next_issue = ex + 1;
+        }
+
+        // Branch flushes.
+        if let OpKind::Branch { taken } = op.kind {
+            let penalty = match config.branch_policy {
+                BranchPolicy::Perfect => 0,
+                BranchPolicy::PredictNotTaken => {
+                    if taken {
+                        config.branch_penalty
+                    } else {
+                        0
+                    }
+                }
+            };
+            flush_cycles += penalty;
+            next_issue = next_issue.max(ex + 1) + penalty;
+            issued_this_cycle = config.width; // nothing else issues with a flush
+        }
+    }
+
+    // Total cycles: last EX + remaining stages to drain + the front stages
+    // before the first EX (stages before EX = 2 for the 5-stage model;
+    // generalized as stages - 3 front + EX...WB = stages - 2 tail).
+    let drain = (config.stages as u64).saturating_sub(2);
+    let front = (config.stages as u64).saturating_sub(3);
+    let cycles = if trace.is_empty() {
+        0
+    } else {
+        front + last_ex + 1 + drain
+    };
+    PipelineReport {
+        cycles,
+        instructions: trace.len() as u64,
+        stall_cycles,
+        flush_cycles,
+    }
+}
+
+/// A hazard-free trace of `n` independent ALU ops (each writes a distinct
+/// register in round-robin with no reads) — the best case for pipelining.
+pub fn independent_alu_trace(n: usize) -> Vec<PipeOp> {
+    (0..n).map(|i| PipeOp::alu((i % 200) as u8, &[])).collect()
+}
+
+/// A maximal dependence chain: each op reads the previous op's result.
+pub fn dependent_chain_trace(n: usize) -> Vec<PipeOp> {
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                PipeOp::alu(0, &[])
+            } else {
+                PipeOp::alu(0, &[0])
+            }
+        })
+        .collect()
+}
+
+/// A pointer-chasing loop body: load then use, repeated — exposes the
+/// load-use bubble that forwarding cannot remove.
+pub fn load_use_trace(n: usize) -> Vec<PipeOp> {
+    let mut t = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        t.push(PipeOp::load(1, &[1]));
+        t.push(PipeOp::alu(2, &[1]));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_zero_cycles() {
+        let r = simulate(&PipelineConfig::default(), &[]);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.cpi(), 0.0);
+    }
+
+    #[test]
+    fn hazard_free_cpi_approaches_one() {
+        let trace = independent_alu_trace(10_000);
+        let r = simulate(&PipelineConfig::default(), &trace);
+        assert!(r.cpi() < 1.01, "cpi {}", r.cpi());
+        assert_eq!(r.stall_cycles, 0);
+        // Speedup over unpipelined approaches the stage count.
+        let s = r.speedup_vs_unpipelined(5);
+        assert!(s > 4.9, "speedup {s}");
+    }
+
+    #[test]
+    fn dependence_chain_without_forwarding_is_slow() {
+        let trace = dependent_chain_trace(1000);
+        let fwd = simulate(&PipelineConfig::default(), &trace);
+        let nofwd = simulate(
+            &PipelineConfig {
+                forwarding: false,
+                ..Default::default()
+            },
+            &trace,
+        );
+        // With forwarding an ALU chain still runs ~1 CPI;
+        // without, every instruction waits ~3 cycles.
+        assert!(fwd.cpi() < 1.1, "fwd cpi {}", fwd.cpi());
+        assert!(nofwd.cpi() > 2.5, "nofwd cpi {}", nofwd.cpi());
+        assert!(nofwd.cycles > fwd.cycles * 2);
+    }
+
+    #[test]
+    fn load_use_bubble_survives_forwarding() {
+        let trace = load_use_trace(1000);
+        let r = simulate(&PipelineConfig::default(), &trace);
+        // Each load-use pair costs ~3 cycles (load, bubble, use): CPI ~1.5.
+        assert!(r.cpi() > 1.4, "cpi {}", r.cpi());
+        assert!(r.cpi() < 1.6, "cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn taken_branches_cost_flushes() {
+        let mut trace = Vec::new();
+        for _ in 0..500 {
+            trace.push(PipeOp::alu(1, &[]));
+            trace.push(PipeOp::branch(true, &[1]));
+        }
+        let npt = simulate(&PipelineConfig::default(), &trace);
+        let perfect = simulate(
+            &PipelineConfig {
+                branch_policy: BranchPolicy::Perfect,
+                ..Default::default()
+            },
+            &trace,
+        );
+        assert!(npt.flush_cycles >= 1000, "flushes {}", npt.flush_cycles);
+        assert_eq!(perfect.flush_cycles, 0);
+        assert!(npt.cycles > perfect.cycles);
+    }
+
+    #[test]
+    fn not_taken_branches_free_under_predict_not_taken() {
+        let mut trace = Vec::new();
+        for _ in 0..100 {
+            trace.push(PipeOp::alu(1, &[]));
+            trace.push(PipeOp::branch(false, &[1]));
+        }
+        let r = simulate(&PipelineConfig::default(), &trace);
+        assert_eq!(r.flush_cycles, 0);
+    }
+
+    #[test]
+    fn dual_issue_speeds_up_independent_code() {
+        let trace = independent_alu_trace(10_000);
+        let scalar = simulate(&PipelineConfig::default(), &trace);
+        let dual = simulate(
+            &PipelineConfig {
+                width: 2,
+                ..Default::default()
+            },
+            &trace,
+        );
+        let ratio = scalar.cycles as f64 / dual.cycles as f64;
+        assert!(ratio > 1.8, "dual-issue ratio {ratio}");
+    }
+
+    #[test]
+    fn dual_issue_useless_on_dependence_chain() {
+        let trace = dependent_chain_trace(5_000);
+        let scalar = simulate(&PipelineConfig::default(), &trace);
+        let dual = simulate(
+            &PipelineConfig {
+                width: 2,
+                ..Default::default()
+            },
+            &trace,
+        );
+        let ratio = scalar.cycles as f64 / dual.cycles as f64;
+        assert!(ratio < 1.05, "ILP cannot exceed the dependence chain: {ratio}");
+    }
+
+    #[test]
+    fn stores_and_mixed_code_run() {
+        let trace = vec![
+            PipeOp::load(1, &[0]),
+            PipeOp::alu(2, &[1]),
+            PipeOp::store(2, &[0]),
+            PipeOp::branch(false, &[2]),
+        ];
+        let r = simulate(&PipelineConfig::default(), &trace);
+        assert_eq!(r.instructions, 4);
+        assert!(r.cycles >= 4);
+    }
+}

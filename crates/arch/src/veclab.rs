@@ -1,0 +1,239 @@
+//! The "Python lists in C" lab: a growable array with *explicit* memory
+//! accounting.
+//!
+//! Students implement a C-style dynamic array library and reason about its
+//! memory layout and amortized cost. [`AccountedVec`] reproduces that:
+//! a doubling growable array whose every allocation, copy, and write is
+//! counted, so tests can *verify* the amortized-O(1) append claim the lab
+//! teaches (total copies <= 2n for growth factor 2).
+
+/// Memory-operation counters for one [`AccountedVec`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of (re)allocations performed.
+    pub allocations: u64,
+    /// Elements copied during reallocations (the `memcpy` traffic).
+    pub elements_copied: u64,
+    /// Element writes (appends and updates).
+    pub writes: u64,
+    /// Element reads.
+    pub reads: u64,
+}
+
+/// Growth policy for the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Growth {
+    /// Multiply capacity by a factor (Python-list style; factor > 1).
+    Factor(f64),
+    /// Add a fixed increment (the naive strategy whose appends are O(n²)
+    /// total — the lab's cautionary baseline).
+    Increment(usize),
+}
+
+/// A growable array with explicit capacity management and op accounting.
+#[derive(Debug, Clone)]
+pub struct AccountedVec<T: Clone> {
+    buf: Vec<T>,
+    capacity: usize,
+    growth: Growth,
+    stats: MemStats,
+}
+
+impl<T: Clone> AccountedVec<T> {
+    /// Empty array with doubling growth.
+    pub fn new() -> Self {
+        Self::with_growth(Growth::Factor(2.0))
+    }
+
+    /// Empty array with a chosen growth policy.
+    ///
+    /// # Panics
+    /// Panics on a growth factor <= 1 or a zero increment.
+    pub fn with_growth(growth: Growth) -> Self {
+        match growth {
+            Growth::Factor(f) => assert!(f > 1.0, "growth factor must exceed 1"),
+            Growth::Increment(i) => assert!(i > 0, "growth increment must be positive"),
+        }
+        AccountedVec {
+            buf: Vec::new(),
+            capacity: 0,
+            growth,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity (as managed by the lab's policy, not Rust's).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The operation counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn grow(&mut self) {
+        let new_cap = match self.growth {
+            Growth::Factor(f) => ((self.capacity.max(1) as f64 * f).ceil() as usize)
+                .max(self.capacity + 1),
+            Growth::Increment(i) => self.capacity + i,
+        };
+        // Model: allocate new buffer, memcpy old contents.
+        self.stats.allocations += 1;
+        self.stats.elements_copied += self.buf.len() as u64;
+        let mut new_buf = Vec::with_capacity(new_cap);
+        new_buf.extend(self.buf.iter().cloned());
+        self.buf = new_buf;
+        self.capacity = new_cap;
+    }
+
+    /// Append an element (amortized O(1) under `Growth::Factor`).
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.grow();
+        }
+        self.stats.writes += 1;
+        self.buf.push(value);
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn get(&mut self, i: usize) -> &T {
+        assert!(i < self.buf.len(), "index {i} out of range");
+        self.stats.reads += 1;
+        &self.buf[i]
+    }
+
+    /// Overwrite element `i`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn set(&mut self, i: usize, value: T) {
+        assert!(i < self.buf.len(), "index {i} out of range");
+        self.stats.writes += 1;
+        self.buf[i] = value;
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop()
+    }
+
+    /// Borrow the contents as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+}
+
+impl<T: Clone> Default for AccountedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_pop() {
+        let mut v = AccountedVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(*v.get(3), 3);
+        v.set(3, 99);
+        assert_eq!(*v.get(3), 99);
+        assert_eq!(v.pop(), Some(9));
+        assert_eq!(v.len(), 9);
+        assert_eq!(AccountedVec::<i32>::new().pop(), None);
+    }
+
+    #[test]
+    fn doubling_amortized_copies_bounded() {
+        let n = 100_000;
+        let mut v = AccountedVec::new();
+        for i in 0..n {
+            v.push(i);
+        }
+        let s = v.stats();
+        // Amortized claim: total copy traffic < 2n for factor-2 growth.
+        assert!(
+            s.elements_copied < 2 * n as u64,
+            "copies {} should be < {}",
+            s.elements_copied,
+            2 * n
+        );
+        // Allocations are logarithmic.
+        assert!(s.allocations < 40, "allocations {}", s.allocations);
+    }
+
+    #[test]
+    fn increment_growth_is_quadratic() {
+        let n = 4_000;
+        let mut v = AccountedVec::with_growth(Growth::Increment(8));
+        for i in 0..n {
+            v.push(i);
+        }
+        let s = v.stats();
+        // With +8 growth the copy traffic is Θ(n²/8): enormous vs doubling.
+        assert!(
+            s.elements_copied as f64 > (n * n) as f64 / 20.0,
+            "copies {} unexpectedly small",
+            s.elements_copied
+        );
+        let mut w = AccountedVec::new();
+        for i in 0..n {
+            w.push(i);
+        }
+        assert!(w.stats().elements_copied * 10 < s.elements_copied);
+    }
+
+    #[test]
+    fn growth_factor_1_5_also_amortized() {
+        let n = 50_000usize;
+        let mut v = AccountedVec::with_growth(Growth::Factor(1.5));
+        for i in 0..n {
+            v.push(i);
+        }
+        // Copies bounded by n * f/(f-1) = 3n for f = 1.5.
+        assert!(v.stats().elements_copied < 3 * n as u64 + 16);
+    }
+
+    #[test]
+    fn capacity_invariant() {
+        let mut v = AccountedVec::new();
+        for i in 0..1000 {
+            v.push(i);
+            assert!(v.capacity() >= v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor must exceed 1")]
+    fn rejects_non_growing_factor() {
+        AccountedVec::<u8>::with_growth(Growth::Factor(1.0));
+    }
+
+    #[test]
+    fn contents_preserved_across_growth() {
+        let mut v = AccountedVec::new();
+        for i in 0..1000 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), (0..1000).collect::<Vec<_>>().as_slice());
+    }
+}

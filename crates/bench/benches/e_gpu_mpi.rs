@@ -1,0 +1,69 @@
+//! Prose-section benches: GPU reduction ladder, MPI collectives,
+//! MapReduce scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_core::rng::Rng;
+use pdc_gpu::kernels::{reduce_global, reduce_shared_interleaved, reduce_shared_sequential};
+use pdc_mpi::coll;
+use pdc_mpi::mapreduce::word_count;
+use pdc_mpi::world::{Rank, World};
+use std::hint::black_box;
+
+fn bench_gpu_reduction_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_reduce");
+    group.sample_size(10);
+    let mut rng = Rng::new(31);
+    let input: Vec<i64> = (0..1 << 14).map(|_| rng.gen_range(100) as i64).collect();
+    group.bench_function("global", |b| {
+        b.iter(|| reduce_global(black_box(&input), 256))
+    });
+    group.bench_function("shared_interleaved", |b| {
+        b.iter(|| reduce_shared_interleaved(black_box(&input), 256))
+    });
+    group.bench_function("shared_sequential", |b| {
+        b.iter(|| reduce_shared_sequential(black_box(&input), 256))
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("allreduce", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run(p, |r: &mut Rank<u64>| {
+                    coll::allreduce(r, r.id() as u64, |a, b| a + b)
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alltoall", p), &p, |b, &p| {
+            b.iter(|| {
+                World::run(p, |r: &mut Rank<u64>| {
+                    let vals: Vec<u64> = (0..r.size() as u64).collect();
+                    coll::alltoall(r, vals)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce_wordcount");
+    group.sample_size(10);
+    let docs: Vec<String> = (0..128)
+        .map(|i| format!("lorem ipsum dolor sit amet {} consectetur {}", i % 11, i % 5))
+        .collect();
+    for (m, r) in [(1usize, 1usize), (4, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_r{r}")),
+            &(m, r),
+            |b, &(m, r)| b.iter(|| word_count(black_box(docs.clone()), m, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_reduction_ladder, bench_collectives, bench_mapreduce);
+criterion_main!(benches);

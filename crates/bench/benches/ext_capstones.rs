@@ -1,0 +1,81 @@
+//! Extension benches: ray tracer renderers, join algorithms, compiler
+//! optimization levels, external vs in-memory sort crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_arch::compiler::{compile_and_run, random_expr, OptLevel};
+use pdc_core::rng::Rng;
+use pdc_db::join::{hash_join, nested_loop_join, parallel_hash_join, sort_merge_join, Tuple};
+use pdc_ray::render::{render_sequential, render_threaded};
+use pdc_ray::scene::{Camera, Scene};
+use pdc_threads::parfor::Schedule;
+use std::hint::black_box;
+
+fn bench_raytracer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raytracer");
+    group.sample_size(10);
+    let scene = Scene::demo();
+    let cam = Camera::demo();
+    group.bench_function("sequential_160x120", |b| {
+        b.iter(|| render_sequential(black_box(&scene), &cam, 160, 120, 2))
+    });
+    for (name, sched) in [
+        ("static", Schedule::Static),
+        ("dynamic4", Schedule::Dynamic { chunk: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("threads2", name), &sched, |b, &s| {
+            b.iter(|| render_threaded(black_box(&scene), &cam, 160, 120, 2, 2, s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins");
+    group.sample_size(10);
+    let mut rng = Rng::new(1);
+    let r: Vec<Tuple> = (0..3_000)
+        .map(|_| (rng.gen_range(500), rng.gen_range(100)))
+        .collect();
+    let s: Vec<Tuple> = (0..3_000)
+        .map(|_| (rng.gen_range(500), rng.gen_range(100)))
+        .collect();
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| nested_loop_join(black_box(&r), black_box(&s)))
+    });
+    group.bench_function("hash", |b| {
+        b.iter(|| hash_join(black_box(&r), black_box(&s)))
+    });
+    group.bench_function("sort_merge", |b| {
+        b.iter(|| sort_merge_join(black_box(&r), black_box(&s)))
+    });
+    group.bench_function("parallel_hash_w4", |b| {
+        b.iter(|| parallel_hash_join(black_box(&r), black_box(&s), 4))
+    });
+    group.finish();
+}
+
+fn bench_compiler_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+    let exprs: Vec<_> = (0..16).map(|s| random_expr(s, 6, 2)).collect();
+    for level in [OptLevel::O0, OptLevel::O1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &level,
+            |b, &lvl| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for e in &exprs {
+                        let (_, steps) = compile_and_run(e, lvl, &[5, -2]).unwrap();
+                        total += steps;
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raytracer, bench_joins, bench_compiler_levels);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Machine-organization benches: PDC-1 VM dispatch, gate-level circuit
+//! evaluation, pipeline simulation, page-replacement policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_arch::isa::{assemble, Vm};
+use pdc_arch::logic::{to_bits, Circuit};
+use pdc_arch::pipeline::{independent_alu_trace, simulate, PipelineConfig};
+use pdc_os::vm::{run as page_run, ReplacePolicy};
+use std::hint::black_box;
+
+fn bench_vm_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_vm");
+    group.sample_size(10);
+    // A compute-heavy loop: sum of squares 1..=n.
+    let src = r#"
+        in
+        push 0
+    loop:
+        over
+        jz done
+        over
+        over
+        mul
+        pop
+        over
+        add
+        swap
+        push 1
+        sub
+        swap
+        jmp loop
+    done:
+        out
+        halt
+    "#;
+    let prog = assemble(src).unwrap();
+    group.bench_function("sum_loop_10k", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(prog.clone(), 8).with_input([10_000]);
+            vm.run(1_000_000).unwrap();
+            black_box(vm.output[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_circuit_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_adder");
+    group.sample_size(10);
+    for (name, kogge) in [("ripple32", false), ("kogge32", true)] {
+        let mut circ = Circuit::new();
+        let a = circ.input_bus("a", 32);
+        let b = circ.input_bus("b", 32);
+        let cin = circ.constant(false);
+        let (sum, _) = if kogge {
+            circ.kogge_stone_adder(&a, &b, cin)
+        } else {
+            circ.ripple_adder(&a, &b, cin)
+        };
+        let mut inputs = to_bits(0xDEADBEEF, 32);
+        inputs.extend(to_bits(0x12345678, 32));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bch, _| {
+            bch.iter(|| circ.eval_bus_u64(black_box(&inputs), &sum))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    group.sample_size(10);
+    let trace = independent_alu_trace(100_000);
+    group.bench_function("alu_100k", |b| {
+        b.iter(|| simulate(&PipelineConfig::default(), black_box(&trace)))
+    });
+    group.finish();
+}
+
+fn bench_page_replacement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_replacement");
+    group.sample_size(10);
+    let mut x = 9u64;
+    let refs: Vec<u64> = (0..20_000)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 33) % 64
+        })
+        .collect();
+    for (name, policy) in [
+        ("fifo", ReplacePolicy::Fifo),
+        ("lru", ReplacePolicy::Lru),
+        ("clock", ReplacePolicy::Clock),
+        ("opt", ReplacePolicy::Opt),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| page_run(p, 16, black_box(&refs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vm_dispatch,
+    bench_circuit_eval,
+    bench_pipeline_sim,
+    bench_page_replacement
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table I bench: Game of Life — sequential sizes and threaded worker
+//! sweep (the lab's timing experiment, wall clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_life::engine::step_generations;
+use pdc_life::grid::{Boundary, Grid};
+use pdc_life::parallel::parallel_step_generations;
+use std::hint::black_box;
+
+fn bench_seq_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("life_seq");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let g = Grid::random(n, n, Boundary::Torus, 0.3, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| step_generations(black_box(g), 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("life_threads");
+    group.sample_size(10);
+    let g = Grid::random(128, 128, Boundary::Torus, 0.3, 7);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| b.iter(|| parallel_step_generations(black_box(&g), 4, w)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_sizes, bench_threaded_workers);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Table II bench: memory-hierarchy simulations — traversal order,
+//! replacement policy, and coherence false sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_memsim::cache::{Cache, CacheConfig};
+use pdc_memsim::coherence::{counter_increment_trace, CoherenceSim, Protocol};
+use pdc_memsim::trace;
+use std::hint::black_box;
+
+fn bench_traversal_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_traversal");
+    group.sample_size(20);
+    let row = trace::matrix_row_major(0, 128, 128);
+    let col = trace::matrix_col_major(0, 128, 128);
+    for (name, tr) in [("row_major", &row), ("col_major", &col)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), tr, |b, tr| {
+            b.iter(|| {
+                let mut cache = Cache::new(CacheConfig::direct_mapped(64, 128));
+                black_box(cache.run_trace(black_box(tr)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_false_sharing_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence_false_sharing");
+    group.sample_size(20);
+    for (name, pad) in [("packed", 8u64), ("padded", 64)] {
+        let tr = counter_increment_trace(4, 500, pad);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &tr, |b, tr| {
+            b.iter(|| {
+                let mut sim = CoherenceSim::new(Protocol::Mesi, 4, 64);
+                black_box(sim.run_trace(black_box(tr)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_false_sharing(c: &mut Criterion) {
+    // The wall-clock companion: padded vs packed atomic counters on real
+    // threads (effect visible only on real multicore hardware).
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut group = c.benchmark_group("real_counters");
+    group.sample_size(10);
+
+    #[repr(align(64))]
+    struct Padded(AtomicU64);
+
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let counters: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let c = &counters[i];
+                    s.spawn(move || {
+                        for _ in 0..20_000 {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(counters.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>())
+        })
+    });
+    group.bench_function("padded", |b| {
+        b.iter(|| {
+            let counters: Vec<Padded> = (0..4).map(|_| Padded(AtomicU64::new(0))).collect();
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let c = &counters[i];
+                    s.spawn(move || {
+                        for _ in 0..20_000 {
+                            c.0.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            black_box(counters.iter().map(|c| c.0.load(Ordering::Relaxed)).sum::<u64>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_traversal_order,
+    bench_false_sharing_sim,
+    bench_real_false_sharing
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Table II bench: synchronization primitives — lock ladder and the
+//! producer-consumer buffer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_sync::{BoundedBuffer, PdcMutex, SpinLock, TicketLock};
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+const THREADS: usize = 2;
+const ITERS: usize = 5_000;
+
+fn contended_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_ladder");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("spinlock"), |b| {
+        b.iter(|| {
+            let l = Arc::new(SpinLock::new(0u64));
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let l = Arc::clone(&l);
+                    s.spawn(move || {
+                        for _ in 0..ITERS {
+                            *l.lock() += 1;
+                        }
+                    });
+                }
+            });
+            let v = *l.lock();
+            black_box(v)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("ticketlock"), |b| {
+        b.iter(|| {
+            let l = Arc::new(TicketLock::new(0u64));
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let l = Arc::clone(&l);
+                    s.spawn(move || {
+                        for _ in 0..ITERS {
+                            *l.lock() += 1;
+                        }
+                    });
+                }
+            });
+            let v = *l.lock();
+            black_box(v)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("pdc_mutex"), |b| {
+        b.iter(|| {
+            let l = Arc::new(PdcMutex::new(0u64));
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let l = Arc::clone(&l);
+                    s.spawn(move || {
+                        for _ in 0..ITERS {
+                            *l.lock() += 1;
+                        }
+                    });
+                }
+            });
+            let v = *l.lock();
+            black_box(v)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("std_mutex"), |b| {
+        b.iter(|| {
+            let l = Arc::new(Mutex::new(0u64));
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let l = Arc::clone(&l);
+                    s.spawn(move || {
+                        for _ in 0..ITERS {
+                            *l.lock().unwrap() += 1;
+                        }
+                    });
+                }
+            });
+            let v = *l.lock().unwrap();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn producer_consumer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_buffer");
+    group.sample_size(10);
+    for cap in [1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let buf = Arc::new(BoundedBuffer::new(cap));
+                std::thread::scope(|s| {
+                    let b2 = Arc::clone(&buf);
+                    s.spawn(move || {
+                        for i in 0..10_000u64 {
+                            b2.put(i);
+                        }
+                    });
+                    let b3 = Arc::clone(&buf);
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        for _ in 0..10_000 {
+                            sum += b3.take();
+                        }
+                        black_box(sum)
+                    });
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, contended_counter, producer_consumer);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Table III bench: models of computation — PRAM scans, external sort
+//! memory sweep, data-parallel slice primitives, matrix variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_algos::matrix::{matmul_blocked, matmul_ikj, matmul_naive, matmul_strassen, Matrix};
+use pdc_core::rng::Rng;
+use pdc_extmem::device::Disk;
+use pdc_extmem::extsort::{external_merge_sort, SortConfig};
+use pdc_pram::algos::{scan_blelloch, scan_hillis_steele};
+use pdc_threads::sliceops::{par_exclusive_scan, par_reduce};
+use std::hint::black_box;
+
+fn bench_pram_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pram_scan");
+    group.sample_size(10);
+    let input: Vec<i64> = (0..4096).collect();
+    group.bench_function("hillis_steele", |b| {
+        b.iter(|| scan_hillis_steele(black_box(&input)).unwrap())
+    });
+    group.bench_function("blelloch", |b| {
+        b.iter(|| scan_blelloch(black_box(&input)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_extsort_memory_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extsort_memory");
+    group.sample_size(10);
+    let mut rng = Rng::new(21);
+    let data = rng.u64_vec(20_000);
+    for memory in [64usize, 256, 2_048] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(memory),
+            &memory,
+            |b, &memory| {
+                b.iter(|| {
+                    let mut disk = Disk::new(16);
+                    let input = disk.create_file(data.clone());
+                    black_box(external_merge_sort(&mut disk, input, SortConfig { memory }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slice_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slice_ops");
+    group.sample_size(10);
+    let mut rng = Rng::new(22);
+    let data = rng.u64_vec(200_000);
+    group.bench_function("serial_sum", |b| {
+        b.iter(|| black_box(&data).iter().sum::<u64>())
+    });
+    group.bench_function("par_reduce_w2", |b| {
+        b.iter(|| par_reduce(black_box(&data), 2, 0u64, |&x| x, |a, b| a + b))
+    });
+    group.bench_function("par_scan_w2", |b| {
+        b.iter(|| par_exclusive_scan(black_box(&data), 2, 0u64, |a, b| a + b))
+    });
+    group.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    let n = 128;
+    let mut rng = Rng::new(23);
+    let a = Matrix::from_fn(n, n, |_, _| rng.f64());
+    let b_m = Matrix::from_fn(n, n, |_, _| rng.f64());
+    group.bench_function("naive_ijk", |bch| {
+        bch.iter(|| matmul_naive(black_box(&a), black_box(&b_m)))
+    });
+    group.bench_function("ikj", |bch| {
+        bch.iter(|| matmul_ikj(black_box(&a), black_box(&b_m)))
+    });
+    group.bench_function("blocked_32", |bch| {
+        bch.iter(|| matmul_blocked(black_box(&a), black_box(&b_m), 32))
+    });
+    group.bench_function("strassen_cutoff32", |bch| {
+        bch.iter(|| matmul_strassen(black_box(&a), black_box(&b_m), 32))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pram_scans,
+    bench_extsort_memory_sweep,
+    bench_slice_primitives,
+    bench_matmul_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table III bench: sorting and selection algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdc_algos::mergesort::{merge_sort, parallel_merge_sort};
+use pdc_algos::scanapps::radix_sort_u64;
+use pdc_algos::selection::{median_of_medians, quickselect};
+use pdc_algos::sorting::{quicksort, sample_sort};
+use pdc_core::rng::Rng;
+use std::hint::black_box;
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting");
+    group.sample_size(10);
+    let mut rng = Rng::new(11);
+    let data = rng.i64_vec(50_000);
+    let data_u64: Vec<u64> = data.iter().map(|&x| x as u64).collect();
+
+    group.bench_function(BenchmarkId::from_parameter("merge_sort"), |b| {
+        b.iter(|| merge_sort(black_box(&data)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("parallel_merge_sort_w2"), |b| {
+        b.iter(|| parallel_merge_sort(black_box(&data), 2))
+    });
+    group.bench_function(BenchmarkId::from_parameter("quicksort"), |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            quicksort(&mut v);
+            black_box(v)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("sample_sort_8"), |b| {
+        b.iter(|| sample_sort(black_box(&data), 8, 2, 1))
+    });
+    group.bench_function(BenchmarkId::from_parameter("radix_sort"), |b| {
+        b.iter(|| radix_sort_u64(black_box(&data_u64), 2))
+    });
+    group.bench_function(BenchmarkId::from_parameter("std_sort_unstable"), |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    let mut rng = Rng::new(12);
+    let data = rng.i64_vec(100_000);
+    let k = data.len() / 2;
+    group.bench_function("quickselect", |b| {
+        b.iter(|| quickselect(black_box(&data), k, 5))
+    });
+    group.bench_function("median_of_medians", |b| {
+        b.iter(|| median_of_medians(black_box(&data), k))
+    });
+    group.bench_function("full_sort_then_index", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            black_box(v[k])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorts, bench_selection);
+criterion_main!(benches);

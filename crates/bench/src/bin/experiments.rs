@@ -1,0 +1,41 @@
+//! Regenerate every paper-table reproduction.
+//!
+//! ```text
+//! experiments              # run everything
+//! experiments --list       # list experiment ids
+//! experiments --exp <id>   # run one
+//! ```
+
+use pdc_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = registry();
+    match args.as_slice() {
+        [flag] if flag == "--list" => {
+            for e in &reg {
+                println!("{:16} {}", e.id, e.anchor);
+            }
+        }
+        [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
+            Some(e) => {
+                println!("=== {} — {}\n", e.id, e.anchor);
+                println!("{}", (e.run)());
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                std::process::exit(1);
+            }
+        },
+        [] => {
+            for e in &reg {
+                println!("=== {} — {}\n", e.id, e.anchor);
+                println!("{}", (e.run)());
+            }
+        }
+        _ => {
+            eprintln!("usage: experiments [--list | --exp <id>]");
+            std::process::exit(2);
+        }
+    }
+}

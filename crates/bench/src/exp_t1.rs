@@ -1,0 +1,250 @@
+//! Table I experiments: the CS31 lab sequence.
+
+use pdc_arch::bomb::{Bomb, Phase};
+use pdc_arch::datarep;
+use pdc_arch::logic::Circuit;
+use pdc_arch::veclab::{AccountedVec, Growth};
+use pdc_core::report::{count_fmt, f, speedup_fmt, Table};
+use pdc_core::scaling;
+use pdc_life::grid::{Boundary, Grid};
+use pdc_life::scaling::{modeled_strong_scaling, verified_run};
+use pdc_os::shell::Shell;
+use pdc_os::process::Signal;
+
+/// Data-representation lab: encodings and overflow cases at 8 bits.
+pub fn datarep() -> String {
+    let mut t = Table::new(
+        "T1-datarep — two's complement at 8 bits (lab answer table)",
+        &["value", "pattern (bin)", "pattern (hex)", "add 1 ->", "overflow?"],
+    );
+    for v in [0i64, 1, -1, 127, -128, 42, -42] {
+        let p = datarep::to_twos_complement(v, 8).unwrap();
+        let r = datarep::add_with_flags(p, 1, 8);
+        t.row(&[
+            v.to_string(),
+            datarep::to_binary_string(p, 8),
+            datarep::to_hex_string(p, 8),
+            datarep::from_twos_complement(r.pattern, 8)
+                .unwrap()
+                .to_string(),
+            if r.overflow { "signed-OV" } else { "-" }.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// ALU lab: gate counts and depths of the two adder designs.
+pub fn alu() -> String {
+    let mut t = Table::new(
+        "T1-alu — adder designs from NAND gates (cost vs delay)",
+        &["width", "design", "gates", "depth"],
+    );
+    for width in [4usize, 8, 16, 32] {
+        for kogge in [false, true] {
+            let mut c = Circuit::new();
+            let a = c.input_bus("a", width);
+            let b = c.input_bus("b", width);
+            let cin = c.constant(false);
+            let (sum, _) = if kogge {
+                c.kogge_stone_adder(&a, &b, cin)
+            } else {
+                c.ripple_adder(&a, &b, cin)
+            };
+            t.row(&[
+                width.to_string(),
+                if kogge { "kogge-stone" } else { "ripple" }.to_string(),
+                c.gate_count().to_string(),
+                c.depth_of_bus(&sum).to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// Binary-bomb lab: generated bombs, defusal outcomes.
+pub fn bomb() -> String {
+    let mut t = Table::new(
+        "T1-bomb — seeded binary bombs on the PDC-1 ISA",
+        &["seed", "phases", "attempt", "defused", "exploded"],
+    );
+    for seed in [1u64, 2, 3] {
+        let bomb = Bomb::generate(seed, 3);
+        let key = bomb.answer_key();
+        let good = bomb.attempt(&key).unwrap();
+        t.row(&[
+            seed.to_string(),
+            "3".into(),
+            "answer key".into(),
+            good.phases_defused.to_string(),
+            good.exploded.to_string(),
+        ]);
+        let mut bad = key.clone();
+        bad[0] += 1;
+        let oops = bomb.attempt(&bad).unwrap();
+        t.row(&[
+            seed.to_string(),
+            "3".into(),
+            "wrong first input".into(),
+            oops.phases_defused.to_string(),
+            oops.exploded.to_string(),
+        ]);
+    }
+    // One fancy phase for the table's sake.
+    let fib = Bomb::new(vec![Phase::Fibonacci(20)]);
+    let out = fib.attempt(&fib.answer_key()).unwrap();
+    t.row(&[
+        "-".into(),
+        "fib(20)".into(),
+        "answer key".into(),
+        out.phases_defused.to_string(),
+        out.exploded.to_string(),
+    ]);
+    t.render()
+}
+
+/// Python-lists-in-C lab: growth policy vs copy traffic.
+pub fn veclab() -> String {
+    let n = 100_000usize;
+    let mut t = Table::new(
+        "T1-veclab — growable-array growth policy vs memcpy traffic (n = 100_000 appends)",
+        &["policy", "allocations", "elements copied", "copies/append"],
+    );
+    let policies: Vec<(&str, Growth)> = vec![
+        ("double (x2.0)", Growth::Factor(2.0)),
+        ("x1.5", Growth::Factor(1.5)),
+        ("+1024", Growth::Increment(1024)),
+        ("+64", Growth::Increment(64)),
+    ];
+    for (name, g) in policies {
+        let mut v = AccountedVec::with_growth(g);
+        for i in 0..n {
+            v.push(i);
+        }
+        let s = v.stats();
+        t.row(&[
+            name.to_string(),
+            s.allocations.to_string(),
+            count_fmt(s.elements_copied),
+            f(s.elements_copied as f64 / n as f64, 2),
+        ]);
+    }
+    t.render()
+}
+
+/// Unix-shell lab: a scripted session against the process model.
+pub fn shell() -> String {
+    let mut sh = Shell::new();
+    let mut t = Table::new(
+        "T1-shell — scripted shell session (fork/exec/wait/signals)",
+        &["action", "pid", "observed"],
+    );
+    let fg = sh.run("gcc prog.c", 0).unwrap();
+    t.row(&["run gcc (fg)".into(), fg.to_string(), "completed rc=0".into()]);
+    let j = sh.spawn_bg("./simulate &").unwrap();
+    t.row(&[
+        "spawn bg job".into(),
+        j.pid.to_string(),
+        format!("job [{}]", j.job_no),
+    ]);
+    let fg2 = sh.run("ls", 0).unwrap();
+    t.row(&["run ls (fg)".into(), fg2.to_string(), "completed rc=0".into()]);
+    t.row(&[
+        "jobs".into(),
+        "-".into(),
+        format!("{} running", sh.jobs().len()),
+    ]);
+    sh.kill(j.pid, Signal::Kill).unwrap();
+    sh.prompt();
+    t.row(&[
+        "kill -9 then prompt".into(),
+        j.pid.to_string(),
+        format!("{} running, job reaped", sh.jobs().len()),
+    ]);
+    t.render()
+}
+
+/// Game-of-Life timing lab (sequential): work grows with area.
+pub fn life_seq() -> String {
+    let mut t = Table::new(
+        "T1-life — sequential Game of Life (work scales with area)",
+        &["grid", "generations", "cell updates", "final population"],
+    );
+    for n in [64usize, 128, 256] {
+        let g = Grid::random(n, n, Boundary::Torus, 0.3, 2013);
+        let (out, updates) = pdc_life::engine::step_generations(&g, 20);
+        t.row(&[
+            format!("{n}x{n}"),
+            "20".into(),
+            count_fmt(updates),
+            out.population().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// The scalability study: modeled strong scaling + threaded-vs-seq
+/// verification (the lab's full report).
+pub fn parlife() -> String {
+    let mut out = String::new();
+    // Verification: threaded result identical to sequential.
+    let g = Grid::random(64, 64, Boundary::Torus, 0.35, 31);
+    let (_, updates) = verified_run(&g, 10, 4);
+    let mut v = Table::new(
+        "T1-parlife — correctness check (threads vs sequential)",
+        &["grid", "generations", "workers", "updates", "identical?"],
+    );
+    v.row(&[
+        "64x64".into(),
+        "10".into(),
+        "4".into(),
+        count_fmt(updates),
+        "yes".into(),
+    ]);
+    out.push_str(&v.render());
+    out.push('\n');
+    // The study proper, on the deterministic machine model.
+    for (rows, cols) in [(256usize, 256usize), (1024, 1024)] {
+        let curve = modeled_strong_scaling(rows, cols, 100, &[1, 2, 4, 8, 16, 32]);
+        let t = scaling::scaling_table(
+            &format!("T1-parlife — modeled strong scaling, {rows}x{cols}, 100 generations"),
+            &curve,
+        );
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    // Amdahl fit of the large curve.
+    let curve = modeled_strong_scaling(1024, 1024, 100, &[1, 2, 4, 8, 16, 32]);
+    if let Some(s) = curve.fit_serial_fraction() {
+        let mut t = Table::new(
+            "T1-parlife — Amdahl fit of the modeled curve",
+            &["fitted serial fraction", "implied ceiling"],
+        );
+        t.row(&[
+            f(s, 4),
+            if s > 0.0 {
+                speedup_fmt(1.0 / s)
+            } else {
+                "inf".into()
+            },
+        ]);
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parlife_tables_contain_speedups() {
+        let out = super::parlife();
+        assert!(out.contains("speedup"));
+        assert!(out.contains("1024x1024"));
+        assert!(out.contains("yes"));
+    }
+
+    #[test]
+    fn veclab_shows_doubling_is_cheap() {
+        let out = super::veclab();
+        assert!(out.contains("double"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Table II experiments: CS31's systems topics.
+
+use pdc_arch::pipeline::{
+    dependent_chain_trace, independent_alu_trace, load_use_trace, simulate, BranchPolicy,
+    PipelineConfig,
+};
+use pdc_core::laws;
+use pdc_core::report::{count_fmt, f, speedup_fmt, Table};
+use pdc_memsim::cache::{Cache, CacheConfig, ReplacementPolicy, WritePolicy};
+use pdc_memsim::trace;
+use pdc_os::sched::{simulate as sched_sim, Job, SchedPolicy};
+use pdc_os::vm::{run as vm_run, ReplacePolicy, BELADY_STRING};
+use pdc_sync::problems::{all_grab_left_schedule, run_threaded, simulate as phil_sim, Strategy};
+
+/// Memory hierarchy: layout × organization sweep + replacement policies.
+pub fn cache() -> String {
+    let mut out = String::new();
+    // Layout experiment (row vs col major) across associativity.
+    let mut t = Table::new(
+        "T2-cache — 64x64 f64 matrix walk, 4 KiB cache, 64 B lines",
+        &["traversal", "organization", "misses", "miss rate"],
+    );
+    let orgs: Vec<(&str, CacheConfig)> = vec![
+        ("direct-mapped", CacheConfig::direct_mapped(64, 64)),
+        (
+            "2-way",
+            CacheConfig {
+                line_size: 64,
+                sets: 32,
+                ways: 2,
+                replacement: ReplacementPolicy::Lru,
+                write: WritePolicy::WriteBackAllocate,
+            },
+        ),
+        ("fully-assoc", CacheConfig::fully_associative(64, 64)),
+    ];
+    for (walk, tr) in [
+        ("row-major", trace::matrix_row_major(0, 64, 64)),
+        ("col-major", trace::matrix_col_major(0, 64, 64)),
+    ] {
+        for (name, cfg) in &orgs {
+            let mut c = Cache::new(*cfg);
+            let s = c.run_trace(&tr);
+            t.row(&[
+                walk.to_string(),
+                name.to_string(),
+                s.misses.to_string(),
+                f(s.miss_rate(), 3),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // Replacement policies on a loop-with-hot-line trace.
+    let mut t = Table::new(
+        "T2-cache — replacement policy on hot+streaming trace (1 set, 4 ways)",
+        &["policy", "misses"],
+    );
+    let mk_trace = || {
+        let mut tr = Vec::new();
+        for i in 1..500u64 {
+            tr.push((0u64, false));
+            tr.push((i * 64, false));
+        }
+        tr
+    };
+    for (name, pol) in [
+        ("LRU", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("Random", ReplacementPolicy::Random),
+    ] {
+        let mut c = Cache::new(CacheConfig {
+            line_size: 64,
+            sets: 1,
+            ways: 4,
+            replacement: pol,
+            write: WritePolicy::WriteBackAllocate,
+        });
+        let s = c.run_trace(&mk_trace());
+        t.row(&[name.to_string(), s.misses.to_string()]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// OS: scheduling metrics and page-replacement (with Belady's anomaly).
+pub fn os() -> String {
+    let mut out = String::new();
+    let jobs = vec![Job::new(0, 24), Job::new(0, 3), Job::new(0, 3)];
+    let mut t = Table::new(
+        "T2-os — CPU scheduling, textbook workload (24/3/3 at t=0)",
+        &["policy", "avg wait", "avg turnaround", "avg response", "ctx switches"],
+    );
+    for (name, policy) in [
+        ("FCFS", SchedPolicy::Fcfs),
+        ("SJF", SchedPolicy::Sjf),
+        ("RR q=4", SchedPolicy::RoundRobin { quantum: 4 }),
+        ("MLFQ q0=4", SchedPolicy::Mlfq { base_quantum: 4 }),
+    ] {
+        let m = sched_sim(policy, &jobs);
+        t.row(&[
+            name.to_string(),
+            f(m.avg_waiting(), 2),
+            f(m.avg_turnaround(), 2),
+            f(m.avg_response(), 2),
+            m.context_switches.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut t = Table::new(
+        "T2-os — page faults on the Belady string (FIFO anomaly!)",
+        &["frames", "FIFO", "LRU", "Clock", "OPT"],
+    );
+    for frames in [3usize, 4] {
+        t.row(&[
+            frames.to_string(),
+            vm_run(ReplacePolicy::Fifo, frames, &BELADY_STRING)
+                .faults
+                .to_string(),
+            vm_run(ReplacePolicy::Lru, frames, &BELADY_STRING)
+                .faults
+                .to_string(),
+            vm_run(ReplacePolicy::Clock, frames, &BELADY_STRING)
+                .faults
+                .to_string(),
+            vm_run(ReplacePolicy::Opt, frames, &BELADY_STRING)
+                .faults
+                .to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Synchronization: dining philosophers across strategies.
+pub fn sync() -> String {
+    let n = 5;
+    let mut t = Table::new(
+        "T2-sync — dining philosophers, adversarial all-grab-left schedule",
+        &["strategy", "deadlocked", "cycle size", "meals eaten"],
+    );
+    for (name, strat) in [
+        ("naive (left-first)", Strategy::Naive),
+        ("global order", Strategy::Ordered),
+        ("arbitrator (n-1)", Strategy::Arbitrator),
+    ] {
+        let out = phil_sim(strat, n, 2, &all_grab_left_schedule(n), 100_000);
+        t.row(&[
+            name.to_string(),
+            out.deadlocked.to_string(),
+            out.cycle.as_ref().map_or("-".into(), |c| c.len().to_string()),
+            out.meals.iter().sum::<u32>().to_string(),
+        ]);
+    }
+    let mut s = t.render();
+    // Real threads for the deadlock-free strategies.
+    let mut t = Table::new(
+        "T2-sync — real threads (50 meals each, 5 philosophers)",
+        &["strategy", "total meals", "all fed?"],
+    );
+    for (name, strat) in [
+        ("global order", Strategy::Ordered),
+        ("arbitrator", Strategy::Arbitrator),
+    ] {
+        let out = run_threaded(strat, 5, 50);
+        t.row(&[
+            name.to_string(),
+            out.meals.iter().sum::<u32>().to_string(),
+            out.meals.iter().all(|&m| m == 50).to_string(),
+        ]);
+    }
+    s.push('\n');
+    s.push_str(&t.render());
+    s
+}
+
+/// Amdahl/Gustafson curves: the law tables students fill in.
+pub fn amdahl() -> String {
+    let mut out = String::new();
+    let mut t = Table::new(
+        "T2-amdahl — Amdahl speedup by serial fraction",
+        &["p", "s=0.01", "s=0.05", "s=0.10", "s=0.25"],
+    );
+    for p in [1usize, 2, 4, 8, 16, 64, 1024] {
+        t.row(&[
+            p.to_string(),
+            speedup_fmt(laws::amdahl_speedup(0.01, p)),
+            speedup_fmt(laws::amdahl_speedup(0.05, p)),
+            speedup_fmt(laws::amdahl_speedup(0.10, p)),
+            speedup_fmt(laws::amdahl_speedup(0.25, p)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut t = Table::new(
+        "T2-amdahl — Gustafson scaled speedup (same fractions)",
+        &["p", "s=0.05 amdahl", "s=0.05 gustafson"],
+    );
+    for p in [2usize, 8, 64, 1024] {
+        t.row(&[
+            p.to_string(),
+            speedup_fmt(laws::amdahl_speedup(0.05, p)),
+            speedup_fmt(laws::gustafson_speedup(0.05, p)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Pipelining and superscalar: CPI across hazard profiles.
+pub fn pipeline() -> String {
+    let mut t = Table::new(
+        "T2-pipeline — 5-stage pipeline CPI by workload and configuration",
+        &["workload", "config", "CPI", "stalls", "flushes", "speedup vs unpipelined"],
+    );
+    let workloads: Vec<(&str, Vec<pdc_arch::pipeline::PipeOp>)> = vec![
+        ("independent ALU", independent_alu_trace(10_000)),
+        ("dependence chain", dependent_chain_trace(10_000)),
+        ("load-use loop", load_use_trace(5_000)),
+    ];
+    let configs: Vec<(&str, PipelineConfig)> = vec![
+        ("forwarding", PipelineConfig::default()),
+        (
+            "no forwarding",
+            PipelineConfig {
+                forwarding: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "dual-issue",
+            PipelineConfig {
+                width: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "perfect branches",
+            PipelineConfig {
+                branch_policy: BranchPolicy::Perfect,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (wname, tr) in &workloads {
+        for (cname, cfg) in &configs {
+            let r = simulate(cfg, tr);
+            t.row(&[
+                wname.to_string(),
+                cname.to_string(),
+                f(r.cpi(), 3),
+                count_fmt(r.stall_cycles),
+                count_fmt(r.flush_cycles),
+                speedup_fmt(r.speedup_vs_unpipelined(5)),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn belady_anomaly_visible_in_table() {
+        let out = super::os();
+        assert!(out.contains("anomaly"));
+        // FIFO at 3 frames = 9, at 4 frames = 10.
+        assert!(out.contains('9') && out.contains("10"));
+    }
+
+    #[test]
+    fn philosopher_table_shows_deadlock_only_for_naive() {
+        let out = super::sync();
+        assert!(out.contains("true"), "naive deadlocks");
+        assert!(out.contains("false"), "fixes do not");
+    }
+}

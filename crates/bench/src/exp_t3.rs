@@ -1,0 +1,220 @@
+//! Table III experiments: CS41's models-and-algorithms unit.
+
+use pdc_algos::mergesort::{
+    analysis_parallel_pmerge, analysis_parallel_serial_merge, analysis_sequential,
+};
+use pdc_algos::{matrix, selection, sorting};
+use pdc_core::report::{count_fmt, f, Table};
+use pdc_core::rng::Rng;
+use pdc_extmem::device::Disk;
+use pdc_extmem::extsort::{external_merge_sort, SortConfig};
+use pdc_extmem::theory;
+use pdc_pram::algos as pram_algos;
+
+/// PRAM models: measured work/span of the classic algorithms plus Brent
+/// replay onto finite processor counts.
+pub fn models() -> String {
+    let mut out = String::new();
+    let n = 1024usize;
+    let input: Vec<i64> = (0..n as i64).collect();
+    let mut t = Table::new(
+        "T3-models — PRAM algorithms at n = 1024 (measured by the simulator)",
+        &["algorithm", "mode", "steps (span)", "work", "parallelism"],
+    );
+    let (_, reduce) = pram_algos::reduce_sum(&input).unwrap();
+    let (_, hs) = pram_algos::scan_hillis_steele(&input).unwrap();
+    let (_, _, bl) = pram_algos::scan_blelloch(&input).unwrap();
+    let (_, bc) = pram_algos::broadcast_erew(7, n).unwrap();
+    let small: Vec<i64> = (0..64).collect();
+    let (_, mx) = pram_algos::max_crcw_constant_time(&small).unwrap();
+    let next: Vec<usize> = (0..n).map(|i| (i + 1).min(n - 1)).collect();
+    let (_, lr) = pram_algos::list_rank(&next).unwrap();
+    for (name, mode, pram) in [
+        ("reduce", "EREW", &reduce),
+        ("scan (Hillis-Steele)", "CREW", &hs),
+        ("scan (Blelloch)", "EREW", &bl),
+        ("broadcast", "EREW", &bc),
+        ("max, n=64", "CRCW-common", &mx),
+        ("list ranking", "CREW", &lr),
+    ] {
+        let ws = pram.work_span();
+        t.row(&[
+            name.to_string(),
+            mode.to_string(),
+            ws.span.to_string(),
+            count_fmt(ws.work),
+            f(ws.parallelism(), 1),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // Brent replay: reduce on p processors.
+    let mut t = Table::new(
+        "T3-models — Brent replay: PRAM reduce (n = 1024) on p processors",
+        &["p", "time", "speedup", "bounds ok?"],
+    );
+    let ws = reduce.work_span();
+    let t1 = reduce.time_on(1) as f64;
+    for p in [1usize, 2, 4, 8, 16, 64, 1024] {
+        let tp = reduce.time_on(p);
+        let ok = (tp as f64) >= ws.brent_lower(p) - 1e-9
+            && (tp as f64) <= ws.brent_upper(p) + 1e-9;
+        t.row(&[
+            p.to_string(),
+            tp.to_string(),
+            f(t1 / tp as f64, 2),
+            ok.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Merge sort across the three models — the paper's unifying example.
+pub fn mergesort() -> String {
+    let mut out = String::new();
+    // Closed-form work/span ladder.
+    let mut t = Table::new(
+        "T3-mergesort — work/span across models (closed form)",
+        &["n", "variant", "work", "span", "parallelism"],
+    );
+    for n in [1u64 << 10, 1 << 16, 1 << 20] {
+        for (name, ws) in [
+            ("sequential (RAM)", analysis_sequential(n)),
+            ("parallel, serial merge", analysis_parallel_serial_merge(n)),
+            ("parallel, parallel merge", analysis_parallel_pmerge(n)),
+        ] {
+            t.row(&[
+                count_fmt(n),
+                name.to_string(),
+                count_fmt(ws.work),
+                count_fmt(ws.span),
+                f(ws.parallelism(), 1),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // Out-of-core: measured I/Os vs the sort bound.
+    let mut t = Table::new(
+        "T3-mergesort — external merge sort, B = 16, measured vs theory",
+        &["n", "M", "passes", "measured I/Os", "theory I/Os", "naive (1/rec)"],
+    );
+    let mut rng = Rng::new(41);
+    for (n, m) in [(4_096usize, 256usize), (16_384, 256), (16_384, 1_024)] {
+        let data = rng.u64_vec(n);
+        let mut disk = Disk::new(16);
+        let input = disk.create_file(data);
+        let sorted = external_merge_sort(&mut disk, input, SortConfig { memory: m });
+        assert!(disk
+            .contents(sorted)
+            .windows(2)
+            .all(|w| w[0] <= w[1]));
+        t.row(&[
+            count_fmt(n as u64),
+            m.to_string(),
+            theory::merge_passes(n as u64, m as u64, 16).to_string(),
+            count_fmt(disk.stats().total()),
+            count_fmt(theory::sort_ios(n as u64, m as u64, 16)),
+            count_fmt(theory::unblocked_ios(n as u64)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Sorting / selection / matrix computation: correctness + scaling shape.
+pub fn problems() -> String {
+    let mut out = String::new();
+    let mut rng = Rng::new(3);
+    // Sorting: comparisons of bucket balance for sample sort.
+    let data = rng.u64_vec(50_000);
+    let data_i64: Vec<i64> = data.iter().map(|&x| x as i64).collect();
+    let mut t = Table::new(
+        "T3-problems — sample sort bucket balance (n = 50_000)",
+        &["buckets", "largest/ideal"],
+    );
+    for buckets in [2usize, 4, 8, 16] {
+        let (_, stats) = sorting::sample_sort(&data_i64, buckets, 4, 9);
+        t.row(&[buckets.to_string(), f(stats.imbalance(), 3)]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // Selection: medians agree across algorithms.
+    let mut t = Table::new(
+        "T3-problems — selection agreement (n = 20_000)",
+        &["k", "quickselect", "median-of-medians", "parallel"],
+    );
+    let sel_data = rng.i64_vec(20_000);
+    for k in [0usize, 10_000, 19_999] {
+        t.row(&[
+            k.to_string(),
+            selection::quickselect(&sel_data, k, 1).to_string(),
+            selection::median_of_medians(&sel_data, k).to_string(),
+            selection::parallel_select(&sel_data, k, 4, 1).to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // Matrix: Strassen's asymptotic win in multiplication counts.
+    let mut t = Table::new(
+        "T3-problems — matmul scalar multiplications: classical vs Strassen",
+        &["n", "classical n^3", "strassen n^2.807 (cutoff 1)"],
+    );
+    fn strassen_mults(n: u64) -> u64 {
+        if n <= 1 {
+            1
+        } else {
+            7 * strassen_mults(n / 2)
+        }
+    }
+    for n in [64u64, 256, 1024] {
+        t.row(&[
+            n.to_string(),
+            count_fmt(n * n * n),
+            count_fmt(strassen_mults(n)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    // And a correctness spot check of the executable variants.
+    let a = matrix::Matrix::from_fn(32, 32, |i, j| ((i * 31 + j * 7) % 13) as f64);
+    let b = matrix::Matrix::from_fn(32, 32, |i, j| ((i * 5 + j * 17) % 11) as f64);
+    let naive = matrix::matmul_naive(&a, &b);
+    let strassen = matrix::matmul_strassen(&a, &b, 8);
+    let blocked = matrix::matmul_blocked(&a, &b, 8);
+    let mut t = Table::new(
+        "T3-problems — matmul variant agreement (max |diff| vs naive)",
+        &["variant", "max abs diff"],
+    );
+    t.row(&["blocked 8x8".into(), f(blocked.max_abs_diff(&naive), 12)]);
+    t.row(&["strassen".into(), f(strassen.max_abs_diff(&naive), 12)]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_table_shows_blelloch_work_efficiency() {
+        let out = models();
+        assert!(out.contains("Blelloch"));
+        assert!(out.contains("bounds ok?"));
+        assert!(!out.contains("false"), "Brent bounds must hold everywhere");
+    }
+
+    #[test]
+    fn mergesort_table_has_all_three_models() {
+        let out = mergesort();
+        assert!(out.contains("sequential (RAM)"));
+        assert!(out.contains("parallel merge"));
+        assert!(out.contains("external merge sort"));
+    }
+
+    #[test]
+    fn closed_form_sanity() {
+        assert_eq!(pdc_core::workspan::closed_form::ceil_log2(1024), 10);
+    }
+}

@@ -1,0 +1,399 @@
+//! Performance laws: speedup, efficiency, Amdahl, Gustafson, Karp–Flatt.
+//!
+//! These are the headline formulas CS31 students apply in the parallel
+//! Game-of-Life scalability lab (Table I of the paper) and that CS41
+//! revisits analytically. All functions operate on plain `f64`s so they can
+//! be used both on measured wall-clock times and on simulated step counts.
+
+/// Speedup of a parallel execution: `S(p) = t_serial / t_parallel`.
+///
+/// Both times must be positive. Works equally for wall-clock seconds and
+/// for simulated step counts, as long as the two use the same unit.
+///
+/// # Panics
+/// Panics if either time is not finite and positive.
+///
+/// # Examples
+/// ```
+/// let s = pdc_core::speedup(10.0, 2.5);
+/// assert_eq!(s, 4.0);
+/// ```
+pub fn speedup(t_serial: f64, t_parallel: f64) -> f64 {
+    assert!(
+        t_serial.is_finite() && t_serial > 0.0,
+        "serial time must be positive, got {t_serial}"
+    );
+    assert!(
+        t_parallel.is_finite() && t_parallel > 0.0,
+        "parallel time must be positive, got {t_parallel}"
+    );
+    t_serial / t_parallel
+}
+
+/// Parallel efficiency: `E(p) = S(p) / p`.
+///
+/// An efficiency of 1.0 is perfect linear scaling; the CS31 lab asks
+/// students to explain why efficiency falls as `p` grows.
+///
+/// # Examples
+/// ```
+/// let e = pdc_core::efficiency(3.2, 4);
+/// assert!((e - 0.8).abs() < 1e-12);
+/// ```
+pub fn efficiency(speedup: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    speedup / p as f64
+}
+
+/// Amdahl's law: predicted speedup on `p` processors when a fraction
+/// `serial_fraction` of the work cannot be parallelized.
+///
+/// `S(p) = 1 / (s + (1 - s)/p)`. As `p → ∞` the speedup plateaus at `1/s`,
+/// the classic ceiling students discover in the scalability study.
+///
+/// # Panics
+/// Panics unless `0.0 <= serial_fraction <= 1.0` and `p >= 1`.
+///
+/// # Examples
+/// ```
+/// // 5% serial work caps speedup at 20x no matter how many cores:
+/// let far = pdc_core::amdahl_speedup(0.05, 100_000);
+/// assert!(far < 20.0 && far > 19.9);
+/// ```
+pub fn amdahl_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1], got {serial_fraction}"
+    );
+    assert!(p > 0, "processor count must be positive");
+    1.0 / (serial_fraction + (1.0 - serial_fraction) / p as f64)
+}
+
+/// Gustafson's law: scaled speedup when the *parallel part grows* with `p`
+/// while the serial part stays fixed.
+///
+/// `S(p) = s + (1 - s) * p` where `s` is the serial fraction of the scaled
+/// workload. This is the lens for weak-scaling experiments.
+///
+/// # Examples
+/// ```
+/// let s = pdc_core::gustafson_speedup(0.05, 64);
+/// assert!((s - (0.05 + 0.95 * 64.0)).abs() < 1e-12);
+/// ```
+pub fn gustafson_speedup(serial_fraction: f64, p: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1], got {serial_fraction}"
+    );
+    assert!(p > 0, "processor count must be positive");
+    serial_fraction + (1.0 - serial_fraction) * p as f64
+}
+
+/// Karp–Flatt metric: the *experimentally determined* serial fraction
+/// implied by a measured speedup `s` on `p > 1` processors.
+///
+/// `e = (1/s - 1/p) / (1 - 1/p)`. A rising Karp–Flatt value as `p` grows
+/// indicates overhead (synchronization, load imbalance) rather than an
+/// inherently serial region — exactly the diagnosis step of the CS31 lab
+/// report.
+///
+/// # Panics
+/// Panics if `p < 2` or the speedup is not positive.
+pub fn karp_flatt(measured_speedup: f64, p: usize) -> f64 {
+    assert!(p >= 2, "Karp–Flatt requires p >= 2, got {p}");
+    assert!(
+        measured_speedup.is_finite() && measured_speedup > 0.0,
+        "speedup must be positive"
+    );
+    let pf = p as f64;
+    (1.0 / measured_speedup - 1.0 / pf) / (1.0 - 1.0 / pf)
+}
+
+/// The asymptotic speedup ceiling `1/s` implied by Amdahl's law.
+///
+/// Returns `f64::INFINITY` for a fully parallel workload (`s == 0`).
+pub fn amdahl_ceiling(serial_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1]"
+    );
+    if serial_fraction == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / serial_fraction
+    }
+}
+
+/// Solve Amdahl's law for the processor count needed to reach a target
+/// speedup, or `None` if the target exceeds the `1/s` ceiling.
+///
+/// Useful for the "how many cores would you need?" exam questions.
+pub fn amdahl_processors_for(serial_fraction: f64, target_speedup: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&serial_fraction));
+    assert!(target_speedup >= 1.0, "target speedup must be >= 1");
+    if target_speedup == 1.0 {
+        return Some(1);
+    }
+    let ceiling = amdahl_ceiling(serial_fraction);
+    if target_speedup >= ceiling {
+        return None;
+    }
+    // S = 1 / (s + (1-s)/p)  =>  p = (1-s) / (1/S - s)
+    let p = (1.0 - serial_fraction) / (1.0 / target_speedup - serial_fraction);
+    Some(p.ceil() as usize)
+}
+
+/// Iso-efficiency check: given a function `overhead(n, p)` describing total
+/// parallel overhead `T_o` and serial work `w(n)`, compute the efficiency
+/// `E = w / (w + T_o)` for a particular `(n, p)` point.
+///
+/// CS41 uses this to discuss *scalability*: a system is scalable if, by
+/// growing `n` with `p`, efficiency can be held constant.
+pub fn iso_efficiency(work: f64, overhead: f64) -> f64 {
+    assert!(work > 0.0, "work must be positive");
+    assert!(overhead >= 0.0, "overhead must be non-negative");
+    work / (work + overhead)
+}
+
+/// A measured scaling point: processor count plus the observed time.
+///
+/// [`ScalingCurve`] aggregates these into the derived metrics students
+/// report (speedup, efficiency, Karp–Flatt serial fraction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Number of workers used.
+    pub p: usize,
+    /// Observed time (seconds or simulated steps).
+    pub time: f64,
+}
+
+/// A strong-scaling curve: the `p = 1` baseline plus measurements at
+/// increasing processor counts, with derived metrics.
+#[derive(Debug, Clone)]
+pub struct ScalingCurve {
+    points: Vec<ScalingPoint>,
+}
+
+impl ScalingCurve {
+    /// Build a curve from raw `(p, time)` measurements. The measurements
+    /// are sorted by `p`; the smallest `p` is used as the baseline (it is
+    /// conventionally 1).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, if any time is non-positive, or if two
+    /// points share the same `p`.
+    pub fn new(mut points: Vec<ScalingPoint>) -> Self {
+        assert!(!points.is_empty(), "scaling curve needs at least one point");
+        points.sort_by_key(|pt| pt.p);
+        for w in points.windows(2) {
+            assert!(w[0].p != w[1].p, "duplicate processor count {}", w[0].p);
+        }
+        for pt in &points {
+            assert!(pt.time > 0.0, "time at p={} must be positive", pt.p);
+            assert!(pt.p > 0, "processor count must be positive");
+        }
+        Self { points }
+    }
+
+    /// The baseline time (at the smallest measured `p`).
+    pub fn baseline(&self) -> ScalingPoint {
+        self.points[0]
+    }
+
+    /// All measured points, ordered by `p`.
+    pub fn points(&self) -> &[ScalingPoint] {
+        &self.points
+    }
+
+    /// Speedup at each measured point relative to the baseline.
+    ///
+    /// When the smallest measured `p` is 1 (the usual case) this is the
+    /// textbook `t1 / tp`. If the sweep starts above 1 (sometimes the
+    /// serial run is too slow to measure), the serial time is estimated
+    /// as `t_base * p_base` — the standard perfect-scaling extrapolation,
+    /// which makes the reported speedups a *lower* bound.
+    pub fn speedups(&self) -> Vec<(usize, f64)> {
+        let base = self.baseline();
+        self.points
+            .iter()
+            .map(|pt| (pt.p, speedup(base.time * base.p as f64, pt.time)))
+            .collect()
+    }
+
+    /// Efficiency at each measured point.
+    pub fn efficiencies(&self) -> Vec<(usize, f64)> {
+        self.speedups()
+            .into_iter()
+            .map(|(p, s)| (p, efficiency(s, p)))
+            .collect()
+    }
+
+    /// Karp–Flatt experimentally determined serial fraction at each point
+    /// with `p >= 2`.
+    pub fn karp_flatt_series(&self) -> Vec<(usize, f64)> {
+        self.speedups()
+            .into_iter()
+            .filter(|&(p, _)| p >= 2)
+            .map(|(p, s)| (p, karp_flatt(s, p)))
+            .collect()
+    }
+
+    /// Least-squares fit of the serial fraction `s` under the Amdahl model,
+    /// fitting `1/S(p) = s + (1-s)/p` linearly in `1/p`.
+    ///
+    /// Returns `None` if fewer than two distinct `p >= 1` points exist.
+    pub fn fit_serial_fraction(&self) -> Option<f64> {
+        let sp = self.speedups();
+        if sp.len() < 2 {
+            return None;
+        }
+        // Linear regression of y = 1/S against x = 1/p:
+        // y = s + (1-s) x  =>  slope = 1-s, intercept = s.
+        let n = sp.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(p, s) in &sp {
+            let x = 1.0 / p as f64;
+            let y = 1.0 / s;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-15 {
+            return None;
+        }
+        let intercept = (sy * sxx - sx * sxy) / denom;
+        Some(intercept.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basic() {
+        assert_eq!(speedup(8.0, 2.0), 4.0);
+        assert_eq!(speedup(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel time must be positive")]
+    fn speedup_rejects_zero_parallel() {
+        speedup(1.0, 0.0);
+    }
+
+    #[test]
+    fn efficiency_basic() {
+        assert!((efficiency(4.0, 4) - 1.0).abs() < 1e-12);
+        assert!((efficiency(2.0, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        // Fully parallel: perfect speedup.
+        assert!((amdahl_speedup(0.0, 16) - 16.0).abs() < 1e-12);
+        // Fully serial: no speedup.
+        assert!((amdahl_speedup(1.0, 16) - 1.0).abs() < 1e-12);
+        // p = 1 is always speedup 1.
+        assert!((amdahl_speedup(0.3, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_monotone_in_p() {
+        let mut prev = 0.0;
+        for p in 1..=1024 {
+            let s = amdahl_speedup(0.1, p);
+            assert!(s >= prev, "speedup should be non-decreasing in p");
+            prev = s;
+        }
+        assert!(prev < amdahl_ceiling(0.1));
+    }
+
+    #[test]
+    fn amdahl_ceiling_matches_large_p() {
+        let s = amdahl_speedup(0.02, 10_000_000);
+        assert!((s - amdahl_ceiling(0.02)).abs() < 0.01);
+        assert_eq!(amdahl_ceiling(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn amdahl_processors_for_roundtrip() {
+        let s = 0.05;
+        let p = amdahl_processors_for(s, 10.0).unwrap();
+        assert!(amdahl_speedup(s, p) >= 10.0);
+        assert!(amdahl_speedup(s, p - 1) < 10.0);
+        // Beyond the ceiling it is impossible.
+        assert_eq!(amdahl_processors_for(0.1, 10.0), None);
+        assert_eq!(amdahl_processors_for(0.1, 11.0), None);
+        assert_eq!(amdahl_processors_for(0.5, 1.0), Some(1));
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_scaled_work() {
+        for p in 2..64 {
+            assert!(gustafson_speedup(0.1, p) > amdahl_speedup(0.1, p));
+        }
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // If the measured speedup exactly follows Amdahl with fraction s,
+        // Karp–Flatt should recover s.
+        let s = 0.07;
+        for p in [2, 4, 8, 16, 32] {
+            let measured = amdahl_speedup(s, p);
+            let e = karp_flatt(measured, p);
+            assert!((e - s).abs() < 1e-12, "p={p}: got {e}");
+        }
+    }
+
+    #[test]
+    fn iso_efficiency_basics() {
+        assert!((iso_efficiency(100.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((iso_efficiency(100.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_curve_derivations() {
+        let curve = ScalingCurve::new(vec![
+            ScalingPoint { p: 1, time: 100.0 },
+            ScalingPoint { p: 2, time: 55.0 },
+            ScalingPoint { p: 4, time: 30.0 },
+            ScalingPoint { p: 8, time: 20.0 },
+        ]);
+        let sp = curve.speedups();
+        assert_eq!(sp[0], (1, 1.0));
+        assert!((sp[3].1 - 5.0).abs() < 1e-12);
+        let eff = curve.efficiencies();
+        assert!(eff[3].1 < eff[1].1, "efficiency should fall with p here");
+        let kf = curve.karp_flatt_series();
+        assert_eq!(kf.len(), 3);
+        assert!(kf.iter().all(|&(_, e)| e > 0.0 && e < 1.0));
+    }
+
+    #[test]
+    fn scaling_curve_fit_recovers_amdahl_fraction() {
+        let s = 0.12;
+        let pts = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| ScalingPoint {
+                p,
+                time: 100.0 / amdahl_speedup(s, p),
+            })
+            .collect();
+        let curve = ScalingCurve::new(pts);
+        let fitted = curve.fit_serial_fraction().unwrap();
+        assert!((fitted - s).abs() < 1e-9, "fitted {fitted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor count")]
+    fn scaling_curve_rejects_duplicates() {
+        ScalingCurve::new(vec![
+            ScalingPoint { p: 2, time: 1.0 },
+            ScalingPoint { p: 2, time: 2.0 },
+        ]);
+    }
+}

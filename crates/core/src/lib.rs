@@ -1,0 +1,42 @@
+//! # pdc-core — performance laws, models of computation, and experiment harness
+//!
+//! This crate is the analytical foundation of the `pdc` workspace. It
+//! implements the quantitative content that the Swarthmore curriculum
+//! (Danner & Newhall, EduPar 2013) threads through CS31 and CS41:
+//!
+//! * [`laws`] — speedup, efficiency, Amdahl's law, Gustafson's law,
+//!   the Karp–Flatt metric, and iso-efficiency analysis.
+//! * [`workspan`] — the work/span (a.k.a. work/depth) framework of
+//!   CLRS ch. 27, including Brent's theorem bounds.
+//! * [`taskgraph`] — explicit task DAGs with critical-path analysis and a
+//!   greedy list scheduler that simulates execution on `p` processors.
+//! * [`machine`] — a deterministic multicore cost model used by the
+//!   scalability benches so that speedup *shapes* reproduce on any host
+//!   (including single-core CI boxes).
+//! * [`scaling`] — strong- and weak-scaling experiment drivers.
+//! * [`stats`] — small-sample statistics and a repetition-based timer.
+//! * [`report`] — aligned text tables for regenerating the paper's
+//!   table-style summaries.
+//! * [`rng`] — a tiny deterministic SplitMix64/xoshiro generator so the
+//!   simulators do not need an external RNG dependency.
+//!
+//! Everything here is deterministic and side-effect free except for the
+//! wall-clock helpers in [`stats`], which are clearly marked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod laws;
+pub mod machine;
+pub mod report;
+pub mod rng;
+pub mod scaling;
+pub mod stats;
+pub mod taskgraph;
+pub mod workspan;
+
+pub use laws::{amdahl_speedup, efficiency, gustafson_speedup, karp_flatt, speedup};
+pub use machine::{BarrierModel, CoreTrace, MachineConfig, SimMachine};
+pub use rng::Rng;
+pub use taskgraph::{ScheduleResult, TaskGraph, TaskId};
+pub use workspan::WorkSpan;

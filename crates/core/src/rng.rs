@@ -1,0 +1,208 @@
+//! A tiny deterministic pseudo-random generator for the simulators.
+//!
+//! The workspace's simulators (cache traces, PRAM inputs, schedulers with
+//! random replacement, ...) must be reproducible from an explicit seed, and
+//! must not pull a heavyweight dependency into every crate. This module
+//! implements SplitMix64 (for seeding) feeding xoshiro256++ — the same
+//! construction recommended by the xoshiro authors — in ~100 lines.
+//!
+//! This generator is *not* cryptographically secure. It is also
+//! intentionally not `rand`-compatible: bench and example code that wants
+//! distributions uses the real `rand` crate; the simulators only need
+//! uniform integers, floats and shuffles.
+
+/// Deterministic xoshiro256++ generator seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++ core step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire 2019: unbiased bounded integers without division in the
+        // common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.gen_range((hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range((i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A vector of `n` uniform `u64`s — handy for sort/selection workloads.
+    pub fn u64_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// A vector of `n` uniform `i64`s.
+    pub fn i64_vec(&mut self, n: usize) -> Vec<i64> {
+        (0..n).map(|_| self.next_u64() as i64).collect()
+    }
+
+    /// Choose a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose on empty slice");
+        &xs[self.gen_range(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_range() {
+        let mut r = Rng::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn usize_in_respects_range() {
+        let mut r = Rng::new(17);
+        for _ in 0..1000 {
+            let x = r.usize_in(5, 9);
+            assert!((5..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(19);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0 + 1e-9)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Strong- and weak-scaling experiment drivers.
+//!
+//! These wrap the bookkeeping of the CS31 scalability study: sweep a
+//! worker count, collect times (wall-clock or simulated), and derive the
+//! speedup/efficiency/Karp–Flatt table students put in their lab reports.
+
+use crate::laws::{self, ScalingCurve, ScalingPoint};
+use crate::report::{self, Table};
+
+/// Run a strong-scaling sweep: fixed problem, varying worker count.
+///
+/// `measure(p)` must return the observed time using `p` workers.
+///
+/// # Panics
+/// Panics if `ps` is empty or a measurement is non-positive.
+pub fn strong_scaling(ps: &[usize], mut measure: impl FnMut(usize) -> f64) -> ScalingCurve {
+    assert!(!ps.is_empty(), "strong scaling needs at least one p");
+    let points = ps
+        .iter()
+        .map(|&p| ScalingPoint {
+            p,
+            time: measure(p),
+        })
+        .collect();
+    ScalingCurve::new(points)
+}
+
+/// One observation of a weak-scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakPoint {
+    /// Worker count (problem size grows proportionally).
+    pub p: usize,
+    /// Observed time.
+    pub time: f64,
+    /// Weak-scaling efficiency `t(1) / t(p)` (1.0 is perfect).
+    pub efficiency: f64,
+}
+
+/// Run a weak-scaling sweep: problem size grows with `p`, so perfect
+/// scaling keeps time constant. `measure(p)` runs the p-scaled problem on
+/// `p` workers.
+///
+/// # Panics
+/// Panics if `ps` is empty, unsorted, or does not start the sweep with its
+/// smallest `p` (the baseline), or if a measurement is non-positive.
+pub fn weak_scaling(ps: &[usize], mut measure: impl FnMut(usize) -> f64) -> Vec<WeakPoint> {
+    assert!(!ps.is_empty(), "weak scaling needs at least one p");
+    assert!(
+        ps.windows(2).all(|w| w[0] < w[1]),
+        "worker counts must be strictly increasing"
+    );
+    let t_base = measure(ps[0]);
+    assert!(t_base > 0.0, "baseline time must be positive");
+    let mut out = vec![WeakPoint {
+        p: ps[0],
+        time: t_base,
+        efficiency: 1.0,
+    }];
+    for &p in &ps[1..] {
+        let t = measure(p);
+        assert!(t > 0.0, "time at p={p} must be positive");
+        out.push(WeakPoint {
+            p,
+            time: t,
+            efficiency: t_base / t,
+        });
+    }
+    out
+}
+
+/// Render a strong-scaling curve as the standard lab-report table:
+/// `p, time, speedup, efficiency, karp-flatt`.
+pub fn scaling_table(title: &str, curve: &ScalingCurve) -> Table {
+    let mut t = Table::new(title, &["p", "time", "speedup", "efficiency", "karp-flatt"]);
+    let speedups = curve.speedups();
+    let effs = curve.efficiencies();
+    for (i, pt) in curve.points().iter().enumerate() {
+        let kf = if pt.p >= 2 {
+            report::f(laws::karp_flatt(speedups[i].1, pt.p), 4)
+        } else {
+            "-".to_string()
+        };
+        t.row(&[
+            pt.p.to_string(),
+            report::f(pt.time, 3),
+            report::speedup_fmt(speedups[i].1),
+            report::f(effs[i].1, 3),
+            kf,
+        ]);
+    }
+    t
+}
+
+/// Render a weak-scaling sweep as a table: `p, time, efficiency`.
+pub fn weak_scaling_table(title: &str, points: &[WeakPoint]) -> Table {
+    let mut t = Table::new(title, &["p", "time", "weak efficiency"]);
+    for pt in points {
+        t.row(&[
+            pt.p.to_string(),
+            report::f(pt.time, 3),
+            report::f(pt.efficiency, 3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimMachine;
+
+    #[test]
+    fn strong_scaling_on_sim_machine() {
+        let ps = [1usize, 2, 4, 8];
+        let curve = strong_scaling(&ps, |p| {
+            SimMachine::run_bsp_program(p, 100, 50, 50_000, p)
+        });
+        let sp = curve.speedups();
+        assert!(sp.last().unwrap().1 > sp[0].1);
+        assert!(sp.last().unwrap().1 < 8.0, "sync costs forbid ideal scaling");
+    }
+
+    #[test]
+    fn weak_scaling_perfect_when_work_scales() {
+        // Ideal machine, work = p * base: time constant => efficiency 1.
+        let pts = weak_scaling(&[1, 2, 4], |p| {
+            let mut m = SimMachine::new(crate::machine::MachineConfig::ideal(p));
+            m.parallel_even(10_000 * p as u64, p);
+            m.finish().elapsed()
+        });
+        for pt in &pts {
+            assert!((pt.efficiency - 1.0).abs() < 1e-9, "p={}", pt.p);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_degrades_with_sync() {
+        let pts = weak_scaling(&[1, 2, 4, 8], |p| {
+            SimMachine::run_bsp_program(p, 0, 100, 10_000 * p as u64, p)
+        });
+        // Barrier cost grows with p, so weak efficiency drops below 1.
+        assert!(pts.last().unwrap().efficiency < 1.0);
+        // But not catastrophically for this configuration.
+        assert!(pts.last().unwrap().efficiency > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn weak_scaling_rejects_unsorted() {
+        weak_scaling(&[4, 2], |_| 1.0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let curve = strong_scaling(&[1, 2, 4], |p| 100.0 / p as f64 + 5.0);
+        let t = scaling_table("strong", &curve);
+        let s = t.render();
+        assert!(s.contains("karp-flatt"));
+        assert_eq!(t.num_rows(), 3);
+
+        let w = weak_scaling(&[1, 2], |_| 10.0);
+        let wt = weak_scaling_table("weak", &w);
+        assert!(wt.render().contains("weak efficiency"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Small-sample statistics and a repetition-based wall-clock timer.
+//!
+//! The CS31 labs teach students to time code properly: repeat runs, report
+//! a robust statistic (minimum or median, not the mean of noisy runs), and
+//! quote variability. [`Samples`] and [`time_op`] encode that discipline.
+
+use std::time::{Duration, Instant};
+
+/// A collection of numeric samples with robust summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Construct from raw values.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN sample");
+        Self { values }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN sample");
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of empty samples");
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Sample standard deviation (Bessel-corrected). Zero for n < 2.
+    pub fn stddev(&self) -> f64 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (self.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Median (interpolated for even counts).
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Minimum.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty(), "min of empty samples");
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty(), "max of empty samples");
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Percentile in `[0, 100]` with linear interpolation.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or an out-of-range percentile.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!(!self.is_empty(), "percentile of empty samples");
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean); zero when mean is zero.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// Raw sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Timing summary returned by [`time_op`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest observed run — the standard low-noise estimator.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// Mean run.
+    pub mean: Duration,
+    /// Number of repetitions.
+    pub reps: usize,
+}
+
+/// Time `f` over `reps` repetitions (wall clock) and summarize.
+///
+/// One warm-up run is executed and discarded first. The closure's return
+/// value is passed to `std::hint::black_box` to keep the optimizer honest.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn time_op<T>(reps: usize, mut f: impl FnMut() -> T) -> Timing {
+    assert!(reps > 0, "need at least one repetition");
+    std::hint::black_box(f()); // warm-up
+    let mut samples = Samples::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    Timing {
+        min: Duration::from_secs_f64(samples.min()),
+        median: Duration::from_secs_f64(samples.median()),
+        mean: Duration::from_secs_f64(samples.mean()),
+        reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_minmax() {
+        let s = Samples::from_vec(vec![4.0, 1.0, 3.0, 2.0]);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.median() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn odd_median_is_middle() {
+        let s = Samples::from_vec(vec![9.0, 1.0, 5.0]);
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn stddev_known_value() {
+        let s = Samples::from_vec(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // Population stddev is 2; sample (Bessel) stddev is ~2.138.
+        assert!((s.stddev() - 2.1380899352993947).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_singleton_is_zero() {
+        let s = Samples::from_vec(vec![42.0]);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Samples::from_vec(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert!((s.percentile(50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        Samples::from_vec(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn time_op_runs_and_orders() {
+        let t = time_op(5, || (0..1000u64).sum::<u64>());
+        assert_eq!(t.reps, 5);
+        assert!(t.min <= t.median);
+        assert!(t.min <= t.mean);
+    }
+}

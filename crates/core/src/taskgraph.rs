@@ -1,0 +1,418 @@
+//! Task graphs (dependence DAGs) with critical-path analysis and greedy
+//! list scheduling — the "task graphs, work, span" row of the paper's
+//! Table III.
+//!
+//! A [`TaskGraph`] is a DAG whose nodes carry integer costs. From it we
+//! derive work (total cost), span (critical path), and a simulated greedy
+//! schedule on `p` processors, which students compare against Brent's
+//! bounds.
+
+use crate::workspan::WorkSpan;
+use std::collections::BinaryHeap;
+
+/// Identifier of a task inside a [`TaskGraph`] (dense index).
+pub type TaskId = usize;
+
+/// A directed acyclic graph of unit tasks with costs and dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    costs: Vec<u64>,
+    /// Outgoing edges: `succs[u]` are tasks that depend on `u`.
+    succs: Vec<Vec<TaskId>>,
+    /// Number of incoming edges per task.
+    indegree: Vec<usize>,
+    labels: Vec<String>,
+}
+
+/// The outcome of simulating a schedule of a [`TaskGraph`] on `p` workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// Total simulated completion time.
+    pub makespan: u64,
+    /// For each task: `(worker, start_time)` it was assigned.
+    pub placement: Vec<(usize, u64)>,
+    /// Busy time per worker (for load-imbalance diagnostics).
+    pub busy: Vec<u64>,
+}
+
+impl ScheduleResult {
+    /// Fraction of total worker-time spent busy: `Σ busy / (p * makespan)`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.busy.iter().sum();
+        total as f64 / (self.busy.len() as u64 * self.makespan) as f64
+    }
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task with the given cost; returns its id.
+    pub fn add_task(&mut self, cost: u64) -> TaskId {
+        self.add_labeled(cost, String::new())
+    }
+
+    /// Add a task with a human-readable label (used in reports).
+    pub fn add_labeled(&mut self, cost: u64, label: impl Into<String>) -> TaskId {
+        let id = self.costs.len();
+        self.costs.push(cost);
+        self.succs.push(Vec::new());
+        self.indegree.push(0);
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Declare that `after` cannot start until `before` completes.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or a self-edge.
+    pub fn add_dep(&mut self, before: TaskId, after: TaskId) {
+        assert!(before < self.costs.len(), "unknown task {before}");
+        assert!(after < self.costs.len(), "unknown task {after}");
+        assert_ne!(before, after, "self-dependency on task {before}");
+        self.succs[before].push(after);
+        self.indegree[after] += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Cost of one task.
+    pub fn cost(&self, id: TaskId) -> u64 {
+        self.costs[id]
+    }
+
+    /// Label of one task (may be empty).
+    pub fn label(&self, id: TaskId) -> &str {
+        &self.labels[id]
+    }
+
+    /// A topological order, or `None` if the graph contains a cycle.
+    pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        let mut indeg = self.indegree.clone();
+        let mut ready: Vec<TaskId> = (0..self.len()).filter(|&t| indeg[t] == 0).collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(t) = ready.pop() {
+            order.push(t);
+            for &s in &self.succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+
+    /// Work and span of the DAG.
+    ///
+    /// Work is the cost sum; span is the maximum cost of any directed path
+    /// (critical path), computed by DP over a topological order.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic.
+    pub fn work_span(&self) -> WorkSpan {
+        let order = self.topo_order().expect("task graph contains a cycle");
+        let work: u64 = self.costs.iter().sum();
+        // finish[t] = earliest completion of t with unlimited processors.
+        let mut finish = vec![0u64; self.len()];
+        let mut span = 0;
+        for &t in &order {
+            let start = finish[t]; // max over predecessors, accumulated below
+            let f = start + self.costs[t];
+            span = span.max(f);
+            for &s in &self.succs[t] {
+                finish[s] = finish[s].max(f);
+            }
+        }
+        WorkSpan::new(work, span)
+    }
+
+    /// The critical path itself, as a task sequence from a source to a sink.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic or empty.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        assert!(!self.is_empty(), "critical path of empty graph");
+        let order = self.topo_order().expect("task graph contains a cycle");
+        let mut finish = vec![0u64; self.len()];
+        let mut pred: Vec<Option<TaskId>> = vec![None; self.len()];
+        for &t in &order {
+            let f = finish[t] + self.costs[t];
+            for &s in &self.succs[t] {
+                if f > finish[s] {
+                    finish[s] = f;
+                    pred[s] = Some(t);
+                }
+            }
+        }
+        let mut end = 0;
+        let mut best = 0;
+        for t in 0..self.len() {
+            let f = finish[t] + self.costs[t];
+            if f > best {
+                best = f;
+                end = t;
+            }
+        }
+        let mut path = vec![end];
+        while let Some(p) = pred[*path.last().unwrap()] {
+            path.push(p);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Simulate a greedy list schedule on `p` identical workers.
+    ///
+    /// At every instant, any ready task is assigned to any idle worker
+    /// (ready tasks are taken in id order — deterministic). This is the
+    /// scheduler Brent's theorem describes, so the resulting makespan
+    /// always lies within `[max(T1/p, T∞), T1/p + T∞]`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or the graph is cyclic.
+    pub fn schedule(&self, p: usize) -> ScheduleResult {
+        assert!(p > 0, "need at least one worker");
+        self.topo_order().expect("task graph contains a cycle");
+
+        let mut indeg = self.indegree.clone();
+        // Min-heap of ready tasks by id for determinism.
+        let mut ready: BinaryHeap<std::cmp::Reverse<TaskId>> = (0..self.len())
+            .filter(|&t| indeg[t] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        // Min-heap of running tasks by completion time.
+        let mut running: BinaryHeap<std::cmp::Reverse<(u64, TaskId, usize)>> = BinaryHeap::new();
+        let mut idle: Vec<usize> = (0..p).rev().collect();
+        let mut placement = vec![(0usize, 0u64); self.len()];
+        let mut busy = vec![0u64; p];
+        let mut now = 0u64;
+        let mut done = 0usize;
+
+        while done < self.len() {
+            // Dispatch as many ready tasks as we have idle workers.
+            while !ready.is_empty() && !idle.is_empty() {
+                let std::cmp::Reverse(t) = ready.pop().unwrap();
+                let w = idle.pop().unwrap();
+                placement[t] = (w, now);
+                busy[w] += self.costs[t];
+                running.push(std::cmp::Reverse((now + self.costs[t], t, w)));
+            }
+            // Advance to the next completion.
+            let std::cmp::Reverse((finish, t, w)) = running
+                .pop()
+                .expect("deadlock: no running tasks but work remains");
+            now = finish;
+            idle.push(w);
+            done += 1;
+            for &s in &self.succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(std::cmp::Reverse(s));
+                }
+            }
+            // Drain any other tasks finishing at the same instant.
+            while let Some(&std::cmp::Reverse((f2, _, _))) = running.peek() {
+                if f2 != now {
+                    break;
+                }
+                let std::cmp::Reverse((_, t2, w2)) = running.pop().unwrap();
+                idle.push(w2);
+                done += 1;
+                for &s in &self.succs[t2] {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        ready.push(std::cmp::Reverse(s));
+                    }
+                }
+            }
+        }
+        ScheduleResult {
+            makespan: now,
+            placement,
+            busy,
+        }
+    }
+
+    /// Build the fork-join DAG of a balanced binary reduction over `n`
+    /// leaves with unit-cost combines — the tree students draw for
+    /// parallel reduce.
+    pub fn reduction_tree(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        assert!(n > 0);
+        let mut level: Vec<TaskId> = (0..n).map(|i| g.add_labeled(1, format!("leaf{i}"))).collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    let c = g.add_labeled(1, "combine");
+                    g.add_dep(pair[0], c);
+                    g.add_dep(pair[1], c);
+                    next.push(c);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        g
+    }
+
+    /// Build the DAG of parallel-recursive merge sort on `n` elements where
+    /// the merge at each node is modeled as a serial task of linear cost —
+    /// the "naive" parallel merge sort whose span is Θ(n), used in CS41 to
+    /// motivate the parallel merge.
+    pub fn mergesort_serial_merge(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        fn rec(g: &mut TaskGraph, n: usize) -> TaskId {
+            if n <= 1 {
+                return g.add_labeled(1, "base");
+            }
+            let l = rec(g, n / 2);
+            let r = rec(g, n - n / 2);
+            let m = g.add_labeled(n as u64, "merge");
+            g.add_dep(l, m);
+            g.add_dep(r, m);
+            m
+        }
+        rec(&mut g, n);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // a -> b,c -> d, costs 1,2,3,1
+        let mut g = TaskGraph::new();
+        let a = g.add_task(1);
+        let b = g.add_task(2);
+        let c = g.add_task(3);
+        let d = g.add_task(1);
+        g.add_dep(a, b);
+        g.add_dep(a, c);
+        g.add_dep(b, d);
+        g.add_dep(c, d);
+        g
+    }
+
+    #[test]
+    fn topo_order_valid() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(1);
+        let b = g.add_task(1);
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn work_span_diamond() {
+        let g = diamond();
+        let ws = g.work_span();
+        assert_eq!(ws.work, 7);
+        assert_eq!(ws.span, 5); // a(1) -> c(3) -> d(1)
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let g = diamond();
+        assert_eq!(g.critical_path(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_respects_brent_bounds() {
+        let g = TaskGraph::reduction_tree(64);
+        let ws = g.work_span();
+        for p in [1usize, 2, 3, 4, 8, 16, 64] {
+            let sched = g.schedule(p);
+            let t = sched.makespan as f64;
+            assert!(
+                t >= ws.brent_lower(p) - 1e-9,
+                "p={p}: makespan {t} below lower bound {}",
+                ws.brent_lower(p)
+            );
+            assert!(
+                t <= ws.brent_upper(p) + 1e-9,
+                "p={p}: makespan {t} above upper bound {}",
+                ws.brent_upper(p)
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_one_worker_equals_work() {
+        let g = diamond();
+        let sched = g.schedule(1);
+        assert_eq!(sched.makespan, g.work_span().work);
+        assert!((sched.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_unbounded_equals_span() {
+        let g = TaskGraph::reduction_tree(128);
+        let ws = g.work_span();
+        let sched = g.schedule(256);
+        assert_eq!(sched.makespan, ws.span);
+    }
+
+    #[test]
+    fn reduction_tree_counts() {
+        let g = TaskGraph::reduction_tree(8);
+        let ws = g.work_span();
+        // 8 leaves + 7 combines, unit cost each.
+        assert_eq!(ws.work, 15);
+        // leaf + 3 combine levels.
+        assert_eq!(ws.span, 4);
+    }
+
+    #[test]
+    fn mergesort_serial_merge_span_is_linearish() {
+        let g = TaskGraph::mergesort_serial_merge(256);
+        let ws = g.work_span();
+        // Span dominated by the final Θ(n) merge plus the chain above it:
+        // span >= n, and far below work only by a log factor.
+        assert!(ws.span >= 256);
+        assert!(ws.work > ws.span);
+        let par = ws.parallelism();
+        assert!(par < 16.0, "serial merges kill parallelism, got {par}");
+    }
+
+    #[test]
+    fn placement_workers_in_range() {
+        let g = TaskGraph::reduction_tree(33);
+        let sched = g.schedule(4);
+        assert!(sched.placement.iter().all(|&(w, _)| w < 4));
+        assert_eq!(sched.busy.len(), 4);
+    }
+}

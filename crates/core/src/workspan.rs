@@ -1,0 +1,252 @@
+//! Work/span analysis (CLRS ch. 27), the theoretical backbone of the CS41
+//! parallel-models unit.
+//!
+//! A parallel computation is characterized by its *work* `T1` (total
+//! operations) and *span* `T∞` (critical-path length). Brent's theorem
+//! bounds greedy-scheduler execution time on `p` processors:
+//!
+//! ```text
+//! max(T1/p, T∞)  <=  Tp  <=  T1/p + T∞
+//! ```
+//!
+//! [`WorkSpan`] is an accumulator the PRAM simulator, the fork-join
+//! runtime, and the algorithm analyses all use. Composition follows the
+//! series/parallel rules: sequential composition adds work and span;
+//! parallel composition adds work but takes the max span.
+
+/// Work and span of a (sub)computation, in abstract unit-cost operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkSpan {
+    /// Total number of operations (`T1`).
+    pub work: u64,
+    /// Critical-path length (`T∞`).
+    pub span: u64,
+}
+
+impl WorkSpan {
+    /// The empty computation.
+    pub const ZERO: WorkSpan = WorkSpan { work: 0, span: 0 };
+
+    /// A strand of `ops` sequential unit operations: work = span = ops.
+    pub fn strand(ops: u64) -> Self {
+        WorkSpan { work: ops, span: ops }
+    }
+
+    /// Construct from explicit work and span.
+    ///
+    /// # Panics
+    /// Panics if `span > work` (impossible: the critical path is made of
+    /// operations, all of which count toward work).
+    pub fn new(work: u64, span: u64) -> Self {
+        assert!(span <= work, "span {span} cannot exceed work {work}");
+        WorkSpan { work, span }
+    }
+
+    /// Sequential composition: `self` then `next`.
+    /// Work adds, span adds.
+    #[must_use]
+    pub fn then(self, next: WorkSpan) -> WorkSpan {
+        WorkSpan {
+            work: self.work + next.work,
+            span: self.span + next.span,
+        }
+    }
+
+    /// Parallel composition: `self` alongside `other`.
+    /// Work adds, span is the max.
+    #[must_use]
+    pub fn beside(self, other: WorkSpan) -> WorkSpan {
+        WorkSpan {
+            work: self.work + other.work,
+            span: self.span.max(other.span),
+        }
+    }
+
+    /// Parallel composition of many branches.
+    pub fn fork_join<I: IntoIterator<Item = WorkSpan>>(branches: I) -> WorkSpan {
+        branches
+            .into_iter()
+            .fold(WorkSpan::ZERO, |acc, b| acc.beside(b))
+    }
+
+    /// Parallelism `T1 / T∞`: the maximum useful processor count.
+    ///
+    /// Returns `f64::INFINITY` only for the degenerate `span == 0` with
+    /// positive work (which [`WorkSpan::new`] prevents); `ZERO` yields 1.0.
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            if self.work == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.work as f64 / self.span as f64
+        }
+    }
+
+    /// Brent's theorem *upper* bound on `Tp`: `T1/p + T∞`.
+    pub fn brent_upper(&self, p: usize) -> f64 {
+        assert!(p > 0);
+        self.work as f64 / p as f64 + self.span as f64
+    }
+
+    /// Greedy-scheduler *lower* bound on `Tp`: `max(T1/p, T∞)`.
+    pub fn brent_lower(&self, p: usize) -> f64 {
+        assert!(p > 0);
+        (self.work as f64 / p as f64).max(self.span as f64)
+    }
+
+    /// Predicted speedup on `p` processors using the Brent upper bound —
+    /// a conservative (pessimistic) model the scalability benches use.
+    pub fn predicted_speedup(&self, p: usize) -> f64 {
+        if self.work == 0 {
+            return 1.0;
+        }
+        self.work as f64 / self.brent_upper(p)
+    }
+}
+
+impl std::ops::Add for WorkSpan {
+    type Output = WorkSpan;
+    /// `+` is sequential composition (the common case in accumulators).
+    fn add(self, rhs: WorkSpan) -> WorkSpan {
+        self.then(rhs)
+    }
+}
+
+impl std::ops::AddAssign for WorkSpan {
+    fn add_assign(&mut self, rhs: WorkSpan) {
+        *self = self.then(rhs);
+    }
+}
+
+/// Closed-form work/span for the classic algorithms CS41 analyzes, used to
+/// cross-check the simulators' measured counts.
+pub mod closed_form {
+    use super::WorkSpan;
+
+    /// Parallel reduce over `n` elements (binary tree): work `n-1`,
+    /// span `ceil(log2 n)`.
+    pub fn reduce(n: u64) -> WorkSpan {
+        if n <= 1 {
+            return WorkSpan::ZERO;
+        }
+        WorkSpan::new(n - 1, ceil_log2(n))
+    }
+
+    /// Work-efficient parallel scan (Blelloch up-sweep + down-sweep):
+    /// work ~`2(n-1)`, span ~`2 log2 n`.
+    pub fn scan(n: u64) -> WorkSpan {
+        if n <= 1 {
+            return WorkSpan::ZERO;
+        }
+        WorkSpan::new(2 * (n - 1), 2 * ceil_log2(n))
+    }
+
+    /// `ceil(log2 n)` for `n >= 1`.
+    pub fn ceil_log2(n: u64) -> u64 {
+        assert!(n >= 1);
+        64 - (n - 1).leading_zeros() as u64
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn ceil_log2_values() {
+            assert_eq!(ceil_log2(1), 0);
+            assert_eq!(ceil_log2(2), 1);
+            assert_eq!(ceil_log2(3), 2);
+            assert_eq!(ceil_log2(4), 2);
+            assert_eq!(ceil_log2(5), 3);
+            assert_eq!(ceil_log2(1024), 10);
+            assert_eq!(ceil_log2(1025), 11);
+        }
+
+        #[test]
+        fn reduce_form() {
+            let ws = reduce(8);
+            assert_eq!(ws.work, 7);
+            assert_eq!(ws.span, 3);
+            assert_eq!(reduce(1), WorkSpan::ZERO);
+        }
+
+        #[test]
+        fn scan_form() {
+            let ws = scan(8);
+            assert_eq!(ws.work, 14);
+            assert_eq!(ws.span, 6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strand_equates_work_and_span() {
+        let s = WorkSpan::strand(10);
+        assert_eq!(s.work, 10);
+        assert_eq!(s.span, 10);
+        assert!((s.parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_parallel_composition() {
+        let a = WorkSpan::strand(4);
+        let b = WorkSpan::strand(6);
+        let seq = a.then(b);
+        assert_eq!(seq, WorkSpan::new(10, 10));
+        let par = a.beside(b);
+        assert_eq!(par, WorkSpan::new(10, 6));
+        assert!(par.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn fork_join_many() {
+        let branches = (0..8).map(|_| WorkSpan::strand(5));
+        let ws = WorkSpan::fork_join(branches);
+        assert_eq!(ws.work, 40);
+        assert_eq!(ws.span, 5);
+        assert!((ws.parallelism() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_bounds_order() {
+        let ws = WorkSpan::new(1000, 20);
+        for p in [1usize, 2, 4, 8, 16, 64, 1024] {
+            assert!(ws.brent_lower(p) <= ws.brent_upper(p));
+        }
+        // With p = 1 both bounds equal the work.
+        assert_eq!(ws.brent_lower(1), 1000.0);
+        assert_eq!(ws.brent_upper(1), 1020.0);
+    }
+
+    #[test]
+    fn predicted_speedup_saturates_at_parallelism() {
+        let ws = WorkSpan::new(10_000, 100); // parallelism = 100
+        let s_small = ws.predicted_speedup(10);
+        let s_huge = ws.predicted_speedup(1_000_000);
+        assert!(s_small > 9.0 && s_small <= 10.0);
+        // Speedup can never exceed T1/T∞.
+        assert!(s_huge <= ws.parallelism() + 1e-9);
+        assert!(s_huge > 0.99 * ws.parallelism() * 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed work")]
+    fn new_rejects_span_above_work() {
+        WorkSpan::new(5, 6);
+    }
+
+    #[test]
+    fn add_assign_accumulates_sequentially() {
+        let mut acc = WorkSpan::ZERO;
+        acc += WorkSpan::strand(3);
+        acc += WorkSpan::new(10, 2);
+        assert_eq!(acc, WorkSpan::new(13, 5));
+    }
+}

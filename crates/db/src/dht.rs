@@ -1,0 +1,234 @@
+//! A distributed hash table by consistent hashing.
+//!
+//! Nodes own arcs of a hash ring (with virtual nodes for balance); keys
+//! map to the first node clockwise. The property that makes this *the*
+//! DHT technique: adding or removing one node relocates only ~K/N keys,
+//! not a full rehash — verified by test.
+
+use std::collections::BTreeMap;
+
+fn hash64(x: u64) -> u64 {
+    // SplitMix64 finalizer: good avalanche, deterministic.
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64; // FNV-1a
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    hash64(h)
+}
+
+/// A consistent-hashing ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// ring position -> node id.
+    ring: BTreeMap<u64, u64>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// An empty ring with `vnodes` virtual nodes per physical node.
+    ///
+    /// # Panics
+    /// Panics if `vnodes == 0`.
+    pub fn new(vnodes: usize) -> Self {
+        assert!(vnodes > 0, "need at least one virtual node");
+        HashRing {
+            ring: BTreeMap::new(),
+            vnodes,
+        }
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.ring.len() / self.vnodes
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, node: u64) {
+        for v in 0..self.vnodes as u64 {
+            let pos = hash64(node.wrapping_mul(1_000_003).wrapping_add(v));
+            self.ring.insert(pos, node);
+        }
+    }
+
+    /// Remove a node.
+    pub fn remove_node(&mut self, node: u64) {
+        self.ring.retain(|_, &mut n| n != node);
+    }
+
+    /// The node owning `key`, or `None` on an empty ring.
+    pub fn node_for(&self, key: &str) -> Option<u64> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = hash_str(key);
+        self.ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, &n)| n)
+    }
+
+    /// The `replicas` distinct nodes responsible for `key` (primary
+    /// first, then successors clockwise).
+    pub fn nodes_for(&self, key: &str, replicas: usize) -> Vec<u64> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
+        let h = hash_str(key);
+        let mut out = Vec::with_capacity(replicas);
+        for (_, &n) in self.ring.range(h..).chain(self.ring.iter().map(|(k, v)| (k, v))) {
+            if !out.contains(&n) {
+                out.push(n);
+                if out.len() == replicas {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Count keys per node for a key workload (balance diagnostics).
+    pub fn load_distribution(&self, keys: &[String]) -> BTreeMap<u64, usize> {
+        let mut dist = BTreeMap::new();
+        for k in keys {
+            if let Some(n) = self.node_for(k) {
+                *dist.entry(n).or_insert(0) += 1;
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("key-{i}")).collect()
+    }
+
+    fn ring_with(nodes: &[u64]) -> HashRing {
+        let mut r = HashRing::new(64);
+        for &n in nodes {
+            r.add_node(n);
+        }
+        r
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let ring = ring_with(&[1, 2, 3]);
+        for k in keys(100) {
+            let a = ring.node_for(&k).unwrap();
+            let b = ring.node_for(&k).unwrap();
+            assert_eq!(a, b);
+            assert!([1, 2, 3].contains(&a));
+        }
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let ring = HashRing::new(8);
+        assert_eq!(ring.node_for("x"), None);
+        assert!(ring.nodes_for("x", 3).is_empty());
+    }
+
+    #[test]
+    fn virtual_nodes_balance_load() {
+        let ring = ring_with(&[10, 20, 30, 40]);
+        let dist = ring.load_distribution(&keys(20_000));
+        assert_eq!(dist.len(), 4, "every node gets keys");
+        let max = *dist.values().max().unwrap() as f64;
+        let min = *dist.values().min().unwrap() as f64;
+        assert!(
+            max / min < 1.6,
+            "64 vnodes should balance within ~1.6x: {dist:?}"
+        );
+    }
+
+    #[test]
+    fn adding_a_node_moves_few_keys() {
+        let ks = keys(10_000);
+        let before = ring_with(&[1, 2, 3, 4]);
+        let mut after = before.clone();
+        after.add_node(5);
+        let moved = ks
+            .iter()
+            .filter(|k| before.node_for(k) != after.node_for(k))
+            .count();
+        // Ideal: 1/5 of keys move. Allow generous slack, but far below
+        // the ~4/5 a naive `hash % N` rehash would move.
+        let frac = moved as f64 / ks.len() as f64;
+        assert!(frac > 0.10 && frac < 0.35, "moved fraction {frac}");
+        // And every moved key moved *to the new node*.
+        for k in &ks {
+            if before.node_for(k) != after.node_for(k) {
+                assert_eq!(after.node_for(k), Some(5), "key moved to wrong node");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_modulo_rehash_moves_most_keys() {
+        // The contrast case the lecture draws: `hash % N` relocates
+        // almost everything when N changes.
+        let ks = keys(10_000);
+        let naive = |k: &String, n: u64| hash_str(k) % n;
+        let moved = ks.iter().filter(|k| naive(k, 4) != naive(k, 5)).count();
+        assert!(
+            moved as f64 / ks.len() as f64 > 0.7,
+            "modulo rehash should move most keys"
+        );
+    }
+
+    #[test]
+    fn removing_a_node_strands_no_keys() {
+        let ks = keys(5_000);
+        let mut ring = ring_with(&[1, 2, 3]);
+        ring.remove_node(2);
+        for k in &ks {
+            let n = ring.node_for(k).unwrap();
+            assert_ne!(n, 2, "key still routed to removed node");
+        }
+        // Keys that were on nodes 1/3 did not move.
+        let before = ring_with(&[1, 2, 3]);
+        for k in &ks {
+            if before.node_for(k) != Some(2) {
+                assert_eq!(before.node_for(k), ring.node_for(k));
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_start_with_primary() {
+        let ring = ring_with(&[1, 2, 3, 4, 5]);
+        for k in keys(200) {
+            let reps = ring.nodes_for(&k, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.node_for(&k).unwrap());
+            let mut uniq = reps.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn replicas_capped_by_node_count() {
+        let ring = ring_with(&[1, 2]);
+        assert_eq!(ring.nodes_for("k", 5).len(), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Equijoin algorithms: nested-loop, hash, partitioned-parallel hash,
+//! and sort-merge.
+//!
+//! Relations are `(key, payload)` pairs. The output of `R ⋈ S` on equal
+//! keys is every `(key, r_payload, s_payload)` combination, in an
+//! algorithm-specific order; tests compare outputs as multisets.
+
+use pdc_threads::sliceops::block_ranges;
+use std::collections::HashMap;
+
+/// A tuple of relation R or S: join key + payload.
+pub type Tuple = (u64, u64);
+/// One joined output row: `(key, r_payload, s_payload)`.
+pub type Joined = (u64, u64, u64);
+
+/// O(|R|·|S|) nested-loop join — the baseline everything must beat.
+pub fn nested_loop_join(r: &[Tuple], s: &[Tuple]) -> Vec<Joined> {
+    let mut out = Vec::new();
+    for &(rk, rv) in r {
+        for &(sk, sv) in s {
+            if rk == sk {
+                out.push((rk, rv, sv));
+            }
+        }
+    }
+    out
+}
+
+/// Classic hash join: build a table on the smaller input, probe with the
+/// larger.
+pub fn hash_join(r: &[Tuple], s: &[Tuple]) -> Vec<Joined> {
+    // Build on the smaller side.
+    let (build, probe, build_is_r) = if r.len() <= s.len() {
+        (r, s, true)
+    } else {
+        (s, r, false)
+    };
+    let mut table: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(k, v) in build {
+        table.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for &(k, pv) in probe {
+        if let Some(bvs) = table.get(&k) {
+            for &bv in bvs {
+                if build_is_r {
+                    out.push((k, bv, pv));
+                } else {
+                    out.push((k, pv, bv));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Statistics from the partitioned-parallel join.
+#[derive(Debug, Clone)]
+pub struct JoinStats {
+    /// Tuples of R landing in each partition.
+    pub r_partition_sizes: Vec<usize>,
+    /// Tuples of S landing in each partition.
+    pub s_partition_sizes: Vec<usize>,
+}
+
+impl JoinStats {
+    /// Largest R-partition over ideal (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.r_partition_sizes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.r_partition_sizes.len() as f64;
+        *self.r_partition_sizes.iter().max().unwrap() as f64 / ideal
+    }
+}
+
+fn partition_of(key: u64, parts: usize) -> usize {
+    // Multiplicative hashing spreads adjacent keys.
+    ((key.wrapping_mul(0x9E3779B97F4A7C15) >> 33) % parts as u64) as usize
+}
+
+/// Partitioned (GRACE-style) parallel hash join: both inputs are hash-
+/// partitioned on the key; partitions join independently in parallel.
+/// This is the shared-nothing structure distributed joins use.
+pub fn parallel_hash_join(r: &[Tuple], s: &[Tuple], workers: usize) -> (Vec<Joined>, JoinStats) {
+    assert!(workers > 0);
+    let parts = workers;
+    let mut r_parts: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut s_parts: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
+    for &(k, v) in r {
+        r_parts[partition_of(k, parts)].push((k, v));
+    }
+    for &(k, v) in s {
+        s_parts[partition_of(k, parts)].push((k, v));
+    }
+    let stats = JoinStats {
+        r_partition_sizes: r_parts.iter().map(Vec::len).collect(),
+        s_partition_sizes: s_parts.iter().map(Vec::len).collect(),
+    };
+    // Join each partition pair on its own thread.
+    let results: Vec<Vec<Joined>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = r_parts
+            .iter()
+            .zip(&s_parts)
+            .map(|(rp, sp)| scope.spawn(move || hash_join(rp, sp)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (results.into_iter().flatten().collect(), stats)
+}
+
+/// Sort-merge join: sort both inputs by key, then merge, emitting the
+/// cross product of each equal-key group.
+pub fn sort_merge_join(r: &[Tuple], s: &[Tuple]) -> Vec<Joined> {
+    let mut r: Vec<Tuple> = r.to_vec();
+    let mut s: Vec<Tuple> = s.to_vec();
+    r.sort_unstable();
+    s.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < r.len() && j < s.len() {
+        let (rk, sk) = (r[i].0, s[j].0);
+        if rk < sk {
+            i += 1;
+        } else if rk > sk {
+            j += 1;
+        } else {
+            // Find both equal-key runs.
+            let i_end = i + r[i..].iter().take_while(|t| t.0 == rk).count();
+            let j_end = j + s[j..].iter().take_while(|t| t.0 == rk).count();
+            for &(_, rv) in &r[i..i_end] {
+                for &(_, sv) in &s[j..j_end] {
+                    out.push((rk, rv, sv));
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// A distributed-style range partitioner for sort-merge: splits both
+/// relations into key ranges balanced by sampling (exposed for the
+/// bench; uses [`block_ranges`] on the sorted keys).
+pub fn range_partitions(sorted_keys: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    block_ranges(sorted_keys.len(), parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::rng::Rng;
+
+    fn canon(mut v: Vec<Joined>) -> Vec<Joined> {
+        v.sort_unstable();
+        v
+    }
+
+    fn random_relation(rng: &mut Rng, n: usize, key_space: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|_| (rng.gen_range(key_space), rng.next_u64() % 1000))
+            .collect()
+    }
+
+    #[test]
+    fn known_small_join() {
+        let r = vec![(1, 10), (2, 20), (2, 21), (3, 30)];
+        let s = vec![(2, 200), (3, 300), (3, 301), (4, 400)];
+        let want = canon(vec![
+            (2, 20, 200),
+            (2, 21, 200),
+            (3, 30, 300),
+            (3, 30, 301),
+        ]);
+        assert_eq!(canon(nested_loop_join(&r, &s)), want);
+        assert_eq!(canon(hash_join(&r, &s)), want);
+        assert_eq!(canon(sort_merge_join(&r, &s)), want);
+        let (pj, _) = parallel_hash_join(&r, &s, 3);
+        assert_eq!(canon(pj), want);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_random_relations() {
+        let mut rng = Rng::new(77);
+        for trial in 0..5 {
+            let r = random_relation(&mut rng, 300, 50);
+            let s = random_relation(&mut rng, 400, 50);
+            let want = canon(nested_loop_join(&r, &s));
+            assert_eq!(canon(hash_join(&r, &s)), want, "hash trial {trial}");
+            assert_eq!(
+                canon(sort_merge_join(&r, &s)),
+                want,
+                "sort-merge trial {trial}"
+            );
+            for w in [1usize, 2, 5] {
+                let (pj, _) = parallel_hash_join(&r, &s, w);
+                assert_eq!(canon(pj), want, "parallel w={w} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_disjoint_inputs() {
+        let r = vec![(1, 1), (2, 2)];
+        let s = vec![(3, 3), (4, 4)];
+        assert!(hash_join(&r, &s).is_empty());
+        assert!(sort_merge_join(&r, &s).is_empty());
+        assert!(hash_join(&[], &s).is_empty());
+        let (pj, _) = parallel_hash_join(&r, &[], 2);
+        assert!(pj.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_products() {
+        let r = vec![(7, 1), (7, 2), (7, 3)];
+        let s = vec![(7, 10), (7, 20)];
+        let out = hash_join(&r, &s);
+        assert_eq!(out.len(), 6, "3 x 2 cross product");
+        assert_eq!(canon(sort_merge_join(&r, &s)), canon(out));
+    }
+
+    #[test]
+    fn partitions_are_reasonably_balanced() {
+        let mut rng = Rng::new(5);
+        let r = random_relation(&mut rng, 40_000, 10_000);
+        let s = random_relation(&mut rng, 40_000, 10_000);
+        let (_, stats) = parallel_hash_join(&r, &s, 8);
+        assert!(
+            stats.imbalance() < 1.2,
+            "hash partitioning skewed: {}",
+            stats.imbalance()
+        );
+        assert_eq!(stats.r_partition_sizes.iter().sum::<usize>(), 40_000);
+    }
+
+    #[test]
+    fn skewed_key_hits_one_partition() {
+        // All-same-key input: the classic skew pathology — everything
+        // lands in one partition (the lesson motivating skew handling).
+        let r: Vec<Tuple> = (0..1000).map(|i| (42, i)).collect();
+        let s = vec![(42, 0)];
+        let (out, stats) = parallel_hash_join(&r, &s, 4);
+        assert_eq!(out.len(), 1000);
+        let nonempty = stats
+            .r_partition_sizes
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        assert_eq!(nonempty, 1, "skew concentrates in one partition");
+    }
+}

@@ -1,0 +1,23 @@
+//! # pdc-db — parallel and distributed database algorithms
+//!
+//! The paper's plan for the new Databases course (CS44, Section III-A):
+//! "parallel join algorithms, distributed transactions, and distributed
+//! hash tables". All three:
+//!
+//! * [`join`] — nested-loop, hash, partitioned-parallel hash, and
+//!   sort-merge equijoins, all verified against each other.
+//! * [`dht`] — a consistent-hashing ring with virtual nodes and N-way
+//!   replication; node joins/leaves move provably few keys.
+//! * [`twopc`] — two-phase commit as deterministic state machines with
+//!   failure injection, asserting atomicity and log-based recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dht;
+pub mod join;
+pub mod twopc;
+
+pub use dht::HashRing;
+pub use join::{hash_join, parallel_hash_join, sort_merge_join};
+pub use twopc::{Coordinator, Decision};

@@ -1,0 +1,313 @@
+//! Two-phase commit, as deterministic state machines with failure
+//! injection — the "distributed transactions" topic planned for CS44.
+//!
+//! The protocol: the coordinator sends PREPARE to every participant;
+//! each votes YES (after force-writing a prepare record) or NO; the
+//! coordinator decides COMMIT iff all votes are YES, logs the decision,
+//! and broadcasts it. The invariants the tests enforce:
+//!
+//! * **Atomicity** — no run ends with one participant committed and
+//!   another aborted.
+//! * **Stability** — a YES-voting participant that crashes recovers into
+//!   the coordinator's decision (from its log + asking the coordinator).
+//! * **Blocking** — a prepared participant whose coordinator is down can
+//!   do nothing but wait (2PC's famous weakness, demonstrated, not
+//!   hidden).
+
+/// Participant vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// Ready to commit (prepare record forced to log).
+    Yes,
+    /// Cannot commit.
+    No,
+}
+
+/// Final transaction outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// All participants committed.
+    Commit,
+    /// All participants aborted.
+    Abort,
+}
+
+/// Injected participant failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Healthy participant.
+    None,
+    /// Votes NO.
+    VoteNo,
+    /// Crashes before voting (coordinator times out -> counts as NO).
+    CrashBeforeVote,
+    /// Votes YES, then crashes before hearing the decision; must recover.
+    CrashAfterVote,
+}
+
+/// Participant durable-log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Force-written before voting YES.
+    Prepared,
+    /// Decision applied.
+    Committed,
+    /// Decision applied.
+    Aborted,
+}
+
+/// One participant.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    /// Its id.
+    pub id: usize,
+    fault: Fault,
+    /// Durable log (survives the simulated crash).
+    pub log: Vec<LogRecord>,
+    /// Volatile state: is it currently up?
+    pub up: bool,
+}
+
+impl Participant {
+    fn new(id: usize, fault: Fault) -> Self {
+        Participant {
+            id,
+            fault,
+            log: Vec::new(),
+            up: true,
+        }
+    }
+
+    /// Phase 1: receive PREPARE, return a vote (None = no response).
+    fn prepare(&mut self) -> Option<Vote> {
+        match self.fault {
+            Fault::CrashBeforeVote => {
+                self.up = false;
+                None
+            }
+            Fault::VoteNo => Some(Vote::No),
+            Fault::None | Fault::CrashAfterVote => {
+                // Force the prepare record *before* voting yes.
+                self.log.push(LogRecord::Prepared);
+                if self.fault == Fault::CrashAfterVote {
+                    self.up = false; // crashes after the vote is sent
+                }
+                Some(Vote::Yes)
+            }
+        }
+    }
+
+    /// Phase 2: receive the decision (only if up).
+    fn decide(&mut self, d: Decision) {
+        if !self.up {
+            return; // crashed: will learn at recovery
+        }
+        self.log.push(match d {
+            Decision::Commit => LogRecord::Committed,
+            Decision::Abort => LogRecord::Aborted,
+        });
+    }
+
+    /// Recovery protocol: reboot, inspect the log, and if in doubt ask
+    /// the coordinator for the outcome.
+    pub fn recover(&mut self, coordinator_decision: Option<Decision>) {
+        self.up = true;
+        match self.log.last() {
+            Some(LogRecord::Committed) | Some(LogRecord::Aborted) => {} // done
+            Some(LogRecord::Prepared) => {
+                // In doubt: must ask (blocking if the coordinator is gone).
+                if let Some(d) = coordinator_decision {
+                    self.decide(d);
+                }
+            }
+            None => {
+                // Never voted: presumed abort.
+                self.log.push(LogRecord::Aborted);
+            }
+        }
+    }
+
+    /// Final applied state, if decided.
+    pub fn outcome(&self) -> Option<Decision> {
+        match self.log.last() {
+            Some(LogRecord::Committed) => Some(Decision::Commit),
+            Some(LogRecord::Aborted) => Some(Decision::Abort),
+            _ => None,
+        }
+    }
+}
+
+/// The coordinator: runs the protocol over a set of participants.
+#[derive(Debug)]
+pub struct Coordinator {
+    /// Participants (owned for the simulation).
+    pub participants: Vec<Participant>,
+    /// The coordinator's own durable decision record.
+    pub decision_log: Option<Decision>,
+}
+
+impl Coordinator {
+    /// Set up a transaction across participants with the given faults.
+    pub fn new(faults: &[Fault]) -> Self {
+        Coordinator {
+            participants: faults
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Participant::new(i, f))
+                .collect(),
+            decision_log: None,
+        }
+    }
+
+    /// Run both phases; returns the decision.
+    pub fn run(&mut self) -> Decision {
+        // Phase 1: gather votes. A missing response counts as NO.
+        let mut all_yes = true;
+        for p in &mut self.participants {
+            match p.prepare() {
+                Some(Vote::Yes) => {}
+                Some(Vote::No) | None => all_yes = false,
+            }
+        }
+        let d = if all_yes {
+            Decision::Commit
+        } else {
+            Decision::Abort
+        };
+        // Force the decision record before telling anyone.
+        self.decision_log = Some(d);
+        // Phase 2: broadcast.
+        for p in &mut self.participants {
+            p.decide(d);
+        }
+        d
+    }
+
+    /// Recover every crashed participant against the coordinator's log.
+    pub fn recover_all(&mut self) {
+        let d = self.decision_log;
+        for p in &mut self.participants {
+            if !p.up {
+                p.recover(d);
+            }
+        }
+    }
+
+    /// Atomicity check: every decided participant agrees.
+    pub fn is_atomic(&self) -> bool {
+        let outcomes: Vec<Decision> = self
+            .participants
+            .iter()
+            .filter_map(Participant::outcome)
+            .collect();
+        outcomes.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_healthy_commits() {
+        let mut c = Coordinator::new(&[Fault::None, Fault::None, Fault::None]);
+        assert_eq!(c.run(), Decision::Commit);
+        assert!(c.is_atomic());
+        assert!(c
+            .participants
+            .iter()
+            .all(|p| p.outcome() == Some(Decision::Commit)));
+    }
+
+    #[test]
+    fn one_no_vote_aborts_everyone() {
+        let mut c = Coordinator::new(&[Fault::None, Fault::VoteNo, Fault::None]);
+        assert_eq!(c.run(), Decision::Abort);
+        assert!(c.is_atomic());
+        assert!(c
+            .participants
+            .iter()
+            .all(|p| p.outcome() == Some(Decision::Abort)));
+    }
+
+    #[test]
+    fn crash_before_vote_counts_as_no() {
+        let mut c = Coordinator::new(&[Fault::None, Fault::CrashBeforeVote]);
+        assert_eq!(c.run(), Decision::Abort);
+        // The crashed participant recovers into abort (presumed abort).
+        c.recover_all();
+        assert!(c.is_atomic());
+        assert_eq!(c.participants[1].outcome(), Some(Decision::Abort));
+    }
+
+    #[test]
+    fn crash_after_yes_recovers_into_commit() {
+        let mut c = Coordinator::new(&[Fault::None, Fault::CrashAfterVote]);
+        assert_eq!(c.run(), Decision::Commit);
+        // Before recovery the crashed node is undecided (in doubt).
+        assert_eq!(c.participants[1].outcome(), None);
+        assert_eq!(c.participants[1].log.last(), Some(&LogRecord::Prepared));
+        c.recover_all();
+        assert_eq!(c.participants[1].outcome(), Some(Decision::Commit));
+        assert!(c.is_atomic());
+    }
+
+    #[test]
+    fn crash_after_yes_with_global_abort_recovers_into_abort() {
+        let mut c = Coordinator::new(&[Fault::VoteNo, Fault::CrashAfterVote]);
+        assert_eq!(c.run(), Decision::Abort);
+        c.recover_all();
+        assert_eq!(c.participants[1].outcome(), Some(Decision::Abort));
+        assert!(c.is_atomic());
+    }
+
+    #[test]
+    fn prepared_participant_blocks_without_coordinator() {
+        // The 2PC blocking weakness: coordinator log unavailable.
+        let mut p = Participant::new(0, Fault::CrashAfterVote);
+        assert_eq!(p.prepare(), Some(Vote::Yes));
+        p.recover(None); // coordinator unreachable
+        assert_eq!(p.outcome(), None, "in-doubt participant must block");
+        // Once the coordinator comes back, it resolves.
+        p.recover(Some(Decision::Commit));
+        assert_eq!(p.outcome(), Some(Decision::Commit));
+    }
+
+    #[test]
+    fn atomicity_over_all_fault_combinations() {
+        let faults = [
+            Fault::None,
+            Fault::VoteNo,
+            Fault::CrashBeforeVote,
+            Fault::CrashAfterVote,
+        ];
+        for &f1 in &faults {
+            for &f2 in &faults {
+                for &f3 in &faults {
+                    let mut c = Coordinator::new(&[f1, f2, f3]);
+                    let d = c.run();
+                    c.recover_all();
+                    assert!(c.is_atomic(), "{f1:?} {f2:?} {f3:?}");
+                    // Every participant eventually decided.
+                    for p in &c.participants {
+                        assert_eq!(p.outcome(), Some(d), "{f1:?} {f2:?} {f3:?}");
+                    }
+                    // Commit only if nobody faulted the vote.
+                    let should_commit = [f1, f2, f3]
+                        .iter()
+                        .all(|f| matches!(f, Fault::None | Fault::CrashAfterVote));
+                    assert_eq!(d == Decision::Commit, should_commit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_record_forced_before_yes() {
+        let mut p = Participant::new(0, Fault::None);
+        assert!(p.log.is_empty());
+        let v = p.prepare();
+        assert_eq!(v, Some(Vote::Yes));
+        assert_eq!(p.log.first(), Some(&LogRecord::Prepared));
+    }
+}

@@ -1,0 +1,323 @@
+//! The simulated disk: files of records with block-granular I/O counting.
+//!
+//! A [`Disk`] stores files as record vectors. All access goes through
+//! [`BlockReader`]/[`BlockWriter`], which move whole blocks of `B`
+//! records and charge one I/O per block transferred — the accounting
+//! discipline of the I/O model. Algorithms never touch file contents
+//! directly (the type system hides them), so every data movement is
+//! counted.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Identifier of a file on a [`Disk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(usize);
+
+/// Shared I/O counters.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    reads: Rc<Cell<u64>>,
+    writes: Rc<Cell<u64>>,
+}
+
+impl IoStats {
+    /// Block reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Block writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total block I/Os.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    fn add_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    fn add_write(&self) {
+        self.writes.set(self.writes.get() + 1);
+    }
+}
+
+/// A simulated disk holding files of records of type `T`.
+#[derive(Debug)]
+pub struct Disk<T> {
+    files: Vec<Vec<T>>,
+    block: usize,
+    stats: IoStats,
+}
+
+impl<T: Clone> Disk<T> {
+    /// Create a disk with block size `block` records.
+    ///
+    /// # Panics
+    /// Panics if `block == 0`.
+    pub fn new(block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        Disk {
+            files: Vec::new(),
+            block,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// The block size `B` in records.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// The I/O counters (cheaply cloneable handle).
+    pub fn stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    /// Create a file pre-populated with `data` (loading is free: models
+    /// data that already resides on disk).
+    pub fn create_file(&mut self, data: Vec<T>) -> FileId {
+        self.files.push(data);
+        FileId(self.files.len() - 1)
+    }
+
+    /// Create an empty file for writing.
+    pub fn create_empty(&mut self) -> FileId {
+        self.create_file(Vec::new())
+    }
+
+    /// Length of a file in records.
+    pub fn len(&self, f: FileId) -> usize {
+        self.files[f.0].len()
+    }
+
+    /// Whether the file has no records.
+    pub fn is_empty(&self, f: FileId) -> bool {
+        self.len(f) == 0
+    }
+
+    /// Host-side (uncounted) access for test verification only.
+    pub fn contents(&self, f: FileId) -> &[T] {
+        &self.files[f.0]
+    }
+
+    /// Open a sequential block reader.
+    pub fn reader(&self, f: FileId) -> BlockReader<'_, T> {
+        BlockReader {
+            disk: self,
+            file: f,
+            pos: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+        }
+    }
+
+    /// Sequentially write `data` to file `f` (replacing its contents),
+    /// charging `ceil(len/B)` write I/Os. Returns the I/O count charged.
+    pub fn write_file(&mut self, f: FileId, data: Vec<T>) -> u64 {
+        let blocks = data.len().div_ceil(self.block) as u64;
+        for _ in 0..blocks {
+            self.stats.add_write();
+        }
+        self.files[f.0] = data;
+        blocks
+    }
+
+    /// Open a detached sequential block writer. The writer counts one
+    /// write I/O per full block as records are pushed; call
+    /// [`BlockWriter::finish`] to install the data as file `f`'s new
+    /// contents. Detachment lets several readers stay open on `&Disk`
+    /// while a writer produces output (the k-way merge pattern).
+    pub fn writer(&self) -> BlockWriter<T> {
+        BlockWriter {
+            stats: self.stats.clone(),
+            block: self.block,
+            data: Vec::new(),
+            pending: 0,
+        }
+    }
+
+    /// Replace file `f`'s contents with data produced by a writer.
+    pub fn install(&mut self, f: FileId, data: Vec<T>) {
+        self.files[f.0] = data;
+    }
+}
+
+/// Sequential reader charging one I/O per block fetched.
+pub struct BlockReader<'a, T> {
+    disk: &'a Disk<T>,
+    file: FileId,
+    pos: usize,
+    buf: Vec<T>,
+    buf_pos: usize,
+}
+
+impl<T: Clone> BlockReader<'_, T> {
+    /// Next record, or `None` at end of file.
+    pub fn next(&mut self) -> Option<T> {
+        if self.buf_pos == self.buf.len() {
+            // Fetch the next block.
+            let data = &self.disk.files[self.file.0];
+            if self.pos >= data.len() {
+                return None;
+            }
+            let end = (self.pos + self.disk.block).min(data.len());
+            self.buf = data[self.pos..end].to_vec();
+            self.buf_pos = 0;
+            self.pos = end;
+            self.disk.stats.add_read();
+        }
+        let v = self.buf[self.buf_pos].clone();
+        self.buf_pos += 1;
+        Some(v)
+    }
+
+    /// Read up to `n` records (for run formation: fill memory).
+    pub fn read_chunk(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.next() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Detached sequential writer charging one I/O per block flushed.
+pub struct BlockWriter<T> {
+    stats: IoStats,
+    block: usize,
+    data: Vec<T>,
+    pending: usize,
+}
+
+impl<T> BlockWriter<T> {
+    /// Append one record; a write I/O is charged each time a full block
+    /// accumulates.
+    pub fn push(&mut self, v: T) {
+        self.data.push(v);
+        self.pending += 1;
+        if self.pending == self.block {
+            self.stats.add_write();
+            self.pending = 0;
+        }
+    }
+
+    /// Records written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flush the trailing partial block (if any) and install the data as
+    /// file `f` on `disk`.
+    pub fn finish(mut self, disk: &mut Disk<T>, f: FileId)
+    where
+        T: Clone,
+    {
+        if self.pending > 0 {
+            self.stats.add_write();
+            self.pending = 0;
+        }
+        disk.install(f, std::mem::take(&mut self.data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_charges_one_io_per_block() {
+        let mut d = Disk::new(10);
+        let f = d.create_file((0..95).collect());
+        let mut r = d.reader(f);
+        let mut count = 0;
+        while r.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 95);
+        // 95 records / 10 per block = 10 blocks (last partial).
+        assert_eq!(d.stats().reads(), 10);
+        assert_eq!(d.stats().writes(), 0);
+    }
+
+    #[test]
+    fn writer_charges_one_io_per_block() {
+        let mut d = Disk::new(8);
+        let f = d.create_empty();
+        let mut w = d.writer();
+        for i in 0..20 {
+            w.push(i);
+        }
+        w.finish(&mut d, f); // flushes the partial block
+        assert_eq!(d.contents(f), &(0..20).collect::<Vec<_>>()[..]);
+        assert_eq!(d.stats().writes(), 3); // 8 + 8 + 4
+    }
+
+    #[test]
+    fn readers_and_writer_coexist() {
+        let mut d = Disk::new(2);
+        let f1 = d.create_file(vec![1, 2, 3]);
+        let f2 = d.create_file(vec![4, 5, 6]);
+        let out = d.create_empty();
+        let mut w = d.writer();
+        {
+            let mut r1 = d.reader(f1);
+            let mut r2 = d.reader(f2);
+            while let (Some(a), Some(b)) = (r1.next(), r2.next()) {
+                w.push(a + b);
+            }
+        }
+        w.finish(&mut d, out);
+        assert_eq!(d.contents(out), &[5, 7, 9]);
+    }
+
+    #[test]
+    fn read_chunk_stops_at_eof() {
+        let mut d = Disk::new(4);
+        let f = d.create_file(vec![1, 2, 3, 4, 5]);
+        let mut r = d.reader(f);
+        assert_eq!(r.read_chunk(3), vec![1, 2, 3]);
+        assert_eq!(r.read_chunk(10), vec![4, 5]);
+        assert!(r.read_chunk(1).is_empty());
+    }
+
+    #[test]
+    fn write_file_bulk_charges_blocks() {
+        let mut d = Disk::new(16);
+        let f = d.create_empty();
+        let charged = d.write_file(f, (0..64).collect());
+        assert_eq!(charged, 4);
+        assert_eq!(d.stats().writes(), 4);
+    }
+
+    #[test]
+    fn empty_file_reader_charges_nothing() {
+        let mut d: Disk<u8> = Disk::new(4);
+        let f = d.create_empty();
+        assert!(d.reader(f).next().is_none());
+        assert_eq!(d.stats().total(), 0);
+        assert!(d.is_empty(f));
+    }
+
+    #[test]
+    fn stats_shared_across_handles() {
+        let mut d = Disk::new(2);
+        let stats = d.stats();
+        let f = d.create_file(vec![1, 2, 3, 4]);
+        let mut r = d.reader(f);
+        while r.next().is_some() {}
+        assert_eq!(stats.reads(), 2);
+    }
+}

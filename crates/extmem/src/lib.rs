@@ -1,0 +1,30 @@
+//! # pdc-extmem — the external-memory (I/O) model
+//!
+//! CS41's out-of-core unit (paper Table III, "Out-of-Core (I/O-Efficient)
+//! Algorithms") analyzes algorithms by *block transfers*: a machine with
+//! internal memory of `M` records moves data to/from disk in blocks of
+//! `B` records, and the cost of an algorithm is the number of block I/Os.
+//!
+//! * [`device`] — the simulated disk: files of records, block-granular
+//!   sequential readers/writers, and an I/O counter.
+//! * [`pool`] — a disk-resident array behind an LRU buffer pool of
+//!   `M/B` frames: random access that counts misses, the substrate for
+//!   blocked-vs-naive traversal experiments.
+//! * [`extsort`] — external merge sort: run formation + multiway merge,
+//!   meeting the sort bound `(2N/B)·(1 + ⌈log_{M/B−1}(N/M)⌉)` I/Os.
+//! * [`matrix`] — out-of-core matrix transpose, naive vs blocked.
+//! * [`theory`] — closed-form I/O bounds (scan, sort, permute) used by
+//!   tests and the experiment tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod extsort;
+pub mod matrix;
+pub mod pool;
+pub mod theory;
+
+pub use device::{Disk, FileId, IoStats};
+pub use extsort::external_merge_sort;
+pub use pool::CachedArray;

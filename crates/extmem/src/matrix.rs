@@ -1,0 +1,215 @@
+//! Out-of-core matrix traversal and transpose: blocking in action.
+//!
+//! A row-major `n × n` matrix on disk, accessed through the buffer pool.
+//! Traversal order and tiling decide the I/O count:
+//!
+//! * row-major scan: `n²/B` I/Os;
+//! * column-major scan with a small pool: up to `n²` I/Os;
+//! * naive transpose: Θ(n²) I/Os (one side streams, the other thrashes);
+//! * tiled transpose with `t × t` tiles, two tiles in memory: Θ(n²/B)
+//!   I/Os when `t ≥ B`.
+//!
+//! These are the numbers behind the CS31/CS41 "think about memory"
+//! lessons; the benches print the sweep.
+
+use crate::pool::{CachedArray, PoolStats};
+
+/// A row-major square matrix held in a [`CachedArray`].
+pub struct OocMatrix {
+    data: CachedArray<f64>,
+    n: usize,
+}
+
+impl OocMatrix {
+    /// Create an `n × n` matrix with `a[i][j] = f(i, j)`, block size
+    /// `block`, and a pool of `frames` blocks.
+    pub fn from_fn(n: usize, block: usize, frames: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut v = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                v.push(f(i, j));
+            }
+        }
+        OocMatrix {
+            data: CachedArray::new(v, block, frames),
+            n,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Pool statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.data.stats()
+    }
+
+    /// Read `a[i][j]`.
+    pub fn get(&mut self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n);
+        self.data.get(i * self.n + j)
+    }
+
+    /// Write `a[i][j]`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n);
+        self.data.set(i * self.n + j, v);
+    }
+
+    /// Sum by row-major traversal (the I/O-friendly order).
+    pub fn sum_row_major(&mut self) -> f64 {
+        let n = self.n;
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                s += self.get(i, j);
+            }
+        }
+        s
+    }
+
+    /// Sum by column-major traversal (the I/O-hostile order for row-major
+    /// layout).
+    pub fn sum_col_major(&mut self) -> f64 {
+        let n = self.n;
+        let mut s = 0.0;
+        for j in 0..n {
+            for i in 0..n {
+                s += self.get(i, j);
+            }
+        }
+        s
+    }
+
+    /// In-place transpose, naive order: swap `(i,j)` with `(j,i)` walking
+    /// the upper triangle row by row.
+    pub fn transpose_naive(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            for j in i + 1..n {
+                let a = self.get(i, j);
+                let b = self.get(j, i);
+                self.set(i, j, b);
+                self.set(j, i, a);
+            }
+        }
+    }
+
+    /// In-place transpose with `tile × tile` tiles: swap tile `(bi, bj)`
+    /// with tile `(bj, bi)` while both are pool-resident.
+    pub fn transpose_tiled(&mut self, tile: usize) {
+        assert!(tile > 0);
+        let n = self.n;
+        let mut bi = 0;
+        while bi < n {
+            let mut bj = bi;
+            while bj < n {
+                for i in bi..(bi + tile).min(n) {
+                    let j_start = if bi == bj { i + 1 } else { bj };
+                    for j in j_start..(bj + tile).min(n) {
+                        let a = self.get(i, j);
+                        let b = self.get(j, i);
+                        self.set(i, j, b);
+                        self.set(j, i, a);
+                    }
+                }
+                bj += tile;
+            }
+            bi += tile;
+        }
+    }
+
+    /// Flush and return the raw row-major contents.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(n: usize, block: usize, frames: usize) -> OocMatrix {
+        OocMatrix::from_fn(n, block, frames, |i, j| (i * n + j) as f64)
+    }
+
+    #[test]
+    fn row_major_scan_is_block_efficient() {
+        let n = 64;
+        let b = 16;
+        let mut m = fresh(n, b, 4);
+        let s = m.sum_row_major();
+        let want: f64 = (0..(n * n) as u64).map(|x| x as f64).sum();
+        assert_eq!(s, want);
+        assert_eq!(m.stats().fetches as usize, n * n / b);
+    }
+
+    #[test]
+    fn col_major_scan_thrashes_small_pool() {
+        let n = 64;
+        let b = 16;
+        let mut m = fresh(n, b, 4); // pool far smaller than a column's blocks
+        let s = m.sum_col_major();
+        let want: f64 = (0..(n * n) as u64).map(|x| x as f64).sum();
+        assert_eq!(s, want);
+        // Every access maps to a different block than the last 4: all miss.
+        assert_eq!(m.stats().fetches as usize, n * n);
+    }
+
+    #[test]
+    fn col_major_fine_if_pool_holds_column_working_set() {
+        let n = 32;
+        let b = 16;
+        // Pool of n frames: one per row touched in a column sweep.
+        let mut m = fresh(n, b, n);
+        m.sum_col_major();
+        // Each block fetched once per b columns: n²/b fetches.
+        assert_eq!(m.stats().fetches as usize, n * n / b);
+    }
+
+    fn check_transposed(data: &[f64], n: usize) {
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(data[i * n + j], (j * n + i) as f64, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_transpose_correct() {
+        let n = 24;
+        let mut m = fresh(n, 8, 3);
+        m.transpose_naive();
+        check_transposed(&m.into_inner(), n);
+    }
+
+    #[test]
+    fn tiled_transpose_correct_various_tiles() {
+        for tile in [1usize, 3, 8, 16, 40] {
+            let n = 24;
+            let mut m = fresh(n, 8, 8);
+            m.transpose_tiled(tile);
+            check_transposed(&m.into_inner(), n);
+        }
+    }
+
+    #[test]
+    fn tiled_transpose_saves_ios() {
+        let n = 128;
+        let b = 16;
+        let frames = 2 * (16 / 1).max(4); // enough for two tiles of rows
+        let mut naive = fresh(n, b, frames);
+        naive.transpose_naive();
+        let naive_ios = naive.stats().ios();
+
+        let mut tiled = fresh(n, b, frames);
+        tiled.transpose_tiled(b);
+        let tiled_ios = tiled.stats().ios();
+        assert!(
+            tiled_ios * 3 < naive_ios,
+            "tiled {tiled_ios} vs naive {naive_ios}"
+        );
+    }
+}

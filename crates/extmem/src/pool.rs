@@ -1,0 +1,258 @@
+//! A disk-resident array behind an LRU buffer pool.
+//!
+//! [`CachedArray`] models random access to out-of-core data: the array
+//! lives on "disk" in blocks of `B` records, and a buffer pool holds
+//! `frames` blocks in memory (so `M = frames * B`). Every access that
+//! misses the pool costs a read I/O (plus a write I/O if the evicted
+//! frame is dirty). This is the substrate for the blocked-vs-naive
+//! traversal experiments: row-major scans of a row-major matrix cost
+//! `N/B`, column-major scans cost up to `N`.
+
+/// Statistics of a [`CachedArray`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Logical element accesses.
+    pub accesses: u64,
+    /// Block fetches from disk (misses).
+    pub fetches: u64,
+    /// Dirty-block writebacks.
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Total block I/Os (fetches + writebacks).
+    pub fn ios(&self) -> u64 {
+        self.fetches + self.writebacks
+    }
+
+    /// Miss rate (fetches / accesses), 0 for no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.fetches as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame<T> {
+    block_no: usize,
+    data: Vec<T>,
+    dirty: bool,
+    /// LRU timestamp.
+    last_use: u64,
+}
+
+/// A `T`-array stored in simulated external memory behind an LRU pool.
+#[derive(Debug, Clone)]
+pub struct CachedArray<T> {
+    disk: Vec<T>,
+    block: usize,
+    frames: Vec<Frame<T>>,
+    max_frames: usize,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl<T: Clone + Default> CachedArray<T> {
+    /// Wrap `data` as a disk-resident array with block size `block` and a
+    /// pool of `frames` blocks.
+    ///
+    /// # Panics
+    /// Panics if `block == 0` or `frames == 0`.
+    pub fn new(data: Vec<T>, block: usize, frames: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        assert!(frames > 0, "need at least one frame");
+        CachedArray {
+            disk: data,
+            block,
+            frames: Vec::new(),
+            max_frames: frames,
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.disk.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Block size `B`.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Pool capacity in blocks (`M/B`).
+    pub fn frame_count(&self) -> usize {
+        self.max_frames
+    }
+
+    fn frame_for(&mut self, index: usize) -> usize {
+        assert!(index < self.disk.len(), "index {index} out of bounds");
+        let block_no = index / self.block;
+        self.clock += 1;
+        if let Some(pos) = self.frames.iter().position(|f| f.block_no == block_no) {
+            self.frames[pos].last_use = self.clock;
+            return pos;
+        }
+        // Miss: fetch, evicting LRU if full.
+        self.stats.fetches += 1;
+        if self.frames.len() == self.max_frames {
+            let victim = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(i, _)| i)
+                .unwrap();
+            let f = self.frames.swap_remove(victim);
+            if f.dirty {
+                self.stats.writebacks += 1;
+                let base = f.block_no * self.block;
+                let end = (base + self.block).min(self.disk.len());
+                self.disk[base..end].clone_from_slice(&f.data[..end - base]);
+            }
+        }
+        let base = block_no * self.block;
+        let end = (base + self.block).min(self.disk.len());
+        self.frames.push(Frame {
+            block_no,
+            data: self.disk[base..end].to_vec(),
+            dirty: false,
+            last_use: self.clock,
+        });
+        self.frames.len() - 1
+    }
+
+    /// Read element `index` through the pool.
+    pub fn get(&mut self, index: usize) -> T {
+        self.stats.accesses += 1;
+        let f = self.frame_for(index);
+        self.frames[f].data[index % self.block].clone()
+    }
+
+    /// Write element `index` through the pool (write-back policy).
+    pub fn set(&mut self, index: usize, value: T) {
+        self.stats.accesses += 1;
+        let f = self.frame_for(index);
+        let off = index % self.block;
+        self.frames[f].data[off] = value;
+        self.frames[f].dirty = true;
+    }
+
+    /// Flush all dirty frames and return the full array contents.
+    pub fn into_inner(mut self) -> Vec<T> {
+        let frames = std::mem::take(&mut self.frames);
+        for f in frames {
+            if f.dirty {
+                self.stats.writebacks += 1;
+                let base = f.block_no * self.block;
+                let end = (base + self.block).min(self.disk.len());
+                self.disk[base..end].clone_from_slice(&f.data[..end - base]);
+            }
+        }
+        self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_costs_n_over_b() {
+        let n = 1000;
+        let mut a = CachedArray::new((0..n as u64).collect(), 10, 4);
+        let mut sum = 0;
+        for i in 0..n {
+            sum += a.get(i);
+        }
+        assert_eq!(sum, (0..n as u64).sum::<u64>());
+        assert_eq!(a.stats().fetches, 100, "one fetch per block");
+        assert_eq!(a.stats().miss_rate(), 0.1);
+    }
+
+    #[test]
+    fn strided_scan_thrashes() {
+        // Stride = block size with a tiny pool: every access misses.
+        let n = 1000;
+        let b = 10;
+        let mut a = CachedArray::new(vec![0u8; n], b, 2);
+        for start in 0..b {
+            let mut i = start;
+            while i < n {
+                a.get(i);
+                i += b;
+            }
+        }
+        assert_eq!(a.stats().accesses, 1000);
+        assert_eq!(a.stats().fetches, 1000, "every access misses");
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut a = CachedArray::new(vec![7u32; 100], 10, 2);
+        for _ in 0..50 {
+            assert_eq!(a.get(5), 7);
+        }
+        assert_eq!(a.stats().fetches, 1);
+    }
+
+    #[test]
+    fn writes_are_write_back() {
+        let mut a = CachedArray::new(vec![0u32; 100], 10, 1);
+        // Write the whole first block: one fetch, no writeback yet.
+        for i in 0..10 {
+            a.set(i, i as u32);
+        }
+        assert_eq!(a.stats().fetches, 1);
+        assert_eq!(a.stats().writebacks, 0);
+        // Touch another block: dirty eviction -> one writeback.
+        a.get(50);
+        assert_eq!(a.stats().writebacks, 1);
+        let data = a.into_inner();
+        assert_eq!(&data[..10], &(0..10u32).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn into_inner_flushes_dirty_frames() {
+        let mut a = CachedArray::new(vec![0u8; 20], 10, 2);
+        a.set(3, 9);
+        a.set(15, 8);
+        let data = a.into_inner();
+        assert_eq!(data[3], 9);
+        assert_eq!(data[15], 8);
+    }
+
+    #[test]
+    fn lru_keeps_hot_block() {
+        let mut a = CachedArray::new(vec![0u8; 40], 10, 2);
+        a.get(0); // block 0
+        a.get(10); // block 1
+        a.get(0); // block 0 now more recent
+        a.get(20); // block 2 evicts block 1 (LRU)
+        let before = a.stats().fetches;
+        a.get(0); // hit
+        assert_eq!(a.stats().fetches, before);
+        a.get(10); // miss (was evicted)
+        assert_eq!(a.stats().fetches, before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        CachedArray::new(vec![0u8; 5], 2, 1).get(5);
+    }
+}

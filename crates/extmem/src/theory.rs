@@ -1,0 +1,87 @@
+//! Closed-form I/O bounds for the external-memory model.
+//!
+//! These are the formulas CS41 derives: scanning costs `⌈N/B⌉`, external
+//! merge sort costs `(2N/B)` per pass over `1 + ⌈log_{M/B−1}(N/M)⌉`
+//! passes, and the comparison against the RAM model shows why blocking
+//! matters.
+
+/// I/Os to scan `n` records with block size `b`.
+pub fn scan_ios(n: u64, b: u64) -> u64 {
+    assert!(b > 0);
+    n.div_ceil(b)
+}
+
+/// Number of merge passes for external merge sort: `⌈log_k(runs)⌉` where
+/// `k = m/b − 1` is the merge fan-in and `runs = ⌈n/m⌉`.
+pub fn merge_passes(n: u64, m: u64, b: u64) -> u64 {
+    assert!(b > 0 && m >= 2 * b, "need at least two blocks of memory");
+    let k = (m / b - 1).max(2);
+    let runs = n.div_ceil(m).max(1);
+    // ceil(log_k(runs))
+    let mut passes = 0;
+    let mut cover = 1u64;
+    while cover < runs {
+        cover = cover.saturating_mul(k);
+        passes += 1;
+    }
+    passes
+}
+
+/// Total I/Os for external merge sort of `n` records: run formation reads
+/// and writes everything once (`2⌈n/b⌉`), then each merge pass reads and
+/// writes everything once more.
+pub fn sort_ios(n: u64, m: u64, b: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let per_pass = 2 * scan_ios(n, b);
+    per_pass * (1 + merge_passes(n, m, b))
+}
+
+/// I/Os for the naive (RAM-model-style) approach of touching one record
+/// per I/O — the baseline that motivates blocking.
+pub fn unblocked_ios(n: u64) -> u64 {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_rounds_up() {
+        assert_eq!(scan_ios(100, 10), 10);
+        assert_eq!(scan_ios(101, 10), 11);
+        assert_eq!(scan_ios(0, 10), 0);
+    }
+
+    #[test]
+    fn one_pass_when_runs_fit_fanin() {
+        // n/m = 8 runs, fan-in = m/b - 1 = 15 >= 8: one merge pass.
+        assert_eq!(merge_passes(8 * 1024, 1024, 64), 1);
+    }
+
+    #[test]
+    fn passes_grow_logarithmically() {
+        let m = 100;
+        let b = 10; // fan-in 9
+        assert_eq!(merge_passes(100, m, b), 0); // single run
+        assert_eq!(merge_passes(900, m, b), 1); // 9 runs
+        assert_eq!(merge_passes(8_100, m, b), 2); // 81 runs
+        assert_eq!(merge_passes(8_101, m, b), 3); // 82 runs
+    }
+
+    #[test]
+    fn sort_ios_formula() {
+        // 1000 records, M=100, B=10: 10 runs, fan-in 9 -> 2 passes.
+        // (2*100) * (1 + 2) = 600.
+        assert_eq!(sort_ios(1000, 100, 10), 600);
+        assert_eq!(sort_ios(0, 100, 10), 0);
+    }
+
+    #[test]
+    fn blocked_beats_unblocked() {
+        let (n, m, b) = (1_000_000u64, 10_000, 100);
+        assert!(sort_ios(n, m, b) < unblocked_ios(n));
+    }
+}

@@ -1,0 +1,433 @@
+//! The SIMT device: global memory, per-block shared memory, phased
+//! kernels, and the warp-level cost model.
+
+use std::collections::HashSet;
+
+/// Device cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Global-memory transaction granularity in bytes.
+    pub coalesce_bytes: u64,
+    /// Element size in bytes (one `i64` word).
+    pub elem_bytes: u64,
+    /// Cycles per global-memory transaction.
+    pub global_latency: u64,
+    /// Cycles per (conflict-free) shared-memory warp access.
+    pub shared_latency: u64,
+    /// Number of shared-memory banks.
+    pub banks: usize,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            warp_size: 32,
+            coalesce_bytes: 128,
+            elem_bytes: 8,
+            global_latency: 100,
+            shared_latency: 2,
+            banks: 32,
+        }
+    }
+}
+
+/// Cost counters for one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Warp issue steps (each = the busiest lane's op count that phase).
+    pub issue_cycles: u64,
+    /// Thread-ops actually executed.
+    pub executed_ops: u64,
+    /// Issue slots wasted to divergence (idle lanes × steps).
+    pub divergence_waste: u64,
+    /// Global-memory transactions after coalescing.
+    pub global_transactions: u64,
+    /// Raw global accesses before coalescing.
+    pub global_accesses: u64,
+    /// Shared-memory warp accesses (already conflict-expanded).
+    pub shared_cycles: u64,
+    /// Extra cycles lost to bank conflicts.
+    pub bank_conflict_cycles: u64,
+}
+
+impl KernelStats {
+    /// Total modeled cycles under `config`.
+    pub fn cycles(&self, config: &GpuConfig) -> u64 {
+        self.issue_cycles
+            + self.global_transactions * config.global_latency
+            + self.shared_cycles * config.shared_latency
+    }
+
+    /// Fraction of issue slots doing useful work (1.0 = no divergence).
+    pub fn warp_efficiency(&self) -> f64 {
+        let total = self.executed_ops + self.divergence_waste;
+        if total == 0 {
+            1.0
+        } else {
+            self.executed_ops as f64 / total as f64
+        }
+    }
+
+    /// Useful bytes per transaction byte (1.0 = perfectly coalesced).
+    pub fn coalescing_efficiency(&self, config: &GpuConfig) -> f64 {
+        if self.global_transactions == 0 {
+            return 1.0;
+        }
+        (self.global_accesses * config.elem_bytes) as f64
+            / (self.global_transactions * config.coalesce_bytes) as f64
+    }
+}
+
+/// One recorded memory operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    GlobalRead(u64),
+    GlobalWrite(u64),
+    SharedRead(usize),
+    SharedWrite(usize),
+    Compute,
+}
+
+/// Per-thread execution context for one phase.
+pub struct ThreadCtx<'a> {
+    /// Thread index within the block.
+    tid: usize,
+    /// Block index within the grid.
+    bid: usize,
+    block_dim: usize,
+    grid_dim: usize,
+    global: &'a mut Vec<i64>,
+    shared: &'a mut Vec<i64>,
+    ops: Vec<Op>,
+}
+
+impl ThreadCtx<'_> {
+    /// Thread index within the block (`threadIdx.x`).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Block index (`blockIdx.x`).
+    pub fn bid(&self) -> usize {
+        self.bid
+    }
+
+    /// Threads per block (`blockDim.x`).
+    pub fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    /// Blocks in the grid (`gridDim.x`).
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn gtid(&self) -> usize {
+        self.bid * self.block_dim + self.tid
+    }
+
+    /// Read global memory word `idx`.
+    ///
+    /// # Panics
+    /// Panics out of bounds.
+    pub fn read_global(&mut self, idx: usize) -> i64 {
+        self.ops.push(Op::GlobalRead(idx as u64));
+        self.global[idx]
+    }
+
+    /// Write global memory word `idx`.
+    pub fn write_global(&mut self, idx: usize, v: i64) {
+        self.ops.push(Op::GlobalWrite(idx as u64));
+        self.global[idx] = v;
+    }
+
+    /// Read shared-memory word `idx` (per block).
+    pub fn read_shared(&mut self, idx: usize) -> i64 {
+        self.ops.push(Op::SharedRead(idx));
+        self.shared[idx]
+    }
+
+    /// Write shared-memory word `idx`.
+    pub fn write_shared(&mut self, idx: usize, v: i64) {
+        self.ops.push(Op::SharedWrite(idx));
+        self.shared[idx] = v;
+    }
+
+    /// Record a pure-compute operation (an FMA, a comparison, ...).
+    pub fn compute(&mut self) {
+        self.ops.push(Op::Compute);
+    }
+}
+
+/// A phase: one barrier-delimited piece of a kernel.
+pub type Phase<'k> = Box<dyn Fn(&mut ThreadCtx<'_>) + 'k>;
+
+/// The simulated device.
+#[derive(Debug)]
+pub struct Device {
+    config: GpuConfig,
+    /// Global memory, in words.
+    pub global: Vec<i64>,
+}
+
+impl Device {
+    /// A device with `words` words of zeroed global memory.
+    pub fn new(words: usize) -> Self {
+        Self::with_config(words, GpuConfig::default())
+    }
+
+    /// A device with explicit cost parameters.
+    pub fn with_config(words: usize, config: GpuConfig) -> Self {
+        Device {
+            config,
+            global: vec![0; words],
+        }
+    }
+
+    /// The cost parameters.
+    pub fn config(&self) -> GpuConfig {
+        self.config
+    }
+
+    /// Copy host data into global memory at `base`.
+    pub fn upload(&mut self, base: usize, data: &[i64]) {
+        self.global[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Launch a phased kernel: `grid_dim` blocks × `block_dim` threads,
+    /// each block owning `shared_words` of shared memory. Phases run in
+    /// order with an implicit `__syncthreads()` between them; within a
+    /// phase every thread of the block runs the closure once.
+    ///
+    /// Blocks execute sequentially (deterministic); the cost model
+    /// charges per-warp as described in the crate docs.
+    pub fn launch(
+        &mut self,
+        grid_dim: usize,
+        block_dim: usize,
+        shared_words: usize,
+        phases: &[Phase<'_>],
+    ) -> KernelStats {
+        assert!(grid_dim > 0 && block_dim > 0, "empty launch");
+        let mut stats = KernelStats::default();
+        let cfg = self.config;
+        for bid in 0..grid_dim {
+            let mut shared = vec![0i64; shared_words];
+            for phase in phases {
+                // Run every thread, collecting its op trace.
+                let mut traces: Vec<Vec<Op>> = Vec::with_capacity(block_dim);
+                for tid in 0..block_dim {
+                    let mut ctx = ThreadCtx {
+                        tid,
+                        bid,
+                        block_dim,
+                        grid_dim,
+                        global: &mut self.global,
+                        shared: &mut shared,
+                        ops: Vec::new(),
+                    };
+                    phase(&mut ctx);
+                    traces.push(ctx.ops);
+                }
+                // Account per warp.
+                for warp in traces.chunks(cfg.warp_size) {
+                    let steps = warp.iter().map(Vec::len).max().unwrap_or(0);
+                    stats.issue_cycles += steps as u64;
+                    let ops: u64 = warp.iter().map(|t| t.len() as u64).sum();
+                    stats.executed_ops += ops;
+                    stats.divergence_waste += steps as u64 * warp.len() as u64 - ops;
+                    // Lockstep step k: gather each lane's k-th op.
+                    for k in 0..steps {
+                        let mut segments: HashSet<u64> = HashSet::new();
+                        let mut bank_load = vec![0u32; cfg.banks];
+                        let mut any_shared = false;
+                        for lane in warp {
+                            match lane.get(k) {
+                                Some(Op::GlobalRead(a)) | Some(Op::GlobalWrite(a)) => {
+                                    stats.global_accesses += 1;
+                                    segments.insert(a * cfg.elem_bytes / cfg.coalesce_bytes);
+                                }
+                                Some(Op::SharedRead(i)) | Some(Op::SharedWrite(i)) => {
+                                    any_shared = true;
+                                    bank_load[i % cfg.banks] += 1;
+                                }
+                                Some(Op::Compute) | None => {}
+                            }
+                        }
+                        stats.global_transactions += segments.len() as u64;
+                        if any_shared {
+                            let conflict = *bank_load.iter().max().unwrap() as u64;
+                            stats.shared_cycles += conflict;
+                            stats.bank_conflict_cycles += conflict.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn copy_phase<'k>(n: usize, stride: usize) -> Vec<Phase<'k>> {
+        vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            let i = t.gtid();
+            if i < n {
+                let src = (i * stride) % n;
+                let v = t.read_global(src);
+                t.write_global(n + i, v);
+            }
+        })]
+    }
+
+    #[test]
+    fn copy_kernel_copies() {
+        let n = 256;
+        let mut dev = Device::new(2 * n);
+        dev.upload(0, &(0..n as i64).collect::<Vec<_>>());
+        dev.launch(n / 64, 64, 0, &copy_phase(n, 1));
+        assert_eq!(&dev.global[n..2 * n], &(0..n as i64).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn coalesced_copy_uses_minimal_transactions() {
+        let n = 1024;
+        let mut dev = Device::new(2 * n);
+        let stats = dev.launch(n / 256, 256, 0, &copy_phase(n, 1));
+        // Reads: n/16 transactions (16 words of 8B per 128B segment);
+        // writes the same.
+        assert_eq!(stats.global_transactions, 2 * (n as u64 / 16));
+        assert!((stats.coalescing_efficiency(&dev.config()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strided_copy_wastes_transactions() {
+        let n = 1024;
+        let mut dev_seq = Device::new(2 * n);
+        let seq = dev_seq.launch(n / 256, 256, 0, &copy_phase(n, 1));
+        let mut dev_str = Device::new(2 * n);
+        // Stride 16 words = 128 bytes: every lane in its own segment.
+        let strided = dev_str.launch(n / 256, 256, 0, &copy_phase(n, 16));
+        assert!(
+            strided.global_transactions > 8 * seq.global_transactions,
+            "strided {} vs sequential {}",
+            strided.global_transactions,
+            seq.global_transactions
+        );
+        assert!(strided.coalescing_efficiency(&dev_str.config()) < 0.2);
+    }
+
+    #[test]
+    fn divergence_accounted() {
+        let n = 256;
+        let mut dev = Device::new(n);
+        // Only even lanes do work: half the issue slots are wasted.
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            if t.tid() % 2 == 0 {
+                t.compute();
+                t.compute();
+            }
+        })];
+        let stats = dev.launch(1, n, 0, &phases);
+        assert!((stats.warp_efficiency() - 0.5).abs() < 1e-9);
+        // A uniform kernel has no waste.
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            t.compute();
+        })];
+        let stats = dev.launch(1, n, 0, &phases);
+        assert_eq!(stats.divergence_waste, 0);
+        assert!((stats.warp_efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_memory_bank_conflicts() {
+        let n = 32;
+        // Conflict-free: lane i hits bank i.
+        let mut dev = Device::new(1);
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            let tid = t.tid();
+            t.write_shared(tid, tid as i64);
+        })];
+        let free = dev.launch(1, n, 64, &phases);
+        assert_eq!(free.bank_conflict_cycles, 0);
+        assert_eq!(free.shared_cycles, 1);
+
+        // 2-way conflict: lane i hits bank (i*2) % 32 — pairs collide.
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            let tid = t.tid();
+            t.write_shared((tid * 2) % 64, 1);
+        })];
+        let conflicted = dev.launch(1, n, 64, &phases);
+        assert_eq!(conflicted.shared_cycles, 2, "2-way conflict serializes");
+        assert_eq!(conflicted.bank_conflict_cycles, 1);
+    }
+
+    #[test]
+    fn phases_are_barrier_separated() {
+        // Phase 1: thread i writes shared[i]. Phase 2: thread i reads
+        // shared[(i+1) % n] — correct only with a barrier between.
+        let n = 64;
+        let mut dev = Device::new(n);
+        let phases: Vec<Phase<'_>> = vec![
+            Box::new(move |t: &mut ThreadCtx<'_>| {
+                let tid = t.tid();
+                t.write_shared(tid, tid as i64 * 10);
+            }),
+            Box::new(move |t: &mut ThreadCtx<'_>| {
+                let tid = t.tid();
+                let dim = t.block_dim();
+                let v = t.read_shared((tid + 1) % dim);
+                t.write_global(tid, v);
+            }),
+        ];
+        dev.launch(1, n, n, &phases);
+        for i in 0..n {
+            assert_eq!(dev.global[i], (((i + 1) % n) as i64) * 10);
+        }
+    }
+
+    #[test]
+    fn cycles_weight_global_over_shared() {
+        let cfg = GpuConfig::default();
+        let a = KernelStats {
+            global_transactions: 10,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            shared_cycles: 10,
+            ..Default::default()
+        };
+        assert!(a.cycles(&cfg) > b.cycles(&cfg) * 10);
+    }
+
+    #[test]
+    fn blocks_have_private_shared_memory() {
+        // Each block writes its bid into shared[0] then reads it back in
+        // phase 2; cross-block contamination would break this.
+        let blocks = 4;
+        let mut dev = Device::new(blocks);
+        let phases: Vec<Phase<'_>> = vec![
+            Box::new(move |t: &mut ThreadCtx<'_>| {
+                if t.tid() == 0 {
+                    let b = t.bid();
+                    t.write_shared(0, b as i64 + 100);
+                }
+            }),
+            Box::new(move |t: &mut ThreadCtx<'_>| {
+                if t.tid() == 0 {
+                    let v = t.read_shared(0);
+                    let b = t.bid();
+                    t.write_global(b, v);
+                }
+            }),
+        ];
+        dev.launch(blocks, 32, 4, &phases);
+        assert_eq!(dev.global, vec![100, 101, 102, 103]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # pdc-gpu — a SIMT execution simulator
+//!
+//! CS40's GPGPU unit (paper Section III-A: "SIMD and stream
+//! architectures, memory organization (CPU memory, GPU memory, shared
+//! memory), GPU threads, synchronization, scheduling on CUDA GPUs, data
+//! layout, and speedups") without the hardware: a deterministic simulator
+//! of the CUDA execution model.
+//!
+//! Kernels are written as **barrier-separated phases** (the shape CUDA's
+//! `__syncthreads()` discipline forces anyway): every thread of a block
+//! runs phase `k` to completion before any thread starts phase `k+1`.
+//! Within a phase, threads are grouped into warps of 32 and the
+//! simulator accounts for the three costs the course teaches:
+//!
+//! * **Coalescing** — each warp-wide global access is split into 128-byte
+//!   transactions; adjacent addresses coalesce, strided ones do not.
+//! * **Divergence** — a warp issues for as long as its busiest thread;
+//!   idle lanes are wasted issue slots.
+//! * **Shared memory** — 32 banks; conflict-free accesses cost 1 unit,
+//!   N-way conflicts serialize N×.
+//!
+//! * [`device`] — the simulator core.
+//! * [`kernels`] — reduction (global vs shared-staged), block scan, and
+//!   copy kernels (coalesced vs strided), with correctness tests and
+//!   cost comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod kernels;
+
+pub use device::{Device, GpuConfig, KernelStats, ThreadCtx};

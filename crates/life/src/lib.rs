@@ -1,0 +1,31 @@
+//! # pdc-life — Conway's Game of Life, four ways
+//!
+//! The Game of Life is the spine of CS31's lab sequence (paper Table I):
+//! first as a C-programming/timing lab, then as the **parallel Game of
+//! Life with an experimental scalability study** — the course's capstone
+//! shared-memory project. This crate implements the full ladder:
+//!
+//! * [`grid`] — the board: torus or dead-boundary, pattern library,
+//!   deterministic random fills.
+//! * [`engine`] — sequential stepping (the baseline students time).
+//! * [`parallel`] — row-partitioned threaded stepping with a
+//!   [`pdc_sync::SenseBarrier`] per generation, bit-identical to the
+//!   sequential engine.
+//! * [`scaling`] — the scalability *study*: wall-clock strong scaling
+//!   plus the deterministic [`pdc_core::SimMachine`] model that
+//!   reproduces the lab's speedup curves on any host.
+//! * [`dist`] — the distributed version on [`pdc_mpi`]: row bands with
+//!   ghost-row exchange, the halo pattern CS87 teaches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod grid;
+pub mod parallel;
+pub mod scaling;
+
+pub use engine::step_generations;
+pub use grid::{Boundary, Grid};
+pub use parallel::parallel_step_generations;

@@ -1,0 +1,204 @@
+//! Threaded Game of Life: row bands + a barrier per generation.
+//!
+//! This is the paper's flagship lab ("Parallel Game of Life Using
+//! Pthreads and Experimental Scalability Study"). Persistent workers
+//! each own a band of rows; every generation they compute their band
+//! from the read buffer into the write buffer, then meet at a
+//! [`pdc_sync::SenseBarrier`]; buffers swap by generation parity.
+//!
+//! Cells are `AtomicU8` so the double-buffered sharing is safe Rust:
+//! within a generation, reads target only the read buffer and each
+//! worker writes only its own rows; the barrier's Release/Acquire
+//! ordering publishes every write before the next generation reads it.
+
+use crate::grid::{Boundary, Grid};
+use pdc_sync::SenseBarrier;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+fn to_atomic(grid: &Grid) -> Vec<AtomicU8> {
+    grid.cells().iter().map(|&c| AtomicU8::new(c)).collect()
+}
+
+fn neighbors_at(
+    cells: &[AtomicU8],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary,
+    r: usize,
+    c: usize,
+) -> u8 {
+    let mut count = 0;
+    for dr in [-1i64, 0, 1] {
+        for dc in [-1i64, 0, 1] {
+            if dr == 0 && dc == 0 {
+                continue;
+            }
+            let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+            let alive = match boundary {
+                Boundary::Torus => {
+                    let nr = nr.rem_euclid(rows as i64) as usize;
+                    let nc = nc.rem_euclid(cols as i64) as usize;
+                    cells[nr * cols + nc].load(Ordering::Relaxed)
+                }
+                Boundary::Dead => {
+                    if nr < 0 || nc < 0 || nr >= rows as i64 || nc >= cols as i64 {
+                        0
+                    } else {
+                        cells[nr as usize * cols + nc as usize].load(Ordering::Relaxed)
+                    }
+                }
+            };
+            count += alive;
+        }
+    }
+    count
+}
+
+/// Per-run statistics of the threaded engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Rows computed by each worker per generation.
+    pub rows_per_worker: Vec<usize>,
+    /// Barrier episodes executed (= generations).
+    pub barrier_episodes: u64,
+}
+
+/// Advance `grid` by `generations` using `workers` threads.
+/// Returns the final board plus statistics; the result is bit-identical
+/// to [`crate::engine::step_generations`].
+///
+/// # Panics
+/// Panics if `workers == 0`.
+pub fn parallel_step_generations(
+    grid: &Grid,
+    generations: usize,
+    workers: usize,
+) -> (Grid, ParallelStats) {
+    assert!(workers > 0, "need at least one worker");
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let boundary = grid.boundary();
+    let workers = workers.min(rows); // never more workers than rows
+    let buf_a = to_atomic(grid);
+    let buf_b: Vec<AtomicU8> = (0..rows * cols).map(|_| AtomicU8::new(0)).collect();
+    let barrier = SenseBarrier::new(workers);
+
+    // Row bands (block partitioning with remainder spread).
+    let base = rows / workers;
+    let rem = rows % workers;
+    let mut bands = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        bands.push(lo..lo + len);
+        lo += len;
+    }
+
+    std::thread::scope(|s| {
+        for band in bands.clone() {
+            let (buf_a, buf_b, barrier) = (&buf_a, &buf_b, &barrier);
+            s.spawn(move || {
+                for generation in 0..generations {
+                    let (src, dst) = if generation % 2 == 0 {
+                        (buf_a, buf_b)
+                    } else {
+                        (buf_b, buf_a)
+                    };
+                    for r in band.clone() {
+                        for c in 0..cols {
+                            let n = neighbors_at(src, rows, cols, boundary, r, c);
+                            let alive = src[r * cols + c].load(Ordering::Relaxed) == 1;
+                            let next = u8::from(n == 3 || (alive && n == 2));
+                            dst[r * cols + c].store(next, Ordering::Relaxed);
+                        }
+                    }
+                    // The barrier both synchronizes the generation and
+                    // publishes this worker's writes to every reader.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    let final_buf = if generations % 2 == 0 { &buf_a } else { &buf_b };
+    let mut out = Grid::new(rows, cols, boundary);
+    for (dst, src) in out.cells_mut().iter_mut().zip(final_buf.iter()) {
+        *dst = src.load(Ordering::Relaxed);
+    }
+    let stats = ParallelStats {
+        rows_per_worker: bands.iter().map(|b| b.len()).collect(),
+        barrier_episodes: generations as u64,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::step_generations;
+    use crate::grid::patterns;
+
+    fn random_board(rows: usize, cols: usize, boundary: Boundary, seed: u64) -> Grid {
+        Grid::random(rows, cols, boundary, 0.35, seed)
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        for (rows, cols) in [(16usize, 16usize), (17, 31), (8, 64)] {
+            for boundary in [Boundary::Torus, Boundary::Dead] {
+                let g = random_board(rows, cols, boundary, 99);
+                let (seq, _) = step_generations(&g, 10);
+                for workers in [1usize, 2, 3, 4, 8] {
+                    let (par, _) = parallel_step_generations(&g, 10, workers);
+                    assert_eq!(par, seq, "{rows}x{cols} {boundary:?} w={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_generations_is_identity() {
+        let g = random_board(10, 10, Boundary::Torus, 3);
+        let (out, stats) = parallel_step_generations(&g, 0, 4);
+        assert_eq!(out, g);
+        assert_eq!(stats.barrier_episodes, 0);
+    }
+
+    #[test]
+    fn more_workers_than_rows_clamped() {
+        let g = random_board(3, 20, Boundary::Torus, 5);
+        let (par, stats) = parallel_step_generations(&g, 4, 16);
+        let (seq, _) = step_generations(&g, 4);
+        assert_eq!(par, seq);
+        assert_eq!(stats.rows_per_worker.len(), 3, "clamped to row count");
+    }
+
+    #[test]
+    fn band_partition_covers_all_rows() {
+        let g = random_board(17, 5, Boundary::Dead, 7);
+        let (_, stats) = parallel_step_generations(&g, 1, 4);
+        assert_eq!(stats.rows_per_worker.iter().sum::<usize>(), 17);
+        // Remainder spread: sizes differ by at most one.
+        let max = stats.rows_per_worker.iter().max().unwrap();
+        let min = stats.rows_per_worker.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn glider_correct_under_threads() {
+        let mut g = Grid::new(12, 12, Boundary::Dead);
+        g.stamp(1, 1, &patterns::GLIDER);
+        let (par, _) = parallel_step_generations(&g, 4, 3);
+        let mut expected = Grid::new(12, 12, Boundary::Dead);
+        expected.stamp(2, 2, &patterns::GLIDER);
+        assert_eq!(par, expected);
+    }
+
+    #[test]
+    fn odd_generation_count_lands_in_other_buffer() {
+        let g = random_board(9, 9, Boundary::Torus, 11);
+        let (seq, _) = step_generations(&g, 7);
+        let (par, _) = parallel_step_generations(&g, 7, 2);
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,170 @@
+//! The scalability *study*: the experiment students run and write up.
+//!
+//! Two instruments:
+//!
+//! * [`wallclock_strong_scaling`] — times the real threaded engine at
+//!   each worker count (honest, but on a single-core CI host the curve
+//!   is flat-to-negative — itself a teachable observation).
+//! * [`modeled_strong_scaling`] — the deterministic
+//!   [`pdc_core::SimMachine`] model of the same program structure
+//!   (per-generation compute split over workers + one barrier), which
+//!   reproduces the lab's textbook speedup shape on any host.
+
+use crate::engine::step_generations;
+use crate::grid::Grid;
+use crate::parallel::parallel_step_generations;
+use pdc_core::laws::ScalingCurve;
+use pdc_core::machine::{BarrierModel, MachineConfig, SimMachine};
+use pdc_core::scaling::strong_scaling;
+use pdc_core::stats::time_op;
+
+/// Wall-clock strong scaling of the threaded engine.
+///
+/// `reps` timing repetitions per point (minimum time reported, per the
+/// lab's measurement discipline).
+pub fn wallclock_strong_scaling(
+    grid: &Grid,
+    generations: usize,
+    worker_counts: &[usize],
+    reps: usize,
+) -> ScalingCurve {
+    strong_scaling(worker_counts, |p| {
+        let t = time_op(reps, || {
+            std::hint::black_box(parallel_step_generations(grid, generations, p))
+        });
+        t.min.as_secs_f64()
+    })
+}
+
+/// Modeled strong scaling: per generation, `rows × cols` cell updates
+/// split across `p` workers (block rows, remainder spread), then one
+/// barrier among `p` workers; plus thread-spawn cost up front. Exactly
+/// the threaded engine's structure, on the abstract machine.
+pub fn modeled_strong_scaling(
+    rows: usize,
+    cols: usize,
+    generations: usize,
+    worker_counts: &[usize],
+) -> ScalingCurve {
+    modeled_strong_scaling_with(rows, cols, generations, worker_counts, BarrierModel::Linear)
+}
+
+/// [`modeled_strong_scaling`] with an explicit barrier cost model — the
+/// ablation showing how much of the efficiency loss at high `p` is the
+/// barrier's fault.
+pub fn modeled_strong_scaling_with(
+    rows: usize,
+    cols: usize,
+    generations: usize,
+    worker_counts: &[usize],
+    barrier_model: BarrierModel,
+) -> ScalingCurve {
+    strong_scaling(worker_counts, |p| {
+        let mut m = SimMachine::new(MachineConfig {
+            barrier_model,
+            ..MachineConfig::with_cores(p)
+        });
+        m.spawn_workers(p);
+        let workers = p.min(rows);
+        // Per-generation row bands: the tallest band gates the phase.
+        let base = rows / workers;
+        let rem = rows % workers;
+        let ops: Vec<u64> = (0..workers)
+            .map(|w| ((base + usize::from(w < rem)) * cols) as u64)
+            .collect();
+        for _ in 0..generations {
+            m.parallel(&ops);
+            m.barrier(workers);
+        }
+        m.finish().elapsed()
+    })
+}
+
+/// Verify the threaded engine and return its result with the sequential
+/// baseline's update count (used by the experiments binary).
+pub fn verified_run(grid: &Grid, generations: usize, workers: usize) -> (Grid, u64) {
+    let (seq, updates) = step_generations(grid, generations);
+    let (par, _) = parallel_step_generations(grid, generations, workers);
+    assert_eq!(seq, par, "threaded engine must match sequential");
+    (par, updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Boundary;
+
+    #[test]
+    fn modeled_curve_has_textbook_shape() {
+        let curve = modeled_strong_scaling(512, 512, 50, &[1, 2, 4, 8, 16, 32]);
+        let sp = curve.speedups();
+        // Speedup grows initially...
+        assert!(sp[1].1 > 1.5, "2 workers speedup {}", sp[1].1);
+        assert!(sp[3].1 > sp[1].1, "8 > 2 workers");
+        // ...but sub-linearly (barrier + imbalance overheads).
+        let (p_last, s_last) = *sp.last().unwrap();
+        assert!(s_last < p_last as f64, "no superlinear magic");
+        // Efficiency decays monotonically.
+        let eff = curve.efficiencies();
+        for w in eff.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "efficiency must not rise: {eff:?}");
+        }
+    }
+
+    #[test]
+    fn modeled_small_grid_scales_worse() {
+        // Fixed worker count: a small problem has worse efficiency than a
+        // large one (sync costs don't amortize) — the lab's key insight.
+        let small = modeled_strong_scaling(64, 64, 50, &[1, 8]);
+        let large = modeled_strong_scaling(1024, 1024, 50, &[1, 8]);
+        let eff_small = small.efficiencies()[1].1;
+        let eff_large = large.efficiencies()[1].1;
+        assert!(
+            eff_large > eff_small,
+            "large {eff_large} should beat small {eff_small}"
+        );
+    }
+
+    #[test]
+    fn wallclock_runs_and_is_positive() {
+        let g = Grid::random(32, 32, Boundary::Torus, 0.3, 1);
+        let curve = wallclock_strong_scaling(&g, 3, &[1, 2], 2);
+        assert!(curve.points().iter().all(|p| p.time > 0.0));
+    }
+
+    #[test]
+    fn verified_run_checks_equivalence() {
+        let g = Grid::random(20, 20, Boundary::Torus, 0.4, 9);
+        let (out, updates) = verified_run(&g, 5, 3);
+        assert_eq!(updates, 20 * 20 * 5);
+        assert_eq!(out.rows(), 20);
+    }
+
+    #[test]
+    fn tree_barrier_ablation_improves_small_grid_scaling() {
+        // Small grid, many workers: the barrier dominates; the tree
+        // barrier recovers a chunk of the lost efficiency.
+        let ps = [1usize, 32];
+        let linear = modeled_strong_scaling_with(64, 64, 100, &ps, BarrierModel::Linear);
+        let tree = modeled_strong_scaling_with(64, 64, 100, &ps, BarrierModel::Tree);
+        let eff_linear = linear.efficiencies()[1].1;
+        let eff_tree = tree.efficiencies()[1].1;
+        assert!(
+            eff_tree > eff_linear + 0.05,
+            "tree {eff_tree} vs linear {eff_linear}"
+        );
+    }
+
+    #[test]
+    fn karp_flatt_rises_with_p_in_model() {
+        // The model's overhead is sync, not serial code: Karp–Flatt
+        // should expose it as a rising experimentally-determined serial
+        // fraction — the lab report's diagnostic step.
+        let curve = modeled_strong_scaling(256, 256, 50, &[1, 2, 4, 8, 16]);
+        let kf = curve.karp_flatt_series();
+        assert!(
+            kf.last().unwrap().1 > kf.first().unwrap().1,
+            "karp-flatt should rise: {kf:?}"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! A set-associative cache simulator.
+//!
+//! Organization follows the lecture's parameters exactly: an address maps
+//! to a set by `(addr / line_size) % sets`; each set holds `ways` lines;
+//! replacement within a set is LRU, FIFO, or (seeded) random. Write
+//! handling models the two×two design space: write-back vs write-through
+//! crossed with write-allocate vs no-allocate.
+
+use pdc_core::rng::Rng;
+
+/// Replacement policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used line.
+    Lru,
+    /// Evict the line that has been resident longest.
+    Fifo,
+    /// Evict a (deterministically seeded) random line.
+    Random,
+}
+
+/// Write-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Dirty lines written back on eviction; writes allocate.
+    WriteBackAllocate,
+    /// Every write goes to memory immediately; writes allocate.
+    WriteThroughAllocate,
+    /// Every write goes to memory; write misses do not allocate.
+    WriteThroughNoAllocate,
+}
+
+/// Cache organization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Line (block) size in bytes; must be a power of two.
+    pub line_size: usize,
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Write policy.
+    pub write: WritePolicy,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache of `lines` lines.
+    pub fn direct_mapped(line_size: usize, lines: usize) -> Self {
+        CacheConfig {
+            line_size,
+            sets: lines,
+            ways: 1,
+            replacement: ReplacementPolicy::Lru,
+            write: WritePolicy::WriteBackAllocate,
+        }
+    }
+
+    /// A fully associative cache of `lines` lines.
+    pub fn fully_associative(line_size: usize, lines: usize) -> Self {
+        CacheConfig {
+            line_size,
+            sets: 1,
+            ways: lines,
+            replacement: ReplacementPolicy::Lru,
+            write: WritePolicy::WriteBackAllocate,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.line_size * self.sets * self.ways
+    }
+}
+
+/// Hit/miss and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Dirty-line writebacks (write-back policy only).
+    pub writebacks: u64,
+    /// Words written through to the next level (write-through only).
+    pub write_throughs: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp or FIFO insertion order.
+    stamp: u64,
+}
+
+/// The cache simulator.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    clock: u64,
+    rng: Rng,
+}
+
+/// Result of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// Data was resident.
+    Hit,
+    /// Data was fetched from the next level.
+    Miss,
+}
+
+impl Cache {
+    /// Build a cache from a configuration (deterministic random seed 0).
+    ///
+    /// # Panics
+    /// Panics unless line size and set count are powers of two and ways
+    /// is positive.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_seed(config, 0)
+    }
+
+    /// Build with an explicit seed for the Random replacement policy.
+    pub fn with_seed(config: CacheConfig, seed: u64) -> Self {
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.ways > 0, "need at least one way");
+        Cache {
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        stamp: 0
+                    };
+                    config.ways
+                ];
+                config.sets
+            ],
+            config,
+            stats: CacheStats::default(),
+            clock: 0,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_size as u64;
+        let set = (line % self.config.sets as u64) as usize;
+        let tag = line / self.config.sets as u64;
+        (set, tag)
+    }
+
+    /// Perform a read access at byte address `addr`.
+    pub fn read(&mut self, addr: u64) -> AccessResult {
+        self.access(addr, false)
+    }
+
+    /// Perform a write access at byte address `addr`.
+    pub fn write(&mut self, addr: u64) -> AccessResult {
+        self.access(addr, true)
+    }
+
+    /// Perform an access; `is_write` selects write semantics.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.clock += 1;
+        let (set_idx, tag) = self.split(addr);
+        let write_through = matches!(
+            self.config.write,
+            WritePolicy::WriteThroughAllocate | WritePolicy::WriteThroughNoAllocate
+        );
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            self.stats.hits += 1;
+            if self.config.replacement == ReplacementPolicy::Lru {
+                line.stamp = self.clock;
+            }
+            if is_write {
+                if write_through {
+                    self.stats.write_throughs += 1;
+                } else {
+                    line.dirty = true;
+                }
+            }
+            return AccessResult::Hit;
+        }
+        // Miss.
+        self.stats.misses += 1;
+        if is_write && self.config.write == WritePolicy::WriteThroughNoAllocate {
+            self.stats.write_throughs += 1;
+            return AccessResult::Miss; // no allocation
+        }
+        // Choose a victim: an invalid line if any, else by policy.
+        let victim = if let Some(pos) = set.iter().position(|l| !l.valid) {
+            pos
+        } else {
+            match self.config.replacement {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(i, _)| i)
+                    .unwrap(),
+                ReplacementPolicy::Random => self.rng.usize_in(0, set.len()),
+            }
+        };
+        let line = &mut set[victim];
+        if line.valid {
+            self.stats.evictions += 1;
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_write && !write_through,
+            stamp: self.clock, // LRU use-time and FIFO insert-time coincide here
+        };
+        if is_write && write_through {
+            self.stats.write_throughs += 1;
+        }
+        AccessResult::Miss
+    }
+
+    /// Run a whole trace of `(addr, is_write)` accesses.
+    pub fn run_trace(&mut self, trace: &[(u64, bool)]) -> CacheStats {
+        for &(addr, w) in trace {
+            self.access(addr, w);
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(line: usize, sets: usize, ways: usize) -> CacheConfig {
+        CacheConfig {
+            line_size: line,
+            sets,
+            ways,
+            replacement: ReplacementPolicy::Lru,
+            write: WritePolicy::WriteBackAllocate,
+        }
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(cfg(64, 4, 2));
+        assert_eq!(c.read(0), AccessResult::Miss);
+        assert_eq!(c.read(0), AccessResult::Hit);
+        assert_eq!(c.read(63), AccessResult::Hit, "same line");
+        assert_eq!(c.read(64), AccessResult::Miss, "next line");
+    }
+
+    #[test]
+    fn sequential_scan_miss_rate_is_one_over_words_per_line() {
+        let mut c = Cache::new(cfg(64, 16, 4));
+        // 8-byte words, 8 per line: miss every 8th access.
+        for i in 0..8_000u64 {
+            c.read(i * 8);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 1000);
+        assert!((s.miss_rate() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_misses() {
+        // Two addresses mapping to the same set thrash a direct-mapped
+        // cache but coexist in a 2-way cache.
+        let a = 0u64;
+        let b = (64 * 8) as u64; // same set (8 sets), different tag
+        let mut dm = Cache::new(cfg(64, 8, 1));
+        for _ in 0..100 {
+            dm.read(a);
+            dm.read(b);
+        }
+        assert_eq!(dm.stats().misses, 200, "every access conflicts");
+
+        let mut two_way = Cache::new(cfg(64, 8, 2));
+        for _ in 0..100 {
+            two_way.read(a);
+            two_way.read(b);
+        }
+        assert_eq!(two_way.stats().misses, 2, "only compulsory misses");
+    }
+
+    #[test]
+    fn lru_beats_fifo_on_looping_with_reuse() {
+        // Pattern: A B A C A D ... — A is hot; LRU keeps it, FIFO ages it
+        // out.
+        let mk_trace = || {
+            let mut t = Vec::new();
+            for i in 1..200u64 {
+                t.push((0u64, false)); // A
+                t.push((i * 64, false));
+            }
+            t
+        };
+        let mut lru = Cache::new(CacheConfig {
+            replacement: ReplacementPolicy::Lru,
+            ..cfg(64, 1, 4)
+        });
+        lru.run_trace(&mk_trace());
+        let mut fifo = Cache::new(CacheConfig {
+            replacement: ReplacementPolicy::Fifo,
+            ..cfg(64, 1, 4)
+        });
+        fifo.run_trace(&mk_trace());
+        assert!(
+            lru.stats().misses < fifo.stats().misses,
+            "lru {} vs fifo {}",
+            lru.stats().misses,
+            fifo.stats().misses
+        );
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_per_seed() {
+        let cfg_r = CacheConfig {
+            replacement: ReplacementPolicy::Random,
+            ..cfg(64, 2, 2)
+        };
+        let trace: Vec<(u64, bool)> = (0..1000u64).map(|i| (i * 97 % 4096, false)).collect();
+        let mut a = Cache::with_seed(cfg_r, 5);
+        let mut b = Cache::with_seed(cfg_r, 5);
+        assert_eq!(a.run_trace(&trace), b.run_trace(&trace));
+    }
+
+    #[test]
+    fn write_back_defers_traffic() {
+        let mut c = Cache::new(cfg(64, 1, 1));
+        // Write the same line repeatedly: 1 miss, no writebacks yet.
+        for _ in 0..100 {
+            c.write(0);
+        }
+        assert_eq!(c.stats().writebacks, 0);
+        // Evict it with a different line: one writeback.
+        c.read(64);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_through_pays_per_write() {
+        let mut c = Cache::new(CacheConfig {
+            write: WritePolicy::WriteThroughAllocate,
+            ..cfg(64, 1, 1)
+        });
+        for _ in 0..100 {
+            c.write(0);
+        }
+        assert_eq!(c.stats().write_throughs, 100);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_no_allocate_skips_allocation() {
+        let mut c = Cache::new(CacheConfig {
+            write: WritePolicy::WriteThroughNoAllocate,
+            ..cfg(64, 1, 1)
+        });
+        c.write(0);
+        assert_eq!(c.read(0), AccessResult::Miss, "write did not allocate");
+        // But a read-allocated line takes write hits.
+        assert_eq!(c.write(0), AccessResult::Hit);
+    }
+
+    #[test]
+    fn fully_associative_has_no_conflict_misses() {
+        // Working set of 4 lines fits a 4-line fully associative cache
+        // regardless of addresses.
+        let addrs = [0u64, 64 * 100, 64 * 200, 64 * 300];
+        let mut c = Cache::new(CacheConfig::fully_associative(64, 4));
+        for _ in 0..50 {
+            for &a in &addrs {
+                c.read(a);
+            }
+        }
+        assert_eq!(c.stats().misses, 4, "compulsory only");
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_cache() {
+        // 8-line working set cycled through a 4-line fully associative
+        // LRU cache: every access misses (the classic LRU loop pathology).
+        let mut c = Cache::new(CacheConfig::fully_associative(64, 4));
+        for _ in 0..10 {
+            for i in 0..8u64 {
+                c.read(i * 64);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(cfg(64, 16, 4).capacity(), 4096);
+    }
+}

@@ -1,0 +1,369 @@
+//! Bus-snooping cache coherence: MSI and MESI.
+//!
+//! Each core has a private cache tracked as per-line coherence states;
+//! accesses generate bus transactions according to the protocol, and the
+//! simulator counts them. The headline experiments:
+//!
+//! * **MESI vs MSI** — the E state makes the private read-then-write
+//!   pattern cost one bus transaction instead of two.
+//! * **False sharing** — per-thread counters packed into one line cause
+//!   an invalidation storm that padding eliminates (the CS75/CS87
+//!   "techniques for solving false-sharing issues" topic).
+
+use std::collections::HashMap;
+
+/// Coherence protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Modified / Shared / Invalid.
+    Msi,
+    /// Modified / Exclusive / Shared / Invalid.
+    Mesi,
+}
+
+/// Per-line state in one core's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+/// Bus and cache traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Accesses that hit without a bus transaction.
+    pub hits: u64,
+    /// Accesses requiring a bus transaction.
+    pub misses: u64,
+    /// BusRd transactions (read misses).
+    pub bus_reads: u64,
+    /// BusRdX / BusUpgr transactions (writes needing ownership).
+    pub bus_rdx: u64,
+    /// Lines invalidated in remote caches.
+    pub invalidations: u64,
+    /// Modified lines flushed because a remote core touched them.
+    pub writebacks: u64,
+}
+
+impl CoherenceStats {
+    /// Total bus transactions.
+    pub fn bus_traffic(&self) -> u64 {
+        self.bus_reads + self.bus_rdx
+    }
+}
+
+/// The multi-core coherence simulator.
+#[derive(Debug, Clone)]
+pub struct CoherenceSim {
+    protocol: Protocol,
+    line_size: u64,
+    /// `state[core]` maps line number → state (absent = Invalid).
+    state: Vec<HashMap<u64, State>>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceSim {
+    /// Create a simulator for `cores` cores with the given line size.
+    ///
+    /// # Panics
+    /// Panics unless `cores > 0` and `line_size` is a power of two.
+    pub fn new(protocol: Protocol, cores: usize, line_size: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        CoherenceSim {
+            protocol,
+            line_size,
+            state: vec![HashMap::new(); cores],
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    fn get(&self, core: usize, line: u64) -> State {
+        *self.state[core].get(&line).unwrap_or(&State::Invalid)
+    }
+
+    fn set(&mut self, core: usize, line: u64, s: State) {
+        if s == State::Invalid {
+            self.state[core].remove(&line);
+        } else {
+            self.state[core].insert(line, s);
+        }
+    }
+
+    /// Any core other than `me` holding the line in a valid state?
+    fn others_holding(&self, me: usize, line: u64) -> Vec<usize> {
+        (0..self.cores())
+            .filter(|&c| c != me && self.get(c, line) != State::Invalid)
+            .collect()
+    }
+
+    /// Perform an access by `core` at byte address `addr`.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) {
+        assert!(core < self.cores(), "core {core} out of range");
+        let line = addr / self.line_size;
+        let s = self.get(core, line);
+        match (is_write, s) {
+            // Read hits.
+            (false, State::Modified | State::Exclusive | State::Shared) => {
+                self.stats.hits += 1;
+            }
+            // Write hit in M.
+            (true, State::Modified) => {
+                self.stats.hits += 1;
+            }
+            // Write hit in E (MESI only; E never occurs under MSI):
+            // silent upgrade, no bus traffic — the MESI payoff.
+            (true, State::Exclusive) => {
+                self.stats.hits += 1;
+                self.set(core, line, State::Modified);
+            }
+            // Write in S: upgrade (BusUpgr) invalidating other sharers.
+            (true, State::Shared) => {
+                self.stats.misses += 1;
+                self.stats.bus_rdx += 1;
+                for c in self.others_holding(core, line) {
+                    // Sharers cannot be M (S implies no M exists).
+                    self.stats.invalidations += 1;
+                    self.set(c, line, State::Invalid);
+                }
+                self.set(core, line, State::Modified);
+            }
+            // Read miss.
+            (false, State::Invalid) => {
+                self.stats.misses += 1;
+                self.stats.bus_reads += 1;
+                let holders = self.others_holding(core, line);
+                for &c in &holders {
+                    if self.get(c, line) == State::Modified {
+                        self.stats.writebacks += 1;
+                    }
+                    self.set(c, line, State::Shared);
+                }
+                let new_state = match self.protocol {
+                    Protocol::Msi => State::Shared,
+                    Protocol::Mesi => {
+                        if holders.is_empty() {
+                            State::Exclusive
+                        } else {
+                            State::Shared
+                        }
+                    }
+                };
+                self.set(core, line, new_state);
+            }
+            // Write miss.
+            (true, State::Invalid) => {
+                self.stats.misses += 1;
+                self.stats.bus_rdx += 1;
+                for c in self.others_holding(core, line) {
+                    if self.get(c, line) == State::Modified {
+                        self.stats.writebacks += 1;
+                    }
+                    self.stats.invalidations += 1;
+                    self.set(c, line, State::Invalid);
+                }
+                self.set(core, line, State::Modified);
+            }
+        }
+    }
+
+    /// Run a trace of `(core, addr, is_write)` events.
+    pub fn run_trace(&mut self, trace: &[(usize, u64, bool)]) -> CoherenceStats {
+        for &(c, a, w) in trace {
+            self.access(c, a, w);
+        }
+        self.stats
+    }
+
+    /// Check the protocol's global invariants over every line:
+    ///
+    /// * at most one core holds a line Modified or Exclusive;
+    /// * if any core holds M/E, no other core holds the line at all;
+    /// * the Exclusive state never occurs under MSI.
+    ///
+    /// Returns a description of the first violation, or `None`.
+    pub fn check_invariants(&self) -> Option<String> {
+        use std::collections::HashSet;
+        let mut lines: HashSet<u64> = HashSet::new();
+        for per_core in &self.state {
+            lines.extend(per_core.keys().copied());
+        }
+        for line in lines {
+            let mut owners = 0;
+            let mut sharers = 0;
+            for (core, per_core) in self.state.iter().enumerate() {
+                match per_core.get(&line) {
+                    Some(State::Modified) | Some(State::Exclusive) => {
+                        if matches!(per_core.get(&line), Some(State::Exclusive))
+                            && self.protocol == Protocol::Msi
+                        {
+                            return Some(format!(
+                                "core {core} holds line {line} Exclusive under MSI"
+                            ));
+                        }
+                        owners += 1;
+                    }
+                    Some(State::Shared) => sharers += 1,
+                    _ => {}
+                }
+            }
+            if owners > 1 {
+                return Some(format!("line {line}: {owners} exclusive owners"));
+            }
+            if owners == 1 && sharers > 0 {
+                return Some(format!(
+                    "line {line}: owner coexists with {sharers} sharers"
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Build the false-sharing experiment trace: `cores` threads each
+/// increment "their" counter `iters` times, round-robin interleaved.
+/// With `padding_bytes == 8` all counters share a line; with
+/// `padding_bytes >= line size` each counter gets its own line.
+pub fn counter_increment_trace(
+    cores: usize,
+    iters: usize,
+    padding_bytes: u64,
+) -> Vec<(usize, u64, bool)> {
+    let mut t = Vec::with_capacity(cores * iters * 2);
+    for _ in 0..iters {
+        for c in 0..cores {
+            let addr = c as u64 * padding_bytes;
+            t.push((c, addr, false)); // load
+            t.push((c, addr, true)); // store
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_data_msi_two_transactions_mesi_one() {
+        // One core reads then writes its own line.
+        let mut msi = CoherenceSim::new(Protocol::Msi, 4, 64);
+        msi.access(0, 0, false); // BusRd -> S
+        msi.access(0, 0, true); // S -> M needs BusUpgr
+        assert_eq!(msi.stats().bus_traffic(), 2);
+
+        let mut mesi = CoherenceSim::new(Protocol::Mesi, 4, 64);
+        mesi.access(0, 0, false); // BusRd -> E
+        mesi.access(0, 0, true); // E -> M silent
+        assert_eq!(mesi.stats().bus_traffic(), 1);
+    }
+
+    #[test]
+    fn read_sharing_is_free_after_fill() {
+        let mut sim = CoherenceSim::new(Protocol::Mesi, 4, 64);
+        for c in 0..4 {
+            sim.access(c, 0, false);
+        }
+        let after_fill = sim.stats().bus_traffic();
+        for _ in 0..100 {
+            for c in 0..4 {
+                sim.access(c, 0, false);
+            }
+        }
+        assert_eq!(sim.stats().bus_traffic(), after_fill, "shared reads hit");
+    }
+
+    #[test]
+    fn remote_write_invalidates_readers() {
+        let mut sim = CoherenceSim::new(Protocol::Mesi, 3, 64);
+        sim.access(0, 0, false);
+        sim.access(1, 0, false);
+        sim.access(2, 0, false); // all S
+        sim.access(0, 0, true); // upgrade, invalidates 1 and 2
+        assert_eq!(sim.stats().invalidations, 2);
+        // Their next reads miss.
+        let misses_before = sim.stats().misses;
+        sim.access(1, 0, false);
+        assert_eq!(sim.stats().misses, misses_before + 1);
+        // And force a writeback of core 0's M copy.
+        assert_eq!(sim.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn modified_line_written_back_on_remote_read_and_write() {
+        let mut sim = CoherenceSim::new(Protocol::Msi, 2, 64);
+        sim.access(0, 0, true); // M in core 0
+        sim.access(1, 0, false); // remote read: writeback, both S
+        assert_eq!(sim.stats().writebacks, 1);
+        sim.access(0, 0, true); // upgrade again
+        sim.access(1, 0, true); // remote write: writeback + invalidate
+        assert_eq!(sim.stats().writebacks, 2);
+        assert!(sim.stats().invalidations >= 2);
+    }
+
+    #[test]
+    fn ping_pong_traffic_grows_with_iterations() {
+        let mut sim = CoherenceSim::new(Protocol::Mesi, 2, 64);
+        // Two cores alternately write the same line.
+        for _ in 0..100 {
+            sim.access(0, 0, true);
+            sim.access(1, 0, true);
+        }
+        // Every write after the first is a coherence miss.
+        assert!(sim.stats().bus_traffic() >= 199);
+    }
+
+    #[test]
+    fn false_sharing_padding_removes_traffic() {
+        let cores = 4;
+        let iters = 250;
+        let mut unpadded = CoherenceSim::new(Protocol::Mesi, cores, 64);
+        unpadded.run_trace(&counter_increment_trace(cores, iters, 8));
+        let mut padded = CoherenceSim::new(Protocol::Mesi, cores, 64);
+        padded.run_trace(&counter_increment_trace(cores, iters, 64));
+
+        let u = unpadded.stats();
+        let p = padded.stats();
+        // Padded: one fill per core, then silence.
+        assert_eq!(p.bus_traffic(), cores as u64);
+        assert_eq!(p.invalidations, 0);
+        // Unpadded: traffic scales with iterations.
+        assert!(
+            u.bus_traffic() > (iters * cores) as u64,
+            "unpadded traffic {} too small",
+            u.bus_traffic()
+        );
+        assert!(u.invalidations > 0);
+    }
+
+    #[test]
+    fn distinct_lines_do_not_interact() {
+        let mut sim = CoherenceSim::new(Protocol::Mesi, 2, 64);
+        sim.access(0, 0, true);
+        sim.access(1, 64, true); // different line
+        assert_eq!(sim.stats().invalidations, 0);
+        assert_eq!(sim.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn msi_never_enters_exclusive() {
+        let mut sim = CoherenceSim::new(Protocol::Msi, 2, 64);
+        sim.access(0, 0, false); // sole reader
+        // Under MSI a subsequent write still needs the bus.
+        let before = sim.stats().bus_traffic();
+        sim.access(0, 0, true);
+        assert_eq!(sim.stats().bus_traffic(), before + 1);
+    }
+}

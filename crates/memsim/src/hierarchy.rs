@@ -1,0 +1,181 @@
+//! Multi-level cache composition and the AMAT model.
+//!
+//! An access tries L1; an L1 miss tries L2; an L2 miss goes to memory.
+//! Average memory access time (AMAT) = `hit_time + miss_rate × miss_penalty`,
+//! applied recursively — the formula CS31 exams drill.
+
+use crate::cache::{AccessResult, Cache, CacheConfig, CacheStats};
+
+/// One level's latency parameters (in cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelLatency {
+    /// Time to probe (and hit in) this level.
+    pub hit_time: f64,
+}
+
+/// A two-level hierarchy over a flat memory.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l1_lat: LevelLatency,
+    l2_lat: LevelLatency,
+    /// Memory access latency in cycles.
+    pub mem_latency: f64,
+}
+
+impl Hierarchy {
+    /// Build an L1/L2 hierarchy with the given configs and latencies.
+    pub fn new(
+        l1: CacheConfig,
+        l1_hit: f64,
+        l2: CacheConfig,
+        l2_hit: f64,
+        mem_latency: f64,
+    ) -> Self {
+        assert!(
+            l2.capacity() >= l1.capacity(),
+            "L2 should not be smaller than L1"
+        );
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l1_lat: LevelLatency { hit_time: l1_hit },
+            l2_lat: LevelLatency { hit_time: l2_hit },
+            mem_latency,
+        }
+    }
+
+    /// Run one access; returns the modeled latency in cycles.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> f64 {
+        match self.l1.access(addr, is_write) {
+            AccessResult::Hit => self.l1_lat.hit_time,
+            AccessResult::Miss => match self.l2.access(addr, is_write) {
+                AccessResult::Hit => self.l1_lat.hit_time + self.l2_lat.hit_time,
+                AccessResult::Miss => {
+                    self.l1_lat.hit_time + self.l2_lat.hit_time + self.mem_latency
+                }
+            },
+        }
+    }
+
+    /// Run a whole trace; returns total modeled cycles.
+    pub fn run_trace(&mut self, trace: &[(u64, bool)]) -> f64 {
+        trace.iter().map(|&(a, w)| self.access(a, w)).sum()
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Measured AMAT: total modeled cycles / accesses, from the counters.
+    pub fn amat(&self) -> f64 {
+        let l1 = self.l1_stats();
+        let l2 = self.l2_stats();
+        let accesses = l1.hits + l1.misses;
+        if accesses == 0 {
+            return 0.0;
+        }
+        let total = accesses as f64 * self.l1_lat.hit_time
+            + (l2.hits + l2.misses) as f64 * self.l2_lat.hit_time
+            + l2.misses as f64 * self.mem_latency;
+        total / accesses as f64
+    }
+}
+
+/// Closed-form AMAT for a two-level hierarchy (the exam formula):
+/// `t1 + m1 * (t2 + m2 * t_mem)` with *local* miss rates.
+pub fn amat_two_level(t1: f64, m1: f64, t2: f64, m2: f64, t_mem: f64) -> f64 {
+    t1 + m1 * (t2 + m2 * t_mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    fn small_hierarchy() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig::direct_mapped(64, 8), // 512 B L1
+            1.0,
+            CacheConfig::direct_mapped(64, 64), // 4 KiB L2
+            10.0,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn hit_latencies_compose() {
+        let mut h = small_hierarchy();
+        // First touch: L1 miss, L2 miss -> 111 cycles.
+        assert_eq!(h.access(0, false), 111.0);
+        // Now resident in both: 1 cycle.
+        assert_eq!(h.access(0, false), 1.0);
+    }
+
+    #[test]
+    fn l2_catches_l1_conflicts() {
+        let mut h = small_hierarchy();
+        // Two lines conflicting in L1 (8 sets) but not in L2 (64 sets).
+        let a = 0u64;
+        let b = 64 * 8;
+        h.access(a, false);
+        h.access(b, false); // evicts a from L1, both in L2
+        let lat = h.access(a, false); // L1 miss, L2 hit
+        assert_eq!(lat, 11.0);
+    }
+
+    #[test]
+    fn measured_amat_matches_formula() {
+        let mut h = small_hierarchy();
+        let t = trace::random(0, 4096, 20_000, 9);
+        h.run_trace(&t);
+        let l1 = h.l1_stats();
+        let l2 = h.l2_stats();
+        let m1 = l1.miss_rate();
+        let m2 = l2.miss_rate();
+        let formula = amat_two_level(1.0, m1, 10.0, m2, 100.0);
+        assert!(
+            (h.amat() - formula).abs() < 1e-9,
+            "measured {} vs formula {formula}",
+            h.amat()
+        );
+    }
+
+    #[test]
+    fn sequential_trace_has_low_amat() {
+        let mut h = small_hierarchy();
+        let seq = trace::sequential(0, 50_000);
+        h.run_trace(&seq);
+        // 1/8 of accesses miss L1 (8 words per 64B line).
+        assert!(h.amat() < 1.0 + 0.125 * 110.0 + 1.0);
+        assert!(h.l1_stats().miss_rate() < 0.13);
+    }
+
+    #[test]
+    fn pointer_chase_has_high_amat() {
+        let mut h = small_hierarchy();
+        // Working set far beyond L2.
+        let chase = trace::pointer_chase(0, 1 << 16, 50_000, 4);
+        h.run_trace(&chase);
+        assert!(h.amat() > 50.0, "amat {}", h.amat());
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than L1")]
+    fn l2_smaller_than_l1_rejected() {
+        Hierarchy::new(
+            CacheConfig::direct_mapped(64, 64),
+            1.0,
+            CacheConfig::direct_mapped(64, 8),
+            10.0,
+            100.0,
+        );
+    }
+}

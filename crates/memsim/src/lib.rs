@@ -1,0 +1,28 @@
+//! # pdc-memsim — the memory hierarchy, simulated
+//!
+//! CS31's Table II topics ("Storage, RAM, Caching and Cache
+//! Organizations, Replacement Policies, Cache Coherence") as a
+//! trace-driven simulator:
+//!
+//! * [`cache`] — set-associative single-level cache: organization
+//!   (line size, sets, ways), replacement (LRU/FIFO/random), write
+//!   policies (write-back/write-through, allocate/no-allocate).
+//! * [`hierarchy`] — multi-level composition (L1 → L2 → memory) with an
+//!   average-memory-access-time (AMAT) model.
+//! * [`trace`] — address-trace generators for the canonical access
+//!   patterns: sequential, strided, random, row/column-major matrix
+//!   walks, pointer chasing.
+//! * [`coherence`] — MSI and MESI bus-snooping protocols over private
+//!   per-core caches, counting bus transactions and invalidations; the
+//!   false-sharing experiment lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coherence;
+pub mod hierarchy;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy, WritePolicy};
+pub use coherence::{CoherenceSim, Protocol};

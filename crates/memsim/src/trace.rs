@@ -1,0 +1,146 @@
+//! Address-trace generators for the canonical access patterns.
+//!
+//! Traces are `(byte_address, is_write)` sequences; `ELEM` is the element
+//! size (8 bytes, a `double`/`long`). The matrix walks reproduce the
+//! Game-of-Life lab's "memory layout of 2D arrays" lesson; the pointer
+//! chase defeats all spatial locality.
+
+use pdc_core::rng::Rng;
+
+/// Element size in bytes used by the generators.
+pub const ELEM: u64 = 8;
+
+/// Sequential read scan of `n` elements starting at `base`.
+pub fn sequential(base: u64, n: usize) -> Vec<(u64, bool)> {
+    (0..n as u64).map(|i| (base + i * ELEM, false)).collect()
+}
+
+/// Strided read scan: `n` accesses with the given element stride.
+pub fn strided(base: u64, n: usize, stride: usize) -> Vec<(u64, bool)> {
+    (0..n as u64)
+        .map(|i| (base + i * stride as u64 * ELEM, false))
+        .collect()
+}
+
+/// Uniformly random reads over an `n`-element array.
+pub fn random(base: u64, n: usize, accesses: usize, seed: u64) -> Vec<(u64, bool)> {
+    let mut rng = Rng::new(seed);
+    (0..accesses)
+        .map(|_| (base + rng.gen_range(n as u64) * ELEM, false))
+        .collect()
+}
+
+/// Row-major read walk of an `rows × cols` row-major matrix.
+pub fn matrix_row_major(base: u64, rows: usize, cols: usize) -> Vec<(u64, bool)> {
+    let mut t = Vec::with_capacity(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            t.push((base + ((i * cols + j) as u64) * ELEM, false));
+        }
+    }
+    t
+}
+
+/// Column-major read walk of the same row-major matrix (the cache-hostile
+/// order).
+pub fn matrix_col_major(base: u64, rows: usize, cols: usize) -> Vec<(u64, bool)> {
+    let mut t = Vec::with_capacity(rows * cols);
+    for j in 0..cols {
+        for i in 0..rows {
+            t.push((base + ((i * cols + j) as u64) * ELEM, false));
+        }
+    }
+    t
+}
+
+/// Pointer chase: a random permutation cycle over `n` elements, visited
+/// `steps` times — no spatial locality, no prefetchable pattern.
+pub fn pointer_chase(base: u64, n: usize, steps: usize, seed: u64) -> Vec<(u64, bool)> {
+    assert!(n > 0);
+    let mut rng = Rng::new(seed);
+    // Sattolo's algorithm: a single-cycle permutation.
+    let mut next: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(i as u64) as usize;
+        next.swap(i, j);
+    }
+    let mut t = Vec::with_capacity(steps);
+    let mut cur = 0usize;
+    for _ in 0..steps {
+        t.push((base + cur as u64 * ELEM, false));
+        cur = next[cur];
+    }
+    t
+}
+
+/// Read-modify-write sweep (e.g. `a[i] += 1`): each element read then
+/// written.
+pub fn rmw_sweep(base: u64, n: usize) -> Vec<(u64, bool)> {
+    let mut t = Vec::with_capacity(2 * n);
+    for i in 0..n as u64 {
+        t.push((base + i * ELEM, false));
+        t.push((base + i * ELEM, true));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{Cache, CacheConfig};
+
+    #[test]
+    fn generators_produce_expected_lengths() {
+        assert_eq!(sequential(0, 10).len(), 10);
+        assert_eq!(strided(0, 10, 4).len(), 10);
+        assert_eq!(random(0, 100, 50, 1).len(), 50);
+        assert_eq!(matrix_row_major(0, 4, 6).len(), 24);
+        assert_eq!(matrix_col_major(0, 4, 6).len(), 24);
+        assert_eq!(pointer_chase(0, 16, 40, 1).len(), 40);
+        assert_eq!(rmw_sweep(0, 10).len(), 20);
+    }
+
+    #[test]
+    fn row_and_col_major_cover_same_addresses() {
+        let mut a: Vec<u64> = matrix_row_major(0, 8, 8).iter().map(|x| x.0).collect();
+        let mut b: Vec<u64> = matrix_col_major(0, 8, 8).iter().map(|x| x.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pointer_chase_visits_whole_cycle() {
+        let n = 64;
+        let t = pointer_chase(0, n, n, 3);
+        let mut seen: Vec<u64> = t.iter().map(|x| x.0 / ELEM).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "single cycle visits every element once");
+    }
+
+    #[test]
+    fn row_major_beats_col_major_in_cache() {
+        // 64x64 doubles, 64B lines (8 doubles/line), small cache.
+        let mut row = Cache::new(CacheConfig::direct_mapped(64, 64));
+        row.run_trace(&matrix_row_major(0, 64, 64));
+        let mut col = Cache::new(CacheConfig::direct_mapped(64, 64));
+        col.run_trace(&matrix_col_major(0, 64, 64));
+        assert!(
+            row.stats().misses * 4 < col.stats().misses,
+            "row {} vs col {}",
+            row.stats().misses,
+            col.stats().misses
+        );
+    }
+
+    #[test]
+    fn stride_one_beats_stride_of_line_size() {
+        let mut s1 = Cache::new(CacheConfig::direct_mapped(64, 128));
+        s1.run_trace(&strided(0, 4096, 1));
+        let mut s8 = Cache::new(CacheConfig::direct_mapped(64, 128));
+        s8.run_trace(&strided(0, 4096, 8)); // 8 elems * 8B = one line per access
+        assert!(s1.stats().miss_rate() < 0.2);
+        assert!(s8.stats().miss_rate() > 0.9);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fault tolerance: master-worker task farming with failure detection
+//! and reassignment — CS87's "fault tolerance" topic as a deterministic
+//! discrete-event simulation.
+//!
+//! The master owns a bag of independent tasks. Workers request a task,
+//! compute for its duration, and report back. A worker may **crash** at
+//! a scheduled time: the master's heartbeat detector notices after
+//! `heartbeat_timeout` ticks and returns the orphaned task to the bag
+//! (at-least-once semantics — the tests show a task can run twice, and
+//! that the job still finishes with every task completed exactly once in
+//! the *results*, because the master ignores duplicate completions).
+
+use std::collections::{BTreeMap, HashSet};
+
+/// One unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Task id.
+    pub id: u64,
+    /// Ticks of compute it needs.
+    pub duration: u64,
+}
+
+/// A scheduled worker crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// Which worker.
+    pub worker: usize,
+    /// The tick at which it dies.
+    pub at_tick: u64,
+}
+
+/// Outcome of one simulated job.
+#[derive(Debug, Clone)]
+pub struct FarmOutcome {
+    /// Tick at which the last task completed.
+    pub makespan: u64,
+    /// Tasks completed (ids, deduplicated).
+    pub completed: Vec<u64>,
+    /// Number of task *executions* (>= tasks when reassignment happened).
+    pub executions: u64,
+    /// Reassignments performed after detected failures.
+    pub reassignments: u64,
+    /// Workers alive at the end.
+    pub survivors: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WorkerState {
+    Idle,
+    /// Running (task index, finish tick).
+    Running(usize, u64),
+    Dead,
+}
+
+/// Simulate the task farm.
+///
+/// # Panics
+/// Panics if `workers == 0` or every worker crashes before the job can
+/// finish with none alive (the job would hang; the simulator detects
+/// this and panics with a clear message instead).
+pub fn run_farm(
+    tasks: &[Task],
+    workers: usize,
+    crashes: &[Crash],
+    heartbeat_timeout: u64,
+) -> FarmOutcome {
+    assert!(workers > 0, "need at least one worker");
+    let mut crash_at: BTreeMap<usize, u64> = BTreeMap::new();
+    for c in crashes {
+        assert!(c.worker < workers, "crash for unknown worker {}", c.worker);
+        crash_at.insert(c.worker, c.at_tick);
+    }
+    let mut pending: Vec<usize> = (0..tasks.len()).rev().collect(); // bag of task indices
+    let mut state = vec![WorkerState::Idle; workers];
+    let mut completed: HashSet<u64> = HashSet::new();
+    let mut executions = 0u64;
+    let mut reassignments = 0u64;
+    // For failure detection: the task a dead worker held, and when its
+    // death becomes *detectable* (death tick + timeout).
+    let mut orphaned: Vec<(usize, u64)> = Vec::new(); // (task idx, detect tick)
+    let mut tick = 0u64;
+    let mut makespan = 0u64;
+
+    loop {
+        // 1. Crashes scheduled for this tick.
+        for (&w, &at) in &crash_at {
+            if at == tick && state[w] != WorkerState::Dead {
+                if let WorkerState::Running(t, _) = state[w] {
+                    orphaned.push((t, tick + heartbeat_timeout));
+                }
+                state[w] = WorkerState::Dead;
+            }
+        }
+        // 2. Detected orphans return to the bag.
+        let (detected, still): (Vec<_>, Vec<_>) =
+            orphaned.into_iter().partition(|&(_, d)| d <= tick);
+        orphaned = still;
+        for (t, _) in detected {
+            if !completed.contains(&tasks[t].id) {
+                pending.push(t);
+                reassignments += 1;
+            }
+        }
+        // 3. Completions.
+        for w in 0..workers {
+            if let WorkerState::Running(t, finish) = state[w] {
+                if finish <= tick {
+                    completed.insert(tasks[t].id);
+                    makespan = makespan.max(finish);
+                    state[w] = WorkerState::Idle;
+                }
+            }
+        }
+        // 4. Dispatch.
+        for w in 0..workers {
+            if state[w] == WorkerState::Idle {
+                // Skip tasks that were completed while orphan-pending.
+                while let Some(&t) = pending.last() {
+                    if completed.contains(&tasks[t].id) {
+                        pending.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(t) = pending.pop() {
+                    state[w] = WorkerState::Running(t, tick + tasks[t].duration);
+                    executions += 1;
+                }
+            }
+        }
+        // 5. Termination / liveness.
+        if completed.len() == tasks.len() {
+            break;
+        }
+        let alive = state.iter().filter(|s| **s != WorkerState::Dead).count();
+        assert!(
+            alive > 0,
+            "every worker died with {} tasks incomplete",
+            tasks.len() - completed.len()
+        );
+        tick += 1;
+    }
+
+    let mut ids: Vec<u64> = completed.into_iter().collect();
+    ids.sort_unstable();
+    FarmOutcome {
+        makespan,
+        completed: ids,
+        executions,
+        reassignments,
+        survivors: state.iter().filter(|s| **s != WorkerState::Dead).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(n: u64, dur: u64) -> Vec<Task> {
+        (0..n).map(|id| Task { id, duration: dur }).collect()
+    }
+
+    #[test]
+    fn no_failures_completes_everything_once() {
+        let ts = tasks(10, 5);
+        let out = run_farm(&ts, 3, &[], 4);
+        assert_eq!(out.completed, (0..10).collect::<Vec<_>>());
+        assert_eq!(out.executions, 10, "no retries without failures");
+        assert_eq!(out.reassignments, 0);
+        assert_eq!(out.survivors, 3);
+        // 10 tasks of 5 ticks on 3 workers: ceil(10/3) waves * 5.
+        assert_eq!(out.makespan, 20);
+    }
+
+    #[test]
+    fn crash_mid_task_reassigns_and_completes() {
+        let ts = tasks(4, 10);
+        // Worker 1 dies at tick 3 while running its first task.
+        let out = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 3 }], 5);
+        assert_eq!(out.completed, vec![0, 1, 2, 3]);
+        assert_eq!(out.survivors, 1);
+        assert_eq!(out.reassignments, 1);
+        assert_eq!(out.executions, 5, "the orphaned task ran twice");
+    }
+
+    #[test]
+    fn detection_latency_delays_but_does_not_lose() {
+        let ts = tasks(2, 4);
+        let fast = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 1 }], 1);
+        let slow = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 1 }], 50);
+        assert_eq!(fast.completed, slow.completed);
+        assert!(
+            slow.makespan > fast.makespan,
+            "longer timeout -> later recovery: {} vs {}",
+            slow.makespan,
+            fast.makespan
+        );
+    }
+
+    #[test]
+    fn idle_worker_crash_costs_nothing() {
+        let ts = tasks(2, 3);
+        // Worker 2 dies while idle (only 2 tasks for 3 workers).
+        let out = run_farm(&ts, 3, &[Crash { worker: 2, at_tick: 1 }], 2);
+        assert_eq!(out.reassignments, 0);
+        assert_eq!(out.makespan, 3);
+    }
+
+    #[test]
+    fn cascading_failures_survive_with_one_worker() {
+        let ts = tasks(6, 2);
+        let crashes = [
+            Crash { worker: 0, at_tick: 1 },
+            Crash { worker: 1, at_tick: 3 },
+            Crash { worker: 2, at_tick: 5 },
+        ];
+        let out = run_farm(&ts, 4, &crashes, 2);
+        assert_eq!(out.completed.len(), 6);
+        assert_eq!(out.survivors, 1);
+        assert!(out.reassignments >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "every worker died")]
+    fn total_failure_detected_not_hung() {
+        let ts = tasks(3, 100);
+        run_farm(
+            &ts,
+            2,
+            &[
+                Crash { worker: 0, at_tick: 1 },
+                Crash { worker: 1, at_tick: 1 },
+            ],
+            2,
+        );
+    }
+
+    #[test]
+    fn completion_before_detection_avoids_rerun() {
+        // Worker 1 crashes *after* finishing its task but the heartbeat
+        // timeout is long: the completed task must not be re-run.
+        let ts = tasks(2, 3);
+        let out = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 4 }], 100);
+        assert_eq!(out.executions, 2, "no spurious re-execution");
+        assert_eq!(out.reassignments, 0);
+    }
+
+    #[test]
+    fn uneven_durations_balance_across_survivors() {
+        let ts: Vec<Task> = (0..8)
+            .map(|id| Task {
+                id,
+                duration: 1 + (id % 4),
+            })
+            .collect();
+        let out = run_farm(&ts, 3, &[Crash { worker: 0, at_tick: 2 }], 3);
+        assert_eq!(out.completed.len(), 8);
+    }
+}

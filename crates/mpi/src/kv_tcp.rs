@@ -1,0 +1,290 @@
+//! The client-server lab over **real TCP sockets** — CS87's "C socket
+//! client-server" short lab, on loopback.
+//!
+//! A line-oriented protocol (one request per line, one reply per line):
+//!
+//! ```text
+//! GET <key>             -> VALUE <version> <value> | NOTFOUND
+//! PUT <key> <value>     -> OK <version>
+//! DEL <key>             -> OK | NOTFOUND
+//! CAS <key> <ver> <val> -> OK <version> | CONFLICT <actual>
+//! QUIT                  -> BYE (connection closes)
+//! ```
+//!
+//! One thread per connection (the lab's architecture), a shared store
+//! behind a mutex, and a clean shutdown path. The in-process channel
+//! version lives in [`crate::kv`]; this module shows the same semantics
+//! surviving a real byte stream.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Store = Arc<Mutex<HashMap<String, (String, u64)>>>;
+
+/// A running TCP KV server.
+pub struct TcpKvServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    /// Clones of every accepted stream, so shutdown can force-close
+    /// connections whose clients are still attached (otherwise joining
+    /// their threads would block on a read forever).
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpKvServer {
+    /// Bind to an ephemeral loopback port and start serving.
+    pub fn start() -> std::io::Result<TcpKvServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let store: Store = Arc::new(Mutex::new(HashMap::new()));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let sd = Arc::clone(&shutdown);
+        let conns2 = Arc::clone(&conns);
+        let accept_handle = std::thread::spawn(move || {
+            let mut conn_handles = Vec::new();
+            for stream in listener.incoming() {
+                if sd.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { break };
+                if let Ok(clone) = stream.try_clone() {
+                    conns2.lock().unwrap().push(clone);
+                }
+                let store = Arc::clone(&store);
+                conn_handles.push(std::thread::spawn(move || serve_conn(stream, store)));
+            }
+            for h in conn_handles {
+                let _ = h.join();
+            }
+        });
+        Ok(TcpKvServer {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            conns,
+        })
+    }
+
+    /// The server's address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, force-close live connections, and join every
+    /// server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Force-close connections still being read (clients that never
+        // sent QUIT); their serve_conn threads see EOF/error and exit.
+        for c in self.conns.lock().unwrap().iter() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_conn(stream: TcpStream, store: Store) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let reply = handle_line(&line, &store);
+        let quit = line.trim() == "QUIT";
+        if writer.write_all(reply.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+        {
+            return;
+        }
+        if quit {
+            return;
+        }
+    }
+}
+
+fn handle_line(line: &str, store: &Store) -> String {
+    let mut parts = line.trim().splitn(4, ' ');
+    let cmd = parts.next().unwrap_or("");
+    match cmd {
+        "GET" => {
+            let Some(key) = parts.next() else {
+                return "ERR usage: GET <key>".into();
+            };
+            match store.lock().unwrap().get(key) {
+                Some((v, ver)) => format!("VALUE {ver} {v}"),
+                None => "NOTFOUND".into(),
+            }
+        }
+        "PUT" => {
+            let (Some(key), Some(value)) = (parts.next(), parts.next()) else {
+                return "ERR usage: PUT <key> <value>".into();
+            };
+            let mut s = store.lock().unwrap();
+            let entry = s.entry(key.to_string()).or_insert((String::new(), 0));
+            entry.0 = value.to_string();
+            entry.1 += 1;
+            format!("OK {}", entry.1)
+        }
+        "DEL" => {
+            let Some(key) = parts.next() else {
+                return "ERR usage: DEL <key>".into();
+            };
+            match store.lock().unwrap().remove(key) {
+                Some(_) => "OK 0".into(),
+                None => "NOTFOUND".into(),
+            }
+        }
+        "CAS" => {
+            let (Some(key), Some(ver), Some(value)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return "ERR usage: CAS <key> <version> <value>".into();
+            };
+            let Ok(expect) = ver.parse::<u64>() else {
+                return "ERR bad version".into();
+            };
+            let mut s = store.lock().unwrap();
+            match s.get_mut(key) {
+                Some((v, actual)) if *actual == expect => {
+                    *v = value.to_string();
+                    *actual += 1;
+                    format!("OK {actual}")
+                }
+                Some((_, actual)) => format!("CONFLICT {actual}"),
+                None if expect == 0 => {
+                    s.insert(key.to_string(), (value.to_string(), 1));
+                    "OK 1".into()
+                }
+                None => "CONFLICT 0".into(),
+            }
+        }
+        "QUIT" => "BYE".into(),
+        _ => format!("ERR unknown command {cmd:?}"),
+    }
+}
+
+/// A blocking line-protocol client.
+pub struct TcpKvClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpKvClient {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpKvClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpKvClient {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one request line; return the reply line.
+    pub fn call(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_del_over_real_sockets() {
+        let server = TcpKvServer::start().unwrap();
+        let mut c = TcpKvClient::connect(server.addr()).unwrap();
+        assert_eq!(c.call("GET x").unwrap(), "NOTFOUND");
+        assert_eq!(c.call("PUT x 41").unwrap(), "OK 1");
+        assert_eq!(c.call("PUT x 42").unwrap(), "OK 2");
+        assert_eq!(c.call("GET x").unwrap(), "VALUE 2 42");
+        assert_eq!(c.call("DEL x").unwrap(), "OK 0");
+        assert_eq!(c.call("GET x").unwrap(), "NOTFOUND");
+        assert_eq!(c.call("QUIT").unwrap(), "BYE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cas_over_sockets() {
+        let server = TcpKvServer::start().unwrap();
+        let mut c = TcpKvClient::connect(server.addr()).unwrap();
+        assert_eq!(c.call("CAS k 0 first").unwrap(), "OK 1");
+        assert_eq!(c.call("CAS k 1 second").unwrap(), "OK 2");
+        assert_eq!(c.call("CAS k 1 stale").unwrap(), "CONFLICT 2");
+        assert_eq!(c.call("GET k").unwrap(), "VALUE 2 second");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_shared_store() {
+        let server = TcpKvServer::start().unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpKvClient::connect(addr).unwrap();
+                    for j in 0..50 {
+                        let r = c.call(&format!("PUT c{i} v{j}")).unwrap();
+                        assert!(r.starts_with("OK "), "{r}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        for i in 0..4 {
+            assert_eq!(c.call(&format!("GET c{i}")).unwrap(), "VALUE 50 v49");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_cas_one_winner() {
+        let server = TcpKvServer::start().unwrap();
+        let addr = server.addr();
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        c.call("PUT hot base").unwrap(); // version 1
+        let wins: usize = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpKvClient::connect(addr).unwrap();
+                    let r = c.call(&format!("CAS hot 1 w{i}")).unwrap();
+                    usize::from(r.starts_with("OK"))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(wins, 1, "server linearizes CAS across sockets");
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_reported() {
+        let server = TcpKvServer::start().unwrap();
+        let mut c = TcpKvClient::connect(server.addr()).unwrap();
+        assert!(c.call("FROB x").unwrap().starts_with("ERR"));
+        assert!(c.call("GET").unwrap().starts_with("ERR"));
+        assert!(c.call("CAS k notanumber v").unwrap().starts_with("ERR"));
+        server.shutdown();
+    }
+}

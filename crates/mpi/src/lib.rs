@@ -1,0 +1,36 @@
+//! # pdc-mpi — a message-passing runtime
+//!
+//! CS87's distributed-memory programming substrate (paper Section III):
+//! an MPI-like world of ranks running on threads, typed point-to-point
+//! messaging with tag matching, the standard collectives implemented as
+//! explicit tree/ring algorithms (so their message counts equal the
+//! formulas taught in class), a mini MapReduce, and a client-server
+//! request/reply layer.
+//!
+//! * [`world`] — `World::run(p, f)` spawns `p` ranks; [`world::Rank`]
+//!   provides `send`/`recv` with source/tag matching and traffic
+//!   counters.
+//! * [`coll`] — barrier, broadcast, reduce, allreduce, scatter, gather,
+//!   allgather, exclusive scan, and all-to-all.
+//! * [`cost`] — α–β (latency–bandwidth) cost formulas for each
+//!   collective, used by the benches to check measured message counts.
+//! * [`mapreduce`] — map / shuffle / reduce over worker threads (the
+//!   Hadoop-lab substitute).
+//! * [`kv`] — a client-server key-value store (request/reply pattern,
+//!   CS45/CS87 distributed-systems intro).
+//! * [`ft`] — fault-tolerant master-worker task farming with heartbeat
+//!   failure detection (CS87 "fault tolerance").
+//! * [`kv_tcp`] — the same client-server lab over **real TCP sockets**
+//!   on loopback (Table II: "TCP-IP sockets").
+
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod ft;
+pub mod cost;
+pub mod kv;
+pub mod kv_tcp;
+pub mod mapreduce;
+pub mod world;
+
+pub use world::{Payload, Rank, TrafficStats, World};

@@ -1,0 +1,253 @@
+//! A mini MapReduce framework — the Hadoop-lab substitute (paper
+//! Section III: "Most likely the additional lab will involve using
+//! Hadoop").
+//!
+//! The three phases run exactly as the programming model prescribes:
+//! *map* tasks run in parallel over input splits emitting `(K, V)` pairs;
+//! the *shuffle* partitions pairs by `hash(K) % reducers` and groups
+//! values per key; *reduce* tasks run in parallel over their partitions.
+//! Shuffle volume (pairs moved across the map→reduce boundary) is
+//! reported, since that is the quantity MapReduce tuning obsesses over.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Statistics from one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStats {
+    /// Map tasks executed.
+    pub map_tasks: u64,
+    /// Intermediate pairs emitted by all mappers.
+    pub pairs_emitted: u64,
+    /// Pairs moved during the shuffle (= emitted, without a combiner).
+    pub shuffle_pairs: u64,
+    /// Distinct keys reduced.
+    pub distinct_keys: u64,
+    /// Reduce tasks executed.
+    pub reduce_tasks: u64,
+}
+
+fn partition_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = std::hash::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+/// Run a MapReduce job.
+///
+/// * `inputs` — one element per input split; each map task receives one.
+/// * `mappers` — number of parallel map workers.
+/// * `reducers` — number of parallel reduce workers (= output partitions).
+/// * `map_fn(split) -> Vec<(K, V)>` — the mapper.
+/// * `reduce_fn(key, values) -> R` — the reducer, called once per key.
+///
+/// Returns the `(K, R)` results (sorted by partition then key order of
+/// arrival — deterministic for a fixed input) and the [`JobStats`].
+pub fn run_job<I, K, V, R, MF, RF>(
+    inputs: Vec<I>,
+    mappers: usize,
+    reducers: usize,
+    map_fn: MF,
+    reduce_fn: RF,
+) -> (Vec<(K, R)>, JobStats)
+where
+    I: Send,
+    K: Hash + Eq + Ord + Clone + Send,
+    V: Send,
+    R: Send,
+    MF: Fn(I) -> Vec<(K, V)> + Sync,
+    RF: Fn(&K, Vec<V>) -> R + Sync,
+{
+    assert!(mappers > 0, "need at least one mapper");
+    assert!(reducers > 0, "need at least one reducer");
+    let map_tasks = inputs.len() as u64;
+
+    // ---- Map phase: split inputs round-robin across mapper workers.
+    let mut worker_inputs: Vec<Vec<I>> = (0..mappers).map(|_| Vec::new()).collect();
+    for (i, input) in inputs.into_iter().enumerate() {
+        worker_inputs[i % mappers].push(input);
+    }
+    let map_fn = &map_fn;
+    let mapped: Vec<Vec<(K, V)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = worker_inputs
+            .into_iter()
+            .map(|splits| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for split in splits {
+                        out.extend(map_fn(split));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let pairs_emitted: u64 = mapped.iter().map(|m| m.len() as u64).sum();
+
+    // ---- Shuffle: partition by key hash, group values per key.
+    let mut partitions: Vec<HashMap<K, Vec<V>>> =
+        (0..reducers).map(|_| HashMap::new()).collect();
+    for pairs in mapped {
+        for (k, v) in pairs {
+            let part = partition_of(&k, reducers);
+            partitions[part].entry(k).or_default().push(v);
+        }
+    }
+    let distinct_keys: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+
+    // ---- Reduce phase: one worker per partition.
+    let reduce_fn = &reduce_fn;
+    let reduced: Vec<Vec<(K, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    // Sort keys for deterministic output within a partition.
+                    let mut entries: Vec<(K, Vec<V>)> = part.into_iter().collect();
+                    entries.sort_by(|a, b| a.0.cmp(&b.0));
+                    entries
+                        .into_iter()
+                        .map(|(k, vs)| {
+                            let r = reduce_fn(&k, vs);
+                            (k, r)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = JobStats {
+        map_tasks,
+        pairs_emitted,
+        shuffle_pairs: pairs_emitted,
+        distinct_keys,
+        reduce_tasks: reducers as u64,
+    };
+    (reduced.into_iter().flatten().collect(), stats)
+}
+
+/// The canonical word-count job.
+pub fn word_count(documents: Vec<String>, mappers: usize, reducers: usize) -> (Vec<(String, u64)>, JobStats) {
+    run_job(
+        documents,
+        mappers,
+        reducers,
+        |doc: String| {
+            doc.split_whitespace()
+                .map(|w| {
+                    (
+                        w.trim_matches(|c: char| !c.is_alphanumeric())
+                            .to_lowercase(),
+                        1u64,
+                    )
+                })
+                .filter(|(w, _)| !w.is_empty())
+                .collect()
+        },
+        |_k, vs| vs.iter().sum::<u64>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn word_count_basic() {
+        let docs = vec![
+            "the quick brown fox".to_string(),
+            "the lazy dog and the fox".to_string(),
+        ];
+        let (results, stats) = word_count(docs, 2, 3);
+        let m: Map<String, u64> = results.into_iter().collect();
+        assert_eq!(m["the"], 3);
+        assert_eq!(m["fox"], 2);
+        assert_eq!(m["dog"], 1);
+        assert_eq!(stats.map_tasks, 2);
+        assert_eq!(stats.pairs_emitted, 10);
+        assert_eq!(stats.distinct_keys, 7);
+        assert_eq!(stats.reduce_tasks, 3);
+    }
+
+    #[test]
+    fn punctuation_and_case_normalized() {
+        let (results, _) = word_count(vec!["Hello, hello! HELLO?".to_string()], 1, 1);
+        let m: Map<String, u64> = results.into_iter().collect();
+        assert_eq!(m["hello"], 3);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn results_independent_of_worker_counts() {
+        let docs: Vec<String> = (0..50)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 3))
+            .collect();
+        let canonical = {
+            let (mut r, _) = word_count(docs.clone(), 1, 1);
+            r.sort();
+            r
+        };
+        for (m, red) in [(1usize, 4usize), (3, 2), (8, 1), (4, 4)] {
+            let (mut r, _) = word_count(docs.clone(), m, red);
+            r.sort();
+            assert_eq!(r, canonical, "mappers={m} reducers={red}");
+        }
+    }
+
+    #[test]
+    fn generic_job_inverted_index() {
+        // Build an inverted index: word -> sorted list of doc ids.
+        let docs: Vec<(usize, &str)> = vec![
+            (0, "apple banana"),
+            (1, "banana cherry"),
+            (2, "apple cherry apple"),
+        ];
+        let (results, _) = run_job(
+            docs,
+            2,
+            2,
+            |(id, text): (usize, &str)| {
+                text.split_whitespace()
+                    .map(|w| (w.to_string(), id))
+                    .collect()
+            },
+            |_w, mut ids: Vec<usize>| {
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            },
+        );
+        let m: Map<String, Vec<usize>> = results.into_iter().collect();
+        assert_eq!(m["apple"], vec![0, 2]);
+        assert_eq!(m["banana"], vec![0, 1]);
+        assert_eq!(m["cherry"], vec![1, 2]);
+    }
+
+    #[test]
+    fn every_key_lands_in_exactly_one_partition() {
+        let docs: Vec<String> = (0..100).map(|i| format!("key{}", i % 20)).collect();
+        let (results, stats) = word_count(docs, 4, 5);
+        assert_eq!(results.len(), 20, "20 distinct keys, no duplicates");
+        assert_eq!(stats.distinct_keys, 20);
+        let total: u64 = results.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (results, stats) = word_count(vec![], 2, 2);
+        assert!(results.is_empty());
+        assert_eq!(stats.pairs_emitted, 0);
+    }
+
+    #[test]
+    fn stats_shuffle_equals_emitted_without_combiner() {
+        let (_, stats) = word_count(vec!["a a a a".to_string()], 1, 1);
+        assert_eq!(stats.shuffle_pairs, stats.pairs_emitted);
+        assert_eq!(stats.pairs_emitted, 4);
+    }
+}

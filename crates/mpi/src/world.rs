@@ -1,0 +1,342 @@
+//! The rank world: threads + channels + tag matching + traffic counters.
+//!
+//! `World::run(p, f)` runs `f(&mut rank)` on `p` scoped threads. Each
+//! rank owns an unbounded inbox; `send` is non-blocking (eager buffered,
+//! like small-message MPI), `recv(src, tag)` blocks and performs MPI-style
+//! envelope matching, buffering messages that arrive out of order.
+//! Every message increments global message/byte counters — the raw data
+//! for the α–β analyses in [`crate::cost`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Types that can be sent between ranks, with a modeled wire size.
+pub trait Payload: Send + 'static {
+    /// Modeled size in bytes (for the β term of the cost model).
+    fn size_bytes(&self) -> u64;
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),*) => {$(
+        impl Payload for $t {
+            fn size_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        }
+    )*};
+}
+scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+
+impl<T: Payload> Payload for Vec<T> {
+    fn size_bytes(&self) -> u64 {
+        self.iter().map(Payload::size_bytes).sum()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn size_bytes(&self) -> u64 {
+        self.0.size_bytes() + self.1.size_bytes()
+    }
+}
+
+impl Payload for String {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn size_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Payload::size_bytes)
+    }
+}
+
+/// Message envelope.
+struct Envelope<M> {
+    src: usize,
+    tag: u32,
+    msg: M,
+}
+
+/// Global traffic counters for a world run.
+#[derive(Debug, Default)]
+pub struct Traffic {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total point-to-point messages sent.
+    pub messages: u64,
+    /// Total modeled bytes sent.
+    pub bytes: u64,
+}
+
+/// One rank's endpoint inside a running world.
+pub struct Rank<M: Payload> {
+    id: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope<M>>>,
+    inbox: Receiver<Envelope<M>>,
+    /// Out-of-order messages awaiting a matching recv.
+    pending: VecDeque<Envelope<M>>,
+    traffic: Arc<Traffic>,
+}
+
+impl<M: Payload> Rank<M> {
+    /// This rank's id in `0..size`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to `dst` with `tag` (non-blocking, eager).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the destination rank has
+    /// already finished and dropped its inbox.
+    pub fn send(&self, dst: usize, tag: u32, msg: M) {
+        assert!(dst < self.size, "rank {dst} out of range");
+        self.traffic.msgs.fetch_add(1, Ordering::Relaxed);
+        self.traffic
+            .bytes
+            .fetch_add(msg.size_bytes(), Ordering::Relaxed);
+        self.senders[dst]
+            .send(Envelope {
+                src: self.id,
+                tag,
+                msg,
+            })
+            .expect("destination rank has exited");
+    }
+
+    /// Receive the next message matching `(src, tag)`, blocking until it
+    /// arrives. Messages from other envelopes are buffered, preserving
+    /// per-sender FIFO order.
+    pub fn recv(&mut self, src: usize, tag: u32) -> M {
+        // Check the pending buffer first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
+            return self.pending.remove(pos).unwrap().msg;
+        }
+        loop {
+            let env = self.inbox.recv().expect("world torn down mid-recv");
+            if env.src == src && env.tag == tag {
+                return env.msg;
+            }
+            self.pending.push_back(env);
+        }
+    }
+
+    /// Receive from any source with the given tag; returns `(src, msg)`.
+    pub fn recv_any(&mut self, tag: u32) -> (usize, M) {
+        if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
+            let e = self.pending.remove(pos).unwrap();
+            return (e.src, e.msg);
+        }
+        loop {
+            let env = self.inbox.recv().expect("world torn down mid-recv");
+            if env.tag == tag {
+                return (env.src, env.msg);
+            }
+            self.pending.push_back(env);
+        }
+    }
+}
+
+/// A message-passing world.
+pub struct World;
+
+impl World {
+    /// Run `f` on `p` ranks (threads); returns each rank's result in rank
+    /// order plus the traffic counters.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank panics.
+    pub fn run<M, R, F>(p: usize, f: F) -> (Vec<R>, TrafficStats)
+    where
+        M: Payload,
+        R: Send,
+        F: Fn(&mut Rank<M>) -> R + Sync,
+    {
+        assert!(p > 0, "world needs at least one rank");
+        let traffic = Arc::new(Traffic::default());
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let results: Vec<R> = std::thread::scope(|s| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(id, inbox)| {
+                    let senders = senders.clone();
+                    let traffic = Arc::clone(&traffic);
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut rank = Rank {
+                            id,
+                            size: p,
+                            senders,
+                            inbox,
+                            pending: VecDeque::new(),
+                            traffic,
+                        };
+                        f(&mut rank)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
+        let stats = TrafficStats {
+            messages: traffic.msgs.load(Ordering::Relaxed),
+            bytes: traffic.bytes.load(Ordering::Relaxed),
+        };
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let (results, stats) = World::run(1, |r: &mut Rank<u64>| r.id());
+        assert_eq!(results, vec![0]);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (results, stats) = World::run(2, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                r.send(1, 0, 42);
+                r.recv(1, 0)
+            } else {
+                let v = r.recv(0, 0);
+                r.send(0, 0, v + 1);
+                v
+            }
+        });
+        assert_eq!(results, vec![43, 42]);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.bytes, 16);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let (results, _) = World::run(2, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                // Send tag 2 first, then tag 1.
+                r.send(1, 2, 200);
+                r.send(1, 1, 100);
+                0
+            } else {
+                // Receive in the opposite order: matching must buffer.
+                let a = r.recv(0, 1);
+                let b = r.recv(0, 2);
+                assert_eq!((a, b), (100, 200));
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn per_sender_fifo_within_tag() {
+        let (_, _) = World::run(2, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                for i in 0..100 {
+                    r.send(1, 7, i);
+                }
+            } else {
+                for i in 0..100 {
+                    assert_eq!(r.recv(0, 7), i, "FIFO per (src, tag)");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_collects_from_all() {
+        let (results, _) = World::run(4, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                let mut sum = 0;
+                let mut seen = vec![false; 4];
+                for _ in 0..3 {
+                    let (src, v) = r.recv_any(0);
+                    assert!(!seen[src]);
+                    seen[src] = true;
+                    sum += v;
+                }
+                sum
+            } else {
+                r.send(0, 0, r.id() as u64 * 10);
+                0
+            }
+        });
+        assert_eq!(results[0], 60);
+    }
+
+    #[test]
+    fn ring_pipeline() {
+        // Each rank forwards an accumulating token around the ring.
+        let p = 5;
+        let (results, stats) = World::run(p, |r: &mut Rank<u64>| {
+            let next = (r.id() + 1) % r.size();
+            let prev = (r.id() + r.size() - 1) % r.size();
+            if r.id() == 0 {
+                r.send(next, 0, 1);
+                r.recv(prev, 0)
+            } else {
+                let v = r.recv(prev, 0);
+                r.send(next, 0, v + 1);
+                v
+            }
+        });
+        assert_eq!(results[0], p as u64, "token visited every rank");
+        assert_eq!(stats.messages, p as u64);
+    }
+
+    #[test]
+    fn vec_payload_byte_accounting() {
+        let (_, stats) = World::run(2, |r: &mut Rank<Vec<u64>>| {
+            if r.id() == 0 {
+                r.send(1, 0, vec![0u64; 100]);
+            } else {
+                let v = r.recv(0, 0);
+                assert_eq!(v.len(), 100);
+            }
+        });
+        assert_eq!(stats.bytes, 800);
+        assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn send_to_bad_rank_panics() {
+        World::run(2, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                r.send(5, 0, 1);
+            }
+        });
+    }
+}

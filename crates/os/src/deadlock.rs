@@ -1,0 +1,264 @@
+//! Deadlock avoidance: the banker's algorithm.
+//!
+//! CS45's deadlock unit pairs *detection* (the wait-for graph in
+//! `pdc-sync`) with *avoidance*: grant a resource request only if the
+//! resulting state is safe — some ordering of processes can still run to
+//! completion. This is Dijkstra's banker's algorithm with the standard
+//! safety check, exercised on the Silberschatz textbook example.
+
+/// The banker's state: `m` resource types across `n` processes.
+#[derive(Debug, Clone)]
+pub struct Banker {
+    /// Units of each resource currently free.
+    pub available: Vec<u32>,
+    /// `max[i][j]`: process i's declared maximum need of resource j.
+    pub max: Vec<Vec<u32>>,
+    /// `allocation[i][j]`: currently held.
+    pub allocation: Vec<Vec<u32>>,
+}
+
+/// Outcome of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Granted; state updated.
+    Granted,
+    /// Denied: granting would make the state unsafe. State unchanged.
+    DeniedUnsafe,
+    /// Denied: request exceeds the process's declared maximum.
+    DeniedExceedsMax,
+    /// Denied: not enough free resources right now (process must wait).
+    DeniedUnavailable,
+}
+
+impl Banker {
+    /// Build a state.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions or allocation exceeding max.
+    pub fn new(available: Vec<u32>, max: Vec<Vec<u32>>, allocation: Vec<Vec<u32>>) -> Self {
+        let m = available.len();
+        assert_eq!(max.len(), allocation.len(), "process count mismatch");
+        for (mx, al) in max.iter().zip(&allocation) {
+            assert_eq!(mx.len(), m, "resource count mismatch");
+            assert_eq!(al.len(), m, "resource count mismatch");
+            assert!(
+                mx.iter().zip(al).all(|(x, a)| a <= x),
+                "allocation exceeds declared max"
+            );
+        }
+        Banker {
+            available,
+            max,
+            allocation,
+        }
+    }
+
+    /// `need[i][j] = max − allocation`.
+    pub fn need(&self) -> Vec<Vec<u32>> {
+        self.max
+            .iter()
+            .zip(&self.allocation)
+            .map(|(mx, al)| mx.iter().zip(al).map(|(x, a)| x - a).collect())
+            .collect()
+    }
+
+    /// The safety algorithm: returns a safe completion sequence if one
+    /// exists (lowest-index-first, so it is deterministic), else `None`.
+    pub fn safe_sequence(&self) -> Option<Vec<usize>> {
+        let n = self.max.len();
+        let need = self.need();
+        let mut work = self.available.clone();
+        let mut finished = vec![false; n];
+        let mut seq = Vec::with_capacity(n);
+        loop {
+            let mut advanced = false;
+            for i in 0..n {
+                if finished[i] {
+                    continue;
+                }
+                if need[i].iter().zip(&work).all(|(nd, w)| nd <= w) {
+                    // Process i can finish; it returns its allocation.
+                    for (w, a) in work.iter_mut().zip(&self.allocation[i]) {
+                        *w += a;
+                    }
+                    finished[i] = true;
+                    seq.push(i);
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        finished.iter().all(|&f| f).then_some(seq)
+    }
+
+    /// Whether the current state is safe.
+    pub fn is_safe(&self) -> bool {
+        self.safe_sequence().is_some()
+    }
+
+    /// Process `pid` requests `request` units; grant only if safe.
+    pub fn request(&mut self, pid: usize, request: &[u32]) -> RequestOutcome {
+        assert!(pid < self.max.len(), "unknown process {pid}");
+        assert_eq!(request.len(), self.available.len());
+        let need = self.need();
+        if request.iter().zip(&need[pid]).any(|(r, nd)| r > nd) {
+            return RequestOutcome::DeniedExceedsMax;
+        }
+        if request.iter().zip(&self.available).any(|(r, av)| r > av) {
+            return RequestOutcome::DeniedUnavailable;
+        }
+        // Pretend-grant, then check safety.
+        for j in 0..request.len() {
+            self.available[j] -= request[j];
+            self.allocation[pid][j] += request[j];
+        }
+        if self.is_safe() {
+            RequestOutcome::Granted
+        } else {
+            // Roll back.
+            for j in 0..request.len() {
+                self.available[j] += request[j];
+                self.allocation[pid][j] -= request[j];
+            }
+            RequestOutcome::DeniedUnsafe
+        }
+    }
+
+    /// Process `pid` releases `units` (e.g. at completion).
+    ///
+    /// # Panics
+    /// Panics if releasing more than held.
+    pub fn release(&mut self, pid: usize, units: &[u32]) {
+        for j in 0..units.len() {
+            assert!(
+                self.allocation[pid][j] >= units[j],
+                "releasing more than held"
+            );
+            self.allocation[pid][j] -= units[j];
+            self.available[j] += units[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Silberschatz 7.5.3 example: 5 processes, 3 resource types.
+    fn textbook() -> Banker {
+        Banker::new(
+            vec![3, 3, 2],
+            vec![
+                vec![7, 5, 3],
+                vec![3, 2, 2],
+                vec![9, 0, 2],
+                vec![2, 2, 2],
+                vec![4, 3, 3],
+            ],
+            vec![
+                vec![0, 1, 0],
+                vec![2, 0, 0],
+                vec![3, 0, 2],
+                vec![2, 1, 1],
+                vec![0, 0, 2],
+            ],
+        )
+    }
+
+    #[test]
+    fn textbook_state_is_safe_with_known_sequence() {
+        let b = textbook();
+        let seq = b.safe_sequence().expect("safe");
+        // Lowest-index-first discovery yields <P1, P3, P4, P0, P2>.
+        assert_eq!(seq, vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn textbook_request_p1_granted() {
+        // P1 requests (1,0,2): classic "yes" case.
+        let mut b = textbook();
+        assert_eq!(b.request(1, &[1, 0, 2]), RequestOutcome::Granted);
+        assert_eq!(b.available, vec![2, 3, 0]);
+        assert!(b.is_safe());
+    }
+
+    #[test]
+    fn textbook_request_p0_denied_unsafe() {
+        // After granting P1 (1,0,2), P0 requesting (0,2,0) is unsafe.
+        let mut b = textbook();
+        assert_eq!(b.request(1, &[1, 0, 2]), RequestOutcome::Granted);
+        let before = b.clone();
+        assert_eq!(b.request(0, &[0, 2, 0]), RequestOutcome::DeniedUnsafe);
+        // State rolled back exactly.
+        assert_eq!(b.available, before.available);
+        assert_eq!(b.allocation, before.allocation);
+    }
+
+    #[test]
+    fn textbook_request_p4_denied_unavailable() {
+        // After granting P1 (1,0,2), P4 requesting (3,3,0) exceeds what's
+        // free (2,3,0).
+        let mut b = textbook();
+        assert_eq!(b.request(1, &[1, 0, 2]), RequestOutcome::Granted);
+        assert_eq!(b.request(4, &[3, 3, 0]), RequestOutcome::DeniedUnavailable);
+    }
+
+    #[test]
+    fn request_beyond_max_rejected() {
+        let mut b = textbook();
+        // P1's need is (1,2,2); asking for 2 of resource 0 exceeds it.
+        assert_eq!(b.request(1, &[2, 0, 0]), RequestOutcome::DeniedExceedsMax);
+    }
+
+    #[test]
+    fn safe_sequence_actually_executes() {
+        // Simulate running the sequence: each process takes its full
+        // remaining need, then releases everything. Must never go
+        // negative.
+        let b = textbook();
+        let seq = b.safe_sequence().unwrap();
+        let need = b.need();
+        let mut sim = b.clone();
+        for &p in &seq {
+            let nd = need[p].clone();
+            assert_eq!(
+                sim.request(p, &nd),
+                RequestOutcome::Granted,
+                "process {p} must be grantable in sequence order"
+            );
+            let full: Vec<u32> = sim.allocation[p].clone();
+            sim.release(p, &full);
+        }
+        // Everything returned.
+        let total_alloc: u32 = sim.allocation.iter().flatten().sum();
+        assert_eq!(total_alloc, 0);
+    }
+
+    #[test]
+    fn unsafe_state_detected() {
+        // Two processes both needing 2 units with only 1 free and 1 each
+        // held: neither can finish.
+        let b = Banker::new(
+            vec![0],
+            vec![vec![2], vec![2]],
+            vec![vec![1], vec![1]],
+        );
+        assert!(!b.is_safe());
+        assert_eq!(b.safe_sequence(), None);
+    }
+
+    #[test]
+    fn release_restores_availability() {
+        let mut b = textbook();
+        b.release(2, &[3, 0, 2]);
+        assert_eq!(b.available, vec![6, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation exceeds declared max")]
+    fn invalid_construction_rejected() {
+        Banker::new(vec![1], vec![vec![1]], vec![vec![2]]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pdc-os — operating-systems substrate
+//!
+//! The CS31/CS45 systems content (paper Table II, "Operating Systems"
+//! row): processes and their lifecycle, CPU scheduling policies with the
+//! standard metrics, and virtual-memory paging with the classic
+//! replacement algorithms.
+//!
+//! * [`process`] — process table: fork/exec/exit/wait, zombies, orphan
+//!   reparenting, signals.
+//! * [`shell`] — a tiny job-control shell driving the process table (the
+//!   Unix-shell lab).
+//! * [`sched`] — FCFS, SJF, Round-Robin, preemptive Priority, and MLFQ
+//!   schedulers over burst workloads; waiting/turnaround/response
+//!   metrics.
+//! * [`deadlock`] — the banker's algorithm for deadlock avoidance.
+//! * [`vm`] — demand paging on reference strings: FIFO, LRU, Clock,
+//!   and OPT replacement, with a Belady's-anomaly demonstration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod process;
+pub mod sched;
+pub mod shell;
+pub mod vm;
+
+pub use process::{Pid, ProcessState, ProcessTable};
+pub use sched::{SchedMetrics, SchedPolicy};
+pub use vm::ReplacePolicy;

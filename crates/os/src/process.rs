@@ -1,0 +1,406 @@
+//! The process table: fork, exec, exit, wait, signals.
+//!
+//! A deterministic model of the Unix process lifecycle as taught in the
+//! CS31 shell lab: `fork` clones, `exec` replaces the image, `exit`
+//! leaves a zombie until the parent `wait`s, orphans are re-parented to
+//! init (pid 1), and `SIGKILL` terminates immediately.
+
+use std::collections::HashMap;
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// Lifecycle state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Runnable or running (the model does not distinguish).
+    Running,
+    /// Exited but not yet reaped by its parent.
+    Zombie,
+}
+
+/// Signals the model understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Terminate unconditionally.
+    Kill,
+    /// Terminate politely (the model treats it like Kill unless the
+    /// process registered a handler).
+    Term,
+    /// User-defined signal; delivered to the handler if registered,
+    /// ignored otherwise.
+    Usr1,
+}
+
+/// A process control block.
+#[derive(Debug, Clone)]
+pub struct Pcb {
+    /// This process's id.
+    pub pid: Pid,
+    /// Parent pid.
+    pub ppid: Pid,
+    /// Program image name (changed by exec).
+    pub program: String,
+    /// Current state.
+    pub state: ProcessState,
+    /// Exit code (valid once Zombie).
+    pub exit_code: i32,
+    /// Signals delivered to a registered handler (Usr1/Term with handler).
+    pub handled_signals: Vec<Signal>,
+    /// Whether a Term/Usr1 handler is registered.
+    pub has_handler: bool,
+}
+
+/// Errors from process operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcError {
+    /// No such process.
+    NoSuchPid(Pid),
+    /// Operation requires a live process, but it is a zombie.
+    NotRunning(Pid),
+    /// `wait` called with no children at all.
+    NoChildren(Pid),
+    /// `wait` would block: children exist but none are zombies.
+    WouldBlock(Pid),
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::NoSuchPid(p) => write!(f, "no such process {p}"),
+            ProcError::NotRunning(p) => write!(f, "process {p} is not running"),
+            ProcError::NoChildren(p) => write!(f, "process {p} has no children"),
+            ProcError::WouldBlock(p) => write!(f, "wait by {p} would block"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+/// The process table. Pid 1 (`init`) always exists.
+#[derive(Debug, Clone)]
+pub struct ProcessTable {
+    procs: HashMap<Pid, Pcb>,
+    next_pid: Pid,
+}
+
+/// The init process id.
+pub const INIT: Pid = 1;
+
+impl ProcessTable {
+    /// A fresh table containing only `init` (pid 1).
+    pub fn new() -> Self {
+        let mut procs = HashMap::new();
+        procs.insert(
+            INIT,
+            Pcb {
+                pid: INIT,
+                ppid: 0,
+                program: "init".to_string(),
+                state: ProcessState::Running,
+                exit_code: 0,
+                handled_signals: Vec::new(),
+                // init has no user handler; it is special-cased as
+                // unkillable in exit_signal instead.
+                has_handler: false,
+            },
+        );
+        ProcessTable { procs, next_pid: 2 }
+    }
+
+    /// Look up a PCB.
+    pub fn get(&self, pid: Pid) -> Result<&Pcb, ProcError> {
+        self.procs.get(&pid).ok_or(ProcError::NoSuchPid(pid))
+    }
+
+    fn get_mut(&mut self, pid: Pid) -> Result<&mut Pcb, ProcError> {
+        self.procs.get_mut(&pid).ok_or(ProcError::NoSuchPid(pid))
+    }
+
+    /// Number of processes (including zombies).
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether only init remains.
+    pub fn is_empty(&self) -> bool {
+        self.procs.len() <= 1
+    }
+
+    /// Children of `pid`.
+    pub fn children(&self, pid: Pid) -> Vec<Pid> {
+        let mut c: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.ppid == pid)
+            .map(|p| p.pid)
+            .collect();
+        c.sort_unstable();
+        c
+    }
+
+    /// Fork: clone `parent`, returning the child pid. The child inherits
+    /// the program image and handler registration.
+    pub fn fork(&mut self, parent: Pid) -> Result<Pid, ProcError> {
+        let (program, has_handler) = {
+            let p = self.get(parent)?;
+            if p.state != ProcessState::Running {
+                return Err(ProcError::NotRunning(parent));
+            }
+            (p.program.clone(), p.has_handler)
+        };
+        let child_pid = self.next_pid;
+        self.next_pid += 1;
+        let child = Pcb {
+            pid: child_pid,
+            ppid: parent,
+            program,
+            state: ProcessState::Running,
+            exit_code: 0,
+            handled_signals: Vec::new(),
+            has_handler,
+        };
+        self.procs.insert(child_pid, child);
+        Ok(child_pid)
+    }
+
+    /// Exec: replace the program image (resets handlers, as exec does).
+    pub fn exec(&mut self, pid: Pid, program: &str) -> Result<(), ProcError> {
+        let p = self.get_mut(pid)?;
+        if p.state != ProcessState::Running {
+            return Err(ProcError::NotRunning(pid));
+        }
+        p.program = program.to_string();
+        p.has_handler = false;
+        p.handled_signals.clear();
+        Ok(())
+    }
+
+    /// Register a Term/Usr1 handler (signal(2) in the lab).
+    pub fn register_handler(&mut self, pid: Pid) -> Result<(), ProcError> {
+        self.get_mut(pid)?.has_handler = true;
+        Ok(())
+    }
+
+    /// Exit: the process becomes a zombie holding `code`; its children
+    /// are re-parented to init, and zombie children are reaped by init
+    /// immediately (init always waits).
+    pub fn exit(&mut self, pid: Pid, code: i32) -> Result<(), ProcError> {
+        assert_ne!(pid, INIT, "init does not exit");
+        {
+            let p = self.get_mut(pid)?;
+            if p.state != ProcessState::Running {
+                return Err(ProcError::NotRunning(pid));
+            }
+            p.state = ProcessState::Zombie;
+            p.exit_code = code;
+        }
+        // Re-parent children to init; init auto-reaps zombie children.
+        let orphans = self.children(pid);
+        for o in orphans {
+            if let Some(c) = self.procs.get_mut(&o) {
+                c.ppid = INIT;
+                if c.state == ProcessState::Zombie {
+                    self.procs.remove(&o);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Wait: reap one zombie child of `pid` (lowest pid first), returning
+    /// `(child_pid, exit_code)`. Errors distinguish "no children" from
+    /// "children exist but still running" (the blocking case).
+    pub fn wait(&mut self, pid: Pid) -> Result<(Pid, i32), ProcError> {
+        self.get(pid)?;
+        let kids = self.children(pid);
+        if kids.is_empty() {
+            return Err(ProcError::NoChildren(pid));
+        }
+        for k in kids {
+            if self.procs[&k].state == ProcessState::Zombie {
+                let code = self.procs[&k].exit_code;
+                self.procs.remove(&k);
+                return Ok((k, code));
+            }
+        }
+        Err(ProcError::WouldBlock(pid))
+    }
+
+    /// Deliver a signal.
+    pub fn signal(&mut self, pid: Pid, sig: Signal) -> Result<(), ProcError> {
+        let has_handler = {
+            let p = self.get(pid)?;
+            if p.state != ProcessState::Running {
+                return Err(ProcError::NotRunning(pid));
+            }
+            p.has_handler
+        };
+        match sig {
+            Signal::Kill => self.exit_signal(pid, 137),
+            Signal::Term => {
+                if has_handler {
+                    self.get_mut(pid)?.handled_signals.push(sig);
+                    Ok(())
+                } else {
+                    self.exit_signal(pid, 143)
+                }
+            }
+            Signal::Usr1 => {
+                if has_handler {
+                    self.get_mut(pid)?.handled_signals.push(sig);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn exit_signal(&mut self, pid: Pid, code: i32) -> Result<(), ProcError> {
+        if pid == INIT {
+            return Ok(()); // init is unkillable
+        }
+        self.exit(pid, code)
+    }
+
+    /// All pids, sorted (diagnostics).
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut v: Vec<Pid> = self.procs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for ProcessTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_creates_child_of_parent() {
+        let mut t = ProcessTable::new();
+        let c = t.fork(INIT).unwrap();
+        assert_eq!(t.get(c).unwrap().ppid, INIT);
+        assert_eq!(t.get(c).unwrap().program, "init");
+        assert_eq!(t.children(INIT), vec![c]);
+    }
+
+    #[test]
+    fn exec_replaces_image() {
+        let mut t = ProcessTable::new();
+        let c = t.fork(INIT).unwrap();
+        t.exec(c, "ls").unwrap();
+        assert_eq!(t.get(c).unwrap().program, "ls");
+        assert_eq!(t.get(INIT).unwrap().program, "init", "parent unchanged");
+    }
+
+    #[test]
+    fn exit_then_wait_reaps_zombie() {
+        let mut t = ProcessTable::new();
+        let sh = t.fork(INIT).unwrap();
+        let c = t.fork(sh).unwrap();
+        t.exit(c, 7).unwrap();
+        assert_eq!(t.get(c).unwrap().state, ProcessState::Zombie);
+        let (reaped, code) = t.wait(sh).unwrap();
+        assert_eq!((reaped, code), (c, 7));
+        assert!(t.get(c).is_err(), "zombie gone after wait");
+    }
+
+    #[test]
+    fn wait_distinguishes_block_from_no_children() {
+        let mut t = ProcessTable::new();
+        let sh = t.fork(INIT).unwrap();
+        assert_eq!(t.wait(sh), Err(ProcError::NoChildren(sh)));
+        let c = t.fork(sh).unwrap();
+        assert_eq!(t.wait(sh), Err(ProcError::WouldBlock(sh)));
+        t.exit(c, 0).unwrap();
+        assert!(t.wait(sh).is_ok());
+    }
+
+    #[test]
+    fn wait_reaps_lowest_pid_zombie_first() {
+        let mut t = ProcessTable::new();
+        let sh = t.fork(INIT).unwrap();
+        let c1 = t.fork(sh).unwrap();
+        let c2 = t.fork(sh).unwrap();
+        t.exit(c2, 2).unwrap();
+        t.exit(c1, 1).unwrap();
+        assert_eq!(t.wait(sh).unwrap(), (c1, 1));
+        assert_eq!(t.wait(sh).unwrap(), (c2, 2));
+    }
+
+    #[test]
+    fn orphans_reparent_to_init() {
+        let mut t = ProcessTable::new();
+        let parent = t.fork(INIT).unwrap();
+        let child = t.fork(parent).unwrap();
+        t.exit(parent, 0).unwrap();
+        assert_eq!(t.get(child).unwrap().ppid, INIT);
+    }
+
+    #[test]
+    fn zombie_orphans_auto_reaped_by_init() {
+        let mut t = ProcessTable::new();
+        let parent = t.fork(INIT).unwrap();
+        let child = t.fork(parent).unwrap();
+        t.exit(child, 0).unwrap(); // zombie child of parent
+        t.exit(parent, 0).unwrap(); // parent dies; init adopts + reaps
+        assert!(t.get(child).is_err(), "init reaped the orphan zombie");
+    }
+
+    #[test]
+    fn kill_terminates_term_respects_handler() {
+        let mut t = ProcessTable::new();
+        let a = t.fork(INIT).unwrap();
+        let b = t.fork(INIT).unwrap();
+        t.register_handler(b).unwrap();
+        t.signal(a, Signal::Term).unwrap();
+        assert_eq!(t.get(a).unwrap().state, ProcessState::Zombie);
+        assert_eq!(t.get(a).unwrap().exit_code, 143);
+        t.signal(b, Signal::Term).unwrap();
+        assert_eq!(t.get(b).unwrap().state, ProcessState::Running);
+        assert_eq!(t.get(b).unwrap().handled_signals, vec![Signal::Term]);
+        t.signal(b, Signal::Kill).unwrap();
+        assert_eq!(t.get(b).unwrap().exit_code, 137, "KILL is uncatchable");
+    }
+
+    #[test]
+    fn usr1_ignored_without_handler() {
+        let mut t = ProcessTable::new();
+        let a = t.fork(INIT).unwrap();
+        t.signal(a, Signal::Usr1).unwrap();
+        assert_eq!(t.get(a).unwrap().state, ProcessState::Running);
+        assert!(t.get(a).unwrap().handled_signals.is_empty());
+    }
+
+    #[test]
+    fn init_is_unkillable() {
+        let mut t = ProcessTable::new();
+        t.signal(INIT, Signal::Kill).unwrap();
+        assert_eq!(t.get(INIT).unwrap().state, ProcessState::Running);
+    }
+
+    #[test]
+    fn exec_clears_handlers() {
+        let mut t = ProcessTable::new();
+        let a = t.fork(INIT).unwrap();
+        t.register_handler(a).unwrap();
+        t.exec(a, "prog").unwrap();
+        t.signal(a, Signal::Term).unwrap();
+        assert_eq!(t.get(a).unwrap().state, ProcessState::Zombie);
+    }
+
+    #[test]
+    fn operations_on_zombies_rejected() {
+        let mut t = ProcessTable::new();
+        let a = t.fork(INIT).unwrap();
+        t.exit(a, 0).unwrap();
+        assert_eq!(t.fork(a), Err(ProcError::NotRunning(a)));
+        assert_eq!(t.exec(a, "x"), Err(ProcError::NotRunning(a)));
+        assert_eq!(t.signal(a, Signal::Kill), Err(ProcError::NotRunning(a)));
+    }
+}

@@ -1,0 +1,375 @@
+//! CPU scheduling policies and their metrics.
+//!
+//! A deterministic single-CPU discrete-time simulation of the policies
+//! CS45 compares: FCFS, non-preemptive SJF, Round-Robin, preemptive
+//! Priority, and a 3-level MLFQ. Jobs are `(arrival, burst[, priority])`;
+//! the simulator reports the standard per-job and average metrics
+//! (waiting, turnaround, response) that make the policy trade-offs
+//! quantitative — e.g. RR's response time vs its turnaround penalty.
+
+/// One job to schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Arrival time.
+    pub arrival: u64,
+    /// Total CPU demand.
+    pub burst: u64,
+    /// Priority (lower number = more urgent; used by Priority policy).
+    pub priority: u32,
+}
+
+impl Job {
+    /// A job with default priority.
+    pub fn new(arrival: u64, burst: u64) -> Self {
+        Job {
+            arrival,
+            burst,
+            priority: 0,
+        }
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First-come first-served (non-preemptive).
+    Fcfs,
+    /// Shortest job first (non-preemptive).
+    Sjf,
+    /// Round-Robin with the given quantum.
+    RoundRobin {
+        /// Time slice.
+        quantum: u64,
+    },
+    /// Preemptive priority (lower number runs first; FCFS among equals).
+    Priority,
+    /// Multi-level feedback queue with 3 levels and the given base
+    /// quantum (doubled per level); new jobs enter level 0.
+    Mlfq {
+        /// Quantum of the top queue.
+        base_quantum: u64,
+    },
+}
+
+/// Per-job results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Time of completion.
+    pub completion: u64,
+    /// First time the job got the CPU.
+    pub first_run: u64,
+    /// turnaround = completion − arrival.
+    pub turnaround: u64,
+    /// waiting = turnaround − burst.
+    pub waiting: u64,
+    /// response = first_run − arrival.
+    pub response: u64,
+}
+
+/// Aggregated results of a run.
+#[derive(Debug, Clone)]
+pub struct SchedMetrics {
+    /// Per-job metrics, in input order.
+    pub jobs: Vec<JobMetrics>,
+    /// Number of context switches (job-to-different-job handoffs).
+    pub context_switches: u64,
+    /// Total time simulated.
+    pub makespan: u64,
+}
+
+impl SchedMetrics {
+    /// Mean waiting time.
+    pub fn avg_waiting(&self) -> f64 {
+        self.jobs.iter().map(|j| j.waiting as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Mean turnaround time.
+    pub fn avg_turnaround(&self) -> f64 {
+        self.jobs.iter().map(|j| j.turnaround as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Mean response time.
+    pub fn avg_response(&self) -> f64 {
+        self.jobs.iter().map(|j| j.response as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+struct RunJob {
+    idx: usize,
+    arrival: u64,
+    remaining: u64,
+    burst: u64,
+    priority: u32,
+    first_run: Option<u64>,
+    completion: u64,
+    level: usize, // MLFQ level
+}
+
+/// Simulate `jobs` under `policy`.
+///
+/// # Panics
+/// Panics if `jobs` is empty, a burst is zero, or a quantum is zero.
+pub fn simulate(policy: SchedPolicy, jobs: &[Job]) -> SchedMetrics {
+    assert!(!jobs.is_empty(), "no jobs to schedule");
+    assert!(jobs.iter().all(|j| j.burst > 0), "zero-length burst");
+    match policy {
+        SchedPolicy::RoundRobin { quantum } => assert!(quantum > 0, "zero quantum"),
+        SchedPolicy::Mlfq { base_quantum } => assert!(base_quantum > 0, "zero quantum"),
+        _ => {}
+    }
+    let mut run: Vec<RunJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(idx, j)| RunJob {
+            idx,
+            arrival: j.arrival,
+            remaining: j.burst,
+            burst: j.burst,
+            priority: j.priority,
+            first_run: None,
+            completion: 0,
+            level: 0,
+        })
+        .collect();
+    // Arrival order: by (arrival, index) — deterministic.
+    let mut arrival_order: Vec<usize> = (0..run.len()).collect();
+    arrival_order.sort_by_key(|&i| (run[i].arrival, i));
+
+    let mut now = 0u64;
+    let mut next_arrival = 0usize; // cursor into arrival_order
+    let mut ready: Vec<usize> = Vec::new(); // indices into run
+    let mut done = 0usize;
+    let mut switches = 0u64;
+    let mut last_ran: Option<usize> = None;
+
+    // Admit every job that has arrived by `now`.
+    macro_rules! admit {
+        () => {
+            while next_arrival < arrival_order.len()
+                && run[arrival_order[next_arrival]].arrival <= now
+            {
+                ready.push(arrival_order[next_arrival]);
+                next_arrival += 1;
+            }
+        };
+    }
+
+    while done < run.len() {
+        admit!();
+        if ready.is_empty() {
+            // Idle until the next arrival.
+            now = run[arrival_order[next_arrival]].arrival;
+            admit!();
+        }
+        // Pick per policy.
+        let pick_pos = match policy {
+            SchedPolicy::Fcfs | SchedPolicy::RoundRobin { .. } => 0,
+            SchedPolicy::Sjf => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &j)| (run[j].remaining, run[j].arrival, j))
+                .map(|(p, _)| p)
+                .unwrap(),
+            SchedPolicy::Priority => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &j)| (run[j].priority, run[j].arrival, j))
+                .map(|(p, _)| p)
+                .unwrap(),
+            SchedPolicy::Mlfq { .. } => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &j)| (run[j].level, j))
+                .map(|(p, _)| p)
+                .unwrap(),
+        };
+        let j = ready.remove(pick_pos);
+        if last_ran.is_some() && last_ran != Some(j) {
+            switches += 1;
+        }
+        last_ran = Some(j);
+        if run[j].first_run.is_none() {
+            run[j].first_run = Some(now);
+        }
+        // How long does it run?
+        let slice = match policy {
+            SchedPolicy::Fcfs | SchedPolicy::Sjf => run[j].remaining,
+            SchedPolicy::RoundRobin { quantum } => quantum.min(run[j].remaining),
+            SchedPolicy::Priority => {
+                // Run until completion or until the earliest future
+                // arrival with strictly higher priority preempts us.
+                let mut t = run[j].remaining;
+                for &na in &arrival_order[next_arrival..] {
+                    if run[na].arrival >= now + t {
+                        break; // arrivals are sorted; none can preempt
+                    }
+                    if run[na].priority < run[j].priority {
+                        t = run[na].arrival - now; // > 0: all <= now admitted
+                        break;
+                    }
+                }
+                t
+            }
+            SchedPolicy::Mlfq { base_quantum } => {
+                (base_quantum << run[j].level).min(run[j].remaining)
+            }
+        };
+        now += slice;
+        run[j].remaining -= slice;
+        if run[j].remaining == 0 {
+            run[j].completion = now;
+            done += 1;
+        } else {
+            // Demote under MLFQ (used its full quantum).
+            if let SchedPolicy::Mlfq { .. } = policy {
+                run[j].level = (run[j].level + 1).min(2);
+            }
+            admit!(); // arrivals during the slice queue before re-entry
+            ready.push(j);
+        }
+    }
+
+    let jobs_out = run
+        .iter()
+        .map(|r| {
+            let turnaround = r.completion - r.arrival;
+            JobMetrics {
+                completion: r.completion,
+                first_run: r.first_run.unwrap(),
+                turnaround,
+                waiting: turnaround - r.burst,
+                response: r.first_run.unwrap() - r.arrival,
+            }
+        })
+        .collect::<Vec<_>>();
+    // Re-order to input order (run is already in input order by idx).
+    debug_assert!(run.iter().enumerate().all(|(i, r)| r.idx == i));
+    SchedMetrics {
+        jobs: jobs_out,
+        context_switches: switches,
+        makespan: now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textbook_jobs() -> Vec<Job> {
+        // The classic example: P1=24, P2=3, P3=3, all arriving at 0.
+        vec![Job::new(0, 24), Job::new(0, 3), Job::new(0, 3)]
+    }
+
+    #[test]
+    fn fcfs_textbook_waiting() {
+        let m = simulate(SchedPolicy::Fcfs, &textbook_jobs());
+        // Waits: 0, 24, 27 -> average 17.
+        assert_eq!(m.jobs[0].waiting, 0);
+        assert_eq!(m.jobs[1].waiting, 24);
+        assert_eq!(m.jobs[2].waiting, 27);
+        assert!((m.avg_waiting() - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sjf_minimizes_waiting() {
+        let m = simulate(SchedPolicy::Sjf, &textbook_jobs());
+        // Order P2, P3, P1: waits 6, 0, 3 -> average 3.
+        assert!((m.avg_waiting() - 3.0).abs() < 1e-12);
+        let f = simulate(SchedPolicy::Fcfs, &textbook_jobs());
+        assert!(m.avg_waiting() < f.avg_waiting());
+    }
+
+    #[test]
+    fn rr_quantum_4_textbook() {
+        // Silberschatz example: RR q=4 on 24/3/3 gives waits 6/4/7.
+        let m = simulate(SchedPolicy::RoundRobin { quantum: 4 }, &textbook_jobs());
+        assert_eq!(m.jobs[0].waiting, 6);
+        assert_eq!(m.jobs[1].waiting, 4);
+        assert_eq!(m.jobs[2].waiting, 7);
+    }
+
+    #[test]
+    fn rr_improves_response_hurts_turnaround() {
+        let jobs = vec![Job::new(0, 50), Job::new(0, 50), Job::new(0, 50)];
+        let fcfs = simulate(SchedPolicy::Fcfs, &jobs);
+        let rr = simulate(SchedPolicy::RoundRobin { quantum: 5 }, &jobs);
+        assert!(rr.avg_response() < fcfs.avg_response());
+        assert!(rr.avg_turnaround() >= fcfs.avg_turnaround());
+        assert!(rr.context_switches > fcfs.context_switches);
+    }
+
+    #[test]
+    fn priority_preempts_lower() {
+        // Low-priority long job, then an urgent arrival.
+        let jobs = vec![
+            Job {
+                arrival: 0,
+                burst: 100,
+                priority: 5,
+            },
+            Job {
+                arrival: 10,
+                burst: 10,
+                priority: 1,
+            },
+        ];
+        let m = simulate(SchedPolicy::Priority, &jobs);
+        // Urgent job runs immediately on arrival.
+        assert_eq!(m.jobs[1].response, 0);
+        assert_eq!(m.jobs[1].completion, 20);
+        assert_eq!(m.jobs[0].completion, 110);
+    }
+
+    #[test]
+    fn arrivals_respected_with_idle_gap() {
+        let jobs = vec![Job::new(0, 5), Job::new(100, 5)];
+        let m = simulate(SchedPolicy::Fcfs, &jobs);
+        assert_eq!(m.jobs[0].completion, 5);
+        assert_eq!(m.jobs[1].first_run, 100, "CPU idles until arrival");
+        assert_eq!(m.makespan, 105);
+    }
+
+    #[test]
+    fn mlfq_favors_short_jobs_without_knowing_lengths() {
+        // One CPU hog + a stream of short jobs: MLFQ demotes the hog.
+        let mut jobs = vec![Job::new(0, 200)];
+        for k in 0..10 {
+            jobs.push(Job::new(5 + k * 10, 3));
+        }
+        let mlfq = simulate(SchedPolicy::Mlfq { base_quantum: 4 }, &jobs);
+        let fcfs = simulate(SchedPolicy::Fcfs, &jobs);
+        let short_wait_mlfq: f64 =
+            mlfq.jobs[1..].iter().map(|j| j.waiting as f64).sum::<f64>() / 10.0;
+        let short_wait_fcfs: f64 =
+            fcfs.jobs[1..].iter().map(|j| j.waiting as f64).sum::<f64>() / 10.0;
+        assert!(
+            short_wait_mlfq < short_wait_fcfs / 4.0,
+            "mlfq {short_wait_mlfq} vs fcfs {short_wait_fcfs}"
+        );
+    }
+
+    #[test]
+    fn total_cpu_time_conserved() {
+        let jobs = vec![Job::new(0, 7), Job::new(2, 13), Job::new(4, 5)];
+        for policy in [
+            SchedPolicy::Fcfs,
+            SchedPolicy::Sjf,
+            SchedPolicy::RoundRobin { quantum: 3 },
+            SchedPolicy::Priority,
+            SchedPolicy::Mlfq { base_quantum: 2 },
+        ] {
+            let m = simulate(policy, &jobs);
+            assert_eq!(m.makespan, 25, "{policy:?}: no arrivals gaps here");
+            for (j, job) in m.jobs.iter().zip(&jobs) {
+                assert!(j.completion >= job.arrival + job.burst);
+                assert_eq!(j.turnaround, j.waiting + job.burst);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no jobs")]
+    fn empty_jobs_rejected() {
+        simulate(SchedPolicy::Fcfs, &[]);
+    }
+}

@@ -1,0 +1,262 @@
+//! A tiny job-control shell over the process table — the Unix-shell lab.
+//!
+//! The CS31 shell lab has students implement fork/exec/wait, foreground
+//! vs background jobs, and signal delivery. [`Shell`] is that program
+//! against the simulated [`ProcessTable`]: `run` forks+execs+waits,
+//! `spawn_bg` backgrounds, `jobs` lists, `kill` signals, and background
+//! completion is reaped on the next prompt, just like a real shell.
+
+use crate::process::{Pid, ProcError, ProcessTable, Signal, INIT};
+
+/// A background job entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEntry {
+    /// Job number (1-based, as shells print).
+    pub job_no: usize,
+    /// The job's pid.
+    pub pid: Pid,
+    /// Command name.
+    pub command: String,
+}
+
+/// Shell events reported to the "terminal" (collected for assertions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellEvent {
+    /// A foreground command completed with this exit code.
+    Completed {
+        /// The pid that finished.
+        pid: Pid,
+        /// Its exit status.
+        code: i32,
+    },
+    /// A background job finished (reported at the next prompt).
+    JobDone {
+        /// Job number.
+        job_no: usize,
+        /// The pid that finished.
+        pid: Pid,
+    },
+}
+
+/// The shell: owns a process table and its own shell process.
+#[derive(Debug)]
+pub struct Shell {
+    table: ProcessTable,
+    shell_pid: Pid,
+    jobs: Vec<JobEntry>,
+    next_job_no: usize,
+    /// Events printed to the terminal.
+    pub events: Vec<ShellEvent>,
+}
+
+impl Shell {
+    /// Boot a shell (init forks it).
+    pub fn new() -> Self {
+        let mut table = ProcessTable::new();
+        let shell_pid = table.fork(INIT).expect("init forks the shell");
+        table.exec(shell_pid, "sh").expect("exec sh");
+        Shell {
+            table,
+            shell_pid,
+            jobs: Vec::new(),
+            next_job_no: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// The shell process's pid.
+    pub fn pid(&self) -> Pid {
+        self.shell_pid
+    }
+
+    /// Access the underlying process table (inspection).
+    pub fn table(&self) -> &ProcessTable {
+        &self.table
+    }
+
+    /// Run a foreground command: fork, exec, wait. The simulated child
+    /// "runs" and exits with `exit_code` immediately upon the wait.
+    pub fn run(&mut self, command: &str, exit_code: i32) -> Result<Pid, ProcError> {
+        let child = self.table.fork(self.shell_pid)?;
+        self.table.exec(child, command)?;
+        // Foreground semantics: the child runs to completion while the
+        // shell blocks in wait.
+        self.table.exit(child, exit_code)?;
+        // Reap: it might not be the only zombie, so loop until we get it.
+        loop {
+            let (pid, code) = self.table.wait(self.shell_pid)?;
+            if let Some(pos) = self.jobs.iter().position(|j| j.pid == pid) {
+                let j = self.jobs.remove(pos);
+                self.events.push(ShellEvent::JobDone {
+                    job_no: j.job_no,
+                    pid,
+                });
+                continue;
+            }
+            self.events.push(ShellEvent::Completed { pid, code });
+            return Ok(pid);
+        }
+    }
+
+    /// Start a background job (`command &`): fork + exec, no wait.
+    pub fn spawn_bg(&mut self, command: &str) -> Result<JobEntry, ProcError> {
+        let child = self.table.fork(self.shell_pid)?;
+        self.table.exec(child, command)?;
+        let entry = JobEntry {
+            job_no: self.next_job_no,
+            pid: child,
+            command: command.to_string(),
+        };
+        self.next_job_no += 1;
+        self.jobs.push(entry.clone());
+        Ok(entry)
+    }
+
+    /// The `jobs` builtin: currently-known background jobs.
+    pub fn jobs(&self) -> &[JobEntry] {
+        &self.jobs
+    }
+
+    /// Simulate a background job finishing on its own.
+    pub fn background_finishes(&mut self, pid: Pid, code: i32) -> Result<(), ProcError> {
+        self.table.exit(pid, code)
+    }
+
+    /// The `kill` builtin.
+    pub fn kill(&mut self, pid: Pid, sig: Signal) -> Result<(), ProcError> {
+        self.table.signal(pid, sig)
+    }
+
+    /// Called at each prompt: reap any finished background jobs
+    /// (non-blocking waitpid loop) and report them.
+    pub fn prompt(&mut self) {
+        loop {
+            match self.table.wait(self.shell_pid) {
+                Ok((pid, _code)) => {
+                    if let Some(pos) = self.jobs.iter().position(|j| j.pid == pid) {
+                        let j = self.jobs.remove(pos);
+                        self.events.push(ShellEvent::JobDone {
+                            job_no: j.job_no,
+                            pid,
+                        });
+                    }
+                }
+                Err(ProcError::WouldBlock(_)) | Err(ProcError::NoChildren(_)) => break,
+                Err(e) => panic!("unexpected wait error: {e}"),
+            }
+        }
+    }
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessState;
+
+    #[test]
+    fn foreground_command_runs_and_reaps() {
+        let mut sh = Shell::new();
+        let pid = sh.run("ls", 0).unwrap();
+        assert_eq!(sh.events, vec![ShellEvent::Completed { pid, code: 0 }]);
+        // No zombies linger.
+        assert!(sh.table().get(pid).is_err());
+    }
+
+    #[test]
+    fn foreground_failure_code_reported() {
+        let mut sh = Shell::new();
+        let pid = sh.run("false", 1).unwrap();
+        assert_eq!(sh.events, vec![ShellEvent::Completed { pid, code: 1 }]);
+    }
+
+    #[test]
+    fn background_jobs_listed_until_done() {
+        let mut sh = Shell::new();
+        let j1 = sh.spawn_bg("sleep 100").unwrap();
+        let j2 = sh.spawn_bg("make -j").unwrap();
+        assert_eq!(sh.jobs().len(), 2);
+        assert_eq!(j1.job_no, 1);
+        assert_eq!(j2.job_no, 2);
+        // j1 finishes; the next prompt reports it.
+        sh.background_finishes(j1.pid, 0).unwrap();
+        sh.prompt();
+        assert_eq!(sh.jobs().len(), 1);
+        assert!(sh
+            .events
+            .contains(&ShellEvent::JobDone { job_no: 1, pid: j1.pid }));
+    }
+
+    #[test]
+    fn zombie_until_prompt_reaps() {
+        let mut sh = Shell::new();
+        let j = sh.spawn_bg("worker").unwrap();
+        sh.background_finishes(j.pid, 0).unwrap();
+        // Before the prompt: zombie visible in the table.
+        assert_eq!(
+            sh.table().get(j.pid).unwrap().state,
+            ProcessState::Zombie
+        );
+        sh.prompt();
+        assert!(sh.table().get(j.pid).is_err(), "reaped");
+    }
+
+    #[test]
+    fn kill_terminates_background_job() {
+        let mut sh = Shell::new();
+        let j = sh.spawn_bg("spin").unwrap();
+        sh.kill(j.pid, Signal::Kill).unwrap();
+        sh.prompt();
+        assert!(sh.jobs().is_empty());
+        assert!(sh
+            .events
+            .iter()
+            .any(|e| matches!(e, ShellEvent::JobDone { job_no: 1, .. })));
+    }
+
+    #[test]
+    fn foreground_while_background_running() {
+        let mut sh = Shell::new();
+        let j = sh.spawn_bg("bg-task").unwrap();
+        // Foreground command must complete and reap only itself.
+        let fg = sh.run("echo", 0).unwrap();
+        assert_ne!(fg, j.pid);
+        assert_eq!(sh.jobs().len(), 1, "background job unaffected");
+        assert_eq!(
+            sh.table().get(j.pid).unwrap().state,
+            ProcessState::Running
+        );
+    }
+
+    #[test]
+    fn finished_bg_job_reported_during_foreground_wait() {
+        let mut sh = Shell::new();
+        let j = sh.spawn_bg("bg").unwrap();
+        sh.background_finishes(j.pid, 0).unwrap();
+        // The foreground wait loop may reap the bg job first; it must be
+        // reported as a job, and the fg command as completed.
+        let fg = sh.run("echo", 0).unwrap();
+        assert!(sh
+            .events
+            .contains(&ShellEvent::JobDone { job_no: 1, pid: j.pid }));
+        assert!(sh
+            .events
+            .contains(&ShellEvent::Completed { pid: fg, code: 0 }));
+        assert!(sh.jobs().is_empty());
+    }
+
+    #[test]
+    fn job_numbers_increment() {
+        let mut sh = Shell::new();
+        let a = sh.spawn_bg("a").unwrap();
+        sh.background_finishes(a.pid, 0).unwrap();
+        sh.prompt();
+        let b = sh.spawn_bg("b").unwrap();
+        assert_eq!(b.job_no, 2, "job numbers are not reused");
+    }
+}

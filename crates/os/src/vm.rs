@@ -1,0 +1,359 @@
+//! Demand paging: page tables and replacement policies.
+//!
+//! The CS31/CS45 virtual-memory unit: translate a reference string
+//! through a fixed set of frames under FIFO, LRU, Clock (second chance),
+//! or OPT (Belady's clairvoyant algorithm), counting page faults. The
+//! tests reproduce the two famous results: **Belady's anomaly** (FIFO
+//! faults *more* with *more* frames on the classic string) and **OPT
+//! optimality** on every tested string.
+
+use std::collections::VecDeque;
+
+/// Page-replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacePolicy {
+    /// Evict the page resident longest.
+    Fifo,
+    /// Evict the least recently used page.
+    Lru,
+    /// Second-chance clock.
+    Clock,
+    /// Belady's optimal: evict the page used farthest in the future.
+    Opt,
+}
+
+/// Result of running a reference string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Total references.
+    pub references: u64,
+    /// Page faults (including cold-start fills).
+    pub faults: u64,
+}
+
+impl PagingStats {
+    /// Fault rate in `[0, 1]`.
+    pub fn fault_rate(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.references as f64
+        }
+    }
+}
+
+/// Run `refs` (virtual page numbers) through `frames` physical frames
+/// under `policy`, returning fault statistics.
+///
+/// # Panics
+/// Panics if `frames == 0`.
+pub fn run(policy: ReplacePolicy, frames: usize, refs: &[u64]) -> PagingStats {
+    assert!(frames > 0, "need at least one frame");
+    match policy {
+        ReplacePolicy::Fifo => run_fifo(frames, refs),
+        ReplacePolicy::Lru => run_lru(frames, refs),
+        ReplacePolicy::Clock => run_clock(frames, refs),
+        ReplacePolicy::Opt => run_opt(frames, refs),
+    }
+}
+
+fn run_fifo(frames: usize, refs: &[u64]) -> PagingStats {
+    let mut resident: VecDeque<u64> = VecDeque::new();
+    let mut faults = 0;
+    for &p in refs {
+        if resident.contains(&p) {
+            continue;
+        }
+        faults += 1;
+        if resident.len() == frames {
+            resident.pop_front();
+        }
+        resident.push_back(p);
+    }
+    PagingStats {
+        references: refs.len() as u64,
+        faults,
+    }
+}
+
+fn run_lru(frames: usize, refs: &[u64]) -> PagingStats {
+    // Recency order: front = LRU, back = MRU.
+    let mut resident: VecDeque<u64> = VecDeque::new();
+    let mut faults = 0;
+    for &p in refs {
+        if let Some(pos) = resident.iter().position(|&q| q == p) {
+            resident.remove(pos);
+            resident.push_back(p);
+            continue;
+        }
+        faults += 1;
+        if resident.len() == frames {
+            resident.pop_front();
+        }
+        resident.push_back(p);
+    }
+    PagingStats {
+        references: refs.len() as u64,
+        faults,
+    }
+}
+
+fn run_clock(frames: usize, refs: &[u64]) -> PagingStats {
+    let mut pages: Vec<u64> = Vec::new();
+    let mut used: Vec<bool> = Vec::new();
+    let mut hand = 0usize;
+    let mut faults = 0;
+    for &p in refs {
+        if let Some(pos) = pages.iter().position(|&q| q == p) {
+            used[pos] = true;
+            continue;
+        }
+        faults += 1;
+        if pages.len() < frames {
+            pages.push(p);
+            used.push(true);
+            continue;
+        }
+        // Sweep: clear use bits until an unused victim appears.
+        loop {
+            if used[hand] {
+                used[hand] = false;
+                hand = (hand + 1) % frames;
+            } else {
+                pages[hand] = p;
+                used[hand] = true;
+                hand = (hand + 1) % frames;
+                break;
+            }
+        }
+    }
+    PagingStats {
+        references: refs.len() as u64,
+        faults,
+    }
+}
+
+fn run_opt(frames: usize, refs: &[u64]) -> PagingStats {
+    let mut resident: Vec<u64> = Vec::new();
+    let mut faults = 0;
+    for (i, &p) in refs.iter().enumerate() {
+        if resident.contains(&p) {
+            continue;
+        }
+        faults += 1;
+        if resident.len() < frames {
+            resident.push(p);
+            continue;
+        }
+        // Evict the resident page whose next use is farthest (or never).
+        let victim = resident
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &q)| {
+                refs[i + 1..]
+                    .iter()
+                    .position(|&r| r == q)
+                    .map_or(usize::MAX, |d| d)
+            })
+            .map(|(pos, _)| pos)
+            .unwrap();
+        resident[victim] = p;
+    }
+    PagingStats {
+        references: refs.len() as u64,
+        faults,
+    }
+}
+
+/// The classic Belady reference string, on which FIFO faults more with 4
+/// frames than with 3.
+pub const BELADY_STRING: [u64; 12] = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+
+/// A simple single-level page table with a dirty/present bit per page,
+/// translating virtual addresses and counting faults — the mechanism
+/// behind the policy simulations above.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_size: u64,
+    /// entries[vpn] = Some(frame) if present.
+    entries: Vec<Option<u64>>,
+    /// Free physical frames.
+    free_frames: Vec<u64>,
+    /// FIFO of resident vpns (replacement here is FIFO for simplicity).
+    resident: VecDeque<u64>,
+    /// Page faults taken.
+    pub faults: u64,
+}
+
+impl PageTable {
+    /// A table for `virt_pages` virtual pages over `phys_frames` frames.
+    pub fn new(page_size: u64, virt_pages: usize, phys_frames: usize) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be power of two");
+        assert!(phys_frames > 0);
+        PageTable {
+            page_size,
+            entries: vec![None; virt_pages],
+            free_frames: (0..phys_frames as u64).rev().collect(),
+            resident: VecDeque::new(),
+            faults: 0,
+        }
+    }
+
+    /// Translate a virtual address, faulting a page in if necessary.
+    /// Returns the physical address.
+    ///
+    /// # Panics
+    /// Panics on a virtual address beyond the table (a segfault).
+    pub fn translate(&mut self, vaddr: u64) -> u64 {
+        let vpn = (vaddr / self.page_size) as usize;
+        let off = vaddr % self.page_size;
+        assert!(vpn < self.entries.len(), "segmentation fault: vaddr {vaddr}");
+        if self.entries[vpn].is_none() {
+            self.faults += 1;
+            let frame = match self.free_frames.pop() {
+                Some(fr) => fr,
+                None => {
+                    let evict_vpn = self.resident.pop_front().expect("resident page");
+                    let fr = self.entries[evict_vpn as usize].take().expect("present");
+                    fr
+                }
+            };
+            self.entries[vpn] = Some(frame);
+            self.resident.push_back(vpn as u64);
+        }
+        self.entries[vpn].unwrap() * self.page_size + off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_faults_once_per_page() {
+        let refs = [1, 2, 3, 1, 2, 3, 1, 2, 3];
+        for policy in [
+            ReplacePolicy::Fifo,
+            ReplacePolicy::Lru,
+            ReplacePolicy::Clock,
+            ReplacePolicy::Opt,
+        ] {
+            let s = run(policy, 3, &refs);
+            assert_eq!(s.faults, 3, "{policy:?}: compulsory faults only");
+        }
+    }
+
+    #[test]
+    fn beladys_anomaly_fifo_only() {
+        let f3 = run(ReplacePolicy::Fifo, 3, &BELADY_STRING).faults;
+        let f4 = run(ReplacePolicy::Fifo, 4, &BELADY_STRING).faults;
+        assert_eq!(f3, 9);
+        assert_eq!(f4, 10, "more frames, more faults: the anomaly");
+        // LRU is a stack algorithm: no anomaly.
+        let l3 = run(ReplacePolicy::Lru, 3, &BELADY_STRING).faults;
+        let l4 = run(ReplacePolicy::Lru, 4, &BELADY_STRING).faults;
+        assert!(l4 <= l3);
+        // OPT neither.
+        let o3 = run(ReplacePolicy::Opt, 3, &BELADY_STRING).faults;
+        let o4 = run(ReplacePolicy::Opt, 4, &BELADY_STRING).faults;
+        assert!(o4 <= o3);
+    }
+
+    #[test]
+    fn opt_is_lower_bound() {
+        // On a deterministic pseudo-random string, OPT never loses.
+        let mut x = 123456789u64;
+        let refs: Vec<u64> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 12
+            })
+            .collect();
+        for frames in [2usize, 3, 5, 8] {
+            let opt = run(ReplacePolicy::Opt, frames, &refs).faults;
+            for policy in [ReplacePolicy::Fifo, ReplacePolicy::Lru, ReplacePolicy::Clock] {
+                let f = run(policy, frames, &refs).faults;
+                assert!(opt <= f, "{policy:?} beat OPT at {frames} frames");
+            }
+        }
+    }
+
+    #[test]
+    fn lru_exploits_locality_better_than_fifo() {
+        // 90/10 locality: hot pages 0..3, cold pages 4..20.
+        let mut x = 42u64;
+        let refs: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                if (x >> 33) % 10 < 9 {
+                    (x >> 40) % 4
+                } else {
+                    4 + (x >> 40) % 16
+                }
+            })
+            .collect();
+        let lru = run(ReplacePolicy::Lru, 6, &refs).faults;
+        let fifo = run(ReplacePolicy::Fifo, 6, &refs).faults;
+        assert!(lru < fifo, "lru {lru} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn clock_approximates_lru() {
+        let mut x = 7u64;
+        let refs: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if (x >> 33) % 10 < 8 {
+                    (x >> 40) % 4
+                } else {
+                    4 + (x >> 40) % 16
+                }
+            })
+            .collect();
+        let lru = run(ReplacePolicy::Lru, 6, &refs).faults as f64;
+        let clock = run(ReplacePolicy::Clock, 6, &refs).faults as f64;
+        let fifo = run(ReplacePolicy::Fifo, 6, &refs).faults as f64;
+        // Clock should land between LRU and FIFO (inclusive, with slack).
+        assert!(clock <= fifo * 1.02, "clock {clock} vs fifo {fifo}");
+        assert!(clock >= lru * 0.98, "clock {clock} vs lru {lru}");
+    }
+
+    #[test]
+    fn single_frame_faults_on_every_distinct_ref() {
+        let refs = [1, 2, 1, 2, 1, 2];
+        for policy in [ReplacePolicy::Fifo, ReplacePolicy::Lru, ReplacePolicy::Clock] {
+            assert_eq!(run(policy, 1, &refs).faults, 6, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn fault_rate_metric() {
+        let s = run(ReplacePolicy::Lru, 2, &[1, 2, 1, 2]);
+        assert_eq!(s.fault_rate(), 0.5);
+    }
+
+    #[test]
+    fn page_table_translation_and_faults() {
+        let mut pt = PageTable::new(4096, 16, 4);
+        let p0 = pt.translate(0);
+        let p0b = pt.translate(100);
+        assert_eq!(p0 + 100, p0b, "same page, same frame");
+        assert_eq!(pt.faults, 1);
+        // Fill remaining frames.
+        pt.translate(4096);
+        pt.translate(2 * 4096);
+        pt.translate(3 * 4096);
+        assert_eq!(pt.faults, 4);
+        // Fifth page evicts the first (FIFO).
+        pt.translate(4 * 4096);
+        assert_eq!(pt.faults, 5);
+        pt.translate(0); // faulted back in
+        assert_eq!(pt.faults, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "segmentation fault")]
+    fn page_table_segfaults_beyond_range() {
+        PageTable::new(4096, 4, 2).translate(5 * 4096);
+    }
+}

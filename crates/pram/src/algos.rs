@@ -1,0 +1,506 @@
+//! Classic PRAM algorithms with measured work/span.
+//!
+//! Each function builds a fresh [`Pram`], runs the textbook algorithm,
+//! and returns the answer together with the machine (so callers can query
+//! [`Pram::work_span`] and [`Pram::time_on`]). The tests check both
+//! correctness and the asymptotic counts CS41 derives on the board:
+//!
+//! | algorithm            | mode        | steps (span) | work        |
+//! |----------------------|-------------|--------------|-------------|
+//! | reduce               | EREW        | ⌈log₂ n⌉     | n−1 (+idle) |
+//! | Hillis–Steele scan   | CREW        | ⌈log₂ n⌉     | Θ(n log n)  |
+//! | Blelloch scan        | EREW        | 2⌈log₂ n⌉    | Θ(n)        |
+//! | broadcast (doubling) | EREW        | ⌈log₂ n⌉     | Θ(n)        |
+//! | maximum              | CRCW-common | O(1)         | Θ(n²)       |
+//! | list ranking         | CREW        | ⌈log₂ n⌉+1   | Θ(n log n)  |
+
+use crate::machine::{Mode, Pram, PramError};
+
+/// Parallel sum-reduce of `input` on an EREW PRAM (binary tree).
+///
+/// Memory layout: the array lives at `0..n`; pairs combine in place at
+/// stride-doubling offsets. Returns `(sum, machine)`.
+pub fn reduce_sum(input: &[i64]) -> Result<(i64, Pram), PramError> {
+    let n = input.len();
+    let mut pram = Pram::new(Mode::Erew, n.max(1));
+    pram.load(0, input);
+    if n == 0 {
+        return Ok((0, pram));
+    }
+    let mut stride = 1usize;
+    while stride < n {
+        // Processor i combines positions 2*i*stride and (2*i+1)*stride.
+        let procs: Vec<usize> = (0..n.div_ceil(2 * stride))
+            .filter(|&i| 2 * i * stride + stride < n)
+            .collect();
+        let s = stride;
+        pram.step(&procs, |ctx| {
+            let base = 2 * ctx.id() * s;
+            let a = ctx.read(base);
+            let b = ctx.read(base + s);
+            Some((base, a + b))
+        })?;
+        stride *= 2;
+    }
+    Ok((pram.peek(0), pram))
+}
+
+/// Inclusive scan by the Hillis–Steele method on a CREW PRAM:
+/// span Θ(log n) but work Θ(n log n) — the work-*inefficient* scan.
+///
+/// Uses double buffering (ping-pong between `0..n` and `n..2n`) so reads
+/// and writes never collide. Returns `(scan, machine)`.
+pub fn scan_hillis_steele(input: &[i64]) -> Result<(Vec<i64>, Pram), PramError> {
+    let n = input.len();
+    let mut pram = Pram::new(Mode::Crew, (2 * n).max(1));
+    pram.load(0, input);
+    if n == 0 {
+        return Ok((Vec::new(), pram));
+    }
+    let mut src = 0usize;
+    let mut dst = n;
+    let mut stride = 1usize;
+    while stride < n {
+        let procs: Vec<usize> = (0..n).collect();
+        let (s, sr, ds) = (stride, src, dst);
+        pram.step(&procs, |ctx| {
+            let i = ctx.id();
+            let v = ctx.read(sr + i);
+            let out = if i >= s { v + ctx.read(sr + i - s) } else { v };
+            Some((ds + i, out))
+        })?;
+        std::mem::swap(&mut src, &mut dst);
+        stride *= 2;
+    }
+    Ok((pram.peek_range(src..src + n).to_vec(), pram))
+}
+
+/// Exclusive scan by Blelloch's two-phase method on an EREW PRAM:
+/// span Θ(log n), work Θ(n) — the work-*efficient* scan.
+///
+/// Requires `n` to be a power of two (pad with the identity otherwise).
+/// Returns `(exclusive_scan, total, machine)`.
+pub fn scan_blelloch(input: &[i64]) -> Result<(Vec<i64>, i64, Pram), PramError> {
+    let n = input.len();
+    assert!(n.is_power_of_two(), "Blelloch scan requires power-of-two n");
+    let mut pram = Pram::new(Mode::Erew, n + 1); // extra cell saves the total
+    pram.load(0, input);
+    // Up-sweep.
+    let mut stride = 1usize;
+    while stride < n {
+        let s = stride;
+        let procs: Vec<usize> = (0..n / (2 * stride)).collect();
+        pram.step(&procs, |ctx| {
+            let right = (2 * ctx.id() + 2) * s - 1;
+            let left = (2 * ctx.id() + 1) * s - 1;
+            let sum = ctx.read(left) + ctx.read(right);
+            Some((right, sum))
+        })?;
+        stride *= 2;
+    }
+    // Save total and clear the root.
+    pram.step(&[0], |ctx| Some((n, ctx.read(n - 1))))?;
+    pram.step(&[0], |_| Some((n - 1, 0)))?;
+    // Down-sweep.
+    let mut stride = n / 2;
+    while stride >= 1 {
+        let s = stride;
+        // Each down-sweep level needs two writes per node pair (left and
+        // right); a PRAM processor writes once per step, so each level is
+        // two EREW steps: right' = left + parent, then left' = parent
+        // (recovered as right' - left).
+        let procs2: Vec<usize> = (0..n / (2 * stride)).collect();
+        pram.step(&procs2, |ctx| {
+            let left = (2 * ctx.id() + 1) * s - 1;
+            let right = (2 * ctx.id() + 2) * s - 1;
+            let l = ctx.read(left);
+            let p = ctx.read(right);
+            Some((right, l + p))
+        })?;
+        // Then write left (left' = old parent = right' - left), reading
+        // the *new* right and old left.
+        let procs3: Vec<usize> = (0..n / (2 * stride)).collect();
+        pram.step(&procs3, |ctx| {
+            let left = (2 * ctx.id() + 1) * s - 1;
+            let right = (2 * ctx.id() + 2) * s - 1;
+            let new_right = ctx.read(right);
+            let l = ctx.read(left);
+            Some((left, new_right - l))
+        })?;
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    let scan = pram.peek_range(0..n).to_vec();
+    let total = pram.peek(n);
+    Ok((scan, total, pram))
+}
+
+/// EREW broadcast of `value` to `n` cells by recursive doubling:
+/// span ⌈log₂ n⌉, work Θ(n) — the standard fix for "everyone reads cell
+/// 0", which EREW forbids.
+pub fn broadcast_erew(value: i64, n: usize) -> Result<(Vec<i64>, Pram), PramError> {
+    let mut pram = Pram::new(Mode::Erew, n.max(1));
+    if n == 0 {
+        return Ok((Vec::new(), pram));
+    }
+    pram.load(0, &[value]);
+    let mut have = 1usize;
+    while have < n {
+        let copies = have.min(n - have);
+        let h = have;
+        pram.step(&(0..copies).collect::<Vec<_>>(), |ctx| {
+            let src = ctx.id();
+            let dst = h + ctx.id();
+            Some((dst, ctx.read(src)))
+        })?;
+        have += copies;
+    }
+    Ok((pram.peek_range(0..n).to_vec(), pram))
+}
+
+/// Constant-time maximum on a CRCW-common PRAM with n² processors.
+///
+/// Step 1: `n²` processors compare all pairs; any processor whose left
+/// element loses a comparison marks it "not max" (all writers agree on
+/// the value 0, so CRCW-common permits the collisions).
+/// Step 2: `n` processors — the one whose flag survived writes the max.
+///
+/// Returns `(max, machine)`. Panics on empty input.
+pub fn max_crcw_constant_time(input: &[i64]) -> Result<(i64, Pram), PramError> {
+    assert!(!input.is_empty(), "max of empty input");
+    let n = input.len();
+    // Layout: values 0..n, flags n..2n, result at 2n.
+    let mut pram = Pram::new(Mode::CrcwCommon, 2 * n + 1);
+    pram.load(0, input);
+    // Init flags to 1 (candidate).
+    pram.step(&(0..n).collect::<Vec<_>>(), |ctx| Some((n + ctx.id(), 1)))?;
+    // All-pairs comparison: proc k = i*n + j checks whether value i loses
+    // to value j (ties broken by index so exactly one candidate remains).
+    let procs: Vec<usize> = (0..n * n).collect();
+    pram.step(&procs, |ctx| {
+        let i = ctx.id() / n;
+        let j = ctx.id() % n;
+        if i == j {
+            return None;
+        }
+        let vi = ctx.read(i);
+        let vj = ctx.read(j);
+        let i_loses = (vi, i) < (vj, j);
+        if i_loses {
+            Some((n + i, 0)) // common value 0: all writers agree
+        } else {
+            None
+        }
+    })?;
+    // The surviving candidate publishes.
+    pram.step(&(0..n).collect::<Vec<_>>(), |ctx| {
+        let i = ctx.id();
+        if ctx.read(n + i) == 1 {
+            Some((2 * n, ctx.read(i)))
+        } else {
+            None
+        }
+    })?;
+    Ok((pram.peek(2 * n), pram))
+}
+
+/// List ranking by pointer jumping on a CREW PRAM.
+///
+/// Input: `next[i]` is the successor index of node `i`, with the list
+/// tail pointing to itself. Output: `rank[i]` = distance from `i` to the
+/// tail. Span Θ(log n), work Θ(n log n).
+pub fn list_rank(next: &[usize]) -> Result<(Vec<u64>, Pram), PramError> {
+    let n = next.len();
+    for (i, &nx) in next.iter().enumerate() {
+        assert!(nx < n, "next[{i}] out of range");
+    }
+    if n == 0 {
+        return Ok((Vec::new(), Pram::new(Mode::Crew, 1)));
+    }
+    // Layout: next pointers at 0..n (ping) and n..2n (pong),
+    //         ranks at 2n..3n (ping) and 3n..4n (pong).
+    let mut pram = Pram::new(Mode::Crew, 4 * n);
+    let next_i64: Vec<i64> = next.iter().map(|&x| x as i64).collect();
+    pram.load(0, &next_i64);
+    // rank[i] = 0 if next[i] == i else 1.
+    pram.step(&(0..n).collect::<Vec<_>>(), |ctx| {
+        let i = ctx.id();
+        let nx = ctx.read(i);
+        Some((2 * n + i, i64::from(nx != i as i64)))
+    })?;
+    let mut src = 0usize; // 0 = ping, 1 = pong
+    let mut rounds = 0;
+    while (1usize << rounds) < n {
+        let (next_src, rank_src, next_dst, rank_dst) = if src == 0 {
+            (0, 2 * n, n, 3 * n)
+        } else {
+            (n, 3 * n, 0, 2 * n)
+        };
+        // Two sub-steps to stay within one-write-per-proc: first ranks,
+        // then pointers.
+        pram.step(&(0..n).collect::<Vec<_>>(), |ctx| {
+            let i = ctx.id();
+            let nx = ctx.read(next_src + i) as usize;
+            let r = ctx.read(rank_src + i);
+            let add = if nx != i { ctx.read(rank_src + nx) } else { 0 };
+            Some((rank_dst + i, r + add))
+        })?;
+        pram.step(&(0..n).collect::<Vec<_>>(), |ctx| {
+            let i = ctx.id();
+            let nx = ctx.read(next_src + i) as usize;
+            let nn = ctx.read(next_src + nx);
+            Some((next_dst + i, nn))
+        })?;
+        src ^= 1;
+        rounds += 1;
+    }
+    let rank_base = if src == 0 { 2 * n } else { 3 * n };
+    let ranks = pram
+        .peek_range(rank_base..rank_base + n)
+        .iter()
+        .map(|&r| r as u64)
+        .collect();
+    Ok((ranks, pram))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::workspan::closed_form;
+
+    #[test]
+    fn reduce_matches_serial_and_span_is_log() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64, 100] {
+            let input: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+            let (sum, pram) = reduce_sum(&input).unwrap();
+            assert_eq!(sum, input.iter().sum::<i64>(), "n={n}");
+            if n > 1 {
+                assert_eq!(pram.steps(), closed_form::ceil_log2(n as u64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_work_is_n_minus_one() {
+        let input: Vec<i64> = (0..64).collect();
+        let (_, pram) = reduce_sum(&input).unwrap();
+        // Exactly n-1 combine activations.
+        assert_eq!(pram.work(), 63);
+    }
+
+    #[test]
+    fn hillis_steele_matches_serial_scan() {
+        for n in [1usize, 2, 7, 32, 100] {
+            let input: Vec<i64> = (0..n as i64).map(|i| i % 5 - 2).collect();
+            let (scan, pram) = scan_hillis_steele(&input).unwrap();
+            let mut acc = 0;
+            let want: Vec<i64> = input
+                .iter()
+                .map(|&x| {
+                    acc += x;
+                    acc
+                })
+                .collect();
+            assert_eq!(scan, want, "n={n}");
+            if n > 1 {
+                assert_eq!(pram.steps(), closed_form::ceil_log2(n as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn hillis_steele_work_is_n_log_n() {
+        let n = 64u64;
+        let input: Vec<i64> = (0..n as i64).collect();
+        let (_, pram) = scan_hillis_steele(&input).unwrap();
+        assert_eq!(pram.work(), n * closed_form::ceil_log2(n));
+    }
+
+    #[test]
+    fn blelloch_matches_serial_exclusive_scan() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let input: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 11 - 5).collect();
+            let (scan, total, _) = scan_blelloch(&input).unwrap();
+            let mut acc = 0;
+            let want: Vec<i64> = input
+                .iter()
+                .map(|&x| {
+                    let v = acc;
+                    acc += x;
+                    v
+                })
+                .collect();
+            assert_eq!(scan, want, "n={n}");
+            assert_eq!(total, acc);
+        }
+    }
+
+    #[test]
+    fn blelloch_is_work_efficient_vs_hillis_steele() {
+        let n = 1024usize;
+        let input: Vec<i64> = (0..n as i64).collect();
+        let (_, _, b) = scan_blelloch(&input).unwrap();
+        let (_, hs) = scan_hillis_steele(&input).unwrap();
+        // Blelloch does Θ(n) combine work; Hillis–Steele Θ(n log n).
+        assert!(
+            b.work() * 2 < hs.work(),
+            "blelloch {} vs hillis-steele {}",
+            b.work(),
+            hs.work()
+        );
+        // But Blelloch's span is about double.
+        assert!(b.steps() > hs.steps());
+    }
+
+    #[test]
+    fn broadcast_fills_all_cells_in_log_steps() {
+        for n in [1usize, 2, 3, 8, 33, 128] {
+            let (cells, pram) = broadcast_erew(9, n).unwrap();
+            assert_eq!(cells, vec![9; n], "n={n}");
+            if n > 1 {
+                assert_eq!(pram.steps(), closed_form::ceil_log2(n as u64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn crcw_max_constant_steps() {
+        let input: Vec<i64> = vec![3, -1, 41, 7, 41, 0];
+        let (max, pram) = max_crcw_constant_time(&input).unwrap();
+        assert_eq!(max, 41);
+        // Steps independent of n: init flags, compare, publish.
+        assert_eq!(pram.steps(), 3);
+        // Work is quadratic.
+        assert!(pram.work() >= (input.len() * input.len()) as u64);
+    }
+
+    #[test]
+    fn crcw_max_single_element_and_negatives() {
+        let (max, _) = max_crcw_constant_time(&[-5]).unwrap();
+        assert_eq!(max, -5);
+        let (max, _) = max_crcw_constant_time(&[-5, -2, -9]).unwrap();
+        assert_eq!(max, -2);
+    }
+
+    #[test]
+    fn list_rank_simple_chain() {
+        // 0 -> 1 -> 2 -> 3 -> 3 (tail).
+        let next = vec![1, 2, 3, 3];
+        let (ranks, pram) = list_rank(&next).unwrap();
+        assert_eq!(ranks, vec![3, 2, 1, 0]);
+        // Span: init + 2 per round, ceil(log2 4) = 2 rounds.
+        assert_eq!(pram.steps(), 1 + 2 * 2);
+    }
+
+    #[test]
+    fn list_rank_scrambled_order() {
+        // A list threaded through the array in scrambled order:
+        // 4 -> 0 -> 2 -> 5 -> 1 -> 3 -> 3.
+        let next = vec![2, 3, 5, 3, 0, 1];
+        let (ranks, _) = list_rank(&next).unwrap();
+        // Distances to tail (node 3): node4=5, node0=4, node2=3, node5=2,
+        // node1=1, node3=0.
+        assert_eq!(ranks, vec![4, 1, 3, 0, 5, 2]);
+    }
+
+    #[test]
+    fn list_rank_singleton() {
+        let (ranks, _) = list_rank(&[0]).unwrap();
+        assert_eq!(ranks, vec![0]);
+    }
+
+
+    #[test]
+    fn odd_even_sort_correct_various_inputs() {
+        for data in [
+            vec![],
+            vec![5],
+            vec![2, 1],
+            vec![3, 1, 4, 1, 5, 9, 2, 6],
+            (0..20).rev().collect::<Vec<i64>>(),
+            vec![7; 10],
+            (0..33).map(|i| (i * 29) % 17).collect::<Vec<i64>>(),
+        ] {
+            let (sorted, _) = odd_even_transposition_sort(&data).unwrap();
+            let mut want = data.clone();
+            want.sort();
+            assert_eq!(sorted, want, "input {data:?}");
+        }
+    }
+
+    #[test]
+    fn odd_even_sort_span_is_linear_work_quadratic() {
+        let n = 32usize;
+        let data: Vec<i64> = (0..n as i64).rev().collect();
+        let (_, pram) = odd_even_transposition_sort(&data).unwrap();
+        // 3 steps per round, n rounds.
+        assert_eq!(pram.steps(), 3 * n as u64);
+        // Work ~ 3 * n/2 per round * n rounds.
+        let ws = pram.work_span();
+        assert!(ws.work >= (n * n) as u64, "work {}", ws.work);
+        // Span linear => parallelism ~ n/2: far below reduce's n/log n.
+        assert!(ws.parallelism() < n as f64);
+    }
+    #[test]
+    fn erew_would_reject_naive_broadcast() {
+        // Direct demonstration of why broadcast_erew exists: everyone
+        // reading cell 0 at once is an EREW violation.
+        let mut pram = Pram::new(Mode::Erew, 8);
+        let err = pram
+            .step(&[0, 1, 2], |ctx| {
+                let v = ctx.read(0);
+                Some((ctx.id() + 1, v))
+            })
+            .unwrap_err();
+        assert!(matches!(err, PramError::ReadConflict { addr: 0, .. }));
+    }
+}
+
+/// Odd-even transposition sort on an EREW PRAM: `n` rounds of disjoint
+/// compare-exchanges, span Θ(n), work Θ(n²) — the network-style sort
+/// CS41 contrasts with work-efficient Θ(n log n) sorts.
+///
+/// A PRAM processor writes once per step, and a compare-exchange must
+/// write two cells without losing either old value; each round is
+/// therefore three EREW steps through a scratch region at `n..2n`:
+/// (A) save the pair minimum to scratch, (B) write the maximum to the
+/// right slot (old values still intact), (C) copy the minimum to the
+/// left slot.
+pub fn odd_even_transposition_sort(input: &[i64]) -> Result<(Vec<i64>, Pram), PramError> {
+    let n = input.len();
+    let mut pram = Pram::new(Mode::Erew, (2 * n).max(1));
+    pram.load(0, input);
+    if n <= 1 {
+        return Ok((input.to_vec(), pram));
+    }
+    for round in 0..n {
+        let start = round % 2; // even rounds pair (0,1),(2,3)…; odd (1,2),(3,4)…
+        if n - start < 2 {
+            continue;
+        }
+        let procs: Vec<usize> = (0..(n - start) / 2).collect();
+        let s = start;
+        // A: scratch[pair-left] = min(left, right).
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            let a = ctx.read(i);
+            let b = ctx.read(i + 1);
+            Some((n + i, a.min(b)))
+        })?;
+        // B: right = max(left, right) — both originals still in place.
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            let a = ctx.read(i);
+            let b = ctx.read(i + 1);
+            Some((i + 1, a.max(b)))
+        })?;
+        // C: left = saved minimum.
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            Some((i, ctx.read(n + i)))
+        })?;
+    }
+    Ok((pram.peek_range(0..n).to_vec(), pram))
+}

@@ -1,0 +1,27 @@
+//! # pdc-pram — a PRAM simulator with work/span accounting
+//!
+//! CS41's parallel-models unit (paper Table III) teaches the PRAM:
+//! synchronous processors sharing a memory, classified by how they may
+//! collide — EREW, CREW, and the CRCW variants. This crate simulates that
+//! machine *with the collision rules enforced*: an algorithm that performs
+//! a concurrent read under EREW is a bug, and the simulator reports it as
+//! one.
+//!
+//! * [`machine`] — the simulator: synchronous steps, access-mode
+//!   checking, step/work counters, and Brent-style time-on-`p` replay.
+//! * [`algos`] — the classic algorithms analyzed in CS41: parallel
+//!   reduce, Hillis–Steele and Blelloch scans, EREW broadcast by
+//!   doubling, the O(1) CRCW maximum, and list ranking by pointer
+//!   jumping.
+//!
+//! Every algorithm returns both its result and the simulator's measured
+//! cost, which the tests compare against the closed-form work/span from
+//! `pdc_core::workspan::closed_form`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod machine;
+
+pub use machine::{Mode, Pram, PramError};

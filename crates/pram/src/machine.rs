@@ -1,0 +1,407 @@
+//! The PRAM machine: synchronous shared memory with collision checking.
+//!
+//! One **step** is the synchronous PRAM cycle: every active processor
+//! reads (from the *pre-step* memory image), computes, and optionally
+//! writes; all writes commit together at the end of the step. The
+//! simulator enforces the chosen [`Mode`]'s collision rules and counts
+//! *steps* (span), *work* (total processor activations), and the
+//! per-step active-processor profile, from which [`Pram::time_on`]
+//! replays Brent's theorem for any finite processor count.
+
+use pdc_core::workspan::WorkSpan;
+
+/// PRAM memory-access discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent write allowed if all writers agree on the value.
+    CrcwCommon,
+    /// Concurrent write: an arbitrary writer wins (deterministic in the
+    /// simulator: a seeded pick, documented as "you may not rely on it").
+    CrcwArbitrary,
+    /// Concurrent write: the lowest-numbered processor wins.
+    CrcwPriority,
+}
+
+/// Collision and bounds errors detected by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Two processors read the same address under EREW.
+    ReadConflict {
+        /// The contested address.
+        addr: usize,
+        /// Two of the conflicting processors.
+        procs: (usize, usize),
+    },
+    /// Two processors wrote the same address under EREW/CREW.
+    WriteConflict {
+        /// The contested address.
+        addr: usize,
+        /// Two of the conflicting processors.
+        procs: (usize, usize),
+    },
+    /// CRCW-Common writers disagreed on the value.
+    CommonValueMismatch {
+        /// The contested address.
+        addr: usize,
+        /// The two differing values.
+        values: (i64, i64),
+    },
+    /// Address beyond the configured memory size.
+    OutOfBounds {
+        /// The offending address.
+        addr: usize,
+    },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PramError::ReadConflict { addr, procs } => write!(
+                f,
+                "EREW read conflict at address {addr} (procs {} and {})",
+                procs.0, procs.1
+            ),
+            PramError::WriteConflict { addr, procs } => write!(
+                f,
+                "write conflict at address {addr} (procs {} and {})",
+                procs.0, procs.1
+            ),
+            PramError::CommonValueMismatch { addr, values } => write!(
+                f,
+                "CRCW-common writers disagree at {addr}: {} vs {}",
+                values.0, values.1
+            ),
+            PramError::OutOfBounds { addr } => write!(f, "address {addr} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+/// A handle through which a processor reads memory during a step.
+pub struct ProcCtx<'a> {
+    pram: &'a Pram,
+    proc_id: usize,
+    reads: std::cell::RefCell<&'a mut Vec<(usize, usize)>>, // (addr, proc)
+}
+
+impl ProcCtx<'_> {
+    /// This processor's id.
+    pub fn id(&self) -> usize {
+        self.proc_id
+    }
+
+    /// Read an address (recorded for collision checking). Reads observe
+    /// the memory image from *before* this step's writes.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds (converted to `PramError` by `step`).
+    pub fn read(&self, addr: usize) -> i64 {
+        assert!(addr < self.pram.mem.len(), "oob:{addr}");
+        self.reads.borrow_mut().push((addr, self.proc_id));
+        self.pram.mem[addr]
+    }
+}
+
+/// The PRAM simulator.
+#[derive(Debug, Clone)]
+pub struct Pram {
+    mem: Vec<i64>,
+    mode: Mode,
+    steps: u64,
+    work: u64,
+    /// Active-processor count per step (for Brent replay).
+    profile: Vec<u64>,
+    arbitrary_seed: u64,
+}
+
+impl Pram {
+    /// Create a PRAM with `words` zeroed memory cells under `mode`.
+    pub fn new(mode: Mode, words: usize) -> Self {
+        Pram {
+            mem: vec![0; words],
+            mode,
+            steps: 0,
+            work: 0,
+            profile: Vec::new(),
+            arbitrary_seed: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Load initial contents starting at address `base`.
+    ///
+    /// # Panics
+    /// Panics if the data does not fit.
+    pub fn load(&mut self, base: usize, data: &[i64]) {
+        assert!(base + data.len() <= self.mem.len(), "load out of bounds");
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Read memory outside any step (host access; not counted).
+    pub fn peek(&self, addr: usize) -> i64 {
+        self.mem[addr]
+    }
+
+    /// A slice of memory (host access).
+    pub fn peek_range(&self, range: std::ops::Range<usize>) -> &[i64] {
+        &self.mem[range]
+    }
+
+    /// The access mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Steps executed so far (= span, since each step costs 1).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total processor activations (= work).
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Measured cost as a [`WorkSpan`].
+    pub fn work_span(&self) -> WorkSpan {
+        WorkSpan::new(self.work.max(self.steps), self.steps)
+    }
+
+    /// Brent replay: simulated time on `p` physical processors, where a
+    /// step with `a` active logical processors takes `ceil(a/p)` time.
+    pub fn time_on(&self, p: usize) -> u64 {
+        assert!(p > 0);
+        self.profile.iter().map(|&a| a.div_ceil(p as u64)).sum()
+    }
+
+    /// Execute one synchronous step.
+    ///
+    /// `procs` lists the active processor ids; `f` is invoked once per
+    /// active processor with a [`ProcCtx`] for reading, and returns an
+    /// optional `(address, value)` write. All reads see pre-step memory;
+    /// all writes commit afterwards, subject to the mode's rules.
+    pub fn step<F>(&mut self, procs: &[usize], mut f: F) -> Result<(), PramError>
+    where
+        F: FnMut(&ProcCtx<'_>) -> Option<(usize, i64)>,
+    {
+        if procs.is_empty() {
+            return Ok(());
+        }
+        let mut reads: Vec<(usize, usize)> = Vec::new();
+        let mut writes: Vec<(usize, i64, usize)> = Vec::new(); // (addr, val, proc)
+        for &p in procs {
+            let ctx = ProcCtx {
+                pram: self,
+                proc_id: p,
+                reads: std::cell::RefCell::new(&mut reads),
+            };
+            if let Some((addr, val)) = f(&ctx) {
+                if addr >= self.mem.len() {
+                    return Err(PramError::OutOfBounds { addr });
+                }
+                writes.push((addr, val, p));
+            }
+        }
+        // Collision checks.
+        if self.mode == Mode::Erew {
+            let mut sorted = reads.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(PramError::ReadConflict {
+                        addr: w[0].0,
+                        procs: (w[0].1, w[1].1),
+                    });
+                }
+            }
+        }
+        writes.sort_unstable_by_key(|&(addr, _, p)| (addr, p));
+        match self.mode {
+            Mode::Erew | Mode::Crew => {
+                for w in writes.windows(2) {
+                    if w[0].0 == w[1].0 {
+                        return Err(PramError::WriteConflict {
+                            addr: w[0].0,
+                            procs: (w[0].2, w[1].2),
+                        });
+                    }
+                }
+                for &(addr, val, _) in &writes {
+                    self.mem[addr] = val;
+                }
+            }
+            Mode::CrcwCommon => {
+                for w in writes.windows(2) {
+                    if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                        return Err(PramError::CommonValueMismatch {
+                            addr: w[0].0,
+                            values: (w[0].1, w[1].1),
+                        });
+                    }
+                }
+                for &(addr, val, _) in &writes {
+                    self.mem[addr] = val;
+                }
+            }
+            Mode::CrcwPriority => {
+                // Lowest proc id wins: writes sorted by (addr, proc), so
+                // the first entry per address wins — iterate and skip
+                // later duplicates.
+                let mut last_addr = usize::MAX;
+                for &(addr, val, _) in &writes {
+                    if addr != last_addr {
+                        self.mem[addr] = val;
+                        last_addr = addr;
+                    }
+                }
+            }
+            Mode::CrcwArbitrary => {
+                // Deterministic pseudo-arbitrary pick per address.
+                let mut i = 0;
+                while i < writes.len() {
+                    let addr = writes[i].0;
+                    let mut j = i;
+                    while j < writes.len() && writes[j].0 == addr {
+                        j += 1;
+                    }
+                    let group = &writes[i..j];
+                    let pick = (self
+                        .arbitrary_seed
+                        .wrapping_mul(addr as u64 ^ self.steps.wrapping_add(1))
+                        >> 33) as usize
+                        % group.len();
+                    self.mem[addr] = group[pick].1;
+                    i = j;
+                }
+            }
+        }
+        self.steps += 1;
+        self.work += procs.len() as u64;
+        self.profile.push(procs.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_reads_pre_step_memory() {
+        // Synchronous swap: p0 writes mem[1] from mem[0], p1 writes
+        // mem[0] from mem[1] — both read old values.
+        let mut pram = Pram::new(Mode::Erew, 2);
+        pram.load(0, &[10, 20]);
+        pram.step(&[0, 1], |ctx| {
+            if ctx.id() == 0 {
+                Some((1, ctx.read(0)))
+            } else {
+                Some((0, ctx.read(1)))
+            }
+        })
+        .unwrap();
+        assert_eq!(pram.peek(0), 20);
+        assert_eq!(pram.peek(1), 10);
+    }
+
+    #[test]
+    fn erew_detects_read_conflict() {
+        let mut pram = Pram::new(Mode::Erew, 4);
+        let err = pram
+            .step(&[0, 1], |ctx| {
+                ctx.read(2);
+                None
+            })
+            .unwrap_err();
+        assert!(matches!(err, PramError::ReadConflict { addr: 2, .. }));
+    }
+
+    #[test]
+    fn crew_allows_concurrent_reads() {
+        let mut pram = Pram::new(Mode::Crew, 4);
+        pram.load(2, &[7]);
+        pram.step(&[0, 1, 2], |ctx| {
+            assert_eq!(ctx.read(2), 7);
+            None
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crew_detects_write_conflict() {
+        let mut pram = Pram::new(Mode::Crew, 4);
+        let err = pram
+            .step(&[0, 1], |ctx| Some((3, ctx.id() as i64)))
+            .unwrap_err();
+        assert!(matches!(err, PramError::WriteConflict { addr: 3, .. }));
+    }
+
+    #[test]
+    fn crcw_common_agreement_ok_disagreement_err() {
+        let mut pram = Pram::new(Mode::CrcwCommon, 4);
+        pram.step(&[0, 1, 2], |_| Some((0, 42))).unwrap();
+        assert_eq!(pram.peek(0), 42);
+        let err = pram
+            .step(&[0, 1], |ctx| Some((0, ctx.id() as i64)))
+            .unwrap_err();
+        assert!(matches!(err, PramError::CommonValueMismatch { .. }));
+    }
+
+    #[test]
+    fn crcw_priority_lowest_wins() {
+        let mut pram = Pram::new(Mode::CrcwPriority, 4);
+        pram.step(&[3, 1, 2], |ctx| Some((0, ctx.id() as i64 * 100)))
+            .unwrap();
+        assert_eq!(pram.peek(0), 100, "proc 1 is the lowest writer");
+    }
+
+    #[test]
+    fn crcw_arbitrary_picks_one_of_the_writers() {
+        let mut pram = Pram::new(Mode::CrcwArbitrary, 4);
+        pram.step(&[0, 1, 2], |ctx| Some((0, 10 + ctx.id() as i64)))
+            .unwrap();
+        let v = pram.peek(0);
+        assert!((10..=12).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn out_of_bounds_write_reported() {
+        let mut pram = Pram::new(Mode::Crew, 2);
+        let err = pram.step(&[0], |_| Some((99, 1))).unwrap_err();
+        assert_eq!(err, PramError::OutOfBounds { addr: 99 });
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut pram = Pram::new(Mode::Crew, 8);
+        pram.step(&[0, 1, 2, 3], |_| None).unwrap();
+        pram.step(&[0, 1], |_| None).unwrap();
+        assert_eq!(pram.steps(), 2);
+        assert_eq!(pram.work(), 6);
+        let ws = pram.work_span();
+        assert_eq!(ws.span, 2);
+        assert_eq!(ws.work, 6);
+    }
+
+    #[test]
+    fn empty_step_is_free() {
+        let mut pram = Pram::new(Mode::Crew, 1);
+        pram.step(&[], |_| None).unwrap();
+        assert_eq!(pram.steps(), 0);
+    }
+
+    #[test]
+    fn brent_replay_time_on() {
+        let mut pram = Pram::new(Mode::Crew, 8);
+        pram.step(&[0, 1, 2, 3], |_| None).unwrap(); // 4 active
+        pram.step(&[0, 1], |_| None).unwrap(); // 2 active
+        assert_eq!(pram.time_on(1), 6); // 4 + 2
+        assert_eq!(pram.time_on(2), 3); // 2 + 1
+        assert_eq!(pram.time_on(4), 2); // 1 + 1
+        assert_eq!(pram.time_on(100), 2); // bounded by span
+    }
+}

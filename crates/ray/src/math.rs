@@ -1,0 +1,176 @@
+//! Minimal 3-vector math for the ray tracer.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component `f64` vector (points, directions, colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3::new(1.0, 1.0, 1.0);
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics (debug) on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        debug_assert!(l > 0.0, "normalizing zero vector");
+        self / l
+    }
+
+    /// Componentwise product (color modulation).
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Reflect `self` about unit normal `n`.
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Clamp each component to `[0, 1]` (final color).
+    pub fn saturate(self) -> Vec3 {
+        Vec3::new(
+            self.x.clamp(0.0, 1.0),
+            self.y.clamp(0.0, 1.0),
+            self.z.clamp(0.0, 1.0),
+        )
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A ray: origin + t * direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: Vec3,
+    /// Direction (unit length by convention).
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// The point at parameter `t`.
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross_identities() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        // Cross is perpendicular to both inputs.
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_gives_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 12.0).normalized();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_preserves_length_and_flips_normal_component() {
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let v = Vec3::new(1.0, -1.0, 0.0);
+        let r = v.reflect(n);
+        assert_eq!(r, Vec3::new(1.0, 1.0, 0.0));
+        assert!((r.length() - v.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_at() {
+        let r = Ray {
+            origin: Vec3::new(1.0, 0.0, 0.0),
+            dir: Vec3::new(0.0, 1.0, 0.0),
+        };
+        assert_eq!(r.at(2.5), Vec3::new(1.0, 2.5, 0.0));
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        let v = Vec3::new(-0.5, 0.5, 2.0).saturate();
+        assert_eq!(v, Vec3::new(0.0, 0.5, 1.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Scene description: geometry, materials, lights, camera.
+
+use crate::math::{Ray, Vec3};
+
+/// Surface material.
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    /// Diffuse (Lambertian) color.
+    pub diffuse: Vec3,
+    /// Specular highlight strength.
+    pub specular: f64,
+    /// Phong exponent.
+    pub shininess: f64,
+    /// Mirror reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Material {
+    /// A matte material of the given color.
+    pub fn matte(color: Vec3) -> Self {
+        Material {
+            diffuse: color,
+            specular: 0.0,
+            shininess: 1.0,
+            reflectivity: 0.0,
+        }
+    }
+
+    /// A shiny material.
+    pub fn shiny(color: Vec3, reflectivity: f64) -> Self {
+        Material {
+            diffuse: color,
+            specular: 0.6,
+            shininess: 64.0,
+            reflectivity,
+        }
+    }
+}
+
+/// A sphere.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    /// Center.
+    pub center: Vec3,
+    /// Radius.
+    pub radius: f64,
+    /// Surface material.
+    pub material: Material,
+}
+
+/// An infinite horizontal plane `y = height` with a checker pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerPlane {
+    /// Plane height.
+    pub height: f64,
+    /// Checker cell size.
+    pub cell: f64,
+    /// Even-cell material.
+    pub a: Material,
+    /// Odd-cell material.
+    pub b: Material,
+}
+
+/// A point light.
+#[derive(Debug, Clone, Copy)]
+pub struct Light {
+    /// Position.
+    pub position: Vec3,
+    /// Intensity (color).
+    pub intensity: Vec3,
+}
+
+/// Hit record.
+#[derive(Debug, Clone, Copy)]
+pub struct Hit {
+    /// Ray parameter at the hit.
+    pub t: f64,
+    /// Hit point.
+    pub point: Vec3,
+    /// Surface normal (unit, toward the ray origin side).
+    pub normal: Vec3,
+    /// Material at the hit.
+    pub material: Material,
+}
+
+const EPS: f64 = 1e-9;
+
+fn hit_sphere(s: &Sphere, ray: &Ray, t_max: f64) -> Option<Hit> {
+    let oc = ray.origin - s.center;
+    let a = ray.dir.dot(ray.dir);
+    let half_b = oc.dot(ray.dir);
+    let c = oc.dot(oc) - s.radius * s.radius;
+    let disc = half_b * half_b - a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_d = disc.sqrt();
+    let mut t = (-half_b - sqrt_d) / a;
+    if t < EPS {
+        t = (-half_b + sqrt_d) / a;
+    }
+    if t < EPS || t >= t_max {
+        return None;
+    }
+    let point = ray.at(t);
+    let mut normal = (point - s.center) / s.radius;
+    if normal.dot(ray.dir) > 0.0 {
+        normal = -normal;
+    }
+    Some(Hit {
+        t,
+        point,
+        normal,
+        material: s.material,
+    })
+}
+
+fn hit_plane(p: &CheckerPlane, ray: &Ray, t_max: f64) -> Option<Hit> {
+    if ray.dir.y.abs() < EPS {
+        return None;
+    }
+    let t = (p.height - ray.origin.y) / ray.dir.y;
+    if t < EPS || t >= t_max {
+        return None;
+    }
+    let point = ray.at(t);
+    let cx = (point.x / p.cell).floor() as i64;
+    let cz = (point.z / p.cell).floor() as i64;
+    let material = if (cx + cz).rem_euclid(2) == 0 { p.a } else { p.b };
+    let normal = if ray.origin.y > p.height {
+        Vec3::new(0.0, 1.0, 0.0)
+    } else {
+        Vec3::new(0.0, -1.0, 0.0)
+    };
+    Some(Hit {
+        t,
+        point,
+        normal,
+        material,
+    })
+}
+
+/// The scene: geometry + lights + background.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Spheres.
+    pub spheres: Vec<Sphere>,
+    /// Optional ground plane.
+    pub plane: Option<CheckerPlane>,
+    /// Point lights.
+    pub lights: Vec<Light>,
+    /// Background color.
+    pub background: Vec3,
+    /// Ambient term.
+    pub ambient: Vec3,
+}
+
+impl Scene {
+    /// Closest hit along `ray`, if any.
+    pub fn hit(&self, ray: &Ray) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        let mut t_max = f64::INFINITY;
+        for s in &self.spheres {
+            if let Some(h) = hit_sphere(s, ray, t_max) {
+                t_max = h.t;
+                best = Some(h);
+            }
+        }
+        if let Some(p) = &self.plane {
+            if let Some(h) = hit_plane(p, ray, t_max) {
+                best = Some(h);
+            }
+        }
+        best
+    }
+
+    /// Is the segment from `point` toward `light_pos` blocked?
+    pub fn in_shadow(&self, point: Vec3, light_pos: Vec3) -> bool {
+        let dir = light_pos - point;
+        let dist = dir.length();
+        let ray = Ray {
+            origin: point + dir / dist * 1e-6,
+            dir: dir / dist,
+        };
+        for s in &self.spheres {
+            if hit_sphere(s, &ray, dist).is_some() {
+                return true;
+            }
+        }
+        // The ground plane cannot shadow points above it from lights
+        // above it; skip it for simplicity (documented approximation).
+        false
+    }
+
+    /// The demo scene used by the examples and tests: three spheres on a
+    /// checkered floor, two lights.
+    pub fn demo() -> Scene {
+        Scene {
+            spheres: vec![
+                Sphere {
+                    center: Vec3::new(0.0, 0.0, -3.0),
+                    radius: 1.0,
+                    material: Material::shiny(Vec3::new(0.9, 0.2, 0.2), 0.35),
+                },
+                Sphere {
+                    center: Vec3::new(-1.8, -0.4, -2.4),
+                    radius: 0.6,
+                    material: Material::matte(Vec3::new(0.2, 0.5, 0.9)),
+                },
+                Sphere {
+                    center: Vec3::new(1.7, -0.55, -2.2),
+                    radius: 0.45,
+                    material: Material::shiny(Vec3::new(0.2, 0.8, 0.3), 0.6),
+                },
+            ],
+            plane: Some(CheckerPlane {
+                height: -1.0,
+                cell: 1.0,
+                a: Material::matte(Vec3::new(0.85, 0.85, 0.85)),
+                b: Material::matte(Vec3::new(0.15, 0.15, 0.15)),
+            }),
+            lights: vec![
+                Light {
+                    position: Vec3::new(5.0, 6.0, 0.0),
+                    intensity: Vec3::new(0.9, 0.9, 0.9),
+                },
+                Light {
+                    position: Vec3::new(-4.0, 3.0, 1.0),
+                    intensity: Vec3::new(0.35, 0.35, 0.45),
+                },
+            ],
+            background: Vec3::new(0.05, 0.07, 0.12),
+            ambient: Vec3::new(0.08, 0.08, 0.08),
+        }
+    }
+}
+
+/// A pinhole camera.
+#[derive(Debug, Clone, Copy)]
+pub struct Camera {
+    /// Eye position.
+    pub origin: Vec3,
+    /// Vertical field of view in degrees.
+    pub fov_deg: f64,
+}
+
+impl Camera {
+    /// The demo camera at the origin looking down -z.
+    pub fn demo() -> Camera {
+        Camera {
+            origin: Vec3::new(0.0, 0.2, 1.5),
+            fov_deg: 55.0,
+        }
+    }
+
+    /// The primary ray through pixel `(px, py)` of a `w × h` image.
+    pub fn primary_ray(&self, px: usize, py: usize, w: usize, h: usize) -> Ray {
+        let aspect = w as f64 / h as f64;
+        let half_h = (self.fov_deg.to_radians() / 2.0).tan();
+        let half_w = half_h * aspect;
+        // Pixel center in NDC.
+        let u = ((px as f64 + 0.5) / w as f64 * 2.0 - 1.0) * half_w;
+        let v = (1.0 - (py as f64 + 0.5) / h as f64 * 2.0) * half_h;
+        Ray {
+            origin: self.origin,
+            dir: Vec3::new(u, v, -1.0).normalized(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ray_hits_centered_sphere() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, -3.0),
+            radius: 1.0,
+            material: Material::matte(Vec3::ONE),
+        };
+        let ray = Ray {
+            origin: Vec3::ZERO,
+            dir: Vec3::new(0.0, 0.0, -1.0),
+        };
+        let h = hit_sphere(&s, &ray, f64::INFINITY).expect("hit");
+        assert!((h.t - 2.0).abs() < 1e-12);
+        assert_eq!(h.normal, Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn ray_misses_off_axis_sphere() {
+        let s = Sphere {
+            center: Vec3::new(10.0, 0.0, -3.0),
+            radius: 1.0,
+            material: Material::matte(Vec3::ONE),
+        };
+        let ray = Ray {
+            origin: Vec3::ZERO,
+            dir: Vec3::new(0.0, 0.0, -1.0),
+        };
+        assert!(hit_sphere(&s, &ray, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn closest_hit_wins() {
+        let scene = Scene::demo();
+        let ray = Ray {
+            origin: Vec3::new(0.0, 0.0, 1.5),
+            dir: Vec3::new(0.0, 0.0, -1.0),
+        };
+        let h = scene.hit(&ray).expect("center sphere");
+        // The red sphere front surface is at z = -2, so t = 3.5.
+        assert!((h.t - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plane_checker_alternates() {
+        let p = CheckerPlane {
+            height: 0.0,
+            cell: 1.0,
+            a: Material::matte(Vec3::ONE),
+            b: Material::matte(Vec3::ZERO),
+        };
+        let down = |x: f64, z: f64| {
+            let ray = Ray {
+                origin: Vec3::new(x, 1.0, z),
+                dir: Vec3::new(0.0, -1.0, 0.0),
+            };
+            hit_plane(&p, &ray, f64::INFINITY).unwrap().material.diffuse
+        };
+        assert_eq!(down(0.5, 0.5), Vec3::ONE);
+        assert_eq!(down(1.5, 0.5), Vec3::ZERO);
+        assert_eq!(down(1.5, 1.5), Vec3::ONE);
+        assert_eq!(down(-0.5, 0.5), Vec3::ZERO, "negative cells alternate too");
+    }
+
+    #[test]
+    fn shadow_detects_blocker() {
+        let scene = Scene::demo();
+        // A point directly below the big sphere, light directly above it.
+        let point = Vec3::new(0.0, -1.0, -3.0);
+        let light_above = Vec3::new(0.0, 5.0, -3.0);
+        assert!(scene.in_shadow(point, light_above));
+        // A far-away floor point with a clear line to the light.
+        let clear = Vec3::new(4.0, -1.0, -1.0);
+        assert!(!scene.in_shadow(clear, light_above));
+    }
+
+    #[test]
+    fn camera_rays_are_unit_and_centered() {
+        let cam = Camera::demo();
+        let r = cam.primary_ray(50, 50, 100, 100);
+        assert!((r.dir.length() - 1.0).abs() < 1e-12);
+        // The center pixel looks essentially down -z.
+        assert!(r.dir.z < -0.99);
+    }
+}

@@ -1,0 +1,228 @@
+//! The producer-consumer bounded buffer, solved the classic way:
+//! two counting semaphores (`slots`, `items`) plus a mutex on the ring.
+//!
+//! This is the canonical CS31 synchronization exercise (paper Table II,
+//! "Producer-Consumer"): semaphores provide the *counting* (block when
+//! full/empty), the lock provides *mutual exclusion* on the indices, and
+//! the tests demonstrate both no-loss and FIFO-per-producer properties.
+
+use crate::semaphore::Semaphore;
+use crate::spin::SpinLock;
+use std::collections::VecDeque;
+
+/// A fixed-capacity blocking FIFO queue (multi-producer, multi-consumer).
+pub struct BoundedBuffer<T> {
+    queue: SpinLock<VecDeque<T>>,
+    slots: Semaphore,
+    items: Semaphore,
+    capacity: usize,
+}
+
+impl<T> BoundedBuffer<T> {
+    /// Create a buffer with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BoundedBuffer {
+            queue: SpinLock::new(VecDeque::with_capacity(capacity)),
+            slots: Semaphore::new(capacity as i64),
+            items: Semaphore::new(0),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current length (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether currently empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert, blocking while the buffer is full.
+    pub fn put(&self, value: T) {
+        self.slots.acquire();
+        self.queue.lock().push_back(value);
+        self.items.release();
+    }
+
+    /// Insert without blocking; returns the value back if full.
+    pub fn try_put(&self, value: T) -> Result<(), T> {
+        if !self.slots.try_acquire() {
+            return Err(value);
+        }
+        self.queue.lock().push_back(value);
+        self.items.release();
+        Ok(())
+    }
+
+    /// Remove, blocking while the buffer is empty.
+    pub fn take(&self) -> T {
+        self.items.acquire();
+        let v = self
+            .queue
+            .lock()
+            .pop_front()
+            .expect("items semaphore guarantees an element");
+        self.slots.release();
+        v
+    }
+
+    /// Remove without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        if !self.items.try_acquire() {
+            return None;
+        }
+        let v = self
+            .queue
+            .lock()
+            .pop_front()
+            .expect("items semaphore guarantees an element");
+        self.slots.release();
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_single_thread() {
+        let b = BoundedBuffer::new(4);
+        b.put(1);
+        b.put(2);
+        b.put(3);
+        assert_eq!(b.take(), 1);
+        assert_eq!(b.take(), 2);
+        assert_eq!(b.take(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn try_put_fails_when_full() {
+        let b = BoundedBuffer::new(2);
+        assert!(b.try_put(1).is_ok());
+        assert!(b.try_put(2).is_ok());
+        assert_eq!(b.try_put(3), Err(3));
+        assert_eq!(b.try_take(), Some(1));
+        assert!(b.try_put(3).is_ok());
+    }
+
+    #[test]
+    fn try_take_fails_when_empty() {
+        let b: BoundedBuffer<u8> = BoundedBuffer::new(1);
+        assert_eq!(b.try_take(), None);
+    }
+
+    #[test]
+    fn producer_blocks_on_full_consumer_unblocks() {
+        let b = Arc::new(BoundedBuffer::new(1));
+        b.put(0);
+        let b2 = Arc::clone(&b);
+        let producer = thread::spawn(move || b2.put(1)); // must block
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.len(), 1, "producer still blocked");
+        assert_eq!(b.take(), 0);
+        producer.join().unwrap();
+        assert_eq!(b.take(), 1);
+    }
+
+    #[test]
+    fn no_items_lost_multi_producer_multi_consumer() {
+        let b = Arc::new(BoundedBuffer::new(8));
+        let producers = 4;
+        let per_producer = 2_500usize;
+        let consumers = 3;
+        let total = producers * per_producer;
+
+        let phandles: Vec<_> = (0..producers)
+            .map(|p| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    for i in 0..per_producer {
+                        b.put(p * per_producer + i);
+                    }
+                })
+            })
+            .collect();
+        let chandles: Vec<_> = (0..consumers)
+            .map(|c| {
+                let b = Arc::clone(&b);
+                // Consumers split the items; the last consumer takes the
+                // remainder.
+                let mine = if c == consumers - 1 {
+                    total - (total / consumers) * (consumers - 1)
+                } else {
+                    total / consumers
+                };
+                thread::spawn(move || (0..mine).map(|_| b.take()).collect::<Vec<usize>>())
+            })
+            .collect();
+        for h in phandles {
+            h.join().unwrap();
+        }
+        let mut seen = HashSet::new();
+        for h in chandles {
+            for v in h.join().unwrap() {
+                assert!(seen.insert(v), "duplicate item {v}");
+            }
+        }
+        assert_eq!(seen.len(), total, "every item consumed exactly once");
+    }
+
+    #[test]
+    fn per_producer_order_preserved_single_consumer() {
+        let b = Arc::new(BoundedBuffer::new(4));
+        let b2 = Arc::clone(&b);
+        let producer = thread::spawn(move || {
+            for i in 0..1000u64 {
+                b2.put(i);
+            }
+        });
+        let mut last = None;
+        for _ in 0..1000 {
+            let v = b.take();
+            if let Some(prev) = last {
+                assert!(v > prev, "single-producer FIFO violated");
+            }
+            last = Some(v);
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let b = Arc::new(BoundedBuffer::new(3));
+        let b2 = Arc::clone(&b);
+        let producer = thread::spawn(move || {
+            for i in 0..500 {
+                b2.put(i);
+            }
+        });
+        for _ in 0..500 {
+            assert!(b.len() <= 3, "buffer exceeded capacity");
+            let _ = b.take();
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BoundedBuffer::<u8>::new(0);
+    }
+}

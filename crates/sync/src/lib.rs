@@ -1,0 +1,52 @@
+//! # pdc-sync — synchronization primitives built from atomics
+//!
+//! CS31/CS45 teach synchronization by *building* it: locks, semaphores,
+//! barriers, condition-style waiting, and the classic concurrency problems
+//! (producer-consumer, dining philosophers, readers-writers). This crate
+//! implements each primitive from `std::sync::atomic` plus
+//! `thread::park`/`unpark` (our stand-in for futexes), in the style of
+//! Mara Bos's *Rust Atomics and Locks*.
+//!
+//! Every unsafe block carries a safety argument; the public APIs are all
+//! safe and data-race free by construction (guards tie access to lock
+//! ownership through the borrow checker).
+//!
+//! * [`spin::SpinLock`] — test-and-set spinlock with exponential backoff.
+//! * [`ticket::TicketLock`] — FIFO-fair ticket lock.
+//! * [`mutex::PdcMutex`] — a parking mutex (spin-then-park).
+//! * [`semaphore::Semaphore`] — counting semaphore.
+//! * [`barrier::SenseBarrier`] — sense-reversing reusable barrier.
+//! * [`rwlock::PdcRwLock`] — writer-preferring readers-writer lock.
+//! * [`once::OnceCell`] — one-shot lazy initialization.
+//! * [`buffer::BoundedBuffer`] — the producer-consumer bounded buffer.
+//! * [`condvar::PdcCondvar`] — a condition variable over [`mutex::PdcMutex`].
+//! * [`waitgraph`] — wait-for-graph deadlock detection.
+//! * [`problems`] — dining philosophers (deadlock demo + two fixes) and
+//!   readers-writers scenarios.
+
+#![warn(missing_docs)]
+// Unsafe is required to hand-build lock primitives (UnsafeCell access
+// guarded by atomics); every use site carries a SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod barrier;
+pub mod buffer;
+pub mod condvar;
+pub mod mutex;
+pub mod once;
+pub mod problems;
+pub mod rwlock;
+pub mod semaphore;
+pub mod spin;
+pub mod ticket;
+pub mod waitgraph;
+
+pub use barrier::SenseBarrier;
+pub use buffer::BoundedBuffer;
+pub use condvar::PdcCondvar;
+pub use mutex::PdcMutex;
+pub use once::OnceCell;
+pub use rwlock::PdcRwLock;
+pub use semaphore::Semaphore;
+pub use spin::SpinLock;
+pub use ticket::TicketLock;

@@ -1,0 +1,228 @@
+//! A parking mutex: spin briefly, then sleep.
+//!
+//! Pure spinlocks burn CPU while waiting; the OS-backed mutex of the
+//! lecture parks the waiting thread instead. Real implementations use
+//! futexes; our portable stand-in is `thread::park`/`unpark` plus an
+//! explicit waiter queue. The acquisition protocol is the standard
+//! spin-then-park with barging (a newly arriving thread may grab the lock
+//! ahead of parked waiters — the throughput-friendly policy).
+
+use crate::spin::SpinLock;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread::Thread;
+
+/// A blocking mutex protecting `T`.
+pub struct PdcMutex<T> {
+    locked: AtomicBool,
+    waiters: SpinLock<VecDeque<Thread>>,
+    parks: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: mutual exclusion via the `locked` flag; only the CAS winner
+// accesses `value`, scoped by the guard (see SpinLock).
+unsafe impl<T: Send> Sync for PdcMutex<T> {}
+// SAFETY: moving the mutex moves the T.
+unsafe impl<T: Send> Send for PdcMutex<T> {}
+
+/// RAII guard for [`PdcMutex`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a PdcMutex<T>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// The mutex this guard locks (used by [`crate::condvar::PdcCondvar`]
+    /// to re-acquire after waiting).
+    pub fn mutex(&self) -> &'a PdcMutex<T> {
+        self.lock
+    }
+}
+
+/// How long to spin before parking (iterations of the fast retry loop).
+const SPIN_LIMIT: u32 = 64;
+
+impl<T> PdcMutex<T> {
+    /// Create an unlocked mutex.
+    pub fn new(value: T) -> Self {
+        PdcMutex {
+            locked: AtomicBool::new(false),
+            waiters: SpinLock::new(VecDeque::new()),
+            parks: AtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquire the mutex, parking the thread if it stays contended.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        // Fast path + bounded spin.
+        for _ in 0..SPIN_LIMIT {
+            if self.try_acquire() {
+                return MutexGuard { lock: self };
+            }
+            std::hint::spin_loop();
+        }
+        // Slow path: enqueue, re-check, park.
+        loop {
+            self.waiters.lock().push_back(std::thread::current());
+            // Re-check after enqueueing: if the lock was released in
+            // between, our queue entry may never be popped, so we must
+            // not park unconditionally. A stale queue entry is harmless:
+            // an eventual spurious unpark lands on a thread whose parks
+            // are all in retry loops.
+            if self.try_acquire() {
+                return MutexGuard { lock: self };
+            }
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            std::thread::park();
+            if self.try_acquire() {
+                return MutexGuard { lock: self };
+            }
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        self.try_acquire().then_some(MutexGuard { lock: self })
+    }
+
+    /// Number of times any thread parked on this mutex (contention metric
+    /// students compare against the spinlock's spin counts).
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard implies the lock is held by this thread.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; &mut self prevents guard aliasing.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the lock first (Release pairs with acquirers' Acquire),
+        // then wake one waiter, if any. Waking after releasing guarantees
+        // the woken thread can succeed immediately.
+        self.lock.locked.store(false, Ordering::Release);
+        let waiter = self.lock.waiters.lock().pop_front();
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn uncontended_lock() {
+        let m = PdcMutex::new(10);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 15);
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let m = PdcMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let m = Arc::new(PdcMutex::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..25_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 100_000);
+    }
+
+    #[test]
+    fn parked_waiter_gets_woken() {
+        let m = Arc::new(PdcMutex::new(0));
+        let g = m.lock();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || {
+            *m2.lock() = 99; // must park until main drops the guard
+        });
+        // Give the thread time to reach the parked state.
+        thread::sleep(Duration::from_millis(50));
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(*m.lock(), 99);
+    }
+
+    #[test]
+    fn long_hold_causes_parks_not_spins() {
+        let m = Arc::new(PdcMutex::new(()));
+        let g = m.lock();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    let _g = m.lock();
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(100));
+        assert!(m.park_count() >= 1, "waiters should have parked");
+        drop(g);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn guard_released_on_panic_is_not_poisoned() {
+        // Our teaching mutex has no poisoning: a panicking holder simply
+        // releases (the Drop runs during unwinding).
+        let m = Arc::new(PdcMutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("die while holding");
+        })
+        .join();
+        // Must still be acquirable.
+        assert_eq!(*m.lock(), 1);
+    }
+}

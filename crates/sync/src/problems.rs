@@ -1,0 +1,348 @@
+//! Classic synchronization problems: dining philosophers.
+//!
+//! The lab sequence the paper describes ("practice with synchronization
+//! problems and with solving them using Pthread synchronization
+//! primitives") centers on demonstrating deadlock and then fixing it.
+//! This module provides both:
+//!
+//! 1. A **deterministic simulation** ([`simulate`]) in which philosopher
+//!    state machines advance under an explicit schedule, forks are
+//!    resources, and deadlock is *detected* via the wait-for graph — so a
+//!    test can prove "the naive strategy deadlocks under this schedule"
+//!    without hanging a real thread.
+//! 2. A **real threaded run** ([`run_threaded`]) of the deadlock-free
+//!    strategies on actual [`crate::spin::SpinLock`] forks, verifying
+//!    that every philosopher eats.
+
+use crate::semaphore::Semaphore;
+use crate::spin::SpinLock;
+use crate::waitgraph::WaitGraph;
+use std::sync::Arc;
+
+/// Fork-acquisition strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Everyone picks up the left fork first — deadlocks under the
+    /// all-grab-left schedule.
+    Naive,
+    /// Global resource ordering: lower-numbered fork first — deadlock-free
+    /// (no cycle can form in the acquisition order).
+    Ordered,
+    /// An arbitrator (room semaphore) admits at most `n-1` philosophers to
+    /// the table — deadlock-free (pigeonhole: someone gets both forks).
+    Arbitrator,
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Whether the run ended in a detected deadlock.
+    pub deadlocked: bool,
+    /// The deadlock cycle (philosopher ids), if any.
+    pub cycle: Option<Vec<u64>>,
+    /// Meals eaten per philosopher.
+    pub meals: Vec<u32>,
+    /// Simulation steps executed.
+    pub steps: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pc {
+    AcquireRoom,
+    AcquireFirst,
+    AcquireSecond,
+    Release,
+    Done,
+}
+
+struct Phil {
+    pc: Pc,
+    meals_left: u32,
+    first: usize,
+    second: usize,
+}
+
+/// Deterministically simulate `n` philosophers eating `meals` meals each
+/// under the given `strategy`.
+///
+/// `schedule` yields philosopher indices; each step advances that
+/// philosopher by one action if it is runnable (not blocked on a held
+/// fork). The run ends when all philosophers finish, when the schedule is
+/// exhausted (treated as round-robin thereafter, up to `max_steps`), or
+/// when deadlock is detected.
+pub fn simulate(
+    strategy: Strategy,
+    n: usize,
+    meals: u32,
+    schedule: &[usize],
+    max_steps: u64,
+) -> SimOutcome {
+    assert!(n >= 2, "need at least two philosophers");
+    let mut forks: Vec<Option<usize>> = vec![None; n]; // holder
+    let mut room_used = 0usize; // arbitrator admissions
+    let room_cap = n - 1;
+    let mut phils: Vec<Phil> = (0..n)
+        .map(|i| {
+            let left = i;
+            let right = (i + 1) % n;
+            let (first, second) = match strategy {
+                Strategy::Naive | Strategy::Arbitrator => (left, right),
+                Strategy::Ordered => (left.min(right), left.max(right)),
+            };
+            Phil {
+                pc: if strategy == Strategy::Arbitrator {
+                    Pc::AcquireRoom
+                } else {
+                    Pc::AcquireFirst
+                },
+                meals_left: meals,
+                first,
+                second,
+            }
+        })
+        .collect();
+    let mut meals_eaten = vec![0u32; n];
+    let mut steps = 0u64;
+    let mut sched_iter = schedule.iter().copied().chain((0..).map(|k| k % n));
+
+    while steps < max_steps {
+        if phils.iter().all(|p| p.pc == Pc::Done) {
+            return SimOutcome {
+                deadlocked: false,
+                cycle: None,
+                meals: meals_eaten,
+                steps,
+            };
+        }
+        let i = sched_iter.next().expect("infinite schedule");
+        let i = i % n;
+        steps += 1;
+        let (first, second) = (phils[i].first, phils[i].second);
+        match phils[i].pc {
+            Pc::Done => {}
+            Pc::AcquireRoom => {
+                if room_used < room_cap {
+                    room_used += 1;
+                    phils[i].pc = Pc::AcquireFirst;
+                }
+                // Waiting on the room is not a fork wait: no graph edge
+                // (the arbitrator cannot be part of a fork cycle).
+            }
+            Pc::AcquireFirst => {
+                if forks[first].is_none() {
+                    forks[first] = Some(i);
+                    phils[i].pc = Pc::AcquireSecond;
+                }
+            }
+            Pc::AcquireSecond => {
+                if forks[second].is_none() {
+                    forks[second] = Some(i);
+                    phils[i].pc = Pc::Release;
+                }
+            }
+            Pc::Release => {
+                // Eat, then put both forks down.
+                meals_eaten[i] += 1;
+                forks[first] = None;
+                forks[second] = None;
+                if strategy == Strategy::Arbitrator {
+                    room_used -= 1;
+                }
+                phils[i].meals_left -= 1;
+                phils[i].pc = if phils[i].meals_left == 0 {
+                    Pc::Done
+                } else if strategy == Strategy::Arbitrator {
+                    Pc::AcquireRoom
+                } else {
+                    Pc::AcquireFirst
+                };
+            }
+        }
+        // Deadlock check: build the wait-for graph from the *current*
+        // state (no stale edges) and look for a cycle.
+        let mut graph = WaitGraph::new();
+        for (p, phil) in phils.iter().enumerate() {
+            let want = match phil.pc {
+                Pc::AcquireFirst => Some(phil.first),
+                Pc::AcquireSecond => Some(phil.second),
+                _ => None,
+            };
+            if let Some(f) = want {
+                if let Some(holder) = forks[f] {
+                    if holder != p {
+                        graph.add_wait(p as u64, holder as u64);
+                    }
+                }
+            }
+        }
+        if let Some(cycle) = graph.find_cycle() {
+            return SimOutcome {
+                deadlocked: true,
+                cycle: Some(cycle),
+                meals: meals_eaten,
+                steps,
+            };
+        }
+    }
+    SimOutcome {
+        deadlocked: false,
+        cycle: None,
+        meals: meals_eaten,
+        steps,
+    }
+}
+
+/// The adversarial schedule that deadlocks the naive strategy: every
+/// philosopher takes exactly one step (grabbing their first fork), then
+/// everyone tries their second.
+pub fn all_grab_left_schedule(n: usize) -> Vec<usize> {
+    let mut s: Vec<usize> = (0..n).collect();
+    s.extend(0..n);
+    s
+}
+
+/// Outcome of a threaded philosophers run.
+#[derive(Debug, Clone)]
+pub struct ThreadedOutcome {
+    /// Meals eaten per philosopher (always `meals` on success).
+    pub meals: Vec<u32>,
+}
+
+/// Run dining philosophers on real threads with real locks, using a
+/// deadlock-free strategy.
+///
+/// # Panics
+/// Panics if called with [`Strategy::Naive`] — that strategy can deadlock
+/// for real, which would hang the test suite.
+pub fn run_threaded(strategy: Strategy, n: usize, meals: u32) -> ThreadedOutcome {
+    assert!(
+        strategy != Strategy::Naive,
+        "refusing to run a deadlock-prone strategy on real threads"
+    );
+    assert!(n >= 2);
+    let forks: Arc<Vec<SpinLock<()>>> = Arc::new((0..n).map(|_| SpinLock::new(())).collect());
+    let room = Arc::new(Semaphore::new(n as i64 - 1));
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let forks = Arc::clone(&forks);
+            let room = Arc::clone(&room);
+            std::thread::spawn(move || {
+                let left = i;
+                let right = (i + 1) % n;
+                let (first, second) = match strategy {
+                    Strategy::Ordered => (left.min(right), left.max(right)),
+                    Strategy::Arbitrator | Strategy::Naive => (left, right),
+                };
+                let mut eaten = 0u32;
+                for _ in 0..meals {
+                    if strategy == Strategy::Arbitrator {
+                        room.acquire();
+                    }
+                    let _f1 = forks[first].lock();
+                    let _f2 = forks[second].lock();
+                    eaten += 1; // eat
+                    drop(_f2);
+                    drop(_f1);
+                    if strategy == Strategy::Arbitrator {
+                        room.release();
+                    }
+                    std::thread::yield_now(); // think
+                }
+                eaten
+            })
+        })
+        .collect();
+    let meals_vec = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    ThreadedOutcome { meals: meals_vec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_deadlocks_under_adversarial_schedule() {
+        let n = 5;
+        let out = simulate(
+            Strategy::Naive,
+            n,
+            1,
+            &all_grab_left_schedule(n),
+            10_000,
+        );
+        assert!(out.deadlocked, "naive must deadlock: {out:?}");
+        let cycle = out.cycle.unwrap();
+        assert_eq!(cycle.len(), n, "full ring deadlock");
+        assert!(out.meals.iter().all(|&m| m == 0), "no one ate");
+    }
+
+    #[test]
+    fn ordered_never_deadlocks_same_schedule() {
+        let n = 5;
+        let out = simulate(
+            Strategy::Ordered,
+            n,
+            3,
+            &all_grab_left_schedule(n),
+            100_000,
+        );
+        assert!(!out.deadlocked);
+        assert!(out.meals.iter().all(|&m| m == 3), "{:?}", out.meals);
+    }
+
+    #[test]
+    fn arbitrator_never_deadlocks_same_schedule() {
+        let n = 5;
+        let out = simulate(
+            Strategy::Arbitrator,
+            n,
+            3,
+            &all_grab_left_schedule(n),
+            100_000,
+        );
+        assert!(!out.deadlocked);
+        assert!(out.meals.iter().all(|&m| m == 3));
+    }
+
+    #[test]
+    fn naive_can_succeed_under_lucky_schedule() {
+        // Sequential schedule: each philosopher eats completely before the
+        // next moves — no deadlock even for the naive strategy. This is
+        // the "it worked when I tested it!" lesson about race conditions.
+        let n = 5;
+        let mut schedule = Vec::new();
+        for i in 0..n {
+            schedule.extend([i; 3]); // first, second, release
+        }
+        let out = simulate(Strategy::Naive, n, 1, &schedule, 1_000);
+        assert!(!out.deadlocked);
+        assert!(out.meals.iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn deadlock_detected_for_many_sizes() {
+        for n in [2usize, 3, 7, 12] {
+            let out = simulate(Strategy::Naive, n, 1, &all_grab_left_schedule(n), 10_000);
+            assert!(out.deadlocked, "n={n} should deadlock");
+            assert_eq!(out.cycle.unwrap().len(), n);
+        }
+    }
+
+    #[test]
+    fn threaded_ordered_all_eat() {
+        let out = run_threaded(Strategy::Ordered, 5, 50);
+        assert!(out.meals.iter().all(|&m| m == 50), "{:?}", out.meals);
+    }
+
+    #[test]
+    fn threaded_arbitrator_all_eat() {
+        let out = run_threaded(Strategy::Arbitrator, 5, 50);
+        assert!(out.meals.iter().all(|&m| m == 50), "{:?}", out.meals);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock-prone")]
+    fn threaded_naive_refused() {
+        run_threaded(Strategy::Naive, 5, 1);
+    }
+}

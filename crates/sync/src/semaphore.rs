@@ -1,0 +1,252 @@
+//! A counting semaphore built from an atomic counter and parking.
+//!
+//! The semaphore is the CS31/CS45 workhorse primitive: `acquire` (P/wait)
+//! decrements if positive, else blocks; `release` (V/post) increments and
+//! wakes a waiter. Implemented with a CAS loop on the count plus the same
+//! waiter-queue parking protocol as [`crate::mutex::PdcMutex`].
+
+use crate::spin::SpinLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::thread::Thread;
+
+/// A counting semaphore.
+pub struct Semaphore {
+    count: AtomicI64,
+    waiters: SpinLock<VecDeque<Thread>>,
+    parks: AtomicU64,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: i64) -> Self {
+        assert!(permits >= 0, "initial permits must be non-negative");
+        Semaphore {
+            count: AtomicI64::new(permits),
+            waiters: SpinLock::new(VecDeque::new()),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to take a permit without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut cur = self.count.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.count.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+
+    /// Take a permit, blocking (parking) until one is available.
+    pub fn acquire(&self) {
+        // Bounded spin first.
+        for _ in 0..64 {
+            if self.try_acquire() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        loop {
+            self.waiters.lock().push_back(std::thread::current());
+            // Re-check after enqueue to avoid a missed wakeup (a release
+            // may have happened before our entry was visible).
+            if self.try_acquire() {
+                return;
+            }
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            std::thread::park();
+            if self.try_acquire() {
+                return;
+            }
+        }
+    }
+
+    /// Return one permit and wake one waiter.
+    pub fn release(&self) {
+        // Release ordering pairs with acquirers' Acquire CAS.
+        self.count.fetch_add(1, Ordering::Release);
+        let waiter = self.waiters.lock().pop_front();
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+
+    /// Return `n` permits.
+    pub fn release_n(&self, n: i64) {
+        assert!(n >= 0);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Release);
+        let mut q = self.waiters.lock();
+        for _ in 0..n {
+            match q.pop_front() {
+                Some(t) => t.unpark(),
+                None => break,
+            }
+        }
+    }
+
+    /// Current permit count (racy; diagnostics only).
+    pub fn available(&self) -> i64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of parks (contention metric).
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_count_down_and_up() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_initial_rejected() {
+        Semaphore::new(-1);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let s = Arc::new(Semaphore::new(0));
+        let s2 = Arc::clone(&s);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let h = thread::spawn(move || {
+            s2.acquire();
+            done2.store(1, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "must still be blocked");
+        s.release();
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn semaphore_as_mutex() {
+        // A binary semaphore provides mutual exclusion.
+        let s = Arc::new(Semaphore::new(1));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let counter = Arc::clone(&counter);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.acquire();
+                        let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(inside, Ordering::SeqCst);
+                        counter.fetch_sub(1, Ordering::SeqCst);
+                        s.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "never two inside");
+    }
+
+    #[test]
+    fn bounded_concurrency_with_n_permits() {
+        let s = Arc::new(Semaphore::new(3));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let inside = Arc::clone(&inside);
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        s.acquire();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        s.release();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "permit cap respected");
+    }
+
+    #[test]
+    fn release_n_wakes_many() {
+        let s = Arc::new(Semaphore::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || s.acquire())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        s.release_n(4);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn rendezvous_pattern() {
+        // Two semaphores implement the classic two-thread rendezvous:
+        // neither proceeds to step B before the other finished step A.
+        let sa = Arc::new(Semaphore::new(0));
+        let sb = Arc::new(Semaphore::new(0));
+        let log = Arc::new(crate::spin::SpinLock::new(Vec::<&'static str>::new()));
+        let (sa2, sb2, log2) = (Arc::clone(&sa), Arc::clone(&sb), Arc::clone(&log));
+        let t1 = thread::spawn(move || {
+            log2.lock().push("a1");
+            sa2.release();
+            sb2.acquire();
+            log2.lock().push("a2");
+        });
+        let (sa3, sb3, log3) = (Arc::clone(&sa), Arc::clone(&sb), Arc::clone(&log));
+        let t2 = thread::spawn(move || {
+            log3.lock().push("b1");
+            sb3.release();
+            sa3.acquire();
+            log3.lock().push("b2");
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let log = log.lock();
+        let pos = |s| log.iter().position(|&x| x == s).unwrap();
+        assert!(pos("a1") < pos("b2"));
+        assert!(pos("b1") < pos("a2"));
+    }
+}

@@ -1,0 +1,200 @@
+//! A FIFO-fair ticket lock.
+//!
+//! The spinlock's weakness — acquisition order is a free-for-all, so a
+//! thread can starve — motivates the ticket lock: take a ticket
+//! (`fetch_add` on `next`), wait until `serving` reaches it. Acquisitions
+//! are served strictly first-come-first-served, the fairness property the
+//! OS course contrasts with test-and-set locks.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A FIFO ticket lock protecting a `T`.
+pub struct TicketLock<T> {
+    next: AtomicU64,
+    serving: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: mutual exclusion is provided by the ticket protocol: exactly one
+// thread observes `serving == my_ticket` between its acquire and its
+// release increment. See SpinLock for the Send/Sync reasoning.
+unsafe impl<T: Send> Sync for TicketLock<T> {}
+// SAFETY: moving the lock moves the T.
+unsafe impl<T: Send> Send for TicketLock<T> {}
+
+/// RAII guard for [`TicketLock`].
+pub struct TicketGuard<'a, T> {
+    lock: &'a TicketLock<T>,
+    ticket: u64,
+}
+
+impl<T> TicketLock<T> {
+    /// Create an unlocked ticket lock.
+    pub const fn new(value: T) -> Self {
+        TicketLock {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire, waiting in FIFO order. Returns a guard that also reports
+    /// the ticket number taken (handy for fairness tests).
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        // Relaxed is fine for taking a ticket: the *wait loop*'s Acquire
+        // load is what synchronizes with the previous holder's Release.
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        while self.serving.load(Ordering::Acquire) != ticket {
+            std::hint::spin_loop();
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        TicketGuard { lock: self, ticket }
+    }
+
+    /// Try to acquire only if no one is waiting or holding.
+    pub fn try_lock(&self) -> Option<TicketGuard<'_, T>> {
+        let serving = self.serving.load(Ordering::Relaxed);
+        // Attempt to take ticket `serving` only if it is also `next`
+        // (lock free and no queue).
+        if self
+            .next
+            .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            // We hold ticket == serving, so the lock is ours.
+            Some(TicketGuard {
+                lock: self,
+                ticket: serving,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of lock acquisitions granted so far.
+    pub fn served(&self) -> u64 {
+        self.serving.load(Ordering::Relaxed)
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T> TicketGuard<'_, T> {
+    /// The FIFO ticket this guard holds.
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+}
+
+impl<T> Deref for TicketGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard implies we are the serving ticket holder.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; &mut self prevents guard aliasing.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        // Hand the lock to the next ticket. Release publishes our writes.
+        self.lock
+            .serving
+            .store(self.ticket.wrapping_add(1), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_mutual_exclusion() {
+        let l = Arc::new(TicketLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *l.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.lock(), 40_000);
+    }
+
+    #[test]
+    fn tickets_are_fifo() {
+        let l = TicketLock::new(());
+        let g0 = l.lock();
+        assert_eq!(g0.ticket(), 0);
+        drop(g0);
+        let g1 = l.lock();
+        assert_eq!(g1.ticket(), 1);
+        drop(g1);
+        assert_eq!(l.served(), 2);
+    }
+
+    #[test]
+    fn try_lock_semantics() {
+        let l = TicketLock::new(1);
+        let g = l.try_lock().expect("uncontended try_lock succeeds");
+        assert!(l.try_lock().is_none(), "held -> try fails");
+        drop(g);
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn acquisition_order_is_ticket_order() {
+        // Record the order in which threads enter the critical section;
+        // it must be sorted by ticket number.
+        let l = Arc::new(TicketLock::new(Vec::<u64>::new()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        let mut g = l.lock();
+                        let t = g.ticket();
+                        g.push(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = l.lock();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(*order, sorted, "entries must be in ticket order");
+        assert_eq!(order.len(), 800);
+    }
+
+    #[test]
+    fn into_inner() {
+        let l = TicketLock::new(String::from("x"));
+        assert_eq!(l.into_inner(), "x");
+    }
+}

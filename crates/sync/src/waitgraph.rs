@@ -1,0 +1,198 @@
+//! Wait-for-graph deadlock detection.
+//!
+//! The OS course's deadlock unit: model which task waits for which
+//! resource holder; a cycle in the wait-for graph is a deadlock. Used by
+//! the dining-philosophers simulation in [`crate::problems`] and usable by
+//! the `pdc-os` scheduler.
+
+use std::collections::{HashMap, HashSet};
+
+/// A wait-for graph over task ids.
+#[derive(Debug, Clone, Default)]
+pub struct WaitGraph {
+    /// `edges[a]` = set of tasks `a` is waiting on.
+    edges: HashMap<u64, HashSet<u64>>,
+}
+
+impl WaitGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `waiter` waits for `holder`.
+    pub fn add_wait(&mut self, waiter: u64, holder: u64) {
+        self.edges.entry(waiter).or_default().insert(holder);
+    }
+
+    /// Remove a wait edge (the resource was acquired or the wait aborted).
+    pub fn remove_wait(&mut self, waiter: u64, holder: u64) {
+        if let Some(set) = self.edges.get_mut(&waiter) {
+            set.remove(&holder);
+            if set.is_empty() {
+                self.edges.remove(&waiter);
+            }
+        }
+    }
+
+    /// Remove a task entirely (it finished).
+    pub fn remove_task(&mut self, task: u64) {
+        self.edges.remove(&task);
+        for set in self.edges.values_mut() {
+            set.remove(&task);
+        }
+        self.edges.retain(|_, s| !s.is_empty());
+    }
+
+    /// Number of wait edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(HashSet::len).sum()
+    }
+
+    /// Find a deadlock cycle, if any, returned as the task sequence
+    /// `t0 -> t1 -> ... -> t0` (first element repeated at the end is
+    /// omitted; the cycle is implied).
+    pub fn find_cycle(&self) -> Option<Vec<u64>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let mut marks: HashMap<u64, Mark> = HashMap::new();
+        let mut stack: Vec<u64> = Vec::new();
+
+        // Iterative DFS with an explicit path stack; deterministic order.
+        let mut nodes: Vec<u64> = self.edges.keys().copied().collect();
+        nodes.sort_unstable();
+        for &start in &nodes {
+            if *marks.get(&start).unwrap_or(&Mark::White) != Mark::White {
+                continue;
+            }
+            // frames: (node, iterator over sorted successors)
+            let mut frames: Vec<(u64, Vec<u64>, usize)> = Vec::new();
+            let succs = |n: u64| -> Vec<u64> {
+                let mut v: Vec<u64> = self
+                    .edges
+                    .get(&n)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                v.sort_unstable();
+                v
+            };
+            marks.insert(start, Mark::Gray);
+            stack.push(start);
+            frames.push((start, succs(start), 0));
+            while let Some((node, children, idx)) = frames.last_mut() {
+                if *idx >= children.len() {
+                    marks.insert(*node, Mark::Black);
+                    stack.pop();
+                    frames.pop();
+                    continue;
+                }
+                let child = children[*idx];
+                *idx += 1;
+                match *marks.get(&child).unwrap_or(&Mark::White) {
+                    Mark::Gray => {
+                        // Found a cycle: slice the path stack from child.
+                        let pos = stack.iter().position(|&n| n == child).unwrap();
+                        return Some(stack[pos..].to_vec());
+                    }
+                    Mark::White => {
+                        marks.insert(child, Mark::Gray);
+                        stack.push(child);
+                        let ch = succs(child);
+                        frames.push((child, ch, 0));
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph currently encodes a deadlock.
+    pub fn has_deadlock(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_no_deadlock() {
+        assert!(!WaitGraph::new().has_deadlock());
+    }
+
+    #[test]
+    fn chain_is_not_a_cycle() {
+        let mut g = WaitGraph::new();
+        g.add_wait(1, 2);
+        g.add_wait(2, 3);
+        g.add_wait(3, 4);
+        assert!(!g.has_deadlock());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitGraph::new();
+        g.add_wait(1, 2);
+        g.add_wait(2, 1);
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&1) && cycle.contains(&2));
+    }
+
+    #[test]
+    fn philosophers_cycle_detected() {
+        // 5 philosophers each waiting on their left neighbor: classic ring.
+        let mut g = WaitGraph::new();
+        for i in 0..5 {
+            g.add_wait(i, (i + 1) % 5);
+        }
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 5);
+    }
+
+    #[test]
+    fn breaking_one_edge_clears_deadlock() {
+        let mut g = WaitGraph::new();
+        for i in 0..5 {
+            g.add_wait(i, (i + 1) % 5);
+        }
+        assert!(g.has_deadlock());
+        g.remove_wait(2, 3);
+        assert!(!g.has_deadlock());
+    }
+
+    #[test]
+    fn remove_task_clears_its_edges() {
+        let mut g = WaitGraph::new();
+        g.add_wait(1, 2);
+        g.add_wait(2, 1);
+        g.remove_task(2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_deadlock());
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        let mut g = WaitGraph::new();
+        g.add_wait(7, 7);
+        assert_eq!(g.find_cycle().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn disjoint_components_searched() {
+        let mut g = WaitGraph::new();
+        g.add_wait(1, 2); // acyclic component
+        g.add_wait(10, 11);
+        g.add_wait(11, 12);
+        g.add_wait(12, 10); // cycle in second component
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        assert!(cycle.contains(&10));
+    }
+}

@@ -1,0 +1,171 @@
+//! Structured fork-join: `join(a, b)` and depth-limited parallel
+//! recursion.
+//!
+//! `join` is the primitive of the fork-join model (Cilk's `spawn`/`sync`,
+//! Rayon's `join`): run two closures, potentially in parallel, and return
+//! both results. Built on `std::thread::scope`, so the closures may borrow
+//! from the caller — the same ergonomics Rayon provides, with the
+//! guarantee that both complete before `join` returns.
+//!
+//! Unbounded parallel recursion would create one thread per node; the
+//! [`join_depth`] helper caps the fork depth (2^depth leaves) and runs
+//! sequentially below the cutoff — exactly the granularity-control lesson
+//! of the parallel merge sort lab.
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` runs on a freshly scoped thread while `a` runs on the caller; if
+/// thread creation is unavailable this would panic (std behaviour), which
+/// is acceptable for the teaching library.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join: task b panicked");
+        (ra, rb)
+    })
+}
+
+/// Like [`join`], but only forks while `depth > 0`; at depth 0 both
+/// closures run sequentially on the caller. Pass the decremented depth to
+/// recursive calls to get a bounded fork tree.
+pub fn join_depth<RA, RB>(
+    depth: u32,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if depth == 0 {
+        (a(), b())
+    } else {
+        join(a, b)
+    }
+}
+
+/// Parallel divide-and-conquer over a mutable slice: split at the
+/// midpoint recursively while `depth > 0`, calling `leaf` on each base
+/// chunk. The scaffolding for in-place parallel algorithms (sort,
+/// stencil).
+pub fn divide_conquer_mut<T: Send>(
+    data: &mut [T],
+    depth: u32,
+    leaf: &(impl Fn(&mut [T]) + Sync),
+) {
+    if depth == 0 || data.len() < 2 {
+        leaf(data);
+        return;
+    }
+    let mid = data.len() / 2;
+    let (lo, hi) = data.split_at_mut(mid);
+    join(
+        || divide_conquer_mut(lo, depth - 1, leaf),
+        || divide_conquer_mut(hi, depth - 1, leaf),
+    );
+}
+
+/// Choose a fork depth so that `2^depth ≈ workers` (and each leaf gets at
+/// least `min_leaf` elements of an `n`-element problem).
+pub fn depth_for(workers: usize, n: usize, min_leaf: usize) -> u32 {
+    assert!(workers > 0);
+    let by_workers = usize::BITS - workers.next_power_of_two().leading_zeros() - 1;
+    let max_by_size = if min_leaf == 0 || n == 0 {
+        by_workers
+    } else {
+        let leaves = (n / min_leaf).max(1);
+        usize::BITS - leaves.next_power_of_two().leading_zeros() - 1
+    };
+    by_workers.min(max_by_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "hi".len());
+        assert_eq!(a, 2);
+        assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn join_allows_borrows() {
+        let data = vec![1, 2, 3, 4, 5, 6];
+        let (lo, hi) = data.split_at(3);
+        let (s1, s2) = join(|| lo.iter().sum::<i32>(), || hi.iter().sum::<i32>());
+        assert_eq!(s1 + s2, 21);
+    }
+
+    #[test]
+    fn join_allows_mutable_split_borrows() {
+        let mut data = vec![0u32; 10];
+        let (lo, hi) = data.split_at_mut(5);
+        join(
+            || lo.iter_mut().for_each(|x| *x = 1),
+            || hi.iter_mut().for_each(|x| *x = 2),
+        );
+        assert_eq!(data.iter().sum::<u32>(), 5 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "task b panicked")]
+    fn panic_in_b_propagates() {
+        join(|| (), || panic!("boom"));
+    }
+
+    #[test]
+    fn join_depth_zero_is_sequential() {
+        // At depth 0 both run on the calling thread.
+        let tid = std::thread::current().id();
+        let (ta, tb) = join_depth(
+            0,
+            || std::thread::current().id(),
+            || std::thread::current().id(),
+        );
+        assert_eq!(ta, tid);
+        assert_eq!(tb, tid);
+    }
+
+    #[test]
+    fn recursive_parallel_sum_matches_sequential() {
+        fn psum(xs: &[u64], depth: u32) -> u64 {
+            if depth == 0 || xs.len() < 4 {
+                return xs.iter().sum();
+            }
+            let (lo, hi) = xs.split_at(xs.len() / 2);
+            let (a, b) = join(|| psum(lo, depth - 1), || psum(hi, depth - 1));
+            a + b
+        }
+        let xs: Vec<u64> = (0..10_000).collect();
+        assert_eq!(psum(&xs, 4), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn divide_conquer_mut_touches_every_element() {
+        let mut data = vec![0u8; 1000];
+        divide_conquer_mut(&mut data, 3, &|chunk: &mut [u8]| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1), "each element exactly once");
+    }
+
+    #[test]
+    fn depth_for_matches_worker_count() {
+        assert_eq!(depth_for(1, 1000, 1), 0);
+        assert_eq!(depth_for(2, 1000, 1), 1);
+        assert_eq!(depth_for(4, 1000, 1), 2);
+        assert_eq!(depth_for(8, 1000, 1), 3);
+        // Tiny problems cap the depth.
+        assert_eq!(depth_for(8, 4, 2), 1);
+        assert_eq!(depth_for(8, 1, 1), 0);
+    }
+}

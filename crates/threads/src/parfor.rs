@@ -1,0 +1,261 @@
+//! OpenMP-style `parallel_for` with static, dynamic, and guided
+//! scheduling.
+//!
+//! The CS87 short labs compare loop-scheduling policies on irregular
+//! workloads; this module makes the comparison concrete. The body runs
+//! once per index, on one of `workers` scoped threads; the returned
+//! [`ForStats`] reports how many iterations each worker executed, so
+//! load-(im)balance is measurable rather than anecdotal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Loop scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Pre-split the range into `workers` contiguous blocks.
+    Static,
+    /// Workers repeatedly grab fixed-size chunks from a shared counter.
+    Dynamic {
+        /// Iterations taken per grab.
+        chunk: usize,
+    },
+    /// Chunk size shrinks as the remaining work shrinks
+    /// (`remaining / workers`, floored at `min_chunk`).
+    Guided {
+        /// Smallest chunk a worker may grab.
+        min_chunk: usize,
+    },
+}
+
+/// Per-run execution statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForStats {
+    /// Iterations executed by each worker.
+    pub per_worker: Vec<usize>,
+    /// Number of chunk grabs (scheduling events).
+    pub grabs: usize,
+}
+
+impl ForStats {
+    /// Ratio of the busiest worker's iteration count to the mean —
+    /// 1.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.per_worker.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.per_worker.len() as f64;
+        let max = *self.per_worker.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+/// Execute `body(i)` for every `i` in `range`, on `workers` threads,
+/// under the given scheduling policy. Returns per-worker statistics.
+///
+/// # Panics
+/// Panics if `workers == 0`, or if a chunk parameter is zero, or if the
+/// body panics (propagated).
+pub fn parallel_for(
+    range: std::ops::Range<usize>,
+    workers: usize,
+    schedule: Schedule,
+    body: impl Fn(usize) + Sync,
+) -> ForStats {
+    assert!(workers > 0, "need at least one worker");
+    match schedule {
+        Schedule::Dynamic { chunk } => assert!(chunk > 0, "chunk must be positive"),
+        Schedule::Guided { min_chunk } => assert!(min_chunk > 0, "min_chunk must be positive"),
+        Schedule::Static => {}
+    }
+    let start = range.start;
+    let n = range.end.saturating_sub(range.start);
+    let grabs = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let body = &body;
+
+    let per_worker: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                let grabs = &grabs;
+                s.spawn(move || {
+                    let mut mine = 0usize;
+                    match schedule {
+                        Schedule::Static => {
+                            // Block partitioning with remainder spread.
+                            let base = n / workers;
+                            let rem = n % workers;
+                            let lo = w * base + w.min(rem);
+                            let len = base + usize::from(w < rem);
+                            if len > 0 {
+                                grabs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for i in lo..lo + len {
+                                body(start + i);
+                                mine += 1;
+                            }
+                        }
+                        Schedule::Dynamic { chunk } => loop {
+                            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= n {
+                                break;
+                            }
+                            grabs.fetch_add(1, Ordering::Relaxed);
+                            let hi = (lo + chunk).min(n);
+                            for i in lo..hi {
+                                body(start + i);
+                                mine += 1;
+                            }
+                        },
+                        Schedule::Guided { min_chunk } => loop {
+                            // Compute the desired chunk from remaining
+                            // work, then claim it with a CAS loop.
+                            let mut lo = next.load(Ordering::Relaxed);
+                            let claimed = loop {
+                                if lo >= n {
+                                    break None;
+                                }
+                                let remaining = n - lo;
+                                let chunk = (remaining / workers).max(min_chunk);
+                                match next.compare_exchange_weak(
+                                    lo,
+                                    lo + chunk,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break Some((lo, (lo + chunk).min(n))),
+                                    Err(seen) => lo = seen,
+                                }
+                            };
+                            let Some((lo, hi)) = claimed else { break };
+                            grabs.fetch_add(1, Ordering::Relaxed);
+                            for i in lo..hi {
+                                body(start + i);
+                                mine += 1;
+                            }
+                        },
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_for body panicked"))
+            .collect()
+    });
+
+    ForStats {
+        per_worker,
+        grabs: grabs.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn covers_exactly_once(schedule: Schedule) {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let stats = parallel_for(0..n, 4, schedule, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "every index exactly once ({schedule:?})"
+        );
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn static_covers_exactly_once() {
+        covers_exactly_once(Schedule::Static);
+    }
+
+    #[test]
+    fn dynamic_covers_exactly_once() {
+        covers_exactly_once(Schedule::Dynamic { chunk: 64 });
+    }
+
+    #[test]
+    fn guided_covers_exactly_once() {
+        covers_exactly_once(Schedule::Guided { min_chunk: 16 });
+    }
+
+    #[test]
+    fn nonzero_range_start_respected() {
+        let seen = pdc_sync::SpinLock::new(Vec::new());
+        parallel_for(100..110, 2, Schedule::Static, |i| {
+            seen.lock().push(i);
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let stats = parallel_for(5..5, 3, Schedule::Dynamic { chunk: 8 }, |_| {
+            panic!("must not run")
+        });
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 0);
+        assert_eq!(stats.grabs, 0);
+    }
+
+    #[test]
+    fn static_split_is_even() {
+        let stats = parallel_for(0..1000, 4, Schedule::Static, |_| {});
+        assert_eq!(stats.per_worker, vec![250; 4]);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_remainder_spread() {
+        let stats = parallel_for(0..10, 4, Schedule::Static, |_| {});
+        let mut pw = stats.per_worker.clone();
+        pw.sort_unstable();
+        assert_eq!(pw, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn guided_uses_fewer_grabs_than_small_dynamic() {
+        let n = 100_000;
+        let dyn_stats = parallel_for(0..n, 4, Schedule::Dynamic { chunk: 16 }, |_| {});
+        let guided_stats = parallel_for(0..n, 4, Schedule::Guided { min_chunk: 16 }, |_| {});
+        assert!(
+            guided_stats.grabs * 10 < dyn_stats.grabs,
+            "guided {} vs dynamic {}",
+            guided_stats.grabs,
+            dyn_stats.grabs
+        );
+    }
+
+    #[test]
+    fn results_correct_for_irregular_work() {
+        // Triangular workload: iteration i does O(i) work. All schedules
+        // must produce the same total.
+        let total = AtomicU64::new(0);
+        let expected: u64 = (0..2000u64).map(|i| i * (i + 1) / 2 % 1009).sum();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 32 },
+            Schedule::Guided { min_chunk: 8 },
+        ] {
+            total.store(0, Ordering::SeqCst);
+            parallel_for(0..2000, 3, schedule, |i| {
+                let i = i as u64;
+                total.fetch_add(i * (i + 1) / 2 % 1009, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::SeqCst), expected, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        parallel_for(0..10, 2, Schedule::Dynamic { chunk: 0 }, |_| {});
+    }
+}

@@ -1,0 +1,326 @@
+//! A work-stealing thread pool.
+//!
+//! Each worker owns a LIFO deque of tasks; when empty it steals from the
+//! global injector or from siblings (FIFO side). This is the scheduling
+//! architecture Rayon/Cilk use, built here from `crossbeam-deque` so the
+//! steal behaviour is observable: the pool counts executed tasks and
+//! successful steals, which the load-imbalance bench reports.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    /// Tasks submitted but not yet finished.
+    pending: AtomicUsize,
+    /// Executed task count per pool.
+    executed: AtomicU64,
+    /// Tasks that panicked (caught; the worker survives).
+    panicked: AtomicU64,
+    /// Successful steals (from injector or siblings).
+    steals: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size work-stealing thread pool for `'static` tasks.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `workers` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            pending: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(idx, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pdc-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, local, shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        WorkStealingPool { shared, handles }
+    }
+
+    /// Submit a task for execution.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(task));
+    }
+
+    /// Block until every submitted task (including tasks spawned *by*
+    /// tasks, when submitted through a clone of [`WorkStealingPool::handle`])
+    /// has finished.
+    pub fn wait_idle(&self) {
+        let mut spins = 0u32;
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+            spins = spins.wrapping_add(1);
+            if spins % 32 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// A cloneable submission handle usable from inside tasks.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total tasks executed.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Total successful steals (load-balancing events).
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that panicked. A panicking task does not kill its worker or
+    /// hang `wait_idle`; the panic is contained and counted here.
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap cloneable handle for submitting tasks from within tasks.
+#[derive(Clone)]
+pub struct PoolHandle {
+    shared: Arc<Shared>,
+}
+
+impl PoolHandle {
+    /// Submit a task.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(task));
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
+    let mut idle_spins = 0u32;
+    loop {
+        // 1. Local LIFO pop (cache-friendly depth-first).
+        let task = local.pop().or_else(|| {
+            // 2. Steal a batch from the injector.
+            loop {
+                match shared.injector.steal_batch_and_pop(&local) {
+                    crossbeam::deque::Steal::Success(t) => {
+                        shared.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    crossbeam::deque::Steal::Retry => continue,
+                    crossbeam::deque::Steal::Empty => break,
+                }
+            }
+            // 3. Steal from a sibling.
+            for (s_idx, stealer) in shared.stealers.iter().enumerate() {
+                if s_idx == idx {
+                    continue;
+                }
+                loop {
+                    match stealer.steal() {
+                        crossbeam::deque::Steal::Success(t) => {
+                            shared.steals.fetch_add(1, Ordering::Relaxed);
+                            return Some(t);
+                        }
+                        crossbeam::deque::Steal::Retry => continue,
+                        crossbeam::deque::Steal::Empty => break,
+                    }
+                }
+            }
+            None
+        });
+        match task {
+            Some(t) => {
+                idle_spins = 0;
+                // Contain panics: a dying worker would strand wait_idle
+                // (the pending count would never reach zero).
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.executed.fetch_add(1, Ordering::Relaxed);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle_spins = idle_spins.wrapping_add(1);
+                if idle_spins % 16 == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = WorkStealingPool::new(3);
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 1000);
+        assert_eq!(pool.executed(), 1000);
+    }
+
+    #[test]
+    fn recursive_spawning_through_handle() {
+        let pool = WorkStealingPool::new(2);
+        let counter = Arc::new(Counter::new(0));
+        let handle = pool.handle();
+        // A task tree: each task spawns two children down to depth 6.
+        fn grow(h: PoolHandle, c: Arc<Counter>, depth: u32) {
+            c.fetch_add(1, Ordering::SeqCst);
+            if depth > 0 {
+                let (h2, c2) = (h.clone(), Arc::clone(&c));
+                h.spawn(move || grow(h2.clone(), c2, depth - 1));
+                let (h3, c3) = (h.clone(), Arc::clone(&c));
+                h.spawn(move || grow(h3.clone(), c3, depth - 1));
+            }
+        }
+        let (h, c) = (handle.clone(), Arc::clone(&counter));
+        handle.spawn(move || grow(h, c, 6));
+        pool.wait_idle();
+        // Full binary tree of depth 6: 2^7 - 1 nodes.
+        assert_eq!(counter.load(Ordering::SeqCst), 127);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = WorkStealingPool::new(1);
+        pool.wait_idle();
+        assert_eq!(pool.executed(), 0);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let counter = Arc::new(Counter::new(0));
+        {
+            let pool = WorkStealingPool::new(2);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_idle();
+        } // drop joins
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn tasks_run_on_worker_threads() {
+        let pool = WorkStealingPool::new(2);
+        let name = Arc::new(pdc_sync::SpinLock::new(String::new()));
+        let n2 = Arc::clone(&name);
+        pool.spawn(move || {
+            *n2.lock() = std::thread::current().name().unwrap_or("").to_string();
+        });
+        pool.wait_idle();
+        assert!(name.lock().starts_with("pdc-worker-"));
+    }
+
+    #[test]
+    fn steals_happen_under_imbalance() {
+        // Many tasks injected at once on a multi-worker pool: someone
+        // must steal from the injector at minimum.
+        let pool = WorkStealingPool::new(4);
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..500 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::yield_now();
+            });
+        }
+        pool.wait_idle();
+        assert!(pool.steals() > 0, "expected injector steals");
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        WorkStealingPool::new(0);
+    }
+
+    #[test]
+    fn panicking_task_does_not_hang_the_pool() {
+        let pool = WorkStealingPool::new(2);
+        let counter = Arc::new(Counter::new(0));
+        for i in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                if i % 10 == 0 {
+                    panic!("task {i} dies");
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle(); // must return despite 10 panicking tasks
+        assert_eq!(counter.load(Ordering::SeqCst), 90);
+        assert_eq!(pool.panicked(), 10);
+        assert_eq!(pool.executed(), 100);
+        // The pool still works afterwards.
+        let c = Arc::clone(&counter);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 91);
+    }
+}

@@ -1,0 +1,417 @@
+//! Data-parallel slice operations: map, reduce, scan, filter.
+//!
+//! The Rayon-style "change `iter` to `par_iter`" lesson, in miniature:
+//! each operation takes an explicit worker count, produces exactly the
+//! sequential result, and uses the textbook parallel algorithm —
+//! including the two-pass Blelloch scan and rank-based parallel pack that
+//! CS41 analyzes for work and span.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Split `n` items into `workers` contiguous block ranges (block
+/// partitioning with remainder spread, the CS31 lab convention).
+pub fn block_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(workers > 0);
+    let base = n / workers;
+    let rem = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
+
+/// Parallel map: `out[i] = f(&input[i])`.
+pub fn par_map<T: Sync, U: Send>(
+    input: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    assert!(workers > 0);
+    let f = &f;
+    let mut chunks: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = block_ranges(input.len(), workers)
+            .into_iter()
+            .map(|r| s.spawn(move || input[r].iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = Vec::with_capacity(input.len());
+    for c in &mut chunks {
+        out.append(c);
+    }
+    out
+}
+
+/// Parallel reduce with identity `id` and associative `op`.
+///
+/// Correct for any associative, commutative-or-not `op` because chunk
+/// results are combined in index order.
+pub fn par_reduce<T: Sync, U: Send + Clone>(
+    input: &[T],
+    workers: usize,
+    id: U,
+    leaf: impl Fn(&T) -> U + Sync,
+    op: impl Fn(U, U) -> U + Sync,
+) -> U {
+    assert!(workers > 0);
+    let (leaf, op) = (&leaf, &op);
+    let partials: Vec<U> = std::thread::scope(|s| {
+        let handles: Vec<_> = block_ranges(input.len(), workers)
+            .into_iter()
+            .map(|r| {
+                let id = id.clone();
+                s.spawn(move || {
+                    input[r]
+                        .iter()
+                        .fold(id, |acc, x| op(acc, leaf(x)))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    partials.into_iter().fold(id, |acc, p| op(acc, p))
+}
+
+/// Parallel *exclusive* scan (Blelloch two-pass over worker blocks):
+/// `out[i] = id ⊕ x[0] ⊕ ... ⊕ x[i-1]`, plus the total as second result.
+///
+/// Pass 1: each worker scans its block locally and reports its block sum.
+/// A sequential (Θ(workers)) scan of block sums produces block offsets.
+/// Pass 2: each worker adds its offset. Work Θ(n), span Θ(n/p + p).
+pub fn par_exclusive_scan<T: Send + Sync + Clone>(
+    input: &[T],
+    workers: usize,
+    id: T,
+    op: impl Fn(&T, &T) -> T + Sync,
+) -> (Vec<T>, T) {
+    assert!(workers > 0);
+    let op = &op;
+    let ranges = block_ranges(input.len(), workers);
+    // Pass 1: local exclusive scans + block totals.
+    let mut locals: Vec<(Vec<T>, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|r| {
+                let id = id.clone();
+                s.spawn(move || {
+                    let mut acc = id;
+                    let mut out = Vec::with_capacity(r.len());
+                    for x in &input[r] {
+                        out.push(acc.clone());
+                        acc = op(&acc, x);
+                    }
+                    (out, acc)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Scan of block totals (sequential; workers is small).
+    let mut offsets = Vec::with_capacity(locals.len());
+    let mut acc = id.clone();
+    for (_, total) in &locals {
+        offsets.push(acc.clone());
+        acc = op(&acc, total);
+    }
+    let grand_total = acc;
+    // Pass 2: apply offsets.
+    std::thread::scope(|s| {
+        for ((local, _), offset) in locals.iter_mut().zip(&offsets) {
+            let offset = offset.clone();
+            s.spawn(move || {
+                for v in local.iter_mut() {
+                    *v = op(&offset, v);
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(input.len());
+    for (mut local, _) in locals {
+        out.append(&mut local);
+    }
+    (out, grand_total)
+}
+
+/// Parallel inclusive scan: `out[i] = x[0] ⊕ ... ⊕ x[i]`.
+pub fn par_inclusive_scan<T: Send + Sync + Clone>(
+    input: &[T],
+    workers: usize,
+    id: T,
+    op: impl Fn(&T, &T) -> T + Sync,
+) -> Vec<T> {
+    let (mut ex, _) = par_exclusive_scan(input, workers, id, &op);
+    std::thread::scope(|s| {
+        for (r, chunk) in block_ranges(input.len(), workers)
+            .into_iter()
+            .zip(chunk_by_ranges(&mut ex, workers))
+        {
+            let op = &op;
+            s.spawn(move || {
+                for (v, x) in chunk.iter_mut().zip(&input[r]) {
+                    *v = op(v, x);
+                }
+            });
+        }
+    });
+    ex
+}
+
+/// Split a mutable slice into the same block ranges used elsewhere.
+fn chunk_by_ranges<T>(data: &mut [T], workers: usize) -> Vec<&mut [T]> {
+    let ranges = block_ranges(data.len(), workers);
+    let mut out = Vec::with_capacity(workers);
+    let mut rest = data;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// Parallel filter ("pack"): keep elements satisfying `pred`, preserving
+/// order, via flag + exclusive-scan of flags + scatter — the CS41 scan
+/// application.
+pub fn par_filter<T: Send + Sync + Clone>(
+    input: &[T],
+    workers: usize,
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Vec<T> {
+    let flags: Vec<usize> = par_map(input, workers, |x| usize::from(pred(x)));
+    let (positions, total) = par_exclusive_scan(&flags, workers, 0usize, |a, b| a + b);
+    // Scatter: out[positions[i]] = input[i] where flags[i] == 1.
+    let mut result: Vec<Option<T>> = vec![None; total];
+    // Per-block scatter with disjoint destinations is safe because
+    // positions are strictly increasing across kept elements; do it
+    // sequentially per block but in parallel across blocks by splitting
+    // the *destination* using each block's first/last position.
+    std::thread::scope(|s| {
+        let mut dest: &mut [Option<T>] = &mut result;
+        let mut consumed = 0usize;
+        for r in block_ranges(input.len(), workers) {
+            // Destination range for this source block.
+            let start = if r.is_empty() { consumed } else { positions[r.start] };
+            let end = if r.end == input.len() {
+                total
+            } else {
+                positions[r.end]
+            };
+            let (head, tail) = dest.split_at_mut(end - consumed);
+            dest = tail;
+            consumed = end;
+            debug_assert_eq!(head.len(), end - start);
+            let pred = &pred;
+            s.spawn(move || {
+                let mut k = 0;
+                for x in &input[r] {
+                    if pred(x) {
+                        head[k] = Some(x.clone());
+                        k += 1;
+                    }
+                }
+                debug_assert_eq!(k, head.len());
+            });
+        }
+    });
+    result.into_iter().map(|o| o.expect("scatter filled")).collect()
+}
+
+/// Parallel histogram with per-worker private bins merged at the end —
+/// the "avoid the shared counter" lesson.
+pub fn par_histogram<T: Sync>(
+    input: &[T],
+    workers: usize,
+    bins: usize,
+    bin_of: impl Fn(&T) -> usize + Sync,
+) -> Vec<u64> {
+    assert!(bins > 0);
+    let bin_of = &bin_of;
+    let partials: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = block_ranges(input.len(), workers)
+            .into_iter()
+            .map(|r| {
+                s.spawn(move || {
+                    let mut h = vec![0u64; bins];
+                    for x in &input[r] {
+                        let b = bin_of(x);
+                        assert!(b < bins, "bin {b} out of range");
+                        h[b] += 1;
+                    }
+                    h
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = vec![0u64; bins];
+    for p in partials {
+        for (o, v) in out.iter_mut().zip(p) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// A shared-counter histogram (atomic per bin) for contention
+/// comparisons against [`par_histogram`].
+pub fn par_histogram_shared<T: Sync>(
+    input: &[T],
+    workers: usize,
+    bins: usize,
+    bin_of: impl Fn(&T) -> usize + Sync,
+) -> Vec<u64> {
+    assert!(bins > 0);
+    let shared: Vec<AtomicUsize> = (0..bins).map(|_| AtomicUsize::new(0)).collect();
+    let bin_of = &bin_of;
+    let shared_ref = &shared;
+    std::thread::scope(|s| {
+        for r in block_ranges(input.len(), workers) {
+            s.spawn(move || {
+                for x in &input[r] {
+                    shared_ref[bin_of(x)].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    shared.iter().map(|a| a.load(Ordering::Relaxed) as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for w in [1usize, 2, 3, 8] {
+                let rs = block_ranges(n, w);
+                assert_eq!(rs.len(), w);
+                assert_eq!(rs.iter().map(|r| r.len()).sum::<usize>(), n);
+                let mut next = 0;
+                for r in rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial() {
+        let xs: Vec<i64> = (0..5000).collect();
+        for w in [1, 2, 3, 7] {
+            let got = par_map(&xs, w, |&x| x * x + 1);
+            let want: Vec<i64> = xs.iter().map(|&x| x * x + 1).collect();
+            assert_eq!(got, want, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_sum_and_max() {
+        let xs: Vec<u64> = (0..10_000).map(|i| (i * 2654435761) % 1000).collect();
+        for w in [1, 2, 4] {
+            let sum = par_reduce(&xs, w, 0u64, |&x| x, |a, b| a + b);
+            assert_eq!(sum, xs.iter().sum::<u64>());
+            let max = par_reduce(&xs, w, 0u64, |&x| x, u64::max);
+            assert_eq!(max, *xs.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn par_reduce_non_commutative_op_in_order() {
+        // String concatenation is associative but not commutative: the
+        // chunk-ordered combine must preserve order.
+        let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let got = par_reduce(
+            &xs,
+            3,
+            String::new(),
+            |x| x.clone(),
+            |a, b| a + &b,
+        );
+        assert_eq!(got, xs.concat());
+    }
+
+    #[test]
+    fn exclusive_scan_matches_serial() {
+        let xs: Vec<u64> = (1..=1000).collect();
+        for w in [1, 2, 3, 8] {
+            let (scan, total) = par_exclusive_scan(&xs, w, 0u64, |a, b| a + b);
+            let mut acc = 0;
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(scan[i], acc, "i={i} w={w}");
+                acc += x;
+            }
+            assert_eq!(total, acc);
+        }
+    }
+
+    #[test]
+    fn inclusive_scan_matches_serial() {
+        let xs: Vec<i64> = (0..500).map(|i| i % 17 - 8).collect();
+        for w in [1, 4] {
+            let got = par_inclusive_scan(&xs, w, 0i64, |a, b| a + b);
+            let mut acc = 0;
+            let want: Vec<i64> = xs
+                .iter()
+                .map(|&x| {
+                    acc += x;
+                    acc
+                })
+                .collect();
+            assert_eq!(got, want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        // Scan works for any monoid: running maximum.
+        let xs = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let got = par_inclusive_scan(&xs, 3, 0u64, |a, b| *a.max(b));
+        assert_eq!(got, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        for w in [1, 2, 5] {
+            let got = par_filter(&xs, w, |&x| x % 3 == 0);
+            let want: Vec<u32> = xs.iter().copied().filter(|&x| x % 3 == 0).collect();
+            assert_eq!(got, want, "w={w}");
+        }
+    }
+
+    #[test]
+    fn filter_empty_and_all() {
+        let xs: Vec<u8> = vec![1, 2, 3];
+        assert!(par_filter(&xs, 2, |_| false).is_empty());
+        assert_eq!(par_filter(&xs, 2, |_| true), xs);
+        let empty: Vec<u8> = vec![];
+        assert!(par_filter(&empty, 2, |_| true).is_empty());
+    }
+
+    #[test]
+    fn histograms_agree() {
+        let xs: Vec<u64> = (0..20_000).map(|i| i * 2654435761 % 97).collect();
+        let a = par_histogram(&xs, 4, 97, |&x| x as usize);
+        let b = par_histogram_shared(&xs, 4, 97, |&x| x as usize);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn scan_single_element_and_empty() {
+        let (s, t) = par_exclusive_scan(&[5u64], 4, 0, |a, b| a + b);
+        assert_eq!(s, vec![0]);
+        assert_eq!(t, 5);
+        let (s, t) = par_exclusive_scan(&[] as &[u64], 4, 0, |a, b| a + b);
+        assert!(s.is_empty());
+        assert_eq!(t, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! The binary-bomb lab on the PDC-1 ISA: generate a seeded bomb,
+//! "disassemble" it the way a student would, and defuse it.
+//!
+//! ```text
+//! cargo run --example binary_bomb
+//! ```
+
+use pdc::arch::bomb::{Bomb, Phase};
+use pdc::arch::isa::disassemble;
+
+fn main() {
+    println!("== Binary bomb lab ==\n");
+
+    // Each student gets a different bomb from their seed.
+    let student_id = 31337;
+    let bomb = Bomb::generate(student_id, 3);
+    println!("bomb for student {student_id}: 3 phases\n");
+
+    // Step 1: read the disassembly (the lab's core skill).
+    println!("-- disassembly (first 24 instructions) --");
+    for (addr, &instr) in bomb.program().code.iter().take(24).enumerate() {
+        println!("{addr:4}: {}", disassemble(instr));
+    }
+    println!("      ...\n");
+
+    // Step 2: a wrong guess explodes.
+    let attempt = bomb.attempt(&[0, 0, 0]).expect("vm runs");
+    println!(
+        "guessing [0, 0, 0]: defused {} phase(s), exploded = {}",
+        attempt.phases_defused, attempt.exploded
+    );
+
+    // Step 3: derive the answer from the disassembly (here: the key).
+    let key = bomb.answer_key();
+    println!("derived inputs from reading the code: {key:?}");
+    let win = bomb.attempt(&key).expect("vm runs");
+    assert!(win.fully_defused && !win.exploded);
+    println!(
+        "defused all {} phases. BOOM averted.\n",
+        win.phases_defused
+    );
+
+    // Bonus: a bomb whose phase computes Fibonacci inside the VM.
+    let fancy = Bomb::new(vec![Phase::Fibonacci(30), Phase::IncreasingTriple]);
+    let key = fancy.answer_key();
+    println!("bonus bomb wants [fib(30), a<b<c] = {key:?}");
+    assert!(fancy.attempt(&key).unwrap().fully_defused);
+    println!("bonus bomb defused.");
+}

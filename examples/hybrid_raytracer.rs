@@ -1,0 +1,58 @@
+//! The paper's proposed CS40 capstone: "a hybrid MPI/CUDA ray tracer to
+//! run on GPU clusters". This example renders the demo scene three ways
+//! (sequential, threaded with different loop schedules, distributed with
+//! row gathering), verifies all outputs are identical, reports the
+//! distribution traffic, and writes `raytrace.ppm`.
+//!
+//! ```text
+//! cargo run --example hybrid_raytracer --release
+//! ```
+
+use pdc::ray::render::{render_distributed, render_sequential, render_threaded};
+use pdc::ray::scene::{Camera, Scene};
+use pdc::threads::parfor::Schedule;
+
+fn main() {
+    let (w, h, depth) = (320usize, 240usize, 3u32);
+    let scene = Scene::demo();
+    let cam = Camera::demo();
+    println!("== hybrid ray tracer: {w}x{h}, reflection depth {depth} ==\n");
+
+    let t0 = std::time::Instant::now();
+    let seq = render_sequential(&scene, &cam, w, h, depth);
+    println!("sequential:        {:>8.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    for (name, sched) in [
+        ("static", Schedule::Static),
+        ("dynamic(4)", Schedule::Dynamic { chunk: 4 }),
+        ("guided", Schedule::Guided { min_chunk: 2 }),
+    ] {
+        let t0 = std::time::Instant::now();
+        let img = render_threaded(&scene, &cam, w, h, depth, 4, sched);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(img, seq, "threaded({name}) must match");
+        println!("threads x4 {name:11}: {ms:>6.1} ms  (identical image)");
+    }
+
+    for ranks in [2usize, 4] {
+        let t0 = std::time::Instant::now();
+        let (img, traffic) = render_distributed(&scene, &cam, w, h, depth, ranks);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(img, seq, "distributed must match");
+        println!(
+            "distributed p={ranks}:    {ms:>6.1} ms  ({} row messages, {} KiB gathered)",
+            traffic.messages,
+            traffic.bytes / 1024
+        );
+    }
+
+    std::fs::write("raytrace.ppm", seq.to_ppm()).expect("write image");
+    println!(
+        "\nwrote raytrace.ppm ({} KiB); mean luminance {:.1}",
+        seq.to_ppm().len() / 1024,
+        seq.mean_luminance()
+    );
+    println!("rows near the spheres cost more than sky rows — compare the");
+    println!("schedules' times on a multicore machine to see why ray tracing");
+    println!("is the canonical dynamic-scheduling workload.");
+}

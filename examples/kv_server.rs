@@ -1,0 +1,53 @@
+//! Client-server key-value store: the request/reply pattern with
+//! versioned writes and CAS — the distributed-systems introduction
+//! (CS45) and C socket client-server lab (CS87) rolled into one.
+//!
+//! ```text
+//! cargo run --example kv_server
+//! ```
+
+use pdc::mpi::kv::{Reply, Request, Server};
+
+fn main() {
+    println!("== client-server KV store ==\n");
+    let (server, client) = Server::start();
+
+    // Basic reads and writes.
+    println!("put inventory:gold = 100 -> v{}", client.put("inventory:gold", "100"));
+    println!("put inventory:gold = 95  -> v{}", client.put("inventory:gold", "95"));
+    println!("get inventory:gold       -> {:?}", client.get("inventory:gold"));
+    println!("get missing-key          -> {:?}\n", client.get("missing-key"));
+
+    // Four concurrent clients race a CAS: exactly one wins.
+    println!("4 clients race CAS(expect v2):");
+    let winners: Vec<bool> = std::thread::scope(|s| {
+        (0..4)
+            .map(|i| {
+                let c = client.clone();
+                s.spawn(move || {
+                    matches!(
+                        c.call(Request::Cas {
+                            key: "inventory:gold".into(),
+                            expect_version: 2,
+                            value: format!("claimed-by-{i}"),
+                        }),
+                        Reply::Ok { .. }
+                    )
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wins = winners.iter().filter(|&&w| w).count();
+    println!("  winners: {wins} (linearized by the server)\n");
+    assert_eq!(wins, 1);
+
+    println!("final value: {:?}", client.get("inventory:gold"));
+    let stats = server.shutdown();
+    println!(
+        "\nserver stats: {} requests, {} get hits, {} CAS conflicts",
+        stats.requests, stats.hits, stats.cas_conflicts
+    );
+}

@@ -1,0 +1,56 @@
+//! MapReduce word count — the CS87 "Hadoop lab" substitute, plus an
+//! inverted index built with the generic API.
+//!
+//! ```text
+//! cargo run --example mapreduce_wordcount
+//! ```
+
+use pdc::mpi::mapreduce::{run_job, word_count};
+
+const GETTYSBURG: &str = "Four score and seven years ago our fathers brought forth on this \
+continent a new nation conceived in Liberty and dedicated to the proposition that all men \
+are created equal Now we are engaged in a great civil war testing whether that nation or \
+any nation so conceived and so dedicated can long endure";
+
+fn main() {
+    println!("== MapReduce word count ==\n");
+    // Split the text into per-line "documents".
+    let docs: Vec<String> = GETTYSBURG
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .chunks(8)
+        .map(|c| c.join(" "))
+        .collect();
+    println!("{} documents, {} words total\n", docs.len(), GETTYSBURG.split_whitespace().count());
+
+    let (mut counts, stats) = word_count(docs.clone(), 4, 3);
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("top words:");
+    for (w, c) in counts.iter().take(8) {
+        println!("  {c:3}  {w}");
+    }
+    println!(
+        "\njob stats: {} map tasks, {} pairs shuffled, {} distinct keys, {} reducers\n",
+        stats.map_tasks, stats.shuffle_pairs, stats.distinct_keys, stats.reduce_tasks
+    );
+
+    // The generic API: an inverted index (word -> documents containing it).
+    let numbered: Vec<(usize, String)> = docs.into_iter().enumerate().collect();
+    let (index, _) = run_job(
+        numbered,
+        4,
+        2,
+        |(id, text): (usize, String)| {
+            text.split_whitespace()
+                .map(|w| (w.to_lowercase(), id))
+                .collect()
+        },
+        |_word, mut ids: Vec<usize>| {
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        },
+    );
+    let nation = index.iter().find(|(w, _)| w == "nation").unwrap();
+    println!("inverted index: 'nation' appears in documents {:?}", nation.1);
+}

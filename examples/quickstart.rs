@@ -1,0 +1,68 @@
+//! Quickstart: a five-minute tour of the workspace.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pdc::core::laws;
+use pdc::core::taskgraph::TaskGraph;
+use pdc::life::{Boundary, Grid};
+use pdc::pram::algos::scan_blelloch;
+use pdc::threads::sliceops::par_reduce;
+
+fn main() {
+    println!("== pdc quickstart ==\n");
+
+    // 1. Data parallelism: a parallel reduction over a slice.
+    let xs: Vec<u64> = (1..=1_000_000).collect();
+    let sum = par_reduce(&xs, 4, 0u64, |&x| x, |a, b| a + b);
+    println!("parallel sum of 1..=1e6          = {sum}");
+    assert_eq!(sum, 500_000_500_000);
+
+    // 2. Performance laws: what speedup should we expect?
+    let s = 0.05; // 5% serial
+    println!(
+        "Amdahl: s = {s}, p = 8   -> speedup {:.2}x (ceiling {:.0}x)",
+        laws::amdahl_speedup(s, 8),
+        laws::amdahl_ceiling(s)
+    );
+
+    // 3. Work/span: analyze a computation as a task DAG.
+    let g = TaskGraph::reduction_tree(1024);
+    let ws = g.work_span();
+    println!(
+        "reduction tree n=1024: work={}, span={}, parallelism={:.0}",
+        ws.work,
+        ws.span,
+        ws.parallelism()
+    );
+    let sched = g.schedule(8);
+    println!(
+        "greedy schedule on 8 workers: makespan={} (Brent bounds [{:.0}, {:.0}])",
+        sched.makespan,
+        ws.brent_lower(8),
+        ws.brent_upper(8)
+    );
+
+    // 4. A PRAM algorithm with exact cost accounting.
+    let input: Vec<i64> = (0..256).collect();
+    let (_, total, pram) = scan_blelloch(&input).unwrap();
+    println!(
+        "Blelloch scan on EREW PRAM: total={total}, steps={}, work={}",
+        pram.steps(),
+        pram.work()
+    );
+
+    // 5. The flagship lab: parallel Game of Life.
+    let board = Grid::random(64, 64, Boundary::Torus, 0.3, 42);
+    let (seq, _) = pdc::life::engine::step_generations(&board, 50);
+    let (par, stats) = pdc::life::parallel::parallel_step_generations(&board, 50, 4);
+    assert_eq!(seq, par, "threaded result must match sequential");
+    println!(
+        "Game of Life 64x64, 50 generations on 4 threads: population {} ({} barriers), matches sequential",
+        par.population(),
+        stats.barrier_episodes
+    );
+
+    println!("\nAll good. Next: `cargo run -p pdc-bench --bin experiments`.");
+}

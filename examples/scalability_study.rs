@@ -1,0 +1,81 @@
+//! The CS31 capstone lab, end to end: run the parallel Game of Life,
+//! verify it, sweep worker counts on the deterministic machine model,
+//! and produce the lab-report tables (speedup, efficiency, Karp–Flatt,
+//! Amdahl fit) — exactly the deliverable the paper's Table I describes
+//! as "designing and carrying out scalability experiments; analyzing
+//! data and explaining results in written report".
+//!
+//! ```text
+//! cargo run --example scalability_study --release
+//! ```
+
+use pdc::core::report::f;
+use pdc::core::scaling::{scaling_table, weak_scaling, weak_scaling_table};
+use pdc::core::stats::time_op;
+use pdc::life::scaling::modeled_strong_scaling;
+use pdc::life::{Boundary, Grid};
+
+fn main() {
+    println!("== Parallel Game of Life: the scalability study ==\n");
+
+    // Step 1: correctness. Never benchmark wrong code.
+    let board = Grid::random(128, 128, Boundary::Torus, 0.35, 1234);
+    let (seq, _) = pdc::life::engine::step_generations(&board, 20);
+    let (par, _) = pdc::life::parallel::parallel_step_generations(&board, 20, 4);
+    assert_eq!(seq, par);
+    println!("[1] threaded engine verified against sequential (128x128, 20 gens)\n");
+
+    // Step 2: wall-clock timing of the real threaded engine.
+    println!("[2] wall-clock timing (this host):");
+    for workers in [1usize, 2, 4] {
+        let t = time_op(3, || {
+            pdc::life::parallel::parallel_step_generations(&board, 10, workers)
+        });
+        println!(
+            "    {workers} worker(s): min {:?} median {:?}",
+            t.min, t.median
+        );
+    }
+    println!("    (on a single-core host the curve is flat — that's data too)\n");
+
+    // Step 3: strong scaling on the deterministic machine model.
+    let ps = [1usize, 2, 4, 8, 16, 32];
+    for (rows, cols, gens) in [(256usize, 256usize, 100usize), (1024, 1024, 100)] {
+        let curve = modeled_strong_scaling(rows, cols, gens, &ps);
+        println!(
+            "{}",
+            scaling_table(
+                &format!("[3] modeled strong scaling — {rows}x{cols}, {gens} generations"),
+                &curve
+            )
+            .render()
+        );
+        if let Some(s) = curve.fit_serial_fraction() {
+            println!(
+                "    Amdahl fit: serial fraction ~ {} -> ceiling ~ {}x\n",
+                f(s, 4),
+                f(1.0 / s.max(1e-9), 0)
+            );
+        }
+    }
+
+    // Step 4: weak scaling — grow the board with the workers.
+    let weak = weak_scaling(&[1, 2, 4, 8, 16], |p| {
+        // rows scale with p so per-worker work is constant.
+        let rows = 128 * p;
+        let mut m = pdc::core::machine::SimMachine::with_cores(p);
+        m.spawn_workers(p);
+        for _ in 0..100 {
+            m.parallel_even((rows * 256) as u64, p);
+            m.barrier(p);
+        }
+        m.finish().elapsed()
+    });
+    println!(
+        "{}",
+        weak_scaling_table("[4] modeled weak scaling — 128 rows per worker", &weak).render()
+    );
+
+    println!("Writeup prompts: where does efficiency fall below 0.9? What does the");
+    println!("rising Karp–Flatt column tell you about *why*? (sync, not serial code)");
+}

@@ -1,0 +1,61 @@
+//! The Unix-shell lab: a scripted job-control session against the
+//! simulated process table (fork/exec/wait, background jobs, signals,
+//! zombies, orphan reparenting).
+//!
+//! ```text
+//! cargo run --example shell_session
+//! ```
+
+use pdc::os::process::{ProcessState, Signal};
+use pdc::os::shell::Shell;
+
+fn main() {
+    println!("== pdc-sh: a simulated shell session ==\n");
+    let mut sh = Shell::new();
+    println!("booted: shell pid {} (child of init)\n", sh.pid());
+
+    println!("$ make all");
+    let pid = sh.run("make all", 0).unwrap();
+    println!("  [{pid}] completed rc=0");
+
+    println!("$ ./server &");
+    let server = sh.spawn_bg("./server").unwrap();
+    println!("  [{}] {}", server.job_no, server.pid);
+
+    println!("$ ./worker &");
+    let worker = sh.spawn_bg("./worker").unwrap();
+    println!("  [{}] {}", worker.job_no, worker.pid);
+
+    println!("$ jobs");
+    for j in sh.jobs() {
+        println!("  [{}]  running  {} ({})", j.job_no, j.command, j.pid);
+    }
+
+    // The worker exits on its own -> zombie until the next prompt.
+    sh.background_finishes(worker.pid, 0).unwrap();
+    println!("\n(worker exits; before the prompt it is a zombie:)");
+    println!(
+        "  state of {}: {:?}",
+        worker.pid,
+        sh.table().get(worker.pid).unwrap().state
+    );
+    assert_eq!(
+        sh.table().get(worker.pid).unwrap().state,
+        ProcessState::Zombie
+    );
+    sh.prompt();
+    println!("$ (prompt reaps it)");
+    for e in &sh.events {
+        println!("  event: {e:?}");
+    }
+
+    println!("\n$ kill -TERM {}", server.pid);
+    sh.kill(server.pid, Signal::Term).unwrap();
+    sh.prompt();
+    println!("$ jobs");
+    if sh.jobs().is_empty() {
+        println!("  (none)");
+    }
+
+    println!("\nprocess table at exit: pids {:?}", sh.table().pids());
+}

@@ -1,0 +1,58 @@
+//! # pdc — Parallel & Distributed Computing curriculum library
+//!
+//! A Rust reproduction of the technical content behind *Integrating
+//! Parallel and Distributed Computing Topics into an Undergraduate CS
+//! Curriculum* (Danner & Newhall, EduPar/IPDPSW 2013): every system,
+//! model of computation, algorithm, and experiment the Swarthmore
+//! curriculum teaches across CS31 (systems), CS41 (algorithms), CS40
+//! (graphics/GPU), CS45 (OS), and CS87 (parallel & distributed).
+//!
+//! This crate is a facade: it re-exports the workspace's subsystem
+//! crates under stable module names. See `DESIGN.md` for the full
+//! inventory and `EXPERIMENTS.md` for the paper-table reproductions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pdc::life::{Grid, Boundary};
+//! use pdc::life::parallel::parallel_step_generations;
+//!
+//! let board = Grid::random(64, 64, Boundary::Torus, 0.3, 42);
+//! let (next, stats) = parallel_step_generations(&board, 10, 4);
+//! assert_eq!(stats.barrier_episodes, 10);
+//! assert_eq!(next.rows(), 64);
+//! ```
+//!
+//! ## Subsystem map
+//!
+//! | module | contents | course |
+//! |---|---|---|
+//! | [`core`] | speedup laws, work/span, task graphs, machine model | CS31/CS41 |
+//! | [`arch`] | data representation, gate-level ALU, PDC-1 ISA, bomb | CS31 |
+//! | [`sync`] | locks, semaphores, barriers, classic problems | CS31/CS45 |
+//! | [`threads`] | fork-join, parallel-for, slice data-parallelism | CS31/CS87 |
+//! | [`pram`] | PRAM simulator + classic algorithms | CS41 |
+//! | [`extmem`] | I/O model: external sort, buffer pool, blocking | CS41 |
+//! | [`memsim`] | caches, hierarchy, MSI/MESI coherence | CS31 |
+//! | [`os`] | processes, schedulers, paging, shell | CS31/CS45 |
+//! | [`mpi`] | message passing, collectives, MapReduce, KV store | CS87/CS45 |
+//! | [`gpu`] | SIMT simulator, reduction ladder | CS40 |
+//! | [`life`] | Game of Life: seq/threaded/simulated/distributed | CS31 |
+//! | [`algos`] | sorting, selection, matrix, scan applications | CS41 |
+
+#![warn(missing_docs)]
+
+pub use pdc_algos as algos;
+pub use pdc_arch as arch;
+pub use pdc_core as core;
+pub use pdc_db as db;
+pub use pdc_extmem as extmem;
+pub use pdc_gpu as gpu;
+pub use pdc_life as life;
+pub use pdc_memsim as memsim;
+pub use pdc_mpi as mpi;
+pub use pdc_os as os;
+pub use pdc_pram as pram;
+pub use pdc_ray as ray;
+pub use pdc_sync as sync;
+pub use pdc_threads as threads;

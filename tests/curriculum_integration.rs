@@ -1,0 +1,184 @@
+//! "Semester" integration tests: each test walks one course's story
+//! through multiple crates, the way the curriculum threads a concept
+//! from circuits up to distributed systems.
+
+use pdc::core::laws;
+use pdc::core::machine::SimMachine;
+use pdc::mpi::coll;
+use pdc::mpi::world::{Rank, World};
+use pdc::sync::{BoundedBuffer, SenseBarrier};
+use std::sync::Arc;
+
+/// CS31's vertical slice: bits -> gates -> ISA -> threads.
+#[test]
+fn cs31_vertical_slice() {
+    use pdc::arch::alu::{Alu, AluOp};
+    use pdc::arch::isa::{assemble, Vm};
+    use pdc::arch::logic::{to_bits, Circuit};
+
+    // Layer 1: data representation.
+    let a: i64 = -42;
+    let pattern = pdc::arch::datarep::to_twos_complement(a, 16).unwrap();
+
+    // Layer 2: a NAND-gate adder computes with that pattern.
+    let mut circ = Circuit::new();
+    let xa = circ.input_bus("a", 16);
+    let xb = circ.input_bus("b", 16);
+    let cin = circ.constant(false);
+    let (sum, _) = circ.kogge_stone_adder(&xa, &xb, cin);
+    let mut inputs = to_bits(pattern, 16);
+    inputs.extend(to_bits(100, 16));
+    let gate_result = circ.eval_bus_u64(&inputs, &sum);
+
+    // Layer 3: the word-level ALU agrees with the gates.
+    let alu = Alu::new(16);
+    let (alu_result, _) = alu.exec(AluOp::Add, pattern, 100);
+    assert_eq!(gate_result, alu_result);
+    assert_eq!(
+        pdc::arch::datarep::from_twos_complement(alu_result, 16).unwrap(),
+        58
+    );
+
+    // Layer 4: the same arithmetic runs as a program on the VM.
+    let prog = assemble("in\npush 100\nadd\nout\nhalt").unwrap();
+    let mut vm = Vm::new(prog, 4).with_input([a]);
+    vm.run(100).unwrap();
+    assert_eq!(vm.output, vec![58]);
+
+    // Layer 5: and as a threaded computation with a barrier.
+    let barrier = Arc::new(SenseBarrier::new(4));
+    let results: Vec<i64> = std::thread::scope(|s| {
+        (0..4)
+            .map(|i| {
+                let b = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let local = a + 100 + i; // each worker's variant
+                    b.wait();
+                    local
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(results, vec![58, 59, 60, 61]);
+}
+
+/// CS31's synchronization story: producer-consumer between stages.
+#[test]
+fn cs31_pipeline_of_stages() {
+    // Stage 1 produces squares; stage 2 filters; stage 3 sums.
+    let q1 = Arc::new(BoundedBuffer::new(8));
+    let q2 = Arc::new(BoundedBuffer::new(8));
+    let total = std::thread::scope(|s| {
+        let (q1a, q1b) = (Arc::clone(&q1), Arc::clone(&q1));
+        let (q2a, q2b) = (Arc::clone(&q2), Arc::clone(&q2));
+        s.spawn(move || {
+            for i in 1..=100i64 {
+                q1a.put(i * i);
+            }
+            q1a.put(-1); // poison pill
+        });
+        s.spawn(move || loop {
+            let v = q1b.take();
+            if v == -1 {
+                q2a.put(-1);
+                break;
+            }
+            if v % 2 == 0 {
+                q2a.put(v);
+            }
+        });
+        let h = s.spawn(move || {
+            let mut sum = 0i64;
+            loop {
+                let v = q2b.take();
+                if v == -1 {
+                    return sum;
+                }
+                sum += v;
+            }
+        });
+        h.join().unwrap()
+    });
+    let want: i64 = (1..=100i64).map(|i| i * i).filter(|v| v % 2 == 0).sum();
+    assert_eq!(total, want);
+}
+
+/// CS41's analysis story: predict with work/span, then observe the
+/// prediction hold on the simulated machine and the PRAM.
+#[test]
+fn cs41_predict_then_measure() {
+    let n = 4096usize;
+    // Prediction: reduce has span ceil(log2 n), so even unlimited
+    // processors cannot beat that.
+    let input: Vec<i64> = (0..n as i64).collect();
+    let (_, pram) = pdc::pram::algos::reduce_sum(&input).unwrap();
+    let ws = pram.work_span();
+    assert_eq!(ws.span, 12); // log2(4096)
+    let unlimited = pram.time_on(1 << 20);
+    assert_eq!(unlimited, ws.span, "span is the floor");
+    // Speedup curve bends exactly where Brent says.
+    let t1 = pram.time_on(1);
+    for p in [2usize, 8, 64] {
+        let tp = pram.time_on(p);
+        let measured = t1 as f64 / tp as f64;
+        let bound = ws.parallelism().min(p as f64);
+        assert!(measured <= bound + 1e-9, "p={p}: {measured} > {bound}");
+    }
+}
+
+/// CS87's distributed story: SPMD program mixing collectives, verified
+/// against the sequential spec, with Amdahl bookkeeping.
+#[test]
+fn cs87_spmd_program() {
+    let p = 6;
+    let n = 600usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 23).collect();
+    let want_sum: i64 = data.iter().sum();
+    let want_max = *data.iter().max().unwrap();
+
+    let chunks: Vec<Vec<i64>> = data.chunks(n / p).map(<[i64]>::to_vec).collect();
+    let (results, traffic) = World::run(p, |r: &mut Rank<i64>| {
+        let mine = &chunks[r.id()];
+        let local_sum: i64 = mine.iter().sum();
+        let local_max = *mine.iter().max().unwrap();
+        let sum = coll::allreduce(r, local_sum, |a, b| a + b);
+        let max = coll::allreduce(r, local_max, i64::max);
+        coll::barrier(r);
+        (sum, max)
+    });
+    for (sum, max) in results {
+        assert_eq!(sum, want_sum);
+        assert_eq!(max, want_max);
+    }
+    // Traffic: 2 allreduces (2*2*(p-1)) + barrier (p*ceil(log2 p)).
+    let expect = 2 * 2 * (p as u64 - 1) + (p as u64) * 3;
+    assert_eq!(traffic.messages, expect);
+}
+
+/// The curriculum's quantitative throughline: measured speedups always
+/// respect Amdahl once you know the serial fraction.
+#[test]
+fn amdahl_governs_the_simulated_machine() {
+    // A program with an explicitly serial setup phase.
+    let serial_ops = 10_000u64;
+    let parallel_ops = 90_000u64;
+    let s = serial_ops as f64 / (serial_ops + parallel_ops) as f64;
+    let time = |p: usize| {
+        let mut m = SimMachine::new(pdc::core::machine::MachineConfig::ideal(p));
+        m.serial(serial_ops);
+        m.parallel_even(parallel_ops, p);
+        m.finish().elapsed()
+    };
+    let t1 = time(1);
+    for p in [2usize, 4, 8, 16, 100] {
+        let measured = t1 / time(p);
+        let predicted = laws::amdahl_speedup(s, p);
+        assert!(
+            (measured - predicted).abs() / predicted < 0.01,
+            "p={p}: measured {measured} vs Amdahl {predicted}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests over the algorithm suite: every sorting,
+//! selection, scan, and merge implementation must agree with its
+//! specification on arbitrary inputs.
+
+use pdc::algos::mergesort::{merge, merge_sort, parallel_merge, parallel_merge_sort_pmerge};
+use pdc::algos::scanapps::{max_subarray_sum, radix_sort_u64};
+use pdc::algos::selection::{median_of_medians, parallel_select, quickselect};
+use pdc::algos::sorting::{parallel_quicksort, quicksort, sample_sort};
+use pdc::threads::sliceops::{par_exclusive_scan, par_filter, par_map, par_reduce};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_sorts_match_std(data in prop::collection::vec(any::<i64>(), 0..400)) {
+        let mut want = data.clone();
+        want.sort();
+        prop_assert_eq!(merge_sort(&data), want.clone());
+        prop_assert_eq!(parallel_merge_sort_pmerge(&data, 3), want.clone());
+        let mut q = data.clone();
+        quicksort(&mut q);
+        prop_assert_eq!(q, want.clone());
+        let mut pq = data.clone();
+        parallel_quicksort(&mut pq, 3);
+        prop_assert_eq!(pq, want.clone());
+        let (ss, _) = sample_sort(&data, 4, 2, 0);
+        prop_assert_eq!(ss, want);
+    }
+
+    #[test]
+    fn radix_sort_matches_std(data in prop::collection::vec(any::<u64>(), 0..300)) {
+        let mut want = data.clone();
+        want.sort_unstable();
+        prop_assert_eq!(radix_sort_u64(&data, 2), want);
+    }
+
+    #[test]
+    fn merge_of_sorted_inputs_is_sorted_union(
+        mut a in prop::collection::vec(any::<i32>(), 0..200),
+        mut b in prop::collection::vec(any::<i32>(), 0..200),
+    ) {
+        a.sort();
+        b.sort();
+        let m = merge(&a, &b);
+        prop_assert_eq!(m.len(), a.len() + b.len());
+        prop_assert!(m.windows(2).all(|w| w[0] <= w[1]));
+        // Multiset equality.
+        let mut all: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
+        all.sort();
+        let mut got = m.clone();
+        got.sort();
+        prop_assert_eq!(got, all);
+        // Parallel merge agrees as a multiset and is sorted.
+        let pm = parallel_merge(&a, &b, 3);
+        prop_assert!(pm.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(pm.len(), m.len());
+    }
+
+    #[test]
+    fn selection_equals_sorted_index(
+        data in prop::collection::vec(any::<i64>(), 1..300),
+        k_seed in any::<u64>(),
+    ) {
+        let k = (k_seed % data.len() as u64) as usize;
+        let mut sorted = data.clone();
+        sorted.sort();
+        prop_assert_eq!(quickselect(&data, k, 1), sorted[k]);
+        prop_assert_eq!(median_of_medians(&data, k), sorted[k]);
+        prop_assert_eq!(parallel_select(&data, k, 3, 1), sorted[k]);
+    }
+
+    #[test]
+    fn par_map_filter_reduce_match_serial(
+        data in prop::collection::vec(-1000i64..1000, 0..500),
+        workers in 1usize..6,
+    ) {
+        let mapped = par_map(&data, workers, |&x| x * 2 + 1);
+        let want: Vec<i64> = data.iter().map(|&x| x * 2 + 1).collect();
+        prop_assert_eq!(mapped, want);
+
+        let filtered = par_filter(&data, workers, |&x| x % 3 == 0);
+        let want: Vec<i64> = data.iter().copied().filter(|&x| x % 3 == 0).collect();
+        prop_assert_eq!(filtered, want);
+
+        let sum = par_reduce(&data, workers, 0i64, |&x| x, |a, b| a + b);
+        prop_assert_eq!(sum, data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn exclusive_scan_spec(
+        data in prop::collection::vec(-500i64..500, 0..400),
+        workers in 1usize..6,
+    ) {
+        let (scan, total) = par_exclusive_scan(&data, workers, 0i64, |a, b| a + b);
+        let mut acc = 0i64;
+        for (i, &x) in data.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn max_subarray_matches_kadane(data in prop::collection::vec(-50i64..50, 1..300)) {
+        let mut best = 0i64;
+        let mut cur = 0i64;
+        for &x in &data {
+            cur = (cur + x).max(0);
+            best = best.max(cur);
+        }
+        prop_assert_eq!(max_subarray_sum(&data, 3), best);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the distributed and memory-system
+//! substrates: collectives on arbitrary values, external sort vs std
+//! sort, coherence protocol invariants on random traces, DHT stability,
+//! 2PC atomicity, scheduler conservation laws.
+
+use pdc::db::dht::HashRing;
+use pdc::db::twopc::{Coordinator, Fault};
+use pdc::extmem::device::Disk;
+use pdc::extmem::extsort::{external_merge_sort, SortConfig};
+use pdc::memsim::coherence::{CoherenceSim, Protocol};
+use pdc::mpi::coll;
+use pdc::mpi::world::{Rank, World};
+use pdc::os::sched::{simulate as sched_sim, Job, SchedPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allreduce_sum_any_values(
+        values in prop::collection::vec(-10_000i64..10_000, 2..9),
+    ) {
+        let p = values.len();
+        let want: i64 = values.iter().sum();
+        let vals = values.clone();
+        let (results, stats) = World::run(p, move |r: &mut Rank<i64>| {
+            coll::allreduce(r, vals[r.id()], |a, b| a + b)
+        });
+        prop_assert!(results.iter().all(|&v| v == want));
+        prop_assert_eq!(stats.messages, 2 * (p as u64 - 1));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(
+        values in prop::collection::vec(any::<u64>(), 2..9),
+        root_seed in any::<u64>(),
+    ) {
+        let p = values.len();
+        let root = (root_seed % p as u64) as usize;
+        let vals = values.clone();
+        let (results, _) = World::run(p, move |r: &mut Rank<u64>| {
+            // Gather everyone's value at root, then scatter it back.
+            let gathered = coll::gather(r, root, vals[r.id()]);
+            let mine = coll::scatter(r, root, gathered);
+            mine
+        });
+        prop_assert_eq!(results, values);
+    }
+
+    #[test]
+    fn exclusive_scan_any_op_values(
+        values in prop::collection::vec(0u64..1000, 2..9),
+    ) {
+        let p = values.len();
+        let vals = values.clone();
+        let (results, _) = World::run(p, move |r: &mut Rank<u64>| {
+            coll::exclusive_scan(r, 0, vals[r.id()], |a, b| a + b)
+        });
+        let mut acc = 0;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(results[i], acc, "rank {}", i);
+            acc += v;
+        }
+    }
+
+    #[test]
+    fn external_sort_equals_std_sort(
+        data in prop::collection::vec(any::<u64>(), 0..600),
+        mem_pow in 5usize..9, // memory 32..256 records
+    ) {
+        let memory = 1 << mem_pow;
+        let mut want = data.clone();
+        want.sort_unstable();
+        let mut disk = Disk::new(8);
+        let input = disk.create_file(data);
+        let out = external_merge_sort(&mut disk, input, SortConfig { memory });
+        prop_assert_eq!(disk.contents(out), &want[..]);
+    }
+
+    #[test]
+    fn coherence_invariants_hold_on_random_traces(
+        events in prop::collection::vec((0usize..4, 0u64..512, any::<bool>()), 1..300),
+        mesi in any::<bool>(),
+    ) {
+        let protocol = if mesi { Protocol::Mesi } else { Protocol::Msi };
+        let mut sim = CoherenceSim::new(protocol, 4, 64);
+        for (i, &(c, a, w)) in events.iter().enumerate() {
+            sim.access(c, a, w);
+            if let Some(violation) = sim.check_invariants() {
+                prop_assert!(false, "after event {i}: {violation}");
+            }
+        }
+        // Conservation: hits + misses = accesses.
+        let s = sim.stats();
+        prop_assert_eq!(s.hits + s.misses, events.len() as u64);
+    }
+
+    #[test]
+    fn dht_total_and_stable(
+        node_count in 2u64..8,
+        key_count in 1usize..300,
+    ) {
+        let mut ring = HashRing::new(32);
+        for n in 0..node_count {
+            ring.add_node(n);
+        }
+        let keys: Vec<String> = (0..key_count).map(|i| format!("key{i}")).collect();
+        // Total: every key routes somewhere valid.
+        for k in &keys {
+            let n = ring.node_for(k).unwrap();
+            prop_assert!(n < node_count);
+        }
+        // Stability: removing an unrelated node never reroutes keys that
+        // were not on it.
+        let victim = node_count - 1;
+        let before: Vec<_> = keys.iter().map(|k| ring.node_for(k).unwrap()).collect();
+        let mut after = ring.clone();
+        after.remove_node(victim);
+        for (k, &b) in keys.iter().zip(&before) {
+            if b != victim {
+                prop_assert_eq!(after.node_for(k), Some(b), "stable key {}", k);
+            } else {
+                prop_assert_ne!(after.node_for(k), Some(victim));
+            }
+        }
+    }
+
+    #[test]
+    fn twopc_always_atomic(
+        fault_codes in prop::collection::vec(0u8..4, 1..7),
+    ) {
+        let faults: Vec<Fault> = fault_codes
+            .iter()
+            .map(|&c| match c {
+                0 => Fault::None,
+                1 => Fault::VoteNo,
+                2 => Fault::CrashBeforeVote,
+                _ => Fault::CrashAfterVote,
+            })
+            .collect();
+        let mut coord = Coordinator::new(&faults);
+        let d = coord.run();
+        coord.recover_all();
+        prop_assert!(coord.is_atomic());
+        for p in &coord.participants {
+            prop_assert_eq!(p.outcome(), Some(d));
+        }
+    }
+
+    #[test]
+    fn schedulers_conserve_cpu_time(
+        bursts in prop::collection::vec(1u64..30, 1..12),
+        arrivals in prop::collection::vec(0u64..50, 12),
+        quantum in 1u64..8,
+    ) {
+        let jobs: Vec<Job> = bursts
+            .iter()
+            .zip(&arrivals)
+            .map(|(&b, &a)| Job::new(a, b))
+            .collect();
+        let total: u64 = jobs.iter().map(|j| j.burst).sum();
+        for policy in [
+            SchedPolicy::Fcfs,
+            SchedPolicy::Sjf,
+            SchedPolicy::RoundRobin { quantum },
+            SchedPolicy::Priority,
+            SchedPolicy::Mlfq { base_quantum: quantum },
+        ] {
+            let m = sched_sim(policy, &jobs);
+            // Makespan >= total work; every job finishes after arrival+burst.
+            prop_assert!(m.makespan >= total, "{policy:?}");
+            for (j, job) in m.jobs.iter().zip(&jobs) {
+                prop_assert!(j.completion >= job.arrival + job.burst, "{policy:?}");
+                prop_assert_eq!(j.turnaround, j.waiting + job.burst);
+                prop_assert!(j.response <= j.waiting);
+            }
+            // CPU never idles while work is available: makespan equals
+            // total burst plus idle gaps, which only occur before the
+            // last arrival; we check the weaker but universal bound.
+            let last_arrival = jobs.iter().map(|j| j.arrival).max().unwrap();
+            prop_assert!(m.makespan <= last_arrival + total, "{policy:?}");
+        }
+    }
+}

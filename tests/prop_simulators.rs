@@ -1,0 +1,179 @@
+//! Property-based tests over the simulators: machine-level invariants
+//! that must hold for *any* input — determinism, conservation, bounds.
+
+use pdc::arch::datarep;
+use pdc::arch::isa::{assemble, Instr, Program, Vm};
+use pdc::core::taskgraph::TaskGraph;
+use pdc::memsim::cache::{Cache, CacheConfig};
+use pdc::os::vm::{run as page_run, ReplacePolicy};
+use pdc::pram::algos::reduce_sum;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn twos_complement_roundtrips(v in any::<i64>(), bits in 1u32..=64) {
+        let min = datarep::signed_min(bits);
+        let max = datarep::signed_max(bits);
+        let v = v.clamp(min, max);
+        let p = datarep::to_twos_complement(v, bits).unwrap();
+        prop_assert_eq!(datarep::from_twos_complement(p, bits).unwrap(), v);
+        // Sign extension to 64 bits preserves the value.
+        let wide = datarep::sign_extend(p, bits, 64).unwrap();
+        prop_assert_eq!(wide as i64, v);
+    }
+
+    #[test]
+    fn add_with_flags_matches_wrapping(a in any::<u64>(), b in any::<u64>(), bits in 1u32..=64) {
+        let mask = datarep::unsigned_max(bits);
+        let (a, b) = (a & mask, b & mask);
+        let r = datarep::add_with_flags(a, b, bits);
+        prop_assert_eq!(r.pattern, a.wrapping_add(b) & mask);
+        // Carry iff true sum exceeds the width.
+        prop_assert_eq!(r.carry, (a as u128 + b as u128) > mask as u128);
+    }
+
+    #[test]
+    fn cache_conservation_laws(
+        addrs in prop::collection::vec(0u64..4096, 1..500),
+        ways_pow in 0u32..3,
+        sets_pow in 0u32..5,
+    ) {
+        let cfg = CacheConfig {
+            line_size: 64,
+            sets: 1 << sets_pow,
+            ways: 1 << ways_pow,
+            replacement: pdc::memsim::cache::ReplacementPolicy::Lru,
+            write: pdc::memsim::cache::WritePolicy::WriteBackAllocate,
+        };
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.read(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        // Evictions never exceed misses; distinct lines bound compulsory
+        // misses from below.
+        prop_assert!(s.evictions <= s.misses);
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(s.misses >= lines.len() as u64);
+        // Reads never write back (nothing is dirty).
+        prop_assert_eq!(s.writebacks, 0);
+    }
+
+    #[test]
+    fn bigger_lru_cache_never_misses_more(
+        addrs in prop::collection::vec(0u64..2048, 1..400),
+    ) {
+        // LRU is a stack algorithm: inclusion holds for fully-assoc
+        // caches of growing size.
+        let mut last = u64::MAX;
+        for lines in [2usize, 4, 8, 16] {
+            let mut c = Cache::new(CacheConfig::fully_associative(64, lines));
+            for &a in &addrs {
+                c.read(a);
+            }
+            let misses = c.stats().misses;
+            prop_assert!(misses <= last, "lru anomaly at {lines} lines");
+            last = misses;
+        }
+    }
+
+    #[test]
+    fn opt_paging_is_optimal(
+        refs in prop::collection::vec(0u64..12, 1..200),
+        frames in 1usize..8,
+    ) {
+        let opt = page_run(ReplacePolicy::Opt, frames, &refs).faults;
+        for policy in [ReplacePolicy::Fifo, ReplacePolicy::Lru, ReplacePolicy::Clock] {
+            let f = page_run(policy, frames, &refs).faults;
+            prop_assert!(opt <= f, "{policy:?} beat OPT");
+        }
+        // Even OPT pays the compulsory miss for each distinct page.
+        let mut distinct = refs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(opt >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn vm_is_deterministic(inputs in prop::collection::vec(-1000i64..1000, 2..10)) {
+        let prog = assemble("in\nin\nadd\ndup\nmul\nout\nhalt").unwrap();
+        let run = |inp: &[i64]| {
+            let mut vm = Vm::new(prog.clone(), 4).with_input(inp.to_vec());
+            vm.run(1000).unwrap();
+            (vm.output.clone(), vm.steps())
+        };
+        let a = run(&inputs);
+        let b = run(&inputs);
+        prop_assert_eq!(&a, &b, "same input, same trace");
+        let expect = (inputs[0] + inputs[1]).wrapping_mul(inputs[0] + inputs[1]);
+        prop_assert_eq!(a.0[0], expect);
+    }
+
+    #[test]
+    fn random_dags_respect_brent(
+        costs in prop::collection::vec(1u64..20, 2..40),
+        edge_seed in any::<u64>(),
+        p in 1usize..9,
+    ) {
+        // Build a random DAG: edges only from lower to higher index.
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = costs.iter().map(|&c| g.add_task(c)).collect();
+        let mut x = edge_seed | 1;
+        for j in 1..ids.len() {
+            for i in 0..j {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x >> 62 == 0 {
+                    g.add_dep(ids[i], ids[j]);
+                }
+            }
+        }
+        let ws = g.work_span();
+        let sched = g.schedule(p);
+        let t = sched.makespan as f64;
+        prop_assert!(t >= ws.brent_lower(p) - 1e-9);
+        prop_assert!(t <= ws.brent_upper(p) + 1e-9);
+        // One worker executes exactly the work.
+        prop_assert_eq!(g.schedule(1).makespan, ws.work);
+    }
+
+    #[test]
+    fn pram_reduce_any_input(data in prop::collection::vec(-10_000i64..10_000, 1..200)) {
+        let (sum, pram) = reduce_sum(&data).unwrap();
+        prop_assert_eq!(sum, data.iter().sum::<i64>());
+        if data.len() > 1 {
+            // Work is always exactly n-1 combines.
+            prop_assert_eq!(pram.work(), data.len() as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn assembler_roundtrips_random_programs(
+        ops in prop::collection::vec(0usize..8, 1..50),
+        imms in prop::collection::vec(any::<i32>(), 50),
+    ) {
+        // Build a random straight-line program from a safe opcode menu.
+        let mut code = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let imm = i64::from(imms[i % imms.len()]);
+            code.push(match op {
+                0 => Instr::Push(imm),
+                1 => Instr::Nop,
+                2 => Instr::Push(imm),
+                3 => Instr::Out,
+                4 => Instr::Dup,
+                5 => Instr::Add,
+                6 => Instr::Swap,
+                _ => Instr::Neg,
+            });
+        }
+        code.push(Instr::Halt);
+        let text: Vec<String> = code.iter().map(|&i| pdc::arch::isa::disassemble(i)).collect();
+        let prog2: Program = assemble(&text.join("\n")).unwrap();
+        prop_assert_eq!(prog2.code, code);
+    }
+}
