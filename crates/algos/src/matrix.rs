@@ -165,9 +165,7 @@ pub fn matmul_strassen(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
 
 fn quad(a: &Matrix) -> [Matrix; 4] {
     let h = a.rows / 2;
-    let mk = |r0: usize, c0: usize| {
-        Matrix::from_fn(h, h, |i, j| a.get(r0 + i, c0 + j))
-    };
+    let mk = |r0: usize, c0: usize| Matrix::from_fn(h, h, |i, j| a.get(r0 + i, c0 + j));
     [mk(0, 0), mk(0, h), mk(h, 0), mk(h, h)]
 }
 
@@ -198,7 +196,11 @@ fn strassen_rec(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
     for i in 0..h {
         for j in 0..h {
             // C11 = M1 + M4 − M5 + M7
-            c.set(i, j, m1.get(i, j) + m4.get(i, j) - m5.get(i, j) + m7.get(i, j));
+            c.set(
+                i,
+                j,
+                m1.get(i, j) + m4.get(i, j) - m5.get(i, j) + m7.get(i, j),
+            );
             // C12 = M3 + M5
             c.set(i, j + h, m3.get(i, j) + m5.get(i, j));
             // C21 = M2 + M4

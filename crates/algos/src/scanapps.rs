@@ -31,9 +31,7 @@ pub fn line_of_sight(altitudes: &[f64], workers: usize) -> Vec<bool> {
         })
         .collect();
     // Exclusive max-scan gives the max slope strictly before each point.
-    let (prefix_max, _) = par_exclusive_scan(&slopes, workers, f64::NEG_INFINITY, |a, b| {
-        a.max(*b)
-    });
+    let (prefix_max, _) = par_exclusive_scan(&slopes, workers, f64::NEG_INFINITY, |a, b| a.max(*b));
     slopes
         .iter()
         .zip(&prefix_max)

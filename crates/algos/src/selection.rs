@@ -122,9 +122,9 @@ mod tests {
     fn check_all_ks(data: &[i64]) {
         let mut sorted = data.to_vec();
         sorted.sort();
-        for k in 0..data.len() {
-            assert_eq!(quickselect(data, k, 42), sorted[k], "qs k={k}");
-            assert_eq!(median_of_medians(data, k), sorted[k], "mom k={k}");
+        for (k, &expect) in sorted.iter().enumerate() {
+            assert_eq!(quickselect(data, k, 42), expect, "qs k={k}");
+            assert_eq!(median_of_medians(data, k), expect, "mom k={k}");
         }
     }
 

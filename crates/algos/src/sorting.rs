@@ -42,11 +42,7 @@ fn insertion_sort<T: Ord>(data: &mut [T]) {
 fn partition<T: Ord>(data: &mut [T], rng: &mut Rng) -> usize {
     let n = data.len();
     // Median of three random probes resists adversarial inputs.
-    let (a, b, c) = (
-        rng.usize_in(0, n),
-        rng.usize_in(0, n),
-        rng.usize_in(0, n),
-    );
+    let (a, b, c) = (rng.usize_in(0, n), rng.usize_in(0, n), rng.usize_in(0, n));
     let pivot_idx = median3(data, a, b, c);
     data.swap(pivot_idx, n - 1);
     let mut store = 0;

@@ -100,7 +100,7 @@ impl BitVec {
 
     /// Append a bit.
     pub fn push(&mut self, value: bool) {
-        if self.len % WORD_BITS == 0 {
+        if self.len.is_multiple_of(WORD_BITS) {
             self.words.push(0);
         }
         self.len += 1;
@@ -250,12 +250,13 @@ mod tests {
         let bits: Vec<bool> = (0..300).map(|i| (i * 7) % 5 == 0).collect();
         let v = BitVec::from_bools(&bits);
         let mut naive = 0;
-        for i in 0..=300 {
+        for (i, &bit) in bits.iter().enumerate() {
             assert_eq!(v.rank(i), naive, "rank({i})");
-            if i < 300 && bits[i] {
+            if bit {
                 naive += 1;
             }
         }
+        assert_eq!(v.rank(300), naive, "rank(300)");
     }
 
     #[test]

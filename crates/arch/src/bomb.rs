@@ -58,15 +58,15 @@ impl Phase {
     /// Emit the assembly for this phase. `idx` uniquely suffixes labels.
     fn emit(&self, idx: usize) -> String {
         match *self {
-            Phase::Equals(k) => format!(
-                "in\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
-            ),
-            Phase::PairSum(k) => format!(
-                "in\nin\nadd\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
-            ),
-            Phase::XorKey(a, b) => format!(
-                "in\npush {a}\npush {b}\nxor\neq\njz explode\npush {DEFUSED_CODE}\nout\n",
-            ),
+            Phase::Equals(k) => {
+                format!("in\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",)
+            }
+            Phase::PairSum(k) => {
+                format!("in\nin\nadd\npush {k}\neq\njz explode\npush {DEFUSED_CODE}\nout\n",)
+            }
+            Phase::XorKey(a, b) => {
+                format!("in\npush {a}\npush {b}\nxor\neq\njz explode\npush {DEFUSED_CODE}\nout\n",)
+            }
             Phase::IncreasingTriple => format!(
                 concat!(
                     "in\nin\nin\n", // stack: a b c
@@ -87,18 +87,18 @@ impl Phase {
                     "in\n",                       // guess
                     "push {n}\npush 0\npush 1\n", // guess i a b
                     "fib{idx}:\n",
-                    "push 0\nstore\n",            // mem[0]=b ; guess i a
-                    "push 1\nstore\n",            // mem[1]=a ; guess i
+                    "push 0\nstore\n", // mem[0]=b ; guess i a
+                    "push 1\nstore\n", // mem[1]=a ; guess i
                     "dup\njz fibdone{idx}\n",
-                    "push 1\nsub\n",              // guess i-1
-                    "push 0\nload\n",             // guess i' b        (a' = b)
-                    "push 1\nload\n",             // guess i' b a
-                    "push 0\nload\n",             // guess i' b a b
-                    "add\n",                      // guess i' b (a+b)  (b' = a+b)
+                    "push 1\nsub\n",  // guess i-1
+                    "push 0\nload\n", // guess i' b        (a' = b)
+                    "push 1\nload\n", // guess i' b a
+                    "push 0\nload\n", // guess i' b a b
+                    "add\n",          // guess i' b (a+b)  (b' = a+b)
                     "jmp fib{idx}\n",
                     "fibdone{idx}:\n",
-                    "pop\n",                      // guess
-                    "push 1\nload\n",             // guess fib(n)
+                    "pop\n",          // guess
+                    "push 1\nload\n", // guess fib(n)
                     "eq\njz explode\n",
                     "push {defused}\nout\n"
                 ),
@@ -131,9 +131,7 @@ impl Bomb {
             src.push_str(&phase.emit(i));
         }
         src.push_str(&format!("push {SUCCESS_CODE}\nout\nhalt\n"));
-        src.push_str(&format!(
-            "explode:\npush {EXPLOSION_CODE}\nout\nhalt\n"
-        ));
+        src.push_str(&format!("explode:\npush {EXPLOSION_CODE}\nout\nhalt\n"));
         let program = assemble(&src).expect("bomb assembly is well-formed");
         Bomb { phases, program }
     }
@@ -188,11 +186,7 @@ impl Bomb {
             // not a harness error.
             Err(VmError::InputExhausted { .. }) => {
                 return Ok(AttemptOutcome {
-                    phases_defused: vm
-                        .output
-                        .iter()
-                        .filter(|&&v| v == DEFUSED_CODE)
-                        .count(),
+                    phases_defused: vm.output.iter().filter(|&&v| v == DEFUSED_CODE).count(),
                     exploded: false,
                     fully_defused: false,
                 })
@@ -280,11 +274,7 @@ mod tests {
 
     #[test]
     fn multi_phase_partial_progress() {
-        let bomb = Bomb::new(vec![
-            Phase::Equals(1),
-            Phase::Equals(2),
-            Phase::Equals(3),
-        ]);
+        let bomb = Bomb::new(vec![Phase::Equals(1), Phase::Equals(2), Phase::Equals(3)]);
         // Defuse two phases, explode on the third.
         let out = bomb.attempt(&[1, 2, 999]).unwrap();
         assert_eq!(out.phases_defused, 2);

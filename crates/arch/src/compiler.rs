@@ -36,6 +36,10 @@ pub enum Expr {
     Neg(Box<Expr>),
 }
 
+// The op-named constructors (`add`, `mul`, ...) are free associated
+// functions building AST nodes, not arithmetic on `Expr` values, so the
+// std ops traits are the wrong shape for them.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience constructors.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -59,9 +63,7 @@ impl Expr {
         match self {
             Expr::Const(_) => 0,
             Expr::Var(i) => i + 1,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
-                a.num_vars().max(b.num_vars())
-            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => a.num_vars().max(b.num_vars()),
             Expr::Neg(a) => a.num_vars(),
         }
     }
@@ -243,10 +245,12 @@ pub fn compile_and_run(
 /// A deterministic random expression (for differential testing).
 pub fn random_expr(seed: u64, depth: u32, nvars: u32) -> Expr {
     fn go(state: &mut u64, depth: u32, nvars: u32) -> Expr {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let r = *state >> 33;
-        if depth == 0 || r % 5 == 0 {
-            if r % 2 == 0 && nvars > 0 {
+        if depth == 0 || r.is_multiple_of(5) {
+            if r.is_multiple_of(2) && nvars > 0 {
                 Expr::Var((r >> 8) as u32 % nvars)
             } else {
                 // Small constants keep products from always wrapping, and
@@ -307,10 +311,7 @@ mod tests {
         assert_eq!(optimize(&Expr::sub(x(), x())), c(0));
         assert_eq!(optimize(&Expr::neg(Expr::neg(x()))), x());
         // Nested: ((x*1) + 0) - (x - x) = x.
-        let e = Expr::sub(
-            Expr::add(Expr::mul(x(), c(1)), c(0)),
-            Expr::sub(x(), x()),
-        );
+        let e = Expr::sub(Expr::add(Expr::mul(x(), c(1)), c(0)), Expr::sub(x(), x()));
         assert_eq!(optimize(&e), x());
     }
 

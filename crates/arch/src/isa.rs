@@ -195,10 +195,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if lbl.is_empty() || lbl.contains(char::is_whitespace) {
                 break; // not a label; leave for mnemonic parsing
             }
-            if labels
-                .insert(lbl.to_string(), items.len() as u32)
-                .is_some()
-            {
+            if labels.insert(lbl.to_string(), items.len() as u32).is_some() {
                 return Err(AsmError::DuplicateLabel {
                     line,
                     label: lbl.to_string(),
@@ -257,18 +254,19 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     }
 
     // Pass 2: resolve.
-    let resolve = |name: &str, line: usize, labels: &HashMap<String, u32>| -> Result<u32, AsmError> {
-        if let Some(&a) = labels.get(name) {
-            return Ok(a);
-        }
-        parse_literal(name)
-            .ok()
-            .and_then(|v| u32::try_from(v).ok())
-            .ok_or_else(|| AsmError::UndefinedLabel {
-                line,
-                label: name.to_string(),
-            })
-    };
+    let resolve =
+        |name: &str, line: usize, labels: &HashMap<String, u32>| -> Result<u32, AsmError> {
+            if let Some(&a) = labels.get(name) {
+                return Ok(a);
+            }
+            parse_literal(name)
+                .ok()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    line,
+                    label: name.to_string(),
+                })
+        };
 
     let mut code = Vec::with_capacity(items.len());
     for (line, mnem, operand) in items {
@@ -587,8 +585,17 @@ impl Vm {
                 self.push(b)?;
                 self.push(a)?;
             }
-            Instr::Add | Instr::Sub | Instr::Mul | Instr::And | Instr::Or | Instr::Xor
-            | Instr::Shl | Instr::Shr | Instr::Eq | Instr::Lt | Instr::Gt => {
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::And
+            | Instr::Or
+            | Instr::Xor
+            | Instr::Shl
+            | Instr::Shr
+            | Instr::Eq
+            | Instr::Lt
+            | Instr::Gt => {
                 let b = self.pop()?;
                 let a = self.pop()?;
                 let r = match instr {
@@ -613,7 +620,11 @@ impl Vm {
                 if b == 0 || (a == i64::MIN && b == -1) {
                     return Err(VmError::DivideError { pc: self.pc });
                 }
-                self.push(if matches!(instr, Instr::Div) { a / b } else { a % b })?;
+                self.push(if matches!(instr, Instr::Div) {
+                    a / b
+                } else {
+                    a % b
+                })?;
             }
             Instr::Neg => {
                 let a = self.pop()?;
@@ -895,10 +906,7 @@ mod tests {
             assemble("a: nop\na: nop"),
             Err(AsmError::DuplicateLabel { line: 2, .. })
         ));
-        assert!(matches!(
-            assemble("push"),
-            Err(AsmError::BadOperand { .. })
-        ));
+        assert!(matches!(assemble("push"), Err(AsmError::BadOperand { .. })));
         assert!(matches!(
             assemble("add 3"),
             Err(AsmError::BadOperand { .. })

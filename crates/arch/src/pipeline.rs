@@ -396,7 +396,10 @@ mod tests {
             &trace,
         );
         let ratio = scalar.cycles as f64 / dual.cycles as f64;
-        assert!(ratio < 1.05, "ILP cannot exceed the dependence chain: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "ILP cannot exceed the dependence chain: {ratio}"
+        );
     }
 
     #[test]

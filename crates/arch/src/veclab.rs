@@ -84,8 +84,9 @@ impl<T: Clone> AccountedVec<T> {
 
     fn grow(&mut self) {
         let new_cap = match self.growth {
-            Growth::Factor(f) => ((self.capacity.max(1) as f64 * f).ceil() as usize)
-                .max(self.capacity + 1),
+            Growth::Factor(f) => {
+                ((self.capacity.max(1) as f64 * f).ceil() as usize).max(self.capacity + 1)
+            }
             Growth::Increment(i) => self.capacity + i,
         };
         // Model: allocate new buffer, memcpy old contents.

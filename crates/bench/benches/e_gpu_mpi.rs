@@ -53,7 +53,13 @@ fn bench_mapreduce(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapreduce_wordcount");
     group.sample_size(10);
     let docs: Vec<String> = (0..128)
-        .map(|i| format!("lorem ipsum dolor sit amet {} consectetur {}", i % 11, i % 5))
+        .map(|i| {
+            format!(
+                "lorem ipsum dolor sit amet {} consectetur {}",
+                i % 11,
+                i % 5
+            )
+        })
         .collect();
     for (m, r) in [(1usize, 1usize), (4, 4)] {
         group.bench_with_input(
@@ -65,5 +71,10 @@ fn bench_mapreduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gpu_reduction_ladder, bench_collectives, bench_mapreduce);
+criterion_group!(
+    benches,
+    bench_gpu_reduction_ladder,
+    bench_collectives,
+    bench_mapreduce
+);
 criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Machine-organization benches: PDC-1 VM dispatch, gate-level circuit
 //! evaluation, pipeline simulation, page-replacement policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pdc_arch::isa::{assemble, Vm};
 use pdc_arch::logic::{to_bits, Circuit};
 use pdc_arch::pipeline::{independent_alu_trace, simulate, PipelineConfig};
+use pdc_core::machine::{MachineConfig, SimMachine};
+use pdc_core::trace::TraceSession;
 use pdc_os::vm::{run as page_run, ReplacePolicy};
+use pdc_threads::WorkStealingPool;
 use std::hint::black_box;
 
 fn bench_vm_dispatch(c: &mut Criterion) {
@@ -106,4 +109,48 @@ criterion_group!(
     bench_pipeline_sim,
     bench_page_replacement
 );
-criterion_main!(benches);
+
+/// Run a small pool workload and a BSP machine program through one
+/// shared [`TraceSession`], then write the `pdc-trace/1` snapshot next
+/// to the bench results (see EXPERIMENTS.md for the schema).
+fn emit_trace_snapshot() {
+    let session = TraceSession::new();
+
+    // Work-stealing pool: 256 tiny tasks across 4 workers, so the
+    // snapshot carries pool.executed / pool.steals plus spawn and
+    // steal events.
+    let pool = WorkStealingPool::with_trace(4, session.clone());
+    for i in 0..256u64 {
+        pool.spawn(move || {
+            black_box(i.wrapping_mul(i));
+        });
+    }
+    pool.wait_idle();
+
+    // Simulated machine: three BSP supersteps on the same session, so
+    // the same snapshot also carries machine.phases / machine.barriers
+    // plus phase and barrier events.
+    let mut machine = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+    for _ in 0..3 {
+        machine.parallel_even(4_000, 4);
+        machine.barrier(4);
+    }
+
+    let json = session.to_json_with_meta(&[
+        ("bench", "t1_machine".to_string()),
+        ("pool_workers", "4".to_string()),
+        ("machine_cores", "4".to_string()),
+    ]);
+    // cargo runs benches with cwd = the package dir; anchor the output
+    // to the workspace-root target/ regardless.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/pdc-trace/t1_machine.trace.json");
+    pdc_core::report::write_text_file(&path, &json).expect("write trace snapshot");
+    println!("\npdc-trace snapshot ({}):", path.display());
+    println!("{json}");
+}
+
+fn main() {
+    benches();
+    emit_trace_snapshot();
+}

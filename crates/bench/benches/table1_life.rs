@@ -24,11 +24,9 @@ fn bench_threaded_workers(c: &mut Criterion) {
     group.sample_size(10);
     let g = Grid::random(128, 128, Boundary::Torus, 0.3, 7);
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| b.iter(|| parallel_step_generations(black_box(&g), 4, w)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| parallel_step_generations(black_box(&g), 4, w))
+        });
     }
     group.finish();
 }

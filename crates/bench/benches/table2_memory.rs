@@ -52,8 +52,7 @@ fn bench_real_false_sharing(c: &mut Criterion) {
         b.iter(|| {
             let counters: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
             std::thread::scope(|s| {
-                for i in 0..4 {
-                    let c = &counters[i];
+                for c in &counters {
                     s.spawn(move || {
                         for _ in 0..20_000 {
                             c.fetch_add(1, Ordering::Relaxed);
@@ -61,15 +60,19 @@ fn bench_real_false_sharing(c: &mut Criterion) {
                     });
                 }
             });
-            black_box(counters.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>())
+            black_box(
+                counters
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum::<u64>(),
+            )
         })
     });
     group.bench_function("padded", |b| {
         b.iter(|| {
             let counters: Vec<Padded> = (0..4).map(|_| Padded(AtomicU64::new(0))).collect();
             std::thread::scope(|s| {
-                for i in 0..4 {
-                    let c = &counters[i];
+                for c in &counters {
                     s.spawn(move || {
                         for _ in 0..20_000 {
                             c.0.fetch_add(1, Ordering::Relaxed);
@@ -77,7 +80,12 @@ fn bench_real_false_sharing(c: &mut Criterion) {
                     });
                 }
             });
-            black_box(counters.iter().map(|c| c.0.load(Ordering::Relaxed)).sum::<u64>())
+            black_box(
+                counters
+                    .iter()
+                    .map(|c| c.0.load(Ordering::Relaxed))
+                    .sum::<u64>(),
+            )
         })
     });
     group.finish();

@@ -1,8 +1,11 @@
 //! Table II bench: synchronization primitives — lock ladder and the
 //! producer-consumer buffer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use pdc_core::machine::{MachineConfig, SimMachine};
+use pdc_core::trace::TraceSession;
 use pdc_sync::{BoundedBuffer, PdcMutex, SpinLock, TicketLock};
+use pdc_threads::WorkStealingPool;
 use std::hint::black_box;
 use std::sync::{Arc, Mutex};
 
@@ -113,4 +116,38 @@ fn producer_consumer(c: &mut Criterion) {
 }
 
 criterion_group!(benches, contended_counter, producer_consumer);
-criterion_main!(benches);
+
+/// Emit a shared `pdc-trace/1` snapshot mixing pool counters with the
+/// machine's lock/barrier cost model (see EXPERIMENTS.md).
+fn emit_trace_snapshot() {
+    let session = TraceSession::new();
+
+    let pool = WorkStealingPool::with_trace(THREADS, session.clone());
+    for i in 0..128u64 {
+        pool.spawn(move || {
+            black_box(i.wrapping_add(1));
+        });
+    }
+    pool.wait_idle();
+
+    // Mirror the lock-ladder shape on the simulated machine: a parallel
+    // phase, a contended critical section per thread, and a barrier.
+    let mut machine = SimMachine::with_trace(MachineConfig::with_cores(THREADS), &session);
+    machine.parallel_even((THREADS * ITERS) as u64, THREADS);
+    machine.critical_each(THREADS, 4);
+    machine.barrier(THREADS);
+
+    let json = session.to_json_with_meta(&[("bench", "table2_sync".to_string())]);
+    // cargo runs benches with cwd = the package dir; anchor the output
+    // to the workspace-root target/ regardless.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/pdc-trace/table2_sync.trace.json");
+    pdc_core::report::write_text_file(&path, &json).expect("write trace snapshot");
+    println!("\npdc-trace snapshot ({}):", path.display());
+    println!("{json}");
+}
+
+fn main() {
+    benches();
+    emit_trace_snapshot();
+}

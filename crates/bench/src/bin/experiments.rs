@@ -1,12 +1,64 @@
 //! Regenerate every paper-table reproduction.
 //!
 //! ```text
-//! experiments              # run everything
-//! experiments --list       # list experiment ids
-//! experiments --exp <id>   # run one
+//! experiments                 # run everything
+//! experiments --list          # list experiment ids
+//! experiments --exp <id>      # run one
+//! experiments --trace [path]  # run a cross-subsystem traced workload
+//!                             # and dump the pdc-trace/1 JSON snapshot
+//!                             # (default path: target/pdc-trace/experiments.trace.json)
 //! ```
 
 use pdc_bench::registry;
+use pdc_core::machine::{MachineConfig, SimMachine};
+use pdc_core::trace::TraceSession;
+use pdc_threads::WorkStealingPool;
+
+/// Drive every traced subsystem — pool, machine, MPI collectives, and
+/// the fault-tolerant farm — through one [`TraceSession`] and write the
+/// resulting `pdc-trace/1` snapshot to `path`.
+fn run_traced_workload(path: &std::path::Path) {
+    let session = TraceSession::new();
+
+    let pool = WorkStealingPool::with_trace(4, session.clone());
+    for i in 0..200u64 {
+        pool.spawn(move || {
+            std::hint::black_box(i.wrapping_mul(i));
+        });
+    }
+    pool.wait_idle();
+
+    let mut machine = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+    for _ in 0..2 {
+        machine.parallel_even(1_000, 4);
+        machine.barrier(4);
+    }
+    machine.critical_each(4, 8);
+
+    let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
+        let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
+        pdc_mpi::coll::barrier::<u64>(rank);
+        sum
+    });
+
+    pdc_mpi::ft::run_farm_traced(
+        &(0..8)
+            .map(|id| pdc_mpi::ft::Task { id, duration: 3 })
+            .collect::<Vec<_>>(),
+        3,
+        &[pdc_mpi::ft::Crash {
+            worker: 1,
+            at_tick: 2,
+        }],
+        2,
+        &session,
+    );
+
+    let json = session.to_json_with_meta(&[("source", "experiments --trace".to_string())]);
+    pdc_core::report::write_text_file(path, &json).expect("write trace snapshot");
+    println!("pdc-trace snapshot written to {}", path.display());
+    println!("{json}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +68,11 @@ fn main() {
             for e in &reg {
                 println!("{:16} {}", e.id, e.anchor);
             }
+        }
+        [flag, rest @ ..] if flag == "--trace" && rest.len() <= 1 => {
+            let default = "target/pdc-trace/experiments.trace.json".to_string();
+            let path = rest.first().unwrap_or(&default);
+            run_traced_workload(std::path::Path::new(path));
         }
         [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
             Some(e) => {
@@ -34,7 +91,7 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: experiments [--list | --exp <id>]");
+            eprintln!("usage: experiments [--list | --exp <id> | --trace [path]]");
             std::process::exit(2);
         }
     }

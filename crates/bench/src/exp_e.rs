@@ -22,11 +22,22 @@ pub fn gpu() -> String {
     let cfg = GpuConfig::default();
     let mut t = Table::new(
         "E-gpu — reduction ladder, n = 65_536, block = 256 (simulated SIMT)",
-        &["variant", "sum ok", "global txns", "warp eff", "coalesce eff", "cycles", "speedup"],
+        &[
+            "variant",
+            "sum ok",
+            "global txns",
+            "warp eff",
+            "coalesce eff",
+            "cycles",
+            "speedup",
+        ],
     );
     let runs = [
         ("global-memory tree", reduce_global(&input, 256)),
-        ("shared, interleaved", reduce_shared_interleaved(&input, 256)),
+        (
+            "shared, interleaved",
+            reduce_shared_interleaved(&input, 256),
+        ),
         ("shared, sequential", reduce_shared_sequential(&input, 256)),
     ];
     let base = runs[0].1 .1.cycles(&cfg) as f64;
@@ -125,7 +136,12 @@ pub fn allreduce_crossover() -> String {
     let p = 64;
     let mut t = Table::new(
         "E-ft/allreduce — tree vs ring allreduce, p = 64 (modeled time, us)",
-        &["message size", "tree 2log2(p)(a+bn)", "ring 2(p-1)(a+bn/p)", "winner"],
+        &[
+            "message size",
+            "tree 2log2(p)(a+bn)",
+            "ring 2(p-1)(a+bn/p)",
+            "winner",
+        ],
     );
     for n in [8u64, 1 << 10, 1 << 16, 1 << 20, 1 << 26, 1 << 30] {
         let tree = cost::allreduce_time(m, p, n) * 1e6;
@@ -145,24 +161,52 @@ pub fn fault_tolerance() -> String {
     let tasks: Vec<Task> = (0..20).map(|id| Task { id, duration: 5 }).collect();
     let mut t = Table::new(
         "E-ft — task farm: 20 tasks x 5 ticks, 4 workers, heartbeat timeout 3",
-        &["scenario", "makespan", "executions", "reassigned", "survivors", "all done"],
+        &[
+            "scenario",
+            "makespan",
+            "executions",
+            "reassigned",
+            "survivors",
+            "all done",
+        ],
     );
     let scenarios: Vec<(&str, Vec<Crash>)> = vec![
         ("no failures", vec![]),
-        ("one crash early", vec![Crash { worker: 0, at_tick: 2 }]),
+        (
+            "one crash early",
+            vec![Crash {
+                worker: 0,
+                at_tick: 2,
+            }],
+        ),
         (
             "two crashes",
             vec![
-                Crash { worker: 0, at_tick: 2 },
-                Crash { worker: 1, at_tick: 12 },
+                Crash {
+                    worker: 0,
+                    at_tick: 2,
+                },
+                Crash {
+                    worker: 1,
+                    at_tick: 12,
+                },
             ],
         ),
         (
             "three crashes",
             vec![
-                Crash { worker: 0, at_tick: 2 },
-                Crash { worker: 1, at_tick: 7 },
-                Crash { worker: 2, at_tick: 12 },
+                Crash {
+                    worker: 0,
+                    at_tick: 2,
+                },
+                Crash {
+                    worker: 1,
+                    at_tick: 7,
+                },
+                Crash {
+                    worker: 2,
+                    at_tick: 12,
+                },
             ],
         ),
     ];
@@ -184,7 +228,13 @@ pub fn fault_tolerance() -> String {
 pub fn false_sharing() -> String {
     let mut t = Table::new(
         "E-falsesharing — per-thread counters through MESI (250 increments each)",
-        &["cores", "layout", "bus txns", "invalidations", "txns/increment"],
+        &[
+            "cores",
+            "layout",
+            "bus txns",
+            "invalidations",
+            "txns/increment",
+        ],
     );
     for cores in [2usize, 4, 8] {
         for (layout, pad) in [("packed (8 B apart)", 8u64), ("padded (64 B apart)", 64)] {
@@ -216,7 +266,13 @@ pub fn mapreduce() -> String {
         .collect();
     let mut t = Table::new(
         "E-mapreduce — word count over 64 documents",
-        &["mappers", "reducers", "pairs emitted", "distinct keys", "'the' count"],
+        &[
+            "mappers",
+            "reducers",
+            "pairs emitted",
+            "distinct keys",
+            "'the' count",
+        ],
     );
     for (m, r) in [(1usize, 1usize), (4, 2), (8, 4)] {
         let (results, stats) = word_count(corpus.clone(), m, r);

@@ -55,7 +55,14 @@ pub fn compilers() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         "EXT-compilers — optimizer payoff on random expressions (PDC-1 steps)",
-        &["expr", "O0 instrs", "O1 instrs", "O0 steps", "O1 steps", "agree"],
+        &[
+            "expr",
+            "O0 instrs",
+            "O1 instrs",
+            "O0 steps",
+            "O1 steps",
+            "agree",
+        ],
     );
     for seed in [3u64, 8, 21, 34] {
         let e = random_expr(seed, 5, 2);
@@ -130,7 +137,12 @@ pub fn db() -> String {
     };
     let mut t = Table::new(
         "EXT-db — equijoin algorithms (500x500 subset cross-check + full-size balance)",
-        &["algorithm", "matches nested-loop", "output rows (full)", "partition imbalance"],
+        &[
+            "algorithm",
+            "matches nested-loop",
+            "output rows (full)",
+            "partition imbalance",
+        ],
     );
     let hj_small = hash_join(&r[..500], &s[..500]);
     let sm_small = sort_merge_join(&r[..500], &s[..500]);
@@ -179,7 +191,11 @@ pub fn db() -> String {
         moved.to_string(),
         f(moved as f64 / keys.len() as f64, 3),
     ]);
-    t.row(&["naive hash % N (theory)".into(), "~8_000".into(), "~0.800".into()]);
+    t.row(&[
+        "naive hash % N (theory)".into(),
+        "~8_000".into(),
+        "~0.800".into(),
+    ]);
     out.push_str(&t.render());
     out.push('\n');
     // 2PC fault matrix summary.
@@ -210,11 +226,7 @@ pub fn db() -> String {
         let d = c.run();
         c.recover_all();
         assert_eq!(d, want);
-        t.row(&[
-            name.into(),
-            format!("{d:?}"),
-            c.is_atomic().to_string(),
-        ]);
+        t.row(&[name.into(), format!("{d:?}"), c.is_atomic().to_string()]);
     }
     out.push_str(&t.render());
     out.push('\n');

@@ -8,14 +8,20 @@ use pdc_core::report::{count_fmt, f, speedup_fmt, Table};
 use pdc_core::scaling;
 use pdc_life::grid::{Boundary, Grid};
 use pdc_life::scaling::{modeled_strong_scaling, verified_run};
-use pdc_os::shell::Shell;
 use pdc_os::process::Signal;
+use pdc_os::shell::Shell;
 
 /// Data-representation lab: encodings and overflow cases at 8 bits.
 pub fn datarep() -> String {
     let mut t = Table::new(
         "T1-datarep — two's complement at 8 bits (lab answer table)",
-        &["value", "pattern (bin)", "pattern (hex)", "add 1 ->", "overflow?"],
+        &[
+            "value",
+            "pattern (bin)",
+            "pattern (hex)",
+            "add 1 ->",
+            "overflow?",
+        ],
     );
     for v in [0i64, 1, -1, 127, -128, 42, -42] {
         let p = datarep::to_twos_complement(v, 8).unwrap();
@@ -139,7 +145,11 @@ pub fn shell() -> String {
         &["action", "pid", "observed"],
     );
     let fg = sh.run("gcc prog.c", 0).unwrap();
-    t.row(&["run gcc (fg)".into(), fg.to_string(), "completed rc=0".into()]);
+    t.row(&[
+        "run gcc (fg)".into(),
+        fg.to_string(),
+        "completed rc=0".into(),
+    ]);
     let j = sh.spawn_bg("./simulate &").unwrap();
     t.row(&[
         "spawn bg job".into(),
@@ -147,7 +157,11 @@ pub fn shell() -> String {
         format!("job [{}]", j.job_no),
     ]);
     let fg2 = sh.run("ls", 0).unwrap();
-    t.row(&["run ls (fg)".into(), fg2.to_string(), "completed rc=0".into()]);
+    t.row(&[
+        "run ls (fg)".into(),
+        fg2.to_string(),
+        "completed rc=0".into(),
+    ]);
     t.row(&[
         "jobs".into(),
         "-".into(),

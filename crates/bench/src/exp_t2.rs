@@ -89,7 +89,13 @@ pub fn os() -> String {
     let jobs = vec![Job::new(0, 24), Job::new(0, 3), Job::new(0, 3)];
     let mut t = Table::new(
         "T2-os — CPU scheduling, textbook workload (24/3/3 at t=0)",
-        &["policy", "avg wait", "avg turnaround", "avg response", "ctx switches"],
+        &[
+            "policy",
+            "avg wait",
+            "avg turnaround",
+            "avg response",
+            "ctx switches",
+        ],
     );
     for (name, policy) in [
         ("FCFS", SchedPolicy::Fcfs),
@@ -149,7 +155,9 @@ pub fn sync() -> String {
         t.row(&[
             name.to_string(),
             out.deadlocked.to_string(),
-            out.cycle.as_ref().map_or("-".into(), |c| c.len().to_string()),
+            out.cycle
+                .as_ref()
+                .map_or("-".into(), |c| c.len().to_string()),
             out.meals.iter().sum::<u32>().to_string(),
         ]);
     }
@@ -212,7 +220,14 @@ pub fn amdahl() -> String {
 pub fn pipeline() -> String {
     let mut t = Table::new(
         "T2-pipeline — 5-stage pipeline CPI by workload and configuration",
-        &["workload", "config", "CPI", "stalls", "flushes", "speedup vs unpipelined"],
+        &[
+            "workload",
+            "config",
+            "CPI",
+            "stalls",
+            "flushes",
+            "speedup vs unpipelined",
+        ],
     );
     let workloads: Vec<(&str, Vec<pdc_arch::pipeline::PipeOp>)> = vec![
         ("independent ALU", independent_alu_trace(10_000)),

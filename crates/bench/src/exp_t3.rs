@@ -57,8 +57,7 @@ pub fn models() -> String {
     let t1 = reduce.time_on(1) as f64;
     for p in [1usize, 2, 4, 8, 16, 64, 1024] {
         let tp = reduce.time_on(p);
-        let ok = (tp as f64) >= ws.brent_lower(p) - 1e-9
-            && (tp as f64) <= ws.brent_upper(p) + 1e-9;
+        let ok = (tp as f64) >= ws.brent_lower(p) - 1e-9 && (tp as f64) <= ws.brent_upper(p) + 1e-9;
         t.row(&[
             p.to_string(),
             tp.to_string(),
@@ -98,7 +97,14 @@ pub fn mergesort() -> String {
     // Out-of-core: measured I/Os vs the sort bound.
     let mut t = Table::new(
         "T3-mergesort — external merge sort, B = 16, measured vs theory",
-        &["n", "M", "passes", "measured I/Os", "theory I/Os", "naive (1/rec)"],
+        &[
+            "n",
+            "M",
+            "passes",
+            "measured I/Os",
+            "theory I/Os",
+            "naive (1/rec)",
+        ],
     );
     let mut rng = Rng::new(41);
     for (n, m) in [(4_096usize, 256usize), (16_384, 256), (16_384, 1_024)] {
@@ -106,10 +112,7 @@ pub fn mergesort() -> String {
         let mut disk = Disk::new(16);
         let input = disk.create_file(data);
         let sorted = external_merge_sort(&mut disk, input, SortConfig { memory: m });
-        assert!(disk
-            .contents(sorted)
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(disk.contents(sorted).windows(2).all(|w| w[0] <= w[1]));
         t.row(&[
             count_fmt(n as u64),
             m.to_string(),

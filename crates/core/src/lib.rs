@@ -16,7 +16,12 @@
 //! * [`scaling`] — strong- and weak-scaling experiment drivers.
 //! * [`stats`] — small-sample statistics and a repetition-based timer.
 //! * [`report`] — aligned text tables for regenerating the paper's
-//!   table-style summaries.
+//!   table-style summaries, plus the JSON helpers behind the trace
+//!   export.
+//! * [`metrics`] / [`trace`] — the pdc-trace observability layer:
+//!   named monotone counters and a bounded logical-clock event
+//!   recorder shared by the thread pool, the machine simulator, and
+//!   the MPI layer.
 //! * [`rng`] — a tiny deterministic SplitMix64/xoshiro generator so the
 //!   simulators do not need an external RNG dependency.
 //!
@@ -28,15 +33,19 @@
 
 pub mod laws;
 pub mod machine;
+pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod scaling;
 pub mod stats;
 pub mod taskgraph;
+pub mod trace;
 pub mod workspan;
 
 pub use laws::{amdahl_speedup, efficiency, gustafson_speedup, karp_flatt, speedup};
 pub use machine::{BarrierModel, CoreTrace, MachineConfig, SimMachine};
+pub use metrics::{Counter, Registry, Snapshot};
 pub use rng::Rng;
 pub use taskgraph::{ScheduleResult, TaskGraph, TaskId};
+pub use trace::{Event, EventKind, ThreadTrace, TraceRecorder, TraceSession};
 pub use workspan::WorkSpan;

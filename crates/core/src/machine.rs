@@ -18,7 +18,16 @@
 //! * a *serial phase* runs on one core while others idle.
 //!
 //! Total time, per-core busy time, and derived speedup/efficiency are
-//! recorded in a [`CoreTrace`].
+//! recorded in a [`CoreTrace`]. A machine built with
+//! [`SimMachine::with_trace`] additionally publishes `machine.phases`,
+//! `machine.barriers`, and `machine.lock_entries` counters and
+//! phase/barrier/lock events into a shared pdc-trace
+//! [`TraceSession`](crate::trace::TraceSession), using the same schema
+//! as the real work-stealing pool — which is what lets a bench overlay
+//! simulated and measured runs in one JSON document.
+
+use crate::metrics::Counter;
+use crate::trace::{EventKind, ThreadTrace, TraceSession};
 
 /// How barrier cost scales with the participant count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +98,8 @@ pub struct CoreTrace {
     elapsed: f64,
     /// Busy time per core.
     busy: Vec<f64>,
+    /// Number of parallel phases executed.
+    phases: u64,
     /// Number of barrier episodes executed.
     barriers: u64,
     /// Number of critical-section entries executed.
@@ -101,6 +112,7 @@ impl CoreTrace {
             busy: vec![0.0; config.cores],
             config,
             elapsed: 0.0,
+            phases: 0,
             barriers: 0,
             lock_entries: 0,
         }
@@ -114,6 +126,11 @@ impl CoreTrace {
     /// Per-core busy time.
     pub fn busy(&self) -> &[f64] {
         &self.busy
+    }
+
+    /// Parallel phases executed.
+    pub fn phases(&self) -> u64 {
+        self.phases
     }
 
     /// Barrier episodes executed.
@@ -135,10 +152,20 @@ impl CoreTrace {
     }
 }
 
+/// The machine's pdc-trace hookup (counters + event stream).
+#[derive(Debug, Clone)]
+struct MachineObs {
+    thread: ThreadTrace,
+    phases: Counter,
+    barriers: Counter,
+    lock_entries: Counter,
+}
+
 /// The simulated machine: owns a [`MachineConfig`] and executes phases.
 #[derive(Debug, Clone)]
 pub struct SimMachine {
     trace: CoreTrace,
+    obs: Option<MachineObs>,
 }
 
 impl SimMachine {
@@ -146,12 +173,31 @@ impl SimMachine {
     pub fn new(config: MachineConfig) -> Self {
         SimMachine {
             trace: CoreTrace::new(config),
+            obs: None,
         }
     }
 
     /// Shorthand for `SimMachine::new(MachineConfig::with_cores(p))`.
     pub fn with_cores(p: usize) -> Self {
         Self::new(MachineConfig::with_cores(p))
+    }
+
+    /// Create a machine that publishes `machine.*` counters and
+    /// phase/barrier/lock events into `session`.
+    ///
+    /// The simulator is one logical actor; it records as actor 0.
+    /// Event kinds keep machine events distinguishable from pool
+    /// (spawn/steal) and MPI (send/recv) events in a shared session.
+    pub fn with_trace(config: MachineConfig, session: &TraceSession) -> Self {
+        SimMachine {
+            trace: CoreTrace::new(config),
+            obs: Some(MachineObs {
+                thread: session.thread(0),
+                phases: session.counter("machine.phases"),
+                barriers: session.counter("machine.barriers"),
+                lock_entries: session.counter("machine.lock_entries"),
+            }),
+        }
     }
 
     /// The machine's configuration.
@@ -206,6 +252,13 @@ impl SimMachine {
         for (b, l) in self.trace.busy.iter_mut().zip(loads.iter()) {
             *b += l;
         }
+        let seq = self.trace.phases;
+        self.trace.phases += 1;
+        if let Some(obs) = &self.obs {
+            obs.phases.inc();
+            obs.thread
+                .record(EventKind::Phase, seq, ops_per_worker.len() as u64);
+        }
     }
 
     /// Convenience: a perfectly divisible parallel phase of `total_ops`
@@ -215,9 +268,7 @@ impl SimMachine {
         assert!(workers > 0);
         let base = total_ops / workers as u64;
         let rem = (total_ops % workers as u64) as usize;
-        let ops: Vec<u64> = (0..workers)
-            .map(|i| base + u64::from(i < rem))
-            .collect();
+        let ops: Vec<u64> = (0..workers).map(|i| base + u64::from(i < rem)).collect();
         self.parallel(&ops);
     }
 
@@ -228,13 +279,19 @@ impl SimMachine {
         let scale = match cfg.barrier_model {
             BarrierModel::Linear => participants as f64,
             BarrierModel::Tree => {
-                (usize::BITS - participants.max(1).next_power_of_two().leading_zeros() - 1)
-                    .max(1) as f64
+                (usize::BITS - participants.max(1).next_power_of_two().leading_zeros() - 1).max(1)
+                    as f64
             }
         };
         let t = cfg.barrier_base + cfg.barrier_per_core * scale;
         self.trace.elapsed += t;
+        let seq = self.trace.barriers;
         self.trace.barriers += 1;
+        if let Some(obs) = &self.obs {
+            obs.barriers.inc();
+            obs.thread
+                .record(EventKind::Barrier, seq, participants as u64);
+        }
     }
 
     /// Every one of `workers` workers enters a critical section of
@@ -244,9 +301,14 @@ impl SimMachine {
         let per_entry = cfg.lock_overhead + ops_inside as f64 * cfg.op_cost;
         let t = per_entry * workers as f64;
         self.trace.elapsed += t;
+        let seq = self.trace.lock_entries;
         self.trace.lock_entries += workers as u64;
         // The serialized section keeps exactly one core busy at a time.
         self.trace.busy[0] += t;
+        if let Some(obs) = &self.obs {
+            obs.lock_entries.add(workers as u64);
+            obs.thread.record(EventKind::Lock, seq, workers as u64);
+        }
     }
 
     /// Finish the run and return the trace.
@@ -308,7 +370,7 @@ mod tests {
     fn oversubscription_time_shares() {
         // 8 workers of 100 ops on 2 ideal cores: 4 workers per core.
         let mut m = SimMachine::new(MachineConfig::ideal(2));
-        m.parallel(&vec![100; 8]);
+        m.parallel(&[100; 8]);
         assert_eq!(m.finish().elapsed(), 400.0);
     }
 
@@ -398,8 +460,53 @@ mod tests {
         m.barrier(2);
         m.barrier(2);
         m.critical_each(2, 1);
+        m.parallel_even(10, 2);
         let tr = m.finish();
         assert_eq!(tr.barriers(), 2);
         assert_eq!(tr.lock_entries(), 2);
+        assert_eq!(tr.phases(), 1);
+    }
+
+    #[test]
+    fn traced_machine_publishes_counters_and_events() {
+        use crate::trace::{EventKind, TraceSession};
+        let session = TraceSession::new();
+        let mut m = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+        m.parallel_even(100, 4);
+        m.barrier(4);
+        m.parallel_even(100, 4);
+        m.barrier(4);
+        m.critical_each(4, 5);
+        let tr = m.finish();
+        let snap = session.snapshot();
+        assert_eq!(snap.get("machine.phases"), tr.phases());
+        assert_eq!(snap.get("machine.barriers"), 2);
+        assert_eq!(snap.get("machine.lock_entries"), 4);
+        let events = session.events();
+        let barriers: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Barrier)
+            .collect();
+        assert_eq!(barriers.len(), 2);
+        assert_eq!((barriers[0].a, barriers[0].b), (0, 4));
+        assert_eq!((barriers[1].a, barriers[1].b), (1, 4));
+        assert!(events.iter().any(|e| e.kind == EventKind::Phase));
+        assert!(events.iter().any(|e| e.kind == EventKind::Lock));
+        // Event order follows program order (single logical actor).
+        assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn untraced_machine_costs_match_traced() {
+        let session = crate::trace::TraceSession::new();
+        let mut a = SimMachine::new(MachineConfig::with_cores(4));
+        let mut b = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+        for m in [&mut a, &mut b] {
+            m.serial(10);
+            m.parallel_even(1000, 4);
+            m.barrier(4);
+            m.critical_each(4, 3);
+        }
+        assert_eq!(a.finish().elapsed(), b.finish().elapsed());
     }
 }

@@ -114,6 +114,42 @@ impl Table {
     }
 }
 
+/// Escape a string for embedding in a JSON string literal.
+///
+/// Used by the pdc-trace export ([`crate::trace::TraceSession::to_json`]);
+/// the build is offline so the JSON writer is hand-rolled, and this is
+/// its single escaping point.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write `contents` to `path`, creating parent directories as needed.
+///
+/// The benches use this to drop a `pdc-trace/1` JSON snapshot next to
+/// their text results.
+pub fn write_text_file(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
 /// Format a float with `prec` decimals (helper for table rows).
 pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
@@ -129,7 +165,7 @@ pub fn count_fmt(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('_');
         }
         out.push(c);
@@ -177,6 +213,14 @@ mod tests {
     fn float_helpers() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(speedup_fmt(3.456), "3.46x");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -112,12 +112,13 @@ mod tests {
     #[test]
     fn strong_scaling_on_sim_machine() {
         let ps = [1usize, 2, 4, 8];
-        let curve = strong_scaling(&ps, |p| {
-            SimMachine::run_bsp_program(p, 100, 50, 50_000, p)
-        });
+        let curve = strong_scaling(&ps, |p| SimMachine::run_bsp_program(p, 100, 50, 50_000, p));
         let sp = curve.speedups();
         assert!(sp.last().unwrap().1 > sp[0].1);
-        assert!(sp.last().unwrap().1 < 8.0, "sync costs forbid ideal scaling");
+        assert!(
+            sp.last().unwrap().1 < 8.0,
+            "sync costs forbid ideal scaling"
+        );
     }
 
     #[test]

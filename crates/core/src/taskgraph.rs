@@ -160,8 +160,8 @@ impl TaskGraph {
         }
         let mut end = 0;
         let mut best = 0;
-        for t in 0..self.len() {
-            let f = finish[t] + self.costs[t];
+        for (t, &fin) in finish.iter().enumerate() {
+            let f = fin + self.costs[t];
             if f > best {
                 best = f;
                 end = t;
@@ -253,7 +253,9 @@ impl TaskGraph {
     pub fn reduction_tree(n: usize) -> TaskGraph {
         let mut g = TaskGraph::new();
         assert!(n > 0);
-        let mut level: Vec<TaskId> = (0..n).map(|i| g.add_labeled(1, format!("leaf{i}"))).collect();
+        let mut level: Vec<TaskId> = (0..n)
+            .map(|i| g.add_labeled(1, format!("leaf{i}")))
+            .collect();
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             for pair in level.chunks(2) {

@@ -1,0 +1,427 @@
+//! pdc-trace: one observability schema for real and simulated runs.
+//!
+//! The same trace vocabulary covers the work-stealing pool (real
+//! threads), [`SimMachine`](crate::machine::SimMachine) (simulated
+//! cores), and the `pdc-mpi` rank world (message passing), so a bench
+//! can overlay "what the simulator predicted" against "what the pool
+//! did" in a single JSON document.
+//!
+//! Two layers:
+//!
+//! * **Counters** — named monotone totals in a [`metrics::Registry`]
+//!   (see [`crate::metrics`]). Naming convention: dotted lowercase
+//!   `subsystem.metric`, e.g. `pool.steals`, `machine.barriers`,
+//!   `mpi.bytes`, `ft.reassignments`, `kv.conn_errors`.
+//! * **Events** — a bounded per-thread [`TraceRecorder`]. Every event
+//!   carries a logical timestamp drawn from one shared atomic clock, an
+//!   `actor` (worker index, simulated core, or MPI rank), an
+//!   [`EventKind`], and two kind-specific `u64` payload fields. When a
+//!   thread's buffer fills, further events are counted in `dropped`
+//!   rather than blocking or reallocating.
+//!
+//! [`TraceSession`] bundles a shared registry with a recorder and
+//! exports both as `pdc-trace/1` JSON (hand-rolled via
+//! [`report::json_escape`](crate::report::json_escape) — the build is
+//! offline, so there is no serde).
+
+use crate::metrics::{Counter, Registry, Snapshot};
+use crate::report::json_escape;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default per-thread event capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// What happened. The two payload fields of [`Event`] are named per
+/// kind; see [`EventKind::field_names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task was submitted (`task` = sequence number, `pending` =
+    /// tasks in flight after the submit).
+    Spawn,
+    /// A worker stole work (`victim` = queue stolen from, `tasks` =
+    /// tasks obtained).
+    Steal,
+    /// A barrier completed (`index` = barrier sequence number,
+    /// `participants` = cores/ranks that synchronised).
+    Barrier,
+    /// A mutual-exclusion section was entered (`index` = lock sequence
+    /// number, `entries` = total entries so far).
+    Lock,
+    /// A message was sent (`peer` = destination, `bytes` = payload
+    /// size).
+    Send,
+    /// A message was received (`peer` = source, `bytes` = payload
+    /// size).
+    Recv,
+    /// A parallel phase completed (`index` = phase sequence number,
+    /// `tasks` = tasks in the phase).
+    Phase,
+    /// Free-form marker (`a`, `b` caller-defined).
+    Mark,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Spawn => "spawn",
+            EventKind::Steal => "steal",
+            EventKind::Barrier => "barrier",
+            EventKind::Lock => "lock",
+            EventKind::Send => "send",
+            EventKind::Recv => "recv",
+            EventKind::Phase => "phase",
+            EventKind::Mark => "mark",
+        }
+    }
+
+    /// JSON field names for the `a`/`b` payload of this kind.
+    pub fn field_names(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::Spawn => ("task", "pending"),
+            EventKind::Steal => ("victim", "tasks"),
+            EventKind::Barrier => ("index", "participants"),
+            EventKind::Lock => ("index", "entries"),
+            EventKind::Send => ("peer", "bytes"),
+            EventKind::Recv => ("peer", "bytes"),
+            EventKind::Phase => ("index", "tasks"),
+            EventKind::Mark => ("a", "b"),
+        }
+    }
+}
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Logical timestamp from the session-wide atomic clock. Orders
+    /// events across threads without reading wall clocks.
+    pub ts: u64,
+    /// Who: pool worker index, simulated core, or MPI rank.
+    pub actor: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload field; meaning per [`EventKind::field_names`].
+    pub a: u64,
+    /// Second payload field; meaning per [`EventKind::field_names`].
+    pub b: u64,
+}
+
+impl Event {
+    /// Render as one `pdc-trace/1` JSON object.
+    pub fn to_json(&self) -> String {
+        let (fa, fb) = self.kind.field_names();
+        format!(
+            "{{\"ts\":{},\"actor\":{},\"kind\":\"{}\",\"{}\":{},\"{}\":{}}}",
+            self.ts,
+            self.actor,
+            self.kind.as_str(),
+            fa,
+            self.a,
+            fb,
+            self.b
+        )
+    }
+}
+
+#[derive(Debug)]
+struct ThreadBuf {
+    actor: u32,
+    events: Mutex<Vec<Event>>,
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    clock: AtomicU64,
+    capacity: usize,
+    dropped: AtomicU64,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+}
+
+/// Bounded multi-producer event recorder.
+///
+/// Each producing thread registers once via [`TraceRecorder::thread`]
+/// and then records into its own buffer; the only cross-thread traffic
+/// on the hot path is the `fetch_add` on the shared logical clock.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder allowing `capacity_per_thread` events per registered
+    /// thread before it starts counting drops.
+    pub fn new(capacity_per_thread: usize) -> Self {
+        TraceRecorder {
+            inner: Arc::new(RecorderInner {
+                clock: AtomicU64::new(0),
+                capacity: capacity_per_thread,
+                dropped: AtomicU64::new(0),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Register a producing thread (or simulated core, or rank).
+    pub fn thread(&self, actor: u32) -> ThreadTrace {
+        let buf = Arc::new(ThreadBuf {
+            actor,
+            events: Mutex::new(Vec::new()),
+        });
+        self.inner
+            .threads
+            .lock()
+            .expect("trace recorder poisoned")
+            .push(buf.clone());
+        ThreadTrace {
+            buf,
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Current logical time (next timestamp to be issued).
+    pub fn now(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Events recorded so far, merged across threads and sorted by
+    /// logical timestamp.
+    pub fn events(&self) -> Vec<Event> {
+        let threads = self.inner.threads.lock().expect("trace recorder poisoned");
+        let mut out = Vec::new();
+        for t in threads.iter() {
+            out.extend(
+                t.events
+                    .lock()
+                    .expect("trace buffer poisoned")
+                    .iter()
+                    .copied(),
+            );
+        }
+        out.sort_by_key(|e| e.ts);
+        out
+    }
+
+    /// Events discarded because a per-thread buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A single thread's handle into a [`TraceRecorder`].
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    buf: Arc<ThreadBuf>,
+    inner: Arc<RecorderInner>,
+}
+
+impl ThreadTrace {
+    /// Record one event, stamping it with the shared logical clock.
+    /// Silently counted as dropped once the buffer is full.
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let ts = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.buf.events.lock().expect("trace buffer poisoned");
+        if events.len() < self.inner.capacity {
+            events.push(Event {
+                ts,
+                actor: self.buf.actor,
+                kind,
+                a,
+                b,
+            });
+        } else {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The actor id this handle records as.
+    pub fn actor(&self) -> u32 {
+        self.buf.actor
+    }
+}
+
+/// A shared registry + recorder pair: one trace for one experiment.
+///
+/// Cloning shares both halves, so a bench can hand the same session to
+/// a `WorkStealingPool`, a `SimMachine`, and an MPI world and export
+/// all their counters and events as one document.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSession {
+    registry: Arc<Registry>,
+    recorder: TraceRecorder,
+}
+
+impl TraceSession {
+    /// A session with the default per-thread event capacity.
+    pub fn new() -> Self {
+        TraceSession::default()
+    }
+
+    /// A session allowing `capacity_per_thread` events per thread.
+    pub fn with_capacity(capacity_per_thread: usize) -> Self {
+        TraceSession {
+            registry: Arc::new(Registry::new()),
+            recorder: TraceRecorder::new(capacity_per_thread),
+        }
+    }
+
+    /// The shared counter registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Fetch or create a counter in the shared registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Register a producing thread/core/rank with the recorder.
+    pub fn thread(&self, actor: u32) -> ThreadTrace {
+        self.recorder.thread(actor)
+    }
+
+    /// Snapshot the shared registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// All events so far, sorted by logical timestamp.
+    pub fn events(&self) -> Vec<Event> {
+        self.recorder.events()
+    }
+
+    /// Events dropped due to full buffers.
+    pub fn dropped(&self) -> u64 {
+        self.recorder.dropped()
+    }
+
+    /// Export the whole session as `pdc-trace/1` JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_with_meta(&[])
+    }
+
+    /// Export as `pdc-trace/1` JSON with caller-supplied metadata
+    /// (e.g. `[("bench", "t1_machine")]`).
+    pub fn to_json_with_meta(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::from("{\"schema\":\"pdc-trace/1\"");
+        if !meta.is_empty() {
+            out.push_str(",\"meta\":{");
+            for (i, (k, v)) in meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push('}');
+        }
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), value));
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str(&format!("],\"dropped\":{}}}", self.dropped()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn events_get_distinct_ordered_timestamps() {
+        let rec = TraceRecorder::new(64);
+        let t = rec.thread(0);
+        t.record(EventKind::Phase, 0, 8);
+        t.record(EventKind::Barrier, 0, 4);
+        t.record(EventKind::Phase, 1, 8);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].ts < w[1].ts));
+        assert_eq!(evs[1].kind, EventKind::Barrier);
+    }
+
+    #[test]
+    fn capacity_bounds_buffer_and_counts_drops() {
+        let rec = TraceRecorder::new(2);
+        let t = rec.thread(3);
+        for i in 0..5 {
+            t.record(EventKind::Mark, i, 0);
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn multi_thread_merge_is_globally_ordered() {
+        let rec = TraceRecorder::new(1024);
+        let mut handles = Vec::new();
+        for actor in 0..4u32 {
+            let t = rec.thread(actor);
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    t.record(EventKind::Mark, i, 0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 400);
+        assert!(evs.windows(2).all(|w| w[0].ts < w[1].ts));
+        // Every actor contributed.
+        for actor in 0..4 {
+            assert!(evs.iter().any(|e| e.actor == actor));
+        }
+    }
+
+    #[test]
+    fn session_json_has_schema_counters_events() {
+        let s = TraceSession::with_capacity(16);
+        s.counter("pool.executed").add(42);
+        s.thread(1).record(EventKind::Steal, 0, 3);
+        let json = s.to_json_with_meta(&[("bench", "demo".to_string())]);
+        assert!(json.starts_with("{\"schema\":\"pdc-trace/1\""));
+        assert!(json.contains("\"meta\":{\"bench\":\"demo\"}"));
+        assert!(json.contains("\"pool.executed\":42"));
+        assert!(json.contains("\"kind\":\"steal\""));
+        assert!(json.contains("\"victim\":0"));
+        assert!(json.contains("\"tasks\":3"));
+        assert!(json.ends_with("\"dropped\":0}"));
+    }
+
+    #[test]
+    fn cloned_session_shares_registry_and_clock() {
+        let a = TraceSession::new();
+        let b = a.clone();
+        a.counter("n").inc();
+        b.counter("n").inc();
+        assert_eq!(a.snapshot().get("n"), 2);
+        b.thread(0).record(EventKind::Mark, 0, 0);
+        assert_eq!(a.events().len(), 1);
+    }
+
+    #[test]
+    fn event_kind_names_are_stable() {
+        assert_eq!(EventKind::Send.as_str(), "send");
+        assert_eq!(EventKind::Send.field_names(), ("peer", "bytes"));
+        assert_eq!(EventKind::Phase.field_names(), ("index", "tasks"));
+    }
+}

@@ -29,7 +29,10 @@ impl WorkSpan {
 
     /// A strand of `ops` sequential unit operations: work = span = ops.
     pub fn strand(ops: u64) -> Self {
-        WorkSpan { work: ops, span: ops }
+        WorkSpan {
+            work: ops,
+            span: ops,
+        }
     }
 
     /// Construct from explicit work and span.

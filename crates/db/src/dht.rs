@@ -89,7 +89,7 @@ impl HashRing {
         }
         let h = hash_str(key);
         let mut out = Vec::with_capacity(replicas);
-        for (_, &n) in self.ring.range(h..).chain(self.ring.iter().map(|(k, v)| (k, v))) {
+        for (_, &n) in self.ring.range(h..).chain(self.ring.iter()) {
             if !out.contains(&n) {
                 out.push(n);
                 if out.len() == replicas {

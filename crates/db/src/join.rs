@@ -168,12 +168,7 @@ mod tests {
     fn known_small_join() {
         let r = vec![(1, 10), (2, 20), (2, 21), (3, 30)];
         let s = vec![(2, 200), (3, 300), (3, 301), (4, 400)];
-        let want = canon(vec![
-            (2, 20, 200),
-            (2, 21, 200),
-            (3, 30, 300),
-            (3, 30, 301),
-        ]);
+        let want = canon(vec![(2, 20, 200), (2, 21, 200), (3, 30, 300), (3, 30, 301)]);
         assert_eq!(canon(nested_loop_join(&r, &s)), want);
         assert_eq!(canon(hash_join(&r, &s)), want);
         assert_eq!(canon(sort_merge_join(&r, &s)), want);
@@ -243,11 +238,7 @@ mod tests {
         let s = vec![(42, 0)];
         let (out, stats) = parallel_hash_join(&r, &s, 4);
         assert_eq!(out.len(), 1000);
-        let nonempty = stats
-            .r_partition_sizes
-            .iter()
-            .filter(|&&n| n > 0)
-            .count();
+        let nonempty = stats.r_partition_sizes.iter().filter(|&&n| n > 0).count();
         assert_eq!(nonempty, 1, "skew concentrates in one partition");
     }
 }

@@ -158,6 +158,11 @@ pub struct BlockReader<'a, T> {
 
 impl<T: Clone> BlockReader<'_, T> {
     /// Next record, or `None` at end of file.
+    ///
+    /// Deliberately an inherent method, not `Iterator`: iterating
+    /// borrows the disk's I/O stats, and callers should see the
+    /// block-fetch cost model, not a transparent iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<T> {
         if self.buf_pos == self.buf.len() {
             // Fetch the next block.

@@ -199,7 +199,7 @@ mod tests {
     fn tiled_transpose_saves_ios() {
         let n = 128;
         let b = 16;
-        let frames = 2 * (16 / 1).max(4); // enough for two tiles of rows
+        let frames = 2 * 16; // enough for two tiles of rows
         let mut naive = fresh(n, b, frames);
         naive.transpose_naive();
         let naive_ios = naive.stats().ios();

@@ -292,7 +292,10 @@ mod tests {
         let mut dev = Device::new(2 * n);
         dev.upload(0, &(0..n as i64).collect::<Vec<_>>());
         dev.launch(n / 64, 64, 0, &copy_phase(n, 1));
-        assert_eq!(&dev.global[n..2 * n], &(0..n as i64).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            &dev.global[n..2 * n],
+            &(0..n as i64).collect::<Vec<_>>()[..]
+        );
     }
 
     #[test]
@@ -329,7 +332,7 @@ mod tests {
         let mut dev = Device::new(n);
         // Only even lanes do work: half the issue slots are wasted.
         let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
-            if t.tid() % 2 == 0 {
+            if t.tid().is_multiple_of(2) {
                 t.compute();
                 t.compute();
             }

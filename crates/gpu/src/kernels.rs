@@ -100,7 +100,7 @@ fn reduce_shared(input: &[i64], block_dim: usize, sequential: bool) -> (i64, Ker
                 let s = stride;
                 phases.push(Box::new(move |t: &mut ThreadCtx<'_>| {
                     let tid = t.tid();
-                    if tid % (2 * s) == 0 {
+                    if tid.is_multiple_of(2 * s) {
                         let a = t.read_shared(tid);
                         let b = t.read_shared(tid + s);
                         t.write_shared(tid, a + b);
@@ -310,7 +310,7 @@ pub mod transpose {
     /// Returns `(transposed, stats)`.
     pub fn transpose_naive(input: &[i64], n: usize) -> (Vec<i64>, KernelStats) {
         assert_eq!(input.len(), n * n);
-        assert!(n % TILE == 0, "n must be a multiple of {TILE}");
+        assert!(n.is_multiple_of(TILE), "n must be a multiple of {TILE}");
         let mut dev = Device::new(2 * n * n);
         dev.upload(0, input);
         let blocks = (n / TILE) * (n / TILE);
@@ -334,7 +334,7 @@ pub mod transpose {
     /// read. Returns `(transposed, stats)`.
     pub fn transpose_tiled(input: &[i64], n: usize, pad: bool) -> (Vec<i64>, KernelStats) {
         assert_eq!(input.len(), n * n);
-        assert!(n % TILE == 0, "n must be a multiple of {TILE}");
+        assert!(n.is_multiple_of(TILE), "n must be a multiple of {TILE}");
         let stride = if pad { TILE + 1 } else { TILE };
         let mut dev = Device::new(2 * n * n);
         dev.upload(0, input);

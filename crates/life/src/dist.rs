@@ -21,8 +21,15 @@ const TAG_DOWN: u32 = 2; // a row traveling toward higher rank ids
 /// # Panics
 /// Panics if the board is not a torus (bands assume ring wrap), or if
 /// `ranks == 0`.
-pub fn dist_step_generations(grid: &Grid, generations: usize, ranks: usize) -> (Grid, TrafficStats) {
-    assert!(grid.boundary() == Boundary::Torus, "distributed engine is torus-only");
+pub fn dist_step_generations(
+    grid: &Grid,
+    generations: usize,
+    ranks: usize,
+) -> (Grid, TrafficStats) {
+    assert!(
+        grid.boundary() == Boundary::Torus,
+        "distributed engine is torus-only"
+    );
     assert!(ranks > 0, "need at least one rank");
     let rows = grid.rows();
     let cols = grid.cols();
@@ -53,8 +60,8 @@ pub fn dist_step_generations(grid: &Grid, generations: usize, ranks: usize) -> (
         // Working buffer: ghost top + band + ghost bottom.
         let mut cur: Vec<Vec<u8>> = Vec::with_capacity(band_rows + 2);
         cur.push(vec![0; cols]); // ghost top (filled per generation)
-        for r in r0..r1 {
-            cur.push(all_rows[r].clone());
+        for row in &all_rows[r0..r1] {
+            cur.push(row.clone());
         }
         cur.push(vec![0; cols]); // ghost bottom
 

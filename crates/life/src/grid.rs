@@ -62,13 +62,19 @@ impl Grid {
 
     /// Is the cell at `(r, c)` alive?
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "cell ({r},{c}) out of range"
+        );
         self.cells[r * self.cols + c] == 1
     }
 
     /// Set the cell at `(r, c)`.
     pub fn set(&mut self, r: usize, c: usize, alive: bool) {
-        assert!(r < self.rows && c < self.cols, "cell ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "cell ({r},{c}) out of range"
+        );
         self.cells[r * self.cols + c] = u8::from(alive);
     }
 

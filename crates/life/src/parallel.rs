@@ -120,7 +120,11 @@ pub fn parallel_step_generations(
         }
     });
 
-    let final_buf = if generations % 2 == 0 { &buf_a } else { &buf_b };
+    let final_buf = if generations.is_multiple_of(2) {
+        &buf_a
+    } else {
+        &buf_b
+    };
     let mut out = Grid::new(rows, cols, boundary);
     for (dst, src) in out.cells_mut().iter_mut().zip(final_buf.iter()) {
         *dst = src.load(Ordering::Relaxed);

@@ -71,7 +71,10 @@ impl CoherenceSim {
     /// Panics unless `cores > 0` and `line_size` is a power of two.
     pub fn new(protocol: Protocol, cores: usize, line_size: u64) -> Self {
         assert!(cores > 0, "need at least one core");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         CoherenceSim {
             protocol,
             line_size,
@@ -361,7 +364,7 @@ mod tests {
     fn msi_never_enters_exclusive() {
         let mut sim = CoherenceSim::new(Protocol::Msi, 2, 64);
         sim.access(0, 0, false); // sole reader
-        // Under MSI a subsequent write still needs the bus.
+                                 // Under MSI a subsequent write still needs the bus.
         let before = sim.stats().bus_traffic();
         sim.access(0, 0, true);
         assert_eq!(sim.stats().bus_traffic(), before + 1);

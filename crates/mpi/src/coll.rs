@@ -9,6 +9,10 @@
 //! rank calls the same sequence of collectives in the same order**.
 //! Per-`(src, tag)` FIFO matching then keeps successive collectives from
 //! interfering.
+//!
+//! In a traced world ([`crate::world::World::run_traced`]) each
+//! collective bumps a `coll.<name>` counter once per calling rank, so
+//! `coll.barrier / p` is the number of barrier episodes.
 
 use crate::world::{Payload, Rank};
 
@@ -32,6 +36,7 @@ fn ceil_log2(p: usize) -> u32 {
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, `p·⌈log₂ p⌉` messages total.
 pub fn barrier<M: Payload + Default>(rank: &mut Rank<M>) {
+    rank.count("coll.barrier");
     let p = rank.size();
     if p == 1 {
         return;
@@ -48,6 +53,7 @@ pub fn barrier<M: Payload + Default>(rank: &mut Rank<M>) {
 /// Binomial-tree broadcast from `root`: `p − 1` messages, `⌈log₂ p⌉`
 /// rounds. Every rank returns the value.
 pub fn broadcast<M: Payload + Clone>(rank: &mut Rank<M>, root: usize, value: Option<M>) -> M {
+    rank.count("coll.broadcast");
     let p = rank.size();
     assert!(root < p, "root out of range");
     let r = (rank.id() + p - root) % p; // virtual rank, root at 0
@@ -83,6 +89,7 @@ pub fn reduce<M: Payload>(
     value: M,
     op: impl Fn(M, M) -> M,
 ) -> Option<M> {
+    rank.count("coll.reduce");
     let p = rank.size();
     assert!(root < p, "root out of range");
     let r = (rank.id() + p - root) % p;
@@ -90,7 +97,7 @@ pub fn reduce<M: Payload>(
     let levels = ceil_log2(p);
     for k in 0..levels {
         let dist = 1usize << k;
-        if r % (2 * dist) == 0 {
+        if r.is_multiple_of(2 * dist) {
             let partner = r + dist;
             if partner < p {
                 let src = (partner + root) % p;
@@ -111,6 +118,7 @@ pub fn reduce<M: Payload>(
 
 /// Allreduce = reduce to 0 + broadcast: `2(p − 1)` messages.
 pub fn allreduce<M: Payload + Clone>(rank: &mut Rank<M>, value: M, op: impl Fn(M, M) -> M) -> M {
+    rank.count("coll.allreduce");
     let reduced = reduce(rank, 0, value, op);
     broadcast(rank, 0, reduced)
 }
@@ -118,6 +126,7 @@ pub fn allreduce<M: Payload + Clone>(rank: &mut Rank<M>, value: M, op: impl Fn(M
 /// Gather to `root` (linear): every other rank sends once; root returns
 /// the values in rank order. `p − 1` messages.
 pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<Vec<M>> {
+    rank.count("coll.gather");
     let p = rank.size();
     assert!(root < p, "root out of range");
     if rank.id() == root {
@@ -128,7 +137,12 @@ pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<V
             assert!(slots[src].is_none(), "duplicate gather contribution");
             slots[src] = Some(v);
         }
-        Some(slots.into_iter().map(|s| s.expect("all ranks sent")).collect())
+        Some(
+            slots
+                .into_iter()
+                .map(|s| s.expect("all ranks sent"))
+                .collect(),
+        )
     } else {
         rank.send(root, TAG_GATHER, value);
         None
@@ -138,6 +152,7 @@ pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<V
 /// Scatter from `root` (linear): root keeps element `root` and sends one
 /// element to each other rank. `p − 1` messages.
 pub fn scatter<M: Payload>(rank: &mut Rank<M>, root: usize, values: Option<Vec<M>>) -> M {
+    rank.count("coll.scatter");
     let p = rank.size();
     assert!(root < p, "root out of range");
     if rank.id() == root {
@@ -160,6 +175,7 @@ pub fn scatter<M: Payload>(rank: &mut Rank<M>, root: usize, values: Option<Vec<M
 /// Ring allgather: `p − 1` rounds, each rank forwarding one element per
 /// round; `p(p − 1)` messages. Returns all values in rank order.
 pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
+    rank.count("coll.allgather");
     let p = rank.size();
     let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
     slots[rank.id()] = Some(value);
@@ -174,7 +190,10 @@ pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
         slots[origin] = Some(received.clone());
         carry = received;
     }
-    slots.into_iter().map(|s| s.expect("ring complete")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("ring complete"))
+        .collect()
 }
 
 /// Ring allreduce over a *vector* value (reduce-scatter then allgather):
@@ -189,12 +208,13 @@ pub fn ring_allreduce(
     mut values: Vec<i64>,
     op: impl Fn(i64, i64) -> i64 + Copy,
 ) -> Vec<i64> {
+    rank.count("coll.ring_allreduce");
     let p = rank.size();
     if p == 1 {
         return values;
     }
     let n = values.len();
-    assert!(n % p == 0, "vector length must be divisible by p");
+    assert!(n.is_multiple_of(p), "vector length must be divisible by p");
     let chunk = n / p;
     let me = rank.id();
     let next = (me + 1) % p;
@@ -206,7 +226,11 @@ pub fn ring_allreduce(
     for k in 0..p - 1 {
         let send_idx = (me + p - k) % p;
         let recv_idx = (me + p - k - 1) % p;
-        rank.send(next, TAG_RING_RS + k as u32, values[slice_of(send_idx)].to_vec());
+        rank.send(
+            next,
+            TAG_RING_RS + k as u32,
+            values[slice_of(send_idx)].to_vec(),
+        );
         let incoming = rank.recv(prev, TAG_RING_RS + k as u32);
         for (dst, src) in values[slice_of(recv_idx)].iter_mut().zip(incoming) {
             *dst = op(*dst, src);
@@ -217,7 +241,11 @@ pub fn ring_allreduce(
     for k in 0..p - 1 {
         let send_idx = (me + 1 + p - k) % p;
         let recv_idx = (me + p - k) % p;
-        rank.send(next, TAG_RING_AG + k as u32, values[slice_of(send_idx)].to_vec());
+        rank.send(
+            next,
+            TAG_RING_AG + k as u32,
+            values[slice_of(send_idx)].to_vec(),
+        );
         let incoming = rank.recv(prev, TAG_RING_AG + k as u32);
         values[slice_of(recv_idx)].copy_from_slice(&incoming);
     }
@@ -232,6 +260,7 @@ pub fn exclusive_scan<M: Payload + Clone>(
     value: M,
     op: impl Fn(M, M) -> M,
 ) -> M {
+    rank.count("coll.exclusive_scan");
     let p = rank.size();
     let prefix = if rank.id() == 0 {
         identity
@@ -249,6 +278,7 @@ pub fn exclusive_scan<M: Payload + Clone>(
 /// `j`; returns the values received, indexed by source. `p(p − 1)`
 /// messages.
 pub fn alltoall<M: Payload>(rank: &mut Rank<M>, values: Vec<M>) -> Vec<M> {
+    rank.count("coll.alltoall");
     let p = rank.size();
     assert_eq!(values.len(), p, "need exactly one value per rank");
     let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
@@ -341,11 +371,12 @@ mod tests {
     #[test]
     fn gather_in_rank_order() {
         let p = 5;
-        let (results, stats) = World::run(p, |r: &mut R<u64>| {
-            gather(r, 2, r.id() as u64 * 10)
-        });
+        let (results, stats) = World::run(p, |r: &mut R<u64>| gather(r, 2, r.id() as u64 * 10));
         assert_eq!(results[2], Some(vec![0, 10, 20, 30, 40]));
-        assert!(results.iter().enumerate().all(|(i, v)| i == 2 || v.is_none()));
+        assert!(results
+            .iter()
+            .enumerate()
+            .all(|(i, v)| i == 2 || v.is_none()));
         assert_eq!(stats.messages, (p - 1) as u64);
     }
 
@@ -436,6 +467,27 @@ mod tests {
             assert_eq!(res[0], 30);
             assert_eq!(res[1], 0);
         }
+    }
+
+    #[test]
+    fn traced_collectives_bump_invocation_counters() {
+        use pdc_core::trace::TraceSession;
+        let p = 4;
+        let session = TraceSession::new();
+        World::run_traced(p, &session, |r: &mut R<u64>| {
+            barrier(r);
+            let x = broadcast(r, 0, (r.id() == 0).then_some(3));
+            allreduce(r, x, |a, b| a + b)
+        });
+        let snap = session.snapshot();
+        // One call per rank per collective; allreduce delegates to
+        // reduce + broadcast, so broadcast counts twice per rank.
+        assert_eq!(snap.get("coll.barrier"), p as u64);
+        assert_eq!(snap.get("coll.allreduce"), p as u64);
+        assert_eq!(snap.get("coll.reduce"), p as u64);
+        assert_eq!(snap.get("coll.broadcast"), 2 * p as u64);
+        // The p2p substrate is accounted too.
+        assert!(snap.get("mpi.msgs") > 0);
     }
 
     #[test]

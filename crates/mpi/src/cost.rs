@@ -136,10 +136,7 @@ mod tests {
             assert!(broadcast_time(m, p, 1024) < broadcast_linear_time(m, p, 1024));
         }
         // At p = 2 they coincide.
-        assert_eq!(
-            broadcast_time(m, 2, 64),
-            broadcast_linear_time(m, 2, 64)
-        );
+        assert_eq!(broadcast_time(m, 2, 64), broadcast_linear_time(m, 2, 64));
     }
 
     #[test]

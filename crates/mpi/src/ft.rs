@@ -10,6 +10,12 @@
 //! that the job still finishes with every task completed exactly once in
 //! the *results*, because the master ignores duplicate completions).
 
+//!
+//! [`run_farm_traced`] additionally publishes `ft.executions`,
+//! `ft.heartbeat_timeouts` (detections fired), and `ft.reassignments`
+//! into a pdc-trace session.
+
+use pdc_core::trace::TraceSession;
 use std::collections::{BTreeMap, HashSet};
 
 /// One unit of work.
@@ -65,7 +71,45 @@ pub fn run_farm(
     crashes: &[Crash],
     heartbeat_timeout: u64,
 ) -> FarmOutcome {
+    run_farm_inner(tasks, workers, crashes, heartbeat_timeout, None)
+}
+
+/// Like [`run_farm`], publishing `ft.executions`,
+/// `ft.heartbeat_timeouts`, and `ft.reassignments` counters into
+/// `session`.
+///
+/// `ft.heartbeat_timeouts` counts every detection that fired, including
+/// ones whose orphaned task had already completed;
+/// `ft.reassignments` counts only the tasks actually re-bagged, so
+/// `ft.heartbeat_timeouts >= ft.reassignments`.
+///
+/// # Panics
+/// Same conditions as [`run_farm`].
+pub fn run_farm_traced(
+    tasks: &[Task],
+    workers: usize,
+    crashes: &[Crash],
+    heartbeat_timeout: u64,
+    session: &TraceSession,
+) -> FarmOutcome {
+    run_farm_inner(tasks, workers, crashes, heartbeat_timeout, Some(session))
+}
+
+fn run_farm_inner(
+    tasks: &[Task],
+    workers: usize,
+    crashes: &[Crash],
+    heartbeat_timeout: u64,
+    session: Option<&TraceSession>,
+) -> FarmOutcome {
     assert!(workers > 0, "need at least one worker");
+    let obs = session.map(|s| {
+        (
+            s.counter("ft.executions"),
+            s.counter("ft.heartbeat_timeouts"),
+            s.counter("ft.reassignments"),
+        )
+    });
     let mut crash_at: BTreeMap<usize, u64> = BTreeMap::new();
     for c in crashes {
         assert!(c.worker < workers, "crash for unknown worker {}", c.worker);
@@ -97,24 +141,30 @@ pub fn run_farm(
             orphaned.into_iter().partition(|&(_, d)| d <= tick);
         orphaned = still;
         for (t, _) in detected {
+            if let Some((_, timeouts, _)) = &obs {
+                timeouts.inc();
+            }
             if !completed.contains(&tasks[t].id) {
                 pending.push(t);
                 reassignments += 1;
+                if let Some((_, _, reassigns)) = &obs {
+                    reassigns.inc();
+                }
             }
         }
         // 3. Completions.
-        for w in 0..workers {
-            if let WorkerState::Running(t, finish) = state[w] {
+        for st in state.iter_mut() {
+            if let WorkerState::Running(t, finish) = *st {
                 if finish <= tick {
                     completed.insert(tasks[t].id);
                     makespan = makespan.max(finish);
-                    state[w] = WorkerState::Idle;
+                    *st = WorkerState::Idle;
                 }
             }
         }
         // 4. Dispatch.
-        for w in 0..workers {
-            if state[w] == WorkerState::Idle {
+        for st in state.iter_mut() {
+            if *st == WorkerState::Idle {
                 // Skip tasks that were completed while orphan-pending.
                 while let Some(&t) = pending.last() {
                     if completed.contains(&tasks[t].id) {
@@ -124,8 +174,11 @@ pub fn run_farm(
                     }
                 }
                 if let Some(t) = pending.pop() {
-                    state[w] = WorkerState::Running(t, tick + tasks[t].duration);
+                    *st = WorkerState::Running(t, tick + tasks[t].duration);
                     executions += 1;
+                    if let Some((execs, _, _)) = &obs {
+                        execs.inc();
+                    }
                 }
             }
         }
@@ -177,7 +230,15 @@ mod tests {
     fn crash_mid_task_reassigns_and_completes() {
         let ts = tasks(4, 10);
         // Worker 1 dies at tick 3 while running its first task.
-        let out = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 3 }], 5);
+        let out = run_farm(
+            &ts,
+            2,
+            &[Crash {
+                worker: 1,
+                at_tick: 3,
+            }],
+            5,
+        );
         assert_eq!(out.completed, vec![0, 1, 2, 3]);
         assert_eq!(out.survivors, 1);
         assert_eq!(out.reassignments, 1);
@@ -187,8 +248,24 @@ mod tests {
     #[test]
     fn detection_latency_delays_but_does_not_lose() {
         let ts = tasks(2, 4);
-        let fast = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 1 }], 1);
-        let slow = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 1 }], 50);
+        let fast = run_farm(
+            &ts,
+            2,
+            &[Crash {
+                worker: 1,
+                at_tick: 1,
+            }],
+            1,
+        );
+        let slow = run_farm(
+            &ts,
+            2,
+            &[Crash {
+                worker: 1,
+                at_tick: 1,
+            }],
+            50,
+        );
         assert_eq!(fast.completed, slow.completed);
         assert!(
             slow.makespan > fast.makespan,
@@ -202,7 +279,15 @@ mod tests {
     fn idle_worker_crash_costs_nothing() {
         let ts = tasks(2, 3);
         // Worker 2 dies while idle (only 2 tasks for 3 workers).
-        let out = run_farm(&ts, 3, &[Crash { worker: 2, at_tick: 1 }], 2);
+        let out = run_farm(
+            &ts,
+            3,
+            &[Crash {
+                worker: 2,
+                at_tick: 1,
+            }],
+            2,
+        );
         assert_eq!(out.reassignments, 0);
         assert_eq!(out.makespan, 3);
     }
@@ -211,9 +296,18 @@ mod tests {
     fn cascading_failures_survive_with_one_worker() {
         let ts = tasks(6, 2);
         let crashes = [
-            Crash { worker: 0, at_tick: 1 },
-            Crash { worker: 1, at_tick: 3 },
-            Crash { worker: 2, at_tick: 5 },
+            Crash {
+                worker: 0,
+                at_tick: 1,
+            },
+            Crash {
+                worker: 1,
+                at_tick: 3,
+            },
+            Crash {
+                worker: 2,
+                at_tick: 5,
+            },
         ];
         let out = run_farm(&ts, 4, &crashes, 2);
         assert_eq!(out.completed.len(), 6);
@@ -229,8 +323,14 @@ mod tests {
             &ts,
             2,
             &[
-                Crash { worker: 0, at_tick: 1 },
-                Crash { worker: 1, at_tick: 1 },
+                Crash {
+                    worker: 0,
+                    at_tick: 1,
+                },
+                Crash {
+                    worker: 1,
+                    at_tick: 1,
+                },
             ],
             2,
         );
@@ -241,9 +341,53 @@ mod tests {
         // Worker 1 crashes *after* finishing its task but the heartbeat
         // timeout is long: the completed task must not be re-run.
         let ts = tasks(2, 3);
-        let out = run_farm(&ts, 2, &[Crash { worker: 1, at_tick: 4 }], 100);
+        let out = run_farm(
+            &ts,
+            2,
+            &[Crash {
+                worker: 1,
+                at_tick: 4,
+            }],
+            100,
+        );
         assert_eq!(out.executions, 2, "no spurious re-execution");
         assert_eq!(out.reassignments, 0);
+    }
+
+    #[test]
+    fn traced_farm_publishes_counters() {
+        let ts = tasks(4, 10);
+        let session = TraceSession::new();
+        let out = run_farm_traced(
+            &ts,
+            2,
+            &[Crash {
+                worker: 1,
+                at_tick: 3,
+            }],
+            5,
+            &session,
+        );
+        let snap = session.snapshot();
+        assert_eq!(snap.get("ft.executions"), out.executions);
+        assert_eq!(snap.get("ft.reassignments"), out.reassignments);
+        assert!(snap.get("ft.heartbeat_timeouts") >= snap.get("ft.reassignments"));
+        assert_eq!(snap.get("ft.heartbeat_timeouts"), 1);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let ts = tasks(6, 4);
+        let crashes = [Crash {
+            worker: 0,
+            at_tick: 2,
+        }];
+        let session = TraceSession::new();
+        let a = run_farm(&ts, 3, &crashes, 3);
+        let b = run_farm_traced(&ts, 3, &crashes, 3, &session);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.executions, b.executions);
     }
 
     #[test]
@@ -254,7 +398,15 @@ mod tests {
                 duration: 1 + (id % 4),
             })
             .collect();
-        let out = run_farm(&ts, 3, &[Crash { worker: 0, at_tick: 2 }], 3);
+        let out = run_farm(
+            &ts,
+            3,
+            &[Crash {
+                worker: 0,
+                at_tick: 2,
+            }],
+            3,
+        );
         assert_eq!(out.completed.len(), 8);
     }
 }

@@ -300,7 +300,7 @@ mod tests {
     fn concurrent_cas_exactly_one_winner_per_round() {
         let (server, client) = Server::start();
         client.put("counter", "0"); // version 1
-        // 4 clients race to CAS version 1 -> exactly one wins.
+                                    // 4 clients race to CAS version 1 -> exactly one wins.
         let wins: usize = (0..4)
             .map(|i| {
                 let client = client.clone();

@@ -15,7 +15,14 @@
 //! behind a mutex, and a clean shutdown path. The in-process channel
 //! version lives in [`crate::kv`]; this module shows the same semantics
 //! surviving a real byte stream.
+//!
+//! Connections that die mid-request (a half-read line at EOF, a read or
+//! write error) never crash their thread and never execute the
+//! truncated request; each such failure bumps the server's
+//! `kv.conn_errors` counter in its pdc-trace session.
 
+use pdc_core::metrics::Counter;
+use pdc_core::trace::TraceSession;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,16 +41,25 @@ pub struct TcpKvServer {
     /// connections whose clients are still attached (otherwise joining
     /// their threads would block on a read forever).
     conns: Arc<Mutex<Vec<TcpStream>>>,
+    trace: TraceSession,
 }
 
 impl TcpKvServer {
-    /// Bind to an ephemeral loopback port and start serving.
+    /// Bind to an ephemeral loopback port and start serving, with a
+    /// private trace session.
     pub fn start() -> std::io::Result<TcpKvServer> {
+        TcpKvServer::start_traced(&TraceSession::new())
+    }
+
+    /// Like [`TcpKvServer::start`], publishing `kv.conn_errors` into a
+    /// shared `session`.
+    pub fn start_traced(session: &TraceSession) -> std::io::Result<TcpKvServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let store: Store = Arc::new(Mutex::new(HashMap::new()));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_errors = session.counter("kv.conn_errors");
         let sd = Arc::clone(&shutdown);
         let conns2 = Arc::clone(&conns);
         let accept_handle = std::thread::spawn(move || {
@@ -57,7 +73,10 @@ impl TcpKvServer {
                     conns2.lock().unwrap().push(clone);
                 }
                 let store = Arc::clone(&store);
-                conn_handles.push(std::thread::spawn(move || serve_conn(stream, store)));
+                let errors = conn_errors.clone();
+                conn_handles.push(std::thread::spawn(move || {
+                    serve_conn(stream, store, errors)
+                }));
             }
             for h in conn_handles {
                 let _ = h.join();
@@ -68,12 +87,23 @@ impl TcpKvServer {
             shutdown,
             accept_handle: Some(accept_handle),
             conns,
+            trace: session.clone(),
         })
     }
 
     /// The server's address (connect clients here).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The trace session this server publishes `kv.conn_errors` into.
+    pub fn trace(&self) -> &TraceSession {
+        &self.trace
+    }
+
+    /// Connections that failed mid-request so far (`kv.conn_errors`).
+    pub fn conn_errors(&self) -> u64 {
+        self.trace.snapshot().get("kv.conn_errors")
     }
 
     /// Stop accepting, force-close live connections, and join every
@@ -93,19 +123,41 @@ impl TcpKvServer {
     }
 }
 
-fn serve_conn(stream: TcpStream, store: Store) {
+fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => {
+            conn_errors.inc();
+            return;
+        }
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            // Clean EOF: client closed between requests.
+            Ok(0) => return,
+            Ok(_) => {
+                // A line without its newline means the client vanished
+                // mid-request. Never execute a truncated request — a
+                // half-read "DEL xy…" is not the request that was sent.
+                if !line.ends_with('\n') {
+                    conn_errors.inc();
+                    return;
+                }
+            }
+            // Read error (e.g. connection reset): count and move on;
+            // the thread exits but the server keeps serving others.
+            Err(_) => {
+                conn_errors.inc();
+                return;
+            }
+        }
         let reply = handle_line(&line, &store);
         let quit = line.trim() == "QUIT";
-        if writer.write_all(reply.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-        {
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            conn_errors.inc();
             return;
         }
         if quit {
@@ -147,8 +199,7 @@ fn handle_line(line: &str, store: &Store) -> String {
             }
         }
         "CAS" => {
-            let (Some(key), Some(ver), Some(value)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(key), Some(ver), Some(value)) = (parts.next(), parts.next(), parts.next())
             else {
                 return "ERR usage: CAS <key> <version> <value>".into();
             };
@@ -275,6 +326,57 @@ mod tests {
             .map(|h| h.join().unwrap())
             .sum();
         assert_eq!(wins, 1, "server linearizes CAS across sockets");
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_request_disconnect_is_survived_and_counted() {
+        let server = TcpKvServer::start().unwrap();
+        let addr = server.addr();
+
+        // Seed a key through a well-behaved client.
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(c.call("PUT victim alive").unwrap(), "OK 1");
+
+        // A client that dies mid-request: half a line, no newline. The
+        // truncated "DEL victim" must NOT be executed.
+        {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            bad.write_all(b"DEL victim").unwrap();
+            // Drop closes the socket: the server sees EOF mid-line.
+        }
+
+        // The error is counted (poll: the conn thread runs async).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.conn_errors() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "kv.conn_errors never incremented"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.conn_errors(), 1);
+
+        // The server survived: existing and new clients still work, and
+        // the half-read DEL was not applied.
+        assert_eq!(c.call("GET victim").unwrap(), "VALUE 1 alive");
+        let mut c2 = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(c2.call("GET victim").unwrap(), "VALUE 1 alive");
+        server.shutdown();
+    }
+
+    #[test]
+    fn clean_disconnect_without_quit_is_not_an_error() {
+        let server = TcpKvServer::start().unwrap();
+        let addr = server.addr();
+        {
+            let mut c = TcpKvClient::connect(addr).unwrap();
+            assert_eq!(c.call("PUT k v").unwrap(), "OK 1");
+            // Drop without QUIT: complete requests only, clean EOF.
+        }
+        // Give the connection thread a moment to observe EOF.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(server.conn_errors(), 0);
         server.shutdown();
     }
 

@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod coll;
-pub mod ft;
 pub mod cost;
+pub mod ft;
 pub mod kv;
 pub mod kv_tcp;
 pub mod mapreduce;

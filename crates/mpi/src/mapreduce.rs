@@ -86,8 +86,7 @@ where
     let pairs_emitted: u64 = mapped.iter().map(|m| m.len() as u64).sum();
 
     // ---- Shuffle: partition by key hash, group values per key.
-    let mut partitions: Vec<HashMap<K, Vec<V>>> =
-        (0..reducers).map(|_| HashMap::new()).collect();
+    let mut partitions: Vec<HashMap<K, Vec<V>>> = (0..reducers).map(|_| HashMap::new()).collect();
     for pairs in mapped {
         for (k, v) in pairs {
             let part = partition_of(&k, reducers);
@@ -130,7 +129,11 @@ where
 }
 
 /// The canonical word-count job.
-pub fn word_count(documents: Vec<String>, mappers: usize, reducers: usize) -> (Vec<(String, u64)>, JobStats) {
+pub fn word_count(
+    documents: Vec<String>,
+    mappers: usize,
+    reducers: usize,
+) -> (Vec<(String, u64)>, JobStats) {
     run_job(
         documents,
         mappers,

@@ -5,9 +5,14 @@
 //! like small-message MPI), `recv(src, tag)` blocks and performs MPI-style
 //! envelope matching, buffering messages that arrive out of order.
 //! Every message increments global message/byte counters — the raw data
-//! for the α–β analyses in [`crate::cost`].
+//! for the α–β analyses in [`crate::cost`]. A world started with
+//! [`World::run_traced`] additionally publishes `mpi.msgs` / `mpi.bytes`
+//! into a shared pdc-trace session and records per-rank send/recv
+//! events, under the same schema the thread pool and `SimMachine` use.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use pdc_core::metrics::Counter;
+use pdc_core::trace::{EventKind, ThreadTrace, TraceSession};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,7 +32,22 @@ macro_rules! scalar_payload {
         }
     )*};
 }
-scalar_payload!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, ());
+scalar_payload!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    ()
+);
 
 impl<T: Payload> Payload for Vec<T> {
     fn size_bytes(&self) -> u64 {
@@ -76,6 +96,16 @@ pub struct TrafficStats {
     pub bytes: u64,
 }
 
+/// A traced rank's pdc-trace hookup.
+struct RankObs {
+    session: TraceSession,
+    thread: ThreadTrace,
+    /// `mpi.msgs`, shared across all ranks of the world.
+    msgs: Counter,
+    /// `mpi.bytes`, shared across all ranks of the world.
+    bytes: Counter,
+}
+
 /// One rank's endpoint inside a running world.
 pub struct Rank<M: Payload> {
     id: usize,
@@ -85,6 +115,7 @@ pub struct Rank<M: Payload> {
     /// Out-of-order messages awaiting a matching recv.
     pending: VecDeque<Envelope<M>>,
     traffic: Arc<Traffic>,
+    obs: Option<RankObs>,
 }
 
 impl<M: Payload> Rank<M> {
@@ -105,10 +136,14 @@ impl<M: Payload> Rank<M> {
     /// already finished and dropped its inbox.
     pub fn send(&self, dst: usize, tag: u32, msg: M) {
         assert!(dst < self.size, "rank {dst} out of range");
+        let nbytes = msg.size_bytes();
         self.traffic.msgs.fetch_add(1, Ordering::Relaxed);
-        self.traffic
-            .bytes
-            .fetch_add(msg.size_bytes(), Ordering::Relaxed);
+        self.traffic.bytes.fetch_add(nbytes, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.msgs.inc();
+            obs.bytes.add(nbytes);
+            obs.thread.record(EventKind::Send, dst as u64, nbytes);
+        }
         self.senders[dst]
             .send(Envelope {
                 src: self.id,
@@ -128,11 +163,14 @@ impl<M: Payload> Rank<M> {
             .iter()
             .position(|e| e.src == src && e.tag == tag)
         {
-            return self.pending.remove(pos).unwrap().msg;
+            let msg = self.pending.remove(pos).unwrap().msg;
+            self.note_recv(src, &msg);
+            return msg;
         }
         loop {
             let env = self.inbox.recv().expect("world torn down mid-recv");
             if env.src == src && env.tag == tag {
+                self.note_recv(src, &env.msg);
                 return env.msg;
             }
             self.pending.push_back(env);
@@ -143,14 +181,32 @@ impl<M: Payload> Rank<M> {
     pub fn recv_any(&mut self, tag: u32) -> (usize, M) {
         if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
             let e = self.pending.remove(pos).unwrap();
+            self.note_recv(e.src, &e.msg);
             return (e.src, e.msg);
         }
         loop {
             let env = self.inbox.recv().expect("world torn down mid-recv");
             if env.tag == tag {
+                self.note_recv(env.src, &env.msg);
                 return (env.src, env.msg);
             }
             self.pending.push_back(env);
+        }
+    }
+
+    fn note_recv(&self, src: usize, msg: &M) {
+        if let Some(obs) = &self.obs {
+            obs.thread
+                .record(EventKind::Recv, src as u64, msg.size_bytes());
+        }
+    }
+
+    /// Increment a named counter in the world's trace session, if this
+    /// rank is traced. The collectives use this for their `coll.*`
+    /// invocation counters; it is a no-op in untraced worlds.
+    pub fn count(&self, name: &str) {
+        if let Some(obs) = &self.obs {
+            obs.session.counter(name).inc();
         }
     }
 }
@@ -170,8 +226,34 @@ impl World {
         R: Send,
         F: Fn(&mut Rank<M>) -> R + Sync,
     {
+        World::run_inner(p, None, f)
+    }
+
+    /// Like [`World::run`], but every rank publishes `mpi.msgs` /
+    /// `mpi.bytes` counters and send/recv events into `session`. Rank
+    /// `i` records as actor `i`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank panics.
+    pub fn run_traced<M, R, F>(p: usize, session: &TraceSession, f: F) -> (Vec<R>, TrafficStats)
+    where
+        M: Payload,
+        R: Send,
+        F: Fn(&mut Rank<M>) -> R + Sync,
+    {
+        World::run_inner(p, Some(session), f)
+    }
+
+    fn run_inner<M, R, F>(p: usize, session: Option<&TraceSession>, f: F) -> (Vec<R>, TrafficStats)
+    where
+        M: Payload,
+        R: Send,
+        F: Fn(&mut Rank<M>) -> R + Sync,
+    {
         assert!(p > 0, "world needs at least one rank");
         let traffic = Arc::new(Traffic::default());
+        let msgs = session.map(|s| s.counter("mpi.msgs"));
+        let bytes = session.map(|s| s.counter("mpi.bytes"));
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -186,6 +268,12 @@ impl World {
                 .map(|(id, inbox)| {
                     let senders = senders.clone();
                     let traffic = Arc::clone(&traffic);
+                    let obs = session.map(|sess| RankObs {
+                        session: sess.clone(),
+                        thread: sess.thread(id as u32),
+                        msgs: msgs.clone().expect("traced world has counters"),
+                        bytes: bytes.clone().expect("traced world has counters"),
+                    });
                     let f = &f;
                     s.spawn(move || {
                         let mut rank = Rank {
@@ -195,6 +283,7 @@ impl World {
                             inbox,
                             pending: VecDeque::new(),
                             traffic,
+                            obs,
                         };
                         f(&mut rank)
                     })
@@ -280,7 +369,7 @@ mod tests {
         let (results, _) = World::run(4, |r: &mut Rank<u64>| {
             if r.id() == 0 {
                 let mut sum = 0;
-                let mut seen = vec![false; 4];
+                let mut seen = [false; 4];
                 for _ in 0..3 {
                     let (src, v) = r.recv_any(0);
                     assert!(!seen[src]);
@@ -327,6 +416,51 @@ mod tests {
             }
         });
         assert_eq!(stats.bytes, 800);
+        assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn traced_world_publishes_counters_and_events() {
+        let session = TraceSession::new();
+        let (_, stats) = World::run_traced(2, &session, |r: &mut Rank<u64>| {
+            if r.id() == 0 {
+                r.send(1, 0, 42);
+                r.recv(1, 0)
+            } else {
+                let v = r.recv(0, 0);
+                r.send(0, 0, v + 1);
+                v
+            }
+        });
+        let snap = session.snapshot();
+        assert_eq!(snap.get("mpi.msgs"), stats.messages);
+        assert_eq!(snap.get("mpi.bytes"), stats.bytes);
+        let events = session.events();
+        let sends = events.iter().filter(|e| e.kind == EventKind::Send).count();
+        let recvs = events.iter().filter(|e| e.kind == EventKind::Recv).count();
+        assert_eq!(sends, 2);
+        assert_eq!(recvs, 2);
+        // Each rank records as its own actor.
+        assert!(events.iter().any(|e| e.actor == 0));
+        assert!(events.iter().any(|e| e.actor == 1));
+        // Send events carry the modeled byte size.
+        assert!(events
+            .iter()
+            .filter(|e| e.kind == EventKind::Send)
+            .all(|e| e.b == 8));
+    }
+
+    #[test]
+    fn untraced_world_counts_nothing_extra() {
+        // `count` is a no-op without a session; stats still work.
+        let (_, stats) = World::run(2, |r: &mut Rank<u64>| {
+            r.count("coll.fake");
+            if r.id() == 0 {
+                r.send(1, 0, 7);
+            } else {
+                r.recv(0, 0);
+            }
+        });
         assert_eq!(stats.messages, 1);
     }
 

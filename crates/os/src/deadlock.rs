@@ -110,17 +110,17 @@ impl Banker {
             return RequestOutcome::DeniedUnavailable;
         }
         // Pretend-grant, then check safety.
-        for j in 0..request.len() {
-            self.available[j] -= request[j];
-            self.allocation[pid][j] += request[j];
+        for (j, &r) in request.iter().enumerate() {
+            self.available[j] -= r;
+            self.allocation[pid][j] += r;
         }
         if self.is_safe() {
             RequestOutcome::Granted
         } else {
             // Roll back.
-            for j in 0..request.len() {
-                self.available[j] += request[j];
-                self.allocation[pid][j] -= request[j];
+            for (j, &r) in request.iter().enumerate() {
+                self.available[j] += r;
+                self.allocation[pid][j] -= r;
             }
             RequestOutcome::DeniedUnsafe
         }
@@ -131,13 +131,10 @@ impl Banker {
     /// # Panics
     /// Panics if releasing more than held.
     pub fn release(&mut self, pid: usize, units: &[u32]) {
-        for j in 0..units.len() {
-            assert!(
-                self.allocation[pid][j] >= units[j],
-                "releasing more than held"
-            );
-            self.allocation[pid][j] -= units[j];
-            self.available[j] += units[j];
+        for (j, &u) in units.iter().enumerate() {
+            assert!(self.allocation[pid][j] >= u, "releasing more than held");
+            self.allocation[pid][j] -= u;
+            self.available[j] += u;
         }
     }
 }
@@ -240,11 +237,7 @@ mod tests {
     fn unsafe_state_detected() {
         // Two processes both needing 2 units with only 1 free and 1 each
         // held: neither can finish.
-        let b = Banker::new(
-            vec![0],
-            vec![vec![2], vec![2]],
-            vec![vec![1], vec![1]],
-        );
+        let b = Banker::new(vec![0], vec![vec![2], vec![2]], vec![vec![1], vec![1]]);
         assert!(!b.is_safe());
         assert_eq!(b.safe_sequence(), None);
     }

@@ -187,9 +187,10 @@ mod tests {
         sh.background_finishes(j1.pid, 0).unwrap();
         sh.prompt();
         assert_eq!(sh.jobs().len(), 1);
-        assert!(sh
-            .events
-            .contains(&ShellEvent::JobDone { job_no: 1, pid: j1.pid }));
+        assert!(sh.events.contains(&ShellEvent::JobDone {
+            job_no: 1,
+            pid: j1.pid
+        }));
     }
 
     #[test]
@@ -198,10 +199,7 @@ mod tests {
         let j = sh.spawn_bg("worker").unwrap();
         sh.background_finishes(j.pid, 0).unwrap();
         // Before the prompt: zombie visible in the table.
-        assert_eq!(
-            sh.table().get(j.pid).unwrap().state,
-            ProcessState::Zombie
-        );
+        assert_eq!(sh.table().get(j.pid).unwrap().state, ProcessState::Zombie);
         sh.prompt();
         assert!(sh.table().get(j.pid).is_err(), "reaped");
     }
@@ -227,10 +225,7 @@ mod tests {
         let fg = sh.run("echo", 0).unwrap();
         assert_ne!(fg, j.pid);
         assert_eq!(sh.jobs().len(), 1, "background job unaffected");
-        assert_eq!(
-            sh.table().get(j.pid).unwrap().state,
-            ProcessState::Running
-        );
+        assert_eq!(sh.table().get(j.pid).unwrap().state, ProcessState::Running);
     }
 
     #[test]
@@ -241,9 +236,10 @@ mod tests {
         // The foreground wait loop may reap the bg job first; it must be
         // reported as a job, and the fg command as completed.
         let fg = sh.run("echo", 0).unwrap();
-        assert!(sh
-            .events
-            .contains(&ShellEvent::JobDone { job_no: 1, pid: j.pid }));
+        assert!(sh.events.contains(&ShellEvent::JobDone {
+            job_no: 1,
+            pid: j.pid
+        }));
         assert!(sh
             .events
             .contains(&ShellEvent::Completed { pid: fg, code: 0 }));

@@ -188,7 +188,10 @@ pub struct PageTable {
 impl PageTable {
     /// A table for `virt_pages` virtual pages over `phys_frames` frames.
     pub fn new(page_size: u64, virt_pages: usize, phys_frames: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be power of two"
+        );
         assert!(phys_frames > 0);
         PageTable {
             page_size,
@@ -207,15 +210,17 @@ impl PageTable {
     pub fn translate(&mut self, vaddr: u64) -> u64 {
         let vpn = (vaddr / self.page_size) as usize;
         let off = vaddr % self.page_size;
-        assert!(vpn < self.entries.len(), "segmentation fault: vaddr {vaddr}");
+        assert!(
+            vpn < self.entries.len(),
+            "segmentation fault: vaddr {vaddr}"
+        );
         if self.entries[vpn].is_none() {
             self.faults += 1;
             let frame = match self.free_frames.pop() {
                 Some(fr) => fr,
                 None => {
                     let evict_vpn = self.resident.pop_front().expect("resident page");
-                    let fr = self.entries[evict_vpn as usize].take().expect("present");
-                    fr
+                    self.entries[evict_vpn as usize].take().expect("present")
                 }
             };
             self.entries[vpn] = Some(frame);
@@ -265,13 +270,19 @@ mod tests {
         let mut x = 123456789u64;
         let refs: Vec<u64> = (0..2000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 12
             })
             .collect();
         for frames in [2usize, 3, 5, 8] {
             let opt = run(ReplacePolicy::Opt, frames, &refs).faults;
-            for policy in [ReplacePolicy::Fifo, ReplacePolicy::Lru, ReplacePolicy::Clock] {
+            for policy in [
+                ReplacePolicy::Fifo,
+                ReplacePolicy::Lru,
+                ReplacePolicy::Clock,
+            ] {
                 let f = run(policy, frames, &refs).faults;
                 assert!(opt <= f, "{policy:?} beat OPT at {frames} frames");
             }
@@ -321,7 +332,11 @@ mod tests {
     #[test]
     fn single_frame_faults_on_every_distinct_ref() {
         let refs = [1, 2, 1, 2, 1, 2];
-        for policy in [ReplacePolicy::Fifo, ReplacePolicy::Lru, ReplacePolicy::Clock] {
+        for policy in [
+            ReplacePolicy::Fifo,
+            ReplacePolicy::Lru,
+            ReplacePolicy::Clock,
+        ] {
             assert_eq!(run(policy, 1, &refs).faults, 6, "{policy:?}");
         }
     }

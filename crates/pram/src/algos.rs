@@ -265,6 +265,53 @@ pub fn list_rank(next: &[usize]) -> Result<(Vec<u64>, Pram), PramError> {
     Ok((ranks, pram))
 }
 
+/// Odd-even transposition sort on an EREW PRAM: `n` rounds of disjoint
+/// compare-exchanges, span Θ(n), work Θ(n²) — the network-style sort
+/// CS41 contrasts with work-efficient Θ(n log n) sorts.
+///
+/// A PRAM processor writes once per step, and a compare-exchange must
+/// write two cells without losing either old value; each round is
+/// therefore three EREW steps through a scratch region at `n..2n`:
+/// (A) save the pair minimum to scratch, (B) write the maximum to the
+/// right slot (old values still intact), (C) copy the minimum to the
+/// left slot.
+pub fn odd_even_transposition_sort(input: &[i64]) -> Result<(Vec<i64>, Pram), PramError> {
+    let n = input.len();
+    let mut pram = Pram::new(Mode::Erew, (2 * n).max(1));
+    pram.load(0, input);
+    if n <= 1 {
+        return Ok((input.to_vec(), pram));
+    }
+    for round in 0..n {
+        let start = round % 2; // even rounds pair (0,1),(2,3)…; odd (1,2),(3,4)…
+        if n - start < 2 {
+            continue;
+        }
+        let procs: Vec<usize> = (0..(n - start) / 2).collect();
+        let s = start;
+        // A: scratch[pair-left] = min(left, right).
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            let a = ctx.read(i);
+            let b = ctx.read(i + 1);
+            Some((n + i, a.min(b)))
+        })?;
+        // B: right = max(left, right) — both originals still in place.
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            let a = ctx.read(i);
+            let b = ctx.read(i + 1);
+            Some((i + 1, a.max(b)))
+        })?;
+        // C: left = saved minimum.
+        pram.step(&procs, |ctx| {
+            let i = s + 2 * ctx.id();
+            Some((i, ctx.read(n + i)))
+        })?;
+    }
+    Ok((pram.peek_range(0..n).to_vec(), pram))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,7 +458,6 @@ mod tests {
         assert_eq!(ranks, vec![0]);
     }
 
-
     #[test]
     fn odd_even_sort_correct_various_inputs() {
         for data in [
@@ -456,51 +502,4 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PramError::ReadConflict { addr: 0, .. }));
     }
-}
-
-/// Odd-even transposition sort on an EREW PRAM: `n` rounds of disjoint
-/// compare-exchanges, span Θ(n), work Θ(n²) — the network-style sort
-/// CS41 contrasts with work-efficient Θ(n log n) sorts.
-///
-/// A PRAM processor writes once per step, and a compare-exchange must
-/// write two cells without losing either old value; each round is
-/// therefore three EREW steps through a scratch region at `n..2n`:
-/// (A) save the pair minimum to scratch, (B) write the maximum to the
-/// right slot (old values still intact), (C) copy the minimum to the
-/// left slot.
-pub fn odd_even_transposition_sort(input: &[i64]) -> Result<(Vec<i64>, Pram), PramError> {
-    let n = input.len();
-    let mut pram = Pram::new(Mode::Erew, (2 * n).max(1));
-    pram.load(0, input);
-    if n <= 1 {
-        return Ok((input.to_vec(), pram));
-    }
-    for round in 0..n {
-        let start = round % 2; // even rounds pair (0,1),(2,3)…; odd (1,2),(3,4)…
-        if n - start < 2 {
-            continue;
-        }
-        let procs: Vec<usize> = (0..(n - start) / 2).collect();
-        let s = start;
-        // A: scratch[pair-left] = min(left, right).
-        pram.step(&procs, |ctx| {
-            let i = s + 2 * ctx.id();
-            let a = ctx.read(i);
-            let b = ctx.read(i + 1);
-            Some((n + i, a.min(b)))
-        })?;
-        // B: right = max(left, right) — both originals still in place.
-        pram.step(&procs, |ctx| {
-            let i = s + 2 * ctx.id();
-            let a = ctx.read(i);
-            let b = ctx.read(i + 1);
-            Some((i + 1, a.max(b)))
-        })?;
-        // C: left = saved minimum.
-        pram.step(&procs, |ctx| {
-            let i = s + 2 * ctx.id();
-            Some((i, ctx.read(n + i)))
-        })?;
-    }
-    Ok((pram.peek_range(0..n).to_vec(), pram))
 }

@@ -42,7 +42,9 @@ impl Image {
         let total: f64 = self
             .pixels
             .iter()
-            .map(|[r, g, b]| 0.2126 * f64::from(*r) + 0.7152 * f64::from(*g) + 0.0722 * f64::from(*b))
+            .map(|[r, g, b]| {
+                0.2126 * f64::from(*r) + 0.7152 * f64::from(*g) + 0.0722 * f64::from(*b)
+            })
             .sum();
         total / self.pixels.len() as f64
     }
@@ -91,7 +93,14 @@ pub fn trace(scene: &Scene, ray: &Ray, depth: u32) -> Vec3 {
 }
 
 /// Render one row of pixels.
-fn render_row(scene: &Scene, cam: &Camera, w: usize, h: usize, y: usize, depth: u32) -> Vec<[u8; 3]> {
+fn render_row(
+    scene: &Scene,
+    cam: &Camera,
+    w: usize,
+    h: usize,
+    y: usize,
+    depth: u32,
+) -> Vec<[u8; 3]> {
     (0..w)
         .map(|x| {
             let ray = cam.primary_ray(x, y, w, h);

@@ -126,7 +126,11 @@ fn hit_plane(p: &CheckerPlane, ray: &Ray, t_max: f64) -> Option<Hit> {
     let point = ray.at(t);
     let cx = (point.x / p.cell).floor() as i64;
     let cz = (point.z / p.cell).floor() as i64;
-    let material = if (cx + cz).rem_euclid(2) == 0 { p.a } else { p.b };
+    let material = if (cx + cz).rem_euclid(2) == 0 {
+        p.a
+    } else {
+        p.b
+    };
     let normal = if ray.origin.y > p.height {
         Vec3::new(0.0, 1.0, 0.0)
     } else {

@@ -73,7 +73,7 @@ impl SenseBarrier {
             while self.sense.load(Ordering::Acquire) == my_sense {
                 std::hint::spin_loop();
                 spins = spins.wrapping_add(1);
-                if spins % 64 == 0 {
+                if spins.is_multiple_of(64) {
                     std::thread::yield_now();
                 }
             }

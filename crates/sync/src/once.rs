@@ -76,7 +76,7 @@ impl<T> OnceCell<T> {
                 while s != READY {
                     std::hint::spin_loop();
                     spins = spins.wrapping_add(1);
-                    if spins % 64 == 0 {
+                    if spins.is_multiple_of(64) {
                         std::thread::yield_now();
                     }
                     s = self.state.load(Ordering::Acquire);
@@ -170,7 +170,10 @@ mod tests {
             .collect();
         let values: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one init");
-        assert!(values.windows(2).all(|w| w[0] == w[1]), "all see same value");
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "all see same value"
+        );
     }
 
     #[test]

@@ -263,13 +263,7 @@ mod tests {
     #[test]
     fn naive_deadlocks_under_adversarial_schedule() {
         let n = 5;
-        let out = simulate(
-            Strategy::Naive,
-            n,
-            1,
-            &all_grab_left_schedule(n),
-            10_000,
-        );
+        let out = simulate(Strategy::Naive, n, 1, &all_grab_left_schedule(n), 10_000);
         assert!(out.deadlocked, "naive must deadlock: {out:?}");
         let cycle = out.cycle.unwrap();
         assert_eq!(cycle.len(), n, "full ring deadlock");
@@ -279,13 +273,7 @@ mod tests {
     #[test]
     fn ordered_never_deadlocks_same_schedule() {
         let n = 5;
-        let out = simulate(
-            Strategy::Ordered,
-            n,
-            3,
-            &all_grab_left_schedule(n),
-            100_000,
-        );
+        let out = simulate(Strategy::Ordered, n, 3, &all_grab_left_schedule(n), 100_000);
         assert!(!out.deadlocked);
         assert!(out.meals.iter().all(|&m| m == 3), "{:?}", out.meals);
     }

@@ -70,7 +70,7 @@ impl<T> PdcRwLock<T> {
             }
             std::hint::spin_loop();
             spins = spins.wrapping_add(1);
-            if spins % 32 == 0 {
+            if spins.is_multiple_of(32) {
                 std::thread::yield_now();
             }
         }
@@ -110,7 +110,7 @@ impl<T> PdcRwLock<T> {
             }
             std::hint::spin_loop();
             spins = spins.wrapping_add(1);
-            if spins % 32 == 0 {
+            if spins.is_multiple_of(32) {
                 std::thread::yield_now();
             }
         }

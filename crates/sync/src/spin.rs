@@ -67,7 +67,7 @@ impl<T> SpinLock<T> {
                 backoff = (backoff * 2).min(1 << 10);
                 // On a uniprocessor, yielding is what actually lets the
                 // holder run; backoff alone would just burn the quantum.
-                if local_spins % 16 == 0 {
+                if local_spins.is_multiple_of(16) {
                     std::thread::yield_now();
                 }
             }

@@ -50,7 +50,7 @@ impl<T> TicketLock<T> {
         while self.serving.load(Ordering::Acquire) != ticket {
             std::hint::spin_loop();
             spins = spins.wrapping_add(1);
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             }
         }

@@ -53,11 +53,7 @@ where
 /// midpoint recursively while `depth > 0`, calling `leaf` on each base
 /// chunk. The scaffolding for in-place parallel algorithms (sort,
 /// stencil).
-pub fn divide_conquer_mut<T: Send>(
-    data: &mut [T],
-    depth: u32,
-    leaf: &(impl Fn(&mut [T]) + Sync),
-) {
+pub fn divide_conquer_mut<T: Send>(data: &mut [T], depth: u32, leaf: &(impl Fn(&mut [T]) + Sync)) {
     if depth == 0 || data.len() < 2 {
         leaf(data);
         return;
@@ -97,7 +93,7 @@ mod tests {
 
     #[test]
     fn join_allows_borrows() {
-        let data = vec![1, 2, 3, 4, 5, 6];
+        let data = [1, 2, 3, 4, 5, 6];
         let (lo, hi) = data.split_at(3);
         let (s1, s2) = join(|| lo.iter().sum::<i32>(), || hi.iter().sum::<i32>());
         assert_eq!(s1 + s2, 21);
@@ -105,7 +101,7 @@ mod tests {
 
     #[test]
     fn join_allows_mutable_split_borrows() {
-        let mut data = vec![0u32; 10];
+        let mut data = [0u32; 10];
         let (lo, hi) = data.split_at_mut(5);
         join(
             || lo.iter_mut().for_each(|x| *x = 1),

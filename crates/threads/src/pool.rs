@@ -3,11 +3,15 @@
 //! Each worker owns a LIFO deque of tasks; when empty it steals from the
 //! global injector or from siblings (FIFO side). This is the scheduling
 //! architecture Rayon/Cilk use, built here from `crossbeam-deque` so the
-//! steal behaviour is observable: the pool counts executed tasks and
-//! successful steals, which the load-imbalance bench reports.
+//! steal behaviour is observable: the pool publishes its counters
+//! (`pool.executed`, `pool.steals`, `pool.panicked`, `pool.submitted`,
+//! `pool.completed`) through a pdc-trace [`TraceSession`] and records
+//! spawn/steal events, which the load-imbalance bench reports.
 
 use crossbeam::deque::{Injector, Stealer, Worker};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use pdc_core::metrics::Counter;
+use pdc_core::trace::{EventKind, ThreadTrace, TraceSession};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -16,29 +20,67 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
-    /// Tasks submitted but not yet finished.
+    /// Tasks submitted but not yet finished. This stays a plain atomic
+    /// (not a pair of trace counters) because `wait_idle` relies on its
+    /// SeqCst ordering for the happens-before edge between a task's
+    /// writes and the waiter's reads.
     pending: AtomicUsize,
-    /// Executed task count per pool.
-    executed: AtomicU64,
-    /// Tasks that panicked (caught; the worker survives).
-    panicked: AtomicU64,
-    /// Successful steals (from injector or siblings).
-    steals: AtomicU64,
     shutdown: AtomicBool,
+    /// `pool.executed`: tasks run to completion (panicking ones included).
+    executed: Counter,
+    /// `pool.panicked`: tasks that panicked (caught; the worker survives).
+    panicked: Counter,
+    /// `pool.steals`: successful steals (from injector or siblings).
+    steals: Counter,
+    /// `pool.submitted`: monotone submission count.
+    submitted: Counter,
+    /// `pool.completed`: monotone completion count.
+    completed: Counter,
+    /// Event stream for submissions; workers get their own handles.
+    submit_trace: ThreadTrace,
+}
+
+impl Shared {
+    fn submit(&self, task: Task) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let seq = self.submitted.get();
+        self.submitted.inc();
+        self.submit_trace.record(
+            EventKind::Spawn,
+            seq,
+            self.pending.load(Ordering::Relaxed) as u64,
+        );
+        self.injector.push(task);
+    }
 }
 
 /// A fixed-size work-stealing thread pool for `'static` tasks.
 pub struct WorkStealingPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    trace: TraceSession,
 }
 
 impl WorkStealingPool {
-    /// Spawn a pool with `workers` worker threads.
+    /// Spawn a pool with `workers` worker threads and a private
+    /// [`TraceSession`].
     ///
     /// # Panics
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Self {
+        WorkStealingPool::with_trace(workers, TraceSession::new())
+    }
+
+    /// Spawn a pool publishing counters and events into a shared
+    /// `session`, so one snapshot covers the pool alongside a
+    /// `SimMachine` or MPI world.
+    ///
+    /// Workers record as actors `0..workers`; submissions record as
+    /// actor `workers`.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn with_trace(workers: usize, session: TraceSession) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
         let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
@@ -46,29 +88,36 @@ impl WorkStealingPool {
             injector: Injector::new(),
             stealers,
             pending: AtomicUsize::new(0),
-            executed: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            executed: session.counter("pool.executed"),
+            panicked: session.counter("pool.panicked"),
+            steals: session.counter("pool.steals"),
+            submitted: session.counter("pool.submitted"),
+            completed: session.counter("pool.completed"),
+            submit_trace: session.thread(workers as u32),
         });
         let handles = locals
             .into_iter()
             .enumerate()
             .map(|(idx, local)| {
                 let shared = Arc::clone(&shared);
+                let trace = session.thread(idx as u32);
                 std::thread::Builder::new()
                     .name(format!("pdc-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, local, shared))
+                    .spawn(move || worker_loop(idx, local, shared, trace))
                     .expect("failed to spawn worker")
             })
             .collect();
-        WorkStealingPool { shared, handles }
+        WorkStealingPool {
+            shared,
+            handles,
+            trace: session,
+        }
     }
 
     /// Submit a task for execution.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.push(Box::new(task));
+        self.shared.submit(Box::new(task));
     }
 
     /// Block until every submitted task (including tasks spawned *by*
@@ -79,7 +128,7 @@ impl WorkStealingPool {
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
             std::hint::spin_loop();
             spins = spins.wrapping_add(1);
-            if spins % 32 == 0 {
+            if spins.is_multiple_of(32) {
                 std::thread::yield_now();
             }
         }
@@ -97,20 +146,26 @@ impl WorkStealingPool {
         self.handles.len()
     }
 
-    /// Total tasks executed.
+    /// Total tasks executed (`pool.executed`).
     pub fn executed(&self) -> u64 {
-        self.shared.executed.load(Ordering::Relaxed)
+        self.shared.executed.get()
     }
 
-    /// Total successful steals (load-balancing events).
+    /// Total successful steals (`pool.steals`, load-balancing events).
     pub fn steals(&self) -> u64 {
-        self.shared.steals.load(Ordering::Relaxed)
+        self.shared.steals.get()
     }
 
-    /// Tasks that panicked. A panicking task does not kill its worker or
-    /// hang `wait_idle`; the panic is contained and counted here.
+    /// Tasks that panicked (`pool.panicked`). A panicking task does not
+    /// kill its worker or hang `wait_idle`; the panic is contained and
+    /// counted here.
     pub fn panicked(&self) -> u64 {
-        self.shared.panicked.load(Ordering::Relaxed)
+        self.shared.panicked.get()
+    }
+
+    /// The trace session this pool publishes counters and events into.
+    pub fn trace(&self) -> &TraceSession {
+        &self.trace
     }
 }
 
@@ -123,8 +178,7 @@ pub struct PoolHandle {
 impl PoolHandle {
     /// Submit a task.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.shared.injector.push(Box::new(task));
+        self.shared.submit(Box::new(task));
     }
 }
 
@@ -137,7 +191,10 @@ impl Drop for WorkStealingPool {
     }
 }
 
-fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
+fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>, trace: ThreadTrace) {
+    // In steal events, `victim` is the sibling worker's index, or the
+    // worker count (== the submit actor id) for the global injector.
+    let injector_id = shared.stealers.len() as u64;
     let mut idle_spins = 0u32;
     loop {
         // 1. Local LIFO pop (cache-friendly depth-first).
@@ -146,7 +203,8 @@ fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
             loop {
                 match shared.injector.steal_batch_and_pop(&local) {
                     crossbeam::deque::Steal::Success(t) => {
-                        shared.steals.fetch_add(1, Ordering::Relaxed);
+                        shared.steals.inc();
+                        trace.record(EventKind::Steal, injector_id, 1 + local.len() as u64);
                         return Some(t);
                     }
                     crossbeam::deque::Steal::Retry => continue,
@@ -161,7 +219,8 @@ fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
                 loop {
                     match stealer.steal() {
                         crossbeam::deque::Steal::Success(t) => {
-                            shared.steals.fetch_add(1, Ordering::Relaxed);
+                            shared.steals.inc();
+                            trace.record(EventKind::Steal, s_idx as u64, 1);
                             return Some(t);
                         }
                         crossbeam::deque::Steal::Retry => continue,
@@ -177,9 +236,10 @@ fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
                 // Contain panics: a dying worker would strand wait_idle
                 // (the pending count would never reach zero).
                 if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
-                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                    shared.panicked.inc();
                 }
-                shared.executed.fetch_add(1, Ordering::Relaxed);
+                shared.executed.inc();
+                shared.completed.inc();
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
             None => {
@@ -187,7 +247,7 @@ fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>) {
                     return;
                 }
                 idle_spins = idle_spins.wrapping_add(1);
-                if idle_spins % 16 == 0 {
+                if idle_spins.is_multiple_of(16) {
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();
@@ -322,5 +382,81 @@ mod tests {
         });
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::SeqCst), 91);
+    }
+
+    #[test]
+    fn pool_drains_when_spawner_task_panics_after_spawning() {
+        // Regression guard for panic accounting: a task that panics
+        // *after* submitting children must still decrement its own
+        // pending slot, and the children must still run. If the panic
+        // path skipped the decrement, wait_idle would hang here.
+        let pool = WorkStealingPool::new(3);
+        let counter = Arc::new(Counter::new(0));
+        let handle = pool.handle();
+        for _ in 0..20 {
+            let (h, c) = (handle.clone(), Arc::clone(&counter));
+            pool.spawn(move || {
+                for _ in 0..5 {
+                    let c2 = Arc::clone(&c);
+                    h.spawn(move || {
+                        c2.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("parent dies after spawning");
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.panicked(), 20);
+        assert_eq!(pool.executed(), 120);
+        // The monotone submitted/completed pair agrees with the drain.
+        let snap = pool.trace().snapshot();
+        assert_eq!(snap.get("pool.submitted"), 120);
+        assert_eq!(snap.get("pool.completed"), 120);
+    }
+
+    #[test]
+    fn trace_publishes_counters_and_steal_events() {
+        let pool = WorkStealingPool::new(4);
+        let counter = Arc::new(Counter::new(0));
+        for _ in 0..300 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::yield_now();
+            });
+        }
+        pool.wait_idle();
+        let snap = pool.trace().snapshot();
+        assert_eq!(snap.get("pool.executed"), 300);
+        assert_eq!(snap.get("pool.executed"), pool.executed());
+        assert!(snap.get("pool.steals") > 0);
+        let events = pool.trace().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == pdc_core::trace::EventKind::Steal),
+            "expected steal events in the trace"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == pdc_core::trace::EventKind::Spawn
+                    && e.actor == pool.workers() as u32),
+            "expected spawn events from the submit actor"
+        );
+    }
+
+    #[test]
+    fn shared_session_sees_pool_counters() {
+        let session = TraceSession::new();
+        let before = session.snapshot();
+        let pool = WorkStealingPool::with_trace(2, session.clone());
+        for _ in 0..50 {
+            pool.spawn(|| {});
+        }
+        pool.wait_idle();
+        let delta = session.snapshot().diff(&before);
+        assert_eq!(delta.get("pool.executed"), 50);
     }
 }

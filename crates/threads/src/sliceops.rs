@@ -64,16 +64,12 @@ pub fn par_reduce<T: Sync, U: Send + Clone>(
             .into_iter()
             .map(|r| {
                 let id = id.clone();
-                s.spawn(move || {
-                    input[r]
-                        .iter()
-                        .fold(id, |acc, x| op(acc, leaf(x)))
-                })
+                s.spawn(move || input[r].iter().fold(id, |acc, x| op(acc, leaf(x))))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    partials.into_iter().fold(id, |acc, p| op(acc, p))
+    partials.into_iter().fold(id, &op)
 }
 
 /// Parallel *exclusive* scan (Blelloch two-pass over worker blocks):
@@ -195,7 +191,11 @@ pub fn par_filter<T: Send + Sync + Clone>(
         let mut consumed = 0usize;
         for r in block_ranges(input.len(), workers) {
             // Destination range for this source block.
-            let start = if r.is_empty() { consumed } else { positions[r.start] };
+            let start = if r.is_empty() {
+                consumed
+            } else {
+                positions[r.start]
+            };
             let end = if r.end == input.len() {
                 total
             } else {
@@ -218,7 +218,10 @@ pub fn par_filter<T: Send + Sync + Clone>(
             });
         }
     });
-    result.into_iter().map(|o| o.expect("scatter filled")).collect()
+    result
+        .into_iter()
+        .map(|o| o.expect("scatter filled"))
+        .collect()
 }
 
 /// Parallel histogram with per-worker private bins merged at the end —
@@ -278,7 +281,10 @@ pub fn par_histogram_shared<T: Sync>(
             });
         }
     });
-    shared.iter().map(|a| a.load(Ordering::Relaxed) as u64).collect()
+    shared
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed) as u64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -328,13 +334,7 @@ mod tests {
         // String concatenation is associative but not commutative: the
         // chunk-ordered combine must preserve order.
         let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
-        let got = par_reduce(
-            &xs,
-            3,
-            String::new(),
-            |x| x.clone(),
-            |a, b| a + &b,
-        );
+        let got = par_reduce(&xs, 3, String::new(), |x| x.clone(), |a, b| a + &b);
         assert_eq!(got, xs.concat());
     }
 

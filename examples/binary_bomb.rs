@@ -35,10 +35,7 @@ fn main() {
     println!("derived inputs from reading the code: {key:?}");
     let win = bomb.attempt(&key).expect("vm runs");
     assert!(win.fully_defused && !win.exploded);
-    println!(
-        "defused all {} phases. BOOM averted.\n",
-        win.phases_defused
-    );
+    println!("defused all {} phases. BOOM averted.\n", win.phases_defused);
 
     // Bonus: a bomb whose phase computes Fibonacci inside the VM.
     let fancy = Bomb::new(vec![Phase::Fibonacci(30), Phase::IncreasingTriple]);

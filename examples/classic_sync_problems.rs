@@ -37,7 +37,10 @@ fn main() {
         }
     }
     println!("\n  (the two fixes, on real threads with real locks:)");
-    for (name, strat) in [("ordering", Strategy::Ordered), ("arbitrator", Strategy::Arbitrator)] {
+    for (name, strat) in [
+        ("ordering", Strategy::Ordered),
+        ("arbitrator", Strategy::Arbitrator),
+    ] {
         let out = run_threaded(strat, n, 100);
         println!(
             "  {name}: {} total meals across {n} threads",

@@ -20,7 +20,10 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let seq = render_sequential(&scene, &cam, w, h, depth);
-    println!("sequential:        {:>8.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "sequential:        {:>8.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     for (name, sched) in [
         ("static", Schedule::Static),

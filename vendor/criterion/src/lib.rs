@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset `pdc-bench`'s benches use — benchmark
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a deliberately simple measurement loop: per sample, one timed
+//! invocation of the routine; the report prints min/median/max to
+//! stdout. There is no statistical analysis, HTML report, or CLI-flag
+//! parsing; the point is that `cargo bench` runs offline and the
+//! benches stay executable documentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the group name provides context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to bench routines.
+pub struct Bencher {
+    samples: u32,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark (min 2, like
+    /// upstream's min 10 this is just clamped, not an error).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        routine(&mut b);
+        b.durations.sort_unstable();
+        let (min, med, max) = if b.durations.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            (
+                b.durations[0],
+                b.durations[b.durations.len() / 2],
+                *b.durations.last().unwrap(),
+            )
+        };
+        println!(
+            "bench {}/{}: median {:?} (min {:?}, max {:?}, n={})",
+            self.name,
+            id,
+            med,
+            min,
+            max,
+            b.durations.len()
+        );
+    }
+
+    /// Finish the group (report-flush point upstream; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundle bench functions into one callable group, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_warmup_plus_samples() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 6, "1 warm-up + 5 samples");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).into_id(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("lru").into_id(), "lru");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &p| {
+            b.iter(|| {
+                seen = p;
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("macro");
+            g.sample_size(2);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        criterion_group!(demo, target);
+        demo();
+    }
+}

@@ -1,0 +1,62 @@
+//! Unbounded MPSC channels with the `crossbeam_channel` surface used by
+//! this workspace: `unbounded()`, cloneable `Sender`s, and a blocking
+//! `Receiver::recv`.
+//!
+//! `std::sync::mpsc` has used the crossbeam channel algorithm since Rust
+//! 1.67 and its `Sender` is `Sync + Clone`, so re-exporting it preserves
+//! both the semantics and the threading ergonomics callers rely on.
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// The sending half of an unbounded channel (cloneable, thread-safe).
+pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+/// The receiving half of an unbounded channel.
+pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_producer() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn clone_senders_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), 200);
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Work-stealing deques with the `crossbeam_deque` surface used by
+//! `pdc-threads`: a global [`Injector`], per-worker [`Worker`] deques
+//! (LIFO pop), and [`Stealer`] handles (FIFO steal from the opposite
+//! end), with [`Injector::steal_batch_and_pop`] moving a batch into the
+//! thief's local deque.
+//!
+//! The implementation is a mutex-protected `VecDeque` rather than the
+//! lock-free Chase–Lev deque; the *scheduling policy* — which end each
+//! operation touches, and how batches migrate — is identical, which is
+//! what the pool's steal counters observe.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Maximum tasks moved per batched injector steal (crossbeam uses 32).
+const BATCH: usize = 32;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+/// A worker's own deque: LIFO for the owner (depth-first, cache-warm),
+/// FIFO for thieves.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pop from the owner end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// A handle thieves use to steal from the opposite end.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of queued tasks (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thief-side handle onto some worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the victim's FIFO end (oldest task).
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// The global injection queue tasks enter the pool through.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task (FIFO).
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks, moving all but the first into `dest` and
+    /// returning the first. Takes at most half the queue (capped at
+    /// [`BATCH`]) so concurrent thieves each find work.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap();
+        let take = q.len().div_ceil(2).min(BATCH);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let mut d = dest.inner.lock().unwrap();
+        for _ in 1..take {
+            match q.pop_front() {
+                Some(t) => d.push_back(t),
+                None => break,
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(2), "owner keeps the newest");
+        assert_eq!(s.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn injector_batch_moves_half() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        // Takes ceil(10/2) = 5: returns the first, moves 4 into `w`.
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 4);
+        let mut q = inj.queue.lock().unwrap();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop_front(), Some(5));
+    }
+
+    #[test]
+    fn injector_empty_reports_empty() {
+        let inj: Injector<u8> = Injector::new();
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_lose_nothing() {
+        let inj = Arc::new(Injector::new());
+        let w = Worker::new_lifo();
+        let stealer = w.stealer();
+        let produced = 1000;
+        std::thread::scope(|s| {
+            let inj2 = Arc::clone(&inj);
+            s.spawn(move || {
+                for i in 0..produced {
+                    inj2.push(i);
+                }
+            });
+            let mut got = 0usize;
+            while got < produced {
+                match inj.steal_batch_and_pop(&w) {
+                    Steal::Success(_) => got += 1,
+                    _ => {
+                        if let Steal::Success(_) = stealer.steal() {
+                            got += 1;
+                        }
+                    }
+                }
+            }
+        });
+        assert!(inj.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the *exact API subset* it consumes:
+//!
+//! * [`channel`] — `unbounded()` MPSC channels (`pdc-mpi`'s rank inboxes
+//!   and the in-process KV server). Backed by `std::sync::mpsc`, whose
+//!   channels have been the crossbeam implementation since Rust 1.67.
+//! * [`deque`] — `Injector`/`Worker`/`Stealer` work-stealing deques
+//!   (`pdc-threads`' `WorkStealingPool`). Backed by mutex-protected
+//!   `VecDeque`s: the *scheduling behaviour* (LIFO local pop, FIFO
+//!   steal, batched injector steals) matches `crossbeam-deque`; only the
+//!   lock-free internals are simplified, which is fine at curriculum
+//!   scale and keeps the semantics observable.
+//!
+//! Upstream types not used by this workspace are intentionally absent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod deque;

@@ -1,0 +1,112 @@
+//! Collection strategies: `prop::collection::vec(elem, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length range for [`vec`], convertible from `usize`, `a..b`, and
+/// `a..=b` like upstream's `SizeRange`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with length in a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Build a vector strategy: `vec(any::<i64>(), 0..400)`,
+/// `vec(0u8..4, 12)`, etc.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.elem.pick(rng)).collect()
+    }
+
+    fn specials(&self) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        if self.size.min == 0 {
+            out.push(Vec::new());
+        }
+        if let Some(first) = self.elem.specials().into_iter().next() {
+            let n = self.size.min.max(1);
+            if n <= self.size.max {
+                out.push(vec![first; n]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let s = vec(any::<u64>(), 3..10);
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = s.pick(&mut rng);
+            assert!((3..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let s = vec(0u8..4, 12usize);
+        let mut rng = TestRng::new(2);
+        assert_eq!(s.pick(&mut rng).len(), 12);
+    }
+
+    #[test]
+    fn specials_include_empty_when_allowed() {
+        let s = vec(any::<i64>(), 0..5);
+        let sp = s.specials();
+        assert!(sp.contains(&Vec::new()));
+        assert!(sp.iter().any(|v| v.len() == 1));
+        let s1 = vec(any::<i64>(), 1..5);
+        assert!(!s1.specials().contains(&Vec::new()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! implements the exact surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, `name in
+//!   strategy` bindings (including `mut` bindings), and test bodies that
+//!   use [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`];
+//! * [`any::<T>()`] for integers and `bool`, integer range strategies
+//!   (`lo..hi`, `lo..=hi`), tuple strategies, and
+//!   [`collection::vec`](collection::vec);
+//! * a deterministic [`test_runner::TestRunner`]: the first quarter of
+//!   the cases enumerate *boundary-value combinations* of every
+//!   argument's special values in mixed-radix order (so recorded
+//!   regressions like `v = -1, bits = 63` are re-exercised on every
+//!   run), and the remainder are seeded pseudo-random draws.
+//!
+//! There is no shrinking: failures report the exact drawn inputs, which
+//! for boundary-combination cases are already minimal in practice.
+//! `proptest-regressions` seed files are honoured in spirit rather than
+//! parsed: boundary enumeration deterministically covers the recorded
+//! edge classes (value ∈ {0, ±1, MIN, MAX} × width ∈ {lo, hi, hi−1}).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so `prop::collection::vec(...)` works as upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in any::<i32>(), b in -10i32..10) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(cfg);
+                while runner.next_case() {
+                    $(
+                        let __proptest_drawn = runner.draw(&($strat));
+                        runner.note_input(stringify!($arg), &__proptest_drawn);
+                        let $arg = __proptest_drawn;
+                    )+
+                    let __proptest_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), ::std::string::String> {
+                                $body
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    runner.finish_case(__proptest_result);
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body; on failure the case
+/// (with its drawn inputs) is reported and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_ne failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_ne failed: {}\n  both: {:?}",
+                ::std::format!($($fmt)+),
+                __l
+            ));
+        }
+    }};
+}

@@ -1,0 +1,227 @@
+//! Value-generation strategies: `any::<T>()`, integer ranges, tuples.
+//!
+//! A [`Strategy`] produces values two ways: `pick` draws pseudo-randomly
+//! from a deterministic RNG, and `specials` lists boundary values the
+//! runner enumerates combinatorially before random sampling begins.
+
+use crate::test_runner::TestRng;
+
+/// A source of test values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draw one pseudo-random value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Boundary values worth exercising deterministically (may be empty).
+    fn specials(&self) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain integer strategy returned by `any::<int>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-domain `bool` strategy returned by `any::<bool>()`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn pick(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+
+    fn specials(&self) -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! unsigned_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn specials(&self) -> Vec<$t> {
+                vec![0, 1, <$t>::MAX, <$t>::MAX - 1]
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+macro_rules! signed_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn specials(&self) -> Vec<$t> {
+                vec![0, 1, -1, <$t>::MIN, <$t>::MAX]
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+unsigned_any!(u8, u16, u32, u64, usize);
+signed_any!(i8, i16, i32, i64, isize);
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+
+            fn specials(&self) -> Vec<$t> {
+                let (lo, hi) = (self.start, self.end - 1);
+                let mut s = vec![lo, hi];
+                if hi > lo {
+                    s.push(hi - 1);
+                }
+                s.dedup();
+                s
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+
+            fn specials(&self) -> Vec<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                let mut s = vec![lo, hi];
+                if hi > lo {
+                    s.push(hi - 1);
+                }
+                s.dedup();
+                s
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.pick(rng), self.1.pick(rng))
+    }
+
+    fn specials(&self) -> Vec<Self::Value> {
+        let a = self.0.specials();
+        let b = self.1.specials();
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        b.iter()
+            .enumerate()
+            .map(|(i, bv)| (a[i % a.len()].clone(), bv.clone()))
+            .collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.pick(rng), self.1.pick(rng), self.2.pick(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_specials_include_minus_one() {
+        let s = any::<i64>().specials();
+        assert!(s.contains(&-1));
+        assert!(s.contains(&i64::MIN));
+        assert!(s.contains(&i64::MAX));
+    }
+
+    #[test]
+    fn inclusive_range_specials_hit_both_ends_and_penultimate() {
+        let s = (1u32..=64).specials();
+        assert_eq!(s, vec![1, 64, 63]);
+    }
+
+    #[test]
+    fn range_pick_stays_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (-50i64..50).pick(&mut rng);
+            assert!((-50..50).contains(&v));
+            let w = (1usize..8).pick(&mut rng);
+            assert!((1..8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_domain_pick_covers_sign_bit() {
+        let mut rng = TestRng::new(42);
+        let vs: Vec<i64> = (0..64).map(|_| any::<i64>().pick(&mut rng)).collect();
+        assert!(vs.iter().any(|&v| v < 0));
+        assert!(vs.iter().any(|&v| v > 0));
+    }
+}
