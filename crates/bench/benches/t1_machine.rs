@@ -7,6 +7,10 @@ use pdc_arch::logic::{to_bits, Circuit};
 use pdc_arch::pipeline::{independent_alu_trace, simulate, PipelineConfig};
 use pdc_core::machine::{MachineConfig, SimMachine};
 use pdc_core::trace::TraceSession;
+use pdc_extmem::CachedArray;
+use pdc_gpu::device::Phase;
+use pdc_gpu::{Device, ThreadCtx};
+use pdc_memsim::{Cache as MemCache, CacheConfig};
 use pdc_os::vm::{run as page_run, ReplacePolicy};
 use pdc_threads::WorkStealingPool;
 use std::hint::black_box;
@@ -110,9 +114,11 @@ criterion_group!(
     bench_page_replacement
 );
 
-/// Run a small pool workload and a BSP machine program through one
-/// shared [`TraceSession`], then write the `pdc-trace/1` snapshot next
-/// to the bench results (see EXPERIMENTS.md for the schema).
+/// Run one small workload per traced subsystem — pool, BSP machine,
+/// GPU kernel, buffer pool, and cache — through one shared
+/// [`TraceSession`], then write the `pdc-trace/2` snapshot next to the
+/// bench results (see EXPERIMENTS.md for the schema). CI greps this
+/// file for all four model key families.
 fn emit_trace_snapshot() {
     let session = TraceSession::new();
 
@@ -136,6 +142,33 @@ fn emit_trace_snapshot() {
         machine.barrier(4);
     }
 
+    // GPU model: one coalesced copy kernel → gpu.* counters and a
+    // kernel event.
+    let mut dev = Device::new(128);
+    dev.attach_trace(&session);
+    let phases: Vec<Phase<'_>> = vec![Box::new(|t: &mut ThreadCtx<'_>| {
+        let v = t.read_global(t.gtid());
+        t.write_global(64 + t.gtid(), v + 1);
+    })];
+    dev.launch(1, 64, 0, &phases);
+
+    // External-memory model: a row-major sweep through a small buffer
+    // pool → io.* counters.
+    let mut arr = CachedArray::new((0..256i64).collect(), 16, 4);
+    arr.attach_trace(&session);
+    let mut acc = 0i64;
+    for i in 0..256 {
+        acc = acc.wrapping_add(arr.get(i));
+    }
+    black_box(acc);
+
+    // Memory-hierarchy model: a strided scan → cache.* counters.
+    let mut cache = MemCache::new(CacheConfig::direct_mapped(64, 32));
+    cache.attach_trace(&session);
+    for i in 0..256u64 {
+        cache.access(i * 64, i % 8 == 0);
+    }
+
     let json = session.to_json_with_meta(&[
         ("bench", "t1_machine".to_string()),
         ("pool_workers", "4".to_string()),
@@ -153,4 +186,5 @@ fn emit_trace_snapshot() {
 fn main() {
     benches();
     emit_trace_snapshot();
+    criterion::finalize();
 }

@@ -117,7 +117,7 @@ fn producer_consumer(c: &mut Criterion) {
 
 criterion_group!(benches, contended_counter, producer_consumer);
 
-/// Emit a shared `pdc-trace/1` snapshot mixing pool counters with the
+/// Emit a shared `pdc-trace/2` snapshot mixing pool counters with the
 /// machine's lock/barrier cost model (see EXPERIMENTS.md).
 fn emit_trace_snapshot() {
     let session = TraceSession::new();
@@ -150,4 +150,5 @@ fn emit_trace_snapshot() {
 fn main() {
     benches();
     emit_trace_snapshot();
+    criterion::finalize();
 }

@@ -1,63 +1,179 @@
 //! Regenerate every paper-table reproduction.
 //!
 //! ```text
-//! experiments                 # run everything
+//! experiments                 # run everything (also writes the tables JSON)
 //! experiments --list          # list experiment ids
-//! experiments --exp <id>      # run one
+//! experiments --exp <id>      # run one (also writes the tables JSON)
 //! experiments --trace [path]  # run a cross-subsystem traced workload
-//!                             # and dump the pdc-trace/1 JSON snapshot
+//!                             # and dump the pdc-trace/2 JSON snapshot
 //!                             # (default path: target/pdc-trace/experiments.trace.json)
 //! ```
+//!
+//! Every printed table is also captured as JSON: `--trace` embeds its
+//! summary table in the snapshot's `tables` array, and the run-all /
+//! `--exp` modes write `target/pdc-trace/experiments.tables.json` with
+//! one entry per experiment (see EXPERIMENTS.md for the format).
 
 use pdc_bench::registry;
 use pdc_core::machine::{MachineConfig, SimMachine};
+use pdc_core::report::{capture_tables, write_text_file, Table};
 use pdc_core::trace::TraceSession;
+use pdc_extmem::{multiply_into, OocMatrix};
+use pdc_gpu::device::Phase;
+use pdc_gpu::{Device, ThreadCtx};
+use pdc_memsim::{Cache, CacheConfig, CoherenceSim, Protocol};
 use pdc_threads::WorkStealingPool;
 
-/// Drive every traced subsystem — pool, machine, MPI collectives, and
-/// the fault-tolerant farm — through one [`TraceSession`] and write the
-/// resulting `pdc-trace/1` snapshot to `path`.
+/// Drive every traced subsystem — pool, machine, MPI collectives, the
+/// fault-tolerant farm, the GPU model, the external-memory model, and
+/// the cache/coherence simulators — through one [`TraceSession`] and
+/// write the resulting `pdc-trace/2` snapshot (summary table embedded)
+/// to `path`.
 fn run_traced_workload(path: &std::path::Path) {
     let session = TraceSession::new();
 
-    let pool = WorkStealingPool::with_trace(4, session.clone());
-    for i in 0..200u64 {
-        pool.spawn(move || {
-            std::hint::black_box(i.wrapping_mul(i));
+    let ((), tables) = capture_tables(|| {
+        // pool.*: 200 tiny tasks across 4 workers.
+        let pool = WorkStealingPool::with_trace(4, session.clone());
+        for i in 0..200u64 {
+            pool.spawn(move || {
+                std::hint::black_box(i.wrapping_mul(i));
+            });
+        }
+        pool.wait_idle();
+
+        // machine.*: two BSP supersteps plus a critical section.
+        let mut machine = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+        for _ in 0..2 {
+            machine.parallel_even(1_000, 4);
+            machine.barrier(4);
+        }
+        machine.critical_each(4, 8);
+
+        // mpi.* / coll.*: an allreduce and a barrier across 4 ranks,
+        // each bracketed by coll_begin/coll_end marks.
+        let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
+            let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
+            pdc_mpi::coll::barrier::<u64>(rank);
+            sum
         });
-    }
-    pool.wait_idle();
 
-    let mut machine = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
-    for _ in 0..2 {
-        machine.parallel_even(1_000, 4);
-        machine.barrier(4);
-    }
-    machine.critical_each(4, 8);
+        pdc_mpi::ft::run_farm_traced(
+            &(0..8)
+                .map(|id| pdc_mpi::ft::Task { id, duration: 3 })
+                .collect::<Vec<_>>(),
+            3,
+            &[pdc_mpi::ft::Crash {
+                worker: 1,
+                at_tick: 2,
+            }],
+            2,
+            &session,
+        );
 
-    let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
-        let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
-        pdc_mpi::coll::barrier::<u64>(rank);
-        sum
+        // gpu.*: a two-phase staging kernel (global → shared → global),
+        // 2 blocks × 64 threads, one kernel event per launch.
+        let mut dev = Device::new(256);
+        dev.attach_trace(&session);
+        let host: Vec<i64> = (0..128).collect();
+        dev.upload(0, &host);
+        let phases: Vec<Phase<'_>> = vec![
+            Box::new(|t: &mut ThreadCtx<'_>| {
+                let v = t.read_global(t.gtid());
+                t.write_shared(t.tid(), 2 * v);
+            }),
+            Box::new(|t: &mut ThreadCtx<'_>| {
+                let v = t.read_shared(t.tid());
+                t.write_global(128 + t.gtid(), v);
+            }),
+        ];
+        dev.launch(2, 64, 64, &phases);
+
+        // io.*: a block-reader scan over a small file, plus an
+        // out-of-core matrix multiply through three buffer pools.
+        let mut disk = pdc_extmem::Disk::new(8);
+        disk.attach_trace(&session);
+        let file = disk.create_file((0..64i64).collect());
+        let mut reader = disk.reader(file);
+        let mut checksum = 0i64;
+        while let Some(v) = reader.next() {
+            checksum = checksum.wrapping_add(v);
+        }
+        std::hint::black_box(checksum);
+        disk.write_file(file, (0..64i64).rev().collect());
+
+        let n = 8;
+        let mut ma = OocMatrix::from_fn(n, 4, 4, |i, j| (i + j) as f64);
+        let mut mb = OocMatrix::from_fn(n, 4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let mut mc = OocMatrix::from_fn(n, 4, 4, |_, _| 0.0);
+        ma.attach_trace(&session);
+        mb.attach_trace(&session);
+        mc.attach_trace(&session);
+        multiply_into(&mut ma, &mut mb, &mut mc, 4);
+
+        // cache.*: a thrashing scan through a direct-mapped cache, then
+        // a MESI ping-pong producing invalidations and an S→M upgrade.
+        let mut cache = Cache::new(CacheConfig::direct_mapped(64, 16));
+        cache.attach_trace(&session);
+        for i in 0..512u64 {
+            cache.access((i * 64) % 4096, i % 4 == 0);
+        }
+        let mut coh = CoherenceSim::new(Protocol::Mesi, 2, 64);
+        coh.attach_trace(&session);
+        coh.access(0, 0, false);
+        coh.access(1, 0, false);
+        coh.access(1, 0, true);
+        coh.access(0, 0, false);
+
+        // The summary table: one row per key family, rendered to
+        // stdout and captured into the snapshot's `tables` array.
+        let snap = session.snapshot();
+        let mut t = Table::new(
+            "Traced workload summary (pdc-trace/2)",
+            &["key family", "example counter", "value"],
+        );
+        for (family, key) in [
+            ("pool.*", "pool.executed"),
+            ("machine.*", "machine.barriers"),
+            ("mpi.*", "mpi.msgs"),
+            ("coll.*", "coll.allreduce"),
+            ("gpu.*", "gpu.launches"),
+            ("io.*", "io.reads"),
+            ("cache.*", "cache.misses"),
+        ] {
+            t.row(&[
+                family.to_string(),
+                key.to_string(),
+                snap.get(key).to_string(),
+            ]);
+        }
+        print!("{}", t.render());
     });
 
-    pdc_mpi::ft::run_farm_traced(
-        &(0..8)
-            .map(|id| pdc_mpi::ft::Task { id, duration: 3 })
-            .collect::<Vec<_>>(),
-        3,
-        &[pdc_mpi::ft::Crash {
-            worker: 1,
-            at_tick: 2,
-        }],
-        2,
-        &session,
-    );
-
-    let json = session.to_json_with_meta(&[("source", "experiments --trace".to_string())]);
-    pdc_core::report::write_text_file(path, &json).expect("write trace snapshot");
+    let json =
+        session.to_json_with_tables(&[("source", "experiments --trace".to_string())], &tables);
+    write_text_file(path, &json).expect("write trace snapshot");
     println!("pdc-trace snapshot written to {}", path.display());
     println!("{json}");
+}
+
+/// Write the captured per-experiment tables as one JSON document next
+/// to the trace snapshot (same directory, fixed name).
+fn write_tables_json(entries: &[(&str, Vec<String>)]) {
+    let mut json = String::from("{\"schema\":\"pdc-tables/1\",\"experiments\":[");
+    for (i, (id, tables)) in entries.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"id\":\"{id}\",\"tables\":[{}]}}",
+            tables.join(",")
+        ));
+    }
+    json.push_str("]}");
+    let path = std::path::Path::new("target/pdc-trace/experiments.tables.json");
+    write_text_file(path, &json).expect("write tables json");
+    println!("tables JSON written to {}", path.display());
 }
 
 fn main() {
@@ -76,8 +192,10 @@ fn main() {
         }
         [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
             Some(e) => {
+                let (out, tables) = capture_tables(e.run);
                 println!("=== {} — {}\n", e.id, e.anchor);
-                println!("{}", (e.run)());
+                println!("{out}");
+                write_tables_json(&[(e.id, tables)]);
             }
             None => {
                 eprintln!("unknown experiment {id:?}; try --list");
@@ -85,10 +203,14 @@ fn main() {
             }
         },
         [] => {
+            let mut entries = Vec::new();
             for e in &reg {
+                let (out, tables) = capture_tables(e.run);
                 println!("=== {} — {}\n", e.id, e.anchor);
-                println!("{}", (e.run)());
+                println!("{out}");
+                entries.push((e.id, tables));
             }
+            write_tables_json(&entries);
         }
         _ => {
             eprintln!("usage: experiments [--list | --exp <id> | --trace [path]]");

@@ -5,7 +5,33 @@
 //! output style mirrors the paper's tables: a header row, a rule, and
 //! column-aligned body rows.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
+
+thread_local! {
+    /// When installed by [`capture_tables`], every [`Table::render`]
+    /// call on this thread also pushes its [`Table::to_json`] form here.
+    static TABLE_SINK: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+/// Run `f` while capturing, as JSON, every table rendered on this
+/// thread, and return `f`'s result alongside the captured tables.
+///
+/// This is how the `experiments` binary emits each printed table as
+/// JSON next to the trace snapshot without threading a sink through
+/// every experiment function. Captures nest: an inner capture takes
+/// the tables rendered inside it and the outer capture resumes after.
+pub fn capture_tables<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    let prev = TABLE_SINK.with(|s| s.borrow_mut().replace(Vec::new()));
+    let result = f();
+    let captured = TABLE_SINK.with(|s| {
+        let mut slot = s.borrow_mut();
+        let cur = slot.take().unwrap_or_default();
+        *slot = prev;
+        cur
+    });
+    (result, captured)
+}
 
 /// Column alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +99,40 @@ impl Table {
         self.rows.len()
     }
 
+    /// Render the table as a `{"title", "headers", "rows"}` JSON
+    /// object (all cells as strings, exactly as printed). Part of the
+    /// `pdc-trace/2` snapshot format; see EXPERIMENTS.md.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"title\":\"{}\",\"headers\":[",
+            json_escape(&self.title)
+        );
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(cell));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Render the table to a string.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
@@ -110,6 +170,11 @@ impl Table {
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
         }
+        TABLE_SINK.with(|s| {
+            if let Some(sink) = s.borrow_mut().as_mut() {
+                sink.push(self.to_json());
+            }
+        });
         out
     }
 }
@@ -139,7 +204,7 @@ pub fn json_escape(s: &str) -> String {
 
 /// Write `contents` to `path`, creating parent directories as needed.
 ///
-/// The benches use this to drop a `pdc-trace/1` JSON snapshot next to
+/// The benches use this to drop a `pdc-trace/2` JSON snapshot next to
 /// their text results.
 pub fn write_text_file(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -221,6 +286,34 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("line\nbreak\t"), "line\\nbreak\\t");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn table_to_json_matches_cells() {
+        let mut t = Table::new("I/O \"sweep\"", &["order", "ios"]);
+        t.row(&["row-major".into(), "256".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"I/O \\\"sweep\\\"\",\"headers\":[\"order\",\"ios\"],\
+             \"rows\":[[\"row-major\",\"256\"]]}"
+        );
+    }
+
+    #[test]
+    fn capture_tables_collects_rendered_tables() {
+        let (text, tables) = capture_tables(|| {
+            let mut a = Table::new("A", &["x"]);
+            a.row(&["1".into()]);
+            let b = Table::new("B", &["y"]);
+            format!("{}{}", a.render(), b.render())
+        });
+        assert!(text.contains("## A"));
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].starts_with("{\"title\":\"A\""));
+        assert!(tables[1].starts_with("{\"title\":\"B\""));
+        // Outside a capture, rendering records nothing.
+        let (_, empty) = capture_tables(|| ());
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //!   rather than blocking or reallocating.
 //!
 //! [`TraceSession`] bundles a shared registry with a recorder and
-//! exports both as `pdc-trace/1` JSON (hand-rolled via
+//! exports both as `pdc-trace/2` JSON (hand-rolled via
 //! [`report::json_escape`](crate::report::json_escape) — the build is
-//! offline, so there is no serde).
+//! offline, so there is no serde). Schema 2 extends schema 1 with the
+//! `gpu.*` / `io.*` / `cache.*` counter families, the `kernel` and
+//! `coll_begin`/`coll_end` event kinds, and an optional `tables` array
+//! of JSON-ified report tables (see
+//! [`TraceSession::to_json_with_tables`]).
 
 use crate::metrics::{Counter, Registry, Snapshot};
 use crate::report::json_escape;
@@ -59,6 +63,16 @@ pub enum EventKind {
     Phase,
     /// Free-form marker (`a`, `b` caller-defined).
     Mark,
+    /// A GPU kernel launch completed (`launch` = launch sequence
+    /// number on the device, `cycles` = modeled cycle cost).
+    Kernel,
+    /// A rank entered a collective (`coll` = collective id code, `seq`
+    /// = per-rank collective sequence number). Sends/recvs recorded by
+    /// the same actor between a `coll_begin` and its matching
+    /// `coll_end` belong to that collective.
+    CollBegin,
+    /// A rank left a collective (`coll`, `seq` match the begin mark).
+    CollEnd,
 }
 
 impl EventKind {
@@ -73,6 +87,9 @@ impl EventKind {
             EventKind::Recv => "recv",
             EventKind::Phase => "phase",
             EventKind::Mark => "mark",
+            EventKind::Kernel => "kernel",
+            EventKind::CollBegin => "coll_begin",
+            EventKind::CollEnd => "coll_end",
         }
     }
 
@@ -87,6 +104,9 @@ impl EventKind {
             EventKind::Recv => ("peer", "bytes"),
             EventKind::Phase => ("index", "tasks"),
             EventKind::Mark => ("a", "b"),
+            EventKind::Kernel => ("launch", "cycles"),
+            EventKind::CollBegin => ("coll", "seq"),
+            EventKind::CollEnd => ("coll", "seq"),
         }
     }
 }
@@ -108,7 +128,7 @@ pub struct Event {
 }
 
 impl Event {
-    /// Render as one `pdc-trace/1` JSON object.
+    /// Render as one `pdc-trace/2` JSON object.
     pub fn to_json(&self) -> String {
         let (fa, fb) = self.kind.field_names();
         format!(
@@ -301,15 +321,25 @@ impl TraceSession {
         self.recorder.dropped()
     }
 
-    /// Export the whole session as `pdc-trace/1` JSON.
+    /// Export the whole session as `pdc-trace/2` JSON.
     pub fn to_json(&self) -> String {
         self.to_json_with_meta(&[])
     }
 
-    /// Export as `pdc-trace/1` JSON with caller-supplied metadata
+    /// Export as `pdc-trace/2` JSON with caller-supplied metadata
     /// (e.g. `[("bench", "t1_machine")]`).
     pub fn to_json_with_meta(&self, meta: &[(&str, String)]) -> String {
-        let mut out = String::from("{\"schema\":\"pdc-trace/1\"");
+        self.to_json_with_tables(meta, &[])
+    }
+
+    /// Export as `pdc-trace/2` JSON with metadata plus a `tables` array
+    /// of pre-serialized JSON table objects (as produced by
+    /// [`Table::to_json`](crate::report::Table::to_json)), so one
+    /// document carries both the counters and the printed tables they
+    /// back. The array is omitted when `tables` is empty, keeping
+    /// schema-1 consumers working unchanged.
+    pub fn to_json_with_tables(&self, meta: &[(&str, String)], tables: &[String]) -> String {
+        let mut out = String::from("{\"schema\":\"pdc-trace/2\"");
         if !meta.is_empty() {
             out.push_str(",\"meta\":{");
             for (i, (k, v)) in meta.iter().enumerate() {
@@ -319,6 +349,16 @@ impl TraceSession {
                 out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
             }
             out.push('}');
+        }
+        if !tables.is_empty() {
+            out.push_str(",\"tables\":[");
+            for (i, t) in tables.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(t);
+            }
+            out.push(']');
         }
         out.push_str(",\"counters\":{");
         for (i, (name, value)) in self.snapshot().iter().enumerate() {
@@ -398,13 +438,50 @@ mod tests {
         s.counter("pool.executed").add(42);
         s.thread(1).record(EventKind::Steal, 0, 3);
         let json = s.to_json_with_meta(&[("bench", "demo".to_string())]);
-        assert!(json.starts_with("{\"schema\":\"pdc-trace/1\""));
+        assert!(json.starts_with("{\"schema\":\"pdc-trace/2\""));
         assert!(json.contains("\"meta\":{\"bench\":\"demo\"}"));
         assert!(json.contains("\"pool.executed\":42"));
         assert!(json.contains("\"kind\":\"steal\""));
         assert!(json.contains("\"victim\":0"));
         assert!(json.contains("\"tasks\":3"));
         assert!(json.ends_with("\"dropped\":0}"));
+        // No tables were supplied: the array is omitted entirely.
+        assert!(!json.contains("\"tables\""));
+    }
+
+    #[test]
+    fn session_json_embeds_tables() {
+        let s = TraceSession::with_capacity(16);
+        s.counter("gpu.launches").inc();
+        let tables = vec![
+            "{\"title\":\"A\",\"headers\":[\"x\"],\"rows\":[[\"1\"]]}".to_string(),
+            "{\"title\":\"B\",\"headers\":[\"y\"],\"rows\":[]}".to_string(),
+        ];
+        let json = s.to_json_with_tables(&[], &tables);
+        assert!(json.contains("\"tables\":[{\"title\":\"A\""));
+        assert!(json.contains("{\"title\":\"B\""));
+        assert!(json.contains("\"gpu.launches\":1"));
+    }
+
+    #[test]
+    fn schema2_event_kinds_are_stable() {
+        assert_eq!(EventKind::Kernel.as_str(), "kernel");
+        assert_eq!(EventKind::Kernel.field_names(), ("launch", "cycles"));
+        assert_eq!(EventKind::CollBegin.as_str(), "coll_begin");
+        assert_eq!(EventKind::CollEnd.as_str(), "coll_end");
+        assert_eq!(EventKind::CollBegin.field_names(), ("coll", "seq"));
+        assert_eq!(EventKind::CollEnd.field_names(), ("coll", "seq"));
+        let e = Event {
+            ts: 7,
+            actor: 2,
+            kind: EventKind::Kernel,
+            a: 1,
+            b: 900,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ts\":7,\"actor\":2,\"kind\":\"kernel\",\"launch\":1,\"cycles\":900}"
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! directly (the type system hides them), so every data movement is
 //! counted.
 
+use pdc_core::metrics::Counter;
+use pdc_core::trace::TraceSession;
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -14,11 +16,21 @@ use std::rc::Rc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(usize);
 
+/// Registry mirrors for the disk's `Rc<Cell>` counters: the
+/// single-threaded I/O model keeps its cheap interior-mutable counts,
+/// and every increment is echoed into the shared lock-free registry.
+#[derive(Debug, Clone)]
+struct IoObs {
+    reads: Counter,
+    writes: Counter,
+}
+
 /// Shared I/O counters.
 #[derive(Debug, Clone, Default)]
 pub struct IoStats {
     reads: Rc<Cell<u64>>,
     writes: Rc<Cell<u64>>,
+    obs: Option<IoObs>,
 }
 
 impl IoStats {
@@ -39,10 +51,16 @@ impl IoStats {
 
     fn add_read(&self) {
         self.reads.set(self.reads.get() + 1);
+        if let Some(o) = &self.obs {
+            o.reads.inc();
+        }
     }
 
     fn add_write(&self) {
         self.writes.set(self.writes.get() + 1);
+        if let Some(o) = &self.obs {
+            o.writes.inc();
+        }
     }
 }
 
@@ -76,6 +94,18 @@ impl<T: Clone> Disk<T> {
     /// The I/O counters (cheaply cloneable handle).
     pub fn stats(&self) -> IoStats {
         self.stats.clone()
+    }
+
+    /// Publish this disk's block I/Os into `session` as `io.reads` /
+    /// `io.writes`. Attach before opening readers or writers: handles
+    /// snapshot the stats at creation time, so earlier ones keep
+    /// counting privately. The `Rc<Cell>` counts are unchanged —
+    /// every increment is simply echoed into the registry.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.stats.obs = Some(IoObs {
+            reads: session.counter("io.reads"),
+            writes: session.counter("io.writes"),
+        });
     }
 
     /// Create a file pre-populated with `data` (loading is free: models
@@ -314,6 +344,27 @@ mod tests {
         assert!(d.reader(f).next().is_none());
         assert_eq!(d.stats().total(), 0);
         assert!(d.is_empty(f));
+    }
+
+    #[test]
+    fn traced_disk_mirrors_ios_into_registry() {
+        let session = TraceSession::new();
+        let mut d = Disk::new(10);
+        d.attach_trace(&session);
+        let f = d.create_file((0..95).collect());
+        let mut r = d.reader(f);
+        while r.next().is_some() {}
+        let out = d.create_empty();
+        let mut w = d.writer();
+        for i in 0..25 {
+            w.push(i);
+        }
+        w.finish(&mut d, out);
+        let snap = session.snapshot();
+        assert_eq!(snap.get("io.reads"), d.stats().reads());
+        assert_eq!(snap.get("io.writes"), d.stats().writes());
+        assert_eq!(snap.get("io.reads"), 10);
+        assert_eq!(snap.get("io.writes"), 3);
     }
 
     #[test]

@@ -27,4 +27,5 @@ pub mod theory;
 
 pub use device::{Disk, FileId, IoStats};
 pub use extsort::external_merge_sort;
+pub use matrix::{multiply_into, OocMatrix};
 pub use pool::CachedArray;

@@ -13,6 +13,7 @@
 //! lessons; the benches print the sweep.
 
 use crate::pool::{CachedArray, PoolStats};
+use pdc_core::trace::TraceSession;
 
 /// A row-major square matrix held in a [`CachedArray`].
 pub struct OocMatrix {
@@ -41,9 +42,24 @@ impl OocMatrix {
         self.n
     }
 
-    /// Pool statistics so far.
+    /// Pool statistics so far — a straight passthrough of the backing
+    /// pool's counters, no re-aggregation. Call [`Self::flush`] first
+    /// if dirty resident frames should be charged: only then do the
+    /// reported block I/Os equal what the simulated disk saw.
     pub fn stats(&self) -> PoolStats {
         self.data.stats()
+    }
+
+    /// Publish the backing pool's counters into `session` as
+    /// `io.pool_*` (see [`CachedArray::attach_trace`]).
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.data.attach_trace(session);
+    }
+
+    /// Write back all dirty resident frames so [`Self::stats`]
+    /// accounts for every block I/O.
+    pub fn flush(&mut self) {
+        self.data.flush();
     }
 
     /// Read `a[i][j]`.
@@ -127,6 +143,49 @@ impl OocMatrix {
     }
 }
 
+/// Out-of-core matrix multiply `c = a · b` with `tile × tile` tiles:
+/// the classic three blocked loops, each operand going through its own
+/// buffer pool. `c` is flushed before returning, so the three
+/// matrices' [`OocMatrix::stats`] together account for every block
+/// I/O of the multiply.
+///
+/// With pools large enough to hold each operand (`frames ≥ n²/B`)
+/// the multiply costs exactly `n²/B` fetches per matrix plus `n²/B`
+/// writebacks for `c` — `4n²/B` block I/Os total; the tests pin this.
+///
+/// The product is accumulated into `c`, so pass a zeroed matrix for a
+/// plain multiply.
+///
+/// # Panics
+/// Panics if the dimensions differ or `tile == 0`.
+pub fn multiply_into(a: &mut OocMatrix, b: &mut OocMatrix, c: &mut OocMatrix, tile: usize) {
+    let n = a.n;
+    assert!(b.n == n && c.n == n, "dimension mismatch");
+    assert!(tile > 0);
+    let mut ii = 0;
+    while ii < n {
+        let mut kk = 0;
+        while kk < n {
+            let mut jj = 0;
+            while jj < n {
+                for i in ii..(ii + tile).min(n) {
+                    for k in kk..(kk + tile).min(n) {
+                        let aik = a.get(i, k);
+                        for j in jj..(jj + tile).min(n) {
+                            let v = c.get(i, j) + aik * b.get(k, j);
+                            c.set(i, j, v);
+                        }
+                    }
+                }
+                jj += tile;
+            }
+            kk += tile;
+        }
+        ii += tile;
+    }
+    c.flush();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +252,61 @@ mod tests {
             m.transpose_tiled(tile);
             check_transposed(&m.into_inner(), n);
         }
+    }
+
+    #[test]
+    fn multiply_correct_and_pins_io_count() {
+        let n = 16;
+        let b = 8;
+        let frames = n * n / b; // everything fits: each block fetched once
+        let mut ma = fresh(n, b, frames);
+        let mut mb = OocMatrix::from_fn(n, b, frames, |i, j| if i == j { 2.0 } else { 0.0 });
+        let mut mc = OocMatrix::from_fn(n, b, frames, |_, _| 0.0);
+        multiply_into(&mut ma, &mut mb, &mut mc, 4);
+        // Pinned I/O count: n²/B fetches per matrix, plus n²/B
+        // writebacks flushing c — 4n²/B = 128 block I/Os total. Before
+        // the flush fix, c's writebacks vanished inside into_inner and
+        // the reported total undercounted the disk by n²/B.
+        let blocks = (n * n / b) as u64;
+        assert_eq!(ma.stats().ios(), blocks);
+        assert_eq!(mb.stats().ios(), blocks);
+        assert_eq!(mc.stats().ios(), 2 * blocks);
+        let total = (ma.stats() + mb.stats() + mc.stats()).ios();
+        assert_eq!(total, 4 * blocks);
+        assert_eq!(total, 128);
+        // a · 2I = 2a.
+        let got = mc.into_inner();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(got[i * n + j], 2.0 * (i * n + j) as f64, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_multiply_reported_ios_equal_disk_ios() {
+        let session = TraceSession::new();
+        let n = 12;
+        let b = 6;
+        let mut ma = fresh(n, b, 4);
+        let mut mb = fresh(n, b, 4);
+        let mut mc = OocMatrix::from_fn(n, b, 4, |_, _| 0.0);
+        ma.attach_trace(&session);
+        mb.attach_trace(&session);
+        mc.attach_trace(&session);
+        multiply_into(&mut ma, &mut mb, &mut mc, 6);
+        mc.flush();
+        let sum = ma.stats() + mb.stats() + mc.stats();
+        let snap = session.snapshot();
+        // The registry view and the pools' own view agree exactly:
+        // what the op reports is what the simulated disk performed.
+        assert_eq!(snap.get("io.pool_fetches"), sum.fetches);
+        assert_eq!(snap.get("io.pool_writebacks"), sum.writebacks);
+        assert_eq!(
+            snap.get("io.pool_fetches") + snap.get("io.pool_writebacks"),
+            sum.ios()
+        );
+        assert!(sum.writebacks > 0);
     }
 
     #[test]

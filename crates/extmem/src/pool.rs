@@ -8,15 +8,23 @@
 //! traversal experiments: row-major scans of a row-major matrix cost
 //! `N/B`, column-major scans cost up to `N`.
 
+use pdc_core::metrics::Counter;
+use pdc_core::trace::TraceSession;
+
 /// Statistics of a [`CachedArray`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Logical element accesses.
     pub accesses: u64,
+    /// Accesses served from a resident frame (`accesses = hits +
+    /// fetches`).
+    pub hits: u64,
     /// Block fetches from disk (misses).
     pub fetches: u64,
-    /// Dirty-block writebacks.
+    /// Dirty-block writebacks (on eviction or [`CachedArray::flush`]).
     pub writebacks: u64,
+    /// Frames evicted to make room (dirty or clean).
+    pub evictions: u64,
 }
 
 impl PoolStats {
@@ -33,6 +41,32 @@ impl PoolStats {
             self.fetches as f64 / self.accesses as f64
         }
     }
+}
+
+impl std::ops::Add for PoolStats {
+    type Output = PoolStats;
+
+    fn add(self, o: PoolStats) -> PoolStats {
+        PoolStats {
+            accesses: self.accesses + o.accesses,
+            hits: self.hits + o.hits,
+            fetches: self.fetches + o.fetches,
+            writebacks: self.writebacks + o.writebacks,
+            evictions: self.evictions + o.evictions,
+        }
+    }
+}
+
+/// Registry mirrors for the pool's owned [`PoolStats`]: the
+/// single-threaded pool keeps its plain-struct counts, and every
+/// increment is echoed into the shared lock-free registry.
+#[derive(Debug, Clone)]
+struct PoolObs {
+    accesses: Counter,
+    hits: Counter,
+    fetches: Counter,
+    writebacks: Counter,
+    evictions: Counter,
 }
 
 #[derive(Debug, Clone)]
@@ -53,6 +87,7 @@ pub struct CachedArray<T> {
     max_frames: usize,
     clock: u64,
     stats: PoolStats,
+    obs: Option<PoolObs>,
 }
 
 impl<T: Clone + Default> CachedArray<T> {
@@ -71,7 +106,23 @@ impl<T: Clone + Default> CachedArray<T> {
             max_frames: frames,
             clock: 0,
             stats: PoolStats::default(),
+            obs: None,
         }
+    }
+
+    /// Publish this pool's counters into `session` as
+    /// `io.pool_accesses`, `io.pool_hits`, `io.pool_fetches`,
+    /// `io.pool_writebacks`, and `io.pool_evictions`. The owned
+    /// [`PoolStats`] keeps counting identically; every increment is
+    /// simply echoed into the registry.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.obs = Some(PoolObs {
+            accesses: session.counter("io.pool_accesses"),
+            hits: session.counter("io.pool_hits"),
+            fetches: session.counter("io.pool_fetches"),
+            writebacks: session.counter("io.pool_writebacks"),
+            evictions: session.counter("io.pool_evictions"),
+        });
     }
 
     /// Logical length.
@@ -105,10 +156,17 @@ impl<T: Clone + Default> CachedArray<T> {
         self.clock += 1;
         if let Some(pos) = self.frames.iter().position(|f| f.block_no == block_no) {
             self.frames[pos].last_use = self.clock;
+            self.stats.hits += 1;
+            if let Some(o) = &self.obs {
+                o.hits.inc();
+            }
             return pos;
         }
         // Miss: fetch, evicting LRU if full.
         self.stats.fetches += 1;
+        if let Some(o) = &self.obs {
+            o.fetches.inc();
+        }
         if self.frames.len() == self.max_frames {
             let victim = self
                 .frames
@@ -118,8 +176,15 @@ impl<T: Clone + Default> CachedArray<T> {
                 .map(|(i, _)| i)
                 .unwrap();
             let f = self.frames.swap_remove(victim);
+            self.stats.evictions += 1;
+            if let Some(o) = &self.obs {
+                o.evictions.inc();
+            }
             if f.dirty {
                 self.stats.writebacks += 1;
+                if let Some(o) = &self.obs {
+                    o.writebacks.inc();
+                }
                 let base = f.block_no * self.block;
                 let end = (base + self.block).min(self.disk.len());
                 self.disk[base..end].clone_from_slice(&f.data[..end - base]);
@@ -139,6 +204,9 @@ impl<T: Clone + Default> CachedArray<T> {
     /// Read element `index` through the pool.
     pub fn get(&mut self, index: usize) -> T {
         self.stats.accesses += 1;
+        if let Some(o) = &self.obs {
+            o.accesses.inc();
+        }
         let f = self.frame_for(index);
         self.frames[f].data[index % self.block].clone()
     }
@@ -146,23 +214,40 @@ impl<T: Clone + Default> CachedArray<T> {
     /// Write element `index` through the pool (write-back policy).
     pub fn set(&mut self, index: usize, value: T) {
         self.stats.accesses += 1;
+        if let Some(o) = &self.obs {
+            o.accesses.inc();
+        }
         let f = self.frame_for(index);
         let off = index % self.block;
         self.frames[f].data[off] = value;
         self.frames[f].dirty = true;
     }
 
+    /// Write back every dirty frame (one writeback I/O each), keeping
+    /// the frames resident but clean. After a flush, [`Self::stats`]
+    /// accounts for *all* block I/Os the array has caused — previously
+    /// the final writebacks were only charged inside
+    /// [`Self::into_inner`], after the stats had become unreachable,
+    /// so callers undercounted exactly the dirty-at-exit blocks.
+    pub fn flush(&mut self) {
+        for i in 0..self.frames.len() {
+            if !self.frames[i].dirty {
+                continue;
+            }
+            self.stats.writebacks += 1;
+            if let Some(o) = &self.obs {
+                o.writebacks.inc();
+            }
+            let base = self.frames[i].block_no * self.block;
+            let end = (base + self.block).min(self.disk.len());
+            self.disk[base..end].clone_from_slice(&self.frames[i].data[..end - base]);
+            self.frames[i].dirty = false;
+        }
+    }
+
     /// Flush all dirty frames and return the full array contents.
     pub fn into_inner(mut self) -> Vec<T> {
-        let frames = std::mem::take(&mut self.frames);
-        for f in frames {
-            if f.dirty {
-                self.stats.writebacks += 1;
-                let base = f.block_no * self.block;
-                let end = (base + self.block).min(self.disk.len());
-                self.disk[base..end].clone_from_slice(&f.data[..end - base]);
-            }
-        }
+        self.flush();
         self.disk
     }
 }
@@ -254,5 +339,73 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_access_panics() {
         CachedArray::new(vec![0u8; 5], 2, 1).get(5);
+    }
+
+    #[test]
+    fn hits_plus_fetches_equal_accesses() {
+        let mut a = CachedArray::new(vec![0u32; 100], 10, 2);
+        for i in 0..100 {
+            a.get(i % 30);
+        }
+        let s = a.stats();
+        assert_eq!(s.hits + s.fetches, s.accesses);
+        assert!(s.hits > 0);
+    }
+
+    #[test]
+    fn evictions_counted_dirty_or_clean() {
+        let mut a = CachedArray::new(vec![0u8; 40], 10, 2);
+        a.get(0); // block 0
+        a.get(10); // block 1 (pool full)
+        a.get(20); // evicts clean block 0
+        assert_eq!(a.stats().evictions, 1);
+        a.set(30, 1); // evicts clean block 1
+        a.get(20); // hit: block 2 becomes most recent
+        a.get(0); // evicts dirty block 3 -> writeback too
+        let s = a.stats();
+        assert_eq!(s.evictions, 3);
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn flush_makes_final_writebacks_observable() {
+        let mut a = CachedArray::new(vec![0u8; 20], 10, 2);
+        a.set(3, 9);
+        a.set(15, 8);
+        // Two dirty resident frames: without a flush, stats() missed
+        // these two writebacks entirely.
+        assert_eq!(a.stats().writebacks, 0);
+        a.flush();
+        assert_eq!(a.stats().writebacks, 2);
+        // Flush is idempotent and keeps frames resident.
+        let hits_before = a.stats().hits;
+        a.flush();
+        assert_eq!(a.stats().writebacks, 2);
+        assert_eq!(a.get(3), 9);
+        assert_eq!(a.stats().hits, hits_before + 1);
+        let data = a.into_inner();
+        assert_eq!((data[3], data[15]), (9, 8));
+    }
+
+    #[test]
+    fn traced_pool_mirrors_stats_into_registry() {
+        let session = TraceSession::new();
+        let mut a = CachedArray::new(vec![0u64; 200], 10, 3);
+        a.attach_trace(&session);
+        for i in 0..200 {
+            a.set(i, i as u64);
+        }
+        for i in (0..200).step_by(7) {
+            a.get(i);
+        }
+        a.flush();
+        let s = a.stats();
+        let snap = session.snapshot();
+        assert_eq!(snap.get("io.pool_accesses"), s.accesses);
+        assert_eq!(snap.get("io.pool_hits"), s.hits);
+        assert_eq!(snap.get("io.pool_fetches"), s.fetches);
+        assert_eq!(snap.get("io.pool_writebacks"), s.writebacks);
+        assert_eq!(snap.get("io.pool_evictions"), s.evictions);
+        assert!(s.writebacks > 0 && s.evictions > 0);
     }
 }

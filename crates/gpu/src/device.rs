@@ -1,6 +1,8 @@
 //! The SIMT device: global memory, per-block shared memory, phased
 //! kernels, and the warp-level cost model.
 
+use pdc_core::metrics::Counter;
+use pdc_core::trace::{EventKind, ThreadTrace, TraceSession};
 use std::collections::HashSet;
 
 /// Device cost parameters.
@@ -46,18 +48,23 @@ pub struct KernelStats {
     pub global_transactions: u64,
     /// Raw global accesses before coalescing.
     pub global_accesses: u64,
-    /// Shared-memory warp accesses (already conflict-expanded).
+    /// Conflict-free shared-memory warp accesses: one per lockstep
+    /// step that touches shared memory, regardless of conflicts.
     pub shared_cycles: u64,
-    /// Extra cycles lost to bank conflicts.
+    /// Extra serialized accesses lost to bank conflicts (an `N`-way
+    /// conflict adds `N − 1` on top of the one in `shared_cycles`).
     pub bank_conflict_cycles: u64,
 }
 
 impl KernelStats {
-    /// Total modeled cycles under `config`.
+    /// Total modeled cycles under `config`: issue cycles, plus global
+    /// transactions at `global_latency`, plus shared-memory accesses —
+    /// conflict-free *and* the conflict-serialized extras — at
+    /// `shared_latency`.
     pub fn cycles(&self, config: &GpuConfig) -> u64 {
         self.issue_cycles
             + self.global_transactions * config.global_latency
-            + self.shared_cycles * config.shared_latency
+            + (self.shared_cycles + self.bank_conflict_cycles) * config.shared_latency
     }
 
     /// Fraction of issue slots doing useful work (1.0 = no divergence).
@@ -165,12 +172,29 @@ impl ThreadCtx<'_> {
 /// A phase: one barrier-delimited piece of a kernel.
 pub type Phase<'k> = Box<dyn Fn(&mut ThreadCtx<'_>) + 'k>;
 
+/// Trace hooks for a traced device: `gpu.*` counters in the shared
+/// registry plus a [`EventKind::Kernel`] event per launch.
+#[derive(Debug)]
+struct GpuObs {
+    launches: Counter,
+    issue_cycles: Counter,
+    executed_ops: Counter,
+    divergence_waste: Counter,
+    global_accesses: Counter,
+    global_transactions: Counter,
+    shared_cycles: Counter,
+    bank_conflict_cycles: Counter,
+    thread: ThreadTrace,
+    launch_seq: u64,
+}
+
 /// The simulated device.
 #[derive(Debug)]
 pub struct Device {
     config: GpuConfig,
     /// Global memory, in words.
     pub global: Vec<i64>,
+    obs: Option<GpuObs>,
 }
 
 impl Device {
@@ -184,7 +208,31 @@ impl Device {
         Device {
             config,
             global: vec![0; words],
+            obs: None,
         }
+    }
+
+    /// Publish this device's per-launch stats into `session` as
+    /// `gpu.*` counters (`gpu.launches`, `gpu.issue_cycles`,
+    /// `gpu.executed_ops`, `gpu.divergence_waste`,
+    /// `gpu.global_accesses`, `gpu.global_transactions`,
+    /// `gpu.shared_cycles`, `gpu.bank_conflict_cycles`) and record one
+    /// `kernel` event per launch. Tracing is strictly additive: the
+    /// returned [`KernelStats`] and all memory effects are identical
+    /// with or without it.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.obs = Some(GpuObs {
+            launches: session.counter("gpu.launches"),
+            issue_cycles: session.counter("gpu.issue_cycles"),
+            executed_ops: session.counter("gpu.executed_ops"),
+            divergence_waste: session.counter("gpu.divergence_waste"),
+            global_accesses: session.counter("gpu.global_accesses"),
+            global_transactions: session.counter("gpu.global_transactions"),
+            shared_cycles: session.counter("gpu.shared_cycles"),
+            bank_conflict_cycles: session.counter("gpu.bank_conflict_cycles"),
+            thread: session.thread(0),
+            launch_seq: 0,
+        });
     }
 
     /// The cost parameters.
@@ -260,12 +308,25 @@ impl Device {
                         stats.global_transactions += segments.len() as u64;
                         if any_shared {
                             let conflict = *bank_load.iter().max().unwrap() as u64;
-                            stats.shared_cycles += conflict;
+                            stats.shared_cycles += 1;
                             stats.bank_conflict_cycles += conflict.saturating_sub(1);
                         }
                     }
                 }
             }
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            obs.launches.inc();
+            obs.issue_cycles.add(stats.issue_cycles);
+            obs.executed_ops.add(stats.executed_ops);
+            obs.divergence_waste.add(stats.divergence_waste);
+            obs.global_accesses.add(stats.global_accesses);
+            obs.global_transactions.add(stats.global_transactions);
+            obs.shared_cycles.add(stats.shared_cycles);
+            obs.bank_conflict_cycles.add(stats.bank_conflict_cycles);
+            obs.launch_seq += 1;
+            obs.thread
+                .record(EventKind::Kernel, obs.launch_seq, stats.cycles(&cfg));
         }
         stats
     }
@@ -367,8 +428,106 @@ mod tests {
             t.write_shared((tid * 2) % 64, 1);
         })];
         let conflicted = dev.launch(1, n, 64, &phases);
-        assert_eq!(conflicted.shared_cycles, 2, "2-way conflict serializes");
-        assert_eq!(conflicted.bank_conflict_cycles, 1);
+        // One conflict-free access slot plus one serialized extra.
+        assert_eq!(conflicted.shared_cycles, 1);
+        assert_eq!(
+            conflicted.bank_conflict_cycles, 1,
+            "2-way conflict serializes"
+        );
+    }
+
+    /// Regression guard for the `cycles()` formula: a layout whose only
+    /// difference is bank conflicts must model as strictly more
+    /// expensive. The pre-fix formula charged `shared_cycles *
+    /// shared_latency` alone and priced both layouts identically.
+    #[test]
+    fn bank_conflicts_increase_modeled_cycles() {
+        let n = 32;
+        let mut dev = Device::new(1);
+        let cfg = dev.config();
+        // Conflict-free: lane i -> bank i.
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            let tid = t.tid();
+            t.write_shared(tid, 1);
+        })];
+        let free = dev.launch(1, n, n, &phases);
+        // 32-way conflict: every lane -> bank 0 (stride = #banks).
+        let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+            let tid = t.tid();
+            t.write_shared(tid * 32, 1);
+        })];
+        let conflicted = dev.launch(1, n, n * 32, &phases);
+        // Identical issue/op/access counts either way...
+        assert_eq!(free.issue_cycles, conflicted.issue_cycles);
+        assert_eq!(free.executed_ops, conflicted.executed_ops);
+        assert_eq!(free.shared_cycles, conflicted.shared_cycles);
+        assert_eq!(free.bank_conflict_cycles, 0);
+        assert_eq!(conflicted.bank_conflict_cycles, 31);
+        // ...so only the conflict term separates the modeled costs.
+        assert!(
+            conflicted.cycles(&cfg) > free.cycles(&cfg),
+            "bank conflicts must be charged: conflicted {} vs free {}",
+            conflicted.cycles(&cfg),
+            free.cycles(&cfg)
+        );
+        assert_eq!(
+            conflicted.cycles(&cfg) - free.cycles(&cfg),
+            31 * cfg.shared_latency
+        );
+    }
+
+    #[test]
+    fn traced_launch_publishes_gpu_counters_and_kernel_events() {
+        let session = TraceSession::new();
+        let n = 1024;
+        let mut dev = Device::new(2 * n);
+        dev.attach_trace(&session);
+        let s1 = dev.launch(n / 256, 256, 0, &copy_phase(n, 1));
+        let s2 = dev.launch(n / 256, 256, 0, &copy_phase(n, 16));
+        let snap = session.snapshot();
+        assert_eq!(snap.get("gpu.launches"), 2);
+        assert_eq!(
+            snap.get("gpu.issue_cycles"),
+            s1.issue_cycles + s2.issue_cycles
+        );
+        assert_eq!(
+            snap.get("gpu.executed_ops"),
+            s1.executed_ops + s2.executed_ops
+        );
+        assert_eq!(
+            snap.get("gpu.global_accesses"),
+            s1.global_accesses + s2.global_accesses
+        );
+        assert_eq!(
+            snap.get("gpu.global_transactions"),
+            s1.global_transactions + s2.global_transactions
+        );
+        let kernels: Vec<_> = session
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Kernel)
+            .collect();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!((kernels[0].a, kernels[1].a), (1, 2));
+        let cfg = dev.config();
+        assert_eq!(kernels[0].b, s1.cycles(&cfg));
+        assert_eq!(kernels[1].b, s2.cycles(&cfg));
+    }
+
+    #[test]
+    fn tracing_does_not_change_stats_or_memory() {
+        let n = 512;
+        let run = |traced: bool| {
+            let mut dev = Device::new(2 * n);
+            let session = TraceSession::new();
+            if traced {
+                dev.attach_trace(&session);
+            }
+            dev.upload(0, &(0..n as i64).collect::<Vec<_>>());
+            let stats = dev.launch(n / 64, 64, 64, &copy_phase(n, 4));
+            (stats, dev.global)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! handling models the two×two design space: write-back vs write-through
 //! crossed with write-allocate vs no-allocate.
 
+use pdc_core::metrics::Counter;
 use pdc_core::rng::Rng;
+use pdc_core::trace::TraceSession;
+use std::collections::HashSet;
 
 /// Replacement policy within a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +84,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Accesses that missed.
     pub misses: u64,
+    /// Misses on a line never referenced before (the cold/compulsory
+    /// class of the 3C model; `misses - compulsory_misses` are the
+    /// capacity/conflict re-fetches).
+    pub compulsory_misses: u64,
     /// Lines evicted.
     pub evictions: u64,
     /// Dirty-line writebacks (write-back policy only).
@@ -98,6 +105,40 @@ impl CacheStats {
         } else {
             self.misses as f64 / total as f64
         }
+    }
+
+    /// Capacity/conflict misses: re-fetches of lines seen before.
+    pub fn refill_misses(&self) -> u64 {
+        self.misses - self.compulsory_misses
+    }
+}
+
+/// Registry mirrors for the cache's owned [`CacheStats`]: the
+/// single-threaded simulator keeps its plain-struct counts, and each
+/// access's deltas are echoed into the shared lock-free registry.
+#[derive(Debug, Clone)]
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    misses_compulsory: Counter,
+    misses_refill: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+    write_throughs: Counter,
+}
+
+impl CacheObs {
+    fn publish(&self, before: &CacheStats, after: &CacheStats) {
+        self.hits.add(after.hits - before.hits);
+        self.misses.add(after.misses - before.misses);
+        self.misses_compulsory
+            .add(after.compulsory_misses - before.compulsory_misses);
+        self.misses_refill
+            .add(after.refill_misses() - before.refill_misses());
+        self.evictions.add(after.evictions - before.evictions);
+        self.writebacks.add(after.writebacks - before.writebacks);
+        self.write_throughs
+            .add(after.write_throughs - before.write_throughs);
     }
 }
 
@@ -118,6 +159,9 @@ pub struct Cache {
     stats: CacheStats,
     clock: u64,
     rng: Rng,
+    /// Line numbers ever referenced, for compulsory-miss classification.
+    touched: HashSet<u64>,
+    obs: Option<CacheObs>,
 }
 
 /// Result of one access.
@@ -164,7 +208,27 @@ impl Cache {
             stats: CacheStats::default(),
             clock: 0,
             rng: Rng::new(seed),
+            touched: HashSet::new(),
+            obs: None,
         }
+    }
+
+    /// Publish this cache's counters into `session` as `cache.hits`,
+    /// `cache.misses`, `cache.misses_compulsory`,
+    /// `cache.misses_refill`, `cache.evictions`, `cache.writebacks`,
+    /// and `cache.write_throughs`. The owned [`CacheStats`] keeps
+    /// counting identically; each access's deltas are echoed into the
+    /// registry.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.obs = Some(CacheObs {
+            hits: session.counter("cache.hits"),
+            misses: session.counter("cache.misses"),
+            misses_compulsory: session.counter("cache.misses_compulsory"),
+            misses_refill: session.counter("cache.misses_refill"),
+            evictions: session.counter("cache.evictions"),
+            writebacks: session.counter("cache.writebacks"),
+            write_throughs: session.counter("cache.write_throughs"),
+        });
     }
 
     /// The configuration.
@@ -196,7 +260,17 @@ impl Cache {
 
     /// Perform an access; `is_write` selects write semantics.
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        let before = self.stats;
+        let result = self.access_inner(addr, is_write);
+        if let Some(o) = &self.obs {
+            o.publish(&before, &self.stats);
+        }
+        result
+    }
+
+    fn access_inner(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.clock += 1;
+        let first_touch = self.touched.insert(addr / self.config.line_size as u64);
         let (set_idx, tag) = self.split(addr);
         let write_through = matches!(
             self.config.write,
@@ -219,6 +293,9 @@ impl Cache {
         }
         // Miss.
         self.stats.misses += 1;
+        if first_touch {
+            self.stats.compulsory_misses += 1;
+        }
         if is_write && self.config.write == WritePolicy::WriteThroughNoAllocate {
             self.stats.write_throughs += 1;
             return AccessResult::Miss; // no allocation
@@ -431,5 +508,57 @@ mod tests {
     #[test]
     fn capacity_reported() {
         assert_eq!(cfg(64, 16, 4).capacity(), 4096);
+    }
+
+    #[test]
+    fn misses_classified_compulsory_vs_refill() {
+        // Direct-mapped thrash: 2 distinct lines, 200 misses — only the
+        // first touch of each line is compulsory.
+        let mut dm = Cache::new(cfg(64, 8, 1));
+        for _ in 0..100 {
+            dm.read(0);
+            dm.read(64 * 8);
+        }
+        let s = dm.stats();
+        assert_eq!(s.misses, 200);
+        assert_eq!(s.compulsory_misses, 2);
+        assert_eq!(s.refill_misses(), 198);
+
+        // Pure sequential scan: every miss is compulsory.
+        let mut seq = Cache::new(cfg(64, 16, 4));
+        for i in 0..1000u64 {
+            seq.read(i * 8);
+        }
+        let s = seq.stats();
+        assert_eq!(s.compulsory_misses, s.misses);
+        assert_eq!(s.refill_misses(), 0);
+    }
+
+    #[test]
+    fn traced_cache_mirrors_stats_into_registry() {
+        let session = pdc_core::trace::TraceSession::new();
+        let mut c = Cache::new(cfg(64, 4, 2));
+        c.attach_trace(&session);
+        for i in 0..2000u64 {
+            c.access(i * 40 % 4096, i % 3 == 0);
+        }
+        let s = c.stats();
+        let snap = session.snapshot();
+        assert_eq!(snap.get("cache.hits"), s.hits);
+        assert_eq!(snap.get("cache.misses"), s.misses);
+        assert_eq!(snap.get("cache.misses_compulsory"), s.compulsory_misses);
+        assert_eq!(snap.get("cache.misses_refill"), s.refill_misses());
+        assert_eq!(snap.get("cache.evictions"), s.evictions);
+        assert_eq!(snap.get("cache.writebacks"), s.writebacks);
+        assert!(s.hits > 0 && s.refill_misses() > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_cache_results() {
+        let trace: Vec<(u64, bool)> = (0..500u64).map(|i| (i * 72 % 2048, i % 4 == 0)).collect();
+        let mut plain = Cache::new(cfg(64, 4, 2));
+        let mut traced = Cache::new(cfg(64, 4, 2));
+        traced.attach_trace(&pdc_core::trace::TraceSession::new());
+        assert_eq!(plain.run_trace(&trace), traced.run_trace(&trace));
     }
 }

@@ -10,6 +10,8 @@
 //!   an invalidation storm that padding eliminates (the CS75/CS87
 //!   "techniques for solving false-sharing issues" topic).
 
+use pdc_core::metrics::Counter;
+use pdc_core::trace::TraceSession;
 use std::collections::HashMap;
 
 /// Coherence protocol.
@@ -41,6 +43,9 @@ pub struct CoherenceStats {
     pub bus_reads: u64,
     /// BusRdX / BusUpgr transactions (writes needing ownership).
     pub bus_rdx: u64,
+    /// The BusUpgr subset of `bus_rdx`: S→M upgrades by a core that
+    /// already held the data and only needed ownership.
+    pub upgrades: u64,
     /// Lines invalidated in remote caches.
     pub invalidations: u64,
     /// Modified lines flushed because a remote core touched them.
@@ -54,6 +59,32 @@ impl CoherenceStats {
     }
 }
 
+/// Registry mirrors for the simulator's owned [`CoherenceStats`]:
+/// each access's deltas are echoed into the shared lock-free registry.
+#[derive(Debug, Clone)]
+struct CohObs {
+    hits: Counter,
+    misses: Counter,
+    bus_reads: Counter,
+    bus_rdx: Counter,
+    upgrades: Counter,
+    invalidations: Counter,
+    writebacks: Counter,
+}
+
+impl CohObs {
+    fn publish(&self, before: &CoherenceStats, after: &CoherenceStats) {
+        self.hits.add(after.hits - before.hits);
+        self.misses.add(after.misses - before.misses);
+        self.bus_reads.add(after.bus_reads - before.bus_reads);
+        self.bus_rdx.add(after.bus_rdx - before.bus_rdx);
+        self.upgrades.add(after.upgrades - before.upgrades);
+        self.invalidations
+            .add(after.invalidations - before.invalidations);
+        self.writebacks.add(after.writebacks - before.writebacks);
+    }
+}
+
 /// The multi-core coherence simulator.
 #[derive(Debug, Clone)]
 pub struct CoherenceSim {
@@ -62,6 +93,7 @@ pub struct CoherenceSim {
     /// `state[core]` maps line number → state (absent = Invalid).
     state: Vec<HashMap<u64, State>>,
     stats: CoherenceStats,
+    obs: Option<CohObs>,
 }
 
 impl CoherenceSim {
@@ -80,7 +112,26 @@ impl CoherenceSim {
             line_size,
             state: vec![HashMap::new(); cores],
             stats: CoherenceStats::default(),
+            obs: None,
         }
+    }
+
+    /// Publish this simulator's counters into `session` as
+    /// `cache.coh_hits`, `cache.coh_misses`, `cache.bus_reads`,
+    /// `cache.bus_rdx`, `cache.upgrades`, `cache.invalidations`, and
+    /// `cache.coh_writebacks`. The owned [`CoherenceStats`] keeps
+    /// counting identically; each access's deltas are echoed into the
+    /// registry.
+    pub fn attach_trace(&mut self, session: &TraceSession) {
+        self.obs = Some(CohObs {
+            hits: session.counter("cache.coh_hits"),
+            misses: session.counter("cache.coh_misses"),
+            bus_reads: session.counter("cache.bus_reads"),
+            bus_rdx: session.counter("cache.bus_rdx"),
+            upgrades: session.counter("cache.upgrades"),
+            invalidations: session.counter("cache.invalidations"),
+            writebacks: session.counter("cache.coh_writebacks"),
+        });
     }
 
     /// Number of cores.
@@ -114,6 +165,14 @@ impl CoherenceSim {
 
     /// Perform an access by `core` at byte address `addr`.
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) {
+        let before = self.stats;
+        self.access_inner(core, addr, is_write);
+        if let Some(o) = &self.obs {
+            o.publish(&before, &self.stats);
+        }
+    }
+
+    fn access_inner(&mut self, core: usize, addr: u64, is_write: bool) {
         assert!(core < self.cores(), "core {core} out of range");
         let line = addr / self.line_size;
         let s = self.get(core, line);
@@ -136,6 +195,7 @@ impl CoherenceSim {
             (true, State::Shared) => {
                 self.stats.misses += 1;
                 self.stats.bus_rdx += 1;
+                self.stats.upgrades += 1;
                 for c in self.others_holding(core, line) {
                     // Sharers cannot be M (S implies no M exists).
                     self.stats.invalidations += 1;
@@ -358,6 +418,37 @@ mod tests {
         sim.access(1, 64, true); // different line
         assert_eq!(sim.stats().invalidations, 0);
         assert_eq!(sim.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn upgrades_count_only_shared_to_modified() {
+        let mut sim = CoherenceSim::new(Protocol::Msi, 2, 64);
+        sim.access(0, 0, true); // write miss from Invalid: BusRdX, not an upgrade
+        assert_eq!(sim.stats().bus_rdx, 1);
+        assert_eq!(sim.stats().upgrades, 0);
+        sim.access(1, 0, false); // both S
+        sim.access(1, 0, true); // S -> M: BusUpgr
+        assert_eq!(sim.stats().bus_rdx, 2);
+        assert_eq!(sim.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn traced_coherence_mirrors_stats_into_registry() {
+        let session = TraceSession::new();
+        let cores = 4;
+        let mut sim = CoherenceSim::new(Protocol::Mesi, cores, 64);
+        sim.attach_trace(&session);
+        sim.run_trace(&counter_increment_trace(cores, 100, 8));
+        let s = sim.stats();
+        let snap = session.snapshot();
+        assert_eq!(snap.get("cache.coh_hits"), s.hits);
+        assert_eq!(snap.get("cache.coh_misses"), s.misses);
+        assert_eq!(snap.get("cache.bus_reads"), s.bus_reads);
+        assert_eq!(snap.get("cache.bus_rdx"), s.bus_rdx);
+        assert_eq!(snap.get("cache.upgrades"), s.upgrades);
+        assert_eq!(snap.get("cache.invalidations"), s.invalidations);
+        assert_eq!(snap.get("cache.coh_writebacks"), s.writebacks);
+        assert!(s.invalidations > 0 && s.upgrades > 0);
     }
 
     #[test]

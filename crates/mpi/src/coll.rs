@@ -10,9 +10,18 @@
 //! Per-`(src, tag)` FIFO matching then keeps successive collectives from
 //! interfering.
 //!
+//! ## Tracing
+//!
 //! In a traced world ([`crate::world::World::run_traced`]) each
 //! collective bumps a `coll.<name>` counter once per calling rank, so
-//! `coll.barrier / p` is the number of barrier episodes.
+//! `coll.barrier / p` is the number of barrier episodes. Each call is
+//! also bracketed by `coll_begin`/`coll_end` marks in the event stream
+//! (see [`CollId`] for the id codes): every `send`/`recv` event an
+//! actor records between a begin and its matching end belongs to that
+//! collective, which is how a trace attributes point-to-point traffic
+//! to the broadcast/reduce/scatter that caused it. Composite
+//! collectives nest — an `allreduce` span contains a `reduce` span and
+//! a `broadcast` span.
 
 use crate::world::{Payload, Rank};
 
@@ -29,6 +38,85 @@ const TAG_ALLTOALL: u32 = SYS + 0x700;
 const TAG_RING_RS: u32 = SYS + 0x800;
 const TAG_RING_AG: u32 = SYS + 0x900;
 
+/// Stable id codes for the collectives, used as the `coll` payload of
+/// `coll_begin`/`coll_end` trace events. The discriminants are part of
+/// the `pdc-trace/2` schema: renumbering them breaks trace consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum CollId {
+    /// Dissemination barrier.
+    Barrier = 0,
+    /// Binomial-tree broadcast.
+    Broadcast = 1,
+    /// Binomial-tree reduce.
+    Reduce = 2,
+    /// Allreduce (reduce + broadcast).
+    Allreduce = 3,
+    /// Linear gather.
+    Gather = 4,
+    /// Linear scatter.
+    Scatter = 5,
+    /// Ring allgather.
+    Allgather = 6,
+    /// Ring allreduce (reduce-scatter + allgather).
+    RingAllreduce = 7,
+    /// Linear exclusive scan.
+    ExclusiveScan = 8,
+    /// All-to-all personalized exchange.
+    Alltoall = 9,
+}
+
+impl CollId {
+    /// The id code recorded in trace events.
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// The collective's lowercase name, as used in the `coll.<name>`
+    /// invocation counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollId::Barrier => "barrier",
+            CollId::Broadcast => "broadcast",
+            CollId::Reduce => "reduce",
+            CollId::Allreduce => "allreduce",
+            CollId::Gather => "gather",
+            CollId::Scatter => "scatter",
+            CollId::Allgather => "allgather",
+            CollId::RingAllreduce => "ring_allreduce",
+            CollId::ExclusiveScan => "exclusive_scan",
+            CollId::Alltoall => "alltoall",
+        }
+    }
+
+    /// The full `coll.<name>` counter key.
+    fn counter(self) -> &'static str {
+        match self {
+            CollId::Barrier => "coll.barrier",
+            CollId::Broadcast => "coll.broadcast",
+            CollId::Reduce => "coll.reduce",
+            CollId::Allreduce => "coll.allreduce",
+            CollId::Gather => "coll.gather",
+            CollId::Scatter => "coll.scatter",
+            CollId::Allgather => "coll.allgather",
+            CollId::RingAllreduce => "coll.ring_allreduce",
+            CollId::ExclusiveScan => "coll.exclusive_scan",
+            CollId::Alltoall => "coll.alltoall",
+        }
+    }
+}
+
+/// Run `f` as the body of collective `id` on `rank`: bump the
+/// invocation counter and bracket the body with begin/end marks. Early
+/// `return`s inside `f` still hit the end mark.
+fn span<M: Payload, R>(rank: &mut Rank<M>, id: CollId, f: impl FnOnce(&mut Rank<M>) -> R) -> R {
+    rank.count(id.counter());
+    let seq = rank.coll_begin(id.code());
+    let result = f(rank);
+    rank.coll_end(id.code(), seq);
+    result
+}
+
 fn ceil_log2(p: usize) -> u32 {
     assert!(p >= 1);
     usize::BITS - (p - 1).leading_zeros()
@@ -36,48 +124,50 @@ fn ceil_log2(p: usize) -> u32 {
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, `p·⌈log₂ p⌉` messages total.
 pub fn barrier<M: Payload + Default>(rank: &mut Rank<M>) {
-    rank.count("coll.barrier");
-    let p = rank.size();
-    if p == 1 {
-        return;
-    }
-    for k in 0..ceil_log2(p) {
-        let dist = 1usize << k;
-        let dst = (rank.id() + dist) % p;
-        let src = (rank.id() + p - dist) % p;
-        rank.send(dst, TAG_BARRIER + k, M::default());
-        rank.recv(src, TAG_BARRIER + k);
-    }
+    span(rank, CollId::Barrier, |rank| {
+        let p = rank.size();
+        if p == 1 {
+            return;
+        }
+        for k in 0..ceil_log2(p) {
+            let dist = 1usize << k;
+            let dst = (rank.id() + dist) % p;
+            let src = (rank.id() + p - dist) % p;
+            rank.send(dst, TAG_BARRIER + k, M::default());
+            rank.recv(src, TAG_BARRIER + k);
+        }
+    })
 }
 
 /// Binomial-tree broadcast from `root`: `p − 1` messages, `⌈log₂ p⌉`
 /// rounds. Every rank returns the value.
 pub fn broadcast<M: Payload + Clone>(rank: &mut Rank<M>, root: usize, value: Option<M>) -> M {
-    rank.count("coll.broadcast");
-    let p = rank.size();
-    assert!(root < p, "root out of range");
-    let r = (rank.id() + p - root) % p; // virtual rank, root at 0
-    let mut val = if r == 0 {
-        Some(value.expect("root must supply the broadcast value"))
-    } else {
-        None
-    };
-    let levels = ceil_log2(p);
-    for k in 0..levels {
-        let dist = 1usize << k;
-        if r < dist {
-            // I already have the value; send to my partner if it exists.
-            let partner = r + dist;
-            if partner < p {
-                let dst = (partner + root) % p;
-                rank.send(dst, TAG_BCAST + k, val.clone().expect("holder has value"));
+    span(rank, CollId::Broadcast, |rank| {
+        let p = rank.size();
+        assert!(root < p, "root out of range");
+        let r = (rank.id() + p - root) % p; // virtual rank, root at 0
+        let mut val = if r == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        let levels = ceil_log2(p);
+        for k in 0..levels {
+            let dist = 1usize << k;
+            if r < dist {
+                // I already have the value; send to my partner if it exists.
+                let partner = r + dist;
+                if partner < p {
+                    let dst = (partner + root) % p;
+                    rank.send(dst, TAG_BCAST + k, val.clone().expect("holder has value"));
+                }
+            } else if r < 2 * dist {
+                let src = ((r - dist) + root) % p;
+                val = Some(rank.recv(src, TAG_BCAST + k));
             }
-        } else if r < 2 * dist {
-            let src = ((r - dist) + root) % p;
-            val = Some(rank.recv(src, TAG_BCAST + k));
         }
-    }
-    val.expect("broadcast reached every rank")
+        val.expect("broadcast reached every rank")
+    })
 }
 
 /// Binomial-tree reduce to `root` with associative `op`; combine order
@@ -89,111 +179,116 @@ pub fn reduce<M: Payload>(
     value: M,
     op: impl Fn(M, M) -> M,
 ) -> Option<M> {
-    rank.count("coll.reduce");
-    let p = rank.size();
-    assert!(root < p, "root out of range");
-    let r = (rank.id() + p - root) % p;
-    let mut acc = value;
-    let levels = ceil_log2(p);
-    for k in 0..levels {
-        let dist = 1usize << k;
-        if r.is_multiple_of(2 * dist) {
-            let partner = r + dist;
-            if partner < p {
-                let src = (partner + root) % p;
-                let other = rank.recv(src, TAG_REDUCE + k);
-                // acc covers ranks [r, r+dist), other covers [r+dist, ...):
-                // combine low-then-high to preserve order.
-                acc = op(acc, other);
+    span(rank, CollId::Reduce, |rank| {
+        let p = rank.size();
+        assert!(root < p, "root out of range");
+        let r = (rank.id() + p - root) % p;
+        let mut acc = value;
+        let levels = ceil_log2(p);
+        for k in 0..levels {
+            let dist = 1usize << k;
+            if r.is_multiple_of(2 * dist) {
+                let partner = r + dist;
+                if partner < p {
+                    let src = (partner + root) % p;
+                    let other = rank.recv(src, TAG_REDUCE + k);
+                    // acc covers ranks [r, r+dist), other covers [r+dist, ...):
+                    // combine low-then-high to preserve order.
+                    acc = op(acc, other);
+                }
+            } else if r % (2 * dist) == dist {
+                let dst = ((r - dist) + root) % p;
+                rank.send(dst, TAG_REDUCE + k, acc);
+                return None; // contributed and done
             }
-        } else if r % (2 * dist) == dist {
-            let dst = ((r - dist) + root) % p;
-            rank.send(dst, TAG_REDUCE + k, acc);
-            return None; // contributed and done
         }
-    }
-    debug_assert_eq!(r, 0);
-    Some(acc)
+        debug_assert_eq!(r, 0);
+        Some(acc)
+    })
 }
 
 /// Allreduce = reduce to 0 + broadcast: `2(p − 1)` messages.
 pub fn allreduce<M: Payload + Clone>(rank: &mut Rank<M>, value: M, op: impl Fn(M, M) -> M) -> M {
-    rank.count("coll.allreduce");
-    let reduced = reduce(rank, 0, value, op);
-    broadcast(rank, 0, reduced)
+    span(rank, CollId::Allreduce, |rank| {
+        let reduced = reduce(rank, 0, value, op);
+        broadcast(rank, 0, reduced)
+    })
 }
 
 /// Gather to `root` (linear): every other rank sends once; root returns
 /// the values in rank order. `p − 1` messages.
 pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<Vec<M>> {
-    rank.count("coll.gather");
-    let p = rank.size();
-    assert!(root < p, "root out of range");
-    if rank.id() == root {
-        let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
-        slots[root] = Some(value);
-        for _ in 0..p - 1 {
-            let (src, v) = rank.recv_any(TAG_GATHER);
-            assert!(slots[src].is_none(), "duplicate gather contribution");
-            slots[src] = Some(v);
+    span(rank, CollId::Gather, |rank| {
+        let p = rank.size();
+        assert!(root < p, "root out of range");
+        if rank.id() == root {
+            let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
+            slots[root] = Some(value);
+            for _ in 0..p - 1 {
+                let (src, v) = rank.recv_any(TAG_GATHER);
+                assert!(slots[src].is_none(), "duplicate gather contribution");
+                slots[src] = Some(v);
+            }
+            Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("all ranks sent"))
+                    .collect(),
+            )
+        } else {
+            rank.send(root, TAG_GATHER, value);
+            None
         }
-        Some(
-            slots
-                .into_iter()
-                .map(|s| s.expect("all ranks sent"))
-                .collect(),
-        )
-    } else {
-        rank.send(root, TAG_GATHER, value);
-        None
-    }
+    })
 }
 
 /// Scatter from `root` (linear): root keeps element `root` and sends one
 /// element to each other rank. `p − 1` messages.
 pub fn scatter<M: Payload>(rank: &mut Rank<M>, root: usize, values: Option<Vec<M>>) -> M {
-    rank.count("coll.scatter");
-    let p = rank.size();
-    assert!(root < p, "root out of range");
-    if rank.id() == root {
-        let values = values.expect("root must supply the scatter values");
-        assert_eq!(values.len(), p, "need exactly one value per rank");
-        let mut mine = None;
-        for (dst, v) in values.into_iter().enumerate() {
-            if dst == rank.id() {
-                mine = Some(v);
-            } else {
-                rank.send(dst, TAG_SCATTER, v);
+    span(rank, CollId::Scatter, |rank| {
+        let p = rank.size();
+        assert!(root < p, "root out of range");
+        if rank.id() == root {
+            let values = values.expect("root must supply the scatter values");
+            assert_eq!(values.len(), p, "need exactly one value per rank");
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == rank.id() {
+                    mine = Some(v);
+                } else {
+                    rank.send(dst, TAG_SCATTER, v);
+                }
             }
+            mine.expect("own slot present")
+        } else {
+            rank.recv(root, TAG_SCATTER)
         }
-        mine.expect("own slot present")
-    } else {
-        rank.recv(root, TAG_SCATTER)
-    }
+    })
 }
 
 /// Ring allgather: `p − 1` rounds, each rank forwarding one element per
 /// round; `p(p − 1)` messages. Returns all values in rank order.
 pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
-    rank.count("coll.allgather");
-    let p = rank.size();
-    let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
-    slots[rank.id()] = Some(value);
-    let next = (rank.id() + 1) % p;
-    let prev = (rank.id() + p - 1) % p;
-    // In round k, send the element that originated at (id - k) mod p.
-    let mut carry = slots[rank.id()].clone().unwrap();
-    for k in 0..p - 1 {
-        rank.send(next, TAG_ALLGATHER + k as u32, carry);
-        let received = rank.recv(prev, TAG_ALLGATHER + k as u32);
-        let origin = (rank.id() + p - 1 - k) % p;
-        slots[origin] = Some(received.clone());
-        carry = received;
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("ring complete"))
-        .collect()
+    span(rank, CollId::Allgather, |rank| {
+        let p = rank.size();
+        let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
+        slots[rank.id()] = Some(value);
+        let next = (rank.id() + 1) % p;
+        let prev = (rank.id() + p - 1) % p;
+        // In round k, send the element that originated at (id - k) mod p.
+        let mut carry = slots[rank.id()].clone().unwrap();
+        for k in 0..p - 1 {
+            rank.send(next, TAG_ALLGATHER + k as u32, carry);
+            let received = rank.recv(prev, TAG_ALLGATHER + k as u32);
+            let origin = (rank.id() + p - 1 - k) % p;
+            slots[origin] = Some(received.clone());
+            carry = received;
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("ring complete"))
+            .collect()
+    })
 }
 
 /// Ring allreduce over a *vector* value (reduce-scatter then allgather):
@@ -205,51 +300,53 @@ pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
 /// elementwise reduction.
 pub fn ring_allreduce(
     rank: &mut Rank<Vec<i64>>,
-    mut values: Vec<i64>,
+    values: Vec<i64>,
     op: impl Fn(i64, i64) -> i64 + Copy,
 ) -> Vec<i64> {
-    rank.count("coll.ring_allreduce");
-    let p = rank.size();
-    if p == 1 {
-        return values;
-    }
-    let n = values.len();
-    assert!(n.is_multiple_of(p), "vector length must be divisible by p");
-    let chunk = n / p;
-    let me = rank.id();
-    let next = (me + 1) % p;
-    let prev = (me + p - 1) % p;
-    let slice_of = |i: usize| (i * chunk)..((i + 1) * chunk);
-
-    // Phase 1: reduce-scatter. In round k, send the chunk that started at
-    // (me - k) and receive/accumulate the chunk started at (me - k - 1).
-    for k in 0..p - 1 {
-        let send_idx = (me + p - k) % p;
-        let recv_idx = (me + p - k - 1) % p;
-        rank.send(
-            next,
-            TAG_RING_RS + k as u32,
-            values[slice_of(send_idx)].to_vec(),
-        );
-        let incoming = rank.recv(prev, TAG_RING_RS + k as u32);
-        for (dst, src) in values[slice_of(recv_idx)].iter_mut().zip(incoming) {
-            *dst = op(*dst, src);
+    span(rank, CollId::RingAllreduce, |rank| {
+        let mut values = values;
+        let p = rank.size();
+        if p == 1 {
+            return values;
         }
-    }
-    // After p-1 rounds, rank me owns the fully reduced chunk (me + 1) % p.
-    // Phase 2: allgather the reduced chunks around the ring.
-    for k in 0..p - 1 {
-        let send_idx = (me + 1 + p - k) % p;
-        let recv_idx = (me + p - k) % p;
-        rank.send(
-            next,
-            TAG_RING_AG + k as u32,
-            values[slice_of(send_idx)].to_vec(),
-        );
-        let incoming = rank.recv(prev, TAG_RING_AG + k as u32);
-        values[slice_of(recv_idx)].copy_from_slice(&incoming);
-    }
-    values
+        let n = values.len();
+        assert!(n.is_multiple_of(p), "vector length must be divisible by p");
+        let chunk = n / p;
+        let me = rank.id();
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        let slice_of = |i: usize| (i * chunk)..((i + 1) * chunk);
+
+        // Phase 1: reduce-scatter. In round k, send the chunk that started at
+        // (me - k) and receive/accumulate the chunk started at (me - k - 1).
+        for k in 0..p - 1 {
+            let send_idx = (me + p - k) % p;
+            let recv_idx = (me + p - k - 1) % p;
+            rank.send(
+                next,
+                TAG_RING_RS + k as u32,
+                values[slice_of(send_idx)].to_vec(),
+            );
+            let incoming = rank.recv(prev, TAG_RING_RS + k as u32);
+            for (dst, src) in values[slice_of(recv_idx)].iter_mut().zip(incoming) {
+                *dst = op(*dst, src);
+            }
+        }
+        // After p-1 rounds, rank me owns the fully reduced chunk (me + 1) % p.
+        // Phase 2: allgather the reduced chunks around the ring.
+        for k in 0..p - 1 {
+            let send_idx = (me + 1 + p - k) % p;
+            let recv_idx = (me + p - k) % p;
+            rank.send(
+                next,
+                TAG_RING_AG + k as u32,
+                values[slice_of(send_idx)].to_vec(),
+            );
+            let incoming = rank.recv(prev, TAG_RING_AG + k as u32);
+            values[slice_of(recv_idx)].copy_from_slice(&incoming);
+        }
+        values
+    })
 }
 
 /// Linear exclusive scan: rank `i` returns `id ⊕ v₀ ⊕ … ⊕ v_{i−1}`.
@@ -260,41 +357,43 @@ pub fn exclusive_scan<M: Payload + Clone>(
     value: M,
     op: impl Fn(M, M) -> M,
 ) -> M {
-    rank.count("coll.exclusive_scan");
-    let p = rank.size();
-    let prefix = if rank.id() == 0 {
-        identity
-    } else {
-        rank.recv(rank.id() - 1, TAG_SCAN)
-    };
-    if rank.id() + 1 < p {
-        let forward = op(prefix.clone(), value);
-        rank.send(rank.id() + 1, TAG_SCAN, forward);
-    }
-    prefix
+    span(rank, CollId::ExclusiveScan, |rank| {
+        let p = rank.size();
+        let prefix = if rank.id() == 0 {
+            identity
+        } else {
+            rank.recv(rank.id() - 1, TAG_SCAN)
+        };
+        if rank.id() + 1 < p {
+            let forward = op(prefix.clone(), value);
+            rank.send(rank.id() + 1, TAG_SCAN, forward);
+        }
+        prefix
+    })
 }
 
 /// All-to-all personalized exchange: rank `i` sends `values[j]` to rank
 /// `j`; returns the values received, indexed by source. `p(p − 1)`
 /// messages.
 pub fn alltoall<M: Payload>(rank: &mut Rank<M>, values: Vec<M>) -> Vec<M> {
-    rank.count("coll.alltoall");
-    let p = rank.size();
-    assert_eq!(values.len(), p, "need exactly one value per rank");
-    let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
-    for (dst, v) in values.into_iter().enumerate() {
-        if dst == rank.id() {
-            slots[dst] = Some(v);
-        } else {
-            rank.send(dst, TAG_ALLTOALL, v);
+    span(rank, CollId::Alltoall, |rank| {
+        let p = rank.size();
+        assert_eq!(values.len(), p, "need exactly one value per rank");
+        let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == rank.id() {
+                slots[dst] = Some(v);
+            } else {
+                rank.send(dst, TAG_ALLTOALL, v);
+            }
         }
-    }
-    for _ in 0..p - 1 {
-        let (src, v) = rank.recv_any(TAG_ALLTOALL);
-        assert!(slots[src].is_none(), "duplicate alltoall message");
-        slots[src] = Some(v);
-    }
-    slots.into_iter().map(|s| s.expect("complete")).collect()
+        for _ in 0..p - 1 {
+            let (src, v) = rank.recv_any(TAG_ALLTOALL);
+            assert!(slots[src].is_none(), "duplicate alltoall message");
+            slots[src] = Some(v);
+        }
+        slots.into_iter().map(|s| s.expect("complete")).collect()
+    })
 }
 
 #[cfg(test)]
@@ -488,6 +587,97 @@ mod tests {
         assert_eq!(snap.get("coll.broadcast"), 2 * p as u64);
         // The p2p substrate is accounted too.
         assert!(snap.get("mpi.msgs") > 0);
+    }
+
+    #[test]
+    fn collective_marks_bracket_exactly_the_collectives_sends() {
+        use pdc_core::trace::{EventKind, TraceSession};
+        // A lone broadcast in a traced world: on every rank the single
+        // coll_begin/coll_end pair must enclose all of that rank's
+        // point-to-point events, and the enclosed sends must add up to
+        // exactly the p − 1 messages a binomial broadcast issues.
+        let p = 4;
+        let session = TraceSession::new();
+        World::run_traced(p, &session, |r: &mut R<u64>| {
+            broadcast(r, 0, (r.id() == 0).then_some(42))
+        });
+        let events = session.events();
+        let mut total_sends = 0u64;
+        for actor in 0..p as u32 {
+            let mine: Vec<_> = events.iter().filter(|e| e.actor == actor).collect();
+            let begins: Vec<_> = mine
+                .iter()
+                .filter(|e| e.kind == EventKind::CollBegin)
+                .collect();
+            let ends: Vec<_> = mine
+                .iter()
+                .filter(|e| e.kind == EventKind::CollEnd)
+                .collect();
+            assert_eq!(begins.len(), 1, "actor {actor}: one begin");
+            assert_eq!(ends.len(), 1, "actor {actor}: one end");
+            let (begin, end) = (begins[0], ends[0]);
+            assert_eq!(begin.a, CollId::Broadcast.code());
+            assert_eq!(end.a, CollId::Broadcast.code());
+            assert_eq!(begin.b, end.b, "seq numbers match");
+            assert!(begin.ts < end.ts);
+            for e in &mine {
+                if matches!(e.kind, EventKind::Send | EventKind::Recv) {
+                    assert!(
+                        begin.ts < e.ts && e.ts < end.ts,
+                        "actor {actor}: p2p event outside the collective span"
+                    );
+                    if e.kind == EventKind::Send {
+                        total_sends += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(total_sends, (p - 1) as u64, "broadcast sends p − 1 msgs");
+        assert_eq!(session.snapshot().get("mpi.msgs"), (p - 1) as u64);
+    }
+
+    #[test]
+    fn nested_allreduce_spans_and_seq_numbers() {
+        use pdc_core::trace::{EventKind, TraceSession};
+        let p = 4;
+        let session = TraceSession::new();
+        World::run_traced(p, &session, |r: &mut R<u64>| allreduce(r, 1, |a, b| a + b));
+        let events = session.events();
+        for actor in 0..p as u32 {
+            // allreduce = outer span + nested reduce and broadcast spans:
+            // three begin/end pairs per rank, each end matching its begin's
+            // (coll, seq), and distinct seq numbers 1..=3.
+            let mine: Vec<_> = events.iter().filter(|e| e.actor == actor).collect();
+            let begins: Vec<_> = mine
+                .iter()
+                .filter(|e| e.kind == EventKind::CollBegin)
+                .collect();
+            let ends: Vec<_> = mine
+                .iter()
+                .filter(|e| e.kind == EventKind::CollEnd)
+                .collect();
+            assert_eq!(begins.len(), 3, "actor {actor}");
+            assert_eq!(ends.len(), 3, "actor {actor}");
+            let mut seqs: Vec<u64> = begins.iter().map(|e| e.b).collect();
+            seqs.sort_unstable();
+            assert_eq!(seqs, vec![1, 2, 3], "actor {actor}");
+            for b in &begins {
+                let matching: Vec<_> = ends
+                    .iter()
+                    .filter(|e| e.a == b.a && e.b == b.b && e.ts > b.ts)
+                    .collect();
+                assert_eq!(matching.len(), 1, "actor {actor}: unmatched begin");
+            }
+            // The outer allreduce span (seq 1) encloses the other two.
+            let outer_begin = begins.iter().find(|e| e.b == 1).unwrap();
+            let outer_end = ends.iter().find(|e| e.b == 1).unwrap();
+            assert_eq!(outer_begin.a, CollId::Allreduce.code());
+            for e in begins.iter().chain(ends.iter()) {
+                if e.b != 1 {
+                    assert!(outer_begin.ts < e.ts && e.ts < outer_end.ts);
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,4 +33,5 @@ pub mod kv_tcp;
 pub mod mapreduce;
 pub mod world;
 
+pub use coll::CollId;
 pub use world::{Payload, Rank, TrafficStats, World};

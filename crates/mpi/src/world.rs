@@ -116,6 +116,8 @@ pub struct Rank<M: Payload> {
     pending: VecDeque<Envelope<M>>,
     traffic: Arc<Traffic>,
     obs: Option<RankObs>,
+    /// Collectives entered by this rank so far (for begin/end marks).
+    coll_seq: u64,
 }
 
 impl<M: Payload> Rank<M> {
@@ -209,6 +211,28 @@ impl<M: Payload> Rank<M> {
             obs.session.counter(name).inc();
         }
     }
+
+    /// Mark the start of a collective on this rank (`coll` is the
+    /// collective's id code, see `coll::CollId`). Bumps the per-rank
+    /// collective sequence number and, when traced, records a
+    /// `coll_begin` event; every send/recv this rank records before
+    /// the matching [`Self::coll_end`] belongs to that collective.
+    /// Returns the sequence number to pass to `coll_end`.
+    pub fn coll_begin(&mut self, coll: u64) -> u64 {
+        self.coll_seq += 1;
+        if let Some(obs) = &self.obs {
+            obs.thread.record(EventKind::CollBegin, coll, self.coll_seq);
+        }
+        self.coll_seq
+    }
+
+    /// Mark the end of the collective opened with [`Self::coll_begin`];
+    /// `coll` and `seq` must match the begin mark. No-op when untraced.
+    pub fn coll_end(&mut self, coll: u64, seq: u64) {
+        if let Some(obs) = &self.obs {
+            obs.thread.record(EventKind::CollEnd, coll, seq);
+        }
+    }
 }
 
 /// A message-passing world.
@@ -284,6 +308,7 @@ impl World {
                             pending: VecDeque::new(),
                             traffic,
                             obs,
+                            coll_seq: 0,
                         };
                         f(&mut rank)
                     })

@@ -1,6 +1,9 @@
 //! Property-based tests over the pdc-trace observability layer: counter
 //! snapshots taken *while* other threads are incrementing must be
-//! pointwise monotone, and `Snapshot::diff` must never underflow.
+//! pointwise monotone, `Snapshot::diff` must never underflow, and for
+//! every traced model (`gpu.*`, `io.*`, `cache.*`) the registry view
+//! must agree exactly with the model's own private statistics — the
+//! bridge echoes, it never re-derives.
 
 use pdc::core::trace::TraceSession;
 use proptest::prelude::*;
@@ -97,5 +100,120 @@ proptest! {
             Ok(())
         })?;
         prop_assert_eq!(session.snapshot().get("prop.shared"), a + b);
+    }
+
+    /// Random GPU launches on a traced device: the `gpu.*` registry
+    /// counters equal the sum of every launch's own [`KernelStats`],
+    /// and repeated launches keep the counters monotone.
+    #[test]
+    fn traced_gpu_counters_equal_summed_kernel_stats(
+        launches in prop::collection::vec((1usize..4, 1usize..64), 1..5),
+    ) {
+        use pdc::gpu::device::Phase;
+        use pdc::gpu::{Device, ThreadCtx};
+
+        let session = TraceSession::new();
+        let mut dev = Device::new(512);
+        dev.attach_trace(&session);
+        let mut issue = 0u64;
+        let mut ops = 0u64;
+        let mut global = 0u64;
+        let mut shared = 0u64;
+        let mut conflicts = 0u64;
+        let mut prev = session.snapshot();
+        for &(grid, block) in &launches {
+            let phases: Vec<Phase<'_>> = vec![Box::new(move |t: &mut ThreadCtx<'_>| {
+                let v = t.read_global(t.gtid() % 256);
+                t.write_shared(t.tid(), v + 1);
+            })];
+            let stats = dev.launch(grid, block, block, &phases);
+            issue += stats.issue_cycles;
+            ops += stats.executed_ops;
+            global += stats.global_accesses;
+            shared += stats.shared_cycles;
+            conflicts += stats.bank_conflict_cycles;
+            let next = session.snapshot();
+            for key in ["gpu.launches", "gpu.executed_ops", "gpu.global_accesses"] {
+                prop_assert!(next.get(key) >= prev.get(key), "{key} moved backwards");
+            }
+            prev = next;
+        }
+        let snap = session.snapshot();
+        prop_assert_eq!(snap.get("gpu.launches"), launches.len() as u64);
+        prop_assert_eq!(snap.get("gpu.issue_cycles"), issue);
+        prop_assert_eq!(snap.get("gpu.executed_ops"), ops);
+        prop_assert_eq!(snap.get("gpu.global_accesses"), global);
+        prop_assert_eq!(snap.get("gpu.shared_cycles"), shared);
+        prop_assert_eq!(snap.get("gpu.bank_conflict_cycles"), conflicts);
+    }
+
+    /// Random reads/writes through a traced buffer pool: the `io.pool_*`
+    /// registry counters equal the pool's own [`PoolStats`], and the
+    /// pool invariant `accesses == hits + fetches` holds in both views.
+    #[test]
+    fn traced_buffer_pool_mirrors_pool_stats(
+        frames in 2usize..8,
+        ops in prop::collection::vec((0usize..256, any::<bool>()), 1..200),
+    ) {
+        use pdc::extmem::CachedArray;
+
+        let session = TraceSession::new();
+        let mut arr = CachedArray::new((0..256i64).collect(), 16, frames);
+        arr.attach_trace(&session);
+        for &(idx, write) in &ops {
+            if write {
+                arr.set(idx, idx as i64);
+            } else {
+                arr.get(idx);
+            }
+        }
+        arr.flush();
+        let stats = arr.stats();
+        let snap = session.snapshot();
+        prop_assert_eq!(snap.get("io.pool_accesses"), stats.accesses);
+        prop_assert_eq!(snap.get("io.pool_hits"), stats.hits);
+        prop_assert_eq!(snap.get("io.pool_fetches"), stats.fetches);
+        prop_assert_eq!(snap.get("io.pool_writebacks"), stats.writebacks);
+        prop_assert_eq!(snap.get("io.pool_evictions"), stats.evictions);
+        prop_assert_eq!(stats.accesses, stats.hits + stats.fetches);
+    }
+
+    /// Random accesses through a traced cache: every `cache.*` registry
+    /// counter equals the cache's own [`CacheStats`] field, and the 3C
+    /// split `compulsory + refill == misses` holds in both views.
+    #[test]
+    fn traced_cache_mirrors_cache_stats(
+        addrs in prop::collection::vec((0u64..4096, any::<bool>()), 1..300),
+    ) {
+        use pdc::memsim::{Cache, CacheConfig};
+
+        let session = TraceSession::new();
+        let mut cache = Cache::new(CacheConfig::direct_mapped(64, 8));
+        cache.attach_trace(&session);
+        let mut prev = session.snapshot();
+        for (i, &(addr, write)) in addrs.iter().enumerate() {
+            cache.access(addr, write);
+            if i % 50 == 0 {
+                let next = session.snapshot();
+                for key in ["cache.hits", "cache.misses", "cache.evictions"] {
+                    prop_assert!(next.get(key) >= prev.get(key), "{key} moved backwards");
+                }
+                prev = next;
+            }
+        }
+        let stats = cache.stats();
+        let snap = session.snapshot();
+        prop_assert_eq!(snap.get("cache.hits"), stats.hits);
+        prop_assert_eq!(snap.get("cache.misses"), stats.misses);
+        prop_assert_eq!(snap.get("cache.misses_compulsory"), stats.compulsory_misses);
+        prop_assert_eq!(snap.get("cache.misses_refill"), stats.refill_misses());
+        prop_assert_eq!(snap.get("cache.evictions"), stats.evictions);
+        prop_assert_eq!(snap.get("cache.writebacks"), stats.writebacks);
+        prop_assert_eq!(snap.get("cache.write_throughs"), stats.write_throughs);
+        prop_assert_eq!(
+            stats.compulsory_misses + stats.refill_misses(),
+            stats.misses
+        );
+        prop_assert_eq!(stats.hits + stats.misses, addrs.len() as u64);
     }
 }

@@ -4,17 +4,206 @@
 //! groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `sample_size`, and the `criterion_group!`/`criterion_main!` macros —
 //! with a deliberately simple measurement loop: per sample, one timed
-//! invocation of the routine; the report prints min/median/max to
-//! stdout. There is no statistical analysis, HTML report, or CLI-flag
-//! parsing; the point is that `cargo bench` runs offline and the
-//! benches stay executable documentation.
+//! invocation of the routine. The report prints min/median/max to
+//! stdout after discarding IQR outliers (Tukey fences at `1.5·IQR`),
+//! so a stray scheduler hiccup doesn't poison the medians.
+//!
+//! ## Baselines
+//!
+//! Unlike the original stand-in, medians are also collected in a
+//! process-wide table so [`finalize`] (called by `criterion_main!`,
+//! or explicitly from a custom `fn main`) can persist or check them:
+//!
+//! * `--save-baseline <name>` writes each bench's median to
+//!   `<dir>/<name>.baseline`;
+//! * `--baseline <name>` compares against a saved baseline and exits
+//!   non-zero if any bench's median regressed by more than the
+//!   threshold (`--regress-threshold <pct>`, default 25%);
+//! * `<dir>` is `$CRITERION_BASELINE_DIR` when set, else
+//!   `target/criterion-baselines` relative to the bench's working
+//!   directory (the *package* directory under `cargo bench`).
+//!
+//! Unknown flags (e.g. the `--bench` cargo appends) are ignored, as
+//! upstream does. There is still no HTML report; the point is that
+//! `cargo bench` runs offline, stays executable documentation, and can
+//! gate CI on performance regressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Medians recorded by every benchmark run in this process, in run
+/// order, as `(full_id, median_nanos)`. [`finalize`] drains this.
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Drop samples outside the Tukey fences `[q1 − 1.5·IQR, q3 + 1.5·IQR]`.
+/// Needs at least 4 sorted samples to estimate quartiles; below that the
+/// input is returned untrimmed.
+fn iqr_trim(sorted: &[Duration]) -> Vec<Duration> {
+    let n = sorted.len();
+    if n < 4 {
+        return sorted.to_vec();
+    }
+    let q1 = sorted[n / 4];
+    let q3 = sorted[(3 * n) / 4];
+    let fence = (q3 - q1) * 3 / 2;
+    let lo = q1.checked_sub(fence).unwrap_or(Duration::ZERO);
+    let hi = q3 + fence;
+    sorted
+        .iter()
+        .copied()
+        .filter(|d| lo <= *d && *d <= hi)
+        .collect()
+}
+
+/// CLI flags [`finalize`] understands; everything else is ignored.
+#[derive(Debug, Default, PartialEq)]
+struct Cli {
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+    /// Median regression tolerated before compare mode fails, percent.
+    threshold: f64,
+}
+
+fn parse_cli(args: impl Iterator<Item = String>) -> Cli {
+    let mut cli = Cli {
+        threshold: 25.0,
+        ..Cli::default()
+    };
+    let args: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, mut inline) = match args[i].split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (args[i].as_str(), None),
+        };
+        match flag {
+            "--save-baseline" | "--baseline" | "--regress-threshold" => {
+                let value = inline.take().or_else(|| {
+                    i += 1;
+                    args.get(i).cloned()
+                });
+                match flag {
+                    "--save-baseline" => cli.save_baseline = value,
+                    "--baseline" => cli.baseline = value,
+                    _ => {
+                        if let Some(pct) = value.and_then(|v| v.parse::<f64>().ok()) {
+                            cli.threshold = pct;
+                        }
+                    }
+                }
+            }
+            _ => {} // unknown flags (--bench, filters, ...) are ignored
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Resolve the baseline directory: `$CRITERION_BASELINE_DIR` when set,
+/// else `target/criterion-baselines` under the current directory.
+fn baseline_dir() -> std::path::PathBuf {
+    std::env::var_os("CRITERION_BASELINE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/criterion-baselines"))
+}
+
+/// Write `results` to `<dir>/<name>.baseline` as `id\tmedian_ns` lines.
+fn save_baseline(dir: &Path, name: &str, results: &[(String, u128)]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    for (id, med) in results {
+        out.push_str(&format!("{id}\t{med}\n"));
+    }
+    std::fs::write(dir.join(format!("{name}.baseline")), out)
+}
+
+/// Read a baseline file written by [`save_baseline`].
+fn load_baseline(dir: &Path, name: &str) -> std::io::Result<Vec<(String, u128)>> {
+    let text = std::fs::read_to_string(dir.join(format!("{name}.baseline")))?;
+    Ok(text
+        .lines()
+        .filter_map(|l| {
+            let (id, med) = l.rsplit_once('\t')?;
+            Some((id.to_string(), med.parse().ok()?))
+        })
+        .collect())
+}
+
+/// Compare `results` against `baseline`; return one message per bench
+/// whose median regressed by more than `threshold` percent. Benches
+/// missing from either side are skipped (new or removed benches are
+/// not regressions).
+fn find_regressions(
+    results: &[(String, u128)],
+    baseline: &[(String, u128)],
+    threshold: f64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (id, new_med) in results {
+        let Some((_, old_med)) = baseline.iter().find(|(b, _)| b == id) else {
+            continue;
+        };
+        if *old_med == 0 {
+            continue;
+        }
+        let pct = (*new_med as f64 - *old_med as f64) / *old_med as f64 * 100.0;
+        if pct > threshold {
+            bad.push(format!(
+                "{id}: median {new_med}ns vs baseline {old_med}ns (+{pct:.1}%, threshold {threshold}%)"
+            ));
+        }
+    }
+    bad
+}
+
+/// Process baseline flags against the medians recorded so far.
+///
+/// `criterion_main!` calls this after the groups run; benches with a
+/// custom `fn main` must call it themselves (last). With
+/// `--save-baseline <name>` the medians are persisted; with
+/// `--baseline <name>` they are checked and the process **exits
+/// non-zero** if any bench regressed beyond `--regress-threshold`
+/// percent (default 25). Without either flag this is a no-op.
+pub fn finalize() {
+    let cli = parse_cli(std::env::args().skip(1));
+    let results = std::mem::take(&mut *RESULTS.lock().unwrap());
+    let dir = baseline_dir();
+    if let Some(name) = &cli.save_baseline {
+        save_baseline(&dir, name, &results)
+            .unwrap_or_else(|e| panic!("cannot save baseline '{name}' in {dir:?}: {e}"));
+        println!(
+            "criterion: saved baseline '{name}' ({} benches) to {dir:?}",
+            results.len()
+        );
+    }
+    if let Some(name) = &cli.baseline {
+        let baseline = match load_baseline(&dir, name) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("criterion: cannot load baseline '{name}' from {dir:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let bad = find_regressions(&results, &baseline, cli.threshold);
+        if !bad.is_empty() {
+            for line in &bad {
+                eprintln!("criterion: REGRESSION {line}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "criterion: {} benches within {}% of baseline '{name}'",
+            results.len(),
+            cli.threshold
+        );
+    }
+}
 
 /// Identifier for one benchmark within a group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,23 +314,26 @@ impl BenchmarkGroup {
         };
         routine(&mut b);
         b.durations.sort_unstable();
-        let (min, med, max) = if b.durations.is_empty() {
+        let kept = iqr_trim(&b.durations);
+        let outliers = b.durations.len() - kept.len();
+        let (min, med, max) = if kept.is_empty() {
             (Duration::ZERO, Duration::ZERO, Duration::ZERO)
         } else {
-            (
-                b.durations[0],
-                b.durations[b.durations.len() / 2],
-                *b.durations.last().unwrap(),
-            )
+            (kept[0], kept[kept.len() / 2], *kept.last().unwrap())
         };
+        let full_id = format!("{}/{}", self.name, id);
+        RESULTS
+            .lock()
+            .unwrap()
+            .push((full_id.clone(), med.as_nanos()));
         println!(
-            "bench {}/{}: median {:?} (min {:?}, max {:?}, n={})",
-            self.name,
-            id,
+            "bench {}: median {:?} (min {:?}, max {:?}, n={}, {} outliers trimmed)",
+            full_id,
             med,
             min,
             max,
-            b.durations.len()
+            kept.len(),
+            outliers
         );
     }
 
@@ -185,12 +377,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `fn main` running the given groups.
+/// Generate `fn main` running the given groups, then [`finalize`]
+/// (baseline save/compare).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -245,5 +439,77 @@ mod tests {
         }
         criterion_group!(demo, target);
         demo();
+    }
+
+    #[test]
+    fn iqr_trim_drops_extreme_outliers_only() {
+        let ms = Duration::from_millis;
+        // Tight cluster plus one absurd spike.
+        let mut v = vec![ms(10), ms(11), ms(11), ms(12), ms(12), ms(13), ms(500)];
+        v.sort_unstable();
+        let kept = iqr_trim(&v);
+        assert_eq!(kept.len(), 6);
+        assert_eq!(*kept.last().unwrap(), ms(13));
+        // Uniform data: nothing trimmed.
+        let flat = vec![ms(5); 10];
+        assert_eq!(iqr_trim(&flat).len(), 10);
+        // Too few samples to estimate quartiles: untouched.
+        let tiny = vec![ms(1), ms(1000), ms(2000)];
+        assert_eq!(iqr_trim(&tiny).len(), 3);
+    }
+
+    #[test]
+    fn cli_parses_baseline_flags_and_ignores_unknown() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let cli = parse_cli(args(&["--bench", "--save-baseline", "main"]).into_iter());
+        assert_eq!(cli.save_baseline.as_deref(), Some("main"));
+        assert_eq!(cli.baseline, None);
+        assert_eq!(cli.threshold, 25.0);
+
+        let cli = parse_cli(
+            args(&["--baseline=main", "--regress-threshold=5.5", "somefilter"]).into_iter(),
+        );
+        assert_eq!(cli.baseline.as_deref(), Some("main"));
+        assert_eq!(cli.threshold, 5.5);
+        assert_eq!(cli.save_baseline, None);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_regression_detection() {
+        let dir = std::env::temp_dir().join(format!("pdc-criterion-test-{}", std::process::id()));
+        let results = vec![
+            ("g/fast".to_string(), 1_000u128),
+            ("g/slow".to_string(), 2_000u128),
+        ];
+        save_baseline(&dir, "t", &results).unwrap();
+        let loaded = load_baseline(&dir, "t").unwrap();
+        assert_eq!(loaded, results);
+
+        // Within threshold: clean.
+        let now = vec![
+            ("g/fast".to_string(), 1_100u128),
+            ("g/slow".to_string(), 1_900u128),
+        ];
+        assert!(find_regressions(&now, &loaded, 25.0).is_empty());
+        // 2x slower: flagged, and the message names the bench.
+        let now = vec![("g/fast".to_string(), 2_000u128)];
+        let bad = find_regressions(&now, &loaded, 25.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("g/fast"), "{}", bad[0]);
+        // New bench with no baseline entry is not a regression.
+        let now = vec![("g/brand_new".to_string(), 9_999u128)];
+        assert!(find_regressions(&now, &loaded, 25.0).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn benches_record_medians_for_finalize() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("recorded");
+        g.sample_size(3);
+        g.bench_function("probe", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+        let results = RESULTS.lock().unwrap();
+        assert!(results.iter().any(|(id, _)| id == "recorded/probe"));
     }
 }
