@@ -1,0 +1,394 @@
+//! Happens-before data-race detection in the FastTrack style.
+//!
+//! Replays a `pdc-trace/2` event stream, maintaining one vector clock
+//! per actor and deriving happens-before edges from every
+//! synchronisation action the tracer records:
+//!
+//! - `acquire`/`release` on a site (any mode — exclusive locks, shared
+//!   rwlock sides, and pulse-style semaphore/barrier/condvar/oncecell
+//!   signals all transfer the releaser's history to later acquirers);
+//! - `fork`/`join` handles (pool submits, fork-join splits);
+//! - `send`/`recv` message edges, matched FIFO per (source, dest) pair.
+//!
+//! Variable accesses (`read`/`write`) are then checked against the
+//! clocks: a `write` must dominate the previous write epoch *and* all
+//! reads since; a `read` must dominate the previous write epoch. Like
+//! FastTrack, the same-actor total order makes these O(1) epoch
+//! comparisons in the common case, with the full read vector kept only
+//! after genuinely concurrent readers appear.
+
+use crate::report::{Defect, DefectKind};
+use crate::vc::{Epoch, VectorClock};
+use pdc_core::trace::{Event, EventKind};
+use std::collections::{HashMap, VecDeque};
+
+/// Read history for one variable: one epoch while totally ordered,
+/// promoted to a full clock after concurrent readers.
+#[derive(Debug, Clone)]
+enum Reads {
+    None,
+    One(Epoch),
+    Many(VectorClock),
+}
+
+#[derive(Debug)]
+struct VarState {
+    write: Option<Epoch>,
+    reads: Reads,
+    /// Race already reported for this variable (report once per var).
+    reported: bool,
+}
+
+impl VarState {
+    fn new() -> Self {
+        VarState {
+            write: None,
+            reads: Reads::None,
+            reported: false,
+        }
+    }
+}
+
+/// The detector: feed events in logical-timestamp order, collect races.
+pub struct HbDetector {
+    clocks: HashMap<u32, VectorClock>,
+    /// Per-site clock transferred from releasers to acquirers.
+    lock_release: HashMap<u64, VectorClock>,
+    /// Per-handle clock published by fork, adopted by join.
+    fork_history: HashMap<u64, VectorClock>,
+    /// Per (src, dst) FIFO of sender clocks awaiting a matching recv.
+    msgs: HashMap<(u32, u32), VecDeque<VectorClock>>,
+    vars: HashMap<u64, VarState>,
+    races: Vec<Defect>,
+}
+
+impl Default for HbDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HbDetector {
+    /// A fresh detector with no history.
+    pub fn new() -> Self {
+        HbDetector {
+            clocks: HashMap::new(),
+            lock_release: HashMap::new(),
+            fork_history: HashMap::new(),
+            msgs: HashMap::new(),
+            vars: HashMap::new(),
+            races: Vec::new(),
+        }
+    }
+
+    fn clock_mut(&mut self, actor: u32) -> &mut VectorClock {
+        self.clocks.entry(actor).or_insert_with(|| {
+            // Each actor starts at time 1 so its first accesses have a
+            // nonzero epoch distinguishable from "never accessed".
+            let mut vc = VectorClock::new();
+            vc.set(actor, 1);
+            vc
+        })
+    }
+
+    /// Process one event. Events must arrive sorted by logical
+    /// timestamp (the `TraceSession::events()` order).
+    pub fn step(&mut self, e: &Event) {
+        let actor = e.actor;
+        match e.kind {
+            EventKind::Acquire => {
+                if let Some(rel) = self.lock_release.get(&e.a) {
+                    let rel = rel.clone();
+                    self.clock_mut(actor).join(&rel);
+                } else {
+                    self.clock_mut(actor);
+                }
+            }
+            EventKind::Release => {
+                let ct = self.clock_mut(actor).clone();
+                self.lock_release.entry(e.a).or_default().join(&ct);
+                // Advance past the release so later same-site critical
+                // sections by this actor are distinguishable.
+                self.clock_mut(actor).tick(actor);
+            }
+            EventKind::Fork => {
+                let ct = self.clock_mut(actor).clone();
+                self.fork_history.entry(e.a).or_default().join(&ct);
+                self.clock_mut(actor).tick(actor);
+            }
+            EventKind::Join => {
+                if let Some(f) = self.fork_history.get(&e.a) {
+                    let f = f.clone();
+                    self.clock_mut(actor).join(&f);
+                } else {
+                    self.clock_mut(actor);
+                }
+            }
+            EventKind::Send => {
+                let ct = self.clock_mut(actor).clone();
+                self.msgs
+                    .entry((actor, e.a as u32))
+                    .or_default()
+                    .push_back(ct);
+                self.clock_mut(actor).tick(actor);
+            }
+            EventKind::Recv => {
+                if let Some(q) = self.msgs.get_mut(&(e.a as u32, actor)) {
+                    if let Some(snd) = q.pop_front() {
+                        self.clock_mut(actor).join(&snd);
+                    }
+                }
+            }
+            EventKind::Read => self.check_read(actor, e.a),
+            EventKind::Write => self.check_write(actor, e.a),
+            // Counters and phase/coll markers carry no ordering here.
+            _ => {}
+        }
+    }
+
+    fn check_read(&mut self, actor: u32, var: u64) {
+        let ct = self.clock_mut(actor).clone();
+        let epoch = Epoch::of(actor, &ct);
+        let mut defect = None;
+        let vs = self.vars.entry(var).or_insert_with(VarState::new);
+        let racy = matches!(vs.write, Some(w) if w.actor != actor && !w.happens_before(&ct));
+        if racy {
+            if !vs.reported {
+                vs.reported = true;
+                let w = vs.write.expect("racy implies a prior write");
+                defect = Some(race(var, w.actor, actor, "write-read"));
+            }
+        } else {
+            match &mut vs.reads {
+                Reads::None => vs.reads = Reads::One(epoch),
+                Reads::One(prev) => {
+                    if prev.actor == actor || prev.happens_before(&ct) {
+                        // Still totally ordered: the new read supersedes.
+                        vs.reads = Reads::One(epoch);
+                    } else {
+                        // Concurrent readers (fine in itself): keep both.
+                        let mut vc = VectorClock::new();
+                        vc.set(prev.actor, prev.clock);
+                        vc.set(actor, epoch.clock);
+                        vs.reads = Reads::Many(vc);
+                    }
+                }
+                Reads::Many(vc) => vc.set(actor, epoch.clock),
+            }
+        }
+        if let Some(d) = defect {
+            self.races.push(d);
+        }
+    }
+
+    fn check_write(&mut self, actor: u32, var: u64) {
+        let ct = self.clock_mut(actor).clone();
+        let vs = self.vars.entry(var).or_insert_with(VarState::new);
+        let mut racy_with: Option<(u32, &'static str)> = None;
+        if let Some(w) = vs.write {
+            if w.actor != actor && !w.happens_before(&ct) {
+                racy_with = Some((w.actor, "write-write"));
+            }
+        }
+        if racy_with.is_none() {
+            match &vs.reads {
+                Reads::None => {}
+                Reads::One(r) => {
+                    if r.actor != actor && !r.happens_before(&ct) {
+                        racy_with = Some((r.actor, "read-write"));
+                    }
+                }
+                Reads::Many(rv) => {
+                    for (ra, rc) in rv.iter() {
+                        let r = Epoch {
+                            actor: ra,
+                            clock: rc,
+                        };
+                        if ra != actor && !r.happens_before(&ct) {
+                            racy_with = Some((ra, "read-write"));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let mut defect = None;
+        if let Some((other, flavor)) = racy_with {
+            if !vs.reported {
+                vs.reported = true;
+                defect = Some(race(var, other, actor, flavor));
+            }
+        }
+        vs.write = Some(Epoch::of(actor, &ct));
+        vs.reads = Reads::None;
+        if let Some(d) = defect {
+            self.races.push(d);
+        }
+    }
+
+    /// All data races found so far, in detection order.
+    pub fn into_races(self) -> Vec<Defect> {
+        self.races
+    }
+}
+
+fn race(var: u64, first: u32, second: u32, flavor: &str) -> Defect {
+    Defect {
+        kind: DefectKind::DataRace,
+        sites: Vec::new(),
+        var: Some(var),
+        actors: vec![first, second],
+        detail: format!(
+            "{flavor} race on var {var}: actors {first} and {second} access it with no happens-before edge"
+        ),
+    }
+}
+
+/// Run the detector over a full event stream (assumed ts-sorted).
+pub fn detect_races(events: &[Event]) -> Vec<Defect> {
+    let mut d = HbDetector::new();
+    for e in events {
+        d.step(e);
+    }
+    d.into_races()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, actor: u32, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            actor,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    const L: u64 = 100; // a lock site
+    const V: u64 = 7; // a variable
+
+    #[test]
+    fn unsynchronized_write_write_is_a_race() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].var, Some(V));
+        assert_eq!(races[0].actors, vec![0, 1]);
+        assert!(races[0].detail.contains("write-write"));
+    }
+
+    #[test]
+    fn lock_protected_writes_are_ordered() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Acquire, L, 1),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, 1),
+            ev(4, 1, EventKind::Acquire, L, 1),
+            ev(5, 1, EventKind::Write, V, 0),
+            ev(6, 1, EventKind::Release, L, 1),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn different_locks_do_not_order() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Acquire, L, 1),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, 1),
+            ev(4, 1, EventKind::Acquire, L + 1, 1),
+            ev(5, 1, EventKind::Write, V, 0),
+            ev(6, 1, EventKind::Release, L + 1, 1),
+        ]);
+        assert_eq!(races.len(), 1, "distinct locks give no edge");
+    }
+
+    #[test]
+    fn concurrent_reads_are_not_a_race_but_later_write_is() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Read, V, 0),
+            ev(2, 1, EventKind::Read, V, 0),
+            ev(3, 2, EventKind::Read, V, 0),
+        ]);
+        assert!(races.is_empty(), "reads never race with reads");
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Read, V, 0),
+            ev(2, 1, EventKind::Read, V, 0),
+            ev(3, 2, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].detail.contains("read-write"));
+    }
+
+    #[test]
+    fn fork_join_orders_child_against_parent() {
+        const H: u64 = 200;
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Fork, H, 0),
+            ev(3, 1, EventKind::Join, H, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+        // Without the join the same accesses race.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Fork, H, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn message_edges_order_sender_before_receiver() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Send, 1, 8),
+            ev(3, 1, EventKind::Recv, 0, 8),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn fifo_matching_pairs_sends_in_order() {
+        // Two sends, one recv: the recv adopts the FIRST send's history,
+        // so a write after the second send still races.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Send, 1, 8),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Send, 1, 8),
+            ev(4, 1, EventKind::Recv, 0, 8),
+            ev(5, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn pulse_release_acquire_transfers_history() {
+        // Semaphore-style: release by 0, acquire by 1 (mode 2).
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Release, L, 2),
+            ev(3, 1, EventKind::Acquire, L, 2),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn each_variable_reports_at_most_once() {
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 1, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Write, V, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1, "one defect per racy variable");
+    }
+}

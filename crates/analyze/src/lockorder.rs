@@ -1,0 +1,366 @@
+//! Lock-order (Goodlock-style) deadlock prediction.
+//!
+//! Builds the lock-acquisition-order graph: an edge `l1 → l2` is added
+//! whenever some actor acquires `l2` while already holding `l1`. A
+//! cycle in this graph means there exists an interleaving in which each
+//! participant holds one lock of the cycle and waits for the next —
+//! a potential deadlock — *even if the analysed run happened to finish*.
+//! This is strictly stronger than runtime wait-for cycle detection
+//! (`pdc_sync::waitgraph` on a live run), which only fires when the bad
+//! interleaving actually occurs; here we reuse the same cycle search
+//! over the ordering graph instead of the wait-for graph.
+//!
+//! **Gate suppression.** A classic false-positive source: if every edge
+//! of a cycle was only ever created while the actor also held a common
+//! *gate* (e.g. the dining-philosophers arbitrator semaphore, which
+//! admits at most n-1 to the table), the cyclic wait cannot assemble.
+//! Pulse-mode sites (semaphores) count as held while the actor's
+//! acquire/release balance is positive **and** the actor later releases
+//! the site — the latter condition keeps one-way pulses such as a
+//! condvar wakeup or a oncecell read (acquire with no paired release)
+//! from masquerading as gates. Cycles whose edges share a gate are
+//! reported informationally as `gated_cycles`, not defects.
+
+use crate::report::{Defect, DefectKind};
+use pdc_core::trace::{Event, EventKind, SYNC_PULSE};
+use pdc_sync::waitgraph::WaitGraph;
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Default)]
+struct EdgeInfo {
+    /// Intersection of the gate sets over every occurrence of this
+    /// edge. Empty ⇒ at least one occurrence was unprotected.
+    gates: BTreeSet<u64>,
+    /// Whether any occurrence has been folded in yet.
+    seen: bool,
+    /// An actor that exhibited the edge (for the report).
+    example_actor: u32,
+}
+
+/// The analysis: feed ts-sorted events, then call [`LockOrder::cycles`].
+pub struct LockOrder {
+    /// Locks (modes shared/exclusive) currently held, per actor, in
+    /// acquisition order.
+    held: HashMap<u32, Vec<u64>>,
+    /// Pulse-site acquire/release balance, per actor.
+    pulse_balance: HashMap<u32, HashMap<u64, i64>>,
+    /// Per (actor, pulse site): sorted timestamps of that actor's
+    /// `release` events, precomputed so "is a later release coming?"
+    /// is a binary search.
+    pulse_releases: HashMap<(u32, u64), Vec<u64>>,
+    edges: HashMap<(u64, u64), EdgeInfo>,
+}
+
+impl LockOrder {
+    /// Precompute pulse-release timestamps, then replay the stream.
+    pub fn build(events: &[Event]) -> Self {
+        let mut pulse_releases: HashMap<(u32, u64), Vec<u64>> = HashMap::new();
+        for e in events {
+            if e.kind == EventKind::Release && e.b == SYNC_PULSE {
+                pulse_releases.entry((e.actor, e.a)).or_default().push(e.ts);
+            }
+        }
+        for v in pulse_releases.values_mut() {
+            v.sort_unstable();
+        }
+        let mut lo = LockOrder {
+            held: HashMap::new(),
+            pulse_balance: HashMap::new(),
+            pulse_releases,
+            edges: HashMap::new(),
+        };
+        for e in events {
+            lo.step(e);
+        }
+        lo
+    }
+
+    /// The pulse sites gating `actor` at time `ts`: positive balance
+    /// and a release still to come.
+    fn gates_at(&self, actor: u32, ts: u64) -> BTreeSet<u64> {
+        let Some(balances) = self.pulse_balance.get(&actor) else {
+            return BTreeSet::new();
+        };
+        balances
+            .iter()
+            .filter(|&(&site, &bal)| {
+                bal > 0
+                    && self
+                        .pulse_releases
+                        .get(&(actor, site))
+                        .is_some_and(|rels| rels.iter().any(|&r| r > ts))
+            })
+            .map(|(&site, _)| site)
+            .collect()
+    }
+
+    fn step(&mut self, e: &Event) {
+        match e.kind {
+            EventKind::Acquire if e.b == SYNC_PULSE => {
+                *self
+                    .pulse_balance
+                    .entry(e.actor)
+                    .or_default()
+                    .entry(e.a)
+                    .or_insert(0) += 1;
+            }
+            EventKind::Release if e.b == SYNC_PULSE => {
+                *self
+                    .pulse_balance
+                    .entry(e.actor)
+                    .or_default()
+                    .entry(e.a)
+                    .or_insert(0) -= 1;
+            }
+            EventKind::Acquire => {
+                let gates = self.gates_at(e.actor, e.ts);
+                let held = self.held.entry(e.actor).or_default();
+                let nested: Vec<u64> = held.iter().copied().filter(|&l| l != e.a).collect();
+                held.push(e.a);
+                for l1 in nested {
+                    let info = self.edges.entry((l1, e.a)).or_default();
+                    if info.seen {
+                        // A cycle is only gate-suppressed if EVERY
+                        // occurrence of every edge shared the gate.
+                        info.gates = info.gates.intersection(&gates).copied().collect();
+                    } else {
+                        info.gates = gates.clone();
+                        info.seen = true;
+                        info.example_actor = e.actor;
+                    }
+                }
+            }
+            EventKind::Release => {
+                if let Some(held) = self.held.get_mut(&e.actor) {
+                    if let Some(pos) = held.iter().rposition(|&l| l == e.a) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Find cycles over the full ordering graph, then judge each one:
+    /// if every edge of the cycle shares a common gate, the gate lock
+    /// serialises the participants and the deadlock cannot assemble —
+    /// the cycle goes to `gated_cycles` (informational). Any cycle
+    /// with no common gate is a [`DefectKind::LockOrderCycle`] defect.
+    pub fn cycles(&self) -> (Vec<Defect>, Vec<Vec<u64>>) {
+        let (raw, _) = find_all_cycles(self.edges.keys().copied());
+        let mut defects = Vec::new();
+        let mut gated_cycles = Vec::new();
+        for cycle in raw {
+            let mut common: Option<BTreeSet<u64>> = None;
+            let mut actors: BTreeSet<u32> = BTreeSet::new();
+            for i in 0..cycle.len() {
+                let edge = (cycle[i], cycle[(i + 1) % cycle.len()]);
+                if let Some(info) = self.edges.get(&edge) {
+                    actors.insert(info.example_actor);
+                    common = Some(match common {
+                        None => info.gates.clone(),
+                        Some(c) => c.intersection(&info.gates).copied().collect(),
+                    });
+                }
+            }
+            if common.is_some_and(|c| !c.is_empty()) {
+                gated_cycles.push(cycle);
+            } else {
+                defects.push(Defect {
+                    kind: DefectKind::LockOrderCycle,
+                    sites: cycle.clone(),
+                    var: None,
+                    actors: actors.into_iter().collect(),
+                    detail: format!(
+                        "lock-order cycle over sites {cycle:?}: some interleaving of these \
+                         acquisitions deadlocks even though this run completed"
+                    ),
+                });
+            }
+        }
+        (defects, gated_cycles)
+    }
+}
+
+/// Repeatedly find a cycle with [`WaitGraph::find_cycle`], record it,
+/// break it by removing one of its edges, and retry — bounded so a
+/// pathological dense graph cannot loop forever.
+fn find_all_cycles(edges: impl Iterator<Item = (u64, u64)>) -> (Vec<Vec<u64>>, usize) {
+    let mut g = WaitGraph::new();
+    let mut edge_list = Vec::new();
+    for (a, b) in edges {
+        g.add_wait(a, b);
+        edge_list.push((a, b));
+    }
+    let mut cycles = Vec::new();
+    let mut removed = 0;
+    while let Some(cycle) = g.find_cycle() {
+        cycles.push(cycle.clone());
+        // Break the cycle at its first edge and look again.
+        let (a, b) = (cycle[0], cycle[1 % cycle.len()]);
+        g.remove_wait(a, b);
+        removed += 1;
+        if removed >= 8 {
+            break;
+        }
+    }
+    (cycles, removed)
+}
+
+/// Convenience: build and extract in one call.
+pub fn detect_lock_order(events: &[Event]) -> (Vec<Defect>, Vec<Vec<u64>>) {
+    LockOrder::build(events).cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::trace::{SYNC_EXCLUSIVE, SYNC_PULSE};
+
+    fn ev(ts: u64, actor: u32, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            actor,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    fn acq(ts: u64, actor: u32, site: u64) -> Event {
+        ev(ts, actor, EventKind::Acquire, site, SYNC_EXCLUSIVE)
+    }
+    fn rel(ts: u64, actor: u32, site: u64) -> Event {
+        ev(ts, actor, EventKind::Release, site, SYNC_EXCLUSIVE)
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        // Actor 0: A then B. Actor 1: B then A. Classic deadlock recipe,
+        // even though this serialised run completed fine.
+        let events = [
+            acq(1, 0, 10),
+            acq(2, 0, 11),
+            rel(3, 0, 11),
+            rel(4, 0, 10),
+            acq(5, 1, 11),
+            acq(6, 1, 10),
+            rel(7, 1, 10),
+            rel(8, 1, 11),
+        ];
+        let (defects, gated) = detect_lock_order(&events);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        assert_eq!(defects[0].kind, DefectKind::LockOrderCycle);
+        let mut sites = defects[0].sites.clone();
+        sites.sort_unstable();
+        assert_eq!(sites, vec![10, 11]);
+        assert!(gated.is_empty());
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let events = [
+            acq(1, 0, 10),
+            acq(2, 0, 11),
+            rel(3, 0, 11),
+            rel(4, 0, 10),
+            acq(5, 1, 10),
+            acq(6, 1, 11),
+            rel(7, 1, 11),
+            rel(8, 1, 10),
+        ];
+        let (defects, gated) = detect_lock_order(&events);
+        assert!(defects.is_empty(), "{defects:?}");
+        assert!(gated.is_empty());
+    }
+
+    #[test]
+    fn common_gate_suppresses_the_cycle() {
+        // Same inversion, but both actors hold pulse-site 99 (with a
+        // later release) across their nested acquisitions.
+        const GATE: u64 = 99;
+        let events = [
+            ev(0, 0, EventKind::Acquire, GATE, SYNC_PULSE),
+            acq(1, 0, 10),
+            acq(2, 0, 11),
+            rel(3, 0, 11),
+            rel(4, 0, 10),
+            ev(5, 0, EventKind::Release, GATE, SYNC_PULSE),
+            ev(6, 1, EventKind::Acquire, GATE, SYNC_PULSE),
+            acq(7, 1, 11),
+            acq(8, 1, 10),
+            rel(9, 1, 10),
+            rel(10, 1, 11),
+            ev(11, 1, EventKind::Release, GATE, SYNC_PULSE),
+        ];
+        let (defects, gated) = detect_lock_order(&events);
+        assert!(
+            defects.is_empty(),
+            "gated cycle is not a defect: {defects:?}"
+        );
+        assert_eq!(gated.len(), 1, "but it is reported informationally");
+        let mut sites = gated[0].clone();
+        sites.sort_unstable();
+        assert_eq!(sites, vec![10, 11]);
+    }
+
+    #[test]
+    fn unbalanced_pulse_is_not_a_gate() {
+        // A condvar-style acquire with NO later release must not
+        // suppress the cycle.
+        const NOT_GATE: u64 = 98;
+        let events = [
+            ev(0, 0, EventKind::Acquire, NOT_GATE, SYNC_PULSE),
+            acq(1, 0, 10),
+            acq(2, 0, 11),
+            rel(3, 0, 11),
+            rel(4, 0, 10),
+            ev(5, 1, EventKind::Acquire, NOT_GATE, SYNC_PULSE),
+            acq(6, 1, 11),
+            acq(7, 1, 10),
+            rel(8, 1, 10),
+            rel(9, 1, 11),
+        ];
+        let (defects, _) = detect_lock_order(&events);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+    }
+
+    #[test]
+    fn gate_must_be_common_to_both_edges() {
+        // Only actor 0 is gated; actor 1's inverted edge is bare.
+        const GATE: u64 = 99;
+        let events = [
+            ev(0, 0, EventKind::Acquire, GATE, SYNC_PULSE),
+            acq(1, 0, 10),
+            acq(2, 0, 11),
+            rel(3, 0, 11),
+            rel(4, 0, 10),
+            ev(5, 0, EventKind::Release, GATE, SYNC_PULSE),
+            acq(6, 1, 11),
+            acq(7, 1, 10),
+            rel(8, 1, 10),
+            rel(9, 1, 11),
+        ];
+        let (defects, _) = detect_lock_order(&events);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+    }
+
+    #[test]
+    fn three_way_ring_is_detected() {
+        // 0: A<B, 1: B<C, 2: C<A — the philosophers pattern.
+        let mut events = Vec::new();
+        let ring = [(0u32, 10u64, 11u64), (1, 11, 12), (2, 12, 10)];
+        let mut ts = 0;
+        for (actor, first, second) in ring {
+            events.push(acq(ts, actor, first));
+            events.push(acq(ts + 1, actor, second));
+            events.push(rel(ts + 2, actor, second));
+            events.push(rel(ts + 3, actor, first));
+            ts += 4;
+        }
+        let (defects, _) = detect_lock_order(&events);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        assert_eq!(defects[0].sites.len(), 3);
+        assert_eq!(defects[0].actors, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Eraser-style lockset checking — the second, independent verdict on
+//! shared-variable discipline.
+//!
+//! Where the happens-before detector asks "were these two accesses
+//! ordered?", the lockset checker asks the stronger *policy* question:
+//! "is there one lock that protects every access to this variable?".
+//! Each variable moves through the Eraser state machine — virgin →
+//! exclusive (single owner) → shared / shared-modified — and once
+//! shared, its *candidate set* is intersected with the locks the
+//! accessing thread holds. An empty candidate set in shared-modified
+//! state is a violation: no consistent lock discipline exists, even if
+//! this particular schedule never raced.
+//!
+//! Only real lock modes participate ([`SYNC_SHARED`] /
+//! [`SYNC_EXCLUSIVE`]); pulse-style synchronisation (semaphores,
+//! barriers, condvars) establishes ordering, not ownership, and is the
+//! happens-before detector's business.
+
+use crate::report::{Defect, DefectKind};
+use pdc_core::trace::{Event, EventKind, SYNC_PULSE};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone, PartialEq)]
+enum VarPhase {
+    Virgin,
+    /// Single owner so far; the candidate set is already being refined
+    /// from the first access (Eraser initialises C(v) to the locks
+    /// held then), but emptiness is not yet a violation.
+    Exclusive(u32, BTreeSet<u64>),
+    Shared(BTreeSet<u64>),
+    SharedModified(BTreeSet<u64>),
+}
+
+#[derive(Debug)]
+struct VarState {
+    phase: VarPhase,
+    reported: bool,
+}
+
+/// The checker: feed ts-sorted events, then take the violations.
+#[derive(Debug, Default)]
+pub struct Lockset {
+    /// Locks currently held per actor (multiset not needed: the pdc
+    /// primitives are non-reentrant).
+    held: HashMap<u32, BTreeSet<u64>>,
+    vars: HashMap<u64, VarState>,
+    violations: Vec<Defect>,
+}
+
+impl Lockset {
+    /// Fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn held_of(&self, actor: u32) -> BTreeSet<u64> {
+        self.held.get(&actor).cloned().unwrap_or_default()
+    }
+
+    /// Process one event.
+    pub fn step(&mut self, e: &Event) {
+        match e.kind {
+            EventKind::Acquire if e.b != SYNC_PULSE => {
+                self.held.entry(e.actor).or_default().insert(e.a);
+            }
+            EventKind::Release if e.b != SYNC_PULSE => {
+                if let Some(s) = self.held.get_mut(&e.actor) {
+                    s.remove(&e.a);
+                }
+            }
+            EventKind::Read => self.access(e.actor, e.a, false),
+            EventKind::Write => self.access(e.actor, e.a, true),
+            _ => {}
+        }
+    }
+
+    fn access(&mut self, actor: u32, var: u64, is_write: bool) {
+        let held = self.held_of(actor);
+        let vs = self.vars.entry(var).or_insert(VarState {
+            phase: VarPhase::Virgin,
+            reported: false,
+        });
+        let next = match std::mem::replace(&mut vs.phase, VarPhase::Virgin) {
+            VarPhase::Virgin => VarPhase::Exclusive(actor, held.clone()),
+            VarPhase::Exclusive(owner, c) if owner == actor => {
+                VarPhase::Exclusive(owner, c.intersection(&held).copied().collect())
+            }
+            VarPhase::Exclusive(_, c) => {
+                // Second thread arrives: refinement continues from the
+                // first owner's candidates.
+                let c: BTreeSet<u64> = c.intersection(&held).copied().collect();
+                if is_write {
+                    VarPhase::SharedModified(c)
+                } else {
+                    VarPhase::Shared(c)
+                }
+            }
+            VarPhase::Shared(c) => {
+                let c: BTreeSet<u64> = c.intersection(&held).copied().collect();
+                if is_write {
+                    VarPhase::SharedModified(c)
+                } else {
+                    VarPhase::Shared(c)
+                }
+            }
+            VarPhase::SharedModified(c) => {
+                VarPhase::SharedModified(c.intersection(&held).copied().collect())
+            }
+        };
+        let violation = matches!(&next, VarPhase::SharedModified(c) if c.is_empty());
+        vs.phase = next;
+        if violation && !vs.reported {
+            vs.reported = true;
+            self.violations.push(Defect {
+                kind: DefectKind::LocksetViolation,
+                sites: held.iter().copied().collect(),
+                var: Some(var),
+                actors: vec![actor],
+                detail: format!(
+                    "var {var} is written by multiple threads with no common lock \
+                     (candidate lockset became empty at actor {actor})"
+                ),
+            });
+        }
+    }
+
+    /// All violations found, in detection order.
+    pub fn into_violations(self) -> Vec<Defect> {
+        self.violations
+    }
+}
+
+/// Run the checker over a full event stream (assumed ts-sorted).
+pub fn detect_lockset_violations(events: &[Event]) -> Vec<Defect> {
+    let mut l = Lockset::new();
+    for e in events {
+        l.step(e);
+    }
+    l.into_violations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::trace::{SYNC_EXCLUSIVE, SYNC_SHARED};
+
+    fn ev(ts: u64, actor: u32, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            actor,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    const L: u64 = 100;
+    const V: u64 = 7;
+
+    #[test]
+    fn single_owner_never_violates() {
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Read, V, 0),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unlocked_multi_writer_violates_once() {
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 1, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].var, Some(V));
+        assert_eq!(v[0].kind, DefectKind::LocksetViolation);
+    }
+
+    #[test]
+    fn consistent_lock_keeps_candidates() {
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_EXCLUSIVE),
+            ev(4, 1, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(5, 1, EventKind::Write, V, 0),
+            ev(6, 1, EventKind::Release, L, SYNC_EXCLUSIVE),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn inconsistent_locks_violate() {
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_EXCLUSIVE),
+            ev(4, 1, EventKind::Acquire, L + 1, SYNC_EXCLUSIVE),
+            ev(5, 1, EventKind::Write, V, 0),
+            ev(6, 1, EventKind::Release, L + 1, SYNC_EXCLUSIVE),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn read_shared_data_behind_rwlock_is_clean() {
+        // Two readers under the shared side, writer under exclusive:
+        // the rwlock site is in every access's held set.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_EXCLUSIVE),
+            ev(4, 1, EventKind::Acquire, L, SYNC_SHARED),
+            ev(5, 1, EventKind::Read, V, 0),
+            ev(6, 1, EventKind::Release, L, SYNC_SHARED),
+            ev(7, 2, EventKind::Acquire, L, SYNC_SHARED),
+            ev(8, 2, EventKind::Read, V, 0),
+            ev(9, 2, EventKind::Release, L, SYNC_SHARED),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn read_only_sharing_never_violates() {
+        // Initialise then read everywhere — Shared, never SharedModified.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 1, EventKind::Read, V, 0),
+            ev(3, 2, EventKind::Read, V, 0),
+            ev(4, 3, EventKind::Read, V, 0),
+        ]);
+        assert!(
+            v.is_empty(),
+            "read-only sharing after init is the Eraser exemption"
+        );
+    }
+
+    #[test]
+    fn pulse_sites_do_not_count_as_protection() {
+        use pdc_core::trace::SYNC_PULSE;
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Acquire, L, SYNC_PULSE),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_PULSE),
+            ev(4, 1, EventKind::Acquire, L, SYNC_PULSE),
+            ev(5, 1, EventKind::Write, V, 0),
+            ev(6, 1, EventKind::Release, L, SYNC_PULSE),
+        ]);
+        assert_eq!(v.len(), 1, "semaphores are not ownership: {v:?}");
+    }
+}

@@ -1,0 +1,232 @@
+//! MPI trace linting: message matching and collective-order checks.
+//!
+//! Works over the `send`/`recv` and `coll_begin`/`coll_end` events
+//! ranks record. Three classic MPI bugs are flagged:
+//!
+//! - **Unmatched sends/recvs** — per directed `(src, dst)` pair, the
+//!   number of sends must equal the number of receives. A surplus on
+//!   either side is a leak (lost message) or a hang-in-waiting
+//!   (receive that can never complete).
+//! - **Collective order mismatch** — every rank must enter the same
+//!   collectives in the same order; rank 0's sequence (of collective
+//!   id codes) is the reference. Divergence is the canonical
+//!   "rank 3 called `reduce` while everyone else called `barrier`"
+//!   deadlock.
+//! - **Unmatched collective begin/end** — a `coll_begin` with no
+//!   matching `coll_end` (or vice versa) means a rank never finished
+//!   (or never started) a collective.
+
+use crate::report::{Defect, DefectKind};
+use pdc_core::trace::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Lint the MPI-relevant slice of an event stream (assumed ts-sorted).
+pub fn lint_mpi(events: &[Event]) -> Vec<Defect> {
+    let mut defects = Vec::new();
+
+    // Message matching, per directed pair. BTreeMap for deterministic
+    // report order.
+    let mut sends: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut recvs: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Send => *sends.entry((e.actor, e.a as u32)).or_insert(0) += 1,
+            EventKind::Recv => *recvs.entry((e.a as u32, e.actor)).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    let pairs: std::collections::BTreeSet<(u32, u32)> =
+        sends.keys().chain(recvs.keys()).copied().collect();
+    for (src, dst) in pairs {
+        let s = sends.get(&(src, dst)).copied().unwrap_or(0);
+        let r = recvs.get(&(src, dst)).copied().unwrap_or(0);
+        if s > r {
+            defects.push(Defect {
+                kind: DefectKind::MpiUnmatchedSend,
+                sites: Vec::new(),
+                var: None,
+                actors: vec![src, dst],
+                detail: format!(
+                    "{} message(s) from rank {src} to rank {dst} were never received \
+                     ({s} sent, {r} received)",
+                    s - r
+                ),
+            });
+        } else if r > s {
+            defects.push(Defect {
+                kind: DefectKind::MpiUnmatchedRecv,
+                sites: Vec::new(),
+                var: None,
+                actors: vec![src, dst],
+                detail: format!(
+                    "rank {dst} received {} more message(s) from rank {src} than were sent \
+                     ({s} sent, {r} received)",
+                    r - s
+                ),
+            });
+        }
+    }
+
+    // Collective sequences: per actor, the ordered list of coll ids
+    // entered, plus begin/end balance.
+    let mut seqs: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut balance: BTreeMap<u32, i64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::CollBegin => {
+                seqs.entry(e.actor).or_default().push(e.a);
+                *balance.entry(e.actor).or_insert(0) += 1;
+            }
+            EventKind::CollEnd => {
+                *balance.entry(e.actor).or_insert(0) -= 1;
+            }
+            _ => {}
+        }
+    }
+    for (&actor, &bal) in &balance {
+        if bal != 0 {
+            defects.push(Defect {
+                kind: DefectKind::MpiUnmatchedCollective,
+                sites: Vec::new(),
+                var: None,
+                actors: vec![actor],
+                detail: if bal > 0 {
+                    format!("rank {actor} entered {bal} collective(s) it never left")
+                } else {
+                    format!("rank {actor} left {} collective(s) it never entered", -bal)
+                },
+            });
+        }
+    }
+    if let Some((&ref_actor, ref_seq)) = seqs.iter().next() {
+        let ref_seq = ref_seq.clone();
+        for (&actor, seq) in seqs.iter().skip(1) {
+            if *seq != ref_seq {
+                let at = seq
+                    .iter()
+                    .zip(ref_seq.iter())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| seq.len().min(ref_seq.len()));
+                defects.push(Defect {
+                    kind: DefectKind::MpiCollectiveOrder,
+                    sites: Vec::new(),
+                    var: None,
+                    actors: vec![ref_actor, actor],
+                    detail: format!(
+                        "rank {actor} entered collectives in a different order than \
+                         rank {ref_actor} (first divergence at collective #{at}; \
+                         {} vs {} collectives total)",
+                        seq.len(),
+                        ref_seq.len()
+                    ),
+                });
+            }
+        }
+    }
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, actor: u32, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            actor,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn matched_traffic_is_clean() {
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::Send, 1, 8),
+            ev(2, 1, EventKind::Recv, 0, 8),
+            ev(3, 1, EventKind::Send, 0, 8),
+            ev(4, 0, EventKind::Recv, 1, 8),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn surplus_send_is_flagged_with_direction() {
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::Send, 1, 8),
+            ev(2, 0, EventKind::Send, 1, 8),
+            ev(3, 1, EventKind::Recv, 0, 8),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DefectKind::MpiUnmatchedSend);
+        assert_eq!(d[0].actors, vec![0, 1]);
+        assert!(
+            d[0].detail.contains("2 sent, 1 received"),
+            "{}",
+            d[0].detail
+        );
+    }
+
+    #[test]
+    fn surplus_recv_is_flagged() {
+        let d = lint_mpi(&[ev(1, 1, EventKind::Recv, 0, 8)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DefectKind::MpiUnmatchedRecv);
+    }
+
+    #[test]
+    fn reversed_direction_does_not_match() {
+        // 0→1 send and 1→0 recv are different channels: both flagged.
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::Send, 1, 8),
+            ev(2, 0, EventKind::Recv, 1, 8),
+        ]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn same_collective_order_is_clean() {
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::CollBegin, 3, 0),
+            ev(2, 1, EventKind::CollBegin, 3, 0),
+            ev(3, 0, EventKind::CollEnd, 3, 0),
+            ev(4, 1, EventKind::CollEnd, 3, 0),
+            ev(5, 0, EventKind::CollBegin, 5, 1),
+            ev(6, 1, EventKind::CollBegin, 5, 1),
+            ev(7, 0, EventKind::CollEnd, 5, 1),
+            ev(8, 1, EventKind::CollEnd, 5, 1),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn divergent_collective_order_is_flagged() {
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::CollBegin, 3, 0),
+            ev(2, 0, EventKind::CollEnd, 3, 0),
+            ev(3, 0, EventKind::CollBegin, 5, 1),
+            ev(4, 0, EventKind::CollEnd, 5, 1),
+            // Rank 1 swaps the two collectives.
+            ev(5, 1, EventKind::CollBegin, 5, 0),
+            ev(6, 1, EventKind::CollEnd, 5, 0),
+            ev(7, 1, EventKind::CollBegin, 3, 1),
+            ev(8, 1, EventKind::CollEnd, 3, 1),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].kind, DefectKind::MpiCollectiveOrder);
+        assert!(d[0].detail.contains("divergence at collective #0"));
+    }
+
+    #[test]
+    fn unmatched_collective_begin_is_flagged() {
+        let d = lint_mpi(&[
+            ev(1, 0, EventKind::CollBegin, 3, 0),
+            ev(2, 0, EventKind::CollEnd, 3, 0),
+            ev(3, 0, EventKind::CollBegin, 5, 1),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].kind, DefectKind::MpiUnmatchedCollective);
+        assert!(d[0].detail.contains("never left"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Machine-checkable analysis reports (`pdc-analyze/1`).
+//!
+//! Every checker in this crate funnels its verdicts into a [`Report`]:
+//! a flat list of [`Defect`]s plus informational gated cycles, rendered
+//! as one JSON object so CI can grep for specific defect kinds the same
+//! way it greps `pdc-trace/2` snapshots.
+
+use pdc_core::report::json_escape;
+
+/// The kinds of concurrency defect the analyzers can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// Two conflicting accesses to the same variable with no
+    /// happens-before edge between them (vector-clock detector).
+    DataRace,
+    /// A variable reached shared-modified state with an empty candidate
+    /// lockset (Eraser-style detector) — no single lock protects it.
+    LocksetViolation,
+    /// The lock-order graph contains a cycle: some interleaving of the
+    /// observed acquisitions can deadlock, even if this run finished.
+    LockOrderCycle,
+    /// A point-to-point message was sent but never received.
+    MpiUnmatchedSend,
+    /// A receive was posted for which no matching send exists.
+    MpiUnmatchedRecv,
+    /// Two ranks entered collectives in different orders.
+    MpiCollectiveOrder,
+    /// A collective was entered but never exited (or exited without a
+    /// matching entry).
+    MpiUnmatchedCollective,
+}
+
+impl DefectKind {
+    /// Stable snake_case name used in JSON output and CI greps.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectKind::DataRace => "data_race",
+            DefectKind::LocksetViolation => "lockset_violation",
+            DefectKind::LockOrderCycle => "lock_order_cycle",
+            DefectKind::MpiUnmatchedSend => "mpi_unmatched_send",
+            DefectKind::MpiUnmatchedRecv => "mpi_unmatched_recv",
+            DefectKind::MpiCollectiveOrder => "mpi_collective_order",
+            DefectKind::MpiUnmatchedCollective => "mpi_unmatched_collective",
+        }
+    }
+}
+
+/// One reported defect, with enough identity (sites, variable, actors)
+/// for a test or CI grep to pin it to a specific code location.
+#[derive(Debug, Clone)]
+pub struct Defect {
+    /// What class of defect this is.
+    pub kind: DefectKind,
+    /// Synchronisation sites involved (lock-order cycles list the cycle
+    /// in order; races list the sites held at the second access).
+    pub sites: Vec<u64>,
+    /// The shared variable involved, when the defect concerns one.
+    pub var: Option<u64>,
+    /// Trace actors involved (threads, ranks, philosophers).
+    pub actors: Vec<u32>,
+    /// Human-readable one-line explanation.
+    pub detail: String,
+}
+
+impl Defect {
+    /// Render as one `pdc-analyze/1` JSON object.
+    pub fn to_json(&self) -> String {
+        let sites: Vec<String> = self.sites.iter().map(|s| s.to_string()).collect();
+        let actors: Vec<String> = self.actors.iter().map(|a| a.to_string()).collect();
+        let var = match self.var {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"kind\":\"{}\",\"sites\":[{}],\"var\":{},\"actors\":[{}],\"detail\":\"{}\"}}",
+            self.kind.name(),
+            sites.join(","),
+            var,
+            actors.join(","),
+            json_escape(&self.detail),
+        )
+    }
+}
+
+/// The result of analysing one traced execution.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All defects found, ordered race → lockset → lock-order → MPI.
+    pub defects: Vec<Defect>,
+    /// Lock-order cycles whose every edge was protected by a common
+    /// gate lock (e.g. an arbitrator semaphore): informational, not
+    /// defects, because the gate prevents the interleaving.
+    pub gated_cycles: Vec<Vec<u64>>,
+    /// How many trace events were analysed.
+    pub events_analyzed: usize,
+    /// Events the bounded trace buffers dropped before analysis — a
+    /// nonzero value means verdicts may be incomplete.
+    pub dropped: u64,
+}
+
+impl Report {
+    /// True when no defects were found (gated cycles do not count).
+    pub fn clean(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// Number of defects of the given kind.
+    pub fn count_kind(&self, kind: DefectKind) -> usize {
+        self.defects.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// Render the whole report as one `pdc-analyze/1` JSON object.
+    pub fn to_json(&self) -> String {
+        let defects: Vec<String> = self.defects.iter().map(|d| d.to_json()).collect();
+        let gated: Vec<String> = self
+            .gated_cycles
+            .iter()
+            .map(|c| {
+                let sites: Vec<String> = c.iter().map(|s| s.to_string()).collect();
+                format!("[{}]", sites.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"pdc-analyze/1\",\"summary\":{{\"events\":{},\"dropped\":{},\"defects\":{},\"gated_cycles\":{}}},\"clean\":{},\"defects\":[{}],\"gated_cycles\":[{}]}}",
+            self.events_analyzed,
+            self.dropped,
+            self.defects.len(),
+            self.gated_cycles.len(),
+            self.clean(),
+            defects.join(","),
+            gated.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        // CI greps for these exact strings; changing one is a schema bump.
+        let all = [
+            (DefectKind::DataRace, "data_race"),
+            (DefectKind::LocksetViolation, "lockset_violation"),
+            (DefectKind::LockOrderCycle, "lock_order_cycle"),
+            (DefectKind::MpiUnmatchedSend, "mpi_unmatched_send"),
+            (DefectKind::MpiUnmatchedRecv, "mpi_unmatched_recv"),
+            (DefectKind::MpiCollectiveOrder, "mpi_collective_order"),
+            (
+                DefectKind::MpiUnmatchedCollective,
+                "mpi_unmatched_collective",
+            ),
+        ];
+        for (kind, name) in all {
+            assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let r = Report {
+            events_analyzed: 7,
+            ..Report::default()
+        };
+        assert!(r.clean());
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema\":\"pdc-analyze/1\""));
+        assert!(j.contains("\"clean\":true"));
+        assert!(j.contains("\"events\":7"));
+        assert!(j.contains("\"defects\":[]"));
+    }
+
+    #[test]
+    fn defect_json_round_trips_fields() {
+        let d = Defect {
+            kind: DefectKind::DataRace,
+            sites: vec![3, 4],
+            var: Some(9),
+            actors: vec![0, 1],
+            detail: "write/write on \"x\"".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\"kind\":\"data_race\""));
+        assert!(j.contains("\"sites\":[3,4]"));
+        assert!(j.contains("\"var\":9"));
+        assert!(j.contains("\"actors\":[0,1]"));
+        assert!(j.contains("\\\"x\\\""), "detail is escaped: {j}");
+        let none = Defect { var: None, ..d };
+        assert!(none.to_json().contains("\"var\":null"));
+    }
+
+    #[test]
+    fn report_counts_and_gated_cycles() {
+        let mut r = Report::default();
+        r.defects.push(Defect {
+            kind: DefectKind::LockOrderCycle,
+            sites: vec![1, 2],
+            var: None,
+            actors: vec![],
+            detail: String::new(),
+        });
+        r.gated_cycles.push(vec![5, 6, 7]);
+        assert!(!r.clean());
+        assert_eq!(r.count_kind(DefectKind::LockOrderCycle), 1);
+        assert_eq!(r.count_kind(DefectKind::DataRace), 0);
+        assert!(r.to_json().contains("\"gated_cycles\":[[5,6,7]]"));
+    }
+}

@@ -7,6 +7,12 @@
 //! experiments --trace [path]  # run a cross-subsystem traced workload
 //!                             # and dump the pdc-trace/2 JSON snapshot
 //!                             # (default path: target/pdc-trace/experiments.trace.json)
+//! experiments --analyze       # run a data-race-free cross-subsystem workload
+//!                             # plus the known-defect fixtures through
+//!                             # pdc-analyze, write both pdc-analyze/1 reports
+//!                             # (experiments.analyze.json and
+//!                             # experiments.fixtures.analyze.json), and exit
+//!                             # non-zero unless every verdict matches
 //! ```
 //!
 //! Every printed table is also captured as JSON: `--trace` embeds its
@@ -14,10 +20,11 @@
 //! `--exp` modes write `target/pdc-trace/experiments.tables.json` with
 //! one entry per experiment (see EXPERIMENTS.md for the format).
 
+use pdc_analyze::{fixtures, DefectKind, Report};
 use pdc_bench::registry;
 use pdc_core::machine::{MachineConfig, SimMachine};
 use pdc_core::report::{capture_tables, write_text_file, Table};
-use pdc_core::trace::TraceSession;
+use pdc_core::trace::{self, TraceSession};
 use pdc_extmem::{multiply_into, OocMatrix};
 use pdc_gpu::device::Phase;
 use pdc_gpu::{Device, ThreadCtx};
@@ -157,6 +164,270 @@ fn run_traced_workload(path: &std::path::Path) {
     println!("{json}");
 }
 
+/// A deliberately data-race-free workload spanning every instrumented
+/// subsystem: a work-stealing pool incrementing a mutex-protected
+/// counter, a fork-join diamond, the BSP machine with its critical
+/// section, MPI collectives, rwlock readers/writer, a oncecell
+/// publication, a sense barrier, a bounded-buffer pipeline, and both
+/// deadlock-free philosopher strategies. `pdc-analyze` must find
+/// nothing here — this is the false-positive gate.
+fn drf_workload_session() -> TraceSession {
+    use pdc_sync::{BoundedBuffer, OnceCell, PdcMutex, PdcRwLock, SenseBarrier};
+    let session = TraceSession::new();
+
+    // Pool + mutex-protected shared counter: every access inside the
+    // guard, recorded under each worker's own trace actor.
+    let counter = std::sync::Arc::new(PdcMutex::new(0u64));
+    let var_counter = trace::next_site_id();
+    let pool = pdc_threads::WorkStealingPool::with_trace(4, session.clone());
+    for _ in 0..64 {
+        let counter = std::sync::Arc::clone(&counter);
+        pool.spawn(move || {
+            let mut g = counter.lock();
+            trace::record_var_read(var_counter);
+            let v = *g;
+            trace::record_var_write(var_counter);
+            *g = v + 1;
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(*counter.lock(), 64);
+
+    // Fork-join diamond: parent initialises, child reads after the
+    // fork edge, parent resumes after the join edge.
+    trace::install_sync_trace(session.thread(0));
+    let var_join = trace::next_site_id();
+    trace::record_var_write(var_join);
+    let (a, b) = pdc_threads::join(
+        || 21u64,
+        || {
+            trace::record_var_read(var_join);
+            21u64
+        },
+    );
+    std::hint::black_box(a + b);
+
+    // BSP machine supersteps plus its modeled critical section.
+    let mut machine = SimMachine::with_trace(MachineConfig::with_cores(4), &session);
+    machine.parallel_even(1_000, 4);
+    machine.barrier(4);
+    machine.critical_each(4, 8);
+    trace::clear_sync_trace();
+
+    // MPI: matched collectives across 4 ranks.
+    let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
+        let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
+        pdc_mpi::coll::barrier::<u64>(rank);
+        sum
+    });
+
+    // RwLock readers/writer, a oncecell publication, and a barrier-
+    // published value, all on real threads with their own actors.
+    let rw = PdcRwLock::new(0u64);
+    let var_rw = trace::next_site_id();
+    let cell: OnceCell<u64> = OnceCell::new();
+    let var_cell = trace::next_site_id();
+    let bar = SenseBarrier::new(3);
+    let var_bar = trace::next_site_id();
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            let session = &session;
+            let (rw, cell, bar) = (&rw, &cell, &bar);
+            s.spawn(move || {
+                trace::install_sync_trace(session.thread(30 + t));
+                for _ in 0..8 {
+                    if t == 0 {
+                        let mut g = rw.write();
+                        trace::record_var_write(var_rw);
+                        *g += 1;
+                    } else {
+                        let g = rw.read();
+                        trace::record_var_read(var_rw);
+                        std::hint::black_box(*g);
+                    }
+                }
+                let v = cell.get_or_init(|| {
+                    trace::record_var_write(var_cell);
+                    7u64
+                });
+                trace::record_var_read(var_cell);
+                std::hint::black_box(*v);
+                if t == 0 {
+                    trace::record_var_write(var_bar);
+                }
+                bar.wait();
+                trace::record_var_read(var_bar);
+                trace::clear_sync_trace();
+            });
+        }
+    });
+
+    // Bounded-buffer pipeline: pulse edges only, item ownership moves
+    // with the item.
+    let buf: BoundedBuffer<u64> = BoundedBuffer::new(4);
+    std::thread::scope(|s| {
+        let (buf_p, buf_c) = (&buf, &buf);
+        let session = &session;
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(40));
+            for i in 0..16u64 {
+                buf_p.put(i);
+            }
+            trace::clear_sync_trace();
+        });
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(41));
+            let mut sum = 0u64;
+            for _ in 0..16 {
+                sum += buf_c.take();
+            }
+            std::hint::black_box(sum);
+            trace::clear_sync_trace();
+        });
+    });
+
+    // Deadlock-free philosophers: global ordering, then the arbitrator
+    // (whose raw ring must come back gate-suppressed, not as a defect).
+    use pdc_sync::problems::{lucky_sequential_schedule, simulate_traced, Strategy};
+    let schedule = lucky_sequential_schedule(5, 1);
+    simulate_traced(Strategy::Ordered, 5, 1, &schedule, 10_000, &session);
+    simulate_traced(Strategy::Arbitrator, 5, 1, &schedule, 10_000, &session);
+
+    session
+}
+
+/// `--analyze`: the self-gating soundness check. The DRF workload must
+/// analyze clean, the known-defect fixtures must each be flagged for
+/// the right reason, and the known-good fixtures must be clean. Any
+/// mismatch exits non-zero, which is what CI's analyze-gate step
+/// relies on.
+fn run_analyze() {
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |name: &str, report: &Report, ok: bool, expect: &str| {
+        if !ok {
+            failures.push(format!(
+                "{name}: expected {expect}, got {} defect(s): {:?}",
+                report.defects.len(),
+                report
+                    .defects
+                    .iter()
+                    .map(|d| d.kind.name())
+                    .collect::<Vec<_>>()
+            ));
+        }
+    };
+
+    let session = drf_workload_session();
+    let workload = pdc_analyze::analyze(&session);
+    check(
+        "drf_workload",
+        &workload,
+        workload.clean() && workload.dropped == 0,
+        "a clean report with no dropped events",
+    );
+
+    let racy = pdc_analyze::analyze(&fixtures::racy_counter_session());
+    check(
+        "racy_counter",
+        &racy,
+        racy.count_kind(DefectKind::DataRace) >= 1
+            && racy.count_kind(DefectKind::LocksetViolation) >= 1,
+        "both a data_race and a lockset_violation",
+    );
+    let fixed = pdc_analyze::analyze(&fixtures::fixed_counter_session());
+    check("fixed_counter", &fixed, fixed.clean(), "a clean report");
+    let (dl_session, _) = fixtures::deadlocky_philosophers_session(5);
+    let deadlocky = pdc_analyze::analyze(&dl_session);
+    check(
+        "deadlocky_philosophers",
+        &deadlocky,
+        deadlocky.count_kind(DefectKind::LockOrderCycle) >= 1,
+        "a predicted lock_order_cycle",
+    );
+    let (ord_session, _) = fixtures::ordered_philosophers_session(5);
+    let ordered = pdc_analyze::analyze(&ord_session);
+    check(
+        "ordered_philosophers",
+        &ordered,
+        ordered.clean(),
+        "a clean report",
+    );
+    let (arb_session, _) = fixtures::arbitrator_philosophers_session(5);
+    let arbitrator = pdc_analyze::analyze(&arb_session);
+    check(
+        "arbitrator_philosophers",
+        &arbitrator,
+        arbitrator.clean() && arbitrator.gated_cycles.len() == 1,
+        "a clean report with the ring gate-suppressed",
+    );
+    let mpi = pdc_analyze::analyze(&fixtures::mpi_mismatch_session());
+    check(
+        "mpi_mismatch",
+        &mpi,
+        mpi.count_kind(DefectKind::MpiUnmatchedSend) >= 1
+            && mpi.count_kind(DefectKind::MpiCollectiveOrder) >= 1
+            && mpi.count_kind(DefectKind::MpiUnmatchedCollective) >= 1,
+        "all three MPI lint kinds",
+    );
+
+    let named: Vec<(&str, &Report, &str)> = vec![
+        ("drf_workload", &workload, "clean"),
+        ("racy_counter", &racy, "race + lockset"),
+        ("fixed_counter", &fixed, "clean"),
+        ("deadlocky_philosophers", &deadlocky, "lock-order cycle"),
+        ("ordered_philosophers", &ordered, "clean"),
+        ("arbitrator_philosophers", &arbitrator, "clean (gated ring)"),
+        ("mpi_mismatch", &mpi, "3 MPI lints"),
+    ];
+    let mut t = Table::new(
+        "pdc-analyze self-test (experiments --analyze)",
+        &["workload", "events", "defects", "gated", "expected"],
+    );
+    for (name, r, expect) in &named {
+        t.row(&[
+            name.to_string(),
+            r.events_analyzed.to_string(),
+            r.defects.len().to_string(),
+            r.gated_cycles.len().to_string(),
+            expect.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    write_text_file(
+        std::path::Path::new("target/pdc-trace/experiments.analyze.json"),
+        &workload.to_json(),
+    )
+    .expect("write analyze report");
+    let mut fx = String::from("{\"schema\":\"pdc-analyze/1\",\"mode\":\"fixtures\",\"fixtures\":[");
+    for (i, (name, r, _)) in named.iter().skip(1).enumerate() {
+        if i > 0 {
+            fx.push(',');
+        }
+        fx.push_str(&format!(
+            "{{\"name\":\"{name}\",\"report\":{}}}",
+            r.to_json()
+        ));
+    }
+    fx.push_str("]}");
+    write_text_file(
+        std::path::Path::new("target/pdc-trace/experiments.fixtures.analyze.json"),
+        &fx,
+    )
+    .expect("write fixtures report");
+    println!("analyze reports written to target/pdc-trace/experiments.analyze.json");
+    println!("               and to target/pdc-trace/experiments.fixtures.analyze.json");
+
+    if failures.is_empty() {
+        println!("analyze gate: all {} verdicts match", named.len());
+    } else {
+        for f in &failures {
+            eprintln!("analyze gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Write the captured per-experiment tables as one JSON document next
 /// to the trace snapshot (same directory, fixed name).
 fn write_tables_json(entries: &[(&str, Vec<String>)]) {
@@ -190,6 +461,7 @@ fn main() {
             let path = rest.first().unwrap_or(&default);
             run_traced_workload(std::path::Path::new(path));
         }
+        [flag] if flag == "--analyze" => run_analyze(),
         [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
             Some(e) => {
                 let (out, tables) = capture_tables(e.run);
@@ -213,7 +485,7 @@ fn main() {
             write_tables_json(&entries);
         }
         _ => {
-            eprintln!("usage: experiments [--list | --exp <id> | --trace [path]]");
+            eprintln!("usage: experiments [--list | --exp <id> | --trace [path] | --analyze]");
             std::process::exit(2);
         }
     }

@@ -27,7 +27,7 @@
 //! simulated and measured runs in one JSON document.
 
 use crate::metrics::Counter;
-use crate::trace::{EventKind, ThreadTrace, TraceSession};
+use crate::trace::{self, EventKind, ThreadTrace, TraceSession};
 
 /// How barrier cost scales with the participant count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +159,8 @@ struct MachineObs {
     phases: Counter,
     barriers: Counter,
     lock_entries: Counter,
+    /// Analysis site id for the machine's modeled critical section.
+    lock_site: u64,
 }
 
 /// The simulated machine: owns a [`MachineConfig`] and executes phases.
@@ -196,6 +198,7 @@ impl SimMachine {
                 phases: session.counter("machine.phases"),
                 barriers: session.counter("machine.barriers"),
                 lock_entries: session.counter("machine.lock_entries"),
+                lock_site: trace::next_site_id(),
             }),
         }
     }
@@ -307,7 +310,14 @@ impl SimMachine {
         self.trace.busy[0] += t;
         if let Some(obs) = &self.obs {
             obs.lock_entries.add(workers as u64);
+            // Bracket the modeled critical section with acquire/release
+            // on a stable site so `pdc-analyze` sees the machine's lock
+            // discipline alongside real pdc-sync primitives.
+            obs.thread
+                .record(EventKind::Acquire, obs.lock_site, trace::SYNC_EXCLUSIVE);
             obs.thread.record(EventKind::Lock, seq, workers as u64);
+            obs.thread
+                .record(EventKind::Release, obs.lock_site, trace::SYNC_EXCLUSIVE);
         }
     }
 

@@ -30,11 +30,86 @@
 
 use crate::metrics::{Counter, Registry, Snapshot};
 use crate::report::json_escape;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default per-thread event capacity.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// `mode` payload of [`EventKind::Acquire`]/[`EventKind::Release`]:
+/// shared (reader-side) ownership of a site, e.g. an rwlock read guard.
+pub const SYNC_SHARED: u64 = 0;
+/// `mode` payload: exclusive ownership of a site (mutex, spin, ticket,
+/// rwlock write guard). Only exclusive/shared acquisitions feed the
+/// lockset and lock-order analyses.
+pub const SYNC_EXCLUSIVE: u64 = 1;
+/// `mode` payload: a synchronisation *pulse* — a semaphore permit,
+/// barrier episode, condvar signal, bounded-buffer hand-off, or
+/// once-cell publication. Pulses carry happens-before edges but are not
+/// held locks; the lock-order analysis treats a pulse currently "held"
+/// (acquired and not yet released) as a *gate* that can serialise
+/// otherwise-cyclic acquisition orders.
+pub const SYNC_PULSE: u64 = 2;
+
+/// Site id meaning "never trace this primitive" (internal
+/// implementation locks, e.g. a mutex's waiter-queue spinlock).
+pub const SITE_UNTRACED: u64 = u64::MAX;
+
+static NEXT_SITE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-wide synchronisation site id (or fork/join
+/// handle). Ids are never reused and never 0 or [`SITE_UNTRACED`].
+pub fn next_site_id() -> u64 {
+    NEXT_SITE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A lazily-allocated per-primitive site id.
+///
+/// `const`-constructible so `const fn new` primitives (spin, ticket,
+/// rwlock, once-cell) can embed one; the id is drawn from
+/// [`next_site_id`] on first use. [`SiteId::disabled`] yields a
+/// permanently untraced site for internal locks whose events would only
+/// pollute the analysis.
+#[derive(Debug)]
+pub struct SiteId(AtomicU64);
+
+impl SiteId {
+    /// An unallocated site; the id is assigned on first [`SiteId::get`].
+    pub const fn new() -> Self {
+        SiteId(AtomicU64::new(0))
+    }
+
+    /// A site that never records (always `None`).
+    pub const fn disabled() -> Self {
+        SiteId(AtomicU64::new(SITE_UNTRACED))
+    }
+
+    /// The site id, allocating one on first call. `None` if disabled.
+    pub fn get(&self) -> Option<u64> {
+        match self.0.load(Ordering::Relaxed) {
+            SITE_UNTRACED => None,
+            0 => {
+                let id = next_site_id();
+                // First caller wins; losers adopt the winner's id.
+                match self
+                    .0
+                    .compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => Some(id),
+                    Err(cur) => Some(cur),
+                }
+            }
+            id => Some(id),
+        }
+    }
+}
+
+impl Default for SiteId {
+    fn default() -> Self {
+        SiteId::new()
+    }
+}
 
 /// What happened. The two payload fields of [`Event`] are named per
 /// kind; see [`EventKind::field_names`].
@@ -73,6 +148,30 @@ pub enum EventKind {
     CollBegin,
     /// A rank left a collective (`coll`, `seq` match the begin mark).
     CollEnd,
+    /// A synchronisation site was acquired (`site` = stable per-primitive
+    /// id from [`next_site_id`], `mode` = [`SYNC_SHARED`],
+    /// [`SYNC_EXCLUSIVE`] or [`SYNC_PULSE`]). Recorded *after* the
+    /// acquisition succeeds, so in logical-timestamp order an acquire
+    /// never precedes the release that enabled it.
+    Acquire,
+    /// A synchronisation site was released (`site`, `mode` as for
+    /// `Acquire`). Recorded *before* the releasing store, for the same
+    /// ordering guarantee.
+    Release,
+    /// A shared variable was read (`var` = caller-chosen variable id,
+    /// `aux` caller-defined).
+    Read,
+    /// A shared variable was written (`var`, `aux` as for `Read`).
+    Write,
+    /// The recording thread published its causal history under a fresh
+    /// handle (`handle` = id from [`next_site_id`], `task`
+    /// caller-defined) — e.g. a pool submit or the parent side of a
+    /// fork-join split.
+    Fork,
+    /// The recording thread adopted the causal history published under
+    /// `handle` (`task` caller-defined) — e.g. a worker starting a
+    /// submitted task, or the parent joining a finished child.
+    Join,
 }
 
 impl EventKind {
@@ -90,6 +189,12 @@ impl EventKind {
             EventKind::Kernel => "kernel",
             EventKind::CollBegin => "coll_begin",
             EventKind::CollEnd => "coll_end",
+            EventKind::Acquire => "acquire",
+            EventKind::Release => "release",
+            EventKind::Read => "read",
+            EventKind::Write => "write",
+            EventKind::Fork => "fork",
+            EventKind::Join => "join",
         }
     }
 
@@ -107,6 +212,12 @@ impl EventKind {
             EventKind::Kernel => ("launch", "cycles"),
             EventKind::CollBegin => ("coll", "seq"),
             EventKind::CollEnd => ("coll", "seq"),
+            EventKind::Acquire => ("site", "mode"),
+            EventKind::Release => ("site", "mode"),
+            EventKind::Read => ("var", "aux"),
+            EventKind::Write => ("var", "aux"),
+            EventKind::Fork => ("handle", "task"),
+            EventKind::Join => ("handle", "task"),
         }
     }
 }
@@ -156,7 +267,29 @@ struct RecorderInner {
     capacity: usize,
     dropped: AtomicU64,
     threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    auto_actor: AtomicU32,
 }
+
+impl RecorderInner {
+    fn register(self: &Arc<Self>, actor: u32) -> ThreadTrace {
+        let buf = Arc::new(ThreadBuf {
+            actor,
+            events: Mutex::new(Vec::new()),
+        });
+        self.threads
+            .lock()
+            .expect("trace recorder poisoned")
+            .push(buf.clone());
+        ThreadTrace {
+            buf,
+            inner: self.clone(),
+        }
+    }
+}
+
+/// First actor id handed out by [`ThreadTrace::sibling_auto`]; explicit
+/// actors (worker indices, ranks, simulated cores) live far below this.
+pub const AUTO_ACTOR_BASE: u32 = 1 << 20;
 
 /// Bounded multi-producer event recorder.
 ///
@@ -184,25 +317,14 @@ impl TraceRecorder {
                 capacity: capacity_per_thread,
                 dropped: AtomicU64::new(0),
                 threads: Mutex::new(Vec::new()),
+                auto_actor: AtomicU32::new(AUTO_ACTOR_BASE),
             }),
         }
     }
 
     /// Register a producing thread (or simulated core, or rank).
     pub fn thread(&self, actor: u32) -> ThreadTrace {
-        let buf = Arc::new(ThreadBuf {
-            actor,
-            events: Mutex::new(Vec::new()),
-        });
-        self.inner
-            .threads
-            .lock()
-            .expect("trace recorder poisoned")
-            .push(buf.clone());
-        ThreadTrace {
-            buf,
-            inner: self.inner.clone(),
-        }
+        self.inner.register(actor)
     }
 
     /// Current logical time (next timestamp to be issued).
@@ -264,6 +386,95 @@ impl ThreadTrace {
     pub fn actor(&self) -> u32 {
         self.buf.actor
     }
+
+    /// A new handle into the same recorder under a fresh automatically
+    /// allocated actor id (from [`AUTO_ACTOR_BASE`] upward) — for
+    /// short-lived threads (e.g. the child of a fork-join split) that
+    /// have no natural worker/rank index.
+    pub fn sibling_auto(&self) -> ThreadTrace {
+        let actor = self.inner.auto_actor.fetch_add(1, Ordering::Relaxed);
+        self.inner.register(actor)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local sync trace: lets pdc-sync primitives record acquire/
+// release events with the correct actor without threading a handle
+// through every guard signature. Runtimes that own threads (pool
+// workers, MPI rank threads, fixtures) install a handle; everything is
+// a no-op when none is installed.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static SYNC_TRACE: RefCell<Option<ThreadTrace>> = const { RefCell::new(None) };
+}
+
+// Fast global gate: stays `false` until the first install anywhere in
+// the process, so untraced programs pay one relaxed load per lock op
+// instead of a thread-local lookup.
+static SYNC_TRACING_EVER: AtomicBool = AtomicBool::new(false);
+
+/// Install `trace` as this thread's sync trace, returning the previous
+/// one (reinstall it to nest scopes).
+pub fn install_sync_trace(trace: ThreadTrace) -> Option<ThreadTrace> {
+    SYNC_TRACING_EVER.store(true, Ordering::Release);
+    SYNC_TRACE.with(|c| c.borrow_mut().replace(trace))
+}
+
+/// Remove and return this thread's sync trace, if any.
+pub fn clear_sync_trace() -> Option<ThreadTrace> {
+    if !SYNC_TRACING_EVER.load(Ordering::Acquire) {
+        return None;
+    }
+    SYNC_TRACE.with(|c| c.borrow_mut().take())
+}
+
+/// A clone of this thread's installed sync trace, if any.
+pub fn current_sync_trace() -> Option<ThreadTrace> {
+    if !SYNC_TRACING_EVER.load(Ordering::Acquire) {
+        return None;
+    }
+    SYNC_TRACE.with(|c| c.borrow().clone())
+}
+
+/// Record `kind(a, b)` against this thread's installed sync trace.
+/// Returns whether an event was recorded.
+pub fn record_sync(kind: EventKind, a: u64, b: u64) -> bool {
+    if !SYNC_TRACING_EVER.load(Ordering::Acquire) {
+        return false;
+    }
+    SYNC_TRACE.with(|c| match &*c.borrow() {
+        Some(t) => {
+            t.record(kind, a, b);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Record an [`EventKind::Acquire`]/[`EventKind::Release`] against
+/// `site`, allocating the site id only if a trace is installed.
+pub fn record_sync_site(kind: EventKind, site: &SiteId, mode: u64) {
+    if !SYNC_TRACING_EVER.load(Ordering::Acquire) {
+        return;
+    }
+    SYNC_TRACE.with(|c| {
+        if let Some(t) = &*c.borrow() {
+            if let Some(id) = site.get() {
+                t.record(kind, id, mode);
+            }
+        }
+    });
+}
+
+/// Record a shared-variable read of `var` (see [`EventKind::Read`]).
+pub fn record_var_read(var: u64) {
+    record_sync(EventKind::Read, var, 0);
+}
+
+/// Record a shared-variable write of `var` (see [`EventKind::Write`]).
+pub fn record_var_write(var: u64) {
+    record_sync(EventKind::Write, var, 0);
 }
 
 /// A shared registry + recorder pair: one trace for one experiment.
@@ -500,5 +711,85 @@ mod tests {
         assert_eq!(EventKind::Send.as_str(), "send");
         assert_eq!(EventKind::Send.field_names(), ("peer", "bytes"));
         assert_eq!(EventKind::Phase.field_names(), ("index", "tasks"));
+    }
+
+    #[test]
+    fn analysis_event_kinds_are_stable() {
+        assert_eq!(EventKind::Acquire.as_str(), "acquire");
+        assert_eq!(EventKind::Release.as_str(), "release");
+        assert_eq!(EventKind::Read.as_str(), "read");
+        assert_eq!(EventKind::Write.as_str(), "write");
+        assert_eq!(EventKind::Fork.as_str(), "fork");
+        assert_eq!(EventKind::Join.as_str(), "join");
+        assert_eq!(EventKind::Acquire.field_names(), ("site", "mode"));
+        assert_eq!(EventKind::Release.field_names(), ("site", "mode"));
+        assert_eq!(EventKind::Read.field_names(), ("var", "aux"));
+        assert_eq!(EventKind::Write.field_names(), ("var", "aux"));
+        assert_eq!(EventKind::Fork.field_names(), ("handle", "task"));
+        assert_eq!(EventKind::Join.field_names(), ("handle", "task"));
+        let e = Event {
+            ts: 3,
+            actor: 1,
+            kind: EventKind::Acquire,
+            a: 9,
+            b: SYNC_EXCLUSIVE,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ts\":3,\"actor\":1,\"kind\":\"acquire\",\"site\":9,\"mode\":1}"
+        );
+    }
+
+    #[test]
+    fn site_ids_are_lazy_unique_and_stable() {
+        let a = SiteId::new();
+        let b = SiteId::new();
+        let ia = a.get().unwrap();
+        assert_eq!(a.get(), Some(ia), "site id is stable across calls");
+        let ib = b.get().unwrap();
+        assert_ne!(ia, ib, "distinct sites get distinct ids");
+        assert_ne!(ia, 0);
+        assert_ne!(ia, SITE_UNTRACED);
+        assert_eq!(SiteId::disabled().get(), None);
+    }
+
+    #[test]
+    fn sync_trace_install_record_clear() {
+        let rec = TraceRecorder::new(64);
+        assert!(!record_sync(EventKind::Mark, 0, 0), "no trace installed");
+        let prev = install_sync_trace(rec.thread(7));
+        assert!(prev.is_none());
+        assert!(record_sync(EventKind::Fork, 11, 0));
+        let site = SiteId::new();
+        record_sync_site(EventKind::Acquire, &site, SYNC_EXCLUSIVE);
+        record_sync_site(EventKind::Release, &site, SYNC_EXCLUSIVE);
+        record_var_write(42);
+        let cleared = clear_sync_trace();
+        assert!(cleared.is_some());
+        assert!(!record_sync(EventKind::Mark, 0, 0), "cleared");
+        let evs = rec.events();
+        assert_eq!(evs.len(), 4);
+        assert!(evs.iter().all(|e| e.actor == 7));
+        assert_eq!(evs[1].kind, EventKind::Acquire);
+        assert_eq!(evs[1].a, site.get().unwrap());
+        assert_eq!(evs[3].kind, EventKind::Write);
+        assert_eq!(evs[3].a, 42);
+        // Disabled sites never record.
+        install_sync_trace(rec.thread(7));
+        record_sync_site(EventKind::Acquire, &SiteId::disabled(), SYNC_EXCLUSIVE);
+        clear_sync_trace();
+        assert_eq!(rec.events().len(), 4);
+    }
+
+    #[test]
+    fn sibling_auto_allocates_fresh_actor_ids() {
+        let rec = TraceRecorder::new(16);
+        let t = rec.thread(0);
+        let c1 = t.sibling_auto();
+        let c2 = c1.sibling_auto();
+        assert_eq!(c1.actor(), AUTO_ACTOR_BASE);
+        assert_eq!(c2.actor(), AUTO_ACTOR_BASE + 1);
+        c1.record(EventKind::Join, 1, 0);
+        assert_eq!(rec.events()[0].actor, AUTO_ACTOR_BASE);
     }
 }

@@ -12,7 +12,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pdc_core::metrics::Counter;
-use pdc_core::trace::{EventKind, ThreadTrace, TraceSession};
+use pdc_core::trace::{self, EventKind, ThreadTrace, TraceSession};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -300,6 +300,12 @@ impl World {
                     });
                     let f = &f;
                     s.spawn(move || {
+                        // In a traced world the rank thread also records
+                        // pdc-sync acquire/release events under its rank
+                        // id, so `pdc-analyze` sees rank-local locking.
+                        if let Some(o) = &obs {
+                            trace::install_sync_trace(o.thread.clone());
+                        }
                         let mut rank = Rank {
                             id,
                             size: p,
@@ -310,7 +316,9 @@ impl World {
                             obs,
                             coll_seq: 0,
                         };
-                        f(&mut rank)
+                        let out = f(&mut rank);
+                        trace::clear_sync_trace();
+                        out
                     })
                 })
                 .collect();

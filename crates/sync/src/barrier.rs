@@ -6,6 +6,7 @@
 //! thread can lap a slow one); the *sense-reversing* barrier fixes this
 //! by flipping a phase flag each episode, which is the version built here.
 
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A reusable sense-reversing barrier for a fixed set of threads.
@@ -14,6 +15,8 @@ pub struct SenseBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
     episodes: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
 }
 
 /// What a thread learns from [`SenseBarrier::wait`].
@@ -38,6 +41,7 @@ impl SenseBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             episodes: AtomicU64::new(0),
+            site: SiteId::new(),
         }
     }
 
@@ -53,6 +57,11 @@ impl SenseBarrier {
 
     /// Block until all `parties` threads have called `wait` this episode.
     pub fn wait(&self) -> BarrierOutcome {
+        // Entering the barrier publishes this thread's history (a sync
+        // pulse released before the arrival increment); leaving adopts
+        // everyone's (a pulse acquired after the sense flip is seen), so
+        // the analyzer sees the all-to-all happens-before edge.
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         // My sense for this episode is the flag value at entry.
         let my_sense = self.sense.load(Ordering::Relaxed);
         let arrival = self.count.fetch_add(1, Ordering::AcqRel);
@@ -64,6 +73,7 @@ impl SenseBarrier {
             // happens-before every read after it (parties synchronized
             // via their Acquire loads of `sense`).
             self.sense.store(!my_sense, Ordering::Release);
+            trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             BarrierOutcome {
                 is_leader: true,
                 episode,
@@ -77,6 +87,7 @@ impl SenseBarrier {
                     std::thread::yield_now();
                 }
             }
+            trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             BarrierOutcome {
                 is_leader: false,
                 episode: self.episodes.load(Ordering::Relaxed) - 1,

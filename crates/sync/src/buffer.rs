@@ -8,6 +8,7 @@
 
 use crate::semaphore::Semaphore;
 use crate::spin::SpinLock;
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::collections::VecDeque;
 
 /// A fixed-capacity blocking FIFO queue (multi-producer, multi-consumer).
@@ -16,6 +17,9 @@ pub struct BoundedBuffer<T> {
     slots: Semaphore,
     items: Semaphore,
     capacity: usize,
+    /// Stable analysis site id for the buffer as a whole (its `queue`
+    /// lock and the two semaphores each have their own).
+    site: SiteId,
 }
 
 impl<T> BoundedBuffer<T> {
@@ -30,6 +34,7 @@ impl<T> BoundedBuffer<T> {
             slots: Semaphore::new(capacity as i64),
             items: Semaphore::new(0),
             capacity,
+            site: SiteId::new(),
         }
     }
 
@@ -52,6 +57,9 @@ impl<T> BoundedBuffer<T> {
     pub fn put(&self, value: T) {
         self.slots.acquire();
         self.queue.lock().push_back(value);
+        // A hand-off pulse on the buffer itself, recorded before the
+        // items permit that lets a consumer observe the element.
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.items.release();
     }
 
@@ -61,6 +69,7 @@ impl<T> BoundedBuffer<T> {
             return Err(value);
         }
         self.queue.lock().push_back(value);
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.items.release();
         Ok(())
     }
@@ -68,6 +77,7 @@ impl<T> BoundedBuffer<T> {
     /// Remove, blocking while the buffer is empty.
     pub fn take(&self) -> T {
         self.items.acquire();
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
         let v = self
             .queue
             .lock()
@@ -82,6 +92,7 @@ impl<T> BoundedBuffer<T> {
         if !self.items.try_acquire() {
             return None;
         }
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
         let v = self
             .queue
             .lock()

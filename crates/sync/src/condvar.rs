@@ -14,6 +14,7 @@
 
 use crate::mutex::{MutexGuard, PdcMutex};
 use crate::spin::SpinLock;
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::Thread;
@@ -22,14 +23,18 @@ use std::thread::Thread;
 pub struct PdcCondvar {
     waiters: SpinLock<VecDeque<Thread>>,
     notifications: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
 }
 
 impl PdcCondvar {
     /// A new condition variable.
     pub fn new() -> Self {
         PdcCondvar {
-            waiters: SpinLock::new(VecDeque::new()),
+            // Implementation-internal lock: keep it out of traces.
+            waiters: SpinLock::untraced(VecDeque::new()),
             notifications: AtomicU64::new(0),
+            site: SiteId::new(),
         }
     }
 
@@ -42,7 +47,12 @@ impl PdcCondvar {
         self.waiters.lock().push_back(std::thread::current());
         drop(guard); // release the mutex
         std::thread::park();
-        mutex.lock()
+        let guard = mutex.lock();
+        // A wakeup adopts the notifier's history: a sync-pulse acquire
+        // recorded after the mutex is re-held, so its timestamp follows
+        // the notify's release pulse.
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
+        guard
     }
 
     /// Wait until `pred` holds (the loop callers should always write).
@@ -59,6 +69,8 @@ impl PdcCondvar {
 
     /// Wake one waiter (if any).
     pub fn notify_one(&self) {
+        // Publish the notifier's history before any waiter can wake.
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.notifications.fetch_add(1, Ordering::Relaxed);
         let w = self.waiters.lock().pop_front();
         if let Some(t) = w {
@@ -68,6 +80,7 @@ impl PdcCondvar {
 
     /// Wake every current waiter.
     pub fn notify_all(&self) {
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.notifications.fetch_add(1, Ordering::Relaxed);
         let all: Vec<Thread> = self.waiters.lock().drain(..).collect();
         for t in all {

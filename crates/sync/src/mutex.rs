@@ -8,6 +8,7 @@
 //! ahead of parked waiters — the throughput-friendly policy).
 
 use crate::spin::SpinLock;
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
@@ -19,6 +20,8 @@ pub struct PdcMutex<T> {
     locked: AtomicBool,
     waiters: SpinLock<VecDeque<Thread>>,
     parks: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
     value: UnsafeCell<T>,
 }
 
@@ -49,10 +52,18 @@ impl<T> PdcMutex<T> {
     pub fn new(value: T) -> Self {
         PdcMutex {
             locked: AtomicBool::new(false),
-            waiters: SpinLock::new(VecDeque::new()),
+            // The waiter queue's lock is implementation detail, not a
+            // user-visible synchronisation site: keep it out of traces.
+            waiters: SpinLock::untraced(VecDeque::new()),
             parks: AtomicU64::new(0),
+            site: SiteId::new(),
             value: UnsafeCell::new(value),
         }
+    }
+
+    fn acquired(&self) -> MutexGuard<'_, T> {
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
+        MutexGuard { lock: self }
     }
 
     fn try_acquire(&self) -> bool {
@@ -66,7 +77,7 @@ impl<T> PdcMutex<T> {
         // Fast path + bounded spin.
         for _ in 0..SPIN_LIMIT {
             if self.try_acquire() {
-                return MutexGuard { lock: self };
+                return self.acquired();
             }
             std::hint::spin_loop();
         }
@@ -79,19 +90,19 @@ impl<T> PdcMutex<T> {
             // an eventual spurious unpark lands on a thread whose parks
             // are all in retry loops.
             if self.try_acquire() {
-                return MutexGuard { lock: self };
+                return self.acquired();
             }
             self.parks.fetch_add(1, Ordering::Relaxed);
             std::thread::park();
             if self.try_acquire() {
-                return MutexGuard { lock: self };
+                return self.acquired();
             }
         }
     }
 
     /// Try to acquire without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.try_acquire().then_some(MutexGuard { lock: self })
+        self.try_acquire().then(|| self.acquired())
     }
 
     /// Number of times any thread parked on this mutex (contention metric
@@ -123,6 +134,10 @@ impl<T> DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        // The trace event precedes the releasing store so that in
+        // logical-timestamp order no acquire can observe this release
+        // before it was recorded.
+        trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         // Release the lock first (Release pairs with acquirers' Acquire),
         // then wake one waiter, if any. Waking after releasing guarantees
         // the woken thread can succeed immediately.

@@ -4,6 +4,7 @@
 //! Locks* ch. 2: many threads race to initialize; exactly one runs the
 //! initializer, the rest wait and then share the result.
 
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -15,6 +16,8 @@ const READY: u8 = 2;
 /// A cell initialized at most once, usable from many threads.
 pub struct OnceCell<T> {
     state: AtomicU8,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
@@ -32,6 +35,7 @@ impl<T> OnceCell<T> {
     pub const fn new() -> Self {
         OnceCell {
             state: AtomicU8::new(EMPTY),
+            site: SiteId::new(),
             value: UnsafeCell::new(MaybeUninit::uninit()),
         }
     }
@@ -39,6 +43,8 @@ impl<T> OnceCell<T> {
     /// Get the value if initialized.
     pub fn get(&self) -> Option<&T> {
         if self.state.load(Ordering::Acquire) == READY {
+            // Observing READY adopts the initializer's history.
+            trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             // SAFETY: READY (Acquire) implies the write of `value`
             // happened-before this read, and the value is never written
             // again.
@@ -67,6 +73,9 @@ impl<T> OnceCell<T> {
                 // SAFETY: we hold the unique RUNNING token; no other
                 // thread reads until READY nor writes ever.
                 unsafe { (*self.value.get()).write(v) };
+                // Trace event first, then the publishing store, so the
+                // pulse's timestamp precedes any reader's acquire.
+                trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
                 // Release publishes the value to Acquire readers.
                 self.state.store(READY, Ordering::Release);
             }
@@ -81,6 +90,7 @@ impl<T> OnceCell<T> {
                     }
                     s = self.state.load(Ordering::Acquire);
                 }
+                trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             }
         }
         // SAFETY: state is READY here in both branches.
@@ -97,6 +107,7 @@ impl<T> OnceCell<T> {
         {
             // SAFETY: unique RUNNING token, as in get_or_init.
             unsafe { (*self.value.get()).write(value) };
+            trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
             self.state.store(READY, Ordering::Release);
             Ok(())
         } else {

@@ -17,6 +17,7 @@
 use crate::semaphore::Semaphore;
 use crate::spin::SpinLock;
 use crate::waitgraph::WaitGraph;
+use pdc_core::trace::{self, EventKind, TraceSession};
 use std::sync::Arc;
 
 /// Fork-acquisition strategy.
@@ -77,7 +78,59 @@ pub fn simulate(
     schedule: &[usize],
     max_steps: u64,
 ) -> SimOutcome {
+    simulate_inner(strategy, n, meals, schedule, max_steps, None).outcome
+}
+
+/// A [`simulate_traced`] run plus the analysis identities it recorded
+/// under, so tests can assert which sites form a reported cycle.
+#[derive(Debug)]
+pub struct TracedSim {
+    /// The simulation outcome (identical to an untraced [`simulate`]).
+    pub outcome: SimOutcome,
+    /// Trace site id of each fork, indexed by fork number.
+    pub fork_sites: Vec<u64>,
+    /// Trace site id of the arbitrator's room semaphore (recorded as a
+    /// sync pulse; only used by [`Strategy::Arbitrator`]).
+    pub room_site: u64,
+}
+
+/// [`simulate`], additionally recording every fork acquisition/release
+/// (and room admission, for the arbitrator) as `acquire`/`release`
+/// events in `session` — one trace actor per philosopher. This is how
+/// the deterministic philosophers feed `pdc-analyze`: a *successful*
+/// naive run still exhibits the cyclic fork-acquisition order that
+/// predicts the deadlock an unlucky schedule would hit.
+pub fn simulate_traced(
+    strategy: Strategy,
+    n: usize,
+    meals: u32,
+    schedule: &[usize],
+    max_steps: u64,
+    session: &TraceSession,
+) -> TracedSim {
+    simulate_inner(strategy, n, meals, schedule, max_steps, Some(session))
+}
+
+struct SimTrace {
+    phils: Vec<trace::ThreadTrace>,
+    fork_sites: Vec<u64>,
+    room_site: u64,
+}
+
+fn simulate_inner(
+    strategy: Strategy,
+    n: usize,
+    meals: u32,
+    schedule: &[usize],
+    max_steps: u64,
+    session: Option<&TraceSession>,
+) -> TracedSim {
     assert!(n >= 2, "need at least two philosophers");
+    let tracer = session.map(|s| SimTrace {
+        phils: (0..n).map(|i| s.thread(i as u32)).collect(),
+        fork_sites: (0..n).map(|_| trace::next_site_id()).collect(),
+        room_site: trace::next_site_id(),
+    });
     let mut forks: Vec<Option<usize>> = vec![None; n]; // holder
     let mut room_used = 0usize; // arbitrator admissions
     let room_cap = n - 1;
@@ -105,14 +158,23 @@ pub fn simulate(
     let mut steps = 0u64;
     let mut sched_iter = schedule.iter().copied().chain((0..).map(|k| k % n));
 
+    let finish = |deadlocked, cycle, meals: Vec<u32>, steps, tracer: Option<SimTrace>| TracedSim {
+        outcome: SimOutcome {
+            deadlocked,
+            cycle,
+            meals,
+            steps,
+        },
+        fork_sites: tracer
+            .as_ref()
+            .map(|t| t.fork_sites.clone())
+            .unwrap_or_default(),
+        room_site: tracer.as_ref().map(|t| t.room_site).unwrap_or(0),
+    };
+
     while steps < max_steps {
         if phils.iter().all(|p| p.pc == Pc::Done) {
-            return SimOutcome {
-                deadlocked: false,
-                cycle: None,
-                meals: meals_eaten,
-                steps,
-            };
+            return finish(false, None, meals_eaten, steps, tracer);
         }
         let i = sched_iter.next().expect("infinite schedule");
         let i = i % n;
@@ -124,6 +186,9 @@ pub fn simulate(
                 if room_used < room_cap {
                     room_used += 1;
                     phils[i].pc = Pc::AcquireFirst;
+                    if let Some(t) = &tracer {
+                        t.phils[i].record(EventKind::Acquire, t.room_site, trace::SYNC_PULSE);
+                    }
                 }
                 // Waiting on the room is not a fork wait: no graph edge
                 // (the arbitrator cannot be part of a fork cycle).
@@ -132,12 +197,26 @@ pub fn simulate(
                 if forks[first].is_none() {
                     forks[first] = Some(i);
                     phils[i].pc = Pc::AcquireSecond;
+                    if let Some(t) = &tracer {
+                        t.phils[i].record(
+                            EventKind::Acquire,
+                            t.fork_sites[first],
+                            trace::SYNC_EXCLUSIVE,
+                        );
+                    }
                 }
             }
             Pc::AcquireSecond => {
                 if forks[second].is_none() {
                     forks[second] = Some(i);
                     phils[i].pc = Pc::Release;
+                    if let Some(t) = &tracer {
+                        t.phils[i].record(
+                            EventKind::Acquire,
+                            t.fork_sites[second],
+                            trace::SYNC_EXCLUSIVE,
+                        );
+                    }
                 }
             }
             Pc::Release => {
@@ -145,8 +224,23 @@ pub fn simulate(
                 meals_eaten[i] += 1;
                 forks[first] = None;
                 forks[second] = None;
+                if let Some(t) = &tracer {
+                    t.phils[i].record(
+                        EventKind::Release,
+                        t.fork_sites[second],
+                        trace::SYNC_EXCLUSIVE,
+                    );
+                    t.phils[i].record(
+                        EventKind::Release,
+                        t.fork_sites[first],
+                        trace::SYNC_EXCLUSIVE,
+                    );
+                }
                 if strategy == Strategy::Arbitrator {
                     room_used -= 1;
+                    if let Some(t) = &tracer {
+                        t.phils[i].record(EventKind::Release, t.room_site, trace::SYNC_PULSE);
+                    }
                 }
                 phils[i].meals_left -= 1;
                 phils[i].pc = if phils[i].meals_left == 0 {
@@ -176,20 +270,26 @@ pub fn simulate(
             }
         }
         if let Some(cycle) = graph.find_cycle() {
-            return SimOutcome {
-                deadlocked: true,
-                cycle: Some(cycle),
-                meals: meals_eaten,
-                steps,
-            };
+            return finish(true, Some(cycle), meals_eaten, steps, tracer);
         }
     }
-    SimOutcome {
-        deadlocked: false,
-        cycle: None,
-        meals: meals_eaten,
-        steps,
+    finish(false, None, meals_eaten, steps, tracer)
+}
+
+/// A "lucky" sequential schedule: each philosopher runs to completion
+/// (room, first, second, release — extra steps on a finished philosopher
+/// are no-ops) before the next moves, so even [`Strategy::Naive`]
+/// finishes every meal. The acquisition *order* it records is still
+/// cyclic — the schedule that "worked when I tested it" is exactly what
+/// `pdc-analyze`'s lock-order graph exists to catch.
+pub fn lucky_sequential_schedule(n: usize, meals: u32) -> Vec<usize> {
+    let mut s = Vec::new();
+    for _ in 0..meals {
+        for i in 0..n {
+            s.extend([i; 4]);
+        }
     }
+    s
 }
 
 /// The adversarial schedule that deadlocks the naive strategy: every
@@ -332,5 +432,57 @@ mod tests {
     #[should_panic(expected = "deadlock-prone")]
     fn threaded_naive_refused() {
         run_threaded(Strategy::Naive, 5, 1);
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_and_records_events() {
+        let n = 5;
+        let schedule = lucky_sequential_schedule(n, 1);
+        let plain = simulate(Strategy::Naive, n, 1, &schedule, 1_000);
+        let session = TraceSession::new();
+        let traced = simulate_traced(Strategy::Naive, n, 1, &schedule, 1_000, &session);
+        assert_eq!(traced.outcome, plain, "tracing must not change the run");
+        assert!(!traced.outcome.deadlocked);
+        assert_eq!(traced.fork_sites.len(), n);
+        let events = session.events();
+        // Each philosopher: 2 acquires + 2 releases for one meal.
+        assert_eq!(events.len(), 4 * n);
+        let acquires = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Acquire)
+            .count();
+        assert_eq!(acquires, 2 * n);
+        // Fork sites are exclusive-mode; no pulses without an arbitrator.
+        assert!(events.iter().all(|e| e.b == trace::SYNC_EXCLUSIVE));
+    }
+
+    #[test]
+    fn traced_arbitrator_records_room_pulses() {
+        let n = 4;
+        let session = TraceSession::new();
+        let traced = simulate_traced(
+            Strategy::Arbitrator,
+            n,
+            1,
+            &lucky_sequential_schedule(n, 1),
+            1_000,
+            &session,
+        );
+        assert!(!traced.outcome.deadlocked);
+        let events = session.events();
+        let room_acquires = events
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::Acquire && e.a == traced.room_site && e.b == trace::SYNC_PULSE
+            })
+            .count();
+        let room_releases = events
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::Release && e.a == traced.room_site && e.b == trace::SYNC_PULSE
+            })
+            .count();
+        assert_eq!(room_acquires, n, "one room admission per meal");
+        assert_eq!(room_releases, n, "every admission released");
     }
 }

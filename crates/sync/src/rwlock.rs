@@ -10,6 +10,7 @@
 //! State word layout: bit 63 = writer active; bits 32..63 = writers
 //! waiting; bits 0..32 = active readers.
 
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +23,8 @@ const READERS_MASK: u64 = (1u64 << 32) - 1;
 /// A readers-writer lock protecting `T`.
 pub struct PdcRwLock<T> {
     state: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
     value: UnsafeCell<T>,
 }
 
@@ -47,8 +50,19 @@ impl<T> PdcRwLock<T> {
     pub const fn new(value: T) -> Self {
         PdcRwLock {
             state: AtomicU64::new(0),
+            site: SiteId::new(),
             value: UnsafeCell::new(value),
         }
+    }
+
+    fn read_acquired(&self) -> ReadGuard<'_, T> {
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_SHARED);
+        ReadGuard { lock: self }
+    }
+
+    fn write_acquired(&self) -> WriteGuard<'_, T> {
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
+        WriteGuard { lock: self }
     }
 
     /// Acquire shared access. Blocks (spins with yields) while a writer is
@@ -64,7 +78,7 @@ impl<T> PdcRwLock<T> {
                     .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
-                    return ReadGuard { lock: self };
+                    return self.read_acquired();
                 }
                 continue;
             }
@@ -85,7 +99,7 @@ impl<T> PdcRwLock<T> {
         self.state
             .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
             .ok()
-            .map(|_| ReadGuard { lock: self })
+            .map(|_| self.read_acquired())
     }
 
     /// Acquire exclusive access.
@@ -104,7 +118,7 @@ impl<T> PdcRwLock<T> {
                     .compare_exchange_weak(s, target, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
-                    return WriteGuard { lock: self };
+                    return self.write_acquired();
                 }
                 continue;
             }
@@ -126,7 +140,7 @@ impl<T> PdcRwLock<T> {
         self.state
             .compare_exchange(s, s | WRITER_ACTIVE, Ordering::Acquire, Ordering::Relaxed)
             .ok()
-            .map(|_| WriteGuard { lock: self })
+            .map(|_| self.write_acquired())
     }
 
     /// `(active_readers, waiting_writers, writer_active)` — diagnostics.
@@ -156,6 +170,9 @@ impl<T> Deref for ReadGuard<'_, T> {
 
 impl<T> Drop for ReadGuard<'_, T> {
     fn drop(&mut self) {
+        // Event before the state change: timestamp order must show this
+        // release ahead of any acquire it enables.
+        trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_SHARED);
         // Release pairs with the next writer's Acquire.
         self.lock.state.fetch_sub(1, Ordering::Release);
     }
@@ -178,6 +195,7 @@ impl<T> DerefMut for WriteGuard<'_, T> {
 
 impl<T> Drop for WriteGuard<'_, T> {
     fn drop(&mut self) {
+        trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         self.lock.state.fetch_and(!WRITER_ACTIVE, Ordering::Release);
     }
 }

@@ -6,6 +6,7 @@
 //! waiter-queue parking protocol as [`crate::mutex::PdcMutex`].
 
 use crate::spin::SpinLock;
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::thread::Thread;
@@ -15,6 +16,8 @@ pub struct Semaphore {
     count: AtomicI64,
     waiters: SpinLock<VecDeque<Thread>>,
     parks: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
 }
 
 impl Semaphore {
@@ -23,8 +26,10 @@ impl Semaphore {
         assert!(permits >= 0, "initial permits must be non-negative");
         Semaphore {
             count: AtomicI64::new(permits),
-            waiters: SpinLock::new(VecDeque::new()),
+            // Implementation-internal lock: keep it out of traces.
+            waiters: SpinLock::untraced(VecDeque::new()),
             parks: AtomicU64::new(0),
+            site: SiteId::new(),
         }
     }
 
@@ -38,7 +43,13 @@ impl Semaphore {
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    // A permit hand-off is a sync *pulse*: it carries a
+                    // happens-before edge from a releaser but is not a
+                    // held lock for lockset/lock-order purposes.
+                    trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
+                    return true;
+                }
                 Err(seen) => cur = seen,
             }
         }
@@ -71,6 +82,9 @@ impl Semaphore {
 
     /// Return one permit and wake one waiter.
     pub fn release(&self) {
+        // Event before the count bump: timestamp order must show this
+        // release ahead of the acquire it enables.
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         // Release ordering pairs with acquirers' Acquire CAS.
         self.count.fetch_add(1, Ordering::Release);
         let waiter = self.waiters.lock().pop_front();
@@ -85,6 +99,7 @@ impl Semaphore {
         if n == 0 {
             return;
         }
+        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.count.fetch_add(n, Ordering::Release);
         let mut q = self.waiters.lock();
         for _ in 0..n {

@@ -6,6 +6,7 @@
 //! load, not on the RMW, to avoid cache-line ping-pong) and bounded
 //! exponential backoff.
 
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -17,6 +18,8 @@ pub struct SpinLock<T> {
     acquisitions: AtomicU64,
     /// Total spin iterations observed while waiting.
     spins: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
     value: UnsafeCell<T>,
 }
 
@@ -40,6 +43,20 @@ impl<T> SpinLock<T> {
             locked: AtomicBool::new(false),
             acquisitions: AtomicU64::new(0),
             spins: AtomicU64::new(0),
+            site: SiteId::new(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// An unlocked spinlock that never records acquire/release events —
+    /// for implementation-internal locks (waiter queues) whose traffic
+    /// would pollute race/deadlock analysis.
+    pub const fn untraced(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            acquisitions: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+            site: SiteId::disabled(),
             value: UnsafeCell::new(value),
         }
     }
@@ -74,6 +91,7 @@ impl<T> SpinLock<T> {
             self.spins.fetch_add(local_spins, Ordering::Relaxed);
         }
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
         SpinGuard { lock: self }
     }
 
@@ -85,6 +103,7 @@ impl<T> SpinLock<T> {
             .is_ok()
         {
             self.acquisitions.fetch_add(1, Ordering::Relaxed);
+            trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
             Some(SpinGuard { lock: self })
         } else {
             None
@@ -132,6 +151,9 @@ impl<T> DerefMut for SpinGuard<'_, T> {
 
 impl<T> Drop for SpinGuard<'_, T> {
     fn drop(&mut self) {
+        // The trace event goes first so in logical-timestamp order this
+        // release precedes any acquire it enables.
+        trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         // Release ordering: publishes our writes to the next acquirer.
         self.lock.locked.store(false, Ordering::Release);
     }

@@ -6,6 +6,7 @@
 //! are served strictly first-come-first-served, the fairness property the
 //! OS course contrasts with test-and-set locks.
 
+use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct TicketLock<T> {
     next: AtomicU64,
     serving: AtomicU64,
+    /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
+    site: SiteId,
     value: UnsafeCell<T>,
 }
 
@@ -36,6 +39,7 @@ impl<T> TicketLock<T> {
         TicketLock {
             next: AtomicU64::new(0),
             serving: AtomicU64::new(0),
+            site: SiteId::new(),
             value: UnsafeCell::new(value),
         }
     }
@@ -54,6 +58,7 @@ impl<T> TicketLock<T> {
                 std::thread::yield_now();
             }
         }
+        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
         TicketGuard { lock: self, ticket }
     }
 
@@ -68,6 +73,7 @@ impl<T> TicketLock<T> {
             .is_ok()
         {
             // We hold ticket == serving, so the lock is ours.
+            trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
             Some(TicketGuard {
                 lock: self,
                 ticket: serving,
@@ -112,6 +118,9 @@ impl<T> DerefMut for TicketGuard<'_, T> {
 
 impl<T> Drop for TicketGuard<'_, T> {
     fn drop(&mut self) {
+        // Event first: in timestamp order this release precedes any
+        // acquire it enables.
+        trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         // Hand the lock to the next ticket. Release publishes our writes.
         self.lock
             .serving

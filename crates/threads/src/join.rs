@@ -12,22 +12,53 @@
 //! sequentially below the cutoff — exactly the granularity-control lesson
 //! of the parallel merge sort lab.
 
+use pdc_core::trace::{self, EventKind};
+
 /// Run `a` and `b`, potentially in parallel, returning both results.
 ///
 /// `b` runs on a freshly scoped thread while `a` runs on the caller; if
 /// thread creation is unavailable this would panic (std behaviour), which
 /// is acceptable for the teaching library.
+///
+/// When the calling thread has a sync trace installed (see
+/// [`trace::install_sync_trace`]), the split records the fork-join
+/// happens-before diamond: the parent publishes its history under a
+/// `fork` handle that the child adopts, and the child publishes under a
+/// second handle that the parent adopts after the scope ends — so
+/// `pdc-analyze` orders the child's work between the split and the join.
 pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
+    let parent = trace::current_sync_trace();
+    let Some(parent) = parent else {
+        return std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = hb.join().expect("join: task b panicked");
+            (ra, rb)
+        });
+    };
+    let h_fork = trace::next_site_id();
+    let h_join = trace::next_site_id();
+    parent.record(EventKind::Fork, h_fork, 0);
+    let child = parent.sibling_auto();
+    let result = std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            trace::install_sync_trace(child.clone());
+            child.record(EventKind::Join, h_fork, 0);
+            let rb = b();
+            child.record(EventKind::Fork, h_join, 0);
+            trace::clear_sync_trace();
+            rb
+        });
         let ra = a();
         let rb = hb.join().expect("join: task b panicked");
         (ra, rb)
-    })
+    });
+    parent.record(EventKind::Join, h_join, 0);
+    result
 }
 
 /// Like [`join`], but only forks while `depth > 0`; at depth 0 both
@@ -152,6 +183,38 @@ mod tests {
             }
         });
         assert!(data.iter().all(|&x| x == 1), "each element exactly once");
+    }
+
+    #[test]
+    fn traced_join_records_fork_join_diamond() {
+        use pdc_core::trace::TraceSession;
+        let session = TraceSession::new();
+        trace::install_sync_trace(session.thread(0));
+        let (a, b) = join(|| 1, || 2);
+        trace::clear_sync_trace();
+        assert_eq!((a, b), (1, 2));
+        let evs = session.events();
+        let forks: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::Fork).collect();
+        let joins: Vec<_> = evs.iter().filter(|e| e.kind == EventKind::Join).collect();
+        assert_eq!(forks.len(), 2, "parent split + child finish");
+        assert_eq!(joins.len(), 2, "child adopt + parent adopt");
+        // The child's adoption of the parent's handle comes after the
+        // parent's fork; the parent's join after the child's fork.
+        assert_eq!(forks[0].actor, 0);
+        assert_eq!(joins[0].a, forks[0].a, "child joins the parent's handle");
+        assert_ne!(joins[0].actor, 0, "child records under an auto actor");
+        assert_eq!(joins[1].actor, 0);
+        assert_eq!(joins[1].a, forks[1].a, "parent joins the child's handle");
+        assert!(forks[0].ts < joins[0].ts && forks[1].ts < joins[1].ts);
+    }
+
+    #[test]
+    fn untraced_join_records_nothing() {
+        use pdc_core::trace::TraceSession;
+        let session = TraceSession::new();
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(session.events().is_empty());
     }
 
     #[test]

@@ -10,16 +10,24 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use pdc_core::metrics::Counter;
-use pdc_core::trace::{EventKind, ThreadTrace, TraceSession};
+use pdc_core::trace::{self, EventKind, ThreadTrace, TraceSession};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A task plus the fork handle its submitter's causal history was
+/// published under (see [`EventKind::Fork`]/[`EventKind::Join`]).
+struct QueuedTask {
+    handle: u64,
+    seq: u64,
+    run: Task,
+}
+
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
+    injector: Injector<QueuedTask>,
+    stealers: Vec<Stealer<QueuedTask>>,
     /// Tasks submitted but not yet finished. This stays a plain atomic
     /// (not a pair of trace counters) because `wait_idle` relies on its
     /// SeqCst ordering for the happens-before edge between a task's
@@ -45,12 +53,24 @@ impl Shared {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let seq = self.submitted.get();
         self.submitted.inc();
+        // Publish the submitter's happens-before history under a fresh
+        // fork handle: through the submitting thread's own sync trace if
+        // it has one (a worker spawning recursively, or a caller that
+        // installed one), else through the shared submit actor.
+        let handle = trace::next_site_id();
+        if !trace::record_sync(EventKind::Fork, handle, seq) {
+            self.submit_trace.record(EventKind::Fork, handle, seq);
+        }
         self.submit_trace.record(
             EventKind::Spawn,
             seq,
             self.pending.load(Ordering::Relaxed) as u64,
         );
-        self.injector.push(task);
+        self.injector.push(QueuedTask {
+            handle,
+            seq,
+            run: task,
+        });
     }
 }
 
@@ -82,7 +102,7 @@ impl WorkStealingPool {
     /// Panics if `workers == 0`.
     pub fn with_trace(workers: usize, session: TraceSession) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
-        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let locals: Vec<Worker<QueuedTask>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
@@ -191,7 +211,10 @@ impl Drop for WorkStealingPool {
     }
 }
 
-fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>, trace: ThreadTrace) {
+fn worker_loop(idx: usize, local: Worker<QueuedTask>, shared: Arc<Shared>, trace: ThreadTrace) {
+    // Workers record acquire/release events from pdc-sync primitives
+    // used inside tasks under their own actor id.
+    trace::install_sync_trace(trace.clone());
     // In steal events, `victim` is the sibling worker's index, or the
     // worker count (== the submit actor id) for the global injector.
     let injector_id = shared.stealers.len() as u64;
@@ -233,9 +256,13 @@ fn worker_loop(idx: usize, local: Worker<Task>, shared: Arc<Shared>, trace: Thre
         match task {
             Some(t) => {
                 idle_spins = 0;
+                // Adopt the submitter's history before running the task:
+                // everything the submitter did before spawn() now
+                // happens-before the task body.
+                trace.record(EventKind::Join, t.handle, t.seq);
                 // Contain panics: a dying worker would strand wait_idle
                 // (the pending count would never reach zero).
-                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t.run)).is_err() {
                     shared.panicked.inc();
                 }
                 shared.executed.inc();
@@ -445,6 +472,65 @@ mod tests {
                     && e.actor == pool.workers() as u32),
             "expected spawn events from the submit actor"
         );
+    }
+
+    #[test]
+    fn every_task_gets_a_fork_join_pair() {
+        let pool = WorkStealingPool::new(2);
+        for _ in 0..40 {
+            pool.spawn(|| {});
+        }
+        pool.wait_idle();
+        let events = pool.trace().events();
+        let forks: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Fork)
+            .collect();
+        let joins: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Join)
+            .collect();
+        assert_eq!(forks.len(), 40);
+        assert_eq!(joins.len(), 40);
+        for j in &joins {
+            let f = forks
+                .iter()
+                .find(|f| f.a == j.a)
+                .unwrap_or_else(|| panic!("join of unknown handle {}", j.a));
+            assert!(f.ts < j.ts, "fork must precede its join in trace order");
+            assert!(
+                (j.actor as usize) < pool.workers(),
+                "joins are recorded by workers"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_sync_ops_record_under_worker_actor() {
+        // A pdc-sync lock used inside a task records acquire/release
+        // under the executing worker's actor, via the installed
+        // thread-local sync trace.
+        let pool = WorkStealingPool::new(2);
+        let lock = Arc::new(pdc_sync::SpinLock::new(0u64));
+        for _ in 0..10 {
+            let l = Arc::clone(&lock);
+            pool.spawn(move || {
+                *l.lock() += 1;
+            });
+        }
+        pool.wait_idle();
+        let events = pool.trace().events();
+        let acquires: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Acquire)
+            .collect();
+        assert_eq!(acquires.len(), 10);
+        assert!(acquires.iter().all(|e| (e.actor as usize) < pool.workers()));
+        let releases = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Release)
+            .count();
+        assert_eq!(releases, 10);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The race detector, end to end: run a racy two-thread counter and
+//! its mutex-fixed twin under tracing, analyze both, and print the
+//! verdicts — the CS31 "why your counter lost updates" lecture as a
+//! runnable artifact, plus the philosophers' deadlock *predicted from
+//! a run that succeeded*.
+//!
+//! ```text
+//! cargo run --example race_detector
+//! ```
+
+use pdc::analyze::{analyze, fixtures, DefectKind};
+
+fn verdict(name: &str, report: &pdc::analyze::Report) {
+    println!(
+        "  {name}: {} ({} events, {} defect(s), {} gated cycle(s))",
+        if report.clean() { "CLEAN" } else { "FLAGGED" },
+        report.events_analyzed,
+        report.defects.len(),
+        report.gated_cycles.len(),
+    );
+    for d in &report.defects {
+        println!("    - [{}] {}", d.kind.name(), d.detail);
+    }
+}
+
+fn main() {
+    println!("== pdc-analyze: find the race, prove the fix ==\n");
+
+    // A counter incremented by two threads with no synchronisation.
+    // The schedule may even produce the right answer — the *trace*
+    // still convicts it, twice over: no happens-before edge between
+    // the accesses (vector clocks) and no common lock (lockset).
+    println!("racy counter (two threads, no lock):");
+    let racy = analyze(&fixtures::racy_counter_session());
+    verdict("verdict", &racy);
+    assert!(racy.count_kind(DefectKind::DataRace) >= 1);
+    assert!(racy.count_kind(DefectKind::LocksetViolation) >= 1);
+
+    // The same counter behind a PdcMutex: the lock site both orders
+    // the accesses and is the consistent candidate lock.
+    println!("\nfixed counter (same accesses inside a PdcMutex):");
+    let fixed = analyze(&fixtures::fixed_counter_session());
+    verdict("verdict", &fixed);
+    assert!(fixed.clean());
+
+    // Deadlock prediction: the naive philosophers under a LUCKY
+    // schedule — every meal eaten, no deadlock at runtime — yet the
+    // cyclic fork order is in the trace, so the lock-order analysis
+    // convicts the strategy, not the schedule.
+    println!("\nnaive philosophers under a lucky schedule (run succeeded!):");
+    let (session, sim) = fixtures::deadlocky_philosophers_session(5);
+    assert!(!sim.outcome.deadlocked, "the run itself completes");
+    let predicted = analyze(&session);
+    verdict("verdict", &predicted);
+    assert_eq!(predicted.count_kind(DefectKind::LockOrderCycle), 1);
+
+    // And the arbitrator fix: the ring is still there, but every
+    // nested acquisition happens inside the room semaphore, so the
+    // cycle is gate-suppressed to informational.
+    println!("\narbitrator philosophers (room semaphore admits n-1):");
+    let (session, _) = fixtures::arbitrator_philosophers_session(5);
+    let gated = analyze(&session);
+    verdict("verdict", &gated);
+    assert!(gated.clean());
+    assert_eq!(gated.gated_cycles.len(), 1);
+
+    println!("\nAll verdicts as expected: the detector flags the bugs and trusts the fixes.");
+}
