@@ -12,6 +12,11 @@
 //! | lock-order cycles | can these acquisitions deadlock? | [`lockorder`] |
 //! | MPI lint | do messages and collectives match up? | [`mpi_lint`] |
 //!
+//! Multi-process (`pdc-trace/3`) snapshots go through
+//! [`merged::analyze_merged`], which causally reorders the per-process
+//! streams and namespaces process-local ids before running the same
+//! four analyses.
+//!
 //! The first two are complementary verdicts on the same bug class —
 //! happens-before is precise for the observed schedule, lockset
 //! catches policy violations the schedule happened to hide. The
@@ -37,10 +42,12 @@ pub mod fixtures;
 pub mod hb;
 pub mod lockorder;
 pub mod lockset;
+pub mod merged;
 pub mod mpi_lint;
 pub mod report;
 pub mod vc;
 
+pub use merged::analyze_merged;
 pub use report::{Defect, DefectKind, Report};
 
 use pdc_core::trace::{Event, TraceSession};

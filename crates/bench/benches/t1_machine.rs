@@ -118,8 +118,9 @@ criterion_group!(
 /// GPU kernel, buffer pool, and cache — through one shared
 /// [`TraceSession`], then write the `pdc-trace/2` snapshot next to the
 /// bench results (see EXPERIMENTS.md for the schema). CI greps this
-/// file for all four model key families.
-fn emit_trace_snapshot() {
+/// file for all four model key families. Returns the session so
+/// `--analyze` can judge the same events it snapshotted.
+fn emit_trace_snapshot() -> TraceSession {
     let session = TraceSession::new();
 
     // Work-stealing pool: 256 tiny tasks across 4 workers, so the
@@ -181,10 +182,34 @@ fn emit_trace_snapshot() {
     pdc_core::report::write_text_file(&path, &json).expect("write trace snapshot");
     println!("\npdc-trace snapshot ({}):", path.display());
     println!("{json}");
+    session
+}
+
+/// `--analyze`: feed the snapshot's events through `pdc-analyze`, write
+/// the `pdc-analyze/1` report next to the trace, and fail the bench run
+/// if this deliberately race-free workload is flagged.
+fn analyze_snapshot(session: &TraceSession) {
+    let report = pdc_analyze::analyze(session);
+    let json = report.to_json();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/pdc-trace/t1_machine.analyze.json");
+    pdc_core::report::write_text_file(&path, &json).expect("write analyze report");
+    println!("\npdc-analyze report ({}):", path.display());
+    println!("{json}");
+    if !report.clean() {
+        eprintln!(
+            "t1_machine --analyze: {} defect(s) in a workload that must be clean",
+            report.defects.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     benches();
-    emit_trace_snapshot();
+    let session = emit_trace_snapshot();
     criterion::finalize();
+    if std::env::args().any(|a| a == "--analyze") {
+        analyze_snapshot(&session);
+    }
 }

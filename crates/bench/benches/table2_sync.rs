@@ -118,8 +118,9 @@ fn producer_consumer(c: &mut Criterion) {
 criterion_group!(benches, contended_counter, producer_consumer);
 
 /// Emit a shared `pdc-trace/2` snapshot mixing pool counters with the
-/// machine's lock/barrier cost model (see EXPERIMENTS.md).
-fn emit_trace_snapshot() {
+/// machine's lock/barrier cost model (see EXPERIMENTS.md). Returns the
+/// session so `--analyze` can judge the same events it snapshotted.
+fn emit_trace_snapshot() -> TraceSession {
     let session = TraceSession::new();
 
     let pool = WorkStealingPool::with_trace(THREADS, session.clone());
@@ -145,10 +146,34 @@ fn emit_trace_snapshot() {
     pdc_core::report::write_text_file(&path, &json).expect("write trace snapshot");
     println!("\npdc-trace snapshot ({}):", path.display());
     println!("{json}");
+    session
+}
+
+/// `--analyze`: feed the snapshot's events through `pdc-analyze`, write
+/// the `pdc-analyze/1` report next to the trace, and fail the bench run
+/// if this deliberately race-free workload is flagged.
+fn analyze_snapshot(session: &TraceSession) {
+    let report = pdc_analyze::analyze(session);
+    let json = report.to_json();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/pdc-trace/table2_sync.analyze.json");
+    pdc_core::report::write_text_file(&path, &json).expect("write analyze report");
+    println!("\npdc-analyze report ({}):", path.display());
+    println!("{json}");
+    if !report.clean() {
+        eprintln!(
+            "table2_sync --analyze: {} defect(s) in a workload that must be clean",
+            report.defects.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
     benches();
-    emit_trace_snapshot();
+    let session = emit_trace_snapshot();
     criterion::finalize();
+    if std::env::args().any(|a| a == "--analyze") {
+        analyze_snapshot(&session);
+    }
 }

@@ -13,6 +13,13 @@
 //!                             # (experiments.analyze.json and
 //!                             # experiments.fixtures.analyze.json), and exit
 //!                             # non-zero unless every verdict matches
+//! experiments --shard         # run the DHT-sharded KV as 1 process (threads)
+//!                             # AND as router+shard OS processes over loopback
+//!                             # TCP, assert the final states are identical,
+//!                             # write the merged pdc-trace/3 snapshot
+//!                             # (target/pdc-trace/shard/merged.trace.json),
+//!                             # and exit non-zero unless the multi-process
+//!                             # trace passes pdc-analyze clean
 //! ```
 //!
 //! Every printed table is also captured as JSON: `--trace` embeds its
@@ -61,7 +68,7 @@ fn run_traced_workload(path: &std::path::Path) {
         // each bracketed by coll_begin/coll_end marks.
         let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
             let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
-            pdc_mpi::coll::barrier::<u64>(rank);
+            pdc_mpi::coll::barrier::<u64, _>(rank);
             sum
         });
 
@@ -217,7 +224,7 @@ fn drf_workload_session() -> TraceSession {
     // MPI: matched collectives across 4 ranks.
     let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
         let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
-        pdc_mpi::coll::barrier::<u64>(rank);
+        pdc_mpi::coll::barrier::<u64, _>(rank);
         sum
     });
 
@@ -428,6 +435,115 @@ fn run_analyze() {
     }
 }
 
+/// `--shard`: the multi-process determinism gate. One op script runs
+/// through the DHT-sharded KV three ways — single process unbatched,
+/// single process batched, and as `1 + SHARDS` OS processes over
+/// loopback TCP with batching — and every way must land on the same
+/// final state. The wire run's per-process pdc-trace snapshots are
+/// merged into one `pdc-trace/3` document, which must carry nonzero
+/// per-process `mpi.msgs` and analyze clean. Children re-executed by
+/// [`pdc_mpi::WireWorld`] re-enter this function (dispatched in `main`
+/// before argument parsing) and never return from `run_wire`.
+fn run_shard_gate() {
+    use pdc_db::sharded;
+    const SHARDS: usize = 3;
+    let ops = sharded::script(64, 2_000, 0x5EED);
+    let opts = pdc_mpi::WireOptions::for_args(SHARDS + 1, "shard-gate", &["--shard"])
+        .traced("target/pdc-trace/shard");
+    // Children exit inside this call; everything below is parent-only.
+    let wire = sharded::run_wire(&opts, SHARDS, &ops, true);
+
+    let (plain_state, plain_stats) = sharded::run_local(SHARDS, &ops, false);
+    let (batched_state, batched_stats) = sharded::run_local(SHARDS, &ops, true);
+    let merged = wire.trace.as_ref().expect("traced wire run");
+    let report = pdc_analyze::analyze_merged(merged);
+
+    let mut failures: Vec<String> = Vec::new();
+    if wire.results[0] != plain_state {
+        failures.push("multi-process state diverged from single-process".into());
+    }
+    if batched_state != plain_state {
+        failures.push("batched routing changed the final state".into());
+    }
+    if batched_stats.messages >= plain_stats.messages {
+        failures.push(format!(
+            "batching did not reduce messages ({} vs {})",
+            batched_stats.messages, plain_stats.messages
+        ));
+    }
+    for p in &merged.processes {
+        if p.counters.get("mpi.msgs").copied().unwrap_or(0) == 0 {
+            failures.push(format!("process {} recorded zero mpi.msgs", p.process));
+        }
+    }
+    if merged.counter("db.shard_ops") != ops.len() as u64 {
+        failures.push(format!(
+            "shards served {} of {} ops",
+            merged.counter("db.shard_ops"),
+            ops.len()
+        ));
+    }
+    if !report.clean() {
+        failures.push(format!(
+            "pdc-analyze flagged the merged trace: {:?}",
+            report
+                .defects
+                .iter()
+                .map(|d| d.kind.name())
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    let mut t = Table::new(
+        "shard gate (experiments --shard) — 2000 ops, 3 shards + router",
+        &["run", "processes", "messages", "keys left"],
+    );
+    t.row(&[
+        "threads, unbatched".into(),
+        "1".into(),
+        plain_stats.messages.to_string(),
+        plain_state.len().to_string(),
+    ]);
+    t.row(&[
+        "threads, batched".into(),
+        "1".into(),
+        batched_stats.messages.to_string(),
+        batched_state.len().to_string(),
+    ]);
+    t.row(&[
+        "OS processes, batched".into(),
+        (SHARDS + 1).to_string(),
+        wire.stats.messages.to_string(),
+        wire.results[0].len().to_string(),
+    ]);
+    print!("{}", t.render());
+
+    let path = std::path::Path::new("target/pdc-trace/shard/merged.trace.json");
+    write_text_file(
+        path,
+        &merged.to_json(&[("source", "experiments --shard".to_string())]),
+    )
+    .expect("write merged trace");
+    println!("merged pdc-trace/3 snapshot written to {}", path.display());
+    write_text_file(
+        std::path::Path::new("target/pdc-trace/shard/merged.analyze.json"),
+        &report.to_json(),
+    )
+    .expect("write merged analyze report");
+
+    if failures.is_empty() {
+        println!(
+            "shard gate: states identical across {} runs, {} events analyzed clean",
+            3, report.events_analyzed
+        );
+    } else {
+        for f in &failures {
+            eprintln!("shard gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Write the captured per-experiment tables as one JSON document next
 /// to the trace snapshot (same directory, fixed name).
 fn write_tables_json(entries: &[(&str, Vec<String>)]) {
@@ -448,6 +564,12 @@ fn write_tables_json(entries: &[(&str, Vec<String>)]) {
 }
 
 fn main() {
+    // Wire children re-exec this binary; route them straight back into
+    // the world they belong to before any argument handling.
+    if pdc_mpi::WireWorld::child_world_id().is_some() {
+        run_shard_gate();
+        unreachable!("wire child returned from its world");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reg = registry();
     match args.as_slice() {
@@ -462,6 +584,7 @@ fn main() {
             run_traced_workload(std::path::Path::new(path));
         }
         [flag] if flag == "--analyze" => run_analyze(),
+        [flag] if flag == "--shard" => run_shard_gate(),
         [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
             Some(e) => {
                 let (out, tables) = capture_tables(e.run);
@@ -485,7 +608,9 @@ fn main() {
             write_tables_json(&entries);
         }
         _ => {
-            eprintln!("usage: experiments [--list | --exp <id> | --trace [path] | --analyze]");
+            eprintln!(
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard]"
+            );
             std::process::exit(2);
         }
     }

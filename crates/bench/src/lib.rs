@@ -19,6 +19,7 @@
 
 pub mod exp_e;
 pub mod exp_ext;
+pub mod exp_shard;
 pub mod exp_t1;
 pub mod exp_t2;
 pub mod exp_t3;
@@ -160,6 +161,16 @@ pub fn registry() -> Vec<Experiment> {
             id: "e-kv",
             anchor: "Sec III-A (CS45/CS87): client-server KV store",
             run: exp_e::kv,
+        },
+        Experiment {
+            id: "e-shard",
+            anchor: "Sec III-A (CS44/CS87): DHT-sharded KV over the transport seam",
+            run: exp_shard::shard,
+        },
+        Experiment {
+            id: "e-batch",
+            anchor: "Sec III-A (CS87): alpha-beta message batching crossover",
+            run: exp_shard::batch,
         },
     ]
 }

@@ -33,6 +33,7 @@
 
 pub mod laws;
 pub mod machine;
+pub mod merge;
 pub mod metrics;
 pub mod report;
 pub mod rng;

@@ -198,6 +198,33 @@ impl EventKind {
         }
     }
 
+    /// Parse a stable lowercase name back into the kind (the inverse of
+    /// [`EventKind::as_str`]); `None` for unknown names. Used by the
+    /// `pdc-trace/2` parser in [`crate::merge`] when a parent process
+    /// re-reads the snapshots its rank processes wrote to disk.
+    pub fn parse_name(name: &str) -> Option<EventKind> {
+        Some(match name {
+            "spawn" => EventKind::Spawn,
+            "steal" => EventKind::Steal,
+            "barrier" => EventKind::Barrier,
+            "lock" => EventKind::Lock,
+            "send" => EventKind::Send,
+            "recv" => EventKind::Recv,
+            "phase" => EventKind::Phase,
+            "mark" => EventKind::Mark,
+            "kernel" => EventKind::Kernel,
+            "coll_begin" => EventKind::CollBegin,
+            "coll_end" => EventKind::CollEnd,
+            "acquire" => EventKind::Acquire,
+            "release" => EventKind::Release,
+            "read" => EventKind::Read,
+            "write" => EventKind::Write,
+            "fork" => EventKind::Fork,
+            "join" => EventKind::Join,
+            _ => return None,
+        })
+    }
+
     /// JSON field names for the `a`/`b` payload of this kind.
     pub fn field_names(self) -> (&'static str, &'static str) {
         match self {

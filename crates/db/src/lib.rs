@@ -10,14 +10,19 @@
 //!   replication; node joins/leaves move provably few keys.
 //! * [`twopc`] — two-phase commit as deterministic state machines with
 //!   failure injection, asserting atomicity and log-based recovery.
+//! * [`sharded`] — the DHT ring fronting live shard ranks over the
+//!   `pdc_mpi` transport seam: the same router/shard code runs as
+//!   threads or as separate OS processes over loopback TCP.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dht;
 pub mod join;
+pub mod sharded;
 pub mod twopc;
 
 pub use dht::HashRing;
 pub use join::{hash_join, parallel_hash_join, sort_merge_join};
+pub use sharded::{KvState, ShardMsg, ShardOp};
 pub use twopc::{Coordinator, Decision};

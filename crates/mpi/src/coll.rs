@@ -23,6 +23,8 @@
 //! collectives nest — an `allreduce` span contains a `reduce` span and
 //! a `broadcast` span.
 
+use crate::cost::AlphaBeta;
+use crate::transport::Transport;
 use crate::world::{Payload, Rank};
 
 /// Reserved tag space for collectives.
@@ -109,7 +111,11 @@ impl CollId {
 /// Run `f` as the body of collective `id` on `rank`: bump the
 /// invocation counter and bracket the body with begin/end marks. Early
 /// `return`s inside `f` still hit the end mark.
-fn span<M: Payload, R>(rank: &mut Rank<M>, id: CollId, f: impl FnOnce(&mut Rank<M>) -> R) -> R {
+fn span<M: Payload, T: Transport<M>, R>(
+    rank: &mut Rank<M, T>,
+    id: CollId,
+    f: impl FnOnce(&mut Rank<M, T>) -> R,
+) -> R {
     rank.count(id.counter());
     let seq = rank.coll_begin(id.code());
     let result = f(rank);
@@ -123,7 +129,7 @@ fn ceil_log2(p: usize) -> u32 {
 }
 
 /// Dissemination barrier: `⌈log₂ p⌉` rounds, `p·⌈log₂ p⌉` messages total.
-pub fn barrier<M: Payload + Default>(rank: &mut Rank<M>) {
+pub fn barrier<M: Payload + Default, T: Transport<M>>(rank: &mut Rank<M, T>) {
     span(rank, CollId::Barrier, |rank| {
         let p = rank.size();
         if p == 1 {
@@ -141,7 +147,11 @@ pub fn barrier<M: Payload + Default>(rank: &mut Rank<M>) {
 
 /// Binomial-tree broadcast from `root`: `p − 1` messages, `⌈log₂ p⌉`
 /// rounds. Every rank returns the value.
-pub fn broadcast<M: Payload + Clone>(rank: &mut Rank<M>, root: usize, value: Option<M>) -> M {
+pub fn broadcast<M: Payload + Clone, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
+    root: usize,
+    value: Option<M>,
+) -> M {
     span(rank, CollId::Broadcast, |rank| {
         let p = rank.size();
         assert!(root < p, "root out of range");
@@ -173,8 +183,8 @@ pub fn broadcast<M: Payload + Clone>(rank: &mut Rank<M>, root: usize, value: Opt
 /// Binomial-tree reduce to `root` with associative `op`; combine order
 /// preserves rank order, so non-commutative (but associative) operators
 /// are safe. `p − 1` messages. Returns `Some(result)` at root only.
-pub fn reduce<M: Payload>(
-    rank: &mut Rank<M>,
+pub fn reduce<M: Payload, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
     root: usize,
     value: M,
     op: impl Fn(M, M) -> M,
@@ -208,7 +218,11 @@ pub fn reduce<M: Payload>(
 }
 
 /// Allreduce = reduce to 0 + broadcast: `2(p − 1)` messages.
-pub fn allreduce<M: Payload + Clone>(rank: &mut Rank<M>, value: M, op: impl Fn(M, M) -> M) -> M {
+pub fn allreduce<M: Payload + Clone, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
+    value: M,
+    op: impl Fn(M, M) -> M,
+) -> M {
     span(rank, CollId::Allreduce, |rank| {
         let reduced = reduce(rank, 0, value, op);
         broadcast(rank, 0, reduced)
@@ -217,7 +231,11 @@ pub fn allreduce<M: Payload + Clone>(rank: &mut Rank<M>, value: M, op: impl Fn(M
 
 /// Gather to `root` (linear): every other rank sends once; root returns
 /// the values in rank order. `p − 1` messages.
-pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<Vec<M>> {
+pub fn gather<M: Payload, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
+    root: usize,
+    value: M,
+) -> Option<Vec<M>> {
     span(rank, CollId::Gather, |rank| {
         let p = rank.size();
         assert!(root < p, "root out of range");
@@ -244,7 +262,11 @@ pub fn gather<M: Payload>(rank: &mut Rank<M>, root: usize, value: M) -> Option<V
 
 /// Scatter from `root` (linear): root keeps element `root` and sends one
 /// element to each other rank. `p − 1` messages.
-pub fn scatter<M: Payload>(rank: &mut Rank<M>, root: usize, values: Option<Vec<M>>) -> M {
+pub fn scatter<M: Payload, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
+    root: usize,
+    values: Option<Vec<M>>,
+) -> M {
     span(rank, CollId::Scatter, |rank| {
         let p = rank.size();
         assert!(root < p, "root out of range");
@@ -268,7 +290,7 @@ pub fn scatter<M: Payload>(rank: &mut Rank<M>, root: usize, values: Option<Vec<M
 
 /// Ring allgather: `p − 1` rounds, each rank forwarding one element per
 /// round; `p(p − 1)` messages. Returns all values in rank order.
-pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
+pub fn allgather<M: Payload + Clone, T: Transport<M>>(rank: &mut Rank<M, T>, value: M) -> Vec<M> {
     span(rank, CollId::Allgather, |rank| {
         let p = rank.size();
         let mut slots: Vec<Option<M>> = (0..p).map(|_| None).collect();
@@ -298,8 +320,8 @@ pub fn allgather<M: Payload + Clone>(rank: &mut Rank<M>, value: M) -> Vec<M> {
 ///
 /// `values.len()` must be divisible by `p`. Every rank returns the full
 /// elementwise reduction.
-pub fn ring_allreduce(
-    rank: &mut Rank<Vec<i64>>,
+pub fn ring_allreduce<T: Transport<Vec<i64>>>(
+    rank: &mut Rank<Vec<i64>, T>,
     values: Vec<i64>,
     op: impl Fn(i64, i64) -> i64 + Copy,
 ) -> Vec<i64> {
@@ -351,8 +373,8 @@ pub fn ring_allreduce(
 
 /// Linear exclusive scan: rank `i` returns `id ⊕ v₀ ⊕ … ⊕ v_{i−1}`.
 /// `p − 1` messages, `p − 1` rounds (the chain is the critical path).
-pub fn exclusive_scan<M: Payload + Clone>(
-    rank: &mut Rank<M>,
+pub fn exclusive_scan<M: Payload + Clone, T: Transport<M>>(
+    rank: &mut Rank<M, T>,
     identity: M,
     value: M,
     op: impl Fn(M, M) -> M,
@@ -375,7 +397,7 @@ pub fn exclusive_scan<M: Payload + Clone>(
 /// All-to-all personalized exchange: rank `i` sends `values[j]` to rank
 /// `j`; returns the values received, indexed by source. `p(p − 1)`
 /// messages.
-pub fn alltoall<M: Payload>(rank: &mut Rank<M>, values: Vec<M>) -> Vec<M> {
+pub fn alltoall<M: Payload, T: Transport<M>>(rank: &mut Rank<M, T>, values: Vec<M>) -> Vec<M> {
     span(rank, CollId::Alltoall, |rank| {
         let p = rank.size();
         assert_eq!(values.len(), p, "need exactly one value per rank");
@@ -394,6 +416,99 @@ pub fn alltoall<M: Payload>(rank: &mut Rank<M>, values: Vec<M>) -> Vec<M> {
         }
         slots.into_iter().map(|s| s.expect("complete")).collect()
     })
+}
+
+/// Small-message coalescing for worlds whose payload is a batch
+/// (`Rank<Vec<M>, T>`): queue messages per destination and ship each
+/// queue as **one** envelope once its modeled bytes reach the α–β
+/// threshold `n* = α/β` (see [`AlphaBeta::coalesce_threshold`]).
+///
+/// The rule is the classic latency-vs-bandwidth trade: a message of `n`
+/// bytes is latency-dominated while `α > n·β`, so gluing it onto the
+/// next one amortizes α at negligible bandwidth cost; past `n*` the
+/// transfer term owns the wire and batching buys nothing. The
+/// `e-batch` bench demonstrates the crossover on real loopback
+/// sockets.
+///
+/// Delivery order per `(src, dst)` is the push order (queues are FIFO
+/// and the transport preserves send order), so batching never reorders
+/// a conversation — it only changes how many envelopes carry it. The
+/// receiver sees `Vec<M>` batches of unspecified sizes; callers that
+/// need framing count messages, not envelopes.
+///
+/// In a traced world each shipped envelope bumps `coll.coalesce_flushes`
+/// and each queued message bumps `coll.coalesced_msgs`, so the batching
+/// ratio is visible in snapshots.
+pub struct Coalescer<M> {
+    tag: u32,
+    threshold: u64,
+    queues: Vec<Vec<M>>,
+    queued_bytes: Vec<u64>,
+}
+
+impl<M: Payload> Coalescer<M> {
+    /// A coalescer for a world of `p` ranks, shipping under `tag`, with
+    /// the flush threshold taken from `model`.
+    pub fn new(p: usize, tag: u32, model: AlphaBeta) -> Coalescer<M> {
+        Coalescer {
+            tag,
+            threshold: model.coalesce_threshold(),
+            queues: (0..p).map(|_| Vec::new()).collect(),
+            queued_bytes: vec![0; p],
+        }
+    }
+
+    /// The modeled byte count at which a destination's queue ships.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Messages currently queued for `dst`.
+    pub fn pending(&self, dst: usize) -> usize {
+        self.queues[dst].len()
+    }
+
+    /// Queue `msg` for `dst`; ships the queue as one envelope if its
+    /// modeled bytes now reach the threshold. Returns `true` when a
+    /// flush happened.
+    pub fn push<T: Transport<Vec<M>>>(
+        &mut self,
+        rank: &Rank<Vec<M>, T>,
+        dst: usize,
+        msg: M,
+    ) -> bool {
+        rank.count("coll.coalesced_msgs");
+        self.queued_bytes[dst] += msg.size_bytes();
+        self.queues[dst].push(msg);
+        if self.queued_bytes[dst] >= self.threshold {
+            self.flush(rank, dst) > 0
+        } else {
+            false
+        }
+    }
+
+    /// Ship whatever is queued for `dst` (possibly below the threshold);
+    /// returns the number of messages shipped. No envelope is sent for
+    /// an empty queue.
+    pub fn flush<T: Transport<Vec<M>>>(&mut self, rank: &Rank<Vec<M>, T>, dst: usize) -> usize {
+        let batch = std::mem::take(&mut self.queues[dst]);
+        self.queued_bytes[dst] = 0;
+        let shipped = batch.len();
+        if shipped > 0 {
+            rank.count("coll.coalesce_flushes");
+            rank.send(dst, self.tag, batch);
+        }
+        shipped
+    }
+
+    /// Flush every destination's queue; returns total messages shipped.
+    /// Call before any exchange that expects all traffic delivered —
+    /// batching must never strand a tail below the threshold.
+    pub fn flush_all<T: Transport<Vec<M>>>(&mut self, rank: &Rank<Vec<M>, T>) -> usize {
+        (0..self.queues.len())
+            .map(|dst| self.flush(rank, dst))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -694,5 +809,111 @@ mod tests {
         });
         // 7 * (1+2+3+4+5) = 105
         assert!(results.iter().all(|&v| v == 105));
+    }
+
+    #[test]
+    fn coalescer_batches_below_threshold_into_one_envelope() {
+        // Cluster model: n* = 10 000 B. 100 u64s = 800 B — everything
+        // stays queued until flush_all ships a single envelope.
+        let (results, stats) = World::run(2, |r: &mut R<Vec<u64>>| {
+            if r.id() == 0 {
+                let mut co = Coalescer::new(r.size(), 5, AlphaBeta::cluster());
+                assert_eq!(co.threshold(), 10_000);
+                for i in 0..100u64 {
+                    assert!(!co.push(r, 1, i), "below threshold: no auto-flush");
+                }
+                assert_eq!(co.pending(1), 100);
+                assert_eq!(co.flush_all(r), 100);
+                assert_eq!(co.pending(1), 0);
+                Vec::new()
+            } else {
+                r.recv(0, 5)
+            }
+        });
+        assert_eq!(
+            results[1],
+            (0..100).collect::<Vec<u64>>(),
+            "push order kept"
+        );
+        assert_eq!(stats.messages, 1, "100 messages coalesced into 1");
+        assert_eq!(stats.bytes, 800);
+    }
+
+    #[test]
+    fn coalescer_auto_flushes_at_threshold() {
+        // α/β = 80 B: every tenth 8-byte push crosses the threshold.
+        let model = AlphaBeta {
+            alpha: 80.0,
+            beta: 1.0,
+        };
+        let (_, stats) = World::run(2, move |r: &mut R<Vec<u64>>| {
+            if r.id() == 0 {
+                let mut co = Coalescer::new(r.size(), 5, model);
+                let mut flushes = 0;
+                for i in 0..95u64 {
+                    if co.push(r, 1, i) {
+                        flushes += 1;
+                    }
+                }
+                assert_eq!(flushes, 9, "auto-flush every 10 pushes");
+                assert_eq!(co.pending(1), 5, "tail below threshold stays queued");
+                assert_eq!(co.flush_all(r), 5);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 95 {
+                    got.extend(r.recv(0, 5));
+                }
+                assert_eq!(got, (0..95).collect::<Vec<u64>>());
+            }
+        });
+        assert_eq!(stats.messages, 10, "9 full batches + 1 tail");
+    }
+
+    #[test]
+    fn coalescer_ships_immediately_when_alpha_cheap() {
+        // α = β: n* = 1 B, so any non-empty message is already
+        // bandwidth-dominated and every push ships by itself.
+        let model = AlphaBeta {
+            alpha: 1.0,
+            beta: 1.0,
+        };
+        let (_, stats) = World::run(2, move |r: &mut R<Vec<u64>>| {
+            if r.id() == 0 {
+                let mut co = Coalescer::new(r.size(), 5, model);
+                for i in 0..7u64 {
+                    assert!(co.push(r, 1, i), "past-threshold push ships");
+                }
+                assert_eq!(co.flush_all(r), 0, "nothing left to flush");
+            } else {
+                for i in 0..7u64 {
+                    assert_eq!(r.recv(0, 5), vec![i]);
+                }
+            }
+        });
+        assert_eq!(stats.messages, 7);
+    }
+
+    #[test]
+    fn coalescer_counters_record_batching_ratio() {
+        use pdc_core::trace::TraceSession;
+        let session = TraceSession::new();
+        World::run_traced(2, &session, |r: &mut R<Vec<u64>>| {
+            if r.id() == 0 {
+                let mut co = Coalescer::new(r.size(), 5, AlphaBeta::cluster());
+                for i in 0..40u64 {
+                    co.push(r, 1, i);
+                }
+                co.flush_all(r);
+            } else {
+                let mut got = Vec::new();
+                while got.len() < 40 {
+                    got.extend(r.recv(0, 5));
+                }
+            }
+        });
+        let snap = session.snapshot();
+        assert_eq!(snap.get("coll.coalesced_msgs"), 40);
+        assert_eq!(snap.get("coll.coalesce_flushes"), 1);
+        assert_eq!(snap.get("mpi.msgs"), 1);
     }
 }

@@ -27,6 +27,29 @@ impl AlphaBeta {
     pub fn p2p(&self, n: u64) -> f64 {
         self.alpha + self.beta * n as f64
     }
+
+    /// The small-message coalescing threshold `n* = α/β`, in bytes: a
+    /// message of `n` bytes is latency-dominated — `α > n·β` — exactly
+    /// while `n < n*`, so batching it amortizes α at negligible cost;
+    /// past `n*` the transfer term dominates and batching buys nothing.
+    /// `coll::Coalescer` flushes a destination's queue when its modeled
+    /// bytes reach this value.
+    pub fn coalesce_threshold(&self) -> u64 {
+        (self.alpha / self.beta) as u64
+    }
+
+    /// Modeled time for `k` separate `n`-byte messages: `k(α + βn)`.
+    pub fn p2p_many(&self, k: u64, n: u64) -> f64 {
+        k as f64 * self.p2p(n)
+    }
+
+    /// Modeled time for the same `k·n` bytes shipped as one coalesced
+    /// message: `α + β·k·n`. The ratio `p2p_many / p2p_coalesced`
+    /// approaches `k` for `n ≪ n*` and `1` for `n ≫ n*` — the crossover
+    /// the `e-batch` bench measures on real sockets.
+    pub fn p2p_coalesced(&self, k: u64, n: u64) -> f64 {
+        self.p2p(k * n)
+    }
 }
 
 fn ceil_log2(p: u64) -> u64 {
@@ -163,6 +186,33 @@ mod tests {
         assert!(ring_allreduce_time(m, p, big) < allreduce_time(m, p, big) / 4.0);
         // But for tiny messages, latency dominates and the tree wins.
         assert!(ring_allreduce_time(m, p, 8) > allreduce_time(m, p, 8));
+    }
+
+    #[test]
+    fn coalesce_threshold_is_alpha_over_beta() {
+        assert_eq!(AlphaBeta::cluster().coalesce_threshold(), 10_000);
+        let m = AlphaBeta {
+            alpha: 80.0,
+            beta: 1.0,
+        };
+        assert_eq!(m.coalesce_threshold(), 80);
+    }
+
+    #[test]
+    fn batching_wins_below_threshold_only() {
+        let m = AlphaBeta::cluster();
+        let k = 100;
+        // Far below n*: latency dominates, coalescing ≈ k× faster.
+        let tiny = 8;
+        assert!(m.p2p_many(k, tiny) / m.p2p_coalesced(k, tiny) > 0.9 * k as f64);
+        // Far above n*: bandwidth dominates, coalescing ≈ no gain.
+        let huge = m.coalesce_threshold() * 1000;
+        assert!(m.p2p_many(k, huge) / m.p2p_coalesced(k, huge) < 1.01);
+        // The model's own crossover: at n = n*, one message costs 2α,
+        // so batching saves exactly half — the midpoint of the regimes.
+        let ratio =
+            m.p2p_many(k, m.coalesce_threshold()) / m.p2p_coalesced(k, m.coalesce_threshold());
+        assert!((1.5..=2.5).contains(&ratio), "ratio at n*: {ratio}");
     }
 
     #[test]

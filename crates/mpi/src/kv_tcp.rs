@@ -11,15 +11,25 @@
 //! QUIT                  -> BYE (connection closes)
 //! ```
 //!
-//! One thread per connection (the lab's architecture), a shared store
-//! behind a mutex, and a clean shutdown path. The in-process channel
-//! version lives in [`crate::kv`]; this module shows the same semantics
-//! surviving a real byte stream.
+//! Two server architectures share the protocol and the store logic:
+//!
+//! * [`TcpKvServer`] — one thread per connection (the lab's first
+//!   architecture), shared store behind a mutex.
+//! * [`EventLoopKvServer`] — a single-threaded nonblocking event loop,
+//!   hand-rolled on `set_nonblocking` + a poll sweep (the `mio` shape
+//!   without the dependency): per-connection read/write buffers, no
+//!   lock on the store at all, and no thread explosion at high fan-in.
+//!
+//! The in-process channel version lives in [`crate::kv`]; this module
+//! shows the same semantics surviving a real byte stream.
 //!
 //! Connections that die mid-request (a half-read line at EOF, a read or
-//! write error) never crash their thread and never execute the
-//! truncated request; each such failure bumps the server's
-//! `kv.conn_errors` counter in its pdc-trace session.
+//! write error) never crash the server and never execute the truncated
+//! request; each such failure bumps the server's `kv.conn_errors`
+//! counter in its pdc-trace session. Failures *caused by shutdown* are
+//! not client failures and are never counted: shutdown half-closes the
+//! read side and lets in-flight replies finish writing, so a server
+//! stopped under load reports zero spurious errors.
 
 use pdc_core::metrics::Counter;
 use pdc_core::trace::TraceSession;
@@ -74,8 +84,9 @@ impl TcpKvServer {
                 }
                 let store = Arc::clone(&store);
                 let errors = conn_errors.clone();
+                let sd = Arc::clone(&sd);
                 conn_handles.push(std::thread::spawn(move || {
-                    serve_conn(stream, store, errors)
+                    serve_conn(stream, store, errors, sd)
                 }));
             }
             for h in conn_handles {
@@ -106,16 +117,22 @@ impl TcpKvServer {
         self.trace.snapshot().get("kv.conn_errors")
     }
 
-    /// Stop accepting, force-close live connections, and join every
-    /// server thread.
+    /// Stop accepting, drain live connections, and join every server
+    /// thread.
+    ///
+    /// Connections are half-closed on the **read** side only: a thread
+    /// blocked in `read_line` wakes with a clean EOF, while a thread
+    /// mid-write finishes its in-flight reply undisturbed (closing both
+    /// directions here used to race those writes into spurious
+    /// `kv.conn_errors` bumps). Whatever the teardown interrupts is the
+    /// server's doing, not a client failure, so `serve_conn` counts no
+    /// errors once the shutdown flag is up.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        // Force-close connections still being read (clients that never
-        // sent QUIT); their serve_conn threads see EOF/error and exit.
         for c in self.conns.lock().unwrap().iter() {
-            let _ = c.shutdown(std::net::Shutdown::Both);
+            let _ = c.shutdown(std::net::Shutdown::Read);
         }
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
@@ -123,11 +140,18 @@ impl TcpKvServer {
     }
 }
 
-fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter) {
+fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter, shutdown: Arc<AtomicBool>) {
+    // A failure observed after shutdown began is the server tearing the
+    // connection down, not the client misbehaving: never count it.
+    let count_error = || {
+        if !shutdown.load(Ordering::SeqCst) {
+            conn_errors.inc();
+        }
+    };
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => {
-            conn_errors.inc();
+            count_error();
             return;
         }
     };
@@ -143,21 +167,21 @@ fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter) {
                 // mid-request. Never execute a truncated request — a
                 // half-read "DEL xy…" is not the request that was sent.
                 if !line.ends_with('\n') {
-                    conn_errors.inc();
+                    count_error();
                     return;
                 }
             }
             // Read error (e.g. connection reset): count and move on;
             // the thread exits but the server keeps serving others.
             Err(_) => {
-                conn_errors.inc();
+                count_error();
                 return;
             }
         }
         let reply = handle_line(&line, &store);
         let quit = line.trim() == "QUIT";
         if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
-            conn_errors.inc();
+            count_error();
             return;
         }
         if quit {
@@ -167,6 +191,13 @@ fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter) {
 }
 
 fn handle_line(line: &str, store: &Store) -> String {
+    apply_line(line, &mut store.lock().unwrap())
+}
+
+/// Execute one request line against the map. The store logic is shared
+/// verbatim by the thread-per-connection server (which locks around it)
+/// and the event-loop server (which owns the map and needs no lock).
+fn apply_line(line: &str, store: &mut HashMap<String, (String, u64)>) -> String {
     let mut parts = line.trim().splitn(4, ' ');
     let cmd = parts.next().unwrap_or("");
     match cmd {
@@ -174,7 +205,7 @@ fn handle_line(line: &str, store: &Store) -> String {
             let Some(key) = parts.next() else {
                 return "ERR usage: GET <key>".into();
             };
-            match store.lock().unwrap().get(key) {
+            match store.get(key) {
                 Some((v, ver)) => format!("VALUE {ver} {v}"),
                 None => "NOTFOUND".into(),
             }
@@ -183,8 +214,7 @@ fn handle_line(line: &str, store: &Store) -> String {
             let (Some(key), Some(value)) = (parts.next(), parts.next()) else {
                 return "ERR usage: PUT <key> <value>".into();
             };
-            let mut s = store.lock().unwrap();
-            let entry = s.entry(key.to_string()).or_insert((String::new(), 0));
+            let entry = store.entry(key.to_string()).or_insert((String::new(), 0));
             entry.0 = value.to_string();
             entry.1 += 1;
             format!("OK {}", entry.1)
@@ -193,7 +223,7 @@ fn handle_line(line: &str, store: &Store) -> String {
             let Some(key) = parts.next() else {
                 return "ERR usage: DEL <key>".into();
             };
-            match store.lock().unwrap().remove(key) {
+            match store.remove(key) {
                 Some(_) => "OK 0".into(),
                 None => "NOTFOUND".into(),
             }
@@ -206,8 +236,7 @@ fn handle_line(line: &str, store: &Store) -> String {
             let Ok(expect) = ver.parse::<u64>() else {
                 return "ERR bad version".into();
             };
-            let mut s = store.lock().unwrap();
-            match s.get_mut(key) {
+            match store.get_mut(key) {
                 Some((v, actual)) if *actual == expect => {
                     *v = value.to_string();
                     *actual += 1;
@@ -215,7 +244,7 @@ fn handle_line(line: &str, store: &Store) -> String {
                 }
                 Some((_, actual)) => format!("CONFLICT {actual}"),
                 None if expect == 0 => {
-                    s.insert(key.to_string(), (value.to_string(), 1));
+                    store.insert(key.to_string(), (value.to_string(), 1));
                     "OK 1".into()
                 }
                 None => "CONFLICT 0".into(),
@@ -224,6 +253,225 @@ fn handle_line(line: &str, store: &Store) -> String {
         "QUIT" => "BYE".into(),
         _ => format!("ERR unknown command {cmd:?}"),
     }
+}
+
+/// One connection's state in the event loop: the nonblocking stream
+/// plus the read bytes not yet forming a full line and the reply bytes
+/// not yet written.
+struct ElConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Stop reading (QUIT or EOF seen); close once `wbuf` drains.
+    closing: bool,
+    /// Remove from the loop this sweep.
+    dead: bool,
+}
+
+/// A running KV server with the same line protocol as [`TcpKvServer`],
+/// but a single-threaded nonblocking event loop instead of a thread per
+/// connection: one sweep accepts new sockets, reads whatever bytes are
+/// ready, executes complete lines against a store the loop thread owns
+/// outright (no mutex), and writes as much pending reply as each socket
+/// accepts. `WouldBlock` is the scheduler — a connection that isn't
+/// ready costs one syscall, not one parked thread.
+pub struct EventLoopKvServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    trace: TraceSession,
+}
+
+impl EventLoopKvServer {
+    /// Bind to an ephemeral loopback port and start the loop, with a
+    /// private trace session.
+    pub fn start() -> std::io::Result<EventLoopKvServer> {
+        EventLoopKvServer::start_traced(&TraceSession::new())
+    }
+
+    /// Like [`EventLoopKvServer::start`], publishing `kv.conn_errors`
+    /// into a shared `session`.
+    pub fn start_traced(session: &TraceSession) -> std::io::Result<EventLoopKvServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_errors = session.counter("kv.conn_errors");
+        let sd = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || event_loop(listener, &conn_errors, &sd));
+        Ok(EventLoopKvServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+            trace: session.clone(),
+        })
+    }
+
+    /// The server's address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The trace session this server publishes `kv.conn_errors` into.
+    pub fn trace(&self) -> &TraceSession {
+        &self.trace
+    }
+
+    /// Connections that failed mid-request so far (`kv.conn_errors`).
+    pub fn conn_errors(&self) -> u64 {
+        self.trace.snapshot().get("kv.conn_errors")
+    }
+
+    /// Stop the loop and join it. The loop drains first — pending
+    /// complete requests are executed and their replies flushed — so a
+    /// shutdown under load loses no acknowledged work and, as with
+    /// [`TcpKvServer::shutdown`], counts no spurious `kv.conn_errors`.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The sweep loop: accept, read/execute/write every connection, sleep
+/// briefly only when a full sweep made no progress.
+fn event_loop(listener: TcpListener, conn_errors: &Counter, shutdown: &AtomicBool) {
+    let mut store: HashMap<String, (String, u64)> = HashMap::new();
+    let mut conns: Vec<ElConn> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        let shutting_down = shutdown.load(Ordering::SeqCst);
+        let mut progress = false;
+
+        // Accept everything ready (stop taking new work once draining).
+        if !shutting_down {
+            loop {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        if s.set_nonblocking(true).is_err() {
+                            conn_errors.inc();
+                            continue;
+                        }
+                        conns.push(ElConn {
+                            stream: s,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            closing: false,
+                            dead: false,
+                        });
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn_errors.inc();
+                        break;
+                    }
+                }
+            }
+        }
+
+        for conn in &mut conns {
+            progress |= sweep_conn(conn, &mut store, &mut scratch, conn_errors, shutting_down);
+        }
+        conns.retain(|c| !c.dead);
+
+        if shutting_down && conns.iter().all(|c| c.wbuf.is_empty()) {
+            // Drained: every complete request received before shutdown
+            // has been executed and its reply flushed.
+            return;
+        }
+        if !progress {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+}
+
+/// One sweep over one connection: read ready bytes, execute complete
+/// lines, write as much pending reply as the socket accepts. Returns
+/// whether anything moved.
+fn sweep_conn(
+    conn: &mut ElConn,
+    store: &mut HashMap<String, (String, u64)>,
+    scratch: &mut [u8],
+    conn_errors: &Counter,
+    shutting_down: bool,
+) -> bool {
+    use std::io::Read;
+    let mut progress = false;
+
+    // Read phase.
+    if !conn.closing {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // EOF. Leftover bytes are a request the client never
+                // finished — count it (unless we're the ones leaving)
+                // and never execute it.
+                if !conn.rbuf.is_empty() && !shutting_down {
+                    conn_errors.inc();
+                }
+                conn.closing = true;
+                progress = true;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                progress = true;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if !shutting_down {
+                    conn_errors.inc();
+                }
+                conn.dead = true;
+                return true;
+            }
+        }
+        // Execute every complete line we now hold.
+        while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw);
+            let reply = apply_line(&line, store);
+            conn.wbuf.extend_from_slice(reply.as_bytes());
+            conn.wbuf.push(b'\n');
+            progress = true;
+            if line.trim() == "QUIT" {
+                conn.closing = true;
+                break;
+            }
+        }
+    }
+
+    // Write phase.
+    if !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+                progress = true;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if !shutting_down {
+                    conn_errors.inc();
+                }
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.closing && conn.wbuf.is_empty() {
+        conn.dead = true;
+        progress = true;
+    }
+    progress
 }
 
 /// A blocking line-protocol client.
@@ -387,6 +635,211 @@ mod tests {
         assert!(c.call("FROB x").unwrap().starts_with("ERR"));
         assert!(c.call("GET").unwrap().starts_with("ERR"));
         assert!(c.call("CAS k notanumber v").unwrap().starts_with("ERR"));
+        server.shutdown();
+    }
+
+    /// N clients loop GET → CAS on one key; returns the sorted list of
+    /// versions the `OK <version>` replies handed out across all
+    /// clients.
+    fn hammer_one_key(addr: SocketAddr, clients: usize, rounds: usize) -> Vec<u64> {
+        let mut seed = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(seed.call("PUT hot base").unwrap(), "OK 1");
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpKvClient::connect(addr).unwrap();
+                    let mut wins = Vec::new();
+                    for _ in 0..rounds {
+                        let r = c.call("GET hot").unwrap();
+                        let ver: u64 = r.split(' ').nth(1).unwrap().parse().unwrap();
+                        let r = c.call(&format!("CAS hot {ver} w{i}")).unwrap();
+                        if let Some(v) = r.strip_prefix("OK ") {
+                            wins.push(v.parse::<u64>().unwrap());
+                        } else {
+                            assert!(r.starts_with("CONFLICT "), "{r}");
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The contention invariant: the server must hand out each version
+    /// to exactly one winner. Since only successful CAS bumps the
+    /// version, the won versions must be exactly {2, 3, …, final} with
+    /// no duplicates and no gaps.
+    fn assert_cas_serialized(addr: SocketAddr) {
+        let wins = hammer_one_key(addr, 6, 30);
+        assert!(!wins.is_empty(), "at least one CAS must win");
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        let reply = c.call("GET hot").unwrap();
+        let final_ver: u64 = reply.split(' ').nth(1).unwrap().parse().unwrap();
+        assert_eq!(final_ver, 1 + wins.len() as u64, "one bump per OK");
+        assert_eq!(
+            wins,
+            (2..=final_ver).collect::<Vec<u64>>(),
+            "every version won exactly once"
+        );
+    }
+
+    #[test]
+    fn cas_contention_one_ok_per_version_threaded_server() {
+        let server = TcpKvServer::start().unwrap();
+        assert_cas_serialized(server.addr());
+        server.shutdown();
+    }
+
+    #[test]
+    fn cas_contention_one_ok_per_version_event_loop_server() {
+        let server = EventLoopKvServer::start().unwrap();
+        assert_cas_serialized(server.addr());
+        server.shutdown();
+    }
+
+    /// Drive a server with request/response loops while it shuts down;
+    /// whatever the teardown interrupts must not surface as client
+    /// failures in `kv.conn_errors`.
+    fn shutdown_under_load(addr: SocketAddr, shutdown: impl FnOnce()) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let Ok(mut c) = TcpKvClient::connect(addr) else {
+                        return;
+                    };
+                    let mut j = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        j += 1;
+                        match c.call(&format!("PUT k{i} v{j}")) {
+                            // Server left mid-call (empty read or error):
+                            // expected during shutdown.
+                            Ok(r) if r.starts_with("OK ") => {}
+                            _ => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        shutdown();
+        stop.store(true, Ordering::SeqCst);
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn threaded_shutdown_mid_traffic_counts_no_spurious_errors() {
+        // Pins the fix for the shutdown race: force-closing both stream
+        // directions used to kill in-flight replies and bump
+        // kv.conn_errors for connections that did nothing wrong.
+        let session = TraceSession::new();
+        let server = TcpKvServer::start_traced(&session).unwrap();
+        shutdown_under_load(server.addr(), move || server.shutdown());
+        assert_eq!(
+            session.snapshot().get("kv.conn_errors"),
+            0,
+            "shutdown fabricated connection errors"
+        );
+    }
+
+    #[test]
+    fn event_loop_shutdown_mid_traffic_counts_no_spurious_errors() {
+        let session = TraceSession::new();
+        let server = EventLoopKvServer::start_traced(&session).unwrap();
+        shutdown_under_load(server.addr(), move || server.shutdown());
+        assert_eq!(session.snapshot().get("kv.conn_errors"), 0);
+    }
+
+    #[test]
+    fn event_loop_serves_the_full_protocol() {
+        let server = EventLoopKvServer::start().unwrap();
+        let mut c = TcpKvClient::connect(server.addr()).unwrap();
+        assert_eq!(c.call("GET x").unwrap(), "NOTFOUND");
+        assert_eq!(c.call("PUT x 41").unwrap(), "OK 1");
+        assert_eq!(c.call("PUT x 42").unwrap(), "OK 2");
+        assert_eq!(c.call("GET x").unwrap(), "VALUE 2 42");
+        assert_eq!(c.call("CAS x 2 43").unwrap(), "OK 3");
+        assert_eq!(c.call("CAS x 2 stale").unwrap(), "CONFLICT 3");
+        assert_eq!(c.call("DEL x").unwrap(), "OK 0");
+        assert_eq!(c.call("GET x").unwrap(), "NOTFOUND");
+        assert!(c.call("FROB x").unwrap().starts_with("ERR"));
+        assert_eq!(c.call("QUIT").unwrap(), "BYE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_handles_pipelined_requests_in_one_write() {
+        // Three requests in a single syscall: the loop must split lines
+        // itself instead of relying on one-read-per-request framing.
+        let server = EventLoopKvServer::start().unwrap();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"PUT a 1\nPUT b 2\nGET a\n").unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut l = String::new();
+            r.read_line(&mut l).unwrap();
+            lines.push(l.trim_end().to_string());
+        }
+        assert_eq!(lines, ["OK 1", "OK 1", "VALUE 1 1"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_concurrent_clients_shared_store() {
+        let server = EventLoopKvServer::start().unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = TcpKvClient::connect(addr).unwrap();
+                    for j in 0..50 {
+                        let r = c.call(&format!("PUT c{i} v{j}")).unwrap();
+                        assert!(r.starts_with("OK "), "{r}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        for i in 0..4 {
+            assert_eq!(c.call(&format!("GET c{i}")).unwrap(), "VALUE 50 v49");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_mid_request_disconnect_is_survived_and_counted() {
+        let server = EventLoopKvServer::start().unwrap();
+        let addr = server.addr();
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(c.call("PUT victim alive").unwrap(), "OK 1");
+        {
+            let mut bad = TcpStream::connect(addr).unwrap();
+            bad.write_all(b"DEL victim").unwrap();
+            // Drop: EOF with half a request buffered.
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.conn_errors() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "kv.conn_errors never incremented"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.conn_errors(), 1);
+        assert_eq!(c.call("GET victim").unwrap(), "VALUE 1 alive");
         server.shutdown();
     }
 }

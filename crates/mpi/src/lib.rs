@@ -10,6 +10,10 @@
 //! * [`world`] — `World::run(p, f)` spawns `p` ranks; [`world::Rank`]
 //!   provides `send`/`recv` with source/tag matching and traffic
 //!   counters.
+//! * [`transport`] — the pluggable delivery seam under `Rank`:
+//!   [`LocalTransport`] (in-process channels, the default) and
+//!   [`WireTransport`] / [`WireWorld`] (ranks as separate OS processes
+//!   over loopback TCP, per-process traces merged to `pdc-trace/3`).
 //! * [`coll`] — barrier, broadcast, reduce, allreduce, scatter, gather,
 //!   allgather, exclusive scan, and all-to-all.
 //! * [`cost`] — α–β (latency–bandwidth) cost formulas for each
@@ -31,7 +35,11 @@ pub mod ft;
 pub mod kv;
 pub mod kv_tcp;
 pub mod mapreduce;
+pub mod transport;
 pub mod world;
 
 pub use coll::CollId;
+pub use transport::{
+    LocalTransport, Transport, WireMessage, WireOptions, WireRun, WireTransport, WireWorld,
+};
 pub use world::{Payload, Rank, TrafficStats, World};

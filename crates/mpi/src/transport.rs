@@ -1,0 +1,957 @@
+//! Pluggable rank-to-rank transports: the seam between the rank API in
+//! [`crate::world`] and the machinery that actually moves envelopes.
+//!
+//! [`LocalTransport`] is the seed behaviour: ranks are threads of one
+//! process joined by unbounded crossbeam channels. [`WireTransport`]
+//! puts every rank in its **own OS process**, connected over loopback
+//! TCP to a parent router; [`WireWorld`] spawns those processes by
+//! re-executing the current binary (MPI launchers do the same — compare
+//! `mpirun` forking `p` copies of one executable). Everything above the
+//! [`Transport`] trait — tag matching, out-of-order buffering, traffic
+//! counters, every collective in [`crate::coll`] — is byte-for-byte the
+//! same code over both, which is the point of the seam: the ADI-style
+//! device layer of MPICH, in miniature.
+//!
+//! ## Wire protocol
+//!
+//! The topology is a star: child ranks never talk to each other
+//! directly, they send framed messages to the parent which re-frames
+//! and forwards to the destination's socket. All integers are
+//! little-endian. Child → parent frames start with a kind byte:
+//!
+//! ```text
+//! kind 0 (MSG):    dst:u32 tag:u32 modeled:u64 len:u32 payload[len]
+//! kind 1 (RESULT): len:u32 payload[len]
+//! ```
+//!
+//! `modeled` is [`Payload::size_bytes`] — the α–β cost-model size — so
+//! the parent can keep [`TrafficStats`] without decoding payloads.
+//! Parent → child frames need no kind byte (only messages flow down):
+//!
+//! ```text
+//! src:u32 tag:u32 len:u32 payload[len]
+//! ```
+//!
+//! Payload bytes are produced by the [`WireMessage`] codec. On connect,
+//! a child introduces itself with a bare `rank:u32` hello.
+//!
+//! ## Traces across processes
+//!
+//! A traced wire world has no shared `TraceSession`. Each child records
+//! into its own session and writes an ordinary `pdc-trace/2` snapshot
+//! to `<dir>/rank<i>.trace.json` before exiting; the parent parses and
+//! merges them into one `pdc-trace/3` [`MergedTrace`] (see
+//! [`pdc_core::merge`]) whose summed counters mean exactly what the
+//! shared-session counters mean in a single-process world.
+
+use crate::world::{Payload, Rank, Traffic, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pdc_core::merge::{self, MergedTrace};
+use pdc_core::trace::{self, TraceSession};
+use std::io::{self, BufReader, Read, Write};
+use std::marker::PhantomData;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A message in flight: who sent it, under which tag, and the payload.
+pub struct Envelope<M> {
+    /// Sending rank.
+    pub src: usize,
+    /// MPI-style tag used for envelope matching.
+    pub tag: u32,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Moves envelopes between ranks. [`Rank`](crate::world::Rank) owns one
+/// endpoint and layers tag matching and observability on top; a
+/// transport only has to deliver reliably and preserve per-sender FIFO
+/// order (both implementations do: crossbeam channels and TCP streams
+/// are FIFO, and the wire router forwards in arrival order).
+pub trait Transport<M: Payload>: Send {
+    /// Deliver `msg` from `src` to `dst` under `tag` (non-blocking,
+    /// eager: buffers at the receiver like small-message MPI).
+    fn send(&self, src: usize, dst: usize, tag: u32, msg: M);
+
+    /// Block until the next envelope for this rank arrives, in arrival
+    /// order. Tag matching happens above, in the rank's pending buffer.
+    fn recv(&self) -> Envelope<M>;
+}
+
+/// The seed transport: ranks are threads of one process, joined by
+/// unbounded in-process channels. Zero behaviour change from the
+/// pre-seam world — same channels, same panic messages.
+pub struct LocalTransport<M> {
+    pub(crate) senders: Vec<Sender<Envelope<M>>>,
+    pub(crate) inbox: Receiver<Envelope<M>>,
+}
+
+impl<M: Payload> Transport<M> for LocalTransport<M> {
+    fn send(&self, src: usize, dst: usize, tag: u32, msg: M) {
+        self.senders[dst]
+            .send(Envelope { src, tag, msg })
+            .expect("destination rank has exited");
+    }
+
+    fn recv(&self) -> Envelope<M> {
+        self.inbox.recv().expect("world torn down mid-recv")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+
+/// A [`Payload`] that can also cross a process boundary: a hand-rolled
+/// little-endian codec (no serde in the offline build). `encode` must
+/// be the inverse of `decode`; the blanket container impls compose the
+/// scalar ones the same way the `Payload` impls compose `size_bytes`.
+pub trait WireMessage: Payload + Sized {
+    /// Append this value's wire bytes to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Consume this value's wire bytes from the front of `buf`;
+    /// `None` if the bytes are malformed or truncated.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a value that must span exactly the whole buffer.
+    fn from_bytes(mut buf: &[u8]) -> Option<Self> {
+        let v = Self::decode(&mut buf)?;
+        buf.is_empty().then_some(v)
+    }
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_first_chunk::<8>()?;
+    *buf = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl WireMessage for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                // Casting through u64 sign-extends and the cast back
+                // truncates, so negative values round-trip.
+                out.extend_from_slice(&(*self as u64).to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                Some(take_u64(buf)? as $t)
+            }
+        }
+    )*};
+}
+wire_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl WireMessage for f32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(f32::from_bits(take_u32(buf)?))
+    }
+}
+
+impl WireMessage for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some(f64::from_bits(take_u64(buf)?))
+    }
+}
+
+impl WireMessage for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let (b, rest) = buf.split_first()?;
+        *buf = rest;
+        match b {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl WireMessage for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = take_u32(buf)? as usize;
+        let (head, rest) = buf.split_at_checked(len)?;
+        let s = std::str::from_utf8(head).ok()?.to_string();
+        *buf = rest;
+        Some(s)
+    }
+}
+
+impl<T: WireMessage> WireMessage for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = take_u32(buf)? as usize;
+        // Cap the pre-allocation: a corrupt length must not OOM.
+        let mut out = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: WireMessage, B: WireMessage> WireMessage for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: WireMessage> WireMessage for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let (b, rest) = buf.split_first()?;
+        *buf = rest;
+        match b {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+const FRAME_MSG: u8 = 0;
+const FRAME_RESULT: u8 = 1;
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_body(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_u32(r)? as usize;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------
+// WireTransport: a child rank's endpoint
+// ---------------------------------------------------------------------
+
+/// A child rank's endpoint: one TCP connection to the parent router.
+/// `send` frames and writes; `recv` blocks reading the next downward
+/// frame. Both take `&self` (the rank API sends through `&self`), so
+/// each direction is guarded by its own mutex — uncontended in
+/// practice, since a rank is single-threaded.
+pub struct WireTransport<M> {
+    reader: Mutex<BufReader<TcpStream>>,
+    writer: Mutex<TcpStream>,
+    _msg: PhantomData<fn() -> M>,
+}
+
+impl<M: WireMessage> WireTransport<M> {
+    fn new(stream: &TcpStream) -> io::Result<WireTransport<M>> {
+        Ok(WireTransport {
+            reader: Mutex::new(BufReader::new(stream.try_clone()?)),
+            writer: Mutex::new(stream.try_clone()?),
+            _msg: PhantomData,
+        })
+    }
+}
+
+impl<M: WireMessage> Transport<M> for WireTransport<M> {
+    fn send(&self, _src: usize, dst: usize, tag: u32, msg: M) {
+        let modeled = msg.size_bytes();
+        let body = msg.to_bytes();
+        let mut frame = Vec::with_capacity(21 + body.len());
+        frame.push(FRAME_MSG);
+        frame.extend_from_slice(&(dst as u32).to_le_bytes());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&modeled.to_le_bytes());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.writer
+            .lock()
+            .expect("wire writer poisoned")
+            .write_all(&frame)
+            .expect("wire transport: parent router hung up");
+    }
+
+    fn recv(&self) -> Envelope<M> {
+        let mut r = self.reader.lock().expect("wire reader poisoned");
+        let src = read_u32(&mut *r).expect("wire transport: parent closed mid-recv") as usize;
+        let tag = read_u32(&mut *r).expect("wire transport: truncated frame");
+        let body = read_body(&mut *r).expect("wire transport: truncated frame");
+        let msg = M::from_bytes(&body).expect("wire transport: undecodable payload");
+        Envelope { src, tag, msg }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WireWorld: parent router + self-exec child launcher
+// ---------------------------------------------------------------------
+
+/// Env var carrying the world id; set in child processes. Entry points
+/// that host more than one wire world dispatch on
+/// [`WireWorld::child_world_id`] before calling [`WireWorld::run`].
+pub const ENV_WORLD: &str = "PDC_WIRE_WORLD";
+const ENV_RANK: &str = "PDC_WIRE_RANK";
+const ENV_PROCS: &str = "PDC_WIRE_PROCS";
+const ENV_ADDR: &str = "PDC_WIRE_ADDR";
+const ENV_TRACE_DIR: &str = "PDC_WIRE_TRACE_DIR";
+
+/// How to launch a wire world: how many ranks, how a child process
+/// finds its way back to the same [`WireWorld::run`] call, and whether
+/// to trace.
+#[derive(Debug, Clone)]
+pub struct WireOptions {
+    /// Number of rank processes.
+    pub procs: usize,
+    /// Identifies this world; a child only enters a `run` call whose
+    /// `world_id` matches its `PDC_WIRE_WORLD`.
+    pub world_id: String,
+    /// Arguments passed to the re-executed current binary so it reaches
+    /// the same `WireWorld::run` call (e.g. a libtest `--exact` filter,
+    /// or a subcommand flag).
+    pub child_args: Vec<String>,
+    /// When set, each rank writes a `pdc-trace/2` snapshot here and the
+    /// parent merges them into a `pdc-trace/3` [`MergedTrace`].
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl WireOptions {
+    /// Options for a world whose entry point is the `#[test]` function
+    /// at libtest path `test_path` (module path without the crate name,
+    /// e.g. `"transport::tests::wire_ping_pong"`). The test binary is
+    /// re-executed with `--exact` so the child runs only that test.
+    pub fn for_test(procs: usize, test_path: &str) -> WireOptions {
+        WireOptions {
+            procs,
+            world_id: test_path.to_string(),
+            child_args: vec![
+                test_path.to_string(),
+                "--exact".to_string(),
+                "--nocapture".to_string(),
+            ],
+            trace_dir: None,
+        }
+    }
+
+    /// Options for a world reached by re-running the current binary
+    /// with `args` (e.g. `["--shard"]` for a subcommand entry point).
+    pub fn for_args(procs: usize, world_id: &str, args: &[&str]) -> WireOptions {
+        WireOptions {
+            procs,
+            world_id: world_id.to_string(),
+            child_args: args.iter().map(|a| a.to_string()).collect(),
+            trace_dir: None,
+        }
+    }
+
+    /// Trace every rank and merge the snapshots (written under `dir`).
+    pub fn traced(mut self, dir: impl Into<PathBuf>) -> WireOptions {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+}
+
+/// The outcome of a multi-process world run, as seen by the parent.
+pub struct WireRun<R> {
+    /// Each rank's return value, in rank order.
+    pub results: Vec<R>,
+    /// Traffic counted by the parent router from `modeled` frame
+    /// fields — the same numbers a `LocalTransport` world reports.
+    pub stats: TrafficStats,
+    /// Merged per-process traces, when [`WireOptions::trace_dir`] was
+    /// set.
+    pub trace: Option<MergedTrace>,
+}
+
+/// A message-passing world whose ranks are separate OS processes.
+///
+/// [`WireWorld::run`] is called from both sides of a `fork`-like
+/// boundary: the parent process spawns `procs` copies of the current
+/// binary and routes their traffic; each child re-executes the same
+/// entry point, where `run` detects the child env vars and runs `f` as
+/// one rank before exiting the process. One entry point should host one
+/// wire world; if it must host several, dispatch on
+/// [`WireWorld::child_world_id`] first.
+pub struct WireWorld;
+
+impl WireWorld {
+    /// In a child rank process, the world id this child belongs to;
+    /// `None` in an ordinary (parent) process.
+    pub fn child_world_id() -> Option<String> {
+        std::env::var(ENV_WORLD).ok()
+    }
+
+    /// Run `f` as `opts.procs` rank processes; in the parent, returns
+    /// every rank's result plus traffic stats (and the merged trace if
+    /// tracing). In a child this runs `f` for one rank and then exits
+    /// the process — it never returns.
+    ///
+    /// # Panics
+    /// Panics if `opts.procs == 0`, if a child cannot be spawned or
+    /// exits unsuccessfully, or if the world stalls (a child that never
+    /// connects or never finishes trips a deadline rather than hanging
+    /// CI forever).
+    pub fn run<M, R, F>(opts: &WireOptions, f: F) -> WireRun<R>
+    where
+        M: WireMessage,
+        R: WireMessage,
+        F: FnOnce(&mut Rank<M, WireTransport<M>>) -> R,
+    {
+        match Self::child_world_id() {
+            Some(id) if id == opts.world_id => Self::run_child(f),
+            Some(id) => panic!(
+                "wire child for world {id:?} reached WireWorld::run for {:?}; \
+                 dispatch on WireWorld::child_world_id() before calling run",
+                opts.world_id
+            ),
+            None => Self::run_parent(opts),
+        }
+    }
+
+    fn run_child<M, R, F>(f: F) -> !
+    where
+        M: WireMessage,
+        R: WireMessage,
+        F: FnOnce(&mut Rank<M, WireTransport<M>>) -> R,
+    {
+        let rank_id: usize = std::env::var(ENV_RANK)
+            .expect("wire child without rank")
+            .parse()
+            .expect("bad wire rank");
+        let procs: usize = std::env::var(ENV_PROCS)
+            .expect("wire child without procs")
+            .parse()
+            .expect("bad wire procs");
+        let addr = std::env::var(ENV_ADDR).expect("wire child without addr");
+        let trace_dir = std::env::var(ENV_TRACE_DIR).ok().map(PathBuf::from);
+        // Clear the markers so nothing `f` runs mistakes itself for a
+        // child of some nested world.
+        for k in [ENV_WORLD, ENV_RANK, ENV_PROCS, ENV_ADDR, ENV_TRACE_DIR] {
+            std::env::remove_var(k);
+        }
+
+        let stream = TcpStream::connect(&addr).expect("wire child: connect to parent");
+        stream.set_nodelay(true).ok();
+        (&stream)
+            .write_all(&(rank_id as u32).to_le_bytes())
+            .expect("wire child: hello");
+
+        let transport: WireTransport<M> =
+            WireTransport::new(&stream).expect("wire child: clone stream");
+        let session = trace_dir.as_ref().map(|_| TraceSession::new());
+        if let Some(s) = &session {
+            // Rank-local pdc-sync locking records under this rank's id,
+            // exactly as a traced thread-rank does.
+            trace::install_sync_trace(s.thread(rank_id as u32));
+        }
+        let mut rank = Rank::new(
+            rank_id,
+            procs,
+            transport,
+            Arc::new(Traffic::default()),
+            session.as_ref(),
+        );
+        let result = f(&mut rank);
+        drop(rank);
+        trace::clear_sync_trace();
+
+        if let (Some(s), Some(dir)) = (&session, &trace_dir) {
+            std::fs::create_dir_all(dir).expect("wire child: create trace dir");
+            let meta = [("process", rank_id.to_string())];
+            std::fs::write(
+                dir.join(format!("rank{rank_id}.trace.json")),
+                s.to_json_with_meta(&meta),
+            )
+            .expect("wire child: write trace snapshot");
+        }
+
+        let body = result.to_bytes();
+        let mut frame = Vec::with_capacity(5 + body.len());
+        frame.push(FRAME_RESULT);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        (&stream).write_all(&frame).expect("wire child: result");
+        std::process::exit(0);
+    }
+
+    fn run_parent<R: WireMessage>(opts: &WireOptions) -> WireRun<R> {
+        let p = opts.procs;
+        assert!(p > 0, "world needs at least one rank");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("wire parent: bind loopback");
+        let addr = listener.local_addr().expect("wire parent: local addr");
+        let exe = std::env::current_exe().expect("wire parent: current_exe");
+
+        let mut children: Vec<Child> = (0..p)
+            .map(|i| {
+                let mut cmd = Command::new(&exe);
+                cmd.args(&opts.child_args)
+                    .env(ENV_WORLD, &opts.world_id)
+                    .env(ENV_RANK, i.to_string())
+                    .env(ENV_PROCS, p.to_string())
+                    .env(ENV_ADDR, addr.to_string())
+                    .stdout(Stdio::null());
+                if let Some(dir) = &opts.trace_dir {
+                    cmd.env(ENV_TRACE_DIR, dir);
+                }
+                cmd.spawn().expect("wire parent: spawn rank process")
+            })
+            .collect();
+
+        let socks = Self::accept_ranks(&listener, &mut children);
+
+        // Star router: one reader and one writer thread per child. A
+        // reader forwards frames into per-destination unbounded queues;
+        // the queue (not the socket) absorbs bursts, so a rank sending
+        // while its peer's TCP buffer is full can never wedge the
+        // router. Writers drain their queue until every reader is done.
+        let traffic = Arc::new(Traffic::default());
+        let mut out_tx: Vec<Sender<Vec<u8>>> = Vec::with_capacity(p);
+        let mut out_rx: Vec<Receiver<Vec<u8>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            out_tx.push(tx);
+            out_rx.push(rx);
+        }
+        let (res_tx, res_rx) = unbounded::<(usize, Vec<u8>)>();
+
+        let readers: Vec<_> = socks
+            .iter()
+            .enumerate()
+            .map(|(rank, s)| {
+                let stream = s.try_clone().expect("wire parent: clone for reader");
+                let out_tx = out_tx.clone();
+                let traffic = Arc::clone(&traffic);
+                let res_tx = res_tx.clone();
+                std::thread::spawn(move || {
+                    route_from_child(rank, stream, &out_tx, &traffic, &res_tx)
+                })
+            })
+            .collect();
+        drop(out_tx);
+        drop(res_tx);
+
+        let writers: Vec<_> = socks
+            .into_iter()
+            .zip(out_rx)
+            .enumerate()
+            .map(|(rank, (mut stream, rx))| {
+                std::thread::spawn(move || {
+                    for frame in rx {
+                        stream
+                            .write_all(&frame)
+                            .unwrap_or_else(|e| panic!("wire: deliver to rank {rank}: {e}"));
+                    }
+                })
+            })
+            .collect();
+
+        let mut results: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+        for _ in 0..p {
+            let (rank, body) = res_rx
+                .recv_timeout(Duration::from_secs(300))
+                .expect("wire world stalled waiting for rank results");
+            assert!(results[rank].is_none(), "duplicate result from rank {rank}");
+            results[rank] = Some(body);
+        }
+        for h in readers {
+            h.join().expect("wire reader thread panicked");
+        }
+        for h in writers {
+            h.join().expect("wire writer thread panicked");
+        }
+        for (i, c) in children.iter_mut().enumerate() {
+            let status = c.wait().expect("wire parent: wait for rank");
+            assert!(status.success(), "wire rank {i} exited with {status}");
+        }
+
+        let trace = opts.trace_dir.as_ref().map(|dir| {
+            let parts = (0..p)
+                .map(|i| {
+                    let path = dir.join(format!("rank{i}.trace.json"));
+                    let text = std::fs::read_to_string(&path)
+                        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                    merge::parse_trace(&text, i as u32)
+                        .unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+                })
+                .collect();
+            MergedTrace::merge(parts)
+        });
+        let results = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                R::from_bytes(&b.unwrap_or_else(|| panic!("no result from rank {i}")))
+                    .unwrap_or_else(|| panic!("undecodable result from rank {i}"))
+            })
+            .collect();
+        WireRun {
+            results,
+            stats: traffic.stats(),
+            trace,
+        }
+    }
+
+    /// Accept `children.len()` hello frames, failing fast (instead of
+    /// hanging) when a child dies before connecting — the usual cause
+    /// is `child_args` that don't re-enter the calling code path.
+    fn accept_ranks(listener: &TcpListener, children: &mut [Child]) -> Vec<TcpStream> {
+        let p = children.len();
+        listener
+            .set_nonblocking(true)
+            .expect("wire parent: nonblocking listener");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut socks: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < p {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)
+                        .expect("wire parent: blocking conn");
+                    s.set_nodelay(true).ok();
+                    let mut hello = [0u8; 4];
+                    (&s).read_exact(&mut hello)
+                        .expect("wire parent: read hello");
+                    let r = u32::from_le_bytes(hello) as usize;
+                    assert!(r < p, "hello from out-of-range rank {r}");
+                    assert!(socks[r].is_none(), "duplicate hello from rank {r}");
+                    socks[r] = Some(s);
+                    connected += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    for (i, c) in children.iter_mut().enumerate() {
+                        if let Some(status) = c.try_wait().expect("wire parent: try_wait") {
+                            panic!(
+                                "wire rank {i} exited ({status}) before connecting; \
+                                 check that WireOptions::child_args re-enter this world"
+                            );
+                        }
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "wire ranks failed to connect within 60s"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("wire parent: accept: {e}"),
+            }
+        }
+        socks
+            .into_iter()
+            .map(|s| s.expect("all connected"))
+            .collect()
+    }
+}
+
+/// Parent-side reader loop for one child: forward `MSG` frames to the
+/// destination's queue (re-framed with the verified source rank, so a
+/// child cannot spoof `src`), surface the `RESULT` frame, stop at EOF.
+fn route_from_child(
+    rank: usize,
+    stream: TcpStream,
+    out_tx: &[Sender<Vec<u8>>],
+    traffic: &Traffic,
+    res_tx: &Sender<(usize, Vec<u8>)>,
+) {
+    let mut r = BufReader::new(stream);
+    loop {
+        let mut kind = [0u8; 1];
+        match r.read_exact(&mut kind) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
+            Err(e) => panic!("wire: read from rank {rank}: {e}"),
+            Ok(()) => {}
+        }
+        match kind[0] {
+            FRAME_MSG => {
+                let dst = read_u32(&mut r).expect("wire: truncated dst") as usize;
+                let tag = read_u32(&mut r).expect("wire: truncated tag");
+                let modeled = read_u64(&mut r).expect("wire: truncated size");
+                let body = read_body(&mut r).expect("wire: truncated payload");
+                assert!(dst < out_tx.len(), "rank {rank} sent to bad rank {dst}");
+                traffic.count(1, modeled);
+                let mut frame = Vec::with_capacity(12 + body.len());
+                frame.extend_from_slice(&(rank as u32).to_le_bytes());
+                frame.extend_from_slice(&tag.to_le_bytes());
+                frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&body);
+                out_tx[dst]
+                    .send(frame)
+                    .expect("wire: destination writer gone");
+            }
+            FRAME_RESULT => {
+                let body = read_body(&mut r).expect("wire: truncated result");
+                res_tx.send((rank, body)).expect("wire: result sink gone");
+            }
+            k => panic!("wire: unknown frame kind {k} from rank {rank}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireMessage + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Some(&v), "roundtrip {v:?}");
+        // Trailing garbage must be rejected by from_bytes.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(T::from_bytes(&longer).is_none() || bytes.is_empty());
+    }
+
+    #[test]
+    fn wire_codec_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-1i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-0.125f64);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip((42usize, vec![-7i64]));
+        roundtrip(Some(vec![(1u32, false), (2, true)]));
+        roundtrip(Option::<u64>::None);
+    }
+
+    #[test]
+    fn wire_codec_rejects_truncation() {
+        let v = (String::from("abc"), vec![1u64, 2]);
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                <(String, Vec<u64>)>::from_bytes(&bytes[..cut]).is_none(),
+                "accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_ping_pong_two_processes() {
+        let opts = WireOptions::for_test(2, "transport::tests::wire_ping_pong_two_processes");
+        let run = WireWorld::run(&opts, |r: &mut Rank<u64, WireTransport<u64>>| {
+            if r.id() == 0 {
+                r.send(1, 0, 42);
+                r.recv(1, 0)
+            } else {
+                let v = r.recv(0, 0);
+                r.send(0, 0, v + 1);
+                v
+            }
+        });
+        assert_eq!(run.results, vec![43, 42]);
+        assert_eq!(run.stats.messages, 2);
+        assert_eq!(run.stats.bytes, 16, "modeled bytes, same as local");
+        assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn wire_tag_matching_and_recv_any_across_processes() {
+        let opts = WireOptions::for_test(
+            3,
+            "transport::tests::wire_tag_matching_and_recv_any_across_processes",
+        );
+        let run = WireWorld::run(&opts, |r: &mut Rank<u64, WireTransport<u64>>| {
+            match r.id() {
+                0 => {
+                    // Out-of-order tags from rank 1: matching must buffer.
+                    let a = r.recv(1, 1);
+                    let b = r.recv(1, 2);
+                    assert_eq!((a, b), (100, 200));
+                    let (src, v) = r.recv_any(9);
+                    assert_eq!((src, v), (2, 900));
+                    a + b + v
+                }
+                1 => {
+                    r.send(0, 2, 200);
+                    r.send(0, 1, 100);
+                    0
+                }
+                _ => {
+                    r.send(0, 9, 900);
+                    0
+                }
+            }
+        });
+        assert_eq!(run.results, vec![1200, 0, 0]);
+        assert_eq!(run.stats.messages, 3);
+    }
+
+    #[test]
+    fn wire_world_runs_the_full_collective_suite() {
+        // The acceptance bar for the seam: every collective in
+        // crate::coll, unchanged, over ranks that are OS processes.
+        use crate::coll;
+        let p = 3;
+        let opts = WireOptions::for_test(
+            p,
+            "transport::tests::wire_world_runs_the_full_collective_suite",
+        );
+        let run = WireWorld::run(&opts, |r: &mut Rank<Vec<i64>, WireTransport<Vec<i64>>>| {
+            let p = r.size();
+            let me = r.id() as i64;
+            coll::barrier(r);
+
+            let v = coll::broadcast(r, 0, (r.id() == 0).then(|| vec![7, 8]));
+            assert_eq!(v, vec![7, 8]);
+
+            let red = coll::reduce(r, 1, vec![me], |mut a, b| {
+                a.extend(b);
+                a
+            });
+            if r.id() == 1 {
+                let mut got = red.expect("root result");
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2]);
+            } else {
+                assert!(red.is_none());
+            }
+
+            let all = coll::allreduce(r, vec![me * 10], |mut a, b| {
+                a.extend(b);
+                a
+            });
+            assert_eq!(all.len(), p);
+
+            let gathered = coll::gather(r, 0, vec![me, me]);
+            if r.id() == 0 {
+                assert_eq!(
+                    gathered.expect("root"),
+                    vec![vec![0, 0], vec![1, 1], vec![2, 2]]
+                );
+            }
+
+            let mine = coll::scatter(
+                r,
+                2,
+                (r.id() == 2).then(|| (0..p as i64).map(|i| vec![100 + i]).collect()),
+            );
+            assert_eq!(mine, vec![100 + me]);
+
+            let ag = coll::allgather(r, vec![me * 2]);
+            assert_eq!(ag, vec![vec![0], vec![2], vec![4]]);
+
+            let summed = coll::ring_allreduce(r, vec![me; 6], |a, b| a + b);
+            assert_eq!(summed, vec![3; 6]);
+
+            let prefix = coll::exclusive_scan(r, vec![], vec![me + 1], |mut a, b| {
+                a.extend(b);
+                a
+            });
+            assert_eq!(prefix, (1..=me).collect::<Vec<i64>>());
+
+            let exchanged = coll::alltoall(r, (0..p as i64).map(|j| vec![me * 10 + j]).collect());
+            for (src, got) in exchanged.iter().enumerate() {
+                assert_eq!(got, &vec![src as i64 * 10 + me]);
+            }
+
+            coll::barrier(r);
+            vec![me]
+        });
+        assert_eq!(run.results, vec![vec![0], vec![1], vec![2]]);
+        // Exact message counts carry over the wire: two barriers plus
+        // the nine data collectives, per the cost-model formulas.
+        use crate::cost;
+        let want = 2 * cost::barrier_msgs(p as u64)
+            + cost::broadcast_msgs(p as u64) * 2          // broadcast + reduce
+            + cost::allreduce_msgs(p as u64)
+            + (p as u64 - 1) * 3                          // gather, scatter, scan
+            + cost::allgather_msgs(p as u64)
+            + cost::ring_allreduce_msgs(p as u64)
+            + cost::allgather_msgs(p as u64); // alltoall: p(p−1)
+        assert_eq!(run.stats.messages, want);
+    }
+
+    #[test]
+    fn wire_traced_world_merges_per_process_snapshots() {
+        let dir = std::env::temp_dir().join(format!("pdc-wire-trace-{}", std::process::id()));
+        let opts = WireOptions::for_test(
+            2,
+            "transport::tests::wire_traced_world_merges_per_process_snapshots",
+        )
+        .traced(&dir);
+        let run = WireWorld::run(&opts, |r: &mut Rank<u64, WireTransport<u64>>| {
+            if r.id() == 0 {
+                r.send(1, 0, 5);
+                0
+            } else {
+                r.recv(0, 0)
+            }
+        });
+        assert_eq!(run.results, vec![0, 5]);
+        let merged = run.trace.expect("traced run yields a merged trace");
+        assert_eq!(merged.processes.len(), 2);
+        // Summed counters match the router's independent count.
+        assert_eq!(merged.counter("mpi.msgs"), run.stats.messages);
+        assert_eq!(merged.counter("mpi.bytes"), run.stats.bytes);
+        // Rank 0 counted its send locally; rank 1 sent nothing.
+        assert_eq!(merged.processes[0].counters.get("mpi.msgs"), Some(&1));
+        assert_eq!(merged.processes[1].counters.get("mpi.msgs"), Some(&0));
+        // The schema-3 export carries per-event process ids.
+        let json = merged.to_json(&[]);
+        assert!(json.starts_with("{\"schema\":\"pdc-trace/3\""));
+        assert!(json.contains("\"process\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,16 +1,22 @@
-//! The rank world: threads + channels + tag matching + traffic counters.
+//! The rank world: ranks + tag matching + traffic counters over a
+//! pluggable [`Transport`].
 //!
-//! `World::run(p, f)` runs `f(&mut rank)` on `p` scoped threads. Each
-//! rank owns an unbounded inbox; `send` is non-blocking (eager buffered,
-//! like small-message MPI), `recv(src, tag)` blocks and performs MPI-style
-//! envelope matching, buffering messages that arrive out of order.
+//! `World::run(p, f)` runs `f(&mut rank)` on `p` scoped threads joined
+//! by in-process channels ([`LocalTransport`], the default transport
+//! type parameter of [`Rank`]); `WireWorld::run` in [`crate::transport`]
+//! runs the same `f` with each rank as a separate OS process. Either
+//! way, `send` is non-blocking (eager buffered, like small-message
+//! MPI), `recv(src, tag)` blocks and performs MPI-style envelope
+//! matching, buffering messages that arrive out of order — the matching
+//! lives here, above the transport seam, so both transports share it.
 //! Every message increments global message/byte counters — the raw data
 //! for the α–β analyses in [`crate::cost`]. A world started with
 //! [`World::run_traced`] additionally publishes `mpi.msgs` / `mpi.bytes`
 //! into a shared pdc-trace session and records per-rank send/recv
 //! events, under the same schema the thread pool and `SimMachine` use.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{Envelope, LocalTransport, Transport};
+use crossbeam::channel::unbounded;
 use pdc_core::metrics::Counter;
 use pdc_core::trace::{self, EventKind, ThreadTrace, TraceSession};
 use std::collections::VecDeque;
@@ -19,6 +25,13 @@ use std::sync::Arc;
 
 /// Types that can be sent between ranks, with a modeled wire size.
 pub trait Payload: Send + 'static {
+    /// `Some(n)` when every value of this type models exactly `n`
+    /// bytes. Containers use it to compute [`Self::size_bytes`] in O(1)
+    /// instead of walking elements — `send` sizes every message, so a
+    /// `Vec<u64>` payload would otherwise pay an O(len) walk per send.
+    /// The default `None` means per-value sizes vary.
+    const FIXED_SIZE: Option<u64> = None;
+
     /// Modeled size in bytes (for the β term of the cost model).
     fn size_bytes(&self) -> u64;
 }
@@ -26,6 +39,7 @@ pub trait Payload: Send + 'static {
 macro_rules! scalar_payload {
     ($($t:ty),*) => {$(
         impl Payload for $t {
+            const FIXED_SIZE: Option<u64> = Some(std::mem::size_of::<$t>() as u64);
             fn size_bytes(&self) -> u64 {
                 std::mem::size_of::<$t>() as u64
             }
@@ -51,11 +65,18 @@ scalar_payload!(
 
 impl<T: Payload> Payload for Vec<T> {
     fn size_bytes(&self) -> u64 {
-        self.iter().map(Payload::size_bytes).sum()
+        match T::FIXED_SIZE {
+            Some(per_element) => per_element * self.len() as u64,
+            None => self.iter().map(Payload::size_bytes).sum(),
+        }
     }
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
+    const FIXED_SIZE: Option<u64> = match (A::FIXED_SIZE, B::FIXED_SIZE) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
     fn size_bytes(&self) -> u64 {
         self.0.size_bytes() + self.1.size_bytes()
     }
@@ -73,18 +94,27 @@ impl<T: Payload> Payload for Option<T> {
     }
 }
 
-/// Message envelope.
-struct Envelope<M> {
-    src: usize,
-    tag: u32,
-    msg: M,
-}
-
 /// Global traffic counters for a world run.
 #[derive(Debug, Default)]
 pub struct Traffic {
     msgs: AtomicU64,
     bytes: AtomicU64,
+}
+
+impl Traffic {
+    /// Record `msgs` messages totalling `bytes` modeled bytes.
+    pub(crate) fn count(&self, msgs: u64, bytes: u64) {
+        self.msgs.fetch_add(msgs, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub(crate) fn stats(&self) -> TrafficStats {
+        TrafficStats {
+            messages: self.msgs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A snapshot of the counters.
@@ -107,11 +137,15 @@ struct RankObs {
 }
 
 /// One rank's endpoint inside a running world.
-pub struct Rank<M: Payload> {
+///
+/// Generic over the [`Transport`] moving its envelopes; the default is
+/// the in-process [`LocalTransport`], so `Rank<M>` means what it always
+/// meant. Tag matching, the pending buffer, and all observability live
+/// here — above the transport seam — so every transport shares them.
+pub struct Rank<M: Payload, T: Transport<M> = LocalTransport<M>> {
     id: usize,
     size: usize,
-    senders: Vec<Sender<Envelope<M>>>,
-    inbox: Receiver<Envelope<M>>,
+    transport: T,
     /// Out-of-order messages awaiting a matching recv.
     pending: VecDeque<Envelope<M>>,
     traffic: Arc<Traffic>,
@@ -120,7 +154,34 @@ pub struct Rank<M: Payload> {
     coll_seq: u64,
 }
 
-impl<M: Payload> Rank<M> {
+impl<M: Payload, T: Transport<M>> Rank<M, T> {
+    /// Wire up a rank endpoint over `transport`. When `session` is
+    /// given, the rank publishes `mpi.msgs`/`mpi.bytes` counters into
+    /// it and records send/recv events as actor `id`.
+    pub(crate) fn new(
+        id: usize,
+        size: usize,
+        transport: T,
+        traffic: Arc<Traffic>,
+        session: Option<&TraceSession>,
+    ) -> Rank<M, T> {
+        let obs = session.map(|sess| RankObs {
+            session: sess.clone(),
+            thread: sess.thread(id as u32),
+            msgs: sess.counter("mpi.msgs"),
+            bytes: sess.counter("mpi.bytes"),
+        });
+        Rank {
+            id,
+            size,
+            transport,
+            pending: VecDeque::new(),
+            traffic,
+            obs,
+            coll_seq: 0,
+        }
+    }
+
     /// This rank's id in `0..size`.
     pub fn id(&self) -> usize {
         self.id
@@ -139,20 +200,13 @@ impl<M: Payload> Rank<M> {
     pub fn send(&self, dst: usize, tag: u32, msg: M) {
         assert!(dst < self.size, "rank {dst} out of range");
         let nbytes = msg.size_bytes();
-        self.traffic.msgs.fetch_add(1, Ordering::Relaxed);
-        self.traffic.bytes.fetch_add(nbytes, Ordering::Relaxed);
+        self.traffic.count(1, nbytes);
         if let Some(obs) = &self.obs {
             obs.msgs.inc();
             obs.bytes.add(nbytes);
             obs.thread.record(EventKind::Send, dst as u64, nbytes);
         }
-        self.senders[dst]
-            .send(Envelope {
-                src: self.id,
-                tag,
-                msg,
-            })
-            .expect("destination rank has exited");
+        self.transport.send(self.id, dst, tag, msg);
     }
 
     /// Receive the next message matching `(src, tag)`, blocking until it
@@ -170,7 +224,7 @@ impl<M: Payload> Rank<M> {
             return msg;
         }
         loop {
-            let env = self.inbox.recv().expect("world torn down mid-recv");
+            let env = self.transport.recv();
             if env.src == src && env.tag == tag {
                 self.note_recv(src, &env.msg);
                 return env.msg;
@@ -187,7 +241,7 @@ impl<M: Payload> Rank<M> {
             return (e.src, e.msg);
         }
         loop {
-            let env = self.inbox.recv().expect("world torn down mid-recv");
+            let env = self.transport.recv();
             if env.tag == tag {
                 self.note_recv(env.src, &env.msg);
                 return (env.src, env.msg);
@@ -276,8 +330,6 @@ impl World {
     {
         assert!(p > 0, "world needs at least one rank");
         let traffic = Arc::new(Traffic::default());
-        let msgs = session.map(|s| s.counter("mpi.msgs"));
-        let bytes = session.map(|s| s.counter("mpi.bytes"));
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
@@ -290,32 +342,20 @@ impl World {
                 .into_iter()
                 .enumerate()
                 .map(|(id, inbox)| {
-                    let senders = senders.clone();
+                    let transport = LocalTransport {
+                        senders: senders.clone(),
+                        inbox,
+                    };
                     let traffic = Arc::clone(&traffic);
-                    let obs = session.map(|sess| RankObs {
-                        session: sess.clone(),
-                        thread: sess.thread(id as u32),
-                        msgs: msgs.clone().expect("traced world has counters"),
-                        bytes: bytes.clone().expect("traced world has counters"),
-                    });
                     let f = &f;
                     s.spawn(move || {
+                        let mut rank = Rank::new(id, p, transport, traffic, session);
                         // In a traced world the rank thread also records
                         // pdc-sync acquire/release events under its rank
                         // id, so `pdc-analyze` sees rank-local locking.
-                        if let Some(o) = &obs {
+                        if let Some(o) = &rank.obs {
                             trace::install_sync_trace(o.thread.clone());
                         }
-                        let mut rank = Rank {
-                            id,
-                            size: p,
-                            senders,
-                            inbox,
-                            pending: VecDeque::new(),
-                            traffic,
-                            obs,
-                            coll_seq: 0,
-                        };
                         let out = f(&mut rank);
                         trace::clear_sync_trace();
                         out
@@ -327,11 +367,7 @@ impl World {
                 .map(|h| h.join().expect("rank panicked"))
                 .collect()
         });
-        let stats = TrafficStats {
-            messages: traffic.msgs.load(Ordering::Relaxed),
-            bytes: traffic.bytes.load(Ordering::Relaxed),
-        };
-        (results, stats)
+        (results, traffic.stats())
     }
 }
 
@@ -450,6 +486,41 @@ mod tests {
         });
         assert_eq!(stats.bytes, 800);
         assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn vec_size_fast_path_agrees_with_elementwise_walk() {
+        // The O(1) `FIXED_SIZE * len` fast path must price a vector
+        // exactly like the naive per-element walk it replaces.
+        fn walked<T: Payload>(v: &[T]) -> u64 {
+            v.iter().map(Payload::size_bytes).sum()
+        }
+        let fixed = vec![7u64; 1000];
+        assert_eq!(<u64 as Payload>::FIXED_SIZE, Some(8));
+        assert_eq!(fixed.size_bytes(), walked(&fixed));
+        assert_eq!(fixed.size_bytes(), 8000);
+
+        let pairs = vec![(1u32, true); 9];
+        assert_eq!(<(u32, bool) as Payload>::FIXED_SIZE, Some(5));
+        assert_eq!(pairs.size_bytes(), walked(&pairs));
+
+        let unit = vec![(); 3];
+        assert_eq!(unit.size_bytes(), walked(&unit));
+
+        // Variable-size element types must keep the exact walk.
+        let strings = vec!["ab".to_string(), "cdef".to_string()];
+        assert_eq!(<String as Payload>::FIXED_SIZE, None);
+        assert_eq!(strings.size_bytes(), walked(&strings));
+        assert_eq!(strings.size_bytes(), 6);
+
+        let nested = vec![vec![1u8, 2], vec![3]];
+        assert_eq!(<Vec<u8> as Payload>::FIXED_SIZE, None);
+        assert_eq!(nested.size_bytes(), walked(&nested));
+        assert_eq!(nested.size_bytes(), 3);
+
+        let options = vec![Some(1u64), None, Some(2)];
+        assert_eq!(<Option<u64> as Payload>::FIXED_SIZE, None);
+        assert_eq!(options.size_bytes(), walked(&options));
     }
 
     #[test]
