@@ -10,7 +10,7 @@
 
 use pdc_core::trace::{self, TraceSession};
 use pdc_sync::problems::{lucky_sequential_schedule, simulate_traced, Strategy, TracedSim};
-use pdc_sync::PdcMutex;
+use pdc_sync::{PdcCondvar, PdcMutex, Semaphore};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How many increments each fixture thread performs.
@@ -68,6 +68,78 @@ pub fn fixed_counter_session() -> TraceSession {
                 trace::clear_sync_trace();
             });
         }
+    });
+    session
+}
+
+/// The ad-hoc semaphore hand-off protocol: the producer writes the
+/// slot and releases a semaphore; the consumer acquires the semaphore
+/// and then reads and rewrites the slot. No lock is ever held, yet the
+/// accesses are fully ordered through the permit's pulse edge — both
+/// detectors must report this clean (the lockset checker via ownership
+/// transfer along the hand-off edge, not via any candidate lock).
+pub fn semaphore_handoff_session() -> TraceSession {
+    let session = TraceSession::new();
+    let slot = AtomicU64::new(0);
+    let handoff = Semaphore::new(0);
+    let var = trace::next_site_id();
+    std::thread::scope(|s| {
+        let (session, slot, handoff) = (&session, &slot, &handoff);
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(0));
+            trace::record_var_write(var);
+            slot.store(41, Ordering::Relaxed);
+            handoff.release();
+            trace::clear_sync_trace();
+        });
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(1));
+            handoff.acquire();
+            trace::record_var_read(var);
+            let v = slot.load(Ordering::Relaxed);
+            trace::record_var_write(var);
+            slot.store(v + 1, Ordering::Relaxed);
+            trace::clear_sync_trace();
+        });
+    });
+    session
+}
+
+/// A misused condition variable: the consumer *peeks* at the shared
+/// slot before taking the mutex and waiting, so that first read has no
+/// incoming happens-before edge from the producer's write — a true
+/// data race the HB detector must flag in every schedule (whichever of
+/// the peek and the write lands first in the trace, the pair is
+/// unordered). The post-wait read is correctly synchronised via the
+/// signal/wait edge.
+pub fn misused_condvar_session() -> TraceSession {
+    let session = TraceSession::new();
+    let ready = PdcMutex::new(false);
+    let cv = PdcCondvar::new();
+    let slot = AtomicU64::new(0);
+    let var = trace::next_site_id();
+    std::thread::scope(|s| {
+        let (session, ready, cv, slot) = (&session, &ready, &cv, &slot);
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(0));
+            trace::record_var_write(var);
+            slot.store(42, Ordering::Relaxed);
+            *ready.lock() = true;
+            cv.notify_one();
+            trace::clear_sync_trace();
+        });
+        s.spawn(move || {
+            trace::install_sync_trace(session.thread(1));
+            // BUG: check the slot before synchronising.
+            trace::record_var_read(var);
+            let _peek = slot.load(Ordering::Relaxed);
+            let g = ready.lock();
+            let g = cv.wait_while(g, |&r| !r);
+            drop(g);
+            trace::record_var_read(var);
+            let _v = slot.load(Ordering::Relaxed);
+            trace::clear_sync_trace();
+        });
     });
     session
 }

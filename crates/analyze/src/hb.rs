@@ -5,8 +5,11 @@
 //! synchronisation action the tracer records:
 //!
 //! - `acquire`/`release` on a site (any mode — exclusive locks, shared
-//!   rwlock sides, and pulse-style semaphore/barrier/condvar/oncecell
-//!   signals all transfer the releaser's history to later acquirers);
+//!   rwlock sides, and pulse-style semaphore/barrier/oncecell signals
+//!   all transfer the releaser's history to later acquirers);
+//! - `wait`/`signal` condition edges: a `signal` publishes the
+//!   notifier's history on the condvar's site, every subsequent `wait`
+//!   (recorded after the wakeup) adopts it;
 //! - `fork`/`join` handles (pool submits, fork-join splits);
 //! - `send`/`recv` message edges, matched FIFO per (source, dest) pair.
 //!
@@ -96,7 +99,11 @@ impl HbDetector {
     pub fn step(&mut self, e: &Event) {
         let actor = e.actor;
         match e.kind {
-            EventKind::Acquire => {
+            // A `wait` wakeup adopts whatever the signalling side
+            // published on the condvar's site — same edge shape as a
+            // pulse acquire, under its own kind so lockset/lock-order
+            // can tell condition waits from lock traffic.
+            EventKind::Acquire | EventKind::Wait => {
                 if let Some(rel) = self.lock_release.get(&e.a) {
                     let rel = rel.clone();
                     self.clock_mut(actor).join(&rel);
@@ -104,7 +111,7 @@ impl HbDetector {
                     self.clock_mut(actor);
                 }
             }
-            EventKind::Release => {
+            EventKind::Signal | EventKind::Release => {
                 let ct = self.clock_mut(actor).clone();
                 self.lock_release.entry(e.a).or_default().join(&ct);
                 // Advance past the release so later same-site critical
@@ -379,6 +386,28 @@ mod tests {
             ev(4, 1, EventKind::Write, V, 0),
         ]);
         assert!(races.is_empty(), "{races:?}");
+    }
+
+    #[test]
+    fn signal_wait_transfers_history() {
+        // Condvar-style: writer signals after publishing, waiter's wait
+        // edge (recorded post-wakeup) adopts the writer's history.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Signal, L, 1),
+            ev(3, 1, EventKind::Wait, L, 1),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+        // A read *before* the wait edge is still unordered: the misused
+        // condvar keeps racing.
+        let races = detect_races(&[
+            ev(1, 1, EventKind::Read, V, 0),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Signal, L, 1),
+            ev(4, 1, EventKind::Wait, L, 1),
+        ]);
+        assert_eq!(races.len(), 1, "pre-wait access has no incoming edge");
     }
 
     #[test]

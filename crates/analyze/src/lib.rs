@@ -107,6 +107,27 @@ mod tests {
     }
 
     #[test]
+    fn semaphore_handoff_is_clean() {
+        // The ad-hoc hand-off protocol holds no lock at all; the pulse
+        // edge must satisfy HB, and the lockset checker must treat it
+        // as ownership transfer rather than unlocked sharing.
+        let report = analyze(&fixtures::semaphore_handoff_session());
+        assert!(report.clean(), "{:?}", report.defects);
+    }
+
+    #[test]
+    fn misused_condvar_still_races() {
+        // The pre-wait peek has no incoming edge in any schedule, so
+        // adding wait/signal edges must not launder the real race.
+        let report = analyze(&fixtures::misused_condvar_session());
+        assert!(
+            report.count_kind(DefectKind::DataRace) >= 1,
+            "{:?}",
+            report.defects
+        );
+    }
+
+    #[test]
     fn deadlocky_philosophers_cycle_is_predicted() {
         let (session, sim) = fixtures::deadlocky_philosophers_session(5);
         let report = analyze(&session);

@@ -17,9 +17,10 @@
 //! Pulse-mode sites (semaphores) count as held while the actor's
 //! acquire/release balance is positive **and** the actor later releases
 //! the site — the latter condition keeps one-way pulses such as a
-//! condvar wakeup or a oncecell read (acquire with no paired release)
-//! from masquerading as gates. Cycles whose edges share a gate are
-//! reported informationally as `gated_cycles`, not defects.
+//! oncecell or barrier acquire (no paired release) from masquerading as
+//! gates. Condvar traffic uses the dedicated `wait`/`signal` kinds and
+//! never enters gate accounting at all. Cycles whose edges share a gate
+//! are reported informationally as `gated_cycles`, not defects.
 
 use crate::report::{Defect, DefectKind};
 use pdc_core::trace::{Event, EventKind, SYNC_PULSE};

@@ -11,22 +11,36 @@
 //! state is a violation: no consistent lock discipline exists, even if
 //! this particular schedule never raced.
 //!
-//! Only real lock modes participate ([`SYNC_SHARED`] /
-//! [`SYNC_EXCLUSIVE`]); pulse-style synchronisation (semaphores,
-//! barriers, condvars) establishes ordering, not ownership, and is the
-//! happens-before detector's business.
+//! Only real lock modes participate in the candidate sets
+//! ([`SYNC_SHARED`] / [`SYNC_EXCLUSIVE`]); pulse-style synchronisation
+//! (semaphores, barriers, condvars) establishes ordering, not
+//! ownership. Pure Eraser, however, flags the classic false positive:
+//! an ad-hoc hand-off protocol ("I write, *then* release a semaphore;
+//! you acquire it, *then* write") is perfectly disciplined yet holds no
+//! common lock. So this checker carries a small vector-clock tracker
+//! fed **only** by hand-off edges — pulse acquire/release, condvar
+//! wait/signal, fork/join, send/recv — and when a variable in the
+//! exclusive state is touched by a new thread whose clock already
+//! dominates the old owner's last access, *ownership transfers* instead
+//! of degrading to shared. Real lock edges deliberately do not feed the
+//! tracker: they are the very discipline under test, and using them
+//! would launder ordinary unlocked sharing whenever a schedule happened
+//! to serialise it.
 
 use crate::report::{Defect, DefectKind};
+use crate::vc::{Epoch, VectorClock};
 use pdc_core::trace::{Event, EventKind, SYNC_PULSE};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 #[derive(Debug, Clone, PartialEq)]
 enum VarPhase {
     Virgin,
-    /// Single owner so far; the candidate set is already being refined
-    /// from the first access (Eraser initialises C(v) to the locks
-    /// held then), but emptiness is not yet a violation.
-    Exclusive(u32, BTreeSet<u64>),
+    /// Single owner so far; the epoch is the owner's clock at its most
+    /// recent access (for hand-off checks), and the candidate set is
+    /// already being refined from the first access (Eraser initialises
+    /// C(v) to the locks held then), but emptiness is not yet a
+    /// violation.
+    Exclusive(Epoch, BTreeSet<u64>),
     Shared(BTreeSet<u64>),
     SharedModified(BTreeSet<u64>),
 }
@@ -43,6 +57,15 @@ pub struct Lockset {
     /// Locks currently held per actor (multiset not needed: the pdc
     /// primitives are non-reentrant).
     held: HashMap<u32, BTreeSet<u64>>,
+    /// Per-actor clocks for the hand-off tracker. Advanced only by the
+    /// hand-off edge kinds, never by plain lock traffic.
+    clocks: HashMap<u32, VectorClock>,
+    /// Per-site clock published by pulse releases / signals.
+    handoff: HashMap<u64, VectorClock>,
+    /// Per-handle clock published by fork, adopted by join.
+    fork_history: HashMap<u64, VectorClock>,
+    /// Per (src, dst) FIFO of sender clocks awaiting a matching recv.
+    msgs: HashMap<(u32, u32), VecDeque<VectorClock>>,
     vars: HashMap<u64, VarState>,
     violations: Vec<Defect>,
 }
@@ -57,6 +80,32 @@ impl Lockset {
         self.held.get(&actor).cloned().unwrap_or_default()
     }
 
+    fn clock_mut(&mut self, actor: u32) -> &mut VectorClock {
+        self.clocks.entry(actor).or_insert_with(|| {
+            // Start at 1 so a first access has a nonzero epoch.
+            let mut vc = VectorClock::new();
+            vc.set(actor, 1);
+            vc
+        })
+    }
+
+    /// Adopt whatever history `site` has published (pulse acquire /
+    /// condvar wait side of a hand-off edge).
+    fn adopt_site(&mut self, actor: u32, site: u64) {
+        if let Some(pub_vc) = self.handoff.get(&site) {
+            let pub_vc = pub_vc.clone();
+            self.clock_mut(actor).join(&pub_vc);
+        }
+    }
+
+    /// Publish this actor's history on `site` and advance past it
+    /// (pulse release / condvar signal side of a hand-off edge).
+    fn publish_site(&mut self, actor: u32, site: u64) {
+        let ct = self.clock_mut(actor).clone();
+        self.handoff.entry(site).or_default().join(&ct);
+        self.clock_mut(actor).tick(actor);
+    }
+
     /// Process one event.
     pub fn step(&mut self, e: &Event) {
         match e.kind {
@@ -68,6 +117,34 @@ impl Lockset {
                     s.remove(&e.a);
                 }
             }
+            EventKind::Acquire | EventKind::Wait => self.adopt_site(e.actor, e.a),
+            EventKind::Release | EventKind::Signal => self.publish_site(e.actor, e.a),
+            EventKind::Fork => {
+                let ct = self.clock_mut(e.actor).clone();
+                self.fork_history.entry(e.a).or_default().join(&ct);
+                self.clock_mut(e.actor).tick(e.actor);
+            }
+            EventKind::Join => {
+                if let Some(f) = self.fork_history.get(&e.a) {
+                    let f = f.clone();
+                    self.clock_mut(e.actor).join(&f);
+                }
+            }
+            EventKind::Send => {
+                let ct = self.clock_mut(e.actor).clone();
+                self.msgs
+                    .entry((e.actor, e.a as u32))
+                    .or_default()
+                    .push_back(ct);
+                self.clock_mut(e.actor).tick(e.actor);
+            }
+            EventKind::Recv => {
+                if let Some(q) = self.msgs.get_mut(&(e.a as u32, e.actor)) {
+                    if let Some(snd) = q.pop_front() {
+                        self.clock_mut(e.actor).join(&snd);
+                    }
+                }
+            }
             EventKind::Read => self.access(e.actor, e.a, false),
             EventKind::Write => self.access(e.actor, e.a, true),
             _ => {}
@@ -76,18 +153,27 @@ impl Lockset {
 
     fn access(&mut self, actor: u32, var: u64, is_write: bool) {
         let held = self.held_of(actor);
+        let epoch = Epoch::of(actor, self.clock_mut(actor));
+        let clock = self.clocks.get(&actor).cloned().unwrap_or_default();
         let vs = self.vars.entry(var).or_insert(VarState {
             phase: VarPhase::Virgin,
             reported: false,
         });
         let next = match std::mem::replace(&mut vs.phase, VarPhase::Virgin) {
-            VarPhase::Virgin => VarPhase::Exclusive(actor, held.clone()),
-            VarPhase::Exclusive(owner, c) if owner == actor => {
-                VarPhase::Exclusive(owner, c.intersection(&held).copied().collect())
+            VarPhase::Virgin => VarPhase::Exclusive(epoch, held.clone()),
+            VarPhase::Exclusive(e, c) if e.actor == actor => {
+                VarPhase::Exclusive(epoch, c.intersection(&held).copied().collect())
+            }
+            VarPhase::Exclusive(e, c) if e.happens_before(&clock) => {
+                // Hand-off: the previous owner's last access is already
+                // ordered before us through a pulse / condvar / fork /
+                // message edge, so this is a clean ownership transfer,
+                // not sharing. Candidate refinement continues.
+                VarPhase::Exclusive(epoch, c.intersection(&held).copied().collect())
             }
             VarPhase::Exclusive(_, c) => {
-                // Second thread arrives: refinement continues from the
-                // first owner's candidates.
+                // Second thread arrives concurrently: refinement
+                // continues from the first owner's candidates.
                 let c: BTreeSet<u64> = c.intersection(&held).copied().collect();
                 if is_write {
                     VarPhase::SharedModified(c)
@@ -240,15 +326,89 @@ mod tests {
 
     #[test]
     fn pulse_sites_do_not_count_as_protection() {
-        use pdc_core::trace::SYNC_PULSE;
+        // Both threads wrap their writes in pulse traffic on the same
+        // site, but the writes are concurrent (thread 1 writes before
+        // thread 0's release publishes anything): pulses must not land
+        // in the held set, so the candidate set still empties.
         let v = detect_lockset_violations(&[
             ev(1, 0, EventKind::Acquire, L, SYNC_PULSE),
             ev(2, 0, EventKind::Write, V, 0),
-            ev(3, 0, EventKind::Release, L, SYNC_PULSE),
-            ev(4, 1, EventKind::Acquire, L, SYNC_PULSE),
-            ev(5, 1, EventKind::Write, V, 0),
+            ev(3, 1, EventKind::Acquire, L, SYNC_PULSE),
+            ev(4, 1, EventKind::Write, V, 0),
+            ev(5, 0, EventKind::Release, L, SYNC_PULSE),
             ev(6, 1, EventKind::Release, L, SYNC_PULSE),
         ]);
         assert_eq!(v.len(), 1, "semaphores are not ownership: {v:?}");
+    }
+
+    #[test]
+    fn semaphore_handoff_transfers_ownership() {
+        // The ad-hoc hand-off protocol: write, release the semaphore;
+        // the other side acquires, then writes. No common lock, but the
+        // accesses are fully ordered through the pulse edge — clean.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Release, L, SYNC_PULSE),
+            ev(3, 1, EventKind::Acquire, L, SYNC_PULSE),
+            ev(4, 1, EventKind::Write, V, 0),
+            ev(5, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(v.is_empty(), "hand-off is ownership transfer: {v:?}");
+    }
+
+    #[test]
+    fn condvar_handoff_transfers_ownership() {
+        // Same shape through a condition variable's signal/wait edge.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Signal, L, 1),
+            ev(3, 1, EventKind::Wait, L, 2),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(v.is_empty(), "signal/wait is ownership transfer: {v:?}");
+    }
+
+    #[test]
+    fn fork_join_transfers_ownership() {
+        const H: u64 = 200;
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::Fork, H, 0),
+            ev(3, 1, EventKind::Join, H, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn handoff_does_not_launder_concurrent_access() {
+        // Thread 1 already wrote concurrently *before* adopting the
+        // hand-off edge: the variable is shared-modified for real, and
+        // the late acquire must not undo that.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 1, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_PULSE),
+            ev(4, 1, EventKind::Acquire, L, SYNC_PULSE),
+            ev(5, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn real_lock_edges_do_not_transfer_ownership() {
+        // Thread 1 cycles the lock (creating a schedule-order edge in
+        // happens-before terms) but writes *outside* it. Lock traffic is
+        // the discipline under test, so it must not feed the hand-off
+        // tracker: this still violates.
+        let v = detect_lockset_violations(&[
+            ev(1, 0, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::Release, L, SYNC_EXCLUSIVE),
+            ev(4, 1, EventKind::Acquire, L, SYNC_EXCLUSIVE),
+            ev(5, 1, EventKind::Release, L, SYNC_EXCLUSIVE),
+            ev(6, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(v.len(), 1, "lock edges are not hand-offs: {v:?}");
     }
 }

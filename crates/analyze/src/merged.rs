@@ -45,7 +45,9 @@ fn namespace_local_ids(process: u32, e: &mut Event) {
         | EventKind::Read
         | EventKind::Write
         | EventKind::Fork
-        | EventKind::Join => {
+        | EventKind::Join
+        | EventKind::Wait
+        | EventKind::Signal => {
             e.a = ((process as u64) << PROCESS_ID_SHIFT).wrapping_add(e.a);
         }
         // Ranks, collective codes, byte counts, sequence numbers: global

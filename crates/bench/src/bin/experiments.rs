@@ -20,6 +20,17 @@
 //!                             # (target/pdc-trace/shard/merged.trace.json),
 //!                             # and exit non-zero unless the multi-process
 //!                             # trace passes pdc-analyze clean
+//! experiments --check         # run the pdc-check soundness gate: PCT must
+//!                             # flag the racy counter within 1000 schedules,
+//!                             # exhaustive DFS must prove the fixed counter
+//!                             # clean, and replaying the minimized schedule
+//!                             # written to target/pdc-check/minimal.schedule.json
+//!                             # must reproduce the race verdict byte-for-byte;
+//!                             # exits non-zero on any mismatch
+//! experiments --render [path] # run a compact traced workload (threads + MPI
+//!                             # collectives) and render it as a self-contained
+//!                             # HTML timeline (default path:
+//!                             # target/pdc-trace/experiments.timeline.html)
 //! ```
 //!
 //! Every printed table is also captured as JSON: `--trace` embeds its
@@ -544,6 +555,229 @@ fn run_shard_gate() {
     }
 }
 
+/// `--check`: the model-checker soundness gate, CI's check-gate step.
+/// Three verdicts, each printed as a greppable line and any mismatch
+/// exits non-zero:
+///
+/// 1. PCT exploration must flag the racy counter fixture within 1000
+///    schedules (the "finds the bug" direction);
+/// 2. exhaustive DFS over the 2-thread/1-op fixed counter must
+///    terminate `complete` with every schedule clean (the "no false
+///    alarm" direction);
+/// 3. the minimized failing schedule is written to
+///    `target/pdc-check/minimal.schedule.json`, parsed back from disk,
+///    and replayed — the replay must reproduce the race verdict and a
+///    byte-identical canonical trace (the record/replay contract).
+///
+/// The minimal run's analyze report and HTML timeline land next to the
+/// schedule for artifact upload.
+fn run_check_gate() {
+    use pdc_check::{explore_dfs, explore_pct, fixtures as check_fx, replay, Config, Schedule};
+
+    let mut failures: Vec<String> = Vec::new();
+    let cfg = Config {
+        max_schedules: 1000,
+        ..Config::default()
+    };
+
+    // Direction 1: the bug is found.
+    let racy = explore_pct(check_fx::racy_counter_body(2), &cfg);
+    match &racy.failure {
+        Some(found) => {
+            println!(
+                "check gate: racy counter flagged after {} schedule(s) via pct: {}",
+                racy.schedules_run, found.description
+            );
+            if found.minimal_run.report.count_kind(DefectKind::DataRace) == 0 {
+                failures.push(format!(
+                    "minimal schedule's trace lost the data_race verdict: {:?}",
+                    found
+                        .minimal_run
+                        .report
+                        .defects
+                        .iter()
+                        .map(|d| d.kind.name())
+                        .collect::<Vec<_>>()
+                ));
+            }
+        }
+        None => failures.push(format!(
+            "pct missed the racy counter in {} schedules",
+            racy.schedules_run
+        )),
+    }
+
+    // Direction 2: the fix is proven, not just stress-tested.
+    let dfs_cfg = Config {
+        max_schedules: 50_000,
+        ..Config::default()
+    };
+    let fixed = explore_dfs(check_fx::fixed_counter_body(2, 1), &dfs_cfg);
+    if fixed.complete && fixed.passed() {
+        println!(
+            "check gate: fixed counter proven clean by exhaustive dfs ({} schedules, complete)",
+            fixed.schedules_run
+        );
+    } else {
+        failures.push(format!(
+            "dfs verdict on the fixed counter: complete={}, failure={:?}",
+            fixed.complete,
+            fixed.failure.as_ref().map(|f| &f.description)
+        ));
+    }
+
+    // The record/replay contract, through the filesystem like a student
+    // (or CI artifact consumer) would exercise it.
+    let dir = std::path::Path::new("target/pdc-check");
+    if let Some(found) = &racy.failure {
+        let sched_path = dir.join("minimal.schedule.json");
+        write_text_file(&sched_path, &found.minimal.to_json()).expect("write minimal schedule");
+        println!(
+            "minimized pdc-check/1 schedule ({} choices) written to {}",
+            found.minimal.choices.len(),
+            sched_path.display()
+        );
+        write_text_file(
+            &dir.join("minimal.analyze.json"),
+            &found.minimal_run.report.to_json(),
+        )
+        .expect("write minimal analyze report");
+        write_text_file(
+            &dir.join("minimal.timeline.html"),
+            &pdc_core::timeline::render_html(
+                "pdc-check minimal racy-counter schedule",
+                &found.minimal_run.events,
+            ),
+        )
+        .expect("write minimal timeline");
+
+        let reread = std::fs::read_to_string(&sched_path).expect("re-read minimal schedule");
+        match Schedule::parse(&reread) {
+            Ok(parsed) => {
+                let rerun = replay(check_fx::racy_counter_body(2), &parsed, &cfg);
+                let verdict_ok =
+                    rerun.failed(&cfg) && rerun.report.count_kind(DefectKind::DataRace) >= 1;
+                let trace_ok = rerun.trace_jsonl == found.minimal_run.trace_jsonl;
+                if verdict_ok && trace_ok {
+                    println!(
+                        "check gate: minimal schedule replay reproduced the race verdict byte-identically"
+                    );
+                } else {
+                    failures.push(format!(
+                        "replay of the written schedule diverged: verdict_ok={verdict_ok}, trace_ok={trace_ok}"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("written schedule failed to parse: {e}")),
+        }
+    }
+
+    let mut t = Table::new(
+        "pdc-check soundness gate (experiments --check)",
+        &["direction", "strategy", "schedules", "verdict"],
+    );
+    t.row(&[
+        "racy counter is flagged".into(),
+        "pct".into(),
+        racy.schedules_run.to_string(),
+        racy.failure
+            .as_ref()
+            .map_or("MISSED".into(), |f| f.description.clone()),
+    ]);
+    t.row(&[
+        "fixed counter is clean".into(),
+        "dfs (exhaustive)".into(),
+        fixed.schedules_run.to_string(),
+        if fixed.complete && fixed.passed() {
+            "clean, complete".into()
+        } else {
+            "FAILED".into()
+        },
+    ]);
+    t.row(&[
+        "replay reproduces the verdict".into(),
+        "replay".into(),
+        "1".into(),
+        if failures.is_empty() {
+            "byte-identical".into()
+        } else {
+            "see failures".into()
+        },
+    ]);
+    print!("{}", t.render());
+
+    if failures.is_empty() {
+        println!("check gate: all 3 verdicts match");
+    } else {
+        for f in &failures {
+            eprintln!("check gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `--render`: run a compact traced workload spanning threads and MPI
+/// collectives and emit it as a self-contained HTML timeline — the
+/// trace-viewer stub from the roadmap. No scripts, no assets: the file
+/// opens from `target/` in any browser.
+fn run_render(path: &std::path::Path) {
+    use pdc_sync::PdcMutex;
+    let session = TraceSession::new();
+
+    // Threads: a fork-join diamond plus a short mutex hand-off, so the
+    // timeline shows fork/join arrows-worth of markers and lock pairs.
+    trace::install_sync_trace(session.thread(0));
+    let counter = std::sync::Arc::new(PdcMutex::new(0u64));
+    let var = trace::next_site_id();
+    let c2 = std::sync::Arc::clone(&counter);
+    let (a, b) = pdc_threads::join(
+        move || {
+            for _ in 0..2 {
+                let mut g = counter.lock();
+                trace::record_var_write(var);
+                *g += 1;
+            }
+            1u64
+        },
+        move || {
+            for _ in 0..2 {
+                let mut g = c2.lock();
+                trace::record_var_write(var);
+                *g += 1;
+            }
+            1u64
+        },
+    );
+    std::hint::black_box(a + b);
+    trace::clear_sync_trace();
+
+    // MPI: 4 ranks through an allreduce and a barrier — the coll
+    // begin/end pairs become the shaded spans in the rendering.
+    let (_, _) = pdc_mpi::World::run_traced(4, &session, |rank| {
+        let sum = pdc_mpi::coll::allreduce(rank, rank.id() as u64, |a, b| a + b);
+        pdc_mpi::coll::barrier::<u64, _>(rank);
+        sum
+    });
+
+    let events = session.events();
+    let html = pdc_core::timeline::render_html(
+        "pdc-trace timeline — fork-join + mutex + MPI collectives",
+        &events,
+    );
+    write_text_file(path, &html).expect("write timeline html");
+    println!(
+        "timeline rendered: {} events across {} actors to {}",
+        events.len(),
+        {
+            let mut actors: Vec<u32> = events.iter().map(|e| e.actor).collect();
+            actors.sort_unstable();
+            actors.dedup();
+            actors.len()
+        },
+        path.display()
+    );
+}
+
 /// Write the captured per-experiment tables as one JSON document next
 /// to the trace snapshot (same directory, fixed name).
 fn write_tables_json(entries: &[(&str, Vec<String>)]) {
@@ -585,6 +819,12 @@ fn main() {
         }
         [flag] if flag == "--analyze" => run_analyze(),
         [flag] if flag == "--shard" => run_shard_gate(),
+        [flag] if flag == "--check" => run_check_gate(),
+        [flag, rest @ ..] if flag == "--render" && rest.len() <= 1 => {
+            let default = "target/pdc-trace/experiments.timeline.html".to_string();
+            let path = rest.first().unwrap_or(&default);
+            run_render(std::path::Path::new(path));
+        }
         [flag, id] if flag == "--exp" => match reg.iter().find(|e| e.id == *id) {
             Some(e) => {
                 let (out, tables) = capture_tables(e.run);
@@ -609,7 +849,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard]"
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --check | --render [path]]"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exp_check;
 pub mod exp_e;
 pub mod exp_ext;
 pub mod exp_shard;
@@ -171,6 +172,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e-batch",
             anchor: "Sec III-A (CS87): alpha-beta message batching crossover",
             run: exp_shard::batch,
+        },
+        Experiment {
+            id: "e-check",
+            anchor: "Table II (sync/races): schedule-count vs defect detection",
+            run: exp_check::check,
         },
     ]
 }

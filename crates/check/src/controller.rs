@@ -1,0 +1,407 @@
+//! The controlled scheduler: serializes every checked task onto one
+//! baton, granted at the yield points `pdc_sync::hooks` exposes.
+//!
+//! Invariant: at most one checked task is ever runnable. Each hook call
+//! is a *decision point* — the controller computes the set of enabled
+//! tasks, asks its [`Decide`] strategy to pick one, grants that task the
+//! baton, and blocks the caller until it is picked again. Because every
+//! blocking moment in `pdc-sync` funnels through the hooks, the whole
+//! interleaving of the test body becomes a deterministic function of the
+//! strategy's choices — which is what makes exhaustive enumeration,
+//! randomized PCT search, and exact record/replay possible at all.
+//!
+//! Enabledness mirrors the primitives' own blocking conditions:
+//!
+//! * spin waiters are re-enabled by [`Checker::site_changed`] on their
+//!   site, tracked with per-site change epochs — sound because the
+//!   waiter captures its epoch while holding the baton, so no change
+//!   can slip between the failed condition check and the capture;
+//! * parked tasks carry a `thread::park` token set by `unpark`;
+//! * joiners wait on the child reaching `Finished`.
+//!
+//! When the enabled set is empty while unfinished tasks remain, the
+//! schedule has *deterministically deadlocked* — not a timeout heuristic
+//! but a precise statement that no task can make progress.
+//!
+//! Teardown is panic-driven: once `aborting` is set (deadlock, step
+//! budget, or a real panic in the body), every hook entry from forward
+//! execution panics with [`AbortSchedule`], unwinding all tasks through
+//! their guards; hook calls made *while already unwinding* (guard drops)
+//! degrade to no-ops so teardown itself never blocks.
+
+use crate::strategy::{ChoiceRecord, Decide};
+pub use pdc_sync::hooks::AbortSchedule;
+use pdc_sync::hooks::{Checker, TaskId};
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{Thread, ThreadId};
+use std::time::{Duration, Instant};
+
+/// Why a schedule stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Body ran to completion with every task finished.
+    Ok,
+    /// A real panic in the body (assertion failure, etc.).
+    Panic(String),
+    /// No task was enabled while these tasks were still unfinished.
+    Deadlock(Vec<TaskId>),
+    /// The step budget ran out (livelock guard / depth bound).
+    Truncated,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Blocked in a spin loop on `site` (`None` = untraced site, any
+    /// change re-enables); enabled once the epoch counter advances.
+    SpinWaiting {
+        site: Option<u64>,
+        epoch: u64,
+    },
+    /// Blocked in `park`; enabled while the unpark token is set.
+    Parked,
+    /// Blocked joining another task; enabled once it finishes.
+    JoinWaiting(TaskId),
+    Finished,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    status: Status,
+    park_token: bool,
+    thread: Option<Thread>,
+}
+
+impl TaskState {
+    fn new() -> Self {
+        TaskState {
+            status: Status::Runnable,
+            park_token: false,
+            thread: None,
+        }
+    }
+}
+
+struct State {
+    tasks: Vec<TaskState>,
+    /// Holder of the baton; `None` once everything finished or aborted.
+    current: Option<TaskId>,
+    /// Change epochs for spin-wait enablement.
+    site_epoch: HashMap<u64, u64>,
+    any_epoch: u64,
+    strategy: Box<dyn Decide>,
+    choices: Vec<ChoiceRecord>,
+    steps: usize,
+    aborting: bool,
+    truncated: bool,
+    deadlock: Option<Vec<TaskId>>,
+    panic_msg: Option<String>,
+}
+
+/// One controlled schedule's scheduler; implements
+/// [`pdc_sync::hooks::Checker`] and is installed process-wide for the
+/// duration of the schedule (explorations are serialized by
+/// [`crate::explore`]'s global lock).
+pub struct Controller {
+    inner: Mutex<State>,
+    cond: Condvar,
+    max_steps: usize,
+}
+
+impl Controller {
+    /// A controller with the root body registered as task 0, already
+    /// holding the baton.
+    pub fn new(strategy: Box<dyn Decide>, max_steps: usize) -> Self {
+        Controller {
+            inner: Mutex::new(State {
+                tasks: vec![TaskState::new()],
+                current: Some(0),
+                site_epoch: HashMap::new(),
+                any_epoch: 0,
+                strategy,
+                choices: Vec::new(),
+                steps: 0,
+                aborting: false,
+                truncated: false,
+                deadlock: None,
+                panic_msg: None,
+            }),
+            cond: Condvar::new(),
+            max_steps,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Record the root body's thread handle (for `unpark` lookups).
+    pub fn register_root_thread(&self) {
+        let mut st = self.lock();
+        st.tasks[0].thread = Some(std::thread::current());
+    }
+
+    /// Called by hooks entered from *forward* execution: panic out of
+    /// the body when the schedule is aborting. Hooks reached while the
+    /// thread is already unwinding (guard drops) must instead degrade to
+    /// no-ops — teardown may never block or double-panic.
+    fn abort_check(&self, st: &MutexGuard<'_, State>) -> bool {
+        if !st.aborting {
+            return false;
+        }
+        if std::thread::panicking() {
+            return true; // caller becomes a no-op
+        }
+        panic_any(AbortSchedule);
+    }
+
+    fn is_enabled(st: &State, id: TaskId) -> bool {
+        let t = &st.tasks[id as usize];
+        match &t.status {
+            Status::Runnable => true,
+            Status::SpinWaiting { site, epoch } => match site {
+                Some(s) => st.site_epoch.get(s).copied().unwrap_or(0) > *epoch,
+                None => st.any_epoch > *epoch,
+            },
+            Status::Parked => t.park_token,
+            Status::JoinWaiting(child) => st.tasks[*child as usize].status == Status::Finished,
+            Status::Finished => false,
+        }
+    }
+
+    fn enabled_tasks(st: &State) -> Vec<TaskId> {
+        (0..st.tasks.len() as TaskId)
+            .filter(|&id| Self::is_enabled(st, id))
+            .collect()
+    }
+
+    /// Pick the next baton holder. Caller must currently hold the baton
+    /// (or be the exiting task that just released it).
+    fn decide(&self, st: &mut MutexGuard<'_, State>) {
+        let enabled = Self::enabled_tasks(st);
+        if enabled.is_empty() {
+            let live: Vec<TaskId> = (0..st.tasks.len() as TaskId)
+                .filter(|&id| st.tasks[id as usize].status != Status::Finished)
+                .collect();
+            st.current = None;
+            if !live.is_empty() {
+                st.deadlock = Some(live);
+                st.aborting = true;
+            }
+            return;
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.truncated = true;
+            st.aborting = true;
+            st.current = None;
+            return;
+        }
+        let decision_index = st.choices.len();
+        let idx = st
+            .strategy
+            .pick(decision_index, &enabled)
+            .min(enabled.len() - 1);
+        let id = enabled[idx];
+        st.choices.push(ChoiceRecord {
+            enabled,
+            picked_index: idx,
+        });
+        let t = &mut st.tasks[id as usize];
+        if t.status == Status::Parked {
+            t.park_token = false; // park consumes the token on wake
+        }
+        t.status = Status::Runnable;
+        st.current = Some(id);
+    }
+
+    /// Block until `task` holds the baton (or the schedule aborts).
+    fn wait_for_grant(&self, mut st: MutexGuard<'_, State>, task: TaskId) {
+        while st.current != Some(task) {
+            if st.aborting {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic_any(AbortSchedule);
+            }
+            st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Common hook body: hand the baton to the strategy's next pick and
+    /// wait to be picked again.
+    fn block_as(&self, task: TaskId, status: Status) {
+        let mut st = self.lock();
+        if self.abort_check(&st) {
+            return;
+        }
+        st.tasks[task as usize].status = status;
+        self.decide(&mut st);
+        self.cond.notify_all();
+        self.wait_for_grant(st, task);
+    }
+
+    /// Abort the schedule because `msg` escaped a task body. Never
+    /// panics or blocks — callers are mid-unwind.
+    pub fn abort_for_panic(&self, msg: &str) {
+        let mut st = self.lock();
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg.to_string());
+        }
+        st.aborting = true;
+        st.current = None;
+        self.cond.notify_all();
+    }
+
+    /// Wait for every registered task to reach `Finished` (teardown
+    /// barrier before uninstalling the checker), bounded by `timeout`.
+    /// Returns `false` on timeout — a bug in the controller, surfaced
+    /// loudly by [`crate::explore`].
+    pub fn wait_all_finished(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if st.tasks.iter().all(|t| t.status == Status::Finished) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+    }
+
+    /// The schedule's outcome and decision log, read after teardown.
+    pub fn summary(&self) -> (Outcome, Vec<ChoiceRecord>, usize) {
+        let st = self.lock();
+        let outcome = if let Some(msg) = &st.panic_msg {
+            Outcome::Panic(msg.clone())
+        } else if let Some(live) = &st.deadlock {
+            Outcome::Deadlock(live.clone())
+        } else if st.truncated {
+            Outcome::Truncated
+        } else {
+            Outcome::Ok
+        };
+        (outcome, st.choices.clone(), st.steps)
+    }
+}
+
+impl Checker for Controller {
+    fn yield_point(&self, task: TaskId) {
+        self.block_as(task, Status::Runnable);
+    }
+
+    fn spin_wait(&self, task: TaskId, site: Option<u64>) {
+        // Capture the epoch NOW: the caller just observed the resource
+        // unavailable, and it holds the baton, so nothing can have
+        // changed the site since that observation.
+        let mut st = self.lock();
+        if self.abort_check(&st) {
+            return;
+        }
+        let epoch = match site {
+            Some(s) => st.site_epoch.get(&s).copied().unwrap_or(0),
+            None => st.any_epoch,
+        };
+        st.tasks[task as usize].status = Status::SpinWaiting { site, epoch };
+        self.decide(&mut st);
+        self.cond.notify_all();
+        self.wait_for_grant(st, task);
+    }
+
+    fn site_changed(&self, site: u64) {
+        let mut st = self.lock();
+        if st.aborting {
+            return; // teardown: nothing is spin-waiting anymore
+        }
+        *st.site_epoch.entry(site).or_insert(0) += 1;
+        st.any_epoch += 1;
+        // Not a decision point: the caller continues to its own next
+        // yield, where newly-enabled waiters join the enabled set.
+    }
+
+    fn park(&self, task: TaskId) {
+        let mut st = self.lock();
+        if self.abort_check(&st) {
+            return;
+        }
+        if st.tasks[task as usize].park_token {
+            // Token already available: park returns immediately, but it
+            // is still a preemption point.
+            st.tasks[task as usize].park_token = false;
+            st.tasks[task as usize].status = Status::Runnable;
+        } else {
+            st.tasks[task as usize].status = Status::Parked;
+        }
+        self.decide(&mut st);
+        self.cond.notify_all();
+        self.wait_for_grant(st, task);
+    }
+
+    fn unpark(&self, thread: &Thread) -> bool {
+        let mut st = self.lock();
+        if st.aborting {
+            // All managed tasks are being woken by the abort broadcast;
+            // claiming the unpark is safe and avoids stray real tokens.
+            return true;
+        }
+        let tid: ThreadId = thread.id();
+        let Some(idx) = st
+            .tasks
+            .iter()
+            .position(|t| t.thread.as_ref().map(|h| h.id()) == Some(tid))
+        else {
+            return false; // unmanaged thread: caller does a real unpark
+        };
+        st.tasks[idx].park_token = true;
+        // Not a decision point (unpark never blocks the caller); the
+        // parked task becomes enabled at the caller's next yield.
+        true
+    }
+
+    fn spawn_task(&self, _parent: TaskId) -> TaskId {
+        let mut st = self.lock();
+        let id = st.tasks.len() as TaskId;
+        st.tasks.push(TaskState::new());
+        // The child is Runnable (hence enabled) immediately, but the
+        // parent keeps the baton: granting an unstarted task is safe —
+        // it blocks nobody — and the parent's post-spawn yield_point is
+        // the first real decision.
+        id
+    }
+
+    fn start_task(&self, task: TaskId) {
+        let mut st = self.lock();
+        st.tasks[task as usize].thread = Some(std::thread::current());
+        self.cond.notify_all();
+        self.wait_for_grant(st, task);
+    }
+
+    fn exit_task(&self, task: TaskId) {
+        // Never panics, never blocks: every task must reach Finished so
+        // teardown can complete.
+        let mut st = self.lock();
+        st.tasks[task as usize].status = Status::Finished;
+        if !st.aborting && st.current == Some(task) {
+            self.decide(&mut st);
+        }
+        self.cond.notify_all();
+    }
+
+    fn join_wait(&self, waiter: TaskId, child: TaskId) {
+        self.block_as(waiter, Status::JoinWaiting(child));
+    }
+
+    fn task_panicked(&self, _task: TaskId, message: &str) {
+        self.abort_for_panic(message);
+    }
+}

@@ -1,0 +1,108 @@
+//! Checked test bodies that keep the model checker honest in both
+//! directions: a body whose bug *must* be found, the repaired body
+//! that *must* come back clean under exhaustive enumeration, and a
+//! schedule-dependent deadlock.
+//!
+//! Each fixture returns a re-runnable closure (one invocation per
+//! explored schedule) that builds fresh shared state, spawns checked
+//! tasks via [`crate::spawn`], and records variable accesses so the
+//! `pdc-analyze` passes can judge each interleaving's trace.
+
+use pdc_core::trace;
+use pdc_sync::PdcMutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The canonical lost-update bug: two tasks read-modify-write a shared
+/// counter with no synchronisation, and a [`crate::yield_now`] between
+/// the read and the write marks the window. Every schedule's trace has
+/// a data race; interleaved schedules additionally lose an update and
+/// fail the final assertion.
+pub fn racy_counter_body(ops_per_task: u64) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let var = trace::next_site_id();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                crate::spawn(move || {
+                    for _ in 0..ops_per_task {
+                        trace::record_var_read(var);
+                        let v = counter.load(Ordering::Relaxed);
+                        crate::yield_now();
+                        trace::record_var_write(var);
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let total = counter.load(Ordering::Relaxed);
+        assert_eq!(total, 2 * ops_per_task, "lost update: {total}");
+    }
+}
+
+/// The repaired counter: every read-modify-write inside a [`PdcMutex`]
+/// critical section. Exhaustive DFS over this body must complete with
+/// zero failing schedules — the clean direction of the gate.
+pub fn fixed_counter_body(tasks: u32, ops_per_task: u64) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let counter = Arc::new(PdcMutex::new(0u64));
+        let var = trace::next_site_id();
+        let handles: Vec<_> = (0..tasks)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                crate::spawn(move || {
+                    for _ in 0..ops_per_task {
+                        let mut g = counter.lock();
+                        trace::record_var_read(var);
+                        let v = *g;
+                        trace::record_var_write(var);
+                        *g = v + 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*counter.lock(), tasks as u64 * ops_per_task);
+    }
+}
+
+/// The AB–BA deadlock: two tasks take two mutexes in opposite orders,
+/// with a yield between the acquisitions so the fatal interleaving is
+/// reachable. Most schedules complete; the one where both tasks hold
+/// their first lock deadlocks, and the checker must report it as a
+/// [`crate::Outcome::Deadlock`] — precisely, from an empty enabled
+/// set, not a timeout.
+pub fn abba_deadlock_body() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let m1 = Arc::new(PdcMutex::new(()));
+        let m2 = Arc::new(PdcMutex::new(()));
+        let a = {
+            let (m1, m2) = (Arc::clone(&m1), Arc::clone(&m2));
+            crate::spawn(move || {
+                let g1 = m1.lock();
+                crate::yield_now();
+                let g2 = m2.lock();
+                drop(g2);
+                drop(g1);
+            })
+        };
+        let b = {
+            let (m1, m2) = (Arc::clone(&m1), Arc::clone(&m2));
+            crate::spawn(move || {
+                let g2 = m2.lock();
+                crate::yield_now();
+                let g1 = m1.lock();
+                drop(g1);
+                drop(g2);
+            })
+        };
+        a.join();
+        b.join();
+    }
+}

@@ -40,6 +40,7 @@ pub mod rng;
 pub mod scaling;
 pub mod stats;
 pub mod taskgraph;
+pub mod timeline;
 pub mod trace;
 pub mod workspan;
 

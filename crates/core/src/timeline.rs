@@ -1,0 +1,255 @@
+//! Minimal self-contained HTML timeline for `pdc-trace/2` events — the
+//! trace-viewer stub.
+//!
+//! One horizontal lane per actor, logical timestamps on the x-axis,
+//! one colored marker per event (hover for the payload), and a shaded
+//! span for each collective an actor is inside (`coll_begin` →
+//! matching `coll_end`). The output is a single HTML document with
+//! inline SVG and CSS — no scripts, no external assets — so a failing
+//! schedule from `pdc-check` or a snapshot from `experiments --trace`
+//! can be opened straight from `target/` in any browser.
+
+use crate::trace::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Horizontal pixels per logical timestamp step.
+const STEP_MIN: u64 = 4;
+const STEP_MAX: u64 = 14;
+/// Lane geometry.
+const LANE_H: u64 = 28;
+const LANE_GAP: u64 = 8;
+const LEFT_MARGIN: u64 = 90;
+const TOP_MARGIN: u64 = 30;
+
+fn kind_color(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Acquire | EventKind::Lock => "#d4791f",
+        EventKind::Release => "#e3b33b",
+        EventKind::Wait => "#8e5bb5",
+        EventKind::Signal => "#bb6bd9",
+        EventKind::Read => "#4a90d9",
+        EventKind::Write => "#d0453f",
+        EventKind::Fork => "#3a9b5c",
+        EventKind::Join => "#2a6f41",
+        EventKind::Send => "#1fa8a0",
+        EventKind::Recv => "#157571",
+        EventKind::CollBegin | EventKind::CollEnd => "#6b7a90",
+        EventKind::Barrier | EventKind::Phase => "#8a8a8a",
+        _ => "#555555",
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render `events` as a self-contained HTML timeline titled `title`.
+///
+/// Events need not be sorted; timestamps are compacted to consecutive
+/// positions so sparse clocks do not stretch the picture. Works on any
+/// `pdc-trace/2` stream, including `pdc-check` canonical traces.
+pub fn render_html(title: &str, events: &[Event]) -> String {
+    let mut events: Vec<Event> = events.to_vec();
+    events.sort_by_key(|e| e.ts);
+    // Compact timestamps: x-position = rank of ts among distinct ts.
+    let mut ts_pos: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        let next = ts_pos.len() as u64;
+        ts_pos.entry(e.ts).or_insert(next);
+    }
+    let steps = ts_pos.len() as u64;
+    let step_px = if steps == 0 {
+        STEP_MAX
+    } else {
+        (1200 / steps.max(1)).clamp(STEP_MIN, STEP_MAX)
+    };
+    // Lanes: one per actor, in ascending actor order.
+    let mut lanes: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in &events {
+        let next = lanes.len() as u64;
+        lanes.entry(e.actor).or_insert(next);
+    }
+    let width = LEFT_MARGIN + (steps + 2) * step_px + 20;
+    let height = TOP_MARGIN + lanes.len() as u64 * (LANE_H + LANE_GAP) + 60;
+    let x_of = |ts: u64| LEFT_MARGIN + (ts_pos[&ts] + 1) * step_px;
+    let y_of = |actor: u32| TOP_MARGIN + lanes[&actor] * (LANE_H + LANE_GAP);
+
+    let mut svg = String::new();
+    // Lane backgrounds and labels.
+    for (&actor, &idx) in &lanes {
+        let y = TOP_MARGIN + idx * (LANE_H + LANE_GAP);
+        svg.push_str(&format!(
+            "<rect class=\"lane\" x=\"{LEFT_MARGIN}\" y=\"{y}\" width=\"{}\" height=\"{LANE_H}\"/>\n",
+            width - LEFT_MARGIN - 10
+        ));
+        svg.push_str(&format!(
+            "<text class=\"label\" x=\"{}\" y=\"{}\">actor {actor}</text>\n",
+            LEFT_MARGIN - 8,
+            y + LANE_H / 2 + 4
+        ));
+    }
+    // Collective spans: per actor, coll_begin until the matching
+    // coll_end (matched by coll id + seq; an unmatched begin extends to
+    // the end of the trace — that is the hang the MPI lint flags).
+    let last_x = LEFT_MARGIN + (steps + 1) * step_px;
+    let mut open: BTreeMap<(u32, u64, u64), u64> = BTreeMap::new();
+    let mut spans: Vec<(u32, u64, u64, u64, u64)> = Vec::new(); // actor, x0, x1, coll, seq
+    for e in &events {
+        match e.kind {
+            EventKind::CollBegin => {
+                open.insert((e.actor, e.a, e.b), x_of(e.ts));
+            }
+            EventKind::CollEnd => {
+                if let Some(x0) = open.remove(&(e.actor, e.a, e.b)) {
+                    spans.push((e.actor, x0, x_of(e.ts), e.a, e.b));
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((actor, coll, seq), x0) in open {
+        spans.push((actor, x0, last_x, coll, seq));
+    }
+    for (actor, x0, x1, coll, seq) in spans {
+        let y = y_of(actor);
+        svg.push_str(&format!(
+            "<rect class=\"coll\" x=\"{x0}\" y=\"{}\" width=\"{}\" height=\"{}\"><title>collective {coll} seq {seq}</title></rect>\n",
+            y + 2,
+            (x1.saturating_sub(x0)).max(2),
+            LANE_H - 4
+        ));
+    }
+    // Event markers.
+    for e in &events {
+        let (fa, fb) = e.kind.field_names();
+        svg.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"4\" fill=\"{}\"><title>ts {} · {} · {}={} {}={}</title></circle>\n",
+            x_of(e.ts),
+            y_of(e.actor) + LANE_H / 2,
+            kind_color(e.kind),
+            e.ts,
+            e.kind.as_str(),
+            fa,
+            e.a,
+            fb,
+            e.b
+        ));
+    }
+    // Legend for the kinds actually present.
+    let mut seen: Vec<EventKind> = Vec::new();
+    for e in &events {
+        if !seen.contains(&e.kind) {
+            seen.push(e.kind);
+        }
+    }
+    let legend_y = height - 40;
+    let mut lx = LEFT_MARGIN;
+    let mut legend = String::new();
+    for kind in seen {
+        legend.push_str(&format!(
+            "<circle cx=\"{lx}\" cy=\"{legend_y}\" r=\"4\" fill=\"{}\"/><text class=\"legend\" x=\"{}\" y=\"{}\">{}</text>\n",
+            kind_color(kind),
+            lx + 8,
+            legend_y + 4,
+            kind.as_str()
+        ));
+        lx += 12 + 7 * kind.as_str().len() as u64 + 16;
+    }
+
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{title}</title><style>\n\
+         body{{font:13px system-ui,sans-serif;margin:16px;background:#fafafa;color:#222}}\n\
+         h1{{font-size:16px}}\n\
+         .lane{{fill:#eef1f5;stroke:#d5dae2}}\n\
+         .coll{{fill:#6b7a90;opacity:.25}}\n\
+         .label{{text-anchor:end;fill:#444;font-size:12px}}\n\
+         .legend{{fill:#444;font-size:11px}}\n\
+         </style></head><body>\n\
+         <h1>{title}</h1>\n\
+         <p>{} events · {} actors · logical time → (hover markers for payloads; shaded bands are collective begin/end spans)</p>\n\
+         <svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">\n{svg}{legend}</svg>\n\
+         </body></html>\n",
+        events.len(),
+        lanes.len(),
+        title = esc(title),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, actor: u32, kind: EventKind, a: u64, b: u64) -> Event {
+        Event {
+            ts,
+            actor,
+            kind,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn renders_one_lane_per_actor() {
+        let html = render_html(
+            "two actors",
+            &[
+                ev(1, 0, EventKind::Write, 9, 0),
+                ev(2, 3, EventKind::Read, 9, 0),
+            ],
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains(">actor 0</text>"));
+        assert!(html.contains(">actor 3</text>"));
+        assert_eq!(html.matches("class=\"lane\"").count(), 2);
+        assert!(html.contains("<svg "));
+        assert!(!html.contains("<script"), "must be script-free");
+    }
+
+    #[test]
+    fn collective_pairs_become_spans() {
+        let html = render_html(
+            "colls",
+            &[
+                ev(1, 0, EventKind::CollBegin, 2, 0),
+                ev(4, 0, EventKind::CollEnd, 2, 0),
+                ev(2, 1, EventKind::CollBegin, 2, 0),
+                ev(5, 1, EventKind::CollEnd, 2, 0),
+            ],
+        );
+        assert_eq!(html.matches("class=\"coll\"").count(), 2);
+        assert!(html.contains("collective 2 seq 0"));
+    }
+
+    #[test]
+    fn unmatched_begin_extends_to_trace_end() {
+        let html = render_html("hang", &[ev(1, 0, EventKind::CollBegin, 0, 1)]);
+        assert_eq!(
+            html.matches("class=\"coll\"").count(),
+            1,
+            "the hanging collective still renders as a span"
+        );
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let html = render_html("<bad & title>", &[]);
+        assert!(html.contains("&lt;bad &amp; title&gt;"));
+        assert!(!html.contains("<bad &"));
+    }
+
+    #[test]
+    fn every_event_gets_a_marker_with_payload_tooltip() {
+        let events = [
+            ev(1, 0, EventKind::Acquire, 5, 1),
+            ev(2, 0, EventKind::Release, 5, 1),
+            ev(3, 1, EventKind::Send, 0, 64),
+        ];
+        let html = render_html("markers", &events);
+        assert_eq!(html.matches("<title>ts ").count(), events.len());
+        assert!(html.contains("acquire · site=5"));
+        assert!(html.contains("peer=0 bytes=64"));
+    }
+}

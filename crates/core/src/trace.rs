@@ -85,6 +85,12 @@ impl SiteId {
         SiteId(AtomicU64::new(SITE_UNTRACED))
     }
 
+    /// Whether this site is permanently untraced (never records, never
+    /// allocates an id). Cheap: one relaxed load.
+    pub fn is_disabled(&self) -> bool {
+        self.0.load(Ordering::Relaxed) == SITE_UNTRACED
+    }
+
     /// The site id, allocating one on first call. `None` if disabled.
     pub fn get(&self) -> Option<u64> {
         match self.0.load(Ordering::Relaxed) {
@@ -172,6 +178,17 @@ pub enum EventKind {
     /// `handle` (`task` caller-defined) — e.g. a worker starting a
     /// submitted task, or the parent joining a finished child.
     Join,
+    /// The recording thread woke from a condition-style wait on `site`
+    /// (`seq` = the notification count observed). Semantically a pulse
+    /// acquire: the waiter adopts the history the matching [`Signal`]
+    /// published. Recorded *after* the wakeup (and any mutex
+    /// re-acquisition), so its timestamp follows the signal's.
+    Wait,
+    /// The recording thread signalled waiters on `site` (`seq` = the
+    /// notification count after this signal). Semantically a pulse
+    /// release: publishes the signaller's history to every waiter woken
+    /// by this notification. Recorded *before* waiters are woken.
+    Signal,
 }
 
 impl EventKind {
@@ -195,6 +212,8 @@ impl EventKind {
             EventKind::Write => "write",
             EventKind::Fork => "fork",
             EventKind::Join => "join",
+            EventKind::Wait => "wait",
+            EventKind::Signal => "signal",
         }
     }
 
@@ -221,6 +240,8 @@ impl EventKind {
             "write" => EventKind::Write,
             "fork" => EventKind::Fork,
             "join" => EventKind::Join,
+            "wait" => EventKind::Wait,
+            "signal" => EventKind::Signal,
             _ => return None,
         })
     }
@@ -245,6 +266,8 @@ impl EventKind {
             EventKind::Write => ("var", "aux"),
             EventKind::Fork => ("handle", "task"),
             EventKind::Join => ("handle", "task"),
+            EventKind::Wait => ("site", "seq"),
+            EventKind::Signal => ("site", "seq"),
         }
     }
 }
@@ -764,6 +787,27 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"ts\":3,\"actor\":1,\"kind\":\"acquire\",\"site\":9,\"mode\":1}"
+        );
+    }
+
+    #[test]
+    fn condition_event_kinds_are_stable() {
+        assert_eq!(EventKind::Wait.as_str(), "wait");
+        assert_eq!(EventKind::Signal.as_str(), "signal");
+        assert_eq!(EventKind::Wait.field_names(), ("site", "seq"));
+        assert_eq!(EventKind::Signal.field_names(), ("site", "seq"));
+        assert_eq!(EventKind::parse_name("wait"), Some(EventKind::Wait));
+        assert_eq!(EventKind::parse_name("signal"), Some(EventKind::Signal));
+        let e = Event {
+            ts: 4,
+            actor: 2,
+            kind: EventKind::Signal,
+            a: 9,
+            b: 1,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ts\":4,\"actor\":2,\"kind\":\"signal\",\"site\":9,\"seq\":1}"
         );
     }
 

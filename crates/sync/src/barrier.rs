@@ -6,6 +6,7 @@
 //! thread can lap a slow one); the *sense-reversing* barrier fixes this
 //! by flipping a phase flag each episode, which is the version built here.
 
+use crate::hooks;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -57,6 +58,7 @@ impl SenseBarrier {
 
     /// Block until all `parties` threads have called `wait` this episode.
     pub fn wait(&self) -> BarrierOutcome {
+        hooks::yield_point();
         // Entering the barrier publishes this thread's history (a sync
         // pulse released before the arrival increment); leaving adopts
         // everyone's (a pulse acquired after the sense flip is seen), so
@@ -73,6 +75,7 @@ impl SenseBarrier {
             // happens-before every read after it (parties synchronized
             // via their Acquire loads of `sense`).
             self.sense.store(!my_sense, Ordering::Release);
+            hooks::site_changed(&self.site);
             trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             BarrierOutcome {
                 is_leader: true,
@@ -81,11 +84,7 @@ impl SenseBarrier {
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) == my_sense {
-                std::hint::spin_loop();
-                spins = spins.wrapping_add(1);
-                if spins.is_multiple_of(64) {
-                    std::thread::yield_now();
-                }
+                hooks::spin_wait(&mut spins, &self.site);
             }
             trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
             BarrierOutcome {

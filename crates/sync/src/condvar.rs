@@ -12,6 +12,7 @@
 //! token then guarantees the unpark is not lost even if it races ahead
 //! of the park.
 
+use crate::hooks;
 use crate::mutex::{MutexGuard, PdcMutex};
 use crate::spin::SpinLock;
 use pdc_core::trace::{self, EventKind, SiteId};
@@ -38,6 +39,16 @@ impl PdcCondvar {
         }
     }
 
+    /// Record a [`EventKind::Wait`]/[`EventKind::Signal`] on this
+    /// condvar's site, carrying the current notification count.
+    fn record_cond(&self, kind: EventKind) {
+        if let Some(t) = trace::current_sync_trace() {
+            if let Some(id) = self.site.get() {
+                t.record(kind, id, self.notifications.load(Ordering::Relaxed));
+            }
+        }
+    }
+
     /// Atomically release `guard`'s mutex and sleep; re-acquire before
     /// returning. May wake spuriously: loop on the predicate.
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
@@ -46,12 +57,12 @@ impl PdcCondvar {
         // will find us and set our park token.
         self.waiters.lock().push_back(std::thread::current());
         drop(guard); // release the mutex
-        std::thread::park();
+        hooks::park();
         let guard = mutex.lock();
-        // A wakeup adopts the notifier's history: a sync-pulse acquire
-        // recorded after the mutex is re-held, so its timestamp follows
-        // the notify's release pulse.
-        trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
+        // A wakeup adopts the notifier's history: a `wait` edge (pulse
+        // acquire) recorded after the mutex is re-held, so its timestamp
+        // follows the notify's `signal` edge.
+        self.record_cond(EventKind::Wait);
         guard
     }
 
@@ -69,22 +80,25 @@ impl PdcCondvar {
 
     /// Wake one waiter (if any).
     pub fn notify_one(&self) {
-        // Publish the notifier's history before any waiter can wake.
-        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
+        hooks::yield_point();
         self.notifications.fetch_add(1, Ordering::Relaxed);
+        // Publish the notifier's history (`signal` = pulse release)
+        // before any waiter can wake.
+        self.record_cond(EventKind::Signal);
         let w = self.waiters.lock().pop_front();
         if let Some(t) = w {
-            t.unpark();
+            hooks::unpark(&t);
         }
     }
 
     /// Wake every current waiter.
     pub fn notify_all(&self) {
-        trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
+        hooks::yield_point();
         self.notifications.fetch_add(1, Ordering::Relaxed);
+        self.record_cond(EventKind::Signal);
         let all: Vec<Thread> = self.waiters.lock().drain(..).collect();
         for t in all {
-            t.unpark();
+            hooks::unpark(&t);
         }
     }
 

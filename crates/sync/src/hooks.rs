@@ -1,0 +1,320 @@
+//! Yield-point seam for controlled schedulers (`pdc-check`).
+//!
+//! Every blocking or retrying moment in the nine `pdc-sync` primitives
+//! funnels through this module: spin-wait loops call [`spin_wait`],
+//! lock/acquire entries call [`yield_point`], parking calls
+//! [`park`]/[`unpark`], and state changes that could satisfy a spin
+//! waiter call [`site_changed`]. With no checker installed (the default,
+//! and the only state production code ever sees) each helper collapses
+//! to the exact uninstrumented idiom the primitives used before — one
+//! relaxed atomic load is the entire overhead.
+//!
+//! When a [`Checker`] *is* installed (by `pdc-check` during schedule
+//! exploration), threads registered as checked tasks hand control to the
+//! checker at every one of these points, which serializes the whole test
+//! body onto one runnable task at a time and makes the interleaving a
+//! deterministic function of the checker's decisions.
+//!
+//! The contract with the primitives:
+//!
+//! * `yield_point()` — a possible preemption just before a
+//!   synchronization step (lock/acquire/wait entry).
+//! * `spin_wait(&mut spins, &site)` — one iteration of a condition
+//!   re-check loop. Unchecked: `spin_loop` + a `yield_now` every 64
+//!   iterations. Checked: block until *`site` changes* (another task
+//!   ran [`site_changed`] on it), then return so the caller re-checks.
+//! * `park()` / `unpark(&Thread)` — `thread::park` token semantics.
+//!   Checked tasks park inside the checker; unpark of a thread the
+//!   checker does not know falls back to the real `Thread::unpark`.
+//! * `site_changed(&site)` — called after a release-style state change
+//!   (unlock, sense flip, READY publish) so the checker can re-enable
+//!   spin waiters blocked on that site. No-op unchecked.
+
+use pdc_core::trace::SiteId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identity of a checked task within one exploration (dense, task 0 is
+/// the schedule's root body).
+pub type TaskId = u32;
+
+/// Panic payload a [`Checker`] uses to unwind checked tasks during
+/// schedule teardown. Lives here (not in the checker crate) so every
+/// layer that catches panics around checked code — `pdc-check`'s own
+/// spawn wrapper, `pdc_threads::join` — can tell teardown from a real
+/// failure and re-raise instead of reporting it.
+#[derive(Debug)]
+pub struct AbortSchedule;
+
+/// The controlled-scheduler interface `pdc-check` implements.
+///
+/// Methods are called from the checked threads themselves; every call
+/// may block the calling thread until the checker grants it the next
+/// step, and may panic (with the checker's private abort payload) to
+/// tear a schedule down.
+pub trait Checker: Send + Sync {
+    /// A possible preemption point on `task` (no condition involved).
+    fn yield_point(&self, task: TaskId);
+    /// `task` observed an unavailable resource guarded by `site`; block
+    /// it until [`Checker::site_changed`] is called for that site (or
+    /// for any site when `None`), then return for a re-check.
+    fn spin_wait(&self, task: TaskId, site: Option<u64>);
+    /// A release-style state change happened on `site`.
+    fn site_changed(&self, site: u64);
+    /// Replaces `thread::park` for `task` (token semantics).
+    fn park(&self, task: TaskId);
+    /// Try to unpark the checked task running on `thread`; `false`
+    /// means the checker does not manage that thread and the caller
+    /// must fall back to a real unpark.
+    fn unpark(&self, thread: &std::thread::Thread) -> bool;
+    /// Register a child task about to be spawned by `parent`. The
+    /// parent must call [`Checker::yield_point`] once the OS thread
+    /// exists (never before, or the grant could precede the thread).
+    fn spawn_task(&self, parent: TaskId) -> TaskId;
+    /// First call on the child's own thread: binds the thread to
+    /// `task` and blocks until the task is granted its first step.
+    fn start_task(&self, task: TaskId);
+    /// Last call on the child's own thread: marks `task` finished and
+    /// passes the baton on. Never blocks.
+    fn exit_task(&self, task: TaskId);
+    /// Block `waiter` until `child` has exited.
+    fn join_wait(&self, waiter: TaskId, child: TaskId);
+    /// `task`'s body panicked with a *real* (non-teardown) panic. Must
+    /// not block or panic: the caller is already unwinding and will
+    /// still call [`Checker::exit_task`] afterwards.
+    fn task_panicked(&self, task: TaskId, message: &str);
+}
+
+// Fast global gate, mirroring trace::SYNC_TRACING_EVER: stays false
+// until the first checker install anywhere in the process, so the
+// uninstrumented hot path pays one relaxed load per hook.
+static CHECKER_EVER: AtomicBool = AtomicBool::new(false);
+
+static CHECKER: Mutex<Option<Arc<dyn Checker>>> = Mutex::new(None);
+
+thread_local! {
+    static CURRENT_TASK: std::cell::Cell<Option<TaskId>> = const { std::cell::Cell::new(None) };
+}
+
+fn installed_checker() -> Option<Arc<dyn Checker>> {
+    if !CHECKER_EVER.load(Ordering::Acquire) {
+        return None;
+    }
+    CHECKER
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Install `checker` process-wide, returning the previous one. Checked
+/// threads are those that additionally bind a task id via
+/// [`SpawnToken`]/[`bind_root_task`]; unrelated threads keep the
+/// uninstrumented fast path (minus one atomic load).
+pub fn install_checker(checker: Arc<dyn Checker>) -> Option<Arc<dyn Checker>> {
+    CHECKER_EVER.store(true, Ordering::Release);
+    CHECKER
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .replace(checker)
+}
+
+/// Remove the installed checker, if any.
+pub fn uninstall_checker() -> Option<Arc<dyn Checker>> {
+    if !CHECKER_EVER.load(Ordering::Acquire) {
+        return None;
+    }
+    CHECKER
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
+
+/// The checked task bound to this thread, if any.
+pub fn current_task() -> Option<TaskId> {
+    if !CHECKER_EVER.load(Ordering::Acquire) {
+        return None;
+    }
+    CURRENT_TASK.with(|c| c.get())
+}
+
+/// Whether this thread is a checked task under an installed checker.
+pub fn is_checked() -> bool {
+    current_task().is_some()
+        && CHECKER
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+}
+
+fn checked() -> Option<(Arc<dyn Checker>, TaskId)> {
+    let task = current_task()?;
+    installed_checker().map(|c| (c, task))
+}
+
+/// A possible preemption point; no-op unless this thread is checked.
+#[inline]
+pub fn yield_point() {
+    if let Some((c, task)) = checked() {
+        c.yield_point(task);
+    }
+}
+
+/// One iteration of a spin-wait loop on `site`.
+///
+/// Unchecked this is the canonical polite spin: `spin_loop()`, count,
+/// and a `yield_now()` every 64 iterations (on one core, yielding is
+/// what actually lets the holder run). Checked, the task blocks until
+/// `site` changes, then returns for the caller's re-check; `spins` is
+/// not advanced, so spin metrics read 0 under a checker.
+#[inline]
+pub fn spin_wait(spins: &mut u32, site: &SiteId) {
+    if CHECKER_EVER.load(Ordering::Acquire) {
+        if let Some((c, task)) = checked() {
+            c.spin_wait(task, site.get());
+            return;
+        }
+    }
+    std::hint::spin_loop();
+    *spins = spins.wrapping_add(1);
+    if spins.is_multiple_of(64) {
+        std::thread::yield_now();
+    }
+}
+
+/// Announce a release-style change to `site` (unlock, sense flip,
+/// READY publish) so the checker can re-enable its spin waiters.
+/// No-op unless a checker is installed and this thread is checked.
+#[inline]
+pub fn site_changed(site: &SiteId) {
+    if CHECKER_EVER.load(Ordering::Acquire) {
+        if let Some((c, _)) = checked() {
+            if let Some(id) = site.get() {
+                c.site_changed(id);
+            }
+        }
+    }
+}
+
+/// `thread::park`, routed through the checker for checked tasks.
+#[inline]
+pub fn park() {
+    match checked() {
+        Some((c, task)) => c.park(task),
+        None => std::thread::park(),
+    }
+}
+
+/// `Thread::unpark`, routed through the checker when it manages the
+/// target thread; real unpark otherwise.
+#[inline]
+pub fn unpark(thread: &std::thread::Thread) {
+    if CHECKER_EVER.load(Ordering::Acquire) {
+        if let Some(c) = installed_checker() {
+            if c.unpark(thread) {
+                return;
+            }
+        }
+    }
+    thread.unpark();
+}
+
+/// Capability to run a child closure as a checked task; obtained by the
+/// parent via [`checked_spawn`]. `Copy` so the parent can keep one for
+/// [`join_task`] while moving another into the child closure.
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnToken {
+    task: TaskId,
+}
+
+impl SpawnToken {
+    /// The child's task id.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+}
+
+/// Parent side of a checked spawn: registers a child task with the
+/// checker. Returns `None` when this thread is not checked (the normal
+/// path). After the OS thread has been created, the parent should call
+/// [`yield_point`] to give the checker a chance to run the child.
+pub fn checked_spawn() -> Option<SpawnToken> {
+    let (c, parent) = checked()?;
+    Some(SpawnToken {
+        task: c.spawn_task(parent),
+    })
+}
+
+/// Child side: bind this thread to the token's task and block until the
+/// checker grants the first step. Call before any other work.
+pub fn begin_task(token: &SpawnToken) {
+    if let Some(c) = installed_checker() {
+        CURRENT_TASK.with(|t| t.set(Some(token.task)));
+        c.start_task(token.task);
+    }
+}
+
+/// Child side: mark the task finished and hand the baton on. Must be
+/// the thread's last interaction with the checker.
+pub fn end_task(token: &SpawnToken) {
+    if let Some(c) = installed_checker() {
+        c.exit_task(token.task);
+        CURRENT_TASK.with(|t| t.set(None));
+    }
+}
+
+/// Parent side: block until the token's task has exited (replaces a
+/// blocking OS join, which would stall the whole exploration).
+pub fn join_task(token: &SpawnToken) {
+    if let Some((c, me)) = checked() {
+        c.join_wait(me, token.task);
+    }
+}
+
+/// Child side: report a *real* (non-teardown) panic in the task's body
+/// so the checker can abort the schedule and record the message. Safe
+/// to call while unwinding; never blocks or panics.
+pub fn task_panicked(token: &SpawnToken, message: &str) {
+    if let Some(c) = installed_checker() {
+        c.task_panicked(token.task, message);
+    }
+}
+
+/// Bind the calling thread to `task` without a parent (the exploration
+/// root). Used by `pdc-check` for task 0; pairs with
+/// [`unbind_root_task`].
+pub fn bind_root_task(task: TaskId) {
+    CURRENT_TASK.with(|t| t.set(Some(task)));
+}
+
+/// Remove this thread's task binding (exploration root teardown).
+pub fn unbind_root_task() {
+    CURRENT_TASK.with(|t| t.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The install/uninstall paths themselves are exercised end-to-end by
+    // pdc-check; here we pin the uninstrumented defaults.
+
+    #[test]
+    fn unchecked_helpers_are_noops() {
+        assert!(!is_checked());
+        assert_eq!(current_task(), None);
+        yield_point();
+        let site = SiteId::new();
+        site_changed(&site);
+        let mut spins = 0u32;
+        spin_wait(&mut spins, &site);
+        assert_eq!(spins, 1, "unchecked spin_wait counts iterations");
+        assert!(checked_spawn().is_none());
+    }
+
+    #[test]
+    fn unchecked_park_respects_token() {
+        // unpark-then-park must not block (std token semantics).
+        unpark(&std::thread::current());
+        park();
+    }
+}

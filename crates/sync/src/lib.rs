@@ -20,6 +20,8 @@
 //! * [`once::OnceCell`] — one-shot lazy initialization.
 //! * [`buffer::BoundedBuffer`] — the producer-consumer bounded buffer.
 //! * [`condvar::PdcCondvar`] — a condition variable over [`mutex::PdcMutex`].
+//! * [`hooks`] — the yield-point seam controlled schedulers (`pdc-check`)
+//!   install into; a no-op unless a checker is installed.
 //! * [`waitgraph`] — wait-for-graph deadlock detection.
 //! * [`problems`] — dining philosophers (deadlock demo + two fixes) and
 //!   readers-writers scenarios.
@@ -32,6 +34,7 @@
 pub mod barrier;
 pub mod buffer;
 pub mod condvar;
+pub mod hooks;
 pub mod mutex;
 pub mod once;
 pub mod problems;

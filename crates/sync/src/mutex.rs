@@ -7,6 +7,7 @@
 //! spin-then-park with barging (a newly arriving thread may grab the lock
 //! ahead of parked waiters — the throughput-friendly policy).
 
+use crate::hooks;
 use crate::spin::SpinLock;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
@@ -74,12 +75,19 @@ impl<T> PdcMutex<T> {
 
     /// Acquire the mutex, parking the thread if it stays contended.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        // Fast path + bounded spin.
-        for _ in 0..SPIN_LIMIT {
-            if self.try_acquire() {
-                return self.acquired();
+        hooks::yield_point();
+        // Fast path + bounded spin. Under a checker the spin is pure
+        // noise (64 identical decision points per contended acquire), so
+        // checked tasks go straight to the deterministic park protocol.
+        if !hooks::is_checked() {
+            for _ in 0..SPIN_LIMIT {
+                if self.try_acquire() {
+                    return self.acquired();
+                }
+                std::hint::spin_loop();
             }
-            std::hint::spin_loop();
+        } else if self.try_acquire() {
+            return self.acquired();
         }
         // Slow path: enqueue, re-check, park.
         loop {
@@ -93,7 +101,7 @@ impl<T> PdcMutex<T> {
                 return self.acquired();
             }
             self.parks.fetch_add(1, Ordering::Relaxed);
-            std::thread::park();
+            hooks::park();
             if self.try_acquire() {
                 return self.acquired();
             }
@@ -142,9 +150,10 @@ impl<T> Drop for MutexGuard<'_, T> {
         // then wake one waiter, if any. Waking after releasing guarantees
         // the woken thread can succeed immediately.
         self.lock.locked.store(false, Ordering::Release);
+        hooks::site_changed(&self.lock.site);
         let waiter = self.lock.waiters.lock().pop_front();
         if let Some(t) = waiter {
-            t.unpark();
+            hooks::unpark(&t);
         }
     }
 }

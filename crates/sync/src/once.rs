@@ -4,6 +4,7 @@
 //! Locks* ch. 2: many threads race to initialize; exactly one runs the
 //! initializer, the rest wait and then share the result.
 
+use crate::hooks;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -63,6 +64,7 @@ impl<T> OnceCell<T> {
     /// implementation documents rather than solves this (std's `Once`
     /// handles it with a poisoned state).
     pub fn get_or_init(&self, init: impl FnOnce() -> T) -> &T {
+        hooks::yield_point();
         match self
             .state
             .compare_exchange(EMPTY, RUNNING, Ordering::Acquire, Ordering::Acquire)
@@ -78,16 +80,13 @@ impl<T> OnceCell<T> {
                 trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
                 // Release publishes the value to Acquire readers.
                 self.state.store(READY, Ordering::Release);
+                hooks::site_changed(&self.site);
             }
             Err(mut s) => {
                 // Lost the race (or already initialized): wait for READY.
                 let mut spins = 0u32;
                 while s != READY {
-                    std::hint::spin_loop();
-                    spins = spins.wrapping_add(1);
-                    if spins.is_multiple_of(64) {
-                        std::thread::yield_now();
-                    }
+                    hooks::spin_wait(&mut spins, &self.site);
                     s = self.state.load(Ordering::Acquire);
                 }
                 trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_PULSE);
@@ -109,6 +108,7 @@ impl<T> OnceCell<T> {
             unsafe { (*self.value.get()).write(value) };
             trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
             self.state.store(READY, Ordering::Release);
+            hooks::site_changed(&self.site);
             Ok(())
         } else {
             Err(value)

@@ -10,6 +10,7 @@
 //! State word layout: bit 63 = writer active; bits 32..63 = writers
 //! waiting; bits 0..32 = active readers.
 
+use crate::hooks;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -68,6 +69,7 @@ impl<T> PdcRwLock<T> {
     /// Acquire shared access. Blocks (spins with yields) while a writer is
     /// active **or waiting** — the writer-preference rule.
     pub fn read(&self) -> ReadGuard<'_, T> {
+        hooks::yield_point();
         let mut spins = 0u32;
         loop {
             let s = self.state.load(Ordering::Relaxed);
@@ -82,11 +84,7 @@ impl<T> PdcRwLock<T> {
                 }
                 continue;
             }
-            std::hint::spin_loop();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(32) {
-                std::thread::yield_now();
-            }
+            hooks::spin_wait(&mut spins, &self.site);
         }
     }
 
@@ -104,6 +102,7 @@ impl<T> PdcRwLock<T> {
 
     /// Acquire exclusive access.
     pub fn write(&self) -> WriteGuard<'_, T> {
+        hooks::yield_point();
         // Announce intent: bump the waiting-writers count.
         self.state.fetch_add(WAITING_ONE, Ordering::Relaxed);
         let mut spins = 0u32;
@@ -122,11 +121,7 @@ impl<T> PdcRwLock<T> {
                 }
                 continue;
             }
-            std::hint::spin_loop();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(32) {
-                std::thread::yield_now();
-            }
+            hooks::spin_wait(&mut spins, &self.site);
         }
     }
 
@@ -175,6 +170,7 @@ impl<T> Drop for ReadGuard<'_, T> {
         trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_SHARED);
         // Release pairs with the next writer's Acquire.
         self.lock.state.fetch_sub(1, Ordering::Release);
+        hooks::site_changed(&self.lock.site);
     }
 }
 
@@ -197,6 +193,7 @@ impl<T> Drop for WriteGuard<'_, T> {
     fn drop(&mut self) {
         trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         self.lock.state.fetch_and(!WRITER_ACTIVE, Ordering::Release);
+        hooks::site_changed(&self.lock.site);
     }
 }
 

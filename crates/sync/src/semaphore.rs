@@ -5,6 +5,7 @@
 //! wakes a waiter. Implemented with a CAS loop on the count plus the same
 //! waiter-queue parking protocol as [`crate::mutex::PdcMutex`].
 
+use crate::hooks;
 use crate::spin::SpinLock;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::collections::VecDeque;
@@ -58,12 +59,18 @@ impl Semaphore {
 
     /// Take a permit, blocking (parking) until one is available.
     pub fn acquire(&self) {
-        // Bounded spin first.
-        for _ in 0..64 {
-            if self.try_acquire() {
-                return;
+        hooks::yield_point();
+        // Bounded spin first (skipped under a checker: the park protocol
+        // below is the deterministic blocking point).
+        if !hooks::is_checked() {
+            for _ in 0..64 {
+                if self.try_acquire() {
+                    return;
+                }
+                std::hint::spin_loop();
             }
-            std::hint::spin_loop();
+        } else if self.try_acquire() {
+            return;
         }
         loop {
             self.waiters.lock().push_back(std::thread::current());
@@ -73,7 +80,7 @@ impl Semaphore {
                 return;
             }
             self.parks.fetch_add(1, Ordering::Relaxed);
-            std::thread::park();
+            hooks::park();
             if self.try_acquire() {
                 return;
             }
@@ -87,9 +94,10 @@ impl Semaphore {
         trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         // Release ordering pairs with acquirers' Acquire CAS.
         self.count.fetch_add(1, Ordering::Release);
+        hooks::site_changed(&self.site);
         let waiter = self.waiters.lock().pop_front();
         if let Some(t) = waiter {
-            t.unpark();
+            hooks::unpark(&t);
         }
     }
 
@@ -101,10 +109,11 @@ impl Semaphore {
         }
         trace::record_sync_site(EventKind::Release, &self.site, trace::SYNC_PULSE);
         self.count.fetch_add(n, Ordering::Release);
+        hooks::site_changed(&self.site);
         let mut q = self.waiters.lock();
         for _ in 0..n {
             match q.pop_front() {
-                Some(t) => t.unpark(),
+                Some(t) => hooks::unpark(&t),
                 None => break,
             }
         }

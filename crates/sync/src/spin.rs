@@ -1,11 +1,13 @@
 //! A test-and-test-and-set spinlock with exponential backoff.
 //!
 //! The first lock students build: one atomic flag, `compare_exchange` to
-//! acquire, a plain store to release. This version adds the two standard
-//! refinements covered in lecture: *test-and-test-and-set* (spin on a
-//! load, not on the RMW, to avoid cache-line ping-pong) and bounded
-//! exponential backoff.
+//! acquire, a plain store to release. This version adds the standard
+//! refinement covered in lecture: *test-and-test-and-set* (spin on a
+//! load, not on the RMW, to avoid cache-line ping-pong). The polite-spin
+//! policy (pause hint + periodic yield) lives in [`crate::hooks`], which
+//! doubles as the preemption seam for the `pdc-check` scheduler.
 
+use crate::hooks;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -63,7 +65,13 @@ impl<T> SpinLock<T> {
 
     /// Acquire the lock, spinning until available.
     pub fn lock(&self) -> SpinGuard<'_, T> {
-        let mut backoff = 1u32;
+        // Untraced locks guard implementation-internal queues; they are
+        // not user-visible synchronization steps, so they are not
+        // preemption points either (they never block under a checker:
+        // no yield point ever splits their critical sections).
+        if !self.site.is_disabled() {
+            hooks::yield_point();
+        }
         loop {
             // Acquire ordering: pairs with the Release store in unlock so
             // everything the previous holder wrote is visible to us.
@@ -75,20 +83,11 @@ impl<T> SpinLock<T> {
                 break;
             }
             // Test-and-test-and-set: spin read-only until it looks free.
-            let mut local_spins = 0u64;
+            let mut local_spins = 0u32;
             while self.locked.load(Ordering::Relaxed) {
-                for _ in 0..backoff {
-                    std::hint::spin_loop();
-                }
-                local_spins += 1;
-                backoff = (backoff * 2).min(1 << 10);
-                // On a uniprocessor, yielding is what actually lets the
-                // holder run; backoff alone would just burn the quantum.
-                if local_spins.is_multiple_of(16) {
-                    std::thread::yield_now();
-                }
+                hooks::spin_wait(&mut local_spins, &self.site);
             }
-            self.spins.fetch_add(local_spins, Ordering::Relaxed);
+            self.spins.fetch_add(local_spins as u64, Ordering::Relaxed);
         }
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
@@ -156,6 +155,7 @@ impl<T> Drop for SpinGuard<'_, T> {
         trace::record_sync_site(EventKind::Release, &self.lock.site, trace::SYNC_EXCLUSIVE);
         // Release ordering: publishes our writes to the next acquirer.
         self.lock.locked.store(false, Ordering::Release);
+        hooks::site_changed(&self.lock.site);
     }
 }
 

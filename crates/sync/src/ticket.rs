@@ -6,6 +6,7 @@
 //! are served strictly first-come-first-served, the fairness property the
 //! OS course contrasts with test-and-set locks.
 
+use crate::hooks;
 use pdc_core::trace::{self, EventKind, SiteId};
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
@@ -47,16 +48,13 @@ impl<T> TicketLock<T> {
     /// Acquire, waiting in FIFO order. Returns a guard that also reports
     /// the ticket number taken (handy for fairness tests).
     pub fn lock(&self) -> TicketGuard<'_, T> {
+        hooks::yield_point();
         // Relaxed is fine for taking a ticket: the *wait loop*'s Acquire
         // load is what synchronizes with the previous holder's Release.
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         let mut spins = 0u32;
         while self.serving.load(Ordering::Acquire) != ticket {
-            std::hint::spin_loop();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(64) {
-                std::thread::yield_now();
-            }
+            hooks::spin_wait(&mut spins, &self.site);
         }
         trace::record_sync_site(EventKind::Acquire, &self.site, trace::SYNC_EXCLUSIVE);
         TicketGuard { lock: self, ticket }
@@ -125,6 +123,7 @@ impl<T> Drop for TicketGuard<'_, T> {
         self.lock
             .serving
             .store(self.ticket.wrapping_add(1), Ordering::Release);
+        hooks::site_changed(&self.lock.site);
     }
 }
 

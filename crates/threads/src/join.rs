@@ -13,6 +13,8 @@
 //! of the parallel merge sort lab.
 
 use pdc_core::trace::{self, EventKind};
+use pdc_sync::hooks::{self, AbortSchedule};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
 ///
@@ -26,7 +28,25 @@ use pdc_core::trace::{self, EventKind};
 /// `fork` handle that the child adopts, and the child publishes under a
 /// second handle that the parent adopts after the scope ends — so
 /// `pdc-analyze` orders the child's work between the split and the join.
+///
+/// When the calling thread is additionally a *checked task* under a
+/// `pdc-check` exploration, the scoped child registers as a checked
+/// task of its own, so fork-join bodies participate in schedule
+/// exploration like any `pdc_check::spawn` task.
 pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    match hooks::checked_spawn() {
+        None => join_plain(a, b),
+        Some(token) => join_checked(token, a, b),
+    }
+}
+
+/// The uninstrumented path (no checker on this thread): exactly the
+/// pre-checker behaviour, trace diamond included.
+fn join_plain<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RA: Send,
     RB: Send,
@@ -59,6 +79,101 @@ where
     });
     parent.record(EventKind::Join, h_join, 0);
     result
+}
+
+/// The checked path: the scoped child runs as its own checked task.
+///
+/// Teardown discipline matters here because `std::thread::scope` joins
+/// the child even while the parent unwinds: every panic out of `a` or
+/// `b` must first make sure the *other* side can finish (by reporting
+/// the panic to the checker, which aborts the schedule and wakes every
+/// blocked task) before the unwind reaches the scope's implicit join.
+fn join_checked<RA, RB>(
+    token: hooks::SpawnToken,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let parent = trace::current_sync_trace();
+    let handles = parent.as_ref().map(|pt| {
+        let h_fork = trace::next_site_id();
+        let h_join = trace::next_site_id();
+        pt.record(EventKind::Fork, h_fork, 0);
+        (h_fork, h_join)
+    });
+    let child = parent.as_ref().map(|pt| pt.sibling_auto());
+    let result = std::thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                hooks::begin_task(&token);
+                if let (Some(ct), Some((h_fork, _))) = (&child, handles) {
+                    trace::install_sync_trace(ct.clone());
+                    ct.record(EventKind::Join, h_fork, 0);
+                }
+                let rb = b();
+                if let (Some(ct), Some((_, h_join))) = (&child, handles) {
+                    ct.record(EventKind::Fork, h_join, 0);
+                }
+                rb
+            }));
+            trace::clear_sync_trace();
+            if let Err(payload) = &out {
+                if payload.downcast_ref::<AbortSchedule>().is_none() {
+                    hooks::task_panicked(&token, &panic_text(payload.as_ref()));
+                }
+            }
+            // Unconditional: the task must reach Finished even when
+            // unwinding, or teardown would wait on it forever.
+            hooks::end_task(&token);
+            match out {
+                Ok(rb) => rb,
+                Err(payload) => resume_unwind(payload),
+            }
+        });
+        // First decision point where the child is a candidate (the OS
+        // thread exists now, per the hooks contract).
+        hooks::yield_point();
+        let ra = match catch_unwind(AssertUnwindSafe(a)) {
+            Ok(ra) => ra,
+            Err(payload) => {
+                if payload.downcast_ref::<AbortSchedule>().is_none() {
+                    // Abort the schedule so the child (possibly blocked
+                    // in the checker) unwinds and the scope join below
+                    // this frame can complete.
+                    hooks::task_panicked(&token, &panic_text(payload.as_ref()));
+                }
+                resume_unwind(payload);
+            }
+        };
+        // Wait through the checker (the exploration keeps scheduling
+        // other tasks), then do the now-immediate OS join.
+        hooks::join_task(&token);
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) if payload.downcast_ref::<AbortSchedule>().is_some() => {
+                resume_unwind(payload)
+            }
+            Err(_) => panic!("join: task b panicked"),
+        };
+        (ra, rb)
+    });
+    if let (Some(pt), Some((_, h_join))) = (&parent, handles) {
+        pt.record(EventKind::Join, h_join, 0);
+    }
+    result
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Like [`join`], but only forks while `depth > 0`; at depth 0 both

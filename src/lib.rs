@@ -40,12 +40,14 @@
 //! | [`life`] | Game of Life: seq/threaded/simulated/distributed | CS31 |
 //! | [`algos`] | sorting, selection, matrix, scan applications | CS41 |
 //! | [`analyze`] | race/lockset/deadlock/MPI analysis over traces | CS31/CS87 |
+//! | [`check`] | schedule-exploration model checker, record/replay | CS31/CS87 |
 
 #![warn(missing_docs)]
 
 pub use pdc_algos as algos;
 pub use pdc_analyze as analyze;
 pub use pdc_arch as arch;
+pub use pdc_check as check;
 pub use pdc_core as core;
 pub use pdc_db as db;
 pub use pdc_extmem as extmem;

@@ -1,0 +1,76 @@
+//! Property-based tests over the pdc-check record/replay contract.
+//!
+//! The checker's whole value rests on two promises: (1) a recorded
+//! schedule is a *complete* description of a run, so replaying it
+//! reproduces the canonical trace byte for byte; (2) the shrinker only
+//! ever hands back schedules that still fail, so the minimized artifact
+//! a student opens is a real counterexample, not a near miss. Both are
+//! exercised here over randomized schedules and seeds rather than the
+//! handful of fixtures the unit tests pin down.
+
+use pdc::check::{explore_pct, fixtures, replay, Config, Schedule};
+use proptest::prelude::*;
+
+fn quiet_cfg(seed: u64) -> Config {
+    Config {
+        seed,
+        max_schedules: 64,
+        shrink_budget: 32,
+        ..Config::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replay is a fixed point: running an *arbitrary* choice sequence
+    /// through the lenient replayer records some actual schedule; that
+    /// recorded schedule, replayed again, must reproduce the same
+    /// recorded choices, the same outcome class, and a byte-identical
+    /// canonical `pdc-trace/2` JSONL trace. The input choices are junk
+    /// on purpose — ids that are never enabled fall back to the first
+    /// enabled task, and the recorded schedule must absorb that.
+    fn replaying_a_recorded_schedule_is_byte_identical(
+        raw_choices in prop::collection::vec(0u32..6, 0..24),
+        ops in 1u64..3,
+    ) {
+        let cfg = Config { shrink_budget: 0, ..quiet_cfg(1) };
+        let arbitrary = Schedule {
+            strategy: "replay".to_string(),
+            seed: 0,
+            choices: raw_choices,
+        };
+        let first = replay(fixtures::racy_counter_body(ops), &arbitrary, &cfg);
+        let second = replay(fixtures::racy_counter_body(ops), &first.schedule, &cfg);
+        prop_assert_eq!(&second.schedule.choices, &first.schedule.choices);
+        prop_assert_eq!(
+            format!("{:?}", second.outcome),
+            format!("{:?}", first.outcome)
+        );
+        prop_assert_eq!(&second.trace_jsonl, &first.trace_jsonl,
+            "replay of a recorded schedule diverged from the recording");
+        prop_assert!(!first.trace_jsonl.is_empty());
+    }
+
+    /// Whatever PCT finds, the shrinker must preserve: the minimized
+    /// schedule is no longer than the original, still fails when
+    /// replayed, and survives a round-trip through its `pdc-check/1`
+    /// JSON encoding with the verdict and trace intact.
+    fn shrunk_failing_schedules_still_fail(seed in 1u64..2_000_000) {
+        let cfg = quiet_cfg(seed);
+        let report = explore_pct(fixtures::racy_counter_body(2), &cfg);
+        let found = report.failure.expect("the racy counter must be caught");
+        prop_assert!(
+            found.minimal.choices.len() <= found.run.schedule.choices.len()
+        );
+        prop_assert!(found.minimal_run.failed(&cfg),
+            "shrinker returned a schedule that no longer fails");
+
+        let json = found.minimal.to_json();
+        let parsed = Schedule::parse(&json).expect("schedule JSON round-trip");
+        let rerun = replay(fixtures::racy_counter_body(2), &parsed, &cfg);
+        prop_assert!(rerun.failed(&cfg),
+            "replay of the JSON round-tripped minimal schedule passed");
+        prop_assert_eq!(&rerun.trace_jsonl, &found.minimal_run.trace_jsonl);
+    }
+}
