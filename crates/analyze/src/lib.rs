@@ -47,7 +47,7 @@ pub mod mpi_lint;
 pub mod report;
 pub mod vc;
 
-pub use merged::analyze_merged;
+pub use merged::{analyze_merged, shrink_failed};
 pub use report::{Defect, DefectKind, Report};
 
 use pdc_core::trace::{Event, TraceSession};

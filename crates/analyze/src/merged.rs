@@ -128,6 +128,35 @@ pub fn analyze_merged(trace: &MergedTrace) -> Report {
     report
 }
 
+/// Shrink a merged trace around failed processes — the analysis-side
+/// analogue of an MPI communicator shrink after a fault.
+///
+/// A process killed mid-run never snapshots its slice, and every
+/// message the survivors exchanged with it is causally one-sided: a
+/// `Send` whose `Recv` died with the peer, or a `Recv` whose `Send` was
+/// never written down. Feeding those to [`analyze_merged`] reports
+/// unmatched-message defects that describe the *fault*, not a bug in
+/// the survivors. `shrink_failed` removes the failed processes' slices
+/// (if present) and every survivor `Send`/`Recv` whose peer failed, so
+/// the verdict judges only the communication among survivors — which a
+/// correct fault-tolerant run must leave fully matched.
+pub fn shrink_failed(trace: &MergedTrace, failed: &[u32]) -> MergedTrace {
+    let parts = trace
+        .processes
+        .iter()
+        .filter(|p| !failed.contains(&p.process))
+        .map(|p| {
+            let mut p = p.clone();
+            p.events.retain(|e| {
+                !matches!(e.kind, EventKind::Send | EventKind::Recv)
+                    || !failed.contains(&(e.a as u32))
+            });
+            p
+        })
+        .collect();
+    MergedTrace::merge(parts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +291,47 @@ mod tests {
         ]);
         let report = analyze_merged(&trace);
         assert_eq!(report.count_kind(DefectKind::MpiCollectiveOrder), 1);
+    }
+
+    #[test]
+    fn shrinking_failed_processes_clears_fault_artifacts() {
+        // Rank 2 was killed mid-run: its slice is missing, rank 0's
+        // send to it dangles, and rank 1 holds a recv whose send died
+        // unrecorded. The raw verdict blames the survivors; the shrunk
+        // trace judges only survivor↔survivor traffic, which matches.
+        let trace = MergedTrace::merge(vec![
+            proc(
+                0,
+                vec![
+                    ev(1, 0, EventKind::Send, 2, 8), // into the void
+                    ev(2, 0, EventKind::Send, 1, 8),
+                ],
+            ),
+            proc(
+                1,
+                vec![
+                    ev(1, 1, EventKind::Recv, 2, 8), // from the void
+                    ev(2, 1, EventKind::Recv, 0, 8),
+                ],
+            ),
+        ]);
+        let raw = analyze_merged(&trace);
+        assert_eq!(raw.count_kind(DefectKind::MpiUnmatchedSend), 1);
+        assert_eq!(raw.count_kind(DefectKind::MpiUnmatchedRecv), 1);
+
+        let shrunk = shrink_failed(&trace, &[2]);
+        let report = analyze_merged(&shrunk);
+        assert!(report.clean(), "survivor traffic is fully matched");
+        assert_eq!(report.events_analyzed, 2);
+
+        // Shrinking also drops the failed process's own partial slice
+        // when one was captured before the kill.
+        let with_slice = MergedTrace::merge(vec![
+            proc(0, vec![ev(1, 0, EventKind::Send, 2, 8)]),
+            proc(2, vec![ev(1, 2, EventKind::Recv, 0, 8)]),
+        ]);
+        let shrunk = shrink_failed(&with_slice, &[2]);
+        assert_eq!(shrunk.processes.len(), 1);
+        assert!(analyze_merged(&shrunk).clean());
     }
 }

@@ -20,6 +20,16 @@
 //!                             # (target/pdc-trace/shard/merged.trace.json),
 //!                             # and exit non-zero unless the multi-process
 //!                             # trace passes pdc-analyze clean
+//! experiments --serve         # run the live-traffic failover gate: a
+//!                             # closed-loop load generator over the
+//!                             # replicated sharded KV with one shard
+//!                             # process killed mid-run; writes latency
+//!                             # percentiles (pdc-tables/1), the merged
+//!                             # pdc-trace/3 snapshot, and its analyze
+//!                             # report under target/pdc-trace/serve/,
+//!                             # and exits non-zero if any acked write
+//!                             # was lost, no promotion happened, or the
+//!                             # shrunk survivor trace analyzes dirty
 //! experiments --check         # run the pdc-check soundness gate: PCT must
 //!                             # flag the racy counter within 1000 schedules,
 //!                             # exhaustive DFS must prove the fixed counter
@@ -800,7 +810,10 @@ fn write_tables_json(entries: &[(&str, Vec<String>)]) {
 fn main() {
     // Wire children re-exec this binary; route them straight back into
     // the world they belong to before any argument handling.
-    if pdc_mpi::WireWorld::child_world_id().is_some() {
+    if let Some(world) = pdc_mpi::WireWorld::child_world_id() {
+        if world == pdc_bench::exp_serve::WORLD_ID {
+            pdc_db::serve::run_shard_child();
+        }
         run_shard_gate();
         unreachable!("wire child returned from its world");
     }
@@ -819,6 +832,7 @@ fn main() {
         }
         [flag] if flag == "--analyze" => run_analyze(),
         [flag] if flag == "--shard" => run_shard_gate(),
+        [flag] if flag == "--serve" => pdc_bench::exp_serve::run_serve_gate(),
         [flag] if flag == "--check" => run_check_gate(),
         [flag, rest @ ..] if flag == "--render" && rest.len() <= 1 => {
             let default = "target/pdc-trace/experiments.timeline.html".to_string();
@@ -849,7 +863,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --check | --render [path]]"
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --check | --render [path]]"
             );
             std::process::exit(2);
         }

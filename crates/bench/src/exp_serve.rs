@@ -1,0 +1,254 @@
+//! `experiments --serve`: the live-traffic failover gate.
+//!
+//! A closed-loop load generator — N client threads, each issuing its
+//! next request only after the previous reply — drives the replicated
+//! sharded KV ([`pdc_db::serve`]) over real TCP while one shard process
+//! is SIGKILLed mid-run. The gate passes only if serving *kept its
+//! promises through the failure*:
+//!
+//! * **Zero lost acknowledged writes** — the survivors' final state
+//!   equals a direct single-node replay of exactly the acknowledged
+//!   ops, in acknowledgement order.
+//! * **The failure was detected and repaired** — `serve.promotions >= 1`
+//!   and the death surfaced through the typed
+//!   [`pdc_mpi::TransportError`] path, not a panic.
+//! * **The survivors' communication is causally complete** — the merged
+//!   `pdc-trace/3` snapshot, shrunk around the killed rank
+//!   ([`pdc_analyze::shrink_failed`], the communicator-shrink
+//!   analogue), passes [`pdc_analyze::analyze_merged`] clean.
+//! * **Clients never noticed** — every request got its reply in order,
+//!   `kv.conn_errors == 0`.
+//!
+//! Throughput and p50/p95/p99 reply latency are reported as a table and
+//! captured in `pdc-tables/1` JSON, because a serving tier that
+//! survives failures by stalling forever hasn't survived them.
+//!
+//! This is a *gate*, not a registry experiment: it spawns OS processes
+//! and kills one, so it runs behind its own `--serve` flag (and a
+//! dedicated CI job) rather than inside the run-everything sweep.
+
+use pdc_analyze::{analyze_merged, shrink_failed};
+use pdc_core::report::{write_text_file, Table};
+use pdc_core::rng::Rng;
+use pdc_core::stats::Samples;
+use pdc_core::trace::TraceSession;
+use pdc_db::serve::{self, ServeOptions};
+use pdc_db::sharded::apply_script;
+use pdc_db::ShardOp;
+use pdc_mpi::kv_tcp::TcpKvClient;
+use pdc_mpi::WireOptions;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// World id the serve gate's shard children dispatch on (see
+/// `experiments::main`).
+pub const WORLD_ID: &str = "serve-gate";
+
+const SHARDS: usize = 4;
+const CLIENTS: usize = 8;
+const OPS_PER_CLIENT: usize = 400;
+const KILL_RANK: usize = 1;
+const TRACE_DIR: &str = "target/pdc-trace/serve";
+
+/// One client's deterministic op script: 70% PUT / 20% GET / 10% DEL
+/// over a key space shared by all clients, so the killed shard's keys
+/// see traffic from everyone, before and after the failure.
+fn client_script(client: usize) -> Vec<String> {
+    let mut rng = Rng::new(0xC0FFEE ^ client as u64);
+    (0..OPS_PER_CLIENT)
+        .map(|i| {
+            let key = format!("k{}", rng.gen_range(96));
+            match rng.gen_range(10) {
+                0..=6 => format!("PUT {key} c{client}v{i}"),
+                7..=8 => format!("GET {key}"),
+                _ => format!("DEL {key}"),
+            }
+        })
+        .collect()
+}
+
+/// Run the gate; exits the process non-zero on any failed check.
+pub fn run_serve_gate() {
+    let total_ops = (CLIENTS * OPS_PER_CLIENT) as u64;
+    let session = TraceSession::with_capacity(1 << 18);
+    let opts = ServeOptions::new(
+        SHARDS,
+        WireOptions::for_args(SHARDS, WORLD_ID, &["--serve"]).traced(TRACE_DIR),
+    );
+    let handle = serve::start(opts, &session).expect("start serving tier");
+    let addr = handle.addr();
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let mut client = TcpKvClient::connect(addr).expect("client connect");
+                let mut lat: Vec<f64> = Vec::with_capacity(OPS_PER_CLIENT);
+                for line in client_script(c) {
+                    let sent = Instant::now();
+                    let reply = client.call(&line).expect("closed-loop call");
+                    lat.push(sent.elapsed().as_secs_f64() * 1e6);
+                    assert!(
+                        !reply.starts_with("ERR"),
+                        "client {c}: {line:?} -> {reply:?}"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                assert_eq!(client.call("QUIT").expect("quit"), "BYE");
+                lat
+            })
+        })
+        .collect();
+
+    // Fault injection: once a quarter of the load has been served, kill
+    // one shard out from under the remaining three quarters.
+    while completed.load(Ordering::Relaxed) < total_ops / 4 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    handle.kill_shard(KILL_RANK);
+    println!(
+        "killed shard rank {KILL_RANK} after {} of {total_ops} ops",
+        completed.load(Ordering::Relaxed)
+    );
+
+    let mut all_lat: Vec<f64> = Vec::with_capacity(total_ops as usize);
+    for w in workers {
+        all_lat.extend(w.join().expect("client thread"));
+    }
+    let latencies = Samples::from_vec(all_lat);
+    let elapsed = t0.elapsed();
+    let outcome = handle.finish();
+
+    // ---- The gate's checks ----
+    let mut failures: Vec<String> = Vec::new();
+
+    let acked_ops: Vec<ShardOp> = outcome.acked.iter().map(|(_, op)| op.clone()).collect();
+    if outcome.acked.len() as u64 != total_ops {
+        failures.push(format!(
+            "acked {} of {total_ops} issued ops",
+            outcome.acked.len()
+        ));
+    }
+    if outcome.state == apply_script(&acked_ops) {
+        println!(
+            "serve gate: zero lost acknowledged writes ({} acked ops replay to the served state)",
+            outcome.acked.len()
+        );
+    } else {
+        failures.push("survivor state diverged from a replay of the acked ops".into());
+    }
+
+    if outcome.promotions >= 1 {
+        println!(
+            "serve gate: promotions={} (backup took over for rank {KILL_RANK}, {} ops re-sent)",
+            outcome.promotions, outcome.retries
+        );
+    } else {
+        failures.push("no promotion recorded despite a killed shard".into());
+    }
+
+    let typed_death = outcome
+        .dead
+        .iter()
+        .any(|d| d.rank == KILL_RANK && d.error.is_some());
+    if typed_death {
+        println!(
+            "serve gate: shard death surfaced as TransportError ({:?}), not a panic",
+            outcome.dead[0].error.as_ref().unwrap()
+        );
+    } else {
+        failures.push(format!(
+            "rank {KILL_RANK}'s death did not surface through the TransportError path: {:?}",
+            outcome.dead
+        ));
+    }
+
+    if outcome.conn_errors == 0 {
+        println!("serve gate: kv.conn_errors=0 (no client saw a failure)");
+    } else {
+        failures.push(format!("{} client connection errors", outcome.conn_errors));
+    }
+
+    let merged = outcome.trace.as_ref().expect("traced run");
+    let shrunk = shrink_failed(merged, &[KILL_RANK as u32]);
+    let report = analyze_merged(&shrunk);
+    if report.clean() {
+        println!(
+            "serve gate: merged trace analyzed clean after shrinking rank {KILL_RANK} \
+             ({} survivor events)",
+            report.events_analyzed
+        );
+    } else {
+        failures.push(format!(
+            "pdc-analyze flagged the shrunk survivor trace: {:?}",
+            report
+                .defects
+                .iter()
+                .map(|d| d.kind.name())
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    // ---- Throughput / latency report ----
+    let throughput = total_ops as f64 / elapsed.as_secs_f64();
+    let mut t = Table::new(
+        format!(
+            "serve gate (experiments --serve) — {CLIENTS} closed-loop clients, \
+             {SHARDS} shards (rank {KILL_RANK} killed mid-run), 2-way replication"
+        ),
+        &["metric", "value"],
+    );
+    t.row(&["ops acked".into(), outcome.acked.len().to_string()]);
+    t.row(&[
+        "wall time (s)".into(),
+        format!("{:.2}", elapsed.as_secs_f64()),
+    ]);
+    t.row(&["throughput (ops/s)".into(), format!("{throughput:.0}")]);
+    t.row(&[
+        "p50 latency (us)".into(),
+        format!("{:.0}", latencies.percentile(50.0)),
+    ]);
+    t.row(&[
+        "p95 latency (us)".into(),
+        format!("{:.0}", latencies.percentile(95.0)),
+    ]);
+    t.row(&[
+        "p99 latency (us)".into(),
+        format!("{:.0}", latencies.percentile(99.0)),
+    ]);
+    t.row(&["promotions".into(), outcome.promotions.to_string()]);
+    t.row(&["retried ops".into(), outcome.retries.to_string()]);
+    t.row(&[
+        "rebalanced keys".into(),
+        merged.counter("serve.rebalanced_keys").to_string(),
+    ]);
+    let (rendered, tables) = pdc_core::report::capture_tables(|| t.render());
+    print!("{rendered}");
+
+    let dir = std::path::Path::new(TRACE_DIR);
+    let tables_json = format!(
+        "{{\"schema\":\"pdc-tables/1\",\"experiments\":[{{\"id\":\"serve-gate\",\"tables\":[{}]}}]}}",
+        tables.join(",")
+    );
+    write_text_file(&dir.join("serve.tables.json"), &tables_json).expect("write tables json");
+    write_text_file(
+        &dir.join("merged.trace.json"),
+        &merged.to_json(&[("source", "experiments --serve".to_string())]),
+    )
+    .expect("write merged trace");
+    write_text_file(&dir.join("merged.analyze.json"), &report.to_json())
+        .expect("write analyze report");
+    println!("serve artifacts written under {}", dir.display());
+
+    if !failures.is_empty() {
+        eprintln!("serve gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("serve gate passed");
+}

@@ -20,6 +20,7 @@
 pub mod exp_check;
 pub mod exp_e;
 pub mod exp_ext;
+pub mod exp_serve;
 pub mod exp_shard;
 pub mod exp_t1;
 pub mod exp_t2;

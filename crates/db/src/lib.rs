@@ -13,16 +13,22 @@
 //! * [`sharded`] — the DHT ring fronting live shard ranks over the
 //!   `pdc_mpi` transport seam: the same router/shard code runs as
 //!   threads or as separate OS processes over loopback TCP.
+//! * [`serve`] — the sharded store facing live traffic: a TCP front
+//!   end, 2-way chain replication over the ring, heartbeat + transport
+//!   failure detection, and backup promotion with rebalancing — no
+//!   acknowledged write lost when a shard dies mid-run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dht;
 pub mod join;
+pub mod serve;
 pub mod sharded;
 pub mod twopc;
 
 pub use dht::HashRing;
 pub use join::{hash_join, parallel_hash_join, sort_merge_join};
-pub use sharded::{KvState, ShardMsg, ShardOp};
+pub use serve::{ServeHandle, ServeOptions, ServeOutcome};
+pub use sharded::{apply_op, apply_script, Applied, KvState, ShardMsg, ShardOp};
 pub use twopc::{Coordinator, Decision};

@@ -201,6 +201,46 @@ impl WireMessage for ShardMsg {
 /// The store's final contents, sorted by key: `(key, (value, version))`.
 pub type KvState = Vec<(String, (String, u64))>;
 
+/// What applying one [`ShardOp`] did — enough for a caller to build the
+/// client-visible reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Applied {
+    /// A PUT wrote this version.
+    Put(u64),
+    /// A GET observed this binding (or its absence).
+    Got(Option<(String, u64)>),
+    /// A DEL removed an existing key (`true`) or missed (`false`).
+    Del(bool),
+}
+
+/// Apply one op to a store map — the single source of truth for
+/// PUT/GET/DEL semantics, shared by the scripted shard loop, the
+/// direct-apply reference in tests and gates, and the replicated
+/// serving tier's primaries. The version bumps on every write and
+/// restarts at 1 after a delete.
+pub fn apply_op(store: &mut BTreeMap<String, (String, u64)>, op: &ShardOp) -> Applied {
+    match op {
+        ShardOp::Put { key, val } => {
+            let ver = store.get(key).map_or(0, |&(_, v)| v) + 1;
+            store.insert(key.clone(), (val.clone(), ver));
+            Applied::Put(ver)
+        }
+        ShardOp::Get { key } => Applied::Got(store.get(key).cloned()),
+        ShardOp::Del { key } => Applied::Del(store.remove(key).is_some()),
+    }
+}
+
+/// Reference semantics: apply a whole script to one flat map. The serve
+/// gate compares a replicated, failure-injected run's final state
+/// against `apply_script(acked ops)` — zero lost acknowledged writes.
+pub fn apply_script<'a>(ops: impl IntoIterator<Item = &'a ShardOp>) -> KvState {
+    let mut store = BTreeMap::new();
+    for op in ops {
+        apply_op(&mut store, op);
+    }
+    store.into_iter().collect()
+}
+
 /// A deterministic op script: `ops` operations over `keys` distinct keys
 /// — roughly 70% PUT / 20% GET / 10% DEL — reproducible from `seed` so
 /// single-process and multi-process runs replay the identical workload.
@@ -292,18 +332,7 @@ fn serve<T: Transport<Vec<ShardMsg>>>(rank: &mut Rank<Vec<ShardMsg>, T>) {
                 ShardMsg::Op(op) => {
                     served += 1;
                     rank.count("db.shard_ops");
-                    match op {
-                        ShardOp::Put { key, val } => {
-                            let ver = store.get(&key).map_or(0, |&(_, v)| v) + 1;
-                            store.insert(key, (val, ver));
-                        }
-                        ShardOp::Get { key } => {
-                            let _ = store.get(&key);
-                        }
-                        ShardOp::Del { key } => {
-                            store.remove(&key);
-                        }
-                    }
+                    apply_op(&mut store, &op);
                 }
                 ShardMsg::Stop => break 'serving,
                 other => panic!("unexpected message at shard: {other:?}"),
@@ -401,20 +430,7 @@ mod tests {
 
     /// Reference semantics: apply the script to one flat map.
     fn apply_direct(ops: &[ShardOp]) -> KvState {
-        let mut store: BTreeMap<String, (String, u64)> = BTreeMap::new();
-        for op in ops {
-            match op {
-                ShardOp::Put { key, val } => {
-                    let ver = store.get(key).map_or(0, |&(_, v)| v) + 1;
-                    store.insert(key.clone(), (val.clone(), ver));
-                }
-                ShardOp::Get { .. } => {}
-                ShardOp::Del { key } => {
-                    store.remove(key);
-                }
-            }
-        }
-        store.into_iter().collect()
+        apply_script(ops)
     }
 
     #[test]

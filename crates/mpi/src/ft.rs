@@ -16,7 +16,87 @@
 //! into a pdc-trace session.
 
 use pdc_core::trace::TraceSession;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// The farm's heartbeat-timeout failure detector, extracted so live
+/// systems can reuse it: `db::serve`'s front end feeds it "I heard from
+/// shard p" observations plus a monotonically advancing clock, exactly
+/// as the simulated master does with ticks. A peer silent for more than
+/// `timeout` clock units is declared dead — once.
+///
+/// Clock units are whatever the caller advances (simulation ticks here,
+/// elapsed ping intervals in the serving tier); the detector only
+/// compares them.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    timeout: u64,
+    last_seen: BTreeMap<usize, u64>,
+    dead: BTreeSet<usize>,
+}
+
+impl HeartbeatMonitor {
+    /// A detector that declares a registered peer dead when `timeout`
+    /// clock units pass without a [`HeartbeatMonitor::heard`].
+    pub fn new(timeout: u64) -> HeartbeatMonitor {
+        assert!(timeout > 0, "a zero timeout declares everyone dead");
+        HeartbeatMonitor {
+            timeout,
+            last_seen: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// Start monitoring `peer`, treating `now` as its last sign of life.
+    pub fn register(&mut self, peer: usize, now: u64) {
+        self.last_seen.insert(peer, now);
+    }
+
+    /// Record a sign of life (heartbeat reply, any message) from `peer`.
+    /// Ignored for peers already declared dead — a failure detection is
+    /// never retracted.
+    pub fn heard(&mut self, peer: usize, now: u64) {
+        if !self.dead.contains(&peer) {
+            if let Some(t) = self.last_seen.get_mut(&peer) {
+                *t = (*t).max(now);
+            }
+        }
+    }
+
+    /// Declare `peer` dead on out-of-band evidence (e.g. its socket
+    /// closed) without waiting for the timeout.
+    pub fn mark_dead(&mut self, peer: usize) {
+        if self.last_seen.remove(&peer).is_some() {
+            self.dead.insert(peer);
+        }
+    }
+
+    /// Peers whose silence exceeded the timeout as of `now`, in peer
+    /// order. Each is declared dead and reported exactly once.
+    pub fn expired(&mut self, now: u64) -> Vec<usize> {
+        let timeout = self.timeout;
+        let newly: Vec<usize> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &seen)| now.saturating_sub(seen) > timeout)
+            .map(|(&p, _)| p)
+            .collect();
+        for &p in &newly {
+            self.last_seen.remove(&p);
+            self.dead.insert(p);
+        }
+        newly
+    }
+
+    /// Whether `peer` has been declared dead.
+    pub fn is_dead(&self, peer: usize) -> bool {
+        self.dead.contains(&peer)
+    }
+
+    /// Registered peers not declared dead, in peer order.
+    pub fn alive(&self) -> Vec<usize> {
+        self.last_seen.keys().copied().collect()
+    }
+}
 
 /// One unit of work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +292,36 @@ mod tests {
 
     fn tasks(n: u64, dur: u64) -> Vec<Task> {
         (0..n).map(|id| Task { id, duration: dur }).collect()
+    }
+
+    #[test]
+    fn heartbeat_monitor_detects_silence_once() {
+        let mut m = HeartbeatMonitor::new(3);
+        m.register(1, 0);
+        m.register(2, 0);
+        assert_eq!(m.expired(3), Vec::<usize>::new(), "within timeout");
+        m.heard(2, 3);
+        // Tick 4: peer 1 has been silent for 4 > 3; peer 2 for 1.
+        assert_eq!(m.expired(4), vec![1]);
+        assert!(m.is_dead(1));
+        assert_eq!(m.expired(4), Vec::<usize>::new(), "reported once");
+        // A late heartbeat from a declared-dead peer changes nothing.
+        m.heard(1, 5);
+        assert!(m.is_dead(1));
+        assert_eq!(m.alive(), vec![2]);
+        // Peer 2 eventually expires too.
+        assert_eq!(m.expired(100), vec![2]);
+    }
+
+    #[test]
+    fn heartbeat_monitor_out_of_band_death() {
+        let mut m = HeartbeatMonitor::new(10);
+        m.register(4, 0);
+        m.register(7, 0);
+        m.mark_dead(7); // socket EOF: no need to wait out the timeout
+        assert!(m.is_dead(7));
+        assert_eq!(m.alive(), vec![4]);
+        assert_eq!(m.expired(100), vec![4], "mark_dead peers never expire");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! A star router whose hub is **this process**: rank 0 of a wire world
+//! that participates in the protocol instead of only forwarding.
+//!
+//! [`crate::transport::WireWorld`] is symmetric — the parent spawns
+//! `p` child ranks and does nothing but route. A serving system needs
+//! the asymmetric shape: the front-end tier (rank 0) lives in the
+//! parent, talks to shard ranks 1..=p over the same frame protocol, and
+//! — crucially — **survives a child dying**. Where `WireWorld` panics
+//! on a lost rank, `WireHub` turns the broken connection into a
+//! [`HubEvent::Down`] carrying the [`TransportError`] the reader
+//! observed, so a replication layer (see `pdc-db`'s `serve` module) can
+//! promote a backup and rebalance instead of inheriting a crash.
+//!
+//! Frames are exactly the `WireWorld` wire protocol (hello, `MSG`,
+//! `RESULT`, downward frames), so children built on
+//! [`WireTransport::connect`] work unchanged. Child→child traffic is
+//! forwarded through the hub like the symmetric router does; frames
+//! addressed to rank 0 are decoded and surfaced as [`HubEvent::Msg`].
+
+use crate::transport::{
+    self, read_body, read_u32, read_u64, spawn_rank_process, Envelope, TransportError, WireMessage,
+    WireOptions, FRAME_MSG, FRAME_RESULT,
+};
+use crate::world::{Traffic, TrafficStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, ExitStatus};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What the hub's reader threads surface to the owning process.
+#[derive(Debug)]
+pub enum HubEvent<M> {
+    /// A message addressed to rank 0 (the hub process itself).
+    Msg(Envelope<M>),
+    /// Child `rank`'s connection died: clean hang-up, torn frame, or a
+    /// payload that would not decode. Emitted at most once per rank,
+    /// after every message that arrived before the failure.
+    Down {
+        /// The rank whose connection failed.
+        rank: usize,
+        /// How the failure presented at the transport layer.
+        error: TransportError,
+    },
+    /// Child `rank` delivered its `RESULT` frame (a clean exit).
+    Result {
+        /// The reporting rank.
+        rank: usize,
+        /// The undecoded result payload.
+        body: Vec<u8>,
+    },
+}
+
+/// A live hub world: child rank processes 1..=`procs`, this process as
+/// rank 0. Dropping the hub without [`WireHub::shutdown`] leaks child
+/// processes — always shut down.
+pub struct WireHub<M: WireMessage> {
+    procs: usize,
+    inbox: Receiver<HubEvent<M>>,
+    // Indexed by rank; slot 0 (the hub itself) is None. A writer slot
+    // whose channel is disconnected means that child is gone.
+    out_tx: Vec<Option<Sender<Vec<u8>>>>,
+    children: Vec<Child>, // indexed by rank - 1
+    readers: Vec<JoinHandle<()>>,
+    writers: Vec<JoinHandle<()>>,
+    traffic: Arc<Traffic>,
+}
+
+impl<M: WireMessage> WireHub<M> {
+    /// Spawn `opts.procs` child rank processes (ranks 1..=procs; this
+    /// process is rank 0) and start routing. Children see a world of
+    /// `opts.procs + 1` ranks.
+    ///
+    /// # Panics
+    /// Panics if a child dies before connecting or none connect within
+    /// the 60s accept deadline — startup failure is a bug, not a
+    /// tolerated fault; fault tolerance begins once the world is up.
+    pub fn spawn(opts: &WireOptions) -> io::Result<WireHub<M>> {
+        let p = opts.procs;
+        assert!(p > 0, "hub world needs at least one child rank");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+
+        let mut children: Vec<Child> = (1..=p)
+            .map(|rank| spawn_rank_process(opts, rank, p + 1, &addr))
+            .collect::<io::Result<_>>()?;
+        let socks = accept_hellos(&listener, &mut children);
+
+        let traffic = Arc::new(Traffic::default());
+        let (ev_tx, ev_rx) = unbounded::<HubEvent<M>>();
+        let mut out_tx: Vec<Option<Sender<Vec<u8>>>> = vec![None];
+        let mut out_rx = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Vec<u8>>();
+            out_tx.push(Some(tx));
+            out_rx.push(rx);
+        }
+
+        let readers = socks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let rank = i + 1;
+                let stream = s.try_clone().expect("hub: clone for reader");
+                let fwd_tx = out_tx.clone();
+                let ev_tx = ev_tx.clone();
+                let traffic = Arc::clone(&traffic);
+                std::thread::spawn(move || read_from_child(rank, stream, &fwd_tx, &ev_tx, &traffic))
+            })
+            .collect();
+
+        let writers = socks
+            .into_iter()
+            .zip(out_rx)
+            .map(|(mut stream, rx)| {
+                std::thread::spawn(move || {
+                    for frame in rx {
+                        // A dead child is a tolerated fault here: stop
+                        // writing and let the reader's EOF surface it as
+                        // a Down event. (Contrast WireWorld, which
+                        // panics the router on delivery failure.)
+                        if stream.write_all(&frame).is_err() {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(WireHub {
+            procs: p,
+            inbox: ev_rx,
+            out_tx,
+            children,
+            readers,
+            writers,
+            traffic,
+        })
+    }
+
+    /// Number of child ranks (the world size is `procs() + 1`).
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Send `msg` from rank 0 to child rank `dst`. `Err(PeerClosed)`
+    /// means the child's writer is already gone; callers treat it like
+    /// any other in-flight loss (the `Down` event does the accounting).
+    pub fn send(&self, dst: usize, tag: u32, msg: &M) -> Result<(), TransportError> {
+        assert!(dst >= 1 && dst <= self.procs, "hub send to bad rank {dst}");
+        let body = msg.to_bytes();
+        self.traffic.count(1, msg.size_bytes());
+        let frame = transport::down_frame(0, tag, &body);
+        match &self.out_tx[dst] {
+            Some(tx) => tx.send(frame).map_err(|_| TransportError::PeerClosed),
+            None => Err(TransportError::PeerClosed),
+        }
+    }
+
+    /// Next pending event, if any (non-blocking).
+    pub fn try_event(&self) -> Option<HubEvent<M>> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Next pending event, waiting up to `timeout`.
+    pub fn event_timeout(&self, timeout: Duration) -> Option<HubEvent<M>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Kill child rank `rank`'s process (SIGKILL). The death then flows
+    /// through the normal failure path: reader EOF → [`HubEvent::Down`]
+    /// with [`TransportError::PeerClosed`]. This is the fault-injection
+    /// hook the serve gate uses; a real crash looks identical.
+    pub fn kill(&mut self, rank: usize) -> io::Result<()> {
+        assert!(rank >= 1 && rank <= self.procs, "hub kill of bad rank");
+        self.children[rank - 1].kill()
+    }
+
+    /// Router traffic counted from `modeled` frame fields, plus the
+    /// hub's own sends.
+    pub fn stats(&self) -> TrafficStats {
+        self.traffic.stats()
+    }
+
+    /// Close the downward channels, join the router threads, and reap
+    /// every child. Returns exit statuses by rank (index 0 unused as
+    /// `None`); killed children report their signal status rather than
+    /// failing the shutdown.
+    pub fn shutdown(mut self) -> Vec<Option<ExitStatus>> {
+        for slot in &mut self.out_tx {
+            *slot = None; // writers drain and exit
+        }
+        for h in self.readers.drain(..) {
+            h.join().expect("hub reader thread panicked");
+        }
+        for h in self.writers.drain(..) {
+            h.join().expect("hub writer thread panicked");
+        }
+        let mut statuses = vec![None];
+        for c in &mut self.children {
+            statuses.push(Some(c.wait().expect("hub: wait for child")));
+        }
+        statuses
+    }
+}
+
+/// Accept one hello per child, failing fast if a child dies before
+/// connecting (same policy as `WireWorld::accept_ranks`, shifted to
+/// ranks 1..=p).
+fn accept_hellos(listener: &TcpListener, children: &mut [Child]) -> Vec<TcpStream> {
+    let p = children.len();
+    listener
+        .set_nonblocking(true)
+        .expect("hub: nonblocking listener");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut socks: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+    let mut connected = 0;
+    while connected < p {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false).expect("hub: blocking conn");
+                s.set_nodelay(true).ok();
+                let mut hello = [0u8; 4];
+                (&s).read_exact(&mut hello).expect("hub: read hello");
+                let r = u32::from_le_bytes(hello) as usize;
+                assert!(r >= 1 && r <= p, "hello from out-of-range rank {r}");
+                assert!(socks[r - 1].is_none(), "duplicate hello from rank {r}");
+                socks[r - 1] = Some(s);
+                connected += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for (i, c) in children.iter_mut().enumerate() {
+                    if let Some(status) = c.try_wait().expect("hub: try_wait") {
+                        panic!(
+                            "hub child rank {} exited ({status}) before connecting; \
+                             check that WireOptions::child_args re-enter this world",
+                            i + 1
+                        );
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "hub children failed to connect within 60s"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("hub: accept: {e}"),
+        }
+    }
+    socks
+        .into_iter()
+        .map(|s| s.expect("all connected"))
+        .collect()
+}
+
+/// Reader loop for one child: decode hub-addressed messages, forward
+/// peer-addressed frames (re-framed with the verified source), surface
+/// the terminal condition — clean or not — as exactly one event.
+fn read_from_child<M: WireMessage>(
+    rank: usize,
+    stream: TcpStream,
+    fwd_tx: &[Option<Sender<Vec<u8>>>],
+    ev_tx: &Sender<HubEvent<M>>,
+    traffic: &Traffic,
+) {
+    let mut r = BufReader::new(stream);
+    let down = |error| {
+        ev_tx.send(HubEvent::Down { rank, error }).ok();
+    };
+    loop {
+        let mut kind = [0u8; 1];
+        match r.read_exact(&mut kind) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return down(TransportError::PeerClosed)
+            }
+            Err(_) => return down(TransportError::PeerClosed),
+            Ok(()) => {}
+        }
+        match kind[0] {
+            FRAME_MSG => {
+                let (dst, tag, modeled, body) = match (
+                    read_u32(&mut r),
+                    read_u32(&mut r),
+                    read_u64(&mut r),
+                    read_body(&mut r),
+                ) {
+                    (Ok(d), Ok(t), Ok(m), Ok(b)) => (d as usize, t, m, b),
+                    _ => return down(TransportError::Truncated),
+                };
+                traffic.count(1, modeled);
+                if dst == 0 {
+                    match M::from_bytes(&body) {
+                        Some(msg) => {
+                            ev_tx
+                                .send(HubEvent::Msg(Envelope {
+                                    src: rank,
+                                    tag,
+                                    msg,
+                                }))
+                                .ok();
+                        }
+                        None => return down(TransportError::Undecodable),
+                    }
+                } else if dst < fwd_tx.len() {
+                    let frame = transport::down_frame(rank, tag, &body);
+                    if let Some(tx) = &fwd_tx[dst] {
+                        tx.send(frame).ok(); // dead destination: tolerated
+                    }
+                } else {
+                    return down(TransportError::Undecodable);
+                }
+            }
+            FRAME_RESULT => match read_body(&mut r) {
+                Ok(body) => {
+                    ev_tx.send(HubEvent::Result { rank, body }).ok();
+                }
+                Err(_) => return down(TransportError::Truncated),
+            },
+            _ => return down(TransportError::Undecodable),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+    use crate::WireWorld;
+
+    /// Child entry for the hub tests: echo every (tag, value) back to
+    /// the hub with the value incremented, exit on tag 99.
+    fn echo_child() -> ! {
+        let env = transport::take_child_env().expect("hub child env");
+        let t: crate::WireTransport<u64> =
+            crate::WireTransport::connect(&env.addr, env.rank).expect("hub child connect");
+        loop {
+            match t.try_recv() {
+                Ok(env) if env.tag == 99 => std::process::exit(0),
+                Ok(e) => {
+                    // Peer-addressed probe: value 1000+r means "forward
+                    // to rank r", exercising child→child routing.
+                    if e.msg >= 1000 {
+                        let dst = (e.msg - 1000) as usize;
+                        t.try_send(0, dst, 7, 555).expect("fwd");
+                    } else {
+                        t.try_send(0, 0, e.tag, e.msg + 1).expect("echo");
+                    }
+                }
+                Err(_) => std::process::exit(0),
+            }
+        }
+    }
+
+    fn hub_world(procs: usize, test_path: &str) -> WireOptions {
+        WireOptions::for_test(procs, test_path)
+    }
+
+    #[test]
+    fn hub_routes_and_reports_child_death() {
+        let path = "hub::tests::hub_routes_and_reports_child_death";
+        if WireWorld::child_world_id().as_deref() == Some(path) {
+            echo_child();
+        }
+        let mut hub: WireHub<u64> = WireHub::spawn(&hub_world(2, path)).expect("spawn");
+
+        // Round-trip to both children.
+        hub.send(1, 3, &10).expect("send");
+        hub.send(2, 4, &20).expect("send");
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            match hub.event_timeout(Duration::from_secs(10)).expect("event") {
+                HubEvent::Msg(e) => got.push((e.src, e.tag, e.msg)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 3, 11), (2, 4, 21)]);
+
+        // Child→child forwarding: ask rank 1 to poke rank 2; rank 2
+        // echoes the poke (555 + 1) back to us.
+        hub.send(1, 5, &1002).expect("send");
+        match hub.event_timeout(Duration::from_secs(10)).expect("event") {
+            HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 556)),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Kill rank 1: the death must surface as Down(PeerClosed), not
+        // a panic anywhere in the router.
+        hub.kill(1).expect("kill");
+        match hub.event_timeout(Duration::from_secs(10)).expect("down") {
+            HubEvent::Down { rank, error } => {
+                assert_eq!(rank, 1);
+                assert_eq!(error, TransportError::PeerClosed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Rank 2 still serves.
+        hub.send(2, 6, &30).expect("send");
+        match hub.event_timeout(Duration::from_secs(10)).expect("event") {
+            HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 31)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Sending to the dead rank is an error, not a panic.
+        std::thread::sleep(Duration::from_millis(50));
+        let _ = hub.send(1, 3, &1); // may still enqueue; must not panic
+
+        hub.send(2, 99, &0).expect("stop");
+        let statuses = hub.shutdown();
+        assert!(statuses[2].expect("rank 2 status").success());
+        assert!(!statuses[1].expect("rank 1 status").success(), "killed");
+    }
+}

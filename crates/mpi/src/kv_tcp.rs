@@ -42,6 +42,19 @@ use std::thread::JoinHandle;
 
 type Store = Arc<Mutex<HashMap<String, (String, u64)>>>;
 
+/// Longest accepted request line, in bytes, including the newline. A
+/// client that streams more than this without a `\n` gets `ERR
+/// too-long`, one `kv.conn_errors` bump, and a closed connection — on
+/// **both** server architectures — instead of growing a server-side
+/// buffer without bound. `db::serve`'s front end enforces the same cap.
+pub const MAX_LINE: usize = 4096;
+
+/// Cap on buffered, not-yet-written reply bytes per connection. A
+/// client that pipelines requests but never reads replies hits this
+/// instead of OOMing the event loop; such a connection is dropped and
+/// counted in `kv.conn_errors`.
+pub const MAX_WBUF: usize = 256 * 1024;
+
 /// A running TCP KV server.
 pub struct TcpKvServer {
     addr: SocketAddr,
@@ -79,6 +92,7 @@ impl TcpKvServer {
                     break;
                 }
                 let Ok(stream) = stream else { break };
+                stream.set_nodelay(true).ok();
                 if let Ok(clone) = stream.try_clone() {
                     conns2.lock().unwrap().push(clone);
                 }
@@ -156,28 +170,26 @@ fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter, shutdown: A
         }
     };
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
+        let line = match read_line_capped(&mut reader) {
+            LineRead::Line(l) => l,
             // Clean EOF: client closed between requests.
-            Ok(0) => return,
-            Ok(_) => {
-                // A line without its newline means the client vanished
-                // mid-request. Never execute a truncated request — a
-                // half-read "DEL xy…" is not the request that was sent.
-                if !line.ends_with('\n') {
-                    count_error();
-                    return;
-                }
-            }
-            // Read error (e.g. connection reset): count and move on;
-            // the thread exits but the server keeps serving others.
-            Err(_) => {
+            LineRead::Eof => return,
+            // Over-long request: tell the client why before closing.
+            // The event loop replies identically (parity-tested).
+            LineRead::TooLong => {
+                let _ = writer.write_all(b"ERR too-long\n");
                 count_error();
                 return;
             }
-        }
+            // EOF mid-line or a read error: the client vanished
+            // mid-request. Never execute a truncated request — a
+            // half-read "DEL xy…" is not the request that was sent.
+            LineRead::Failed => {
+                count_error();
+                return;
+            }
+        };
         let reply = handle_line(&line, &store);
         let quit = line.trim() == "QUIT";
         if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
@@ -192,6 +204,60 @@ fn serve_conn(stream: TcpStream, store: Store, conn_errors: Counter, shutdown: A
 
 fn handle_line(line: &str, store: &Store) -> String {
     apply_line(line, &mut store.lock().unwrap())
+}
+
+/// Outcome of reading one capped request line.
+enum LineRead {
+    /// A complete `\n`-terminated line within [`MAX_LINE`].
+    Line(String),
+    /// Clean EOF at a line boundary.
+    Eof,
+    /// The client streamed [`MAX_LINE`] bytes without a newline.
+    TooLong,
+    /// EOF mid-line or a read error — the client vanished mid-request.
+    Failed,
+}
+
+/// `read_line` with the [`MAX_LINE`] cap the event loop also enforces,
+/// so the two server architectures frame (and reject) identically.
+fn read_line_capped(r: &mut impl BufRead) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (consume, found) = {
+            let avail = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return LineRead::Failed,
+            };
+            if avail.is_empty() {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Failed
+                };
+            }
+            match avail.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if buf.len() + i + 1 > MAX_LINE {
+                        return LineRead::TooLong;
+                    }
+                    buf.extend_from_slice(&avail[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(avail);
+                    (avail.len(), false)
+                }
+            }
+        };
+        r.consume(consume);
+        if found {
+            return LineRead::Line(String::from_utf8_lossy(&buf).into_owned());
+        }
+        if buf.len() >= MAX_LINE {
+            return LineRead::TooLong;
+        }
+    }
 }
 
 /// Execute one request line against the map. The store logic is shared
@@ -353,6 +419,7 @@ fn event_loop(listener: TcpListener, conn_errors: &Counter, shutdown: &AtomicBoo
                             conn_errors.inc();
                             continue;
                         }
+                        s.set_nodelay(true).ok();
                         conns.push(ElConn {
                             stream: s,
                             rbuf: Vec::new(),
@@ -442,23 +509,35 @@ fn sweep_conn(
                 break;
             }
         }
+        // Still no newline and the buffer is at the cap: the client is
+        // streaming an over-long request. Same reply, count, and close
+        // as the threaded server (parity-tested).
+        if !conn.closing && conn.rbuf.len() >= MAX_LINE {
+            conn.rbuf.clear();
+            conn.wbuf.extend_from_slice(b"ERR too-long\n");
+            if !shutting_down {
+                conn_errors.inc();
+            }
+            conn.closing = true;
+            progress = true;
+        }
     }
 
-    // Write phase.
+    // Write phase. A client that pipelines requests but never reads
+    // replies is shed at the buffer cap instead of growing `wbuf`
+    // without bound.
+    if conn.wbuf.len() > MAX_WBUF {
+        if !shutting_down {
+            conn_errors.inc();
+        }
+        conn.dead = true;
+        return true;
+    }
     if !conn.wbuf.is_empty() {
-        match conn.stream.write(&conn.wbuf) {
-            Ok(0) => {
-                conn.dead = true;
-                return true;
-            }
-            Ok(n) => {
-                conn.wbuf.drain(..n);
-                progress = true;
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => {
+        match write_pending(&mut conn.stream, &mut conn.wbuf) {
+            WriteStep::Progress => progress = true,
+            WriteStep::Idle => {}
+            WriteStep::Dead => {
                 if !shutting_down {
                     conn_errors.inc();
                 }
@@ -474,6 +553,38 @@ fn sweep_conn(
     progress
 }
 
+/// Outcome of one nonblocking write attempt.
+enum WriteStep {
+    /// Some bytes moved.
+    Progress,
+    /// Socket not ready (`WouldBlock`/`Interrupted`).
+    Idle,
+    /// The connection is unusable; the caller counts and drops it.
+    Dead,
+}
+
+/// Write as much of `wbuf` as the socket accepts. `Ok(0)` — a socket
+/// that will never accept another byte — reports [`WriteStep::Dead`]
+/// exactly like a write error, so the caller's `kv.conn_errors`
+/// accounting stays symmetric with the read phase (the `Ok(0)` arm used
+/// to mark the connection dead without counting).
+fn write_pending(w: &mut impl Write, wbuf: &mut Vec<u8>) -> WriteStep {
+    match w.write(wbuf) {
+        Ok(0) => WriteStep::Dead,
+        Ok(n) => {
+            wbuf.drain(..n);
+            WriteStep::Progress
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::Interrupted =>
+        {
+            WriteStep::Idle
+        }
+        Err(_) => WriteStep::Dead,
+    }
+}
+
 /// A blocking line-protocol client.
 pub struct TcpKvClient {
     writer: TcpStream,
@@ -484,6 +595,10 @@ impl TcpKvClient {
     /// Connect to a server.
     pub fn connect(addr: SocketAddr) -> std::io::Result<TcpKvClient> {
         let stream = TcpStream::connect(addr)?;
+        // One small request per reply: without nodelay, Nagle holding
+        // the request back for the previous reply's delayed ACK puts
+        // ~40ms of idle wire time on every call.
+        stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(TcpKvClient {
             writer: stream,
@@ -841,5 +956,112 @@ mod tests {
         assert_eq!(server.conn_errors(), 1);
         assert_eq!(c.call("GET victim").unwrap(), "VALUE 1 alive");
         server.shutdown();
+    }
+
+    /// Send `PUT a 1\nQUIT\nPUT b 2\n` in one write; return the reply
+    /// lines the server produced, stopping at EOF or once a read
+    /// timeout shows no further reply is coming.
+    fn pipeline_past_quit(addr: SocketAddr) -> Vec<String> {
+        let s = TcpStream::connect(addr).unwrap();
+        (&s).write_all(b"PUT a 1\nQUIT\nPUT b 2\n").unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .unwrap();
+        let mut r = BufReader::new(s);
+        let mut replies = Vec::new();
+        let mut l = String::new();
+        loop {
+            l.clear();
+            match r.read_line(&mut l) {
+                Ok(0) | Err(_) => return replies,
+                Ok(_) => replies.push(l.trim_end().to_string()),
+            }
+        }
+    }
+
+    /// Both servers must execute the same prefix of a pipelined burst
+    /// that contains QUIT, drop the same suffix, and agree that nothing
+    /// about it was a connection error.
+    fn assert_quit_drops_pipelined_suffix(addr: SocketAddr, conn_errors: impl Fn() -> u64) {
+        assert_eq!(pipeline_past_quit(addr), ["OK 1", "BYE"]);
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(c.call("GET a").unwrap(), "VALUE 1 1", "prefix executed");
+        assert_eq!(c.call("GET b").unwrap(), "NOTFOUND", "suffix dropped");
+        assert_eq!(conn_errors(), 0, "a clean QUIT is not a conn error");
+    }
+
+    #[test]
+    fn threaded_quit_drops_pipelined_suffix() {
+        let server = TcpKvServer::start().unwrap();
+        assert_quit_drops_pipelined_suffix(server.addr(), || server.conn_errors());
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_quit_drops_pipelined_suffix() {
+        let server = EventLoopKvServer::start().unwrap();
+        assert_quit_drops_pipelined_suffix(server.addr(), || server.conn_errors());
+        server.shutdown();
+    }
+
+    /// Stream 4 × [`MAX_LINE`] bytes with no newline; expect `ERR
+    /// too-long`, a closed connection, one `kv.conn_errors` bump, and a
+    /// server that still serves new clients — on both architectures.
+    fn assert_overlong_line_rejected(addr: SocketAddr, conn_errors: impl Fn() -> u64) {
+        let s = TcpStream::connect(addr).unwrap();
+        // Exactly MAX_LINE newline-less bytes: enough to trip the cap
+        // on both servers, small enough to never block the writer.
+        (&s).write_all(&vec![b'A'; MAX_LINE]).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut r = BufReader::new(s);
+        let mut reply = String::new();
+        let _ = r.read_line(&mut reply);
+        assert_eq!(reply.trim_end(), "ERR too-long");
+        // The overflow was counted…
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while conn_errors() == 0 {
+            assert!(std::time::Instant::now() < deadline, "overflow not counted");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(conn_errors(), 1);
+        // …and the server survived.
+        let mut c = TcpKvClient::connect(addr).unwrap();
+        assert_eq!(c.call("PUT ok 1").unwrap(), "OK 1");
+    }
+
+    #[test]
+    fn threaded_overlong_line_rejected_not_buffered() {
+        let server = TcpKvServer::start().unwrap();
+        assert_overlong_line_rejected(server.addr(), || server.conn_errors());
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_loop_overlong_line_rejected_not_buffered() {
+        let server = EventLoopKvServer::start().unwrap();
+        assert_overlong_line_rejected(server.addr(), || server.conn_errors());
+        server.shutdown();
+    }
+
+    /// Pins the write-phase accounting fix: a zero-length write is a
+    /// dead connection and must report `Dead` (which the sweep counts in
+    /// `kv.conn_errors`), not silently vanish like it used to.
+    #[test]
+    fn zero_length_write_is_a_dead_connection() {
+        struct ZeroSink;
+        impl Write for ZeroSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wbuf = b"OK 1\n".to_vec();
+        assert!(matches!(
+            write_pending(&mut ZeroSink, &mut wbuf),
+            WriteStep::Dead
+        ));
+        assert_eq!(wbuf, b"OK 1\n", "nothing consumed from a dead conn");
     }
 }

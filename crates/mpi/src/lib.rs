@@ -26,12 +26,16 @@
 //!   failure detection (CS87 "fault tolerance").
 //! * [`kv_tcp`] — the same client-server lab over **real TCP sockets**
 //!   on loopback (Table II: "TCP-IP sockets").
+//! * [`hub`] — the asymmetric wire router: this process as rank 0 of a
+//!   multi-process world, surviving child deaths as [`HubEvent::Down`]
+//!   events (the substrate of `pdc-db`'s replicated serving tier).
 
 #![warn(missing_docs)]
 
 pub mod coll;
 pub mod cost;
 pub mod ft;
+pub mod hub;
 pub mod kv;
 pub mod kv_tcp;
 pub mod mapreduce;
@@ -39,7 +43,10 @@ pub mod transport;
 pub mod world;
 
 pub use coll::CollId;
+pub use ft::HeartbeatMonitor;
+pub use hub::{HubEvent, WireHub};
 pub use transport::{
-    LocalTransport, Transport, WireMessage, WireOptions, WireRun, WireTransport, WireWorld,
+    take_child_env, ChildEnv, Envelope, LocalTransport, Transport, TransportError, WireMessage,
+    WireOptions, WireRun, WireTransport, WireWorld,
 };
 pub use world::{Payload, Rank, TrafficStats, World};

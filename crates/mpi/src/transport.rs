@@ -56,7 +56,40 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Why a wire endpoint's I/O failed, as seen by the survivor.
+///
+/// The distinction matters to layers that *react* to failure instead of
+/// inheriting a crash: `db::serve`'s replication tier treats
+/// [`TransportError::PeerClosed`] on a shard's connection as a failure
+/// detection (promote the backup, rebalance the ring) while the other
+/// two variants indicate protocol corruption worth surfacing loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer's socket closed at a frame boundary (clean EOF) or the
+    /// connection was reset — the peer process is gone.
+    PeerClosed,
+    /// The stream died *mid-frame*: a length prefix promised bytes that
+    /// never arrived.
+    Truncated,
+    /// A complete frame arrived but its payload bytes do not decode as
+    /// the expected message type.
+    Undecodable,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PeerClosed => write!(f, "peer closed the connection"),
+            TransportError::Truncated => write!(f, "truncated frame"),
+            TransportError::Undecodable => write!(f, "undecodable payload"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// A message in flight: who sent it, under which tag, and the payload.
+#[derive(Debug)]
 pub struct Envelope<M> {
     /// Sending rank.
     pub src: usize,
@@ -79,6 +112,22 @@ pub trait Transport<M: Payload>: Send {
     /// Block until the next envelope for this rank arrives, in arrival
     /// order. Tag matching happens above, in the rank's pending buffer.
     fn recv(&self) -> Envelope<M>;
+
+    /// Fallible [`Transport::send`]: report a dead peer as an error
+    /// instead of panicking. The default (used by [`LocalTransport`],
+    /// which is infallible by construction — channel endpoints outlive
+    /// the world) just delegates to `send`.
+    fn try_send(&self, src: usize, dst: usize, tag: u32, msg: M) -> Result<(), TransportError> {
+        self.send(src, dst, tag, msg);
+        Ok(())
+    }
+
+    /// Fallible [`Transport::recv`]: a hung-up, truncating, or
+    /// corrupting peer becomes an `Err` the caller can react to. The
+    /// default delegates to the infallible `recv`.
+    fn try_recv(&self) -> Result<Envelope<M>, TransportError> {
+        Ok(self.recv())
+    }
 }
 
 /// The seed transport: ranks are threads of one process, joined by
@@ -266,26 +315,48 @@ impl<T: WireMessage> WireMessage for Option<T> {
 // Frame I/O
 // ---------------------------------------------------------------------
 
-const FRAME_MSG: u8 = 0;
-const FRAME_RESULT: u8 = 1;
+pub(crate) const FRAME_MSG: u8 = 0;
+pub(crate) const FRAME_RESULT: u8 = 1;
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_body(r: &mut impl Read) -> io::Result<Vec<u8>> {
+pub(crate) fn read_body(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let len = read_u32(r)? as usize;
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     Ok(body)
+}
+
+/// Build the child→parent `MSG` frame for one message.
+pub(crate) fn msg_frame(dst: usize, tag: u32, modeled: u64, body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(21 + body.len());
+    frame.push(FRAME_MSG);
+    frame.extend_from_slice(&(dst as u32).to_le_bytes());
+    frame.extend_from_slice(&tag.to_le_bytes());
+    frame.extend_from_slice(&modeled.to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// Build the parent→child frame for one message.
+pub(crate) fn down_frame(src: usize, tag: u32, body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(12 + body.len());
+    frame.extend_from_slice(&(src as u32).to_le_bytes());
+    frame.extend_from_slice(&tag.to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame
 }
 
 // ---------------------------------------------------------------------
@@ -304,40 +375,62 @@ pub struct WireTransport<M> {
 }
 
 impl<M: WireMessage> WireTransport<M> {
-    fn new(stream: &TcpStream) -> io::Result<WireTransport<M>> {
+    pub(crate) fn new(stream: &TcpStream) -> io::Result<WireTransport<M>> {
         Ok(WireTransport {
             reader: Mutex::new(BufReader::new(stream.try_clone()?)),
             writer: Mutex::new(stream.try_clone()?),
             _msg: PhantomData,
         })
     }
+
+    /// Connect to a router (a [`WireWorld`] parent or a
+    /// [`crate::hub::WireHub`]) listening at `addr` and introduce this
+    /// endpoint as `rank` with the hello frame.
+    pub fn connect(addr: &str, rank: usize) -> io::Result<WireTransport<M>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        (&stream).write_all(&(rank as u32).to_le_bytes())?;
+        WireTransport::new(&stream)
+    }
 }
 
 impl<M: WireMessage> Transport<M> for WireTransport<M> {
-    fn send(&self, _src: usize, dst: usize, tag: u32, msg: M) {
-        let modeled = msg.size_bytes();
-        let body = msg.to_bytes();
-        let mut frame = Vec::with_capacity(21 + body.len());
-        frame.push(FRAME_MSG);
-        frame.extend_from_slice(&(dst as u32).to_le_bytes());
-        frame.extend_from_slice(&tag.to_le_bytes());
-        frame.extend_from_slice(&modeled.to_le_bytes());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        self.writer
-            .lock()
-            .expect("wire writer poisoned")
-            .write_all(&frame)
+    // The infallible rank API keeps its historical panic behaviour —
+    // a thread-rank world has no sensible way to continue without its
+    // router — but both paths now go through the fallible endpoints so
+    // failure-aware layers (db::serve) can observe a death instead.
+    fn send(&self, src: usize, dst: usize, tag: u32, msg: M) {
+        self.try_send(src, dst, tag, msg)
             .expect("wire transport: parent router hung up");
     }
 
     fn recv(&self) -> Envelope<M> {
+        match self.try_recv() {
+            Ok(env) => env,
+            Err(TransportError::PeerClosed) => panic!("wire transport: parent closed mid-recv"),
+            Err(TransportError::Truncated) => panic!("wire transport: truncated frame"),
+            Err(TransportError::Undecodable) => panic!("wire transport: undecodable payload"),
+        }
+    }
+
+    fn try_send(&self, _src: usize, dst: usize, tag: u32, msg: M) -> Result<(), TransportError> {
+        let frame = msg_frame(dst, tag, msg.size_bytes(), &msg.to_bytes());
+        self.writer
+            .lock()
+            .expect("wire writer poisoned")
+            .write_all(&frame)
+            .map_err(|_| TransportError::PeerClosed)
+    }
+
+    fn try_recv(&self) -> Result<Envelope<M>, TransportError> {
         let mut r = self.reader.lock().expect("wire reader poisoned");
-        let src = read_u32(&mut *r).expect("wire transport: parent closed mid-recv") as usize;
-        let tag = read_u32(&mut *r).expect("wire transport: truncated frame");
-        let body = read_body(&mut *r).expect("wire transport: truncated frame");
-        let msg = M::from_bytes(&body).expect("wire transport: undecodable payload");
-        Envelope { src, tag, msg }
+        // EOF on the first header field is a frame boundary: the peer
+        // hung up cleanly. EOF anywhere later is a torn frame.
+        let src = read_u32(&mut *r).map_err(|_| TransportError::PeerClosed)? as usize;
+        let tag = read_u32(&mut *r).map_err(|_| TransportError::Truncated)?;
+        let body = read_body(&mut *r).map_err(|_| TransportError::Truncated)?;
+        let msg = M::from_bytes(&body).ok_or(TransportError::Undecodable)?;
+        Ok(Envelope { src, tag, msg })
     }
 }
 
@@ -349,10 +442,81 @@ impl<M: WireMessage> Transport<M> for WireTransport<M> {
 /// that host more than one wire world dispatch on
 /// [`WireWorld::child_world_id`] before calling [`WireWorld::run`].
 pub const ENV_WORLD: &str = "PDC_WIRE_WORLD";
-const ENV_RANK: &str = "PDC_WIRE_RANK";
-const ENV_PROCS: &str = "PDC_WIRE_PROCS";
-const ENV_ADDR: &str = "PDC_WIRE_ADDR";
-const ENV_TRACE_DIR: &str = "PDC_WIRE_TRACE_DIR";
+pub(crate) const ENV_RANK: &str = "PDC_WIRE_RANK";
+pub(crate) const ENV_PROCS: &str = "PDC_WIRE_PROCS";
+pub(crate) const ENV_ADDR: &str = "PDC_WIRE_ADDR";
+pub(crate) const ENV_TRACE_DIR: &str = "PDC_WIRE_TRACE_DIR";
+
+/// What a spawned wire-child process learns from its environment: who
+/// it is, how big the world is, where the router listens, and whether
+/// to trace. See [`take_child_env`].
+#[derive(Debug, Clone)]
+pub struct ChildEnv {
+    /// The world id this child was spawned for.
+    pub world_id: String,
+    /// This process's rank.
+    pub rank: usize,
+    /// Total rank count in the world (for a hub world this includes the
+    /// hub process itself as rank 0).
+    pub procs: usize,
+    /// Loopback address of the parent router.
+    pub addr: String,
+    /// Trace snapshot directory, when the world is traced.
+    pub trace_dir: Option<PathBuf>,
+}
+
+/// In a wire-child process, read **and clear** the child env markers —
+/// clearing ensures nothing the child runs later mistakes itself for a
+/// child of some nested world. Returns `None` in an ordinary process.
+/// Custom child entry points (e.g. `db::serve` shards) pair this with
+/// [`WireTransport::connect`]; [`WireWorld::run`] uses it internally.
+pub fn take_child_env() -> Option<ChildEnv> {
+    let world_id = std::env::var(ENV_WORLD).ok()?;
+    let rank = std::env::var(ENV_RANK)
+        .expect("wire child without rank")
+        .parse()
+        .expect("bad wire rank");
+    let procs = std::env::var(ENV_PROCS)
+        .expect("wire child without procs")
+        .parse()
+        .expect("bad wire procs");
+    let addr = std::env::var(ENV_ADDR).expect("wire child without addr");
+    let trace_dir = std::env::var(ENV_TRACE_DIR).ok().map(PathBuf::from);
+    for k in [ENV_WORLD, ENV_RANK, ENV_PROCS, ENV_ADDR, ENV_TRACE_DIR] {
+        std::env::remove_var(k);
+    }
+    Some(ChildEnv {
+        world_id,
+        rank,
+        procs,
+        addr,
+        trace_dir,
+    })
+}
+
+/// Spawn one rank process: re-execute the current binary with
+/// `opts.child_args` and the child env markers set. `procs` is the
+/// world size as the child should see it (a hub world passes shard
+/// count + 1 to include itself).
+pub(crate) fn spawn_rank_process(
+    opts: &WireOptions,
+    rank: usize,
+    procs: usize,
+    addr: &str,
+) -> io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = Command::new(exe);
+    cmd.args(&opts.child_args)
+        .env(ENV_WORLD, &opts.world_id)
+        .env(ENV_RANK, rank.to_string())
+        .env(ENV_PROCS, procs.to_string())
+        .env(ENV_ADDR, addr)
+        .stdout(Stdio::null());
+    if let Some(dir) = &opts.trace_dir {
+        cmd.env(ENV_TRACE_DIR, dir);
+    }
+    cmd.spawn()
+}
 
 /// How to launch a wire world: how many ranks, how a child process
 /// finds its way back to the same [`WireWorld::run`] call, and whether
@@ -472,30 +636,17 @@ impl WireWorld {
         R: WireMessage,
         F: FnOnce(&mut Rank<M, WireTransport<M>>) -> R,
     {
-        let rank_id: usize = std::env::var(ENV_RANK)
-            .expect("wire child without rank")
-            .parse()
-            .expect("bad wire rank");
-        let procs: usize = std::env::var(ENV_PROCS)
-            .expect("wire child without procs")
-            .parse()
-            .expect("bad wire procs");
-        let addr = std::env::var(ENV_ADDR).expect("wire child without addr");
-        let trace_dir = std::env::var(ENV_TRACE_DIR).ok().map(PathBuf::from);
-        // Clear the markers so nothing `f` runs mistakes itself for a
-        // child of some nested world.
-        for k in [ENV_WORLD, ENV_RANK, ENV_PROCS, ENV_ADDR, ENV_TRACE_DIR] {
-            std::env::remove_var(k);
-        }
-
-        let stream = TcpStream::connect(&addr).expect("wire child: connect to parent");
-        stream.set_nodelay(true).ok();
-        (&stream)
-            .write_all(&(rank_id as u32).to_le_bytes())
-            .expect("wire child: hello");
+        let env = take_child_env().expect("wire child without env markers");
+        let (rank_id, procs, trace_dir) = (env.rank, env.procs, env.trace_dir);
 
         let transport: WireTransport<M> =
-            WireTransport::new(&stream).expect("wire child: clone stream");
+            WireTransport::connect(&env.addr, rank_id).expect("wire child: connect to parent");
+        let result_stream = transport
+            .writer
+            .lock()
+            .expect("wire writer poisoned")
+            .try_clone()
+            .expect("wire child: clone stream");
         let session = trace_dir.as_ref().map(|_| TraceSession::new());
         if let Some(s) = &session {
             // Rank-local pdc-sync locking records under this rank's id,
@@ -528,7 +679,9 @@ impl WireWorld {
         frame.push(FRAME_RESULT);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&body);
-        (&stream).write_all(&frame).expect("wire child: result");
+        (&result_stream)
+            .write_all(&frame)
+            .expect("wire child: result");
         std::process::exit(0);
     }
 
@@ -537,21 +690,11 @@ impl WireWorld {
         assert!(p > 0, "world needs at least one rank");
         let listener = TcpListener::bind("127.0.0.1:0").expect("wire parent: bind loopback");
         let addr = listener.local_addr().expect("wire parent: local addr");
-        let exe = std::env::current_exe().expect("wire parent: current_exe");
 
         let mut children: Vec<Child> = (0..p)
             .map(|i| {
-                let mut cmd = Command::new(&exe);
-                cmd.args(&opts.child_args)
-                    .env(ENV_WORLD, &opts.world_id)
-                    .env(ENV_RANK, i.to_string())
-                    .env(ENV_PROCS, p.to_string())
-                    .env(ENV_ADDR, addr.to_string())
-                    .stdout(Stdio::null());
-                if let Some(dir) = &opts.trace_dir {
-                    cmd.env(ENV_TRACE_DIR, dir);
-                }
-                cmd.spawn().expect("wire parent: spawn rank process")
+                spawn_rank_process(opts, i, p, &addr.to_string())
+                    .expect("wire parent: spawn rank process")
             })
             .collect();
 
@@ -785,6 +928,63 @@ mod tests {
                 "accepted a {cut}-byte prefix"
             );
         }
+    }
+
+    /// Pair a `WireTransport` endpoint with an in-test "router" socket.
+    fn loopback_pair() -> (WireTransport<u64>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let t = WireTransport::<u64>::connect(&addr, 7).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let mut hello = [0u8; 4];
+        (&server).read_exact(&mut hello).expect("hello");
+        assert_eq!(u32::from_le_bytes(hello), 7);
+        (t, server)
+    }
+
+    #[test]
+    fn closed_peer_yields_error_not_panic() {
+        let (t, server) = loopback_pair();
+        drop(server);
+        // recv: EOF at the frame boundary is a clean peer death.
+        assert_eq!(t.try_recv().unwrap_err(), TransportError::PeerClosed);
+        // send: the first writes may land in kernel buffers, but the
+        // dead peer surfaces as an error within a bounded number of
+        // sends — never as a panic.
+        let mut saw_err = false;
+        for _ in 0..1000 {
+            if t.try_send(7, 0, 1, 99).is_err() {
+                saw_err = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(saw_err, "send to a closed peer never errored");
+    }
+
+    #[test]
+    fn truncated_frame_yields_error_not_panic() {
+        let (t, server) = loopback_pair();
+        // src + tag + a length prefix promising 8 bytes, then hang up
+        // after delivering only 3.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&5u32.to_le_bytes());
+        frame.extend_from_slice(&8u32.to_le_bytes());
+        frame.extend_from_slice(&[1, 2, 3]);
+        (&server).write_all(&frame).expect("partial frame");
+        drop(server);
+        assert_eq!(t.try_recv().unwrap_err(), TransportError::Truncated);
+    }
+
+    #[test]
+    fn undecodable_payload_yields_error_not_panic() {
+        let (t, server) = loopback_pair();
+        // A complete frame whose 3-byte body cannot decode as u64.
+        (&server)
+            .write_all(&down_frame(0, 5, &[1, 2, 3]))
+            .expect("bad frame");
+        assert_eq!(t.try_recv().unwrap_err(), TransportError::Undecodable);
     }
 
     #[test]
