@@ -30,6 +30,17 @@
 //!                             # and exits non-zero if any acked write
 //!                             # was lost, no promotion happened, or the
 //!                             # shrunk survivor trace analyzes dirty
+//! experiments --wire          # run the wire-topology gate: the same
+//!                             # child↔child workload over the star and
+//!                             # mesh topologies; checks hop counts from
+//!                             # the router's counters (star forwards
+//!                             # everything, mesh forwards nothing),
+//!                             # measures per-topology α/β, and requires
+//!                             # the mesh to beat the star on latency and
+//!                             # to shift the coalescing crossover n*=α/β
+//!                             # left; writes the comparison as
+//!                             # pdc-tables/1 JSON under
+//!                             # target/pdc-trace/wire/
 //! experiments --check         # run the pdc-check soundness gate: PCT must
 //!                             # flag the racy counter within 1000 schedules,
 //!                             # exhaustive DFS must prove the fixed counter
@@ -814,6 +825,9 @@ fn main() {
         if world == pdc_bench::exp_serve::WORLD_ID {
             pdc_db::serve::run_shard_child();
         }
+        if world == pdc_bench::exp_wire::WORLD_STAR || world == pdc_bench::exp_wire::WORLD_MESH {
+            pdc_bench::exp_wire::reenter(&world);
+        }
         run_shard_gate();
         unreachable!("wire child returned from its world");
     }
@@ -833,6 +847,7 @@ fn main() {
         [flag] if flag == "--analyze" => run_analyze(),
         [flag] if flag == "--shard" => run_shard_gate(),
         [flag] if flag == "--serve" => pdc_bench::exp_serve::run_serve_gate(),
+        [flag] if flag == "--wire" => pdc_bench::exp_wire::run_wire_gate(),
         [flag] if flag == "--check" => run_check_gate(),
         [flag, rest @ ..] if flag == "--render" && rest.len() <= 1 => {
             let default = "target/pdc-trace/experiments.timeline.html".to_string();
@@ -863,7 +878,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --check | --render [path]]"
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --wire | --check | --render [path]]"
             );
             std::process::exit(2);
         }

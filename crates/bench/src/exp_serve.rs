@@ -172,6 +172,17 @@ pub fn run_serve_gate() {
         failures.push(format!("{} client connection errors", outcome.conn_errors));
     }
 
+    if outcome.hub_forwarded == 0 {
+        println!(
+            "serve gate: hub forwarded 0 data frames (chain replication rode peer connections)"
+        );
+    } else {
+        failures.push(format!(
+            "{} chain frames relayed through the hub despite the mesh topology",
+            outcome.hub_forwarded
+        ));
+    }
+
     let merged = outcome.trace.as_ref().expect("traced run");
     let shrunk = shrink_failed(merged, &[KILL_RANK as u32]);
     let report = analyze_merged(&shrunk);
@@ -221,6 +232,10 @@ pub fn run_serve_gate() {
     ]);
     t.row(&["promotions".into(), outcome.promotions.to_string()]);
     t.row(&["retried ops".into(), outcome.retries.to_string()]);
+    t.row(&[
+        "hub-forwarded frames".into(),
+        outcome.hub_forwarded.to_string(),
+    ]);
     t.row(&[
         "rebalanced keys".into(),
         merged.counter("serve.rebalanced_keys").to_string(),

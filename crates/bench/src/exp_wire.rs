@@ -1,0 +1,271 @@
+//! `experiments --wire`: the wire-topology gate — star vs mesh, measured.
+//!
+//! The same three-rank workload runs over both wire topologies:
+//!
+//! * **star** — the historical layout: every child↔child message is
+//!   framed to the parent and forwarded back down (two hops);
+//! * **mesh** — the default: children hold a direct TCP connection per
+//!   pair and the parent is a control plane only (one hop).
+//!
+//! Two kinds of evidence are collected, each checked in *both*
+//! directions so a regression in either topology trips the gate:
+//!
+//! 1. **Hop counts** (exact, from the router's own counters): on the
+//!    star, the parent's forwarded-frame count equals the world's total
+//!    message count; on the mesh it is exactly zero.
+//! 2. **α–β parameters** (measured wall-clock): an 8-byte ping-pong
+//!    between two *children* pins the per-message latency α; a bulk
+//!    child→child stream pins the per-byte cost β. Cutting the second
+//!    hop must cut α, and with it the coalescing threshold `n* = α/β` —
+//!    the crossover the `e-batch` experiment reasons about shifts left
+//!    when messages stop paying the relay tax (see
+//!    [`pdc_mpi::cost::AlphaBeta::with_hops`] for the model's version
+//!    of the same statement).
+//!
+//! Results land as a table on stdout and as `pdc-tables/1` JSON at
+//! `target/pdc-trace/wire/wire.tables.json` for the CI artifact.
+//!
+//! Like the other process-spawning gates this runs behind its own flag
+//! (`--wire`, CI's mesh-gate job), not inside the registry sweep.
+
+use pdc_core::report::{capture_tables, write_text_file, Table};
+use pdc_mpi::{Rank, WireOptions, WireTransport, WireWorld};
+use std::time::Instant;
+
+/// World id for the star-topology measurement world (children dispatch
+/// on this in `experiments::main`).
+pub const WORLD_STAR: &str = "wire-bench#star";
+/// World id for the mesh-topology measurement world.
+pub const WORLD_MESH: &str = "wire-bench#mesh";
+
+/// Timed round trips for the latency estimate.
+const PING_ITERS: u32 = 400;
+/// Untimed round trips to warm caches, buffers, and the connection.
+const WARMUP_ITERS: u32 = 50;
+/// Bulk-stream chunk size (bytes).
+const CHUNK: usize = 256 * 1024;
+/// Bulk-stream chunk count (total bytes = CHUNK * CHUNKS).
+const CHUNKS: u32 = 32;
+/// Independent world runs per topology; the minimum wins (standard for
+/// latency: noise is strictly additive).
+const TRIALS: usize = 3;
+
+/// What one topology's trials boil down to.
+struct Measured {
+    /// One-way per-message latency, microseconds.
+    alpha_us: f64,
+    /// Per-byte cost, nanoseconds (from the bulk stream).
+    beta_ns: f64,
+    /// Parent-forwarded data frames across all trials.
+    forwarded: u64,
+    /// Total messages across all trials.
+    messages: u64,
+}
+
+impl Measured {
+    /// The measured coalescing threshold `n* = α/β`, bytes.
+    fn crossover_bytes(&self) -> f64 {
+        (self.alpha_us * 1e3) / self.beta_ns
+    }
+}
+
+/// The per-rank measurement body. Ranks 1 and 2 exchange directly —
+/// the traffic whose hop count the topology decides — while rank 0
+/// only proves a third rank doesn't perturb the pair. Returns packed
+/// nanoseconds: ping-pong elapsed for rank 1, stream elapsed for rank 2.
+fn measure_rank(r: &mut Rank<Vec<u8>, WireTransport<Vec<u8>>>) -> u64 {
+    let tiny = vec![0u8; 8];
+    match r.id() {
+        1 => {
+            for _ in 0..WARMUP_ITERS {
+                r.send(2, 1, tiny.clone());
+                r.recv(2, 1);
+            }
+            let t0 = Instant::now();
+            for _ in 0..PING_ITERS {
+                r.send(2, 1, tiny.clone());
+                r.recv(2, 1);
+            }
+            let pp = t0.elapsed().as_nanos() as u64;
+            // Bulk phase: stream once rank 2 says go.
+            r.recv(2, 2);
+            let blob = vec![0u8; CHUNK];
+            for _ in 0..CHUNKS {
+                r.send(2, 3, blob.clone());
+            }
+            pp
+        }
+        2 => {
+            for _ in 0..(WARMUP_ITERS + PING_ITERS) {
+                r.recv(1, 1);
+                r.send(1, 1, tiny.clone());
+            }
+            r.send(1, 2, vec![1]);
+            let t0 = Instant::now();
+            for _ in 0..CHUNKS {
+                r.recv(1, 3);
+            }
+            t0.elapsed().as_nanos() as u64
+        }
+        _ => 0,
+    }
+}
+
+fn options_for(world_id: &str) -> WireOptions {
+    let opts = WireOptions::for_args(3, world_id, &["--wire"]);
+    if world_id == WORLD_STAR {
+        opts.star()
+    } else {
+        opts
+    }
+}
+
+/// Child re-entry point: never returns. `experiments::main` routes
+/// re-executed children here when their world id is one of ours.
+pub fn reenter(world_id: &str) -> ! {
+    WireWorld::run(&options_for(world_id), measure_rank);
+    unreachable!("wire child returned from its world");
+}
+
+/// Run `TRIALS` worlds on one topology and reduce.
+fn bench_topology(world_id: &str) -> Measured {
+    let opts = options_for(world_id);
+    let mut best_pp = u64::MAX;
+    let mut best_stream = u64::MAX;
+    let mut forwarded = 0;
+    let mut messages = 0;
+    for _ in 0..TRIALS {
+        let run = WireWorld::run(&opts, measure_rank);
+        best_pp = best_pp.min(run.results[1]);
+        best_stream = best_stream.min(run.results[2]);
+        forwarded += run.forwarded;
+        messages += run.stats.messages;
+    }
+    Measured {
+        // A round trip is two one-way messages.
+        alpha_us: best_pp as f64 / (2.0 * f64::from(PING_ITERS)) / 1e3,
+        beta_ns: best_stream as f64 / (f64::from(CHUNKS) * CHUNK as f64),
+        forwarded,
+        messages,
+    }
+}
+
+/// Run the gate; exits the process non-zero on any failed check.
+pub fn run_wire_gate() {
+    println!("wire gate: measuring star topology ({TRIALS} trials)...");
+    let star = bench_topology(WORLD_STAR);
+    println!("wire gate: measuring mesh topology ({TRIALS} trials)...");
+    let mesh = bench_topology(WORLD_MESH);
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // Direction 1: the mesh really is one hop.
+    if mesh.forwarded == 0 && mesh.messages > 0 {
+        println!(
+            "wire gate: mesh forwarded 0 of {} data frames through the parent (one hop)",
+            mesh.messages
+        );
+    } else {
+        failures.push(format!(
+            "mesh relayed {} of {} frames through the parent",
+            mesh.forwarded, mesh.messages
+        ));
+    }
+
+    // Direction 2: the star regression path still forwards everything
+    // (if this drops, the star world silently stopped routing).
+    if star.forwarded == star.messages && star.messages > 0 {
+        println!(
+            "wire gate: star forwarded all {} data frames through the parent (two hops)",
+            star.messages
+        );
+    } else {
+        failures.push(format!(
+            "star forwarded {} of {} frames",
+            star.forwarded, star.messages
+        ));
+    }
+
+    // Direction 3: killing the relay hop shows up in measured α.
+    if mesh.alpha_us < star.alpha_us {
+        println!(
+            "wire gate: one-hop latency beat two-hop ({:.1}us < {:.1}us per message)",
+            mesh.alpha_us, star.alpha_us
+        );
+    } else {
+        failures.push(format!(
+            "mesh latency {:.1}us did not beat star {:.1}us",
+            mesh.alpha_us, star.alpha_us
+        ));
+    }
+
+    // Direction 4: the coalescing crossover n* = α/β moves left — small
+    // messages stop being worth batching sooner once each stops paying
+    // the relay tax.
+    if mesh.crossover_bytes() < star.crossover_bytes() {
+        println!(
+            "wire gate: measured crossover shifted left ({:.0}B mesh < {:.0}B star)",
+            mesh.crossover_bytes(),
+            star.crossover_bytes()
+        );
+    } else {
+        failures.push(format!(
+            "measured crossover did not shrink: {:.0}B mesh vs {:.0}B star",
+            mesh.crossover_bytes(),
+            star.crossover_bytes()
+        ));
+    }
+
+    let mut t = Table::new(
+        format!(
+            "wire topology gate (experiments --wire) — 3 child ranks, \
+             {PING_ITERS} timed round trips, {} MiB bulk stream, best of {TRIALS}",
+            CHUNK * CHUNKS as usize / (1024 * 1024)
+        ),
+        &[
+            "topology",
+            "alpha (us/msg)",
+            "beta (ns/B)",
+            "n* = a/b (B)",
+            "forwarded",
+            "messages",
+        ],
+    );
+    for (name, m) in [("star", &star), ("mesh", &mesh)] {
+        t.row(&[
+            name.into(),
+            format!("{:.2}", m.alpha_us),
+            format!("{:.3}", m.beta_ns),
+            format!("{:.0}", m.crossover_bytes()),
+            m.forwarded.to_string(),
+            m.messages.to_string(),
+        ]);
+    }
+    t.row(&[
+        "mesh/star".into(),
+        format!("{:.2}x", mesh.alpha_us / star.alpha_us),
+        format!("{:.2}x", mesh.beta_ns / star.beta_ns),
+        format!("{:.2}x", mesh.crossover_bytes() / star.crossover_bytes()),
+        "-".into(),
+        "-".into(),
+    ]);
+    let (rendered, tables) = capture_tables(|| t.render());
+    print!("{rendered}");
+
+    let dir = std::path::Path::new("target/pdc-trace/wire");
+    let tables_json = format!(
+        "{{\"schema\":\"pdc-tables/1\",\"experiments\":[{{\"id\":\"wire-topology\",\"tables\":[{}]}}]}}",
+        tables.join(",")
+    );
+    write_text_file(&dir.join("wire.tables.json"), &tables_json).expect("write tables json");
+    println!("wire artifacts written under {}", dir.display());
+
+    if !failures.is_empty() {
+        eprintln!("wire gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("wire gate passed");
+}

@@ -25,6 +25,7 @@ pub mod exp_shard;
 pub mod exp_t1;
 pub mod exp_t2;
 pub mod exp_t3;
+pub mod exp_wire;
 
 /// One runnable experiment: id, paper anchor, and the renderer.
 pub struct Experiment {

@@ -11,8 +11,13 @@
 //! * **Front end** (rank 0, this process): the [`pdc_mpi::kv_tcp`]
 //!   event-loop shape — nonblocking accept/read/write sweeps with the
 //!   same `MAX_LINE` / `MAX_WBUF` buffer caps — speaking the kv_tcp
-//!   line protocol to clients, plus a [`pdc_mpi::WireHub`] star router
-//!   to the shards.
+//!   line protocol to clients, plus a [`pdc_mpi::WireHub`] control
+//!   plane to the shards. Client sockets are registered on the hub's
+//!   poller ([`WireHub::register_client`]), so the whole tier blocks in
+//!   one `poll(2)` ([`WireHub::pump`]) instead of sleeping between
+//!   sweeps. On the default mesh topology, shard↔shard chain traffic
+//!   (`Fwd`, `Sync`) travels direct child connections and never crosses
+//!   the hub — [`ServeOutcome::hub_forwarded`] stays 0.
 //! * **Replication**: chain replication over [`HashRing::nodes_for`]
 //!   with 2 replicas. The front end sends an op to its primary; the
 //!   primary applies it, ships the *result* (absolute value + version,
@@ -20,10 +25,13 @@
 //!   An op is acknowledged to the client only once the whole chain
 //!   holds it — which is exactly why a single failure loses nothing.
 //! * **Failure detection**: two detectors feed one verdict. The hub's
-//!   reader threads turn a dead socket into a
+//!   event loop turns a dead socket into a
 //!   [`TransportError::PeerClosed`] event (the bugfixed transport
 //!   surface), and an [`ft::HeartbeatMonitor`](pdc_mpi::ft) fed by
 //!   Ping/Pong traffic catches silent hangs the socket layer misses.
+//!   Whichever fires first claims the death ([`WireHub::report_dead`]);
+//!   the loser is suppressed inside the hub, so overlapping signals for
+//!   one crash can never promote two backups.
 //! * **Promotion & rebalance**: on a death the ring shrinks, surviving
 //!   shards re-derive ownership and `Sync` copies to the backups the
 //!   new ring assigns, the front end re-sends every unacknowledged op
@@ -52,6 +60,7 @@ use pdc_mpi::{
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -405,7 +414,7 @@ pub fn run_shard_child() -> ! {
     let shards = env.procs - 1;
     let my_node = (rank - 1) as u64;
     let transport: WireTransport<ServeMsg> =
-        WireTransport::connect(&env.addr, rank).expect("serve shard: connect to front end");
+        WireTransport::connect_env(&env).expect("serve shard: connect to front end");
 
     // Per-process session; capacity raised well past the default — a
     // loaded shard records several events per op and dropped events
@@ -434,8 +443,12 @@ pub fn run_shard_child() -> ! {
     });
     let send = |dst: usize, msg: ServeMsg| {
         record_send(dst, &msg);
-        if transport.try_send(rank, dst, TAG_SERVE, msg).is_err() {
-            // The front end is gone: nothing to serve, nobody to tell.
+        // A failed send to a dead sibling (chain partner
+        // mid-failover) is dropped: the front end's failure
+        // detection owns the promotion and will retry the op on the
+        // new chain. A dead *front end* means nothing to serve and
+        // nobody to tell.
+        if transport.try_send(rank, dst, TAG_SERVE, msg).is_err() && dst == 0 {
             std::process::exit(1);
         }
     };
@@ -565,6 +578,12 @@ pub fn run_shard_child() -> ! {
                 }
             }
             ServeMsg::Stop => {
+                // Drain the write queues first: any Sync queued to a
+                // sibling during Reconfig must be on the wire before
+                // Done tells the front end this shard is settled —
+                // otherwise Exit can reach the sibling ahead of the
+                // Sync and the frame dies in our queue.
+                transport.flush_pending();
                 // Report only keys this shard is primary for under the
                 // final ring: every survivor derived the same ring, so
                 // the reports partition the key space.
@@ -585,6 +604,21 @@ pub fn run_shard_child() -> ! {
                 // may still be in flight.
             }
             ServeMsg::Exit => {
+                // Collect in-flight sibling traffic before leaving the
+                // world: on the mesh a peer's Sync rides a different
+                // connection than the parent's Exit, so "Exit received"
+                // does not order it. Apply (and trace-record) whatever
+                // already landed so merged send/recv pairs stay
+                // matched.
+                for envl in transport.drain_pending() {
+                    record_recv(envl.src, &envl.msg);
+                    if let ServeMsg::Sync { key, val, ver } = envl.msg {
+                        store.insert(key, (val, ver));
+                        if let Some((_, _, rb)) = &counters {
+                            rb.inc();
+                        }
+                    }
+                }
                 if let (Some((_, s)), Some(dir)) = (&session, &env.trace_dir) {
                     write_shard_snapshot(s, dir, rank);
                 }
@@ -665,6 +699,10 @@ pub struct ServeOutcome {
     pub dead: Vec<DeadShard>,
     /// Client connections that failed mid-request (`kv.conn_errors`).
     pub conn_errors: u64,
+    /// Data frames the hub relayed between shards: the chain traffic's
+    /// hop-count witness. Positive on the star topology, always 0 on
+    /// the mesh (chain hops go peer-direct).
+    pub hub_forwarded: u64,
     /// Merged per-process traces (front end = process 0), when the
     /// wire options were traced.
     pub trace: Option<MergedTrace>,
@@ -674,6 +712,9 @@ pub struct ServeOutcome {
 enum ServeCtl {
     /// Kill a shard process (fault injection).
     Kill(usize),
+    /// SIGSTOP a shard process (fault injection: silent hang — sockets
+    /// stay open, only the heartbeat detector can see it).
+    Pause(usize),
     /// Drain and stop.
     Shutdown,
 }
@@ -695,6 +736,17 @@ impl ServeHandle {
     /// observes the death like any real crash.
     pub fn kill_shard(&self, rank: usize) {
         self.ctl.send(ServeCtl::Kill(rank)).expect("serve ctl gone");
+    }
+
+    /// Freeze shard `rank` mid-run (SIGSTOP): its sockets stay open, so
+    /// only the heartbeat detector can declare it dead — the fault
+    /// shape that exercises the detector-vs-socket dedup. Follow up
+    /// with [`ServeHandle::kill_shard`] before [`ServeHandle::finish`];
+    /// a stopped process never exits and would hang the teardown.
+    pub fn pause_shard(&self, rank: usize) {
+        self.ctl
+            .send(ServeCtl::Pause(rank))
+            .expect("serve ctl gone");
     }
 
     /// Drain in-flight ops, collect the shards' state, tear the world
@@ -821,6 +873,13 @@ fn front_end(
     let deadline = start + Duration::from_secs(300);
     let mut last_ping_tick = 0u64;
 
+    // One poller for the whole tier: shard connections are the hub's
+    // own; the client listener and every accepted client socket are
+    // registered alongside them, so the loop blocks in a single
+    // poll(2) and wakes on the first byte from any direction.
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    hub.register_client(listener.as_raw_fd(), LISTENER_TOKEN);
+
     let targets = |ring: &HashRing, key: &str| -> (usize, u32) {
         let group = ring.nodes_for(key, 2);
         let primary = *group.first().expect("ring has nodes") as usize + 1;
@@ -844,6 +903,10 @@ fn front_end(
                     let _ = hub.kill(rank);
                     progress = true;
                 }
+                ServeCtl::Pause(rank) => {
+                    let _ = hub.pause(rank);
+                    progress = true;
+                }
                 ServeCtl::Shutdown => {
                     shutting_down = true;
                     progress = true;
@@ -863,6 +926,7 @@ fn front_end(
                         // Request/reply with tiny frames: Nagle +
                         // delayed ACK would put ~40ms on every op.
                         s.set_nodelay(true).ok();
+                        hub.register_client(s.as_raw_fd(), next_conn);
                         conns.insert(
                             next_conn,
                             FeConn {
@@ -1102,6 +1166,11 @@ fn front_end(
                 progress = true;
             }
         }
+        for (&cid, c) in &conns {
+            if c.dead {
+                hub.deregister_client(cid);
+            }
+        }
         conns.retain(|_, c| !c.dead);
 
         // 7. Drain/stop sequencing.
@@ -1122,10 +1191,15 @@ fn front_end(
         }
 
         if !progress {
-            std::thread::sleep(Duration::from_micros(200));
+            // Nothing to do right now: block on readiness across every
+            // connection (shards + clients) instead of spin-sleeping.
+            // The timeout bounds the wait so heartbeat ticks still run
+            // on schedule even with no traffic at all.
+            hub.pump(Duration::from_millis(2));
         }
     }
 
+    let hub_forwarded = hub.forwarded();
     let statuses = hub.shutdown();
     for (rank, status) in statuses.iter().enumerate().skip(1) {
         if !dead.iter().any(|d| d.rank == rank) {
@@ -1160,6 +1234,7 @@ fn front_end(
         retries,
         dead,
         conn_errors: session.snapshot().get("kv.conn_errors"),
+        hub_forwarded,
         trace,
     }
 }
@@ -1182,6 +1257,11 @@ fn declare_dead(
     promotions: &pdc_core::metrics::Counter,
     retries_ctr: &pdc_core::metrics::Counter,
 ) {
+    // Claim the death inside the hub first: if this verdict came from
+    // the heartbeat detector, the socket-level EOF that follows for the
+    // same crash is suppressed at the source and can never reach the
+    // promotion logic as a second Down.
+    hub.report_dead(rank);
     monitor.mark_dead(rank);
     dead.push(DeadShard { rank, error });
     let survivors = monitor.alive();
@@ -1376,6 +1456,10 @@ mod tests {
         assert_eq!(outcome.acked.len(), 60 + 60 + 10 + 1 + 1);
         assert_eq!(outcome.promotions, 1);
         assert_eq!(outcome.conn_errors, 0);
+        assert_eq!(
+            outcome.hub_forwarded, 0,
+            "mesh chain traffic (Fwd/Sync) must never relay through the hub"
+        );
         assert_eq!(outcome.dead.len(), 1);
         assert_eq!(outcome.dead[0].rank, 1);
         assert_eq!(
@@ -1391,5 +1475,54 @@ mod tests {
             "ring rebalanced"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The detector-vs-socket race: freeze a shard so only the
+    /// heartbeat can see the death, let it promote, then SIGKILL the
+    /// frozen process so the socket-level death fires for the same
+    /// crash. Exactly one promotion may happen.
+    #[test]
+    fn overlapping_death_signals_promote_exactly_once() {
+        let path = "serve::tests::overlapping_death_signals_promote_exactly_once";
+        if WireWorld::child_world_id().as_deref() == Some(path) {
+            run_shard_child();
+        }
+        let session = TraceSession::new();
+        let opts = ServeOptions::new(3, WireOptions::for_test(3, path));
+        let hb = opts.hb_interval;
+        let timeout = opts.hb_timeout;
+        let handle = start(opts, &session).expect("start serve");
+
+        let mut c = TcpKvClient::connect(handle.addr()).expect("connect");
+        for i in 0..30 {
+            let r = c.call(&format!("PUT k{i} a{i}")).expect("put");
+            assert_eq!(r, "OK 1");
+        }
+        // Freeze rank 1: sockets stay open, so the heartbeat detector
+        // is the only path to a verdict. Wait past the expiry window.
+        handle.pause_shard(1);
+        std::thread::sleep(hb * (timeout as u32 + 10));
+        // Now the socket-level signal for the same crash.
+        handle.kill_shard(1);
+        // Traffic still flows on the shrunk ring.
+        for i in 0..30 {
+            let r = c.call(&format!("PUT k{i} b{i}")).expect("put after death");
+            assert_eq!(r, "OK 2", "version preserved across failover (k{i})");
+        }
+        assert_eq!(c.call("QUIT").expect("quit"), "BYE");
+        let outcome = handle.finish();
+
+        let ops: Vec<ShardOp> = outcome.acked.iter().map(|(_, op)| op.clone()).collect();
+        assert_eq!(outcome.state, apply_script(&ops), "zero lost acked writes");
+        assert_eq!(
+            outcome.promotions, 1,
+            "two death signals for one crash promoted twice"
+        );
+        assert_eq!(outcome.dead.len(), 1, "one death, one verdict");
+        assert_eq!(outcome.dead[0].rank, 1);
+        assert_eq!(
+            outcome.dead[0].error, None,
+            "the heartbeat verdict won the race (no transport error involved)"
+        );
     }
 }

@@ -529,4 +529,43 @@ mod tests {
         assert_eq!(merged.counter("mpi.msgs"), run.stats.messages);
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    /// Topology equivalence: the same op script through star (two-hop,
+    /// parent-forwarded) and mesh (one-hop, peer-direct) worlds must
+    /// produce identical state and identical modeled traffic — only the
+    /// parent's forwarding count may differ.
+    #[test]
+    fn wire_sharded_state_identical_across_topologies() {
+        let path = "sharded::tests::wire_sharded_state_identical_across_topologies";
+        let ops = script(30, 400, 0x7070);
+        let star_opts = WireOptions {
+            world_id: format!("{path}#star"),
+            ..WireOptions::for_test(4, path)
+        }
+        .star();
+        let mesh_opts = WireOptions {
+            world_id: format!("{path}#mesh"),
+            ..WireOptions::for_test(4, path)
+        };
+        if let Some(id) = WireWorld::child_world_id() {
+            if id == star_opts.world_id {
+                run_wire(&star_opts, 3, &ops, true);
+            }
+            run_wire(&mesh_opts, 3, &ops, true);
+            unreachable!("wire child never returns");
+        }
+        let star = run_wire(&star_opts, 3, &ops, true);
+        let mesh = run_wire(&mesh_opts, 3, &ops, true);
+        assert_eq!(star.results[0], mesh.results[0], "state is topology-blind");
+        assert_eq!(star.results[0], apply_direct(&ops));
+        assert_eq!(
+            star.stats, mesh.stats,
+            "modeled traffic is identical; only the routing differs"
+        );
+        assert_eq!(
+            star.forwarded, star.stats.messages,
+            "star: every message 2-hop"
+        );
+        assert_eq!(mesh.forwarded, 0, "mesh: every message 1-hop");
+    }
 }

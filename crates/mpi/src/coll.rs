@@ -916,4 +916,36 @@ mod tests {
         assert_eq!(snap.get("coll.coalesce_flushes"), 1);
         assert_eq!(snap.get("mpi.msgs"), 1);
     }
+
+    #[test]
+    fn coalescer_batches_over_the_wire_mesh() {
+        // The α–β batching layer composed with the one-hop topology:
+        // sub-threshold pushes to two peers coalesce into one envelope
+        // each, and neither envelope crosses the parent.
+        use crate::transport::{WireOptions, WireTransport, WireWorld};
+        let opts = WireOptions::for_test(3, "coll::tests::coalescer_batches_over_the_wire_mesh");
+        let run = WireWorld::run(
+            &opts,
+            |r: &mut crate::Rank<Vec<u64>, WireTransport<Vec<u64>>>| {
+                if r.id() == 0 {
+                    let mut co = Coalescer::new(r.size(), 5, AlphaBeta::cluster());
+                    for i in 0..50u64 {
+                        assert!(!co.push(r, 1, i), "below threshold");
+                        assert!(!co.push(r, 2, 100 + i), "below threshold");
+                    }
+                    assert_eq!(co.flush_all(r), 100);
+                    Vec::new()
+                } else {
+                    r.recv(0, 5)
+                }
+            },
+        );
+        assert_eq!(run.results[1], (0..50).collect::<Vec<u64>>());
+        assert_eq!(run.results[2], (100..150).collect::<Vec<u64>>());
+        assert_eq!(run.stats.messages, 2, "one coalesced envelope per peer");
+        assert_eq!(
+            run.forwarded, 0,
+            "coalesced envelopes ride peer connections"
+        );
+    }
 }

@@ -50,6 +50,21 @@ impl AlphaBeta {
     pub fn p2p_coalesced(&self, k: u64, n: u64) -> f64 {
         self.p2p(k * n)
     }
+
+    /// The same message relayed through `hops` store-and-forward hops:
+    /// each hop pays the full per-message setup, so α scales with the
+    /// hop count, while bytes pipeline through intermediate buffers and
+    /// β stays put. A star-routed wire world is the mesh's model with
+    /// `with_hops(2)` — child→parent plus parent→child per message —
+    /// which pushes the coalescing threshold `n* = α/β` up by the hop
+    /// count: batching pays off over a longer range exactly when the
+    /// topology taxes every message twice.
+    pub fn with_hops(&self, hops: u64) -> AlphaBeta {
+        AlphaBeta {
+            alpha: self.alpha * hops as f64,
+            beta: self.beta,
+        }
+    }
 }
 
 fn ceil_log2(p: u64) -> u64 {
@@ -221,5 +236,20 @@ mod tests {
         let small = broadcast_time(m, 8, 1);
         let large = broadcast_time(m, 8, 100_000_000);
         assert!(large > small * 100.0);
+    }
+
+    #[test]
+    fn star_double_hop_doubles_the_coalescing_threshold() {
+        let mesh = AlphaBeta::cluster();
+        let star = mesh.with_hops(2);
+        assert_eq!(star.alpha, 2.0 * mesh.alpha, "α paid per hop");
+        assert_eq!(star.beta, mesh.beta, "bytes pipeline; β unchanged");
+        assert_eq!(
+            star.coalesce_threshold(),
+            2 * mesh.coalesce_threshold(),
+            "two-hop routing widens the latency-dominated regime"
+        );
+        // Identity case: one hop is the model itself.
+        assert_eq!(mesh.with_hops(1), mesh);
     }
 }

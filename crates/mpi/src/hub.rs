@@ -1,5 +1,5 @@
-//! A star router whose hub is **this process**: rank 0 of a wire world
-//! that participates in the protocol instead of only forwarding.
+//! A router whose hub is **this process**: rank 0 of a wire world that
+//! participates in the protocol instead of only forwarding.
 //!
 //! [`crate::transport::WireWorld`] is symmetric — the parent spawns
 //! `p` child ranks and does nothing but route. A serving system needs
@@ -7,37 +7,51 @@
 //! parent, talks to shard ranks 1..=p over the same frame protocol, and
 //! — crucially — **survives a child dying**. Where `WireWorld` panics
 //! on a lost rank, `WireHub` turns the broken connection into a
-//! [`HubEvent::Down`] carrying the [`TransportError`] the reader
-//! observed, so a replication layer (see `pdc-db`'s `serve` module) can
-//! promote a backup and rebalance instead of inheriting a crash.
+//! [`HubEvent::Down`] carrying the [`TransportError`] the hub observed,
+//! so a replication layer (see `pdc-db`'s `serve` module) can promote a
+//! backup and rebalance instead of inheriting a crash.
 //!
-//! Frames are exactly the `WireWorld` wire protocol (hello, `MSG`,
-//! `RESULT`, downward frames), so children built on
-//! [`WireTransport::connect`] work unchanged. Child→child traffic is
-//! forwarded through the hub like the symmetric router does; frames
-//! addressed to rank 0 are decoded and surfaced as [`HubEvent::Msg`].
+//! The hub is a **single-threaded readiness loop** over
+//! [`crate::poll`]: every child connection (and any caller-registered
+//! fd — see [`WireHub::register_client`]) lives on one [`Poller`],
+//! serviced by [`WireHub::pump`]. Writes go through userspace queues,
+//! so a stalled child can never wedge the hub; queued frames survive
+//! until delivered or the destination dies (shutdown drains the queues
+//! before reaping, closing the old star router's drop-on-drain race).
+//!
+//! On the mesh topology child↔child traffic never touches the hub at
+//! all — [`WireHub::forwarded`] stays 0 — while on the star topology
+//! the hub forwards exactly as the symmetric router does. Failure
+//! reporting is deduplicated: a rank's [`HubEvent::Down`] fires at most
+//! once, and an external detector (a heartbeat monitor) can claim the
+//! slot first via [`WireHub::report_dead`] so a later socket error for
+//! the same death is silent.
 
+use crate::poll::{send_signal, Conn, Event, Interest, Poller, SIGCONT, SIGSTOP};
 use crate::transport::{
-    self, read_body, read_u32, read_u64, spawn_rank_process, Envelope, TransportError, WireMessage,
-    WireOptions, FRAME_MSG, FRAME_RESULT,
+    self, bootstrap_children, parse_child_frame, spawn_rank_process, ChildFrame, Envelope,
+    TransportError, WireMessage, WireOptions,
 };
 use crate::world::{Traffic, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::io::{self, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::RawFd;
 use std::process::{Child, ExitStatus};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// What the hub's reader threads surface to the owning process.
+/// What the hub's event loop surfaces to the owning process.
 #[derive(Debug)]
 pub enum HubEvent<M> {
     /// A message addressed to rank 0 (the hub process itself).
     Msg(Envelope<M>),
     /// Child `rank`'s connection died: clean hang-up, torn frame, or a
-    /// payload that would not decode. Emitted at most once per rank,
-    /// after every message that arrived before the failure.
+    /// payload that would not decode. Emitted **at most once per
+    /// rank** — across every detection path (read EOF, write failure,
+    /// bootstrap death) — after every message that arrived before the
+    /// failure. A death claimed by [`WireHub::report_dead`] first is
+    /// never emitted at all.
     Down {
         /// The rank whose connection failed.
         rank: usize,
@@ -53,19 +67,202 @@ pub enum HubEvent<M> {
     },
 }
 
+/// Caller-registered fds get tokens offset past any possible rank
+/// (wrapping: the poller only needs tokens to be distinct, and ranks
+/// occupy 1..=procs — caller tokens that would wrap into that tiny
+/// range, i.e. the few just below `u64::MAX - 2^32`, are reserved).
+const USER_BASE: usize = 1 << 32;
+
+/// The hub's single-threaded mutable state, behind a [`RefCell`] so the
+/// public API can stay `&self` (the serve front end holds the hub and
+/// its own connections in one loop).
+struct HubInner<M> {
+    procs: usize,
+    poller: Poller,
+    /// By rank; slot 0 (the hub itself) is always `None`.
+    conns: Vec<Option<Conn>>,
+    events: VecDeque<HubEvent<M>>,
+    /// By rank: a `Down` was emitted or claimed — never report again.
+    down_sent: Vec<bool>,
+    traffic: Traffic,
+    forwarded: u64,
+    scratch: Vec<Event>,
+    parsed: Vec<ChildFrame>,
+}
+
+impl<M: WireMessage> HubInner<M> {
+    /// One readiness sweep: flush queued writes, wait up to `timeout`,
+    /// service ready connections. Returns caller tokens that polled
+    /// ready (see [`WireHub::register_client`]).
+    fn sweep(&mut self, timeout: Duration) -> Vec<u64> {
+        for rank in 1..=self.procs {
+            self.flush_one(rank);
+        }
+        let mut events = std::mem::take(&mut self.scratch);
+        self.poller
+            .poll(&mut events, Some(timeout))
+            .expect("hub: poll");
+        let mut user = Vec::new();
+        for ev in events.iter().copied() {
+            // Ranks occupy 1..=procs; anything else is caller-owned.
+            if ev.token > self.procs {
+                user.push(ev.token.wrapping_sub(USER_BASE) as u64);
+                continue;
+            }
+            if ev.writable {
+                self.flush_one(ev.token);
+            }
+            if ev.readable {
+                self.read_child(ev.token);
+            }
+        }
+        events.clear();
+        self.scratch = events;
+        user
+    }
+
+    fn flush_one(&mut self, rank: usize) {
+        let failed = match self.conns[rank].as_mut() {
+            Some(c) if c.wants_write() => c.flush().is_err(),
+            _ => false,
+        };
+        if failed {
+            self.down(rank, TransportError::PeerClosed);
+        } else {
+            self.update_interest(rank);
+        }
+    }
+
+    fn update_interest(&mut self, rank: usize) {
+        if let Some(c) = &self.conns[rank] {
+            let want = if c.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            self.poller.reregister(rank, want);
+        }
+    }
+
+    fn read_child(&mut self, rank: usize) {
+        let Some(conn) = self.conns[rank].as_mut() else {
+            return;
+        };
+        if conn.read_ready().is_err() {
+            self.down(rank, TransportError::PeerClosed);
+            return;
+        }
+        // Parse first, dispatch second: forwarding needs a mutable
+        // borrow of the destination's conn.
+        let mut bad_kind = false;
+        loop {
+            match parse_child_frame(conn.buffered()) {
+                Ok(Some((n, frame))) => {
+                    conn.consume(n);
+                    self.parsed.push(frame);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    bad_kind = true;
+                    break;
+                }
+            }
+        }
+        let eof = conn.is_eof();
+        let torn = eof && !conn.buffered().is_empty();
+        let frames: Vec<ChildFrame> = self.parsed.drain(..).collect();
+        for frame in frames {
+            self.dispatch(rank, frame);
+        }
+        if bad_kind {
+            self.down(rank, TransportError::Undecodable);
+        } else if eof {
+            self.down(
+                rank,
+                if torn {
+                    TransportError::Truncated
+                } else {
+                    TransportError::PeerClosed
+                },
+            );
+        }
+    }
+
+    fn dispatch(&mut self, rank: usize, frame: ChildFrame) {
+        match frame {
+            ChildFrame::Msg {
+                dst,
+                tag,
+                modeled,
+                body,
+            } => {
+                self.traffic.count(1, modeled);
+                if dst == 0 {
+                    match M::from_bytes(&body) {
+                        Some(msg) => self.events.push_back(HubEvent::Msg(Envelope {
+                            src: rank,
+                            tag,
+                            msg,
+                        })),
+                        None => self.down(rank, TransportError::Undecodable),
+                    }
+                } else if dst <= self.procs {
+                    // Star-topology forwarding; a dead destination is a
+                    // tolerated in-flight loss.
+                    self.forwarded += 1;
+                    let _ = self.queue_to(dst, &transport::down_frame(rank, tag, &body));
+                } else {
+                    self.down(rank, TransportError::Undecodable);
+                }
+            }
+            ChildFrame::Result(body) => self.events.push_back(HubEvent::Result { rank, body }),
+            // Mesh children report traffic for the symmetric world's
+            // benefit; the hub counts what it sees itself.
+            ChildFrame::Stats(_) => {}
+        }
+    }
+
+    /// Queue a downward frame and flush opportunistically.
+    fn queue_to(&mut self, dst: usize, frame: &[u8]) -> Result<(), TransportError> {
+        let failed = match self.conns[dst].as_mut() {
+            None => return Err(TransportError::PeerClosed),
+            Some(c) => {
+                c.queue(frame);
+                c.flush().is_err()
+            }
+        };
+        if failed {
+            self.down(dst, TransportError::PeerClosed);
+            return Err(TransportError::PeerClosed);
+        }
+        self.update_interest(dst);
+        Ok(())
+    }
+
+    /// Tear down `rank`'s connection and emit `Down` — unless this
+    /// rank's death was already reported or claimed (dedup: heartbeat
+    /// expiry and a socket error for the same death must not
+    /// double-promote anything upstairs).
+    fn down(&mut self, rank: usize, error: TransportError) {
+        self.poller.deregister(rank);
+        self.conns[rank] = None;
+        if !self.down_sent[rank] {
+            self.down_sent[rank] = true;
+            self.events.push_back(HubEvent::Down { rank, error });
+        }
+    }
+
+    fn any_wants_write(&self) -> bool {
+        self.conns.iter().flatten().any(|c| c.wants_write())
+    }
+}
+
 /// A live hub world: child rank processes 1..=`procs`, this process as
 /// rank 0. Dropping the hub without [`WireHub::shutdown`] leaks child
 /// processes — always shut down.
 pub struct WireHub<M: WireMessage> {
-    procs: usize,
-    inbox: Receiver<HubEvent<M>>,
-    // Indexed by rank; slot 0 (the hub itself) is None. A writer slot
-    // whose channel is disconnected means that child is gone.
-    out_tx: Vec<Option<Sender<Vec<u8>>>>,
+    inner: RefCell<HubInner<M>>,
     children: Vec<Child>, // indexed by rank - 1
-    readers: Vec<JoinHandle<()>>,
-    writers: Vec<JoinHandle<()>>,
-    traffic: Arc<Traffic>,
 }
 
 impl<M: WireMessage> WireHub<M> {
@@ -73,253 +270,221 @@ impl<M: WireMessage> WireHub<M> {
     /// process is rank 0) and start routing. Children see a world of
     /// `opts.procs + 1` ranks.
     ///
-    /// # Panics
-    /// Panics if a child dies before connecting or none connect within
-    /// the 60s accept deadline — startup failure is a bug, not a
-    /// tolerated fault; fault tolerance begins once the world is up.
+    /// Unlike the symmetric world, bootstrap is fault-tolerant: a child
+    /// that dies before or during its handshake (even SIGKILLed halfway
+    /// through) becomes an immediate [`HubEvent::Down`] instead of a
+    /// panic or a hang, and on the mesh its table entry stays empty so
+    /// no peer ever dials or waits on it.
     pub fn spawn(opts: &WireOptions) -> io::Result<WireHub<M>> {
         let p = opts.procs;
         assert!(p > 0, "hub world needs at least one child rank");
+        let mesh = opts.topology == transport::WireTopology::Mesh;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?.to_string();
 
         let mut children: Vec<Child> = (1..=p)
-            .map(|rank| spawn_rank_process(opts, rank, p + 1, &addr))
+            .map(|rank| spawn_rank_process(opts, rank, p + 1, &addr, true))
             .collect::<io::Result<_>>()?;
-        let socks = accept_hellos(&listener, &mut children);
+        let socks = bootstrap_children(&listener, &mut children, 1, p + 1, mesh, true, "hub");
 
-        let traffic = Arc::new(Traffic::default());
-        let (ev_tx, ev_rx) = unbounded::<HubEvent<M>>();
-        let mut out_tx: Vec<Option<Sender<Vec<u8>>>> = vec![None];
-        let mut out_rx = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<Vec<u8>>();
-            out_tx.push(Some(tx));
-            out_rx.push(rx);
+        let mut poller = Poller::new();
+        let mut conns: Vec<Option<Conn>> = vec![None]; // rank 0: the hub itself
+        let mut events = VecDeque::new();
+        let mut down_sent = vec![false; p + 1];
+        for (i, sock) in socks.into_iter().enumerate() {
+            let rank = i + 1;
+            match sock {
+                Some(s) => {
+                    let conn = Conn::new(s)?;
+                    poller.register(conn.fd(), rank, Interest::READABLE);
+                    conns.push(Some(conn));
+                }
+                None => {
+                    // Died during bootstrap: surface it right away.
+                    conns.push(None);
+                    down_sent[rank] = true;
+                    events.push_back(HubEvent::Down {
+                        rank,
+                        error: TransportError::PeerClosed,
+                    });
+                }
+            }
         }
 
-        let readers = socks
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let rank = i + 1;
-                let stream = s.try_clone().expect("hub: clone for reader");
-                let fwd_tx = out_tx.clone();
-                let ev_tx = ev_tx.clone();
-                let traffic = Arc::clone(&traffic);
-                std::thread::spawn(move || read_from_child(rank, stream, &fwd_tx, &ev_tx, &traffic))
-            })
-            .collect();
-
-        let writers = socks
-            .into_iter()
-            .zip(out_rx)
-            .map(|(mut stream, rx)| {
-                std::thread::spawn(move || {
-                    for frame in rx {
-                        // A dead child is a tolerated fault here: stop
-                        // writing and let the reader's EOF surface it as
-                        // a Down event. (Contrast WireWorld, which
-                        // panics the router on delivery failure.)
-                        if stream.write_all(&frame).is_err() {
-                            return;
-                        }
-                    }
-                })
-            })
-            .collect();
-
         Ok(WireHub {
-            procs: p,
-            inbox: ev_rx,
-            out_tx,
+            inner: RefCell::new(HubInner {
+                procs: p,
+                poller,
+                conns,
+                events,
+                down_sent,
+                traffic: Traffic::default(),
+                forwarded: 0,
+                scratch: Vec::new(),
+                parsed: Vec::new(),
+            }),
             children,
-            readers,
-            writers,
-            traffic,
         })
     }
 
     /// Number of child ranks (the world size is `procs() + 1`).
     pub fn procs(&self) -> usize {
-        self.procs
+        self.inner.borrow().procs
     }
 
-    /// Send `msg` from rank 0 to child rank `dst`. `Err(PeerClosed)`
-    /// means the child's writer is already gone; callers treat it like
-    /// any other in-flight loss (the `Down` event does the accounting).
+    /// Send `msg` from rank 0 to child rank `dst`. The frame is queued
+    /// and flushed opportunistically — a full socket buffer queues in
+    /// userspace rather than blocking the caller. `Err(PeerClosed)`
+    /// means the child is already known dead; a failure detected *by*
+    /// this send surfaces as a [`HubEvent::Down`] like any other.
     pub fn send(&self, dst: usize, tag: u32, msg: &M) -> Result<(), TransportError> {
-        assert!(dst >= 1 && dst <= self.procs, "hub send to bad rank {dst}");
-        let body = msg.to_bytes();
-        self.traffic.count(1, msg.size_bytes());
-        let frame = transport::down_frame(0, tag, &body);
-        match &self.out_tx[dst] {
-            Some(tx) => tx.send(frame).map_err(|_| TransportError::PeerClosed),
-            None => Err(TransportError::PeerClosed),
-        }
+        let mut inner = self.inner.borrow_mut();
+        assert!(dst >= 1 && dst <= inner.procs, "hub send to bad rank {dst}");
+        inner.traffic.count(1, msg.size_bytes());
+        let frame = transport::down_frame(0, tag, &msg.to_bytes());
+        inner.queue_to(dst, &frame)
     }
 
-    /// Next pending event, if any (non-blocking).
+    /// Next pending event, if any (non-blocking: runs one zero-timeout
+    /// sweep when the queue is empty).
     pub fn try_event(&self) -> Option<HubEvent<M>> {
-        self.inbox.try_recv().ok()
+        let mut inner = self.inner.borrow_mut();
+        if inner.events.is_empty() {
+            inner.sweep(Duration::ZERO);
+        }
+        inner.events.pop_front()
     }
 
     /// Next pending event, waiting up to `timeout`.
     pub fn event_timeout(&self, timeout: Duration) -> Option<HubEvent<M>> {
-        self.inbox.recv_timeout(timeout).ok()
+        let deadline = Instant::now() + timeout;
+        loop {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(ev) = inner.events.pop_front() {
+                return Some(ev);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            inner.sweep(deadline - now);
+        }
+    }
+
+    /// Run one readiness sweep over every connection the hub knows —
+    /// children **and** caller-registered fds — waiting up to `timeout`
+    /// for something to happen. Returns the caller tokens that polled
+    /// ready. This is the blocking point of an event-loop front end:
+    /// instead of sleeping between sweeps, block here and wake on the
+    /// first byte from any direction.
+    pub fn pump(&self, timeout: Duration) -> Vec<u64> {
+        self.inner.borrow_mut().sweep(timeout)
+    }
+
+    /// Register a caller-owned fd (e.g. a client socket or listener)
+    /// with the hub's poller under `token`; [`WireHub::pump`] reports
+    /// it when readable. The fd must outlive the registration.
+    pub fn register_client(&self, fd: RawFd, token: u64) {
+        self.inner.borrow_mut().poller.register(
+            fd,
+            USER_BASE.wrapping_add(token as usize),
+            Interest::READABLE,
+        );
+    }
+
+    /// Forget a caller-registered fd. No-op if absent.
+    pub fn deregister_client(&self, token: u64) {
+        self.inner
+            .borrow_mut()
+            .poller
+            .deregister(USER_BASE.wrapping_add(token as usize));
     }
 
     /// Kill child rank `rank`'s process (SIGKILL). The death then flows
-    /// through the normal failure path: reader EOF → [`HubEvent::Down`]
-    /// with [`TransportError::PeerClosed`]. This is the fault-injection
-    /// hook the serve gate uses; a real crash looks identical.
+    /// through the normal failure path: EOF → [`HubEvent::Down`] with
+    /// [`TransportError::PeerClosed`]. This is the fault-injection hook
+    /// the serve gate uses; a real crash looks identical.
     pub fn kill(&mut self, rank: usize) -> io::Result<()> {
-        assert!(rank >= 1 && rank <= self.procs, "hub kill of bad rank");
+        assert!(
+            rank >= 1 && rank <= self.inner.borrow().procs,
+            "hub kill of bad rank"
+        );
         self.children[rank - 1].kill()
     }
 
-    /// Router traffic counted from `modeled` frame fields, plus the
-    /// hub's own sends.
-    pub fn stats(&self) -> TrafficStats {
-        self.traffic.stats()
+    /// SIGSTOP child rank `rank`: the process freezes but its sockets
+    /// stay open, so **only a heartbeat detector** can tell it is gone
+    /// — the fault-injection hook for testing detector-vs-socket races.
+    pub fn pause(&self, rank: usize) -> io::Result<()> {
+        assert!(
+            rank >= 1 && rank <= self.inner.borrow().procs,
+            "hub pause of bad rank"
+        );
+        send_signal(self.children[rank - 1].id(), SIGSTOP)
     }
 
-    /// Close the downward channels, join the router threads, and reap
-    /// every child. Returns exit statuses by rank (index 0 unused as
-    /// `None`); killed children report their signal status rather than
-    /// failing the shutdown.
+    /// SIGCONT a paused child.
+    pub fn resume(&self, rank: usize) -> io::Result<()> {
+        assert!(
+            rank >= 1 && rank <= self.inner.borrow().procs,
+            "hub resume of bad rank"
+        );
+        send_signal(self.children[rank - 1].id(), SIGCONT)
+    }
+
+    /// An external failure detector (heartbeat expiry) claims `rank`'s
+    /// death: tear down the connection **without** emitting a `Down`
+    /// event (the caller IS the detector — it already knows). Returns
+    /// `false` if the death was already reported or claimed, so exactly
+    /// one detection wins no matter how signals race.
+    pub fn report_dead(&self, rank: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            rank >= 1 && rank <= inner.procs,
+            "hub report_dead of bad rank"
+        );
+        if inner.down_sent[rank] {
+            return false;
+        }
+        inner.down_sent[rank] = true;
+        inner.poller.deregister(rank);
+        inner.conns[rank] = None;
+        true
+    }
+
+    /// Router traffic counted from `modeled` frame fields, plus the
+    /// hub's own sends. (Mesh peer traffic never passes the hub and is
+    /// not counted here.)
+    pub fn stats(&self) -> TrafficStats {
+        self.inner.borrow().traffic.stats()
+    }
+
+    /// Data frames this hub relayed between children. Star traffic
+    /// forwards through here (two hops); on the mesh this stays 0 —
+    /// the acceptance witness that child↔child messages are one-hop.
+    pub fn forwarded(&self) -> u64 {
+        self.inner.borrow().forwarded
+    }
+
+    /// Drain every outbound write queue (bounded), then reap every
+    /// child. Returns exit statuses by rank (index 0 unused as `None`);
+    /// killed children report their signal status rather than failing
+    /// the shutdown. Draining before reaping is what guarantees frames
+    /// queued during a stop/exit protocol reach slow children even
+    /// after their faster peers are already gone.
     pub fn shutdown(mut self) -> Vec<Option<ExitStatus>> {
-        for slot in &mut self.out_tx {
-            *slot = None; // writers drain and exit
-        }
-        for h in self.readers.drain(..) {
-            h.join().expect("hub reader thread panicked");
-        }
-        for h in self.writers.drain(..) {
-            h.join().expect("hub writer thread panicked");
+        {
+            let mut inner = self.inner.borrow_mut();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while inner.any_wants_write() && Instant::now() < deadline {
+                inner.sweep(Duration::from_millis(20));
+            }
         }
         let mut statuses = vec![None];
         for c in &mut self.children {
             statuses.push(Some(c.wait().expect("hub: wait for child")));
         }
         statuses
-    }
-}
-
-/// Accept one hello per child, failing fast if a child dies before
-/// connecting (same policy as `WireWorld::accept_ranks`, shifted to
-/// ranks 1..=p).
-fn accept_hellos(listener: &TcpListener, children: &mut [Child]) -> Vec<TcpStream> {
-    let p = children.len();
-    listener
-        .set_nonblocking(true)
-        .expect("hub: nonblocking listener");
-    let deadline = Instant::now() + Duration::from_secs(60);
-    let mut socks: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
-    let mut connected = 0;
-    while connected < p {
-        match listener.accept() {
-            Ok((s, _)) => {
-                s.set_nonblocking(false).expect("hub: blocking conn");
-                s.set_nodelay(true).ok();
-                let mut hello = [0u8; 4];
-                (&s).read_exact(&mut hello).expect("hub: read hello");
-                let r = u32::from_le_bytes(hello) as usize;
-                assert!(r >= 1 && r <= p, "hello from out-of-range rank {r}");
-                assert!(socks[r - 1].is_none(), "duplicate hello from rank {r}");
-                socks[r - 1] = Some(s);
-                connected += 1;
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                for (i, c) in children.iter_mut().enumerate() {
-                    if let Some(status) = c.try_wait().expect("hub: try_wait") {
-                        panic!(
-                            "hub child rank {} exited ({status}) before connecting; \
-                             check that WireOptions::child_args re-enter this world",
-                            i + 1
-                        );
-                    }
-                }
-                assert!(
-                    Instant::now() < deadline,
-                    "hub children failed to connect within 60s"
-                );
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) => panic!("hub: accept: {e}"),
-        }
-    }
-    socks
-        .into_iter()
-        .map(|s| s.expect("all connected"))
-        .collect()
-}
-
-/// Reader loop for one child: decode hub-addressed messages, forward
-/// peer-addressed frames (re-framed with the verified source), surface
-/// the terminal condition — clean or not — as exactly one event.
-fn read_from_child<M: WireMessage>(
-    rank: usize,
-    stream: TcpStream,
-    fwd_tx: &[Option<Sender<Vec<u8>>>],
-    ev_tx: &Sender<HubEvent<M>>,
-    traffic: &Traffic,
-) {
-    let mut r = BufReader::new(stream);
-    let down = |error| {
-        ev_tx.send(HubEvent::Down { rank, error }).ok();
-    };
-    loop {
-        let mut kind = [0u8; 1];
-        match r.read_exact(&mut kind) {
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                return down(TransportError::PeerClosed)
-            }
-            Err(_) => return down(TransportError::PeerClosed),
-            Ok(()) => {}
-        }
-        match kind[0] {
-            FRAME_MSG => {
-                let (dst, tag, modeled, body) = match (
-                    read_u32(&mut r),
-                    read_u32(&mut r),
-                    read_u64(&mut r),
-                    read_body(&mut r),
-                ) {
-                    (Ok(d), Ok(t), Ok(m), Ok(b)) => (d as usize, t, m, b),
-                    _ => return down(TransportError::Truncated),
-                };
-                traffic.count(1, modeled);
-                if dst == 0 {
-                    match M::from_bytes(&body) {
-                        Some(msg) => {
-                            ev_tx
-                                .send(HubEvent::Msg(Envelope {
-                                    src: rank,
-                                    tag,
-                                    msg,
-                                }))
-                                .ok();
-                        }
-                        None => return down(TransportError::Undecodable),
-                    }
-                } else if dst < fwd_tx.len() {
-                    let frame = transport::down_frame(rank, tag, &body);
-                    if let Some(tx) = &fwd_tx[dst] {
-                        tx.send(frame).ok(); // dead destination: tolerated
-                    }
-                } else {
-                    return down(TransportError::Undecodable);
-                }
-            }
-            FRAME_RESULT => match read_body(&mut r) {
-                Ok(body) => {
-                    ev_tx.send(HubEvent::Result { rank, body }).ok();
-                }
-                Err(_) => return down(TransportError::Truncated),
-            },
-            _ => return down(TransportError::Undecodable),
-        }
     }
 }
 
@@ -334,13 +499,14 @@ mod tests {
     fn echo_child() -> ! {
         let env = transport::take_child_env().expect("hub child env");
         let t: crate::WireTransport<u64> =
-            crate::WireTransport::connect(&env.addr, env.rank).expect("hub child connect");
+            crate::WireTransport::connect_env(&env).expect("hub child connect");
         loop {
             match t.try_recv() {
                 Ok(env) if env.tag == 99 => std::process::exit(0),
                 Ok(e) => {
                     // Peer-addressed probe: value 1000+r means "forward
-                    // to rank r", exercising child→child routing.
+                    // to rank r", exercising child→child routing (via
+                    // the hub on star, peer-direct on mesh).
                     if e.msg >= 1000 {
                         let dst = (e.msg - 1000) as usize;
                         t.try_send(0, dst, 7, 555).expect("fwd");
@@ -353,17 +519,27 @@ mod tests {
         }
     }
 
-    fn hub_world(procs: usize, test_path: &str) -> WireOptions {
-        WireOptions::for_test(procs, test_path)
+    /// Child entry for the drain test: count tag-7 strings, report the
+    /// count on tag 99, exit.
+    fn slurp_child() -> ! {
+        let env = transport::take_child_env().expect("hub child env");
+        let t: crate::WireTransport<String> =
+            crate::WireTransport::connect_env(&env).expect("hub child connect");
+        let mut count = 0u64;
+        loop {
+            match t.try_recv() {
+                Ok(e) if e.tag == 99 => {
+                    t.try_send(0, 0, 9, count.to_string()).expect("report");
+                    std::process::exit(0);
+                }
+                Ok(_) => count += 1,
+                Err(_) => std::process::exit(1),
+            }
+        }
     }
 
-    #[test]
-    fn hub_routes_and_reports_child_death() {
-        let path = "hub::tests::hub_routes_and_reports_child_death";
-        if WireWorld::child_world_id().as_deref() == Some(path) {
-            echo_child();
-        }
-        let mut hub: WireHub<u64> = WireHub::spawn(&hub_world(2, path)).expect("spawn");
+    fn routes_and_reports(opts: WireOptions, want_fwd: u64) {
+        let mut hub: WireHub<u64> = WireHub::spawn(&opts).expect("spawn");
 
         // Round-trip to both children.
         hub.send(1, 3, &10).expect("send");
@@ -378,13 +554,18 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![(1, 3, 11), (2, 4, 21)]);
 
-        // Child→child forwarding: ask rank 1 to poke rank 2; rank 2
-        // echoes the poke (555 + 1) back to us.
+        // Child→child: ask rank 1 to poke rank 2; rank 2 echoes the
+        // poke (555 + 1) back to us.
         hub.send(1, 5, &1002).expect("send");
         match hub.event_timeout(Duration::from_secs(10)).expect("event") {
             HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 556)),
             other => panic!("unexpected {other:?}"),
         }
+        assert_eq!(
+            hub.forwarded(),
+            want_fwd,
+            "hop-count witness: star forwards the poke, mesh goes direct"
+        );
 
         // Kill rank 1: the death must surface as Down(PeerClosed), not
         // a panic anywhere in the router.
@@ -402,13 +583,131 @@ mod tests {
             HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 31)),
             other => panic!("unexpected {other:?}"),
         }
-        // Sending to the dead rank is an error, not a panic.
-        std::thread::sleep(Duration::from_millis(50));
-        let _ = hub.send(1, 3, &1); // may still enqueue; must not panic
+        // Sending to the dead rank is a typed error, not a panic.
+        assert_eq!(hub.send(1, 3, &1), Err(TransportError::PeerClosed));
 
         hub.send(2, 99, &0).expect("stop");
         let statuses = hub.shutdown();
         assert!(statuses[2].expect("rank 2 status").success());
         assert!(!statuses[1].expect("rank 1 status").success(), "killed");
+    }
+
+    #[test]
+    fn hub_routes_and_reports_child_death() {
+        let path = "hub::tests::hub_routes_and_reports_child_death";
+        if let Some(id) = WireWorld::child_world_id() {
+            if id.starts_with(path) {
+                echo_child();
+            }
+        }
+        // Same protocol, both topologies; only the hop counts differ.
+        let star = WireOptions {
+            world_id: format!("{path}#star"),
+            ..WireOptions::for_test(2, path)
+        }
+        .star();
+        routes_and_reports(star, 1);
+        let mesh = WireOptions {
+            world_id: format!("{path}#mesh"),
+            ..WireOptions::for_test(2, path)
+        };
+        routes_and_reports(mesh, 0);
+    }
+
+    #[test]
+    fn hub_deduplicates_overlapping_death_signals() {
+        let path = "hub::tests::hub_deduplicates_overlapping_death_signals";
+        if WireWorld::child_world_id().as_deref() == Some(path) {
+            echo_child();
+        }
+        let mut hub: WireHub<u64> = WireHub::spawn(&WireOptions::for_test(2, path)).expect("spawn");
+
+        // An external detector (standing in for heartbeat expiry)
+        // claims rank 1's death first...
+        assert!(hub.report_dead(1), "first claim wins");
+        assert!(!hub.report_dead(1), "second claim loses");
+        // ...then the socket-level death fires for the same rank.
+        hub.kill(1).expect("kill");
+
+        // No Down event may surface: the detector already owns this
+        // death. Sweep long enough for the EOF to be observed.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            if let Some(ev) = hub.event_timeout(Duration::from_millis(50)) {
+                panic!("dedup failed: unexpected event {ev:?}");
+            }
+        }
+
+        // Rank 2 is unaffected.
+        hub.send(2, 4, &20).expect("send");
+        match hub.event_timeout(Duration::from_secs(10)).expect("event") {
+            HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 21)),
+            other => panic!("unexpected {other:?}"),
+        }
+        hub.send(2, 99, &0).expect("stop");
+        hub.shutdown();
+    }
+
+    #[test]
+    fn hub_boot_death_surfaces_as_down_not_hang() {
+        let path = "hub::tests::hub_boot_death_surfaces_as_down_not_hang";
+        if WireWorld::child_world_id().as_deref() == Some(path) {
+            // Rank 1 dies before completing its handshake; rank 2 is a
+            // normal echo child. The mesh table must mark rank 1 absent
+            // so rank 2 never dials or waits on it.
+            if std::env::var(transport::ENV_RANK).as_deref() == Ok("1") {
+                std::process::exit(0);
+            }
+            echo_child();
+        }
+        let hub: WireHub<u64> = WireHub::spawn(&WireOptions::for_test(2, path)).expect("spawn");
+        match hub.event_timeout(Duration::from_secs(10)).expect("down") {
+            HubEvent::Down { rank, error } => {
+                assert_eq!(rank, 1);
+                assert_eq!(error, TransportError::PeerClosed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(hub.send(1, 3, &1), Err(TransportError::PeerClosed));
+        // The survivor works.
+        hub.send(2, 4, &20).expect("send");
+        match hub.event_timeout(Duration::from_secs(10)).expect("event") {
+            HubEvent::Msg(e) => assert_eq!((e.src, e.msg), (2, 21)),
+            other => panic!("unexpected {other:?}"),
+        }
+        hub.send(2, 99, &0).expect("stop");
+        let statuses = hub.shutdown();
+        assert!(statuses[2].expect("rank 2 status").success());
+    }
+
+    #[test]
+    fn hub_drains_queued_frames_across_a_pause() {
+        let path = "hub::tests::hub_drains_queued_frames_across_a_pause";
+        if WireWorld::child_world_id().as_deref() == Some(path) {
+            slurp_child();
+        }
+        let hub: WireHub<String> = WireHub::spawn(&WireOptions::for_test(1, path)).expect("spawn");
+
+        // Freeze the child, then queue far more than a socket buffer
+        // holds: the hub's userspace write queue must absorb it all
+        // without blocking or dropping.
+        hub.pause(1).expect("pause");
+        std::thread::sleep(Duration::from_millis(30));
+        let blob = "x".repeat(64 * 1024);
+        const K: u64 = 200;
+        for _ in 0..K {
+            hub.send(1, 7, &blob).expect("burst");
+        }
+        hub.send(1, 99, &String::new()).expect("stop marker");
+        hub.resume(1).expect("resume");
+
+        // Every queued frame must arrive, in order, before the stop
+        // marker — the child's count is the witness.
+        match hub.event_timeout(Duration::from_secs(30)).expect("count") {
+            HubEvent::Msg(e) => assert_eq!(e.msg, K.to_string(), "no frame dropped or reordered"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let statuses = hub.shutdown();
+        assert!(statuses[1].expect("rank 1 status").success());
     }
 }

@@ -29,6 +29,14 @@
 //! * [`hub`] — the asymmetric wire router: this process as rank 0 of a
 //!   multi-process world, surviving child deaths as [`HubEvent::Down`]
 //!   events (the substrate of `pdc-db`'s replicated serving tier).
+//! * [`poll`] — the dependency-free readiness layer under every wire
+//!   event loop: a mio-style [`Poller`] over `poll(2)` plus the
+//!   buffered nonblocking [`Conn`].
+//!
+//! Wire worlds run on one of two [`transport::WireTopology`]s: the
+//! historical two-hop **star** (all data forwarded by the parent) or
+//! the default one-hop **mesh** (a direct TCP connection per child
+//! pair, parent kept as a control plane).
 
 #![warn(missing_docs)]
 
@@ -39,14 +47,16 @@ pub mod hub;
 pub mod kv;
 pub mod kv_tcp;
 pub mod mapreduce;
+pub mod poll;
 pub mod transport;
 pub mod world;
 
 pub use coll::CollId;
 pub use ft::HeartbeatMonitor;
 pub use hub::{HubEvent, WireHub};
+pub use poll::{send_signal, Conn, Event, Interest, Poller};
 pub use transport::{
     take_child_env, ChildEnv, Envelope, LocalTransport, Transport, TransportError, WireMessage,
-    WireOptions, WireRun, WireTransport, WireWorld,
+    WireOptions, WireRun, WireTopology, WireTransport, WireWorld,
 };
 pub use world::{Payload, Rank, TrafficStats, World};

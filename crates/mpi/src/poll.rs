@@ -1,0 +1,416 @@
+//! Readiness-driven I/O without new dependencies: a mio-style
+//! registration/readiness API over the OS `poll(2)` syscall, plus the
+//! buffered nonblocking connection every event loop in this crate
+//! shares.
+//!
+//! The shape is deliberately the one mio popularised — register an fd
+//! under a caller-chosen token with a read/write [`Interest`], call
+//! [`Poller::poll`], get back [`Event`]s naming the ready tokens — but
+//! the implementation is a flat `pollfd` array rebuilt per call. That
+//! is O(fds) per wakeup where epoll is O(ready), which is the right
+//! trade here: every world in this repo has tens of fds, not tens of
+//! thousands, and `poll(2)` needs no registration syscalls, no
+//! capability probing, and no crate. The symbol comes from the platform
+//! C library that `std` already links, declared by hand — the
+//! "libc-free shim".
+//!
+//! [`Conn`] is the per-connection state an event loop keeps: the
+//! nonblocking stream, an incoming byte buffer that frames are parsed
+//! out of, and an outgoing queue that absorbs short writes. Queueing
+//! instead of blocking is what makes a single-threaded router safe: a
+//! peer whose TCP buffer is full can never wedge the loop (the
+//! userspace queue grows instead), which is the property the old
+//! two-threads-per-child star router bought with unbounded channels.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    // POSIX poll(2); nfds_t is unsigned long on every target we build.
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: i32) -> i32;
+    // kill(2), used by the fault-injection hooks (SIGSTOP a shard to
+    // simulate a hang, SIGKILL handled by std's Child::kill).
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+/// `SIGSTOP`: pause a process without killing it — the socket stays
+/// open, so only a heartbeat detector can tell it is gone.
+pub const SIGSTOP: i32 = 19;
+/// `SIGCONT`: resume a `SIGSTOP`ped process.
+pub const SIGCONT: i32 = 18;
+
+/// Send `sig` to process `pid` (see [`SIGSTOP`]/[`SIGCONT`]).
+pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
+    // SAFETY: kill(2) has no memory preconditions; an invalid pid is
+    // reported through errno.
+    if unsafe { kill(pid as i32, sig) } == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the fd is readable (or hung up).
+    pub const READABLE: Interest = Interest(1);
+    /// Wake when the fd is writable.
+    pub const WRITABLE: Interest = Interest(2);
+    /// Both directions.
+    pub const BOTH: Interest = Interest(3);
+
+    fn wants_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    fn wants_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+/// One ready fd, named by the token it was registered under.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token.
+    pub token: usize,
+    /// Readable, hung up, or errored — in every case the right response
+    /// is to read, which surfaces EOF or the error in-band.
+    pub readable: bool,
+    /// Writable (or errored; writing surfaces the error).
+    pub writable: bool,
+}
+
+/// Readiness selector: a token-keyed registration table polled with one
+/// `poll(2)` call. Not a reactor — it never dispatches; the owning loop
+/// matches on tokens.
+#[derive(Debug, Default)]
+pub struct Poller {
+    // Small and iterated whole every poll; a Vec beats a map.
+    slots: Vec<(usize, RawFd, Interest)>,
+    fds: Vec<PollFd>,
+}
+
+impl Poller {
+    /// An empty selector.
+    pub fn new() -> Poller {
+        Poller::default()
+    }
+
+    /// Register `fd` under `token`.
+    ///
+    /// # Panics
+    /// Panics if `token` is already registered — tokens are identities,
+    /// reuse is a routing bug.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) {
+        assert!(
+            !self.slots.iter().any(|(t, _, _)| *t == token),
+            "poller token {token} registered twice"
+        );
+        self.slots.push((token, fd, interest));
+    }
+
+    /// Change what `token` wants to hear about. No-op if the token is
+    /// not registered (the conn may have died in the same sweep).
+    pub fn reregister(&mut self, token: usize, interest: Interest) {
+        if let Some(slot) = self.slots.iter_mut().find(|(t, _, _)| *t == token) {
+            slot.2 = interest;
+        }
+    }
+
+    /// Forget `token`. No-op if absent.
+    pub fn deregister(&mut self, token: usize) {
+        self.slots.retain(|(t, _, _)| *t != token);
+    }
+
+    /// Whether `token` is currently registered.
+    pub fn is_registered(&self, token: usize) -> bool {
+        self.slots.iter().any(|(t, _, _)| *t == token)
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = wait forever), filling `events` with the ready
+    /// tokens. Returns the number of events; 0 on timeout or EINTR.
+    pub fn poll(
+        &mut self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        events.clear();
+        self.fds.clear();
+        for (_, fd, interest) in &self.slots {
+            let mut ev = 0i16;
+            if interest.wants_read() {
+                ev |= POLLIN;
+            }
+            if interest.wants_write() {
+                ev |= POLLOUT;
+            }
+            self.fds.push(PollFd {
+                fd: *fd,
+                events: ev,
+                revents: 0,
+            });
+        }
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+        };
+        // SAFETY: fds points at a live, correctly-sized PollFd array;
+        // poll(2) writes only the revents fields.
+        let n = unsafe {
+            poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as std::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0); // EINTR: caller loops
+            }
+            return Err(err);
+        }
+        for (slot, fd) in self.slots.iter().zip(&self.fds) {
+            let r = fd.revents;
+            if r == 0 {
+                continue;
+            }
+            assert!(r & POLLNVAL == 0, "polled a closed fd (token {})", slot.0);
+            events.push(Event {
+                token: slot.0,
+                // HUP/ERR surface through a read/write attempt, so they
+                // count as both kinds of readiness.
+                readable: r & (POLLIN | POLLHUP | POLLERR) != 0,
+                writable: r & (POLLOUT | POLLHUP | POLLERR) != 0,
+            });
+        }
+        Ok(events.len())
+    }
+}
+
+/// A buffered nonblocking connection inside an event loop: reads
+/// accumulate in `rbuf` for the owner to parse frames out of; writes
+/// queue in `wbuf` and flush on writability, so the loop never blocks
+/// on a slow peer.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    eof: bool,
+}
+
+impl Conn {
+    /// Wrap `stream`, switching it to nonblocking with NODELAY (every
+    /// protocol in this crate is request/reply with small frames).
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            eof: false,
+        })
+    }
+
+    /// The fd to register with a [`Poller`].
+    pub fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Drain the socket into the read buffer (call on read readiness).
+    /// EOF and connection resets set [`Conn::is_eof`] rather than
+    /// erroring — a vanished peer is an in-band condition for every
+    /// caller; only unexpected I/O errors surface as `Err`.
+    pub fn read_ready(&mut self) -> io::Result<()> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionReset
+                        || e.kind() == io::ErrorKind::BrokenPipe =>
+                {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The peer hung up (no more bytes will ever arrive).
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Unparsed received bytes.
+    pub fn buffered(&self) -> &[u8] {
+        &self.rbuf[self.rpos..]
+    }
+
+    /// Discard `n` parsed bytes from the front of the read buffer.
+    pub fn consume(&mut self, n: usize) {
+        self.rpos += n;
+        assert!(self.rpos <= self.rbuf.len(), "consumed past the buffer");
+        // Compact lazily so a long-lived conn doesn't grow forever.
+        if self.rpos > 64 * 1024 && self.rpos * 2 > self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+
+    /// Queue `frame` for delivery (then call [`Conn::flush`], and keep
+    /// the fd registered writable while [`Conn::wants_write`]).
+    pub fn queue(&mut self, frame: &[u8]) {
+        self.wbuf.extend_from_slice(frame);
+    }
+
+    /// Write queued bytes until done or the socket would block. An
+    /// `Err` means the peer is gone mid-frame — the caller decides
+    /// whether that is fatal (symmetric world) or a Down event (hub).
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(())
+    }
+
+    /// Bytes are still queued: keep polling for writability.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(l.local_addr().expect("addr")).expect("connect");
+        let (b, _) = l.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn poll_reports_readability_when_bytes_arrive() {
+        let (a, b) = pair();
+        let mut p = Poller::new();
+        p.register(a.as_raw_fd(), 7, Interest::READABLE);
+        let mut events = Vec::new();
+        // Nothing yet: times out with no events.
+        let n = p
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll");
+        assert_eq!(n, 0);
+        (&b).write_all(b"x").expect("write");
+        let n = p
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn poll_reports_hangup_as_readable() {
+        let (a, b) = pair();
+        let mut p = Poller::new();
+        p.register(a.as_raw_fd(), 1, Interest::READABLE);
+        drop(b);
+        let mut events = Vec::new();
+        let n = p
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .expect("poll");
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "EOF must wake a reader");
+    }
+
+    #[test]
+    fn deregistered_tokens_stop_reporting() {
+        let (a, b) = pair();
+        let mut p = Poller::new();
+        p.register(a.as_raw_fd(), 1, Interest::READABLE);
+        p.deregister(1);
+        assert!(!p.is_registered(1));
+        (&b).write_all(b"x").expect("write");
+        let mut events = Vec::new();
+        let n = p
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .expect("poll");
+        assert_eq!(n, 0, "deregistered fd must not report");
+    }
+
+    #[test]
+    fn conn_queues_short_writes_and_parses_across_reads() {
+        let (a, b) = pair();
+        let mut ca = Conn::new(a).expect("conn");
+        let mut cb = Conn::new(b).expect("conn");
+        ca.queue(b"hello ");
+        ca.queue(b"world");
+        assert!(ca.wants_write());
+        ca.flush().expect("flush");
+        assert!(!ca.wants_write());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while cb.buffered().len() < 11 {
+            assert!(std::time::Instant::now() < deadline, "bytes never arrived");
+            cb.read_ready().expect("read");
+        }
+        assert_eq!(cb.buffered(), b"hello world");
+        cb.consume(6);
+        assert_eq!(cb.buffered(), b"world");
+        drop(ca);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cb.is_eof() {
+            assert!(std::time::Instant::now() < deadline, "EOF never surfaced");
+            cb.read_ready().expect("read");
+        }
+        assert_eq!(cb.buffered(), b"world", "EOF keeps buffered bytes");
+    }
+}

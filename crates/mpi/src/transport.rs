@@ -12,28 +12,52 @@
 //! same code over both, which is the point of the seam: the ADI-style
 //! device layer of MPICH, in miniature.
 //!
-//! ## Wire protocol
+//! ## Wire protocol and topologies
 //!
-//! The topology is a star: child ranks never talk to each other
-//! directly, they send framed messages to the parent which re-frames
-//! and forwards to the destination's socket. All integers are
-//! little-endian. Child → parent frames start with a kind byte:
+//! Two topologies share one frame grammar, selected by
+//! [`WireOptions::topology`]:
+//!
+//! * **Star** (the original shape): child ranks never talk to each
+//!   other directly — they send kinded frames to the parent, which
+//!   re-frames and forwards to the destination's socket. Every
+//!   child↔child message pays **two hops**.
+//! * **Mesh** (the default): at bootstrap the parent broadcasts a
+//!   rank→address table; each child binds a loopback listener, dials
+//!   every higher rank and accepts every lower rank, so each pair
+//!   shares exactly one TCP connection and data frames travel **one
+//!   hop**, peer-direct. The parent connection survives as a control
+//!   plane only: bootstrap, results, traffic stats, death detection.
+//!
+//! All integers are little-endian. Child → parent frames start with a
+//! kind byte:
 //!
 //! ```text
 //! kind 0 (MSG):    dst:u32 tag:u32 modeled:u64 len:u32 payload[len]
 //! kind 1 (RESULT): len:u32 payload[len]
+//! kind 2 (STATS):  msgs:u64 bytes:u64
 //! ```
 //!
 //! `modeled` is [`Payload::size_bytes`] — the α–β cost-model size — so
-//! the parent can keep [`TrafficStats`] without decoding payloads.
-//! Parent → child frames need no kind byte (only messages flow down):
+//! a star parent can keep [`TrafficStats`] without decoding payloads;
+//! mesh children report their own totals with a `STATS` frame instead,
+//! since the parent never sees their data traffic. Parent → child and
+//! peer ↔ peer frames need no kind byte (only messages flow there):
 //!
 //! ```text
 //! src:u32 tag:u32 len:u32 payload[len]
 //! ```
 //!
 //! Payload bytes are produced by the [`WireMessage`] codec. On connect,
-//! a child introduces itself with a bare `rank:u32` hello.
+//! an endpoint introduces itself with a bare `rank:u32` hello; a mesh
+//! child follows the hello with its listener address, then reads the
+//! table (`count:u32`, then `count` length-prefixed address strings —
+//! an empty string marks a rank that is absent or already dead).
+//!
+//! Both routers — the symmetric [`WireWorld`] parent and the
+//! asymmetric [`crate::hub::WireHub`] — and every mesh endpoint run on
+//! the single-threaded readiness loop from [`crate::poll`]: one
+//! [`Poller`] over all connections, userspace write queues instead of
+//! blocking writes, so no peer can wedge the loop.
 //!
 //! ## Traces across processes
 //!
@@ -44,13 +68,20 @@
 //! [`pdc_core::merge`]) whose summed counters mean exactly what the
 //! shared-session counters mean in a single-process world.
 
+// The readiness API is part of the transport surface: event loops
+// built over wire endpoints (the serve front end, custom routers)
+// register their own fds alongside the transport's.
+pub use crate::poll::{Conn, Event, Interest, Poller};
+
 use crate::world::{Payload, Rank, Traffic, TrafficStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender};
 use pdc_core::merge::{self, MergedTrace};
 use pdc_core::trace::{self, TraceSession};
+use std::collections::VecDeque;
 use std::io::{self, BufReader, Read, Write};
 use std::marker::PhantomData;
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};
@@ -317,17 +348,12 @@ impl<T: WireMessage> WireMessage for Option<T> {
 
 pub(crate) const FRAME_MSG: u8 = 0;
 pub(crate) const FRAME_RESULT: u8 = 1;
+pub(crate) const FRAME_STATS: u8 = 2;
 
 pub(crate) fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
-}
-
-pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 pub(crate) fn read_body(r: &mut impl Read) -> io::Result<Vec<u8>> {
@@ -349,7 +375,7 @@ pub(crate) fn msg_frame(dst: usize, tag: u32, modeled: u64, body: &[u8]) -> Vec<
     frame
 }
 
-/// Build the parent→child frame for one message.
+/// Build the parent→child / peer→peer frame for one message.
 pub(crate) fn down_frame(src: usize, tag: u32, body: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(12 + body.len());
     frame.extend_from_slice(&(src as u32).to_le_bytes());
@@ -359,78 +385,718 @@ pub(crate) fn down_frame(src: usize, tag: u32, body: &[u8]) -> Vec<u8> {
     frame
 }
 
+/// Build the child→parent `STATS` frame a mesh child sends before its
+/// result, carrying the traffic its own [`Traffic`] counted.
+pub(crate) fn stats_frame(stats: TrafficStats) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(17);
+    frame.push(FRAME_STATS);
+    frame.extend_from_slice(&stats.messages.to_le_bytes());
+    frame.extend_from_slice(&stats.bytes.to_le_bytes());
+    frame
+}
+
+fn peek_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn peek_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// One child→parent frame, parsed out of an event-loop read buffer.
+pub(crate) enum ChildFrame {
+    /// A data frame to forward (star) or reject (mesh control plane).
+    Msg {
+        /// Destination rank.
+        dst: usize,
+        /// Envelope tag.
+        tag: u32,
+        /// Modeled (α–β) size from the sender.
+        modeled: u64,
+        /// Encoded payload.
+        body: Vec<u8>,
+    },
+    /// The child's result payload (clean finish).
+    Result(Vec<u8>),
+    /// A mesh child's self-counted traffic totals.
+    Stats(TrafficStats),
+}
+
+/// Parse one child→parent frame from the front of `buf`.
+/// `Ok(Some((consumed, frame)))` on a complete frame, `Ok(None)` if
+/// more bytes are needed, `Err(kind)` on an unknown kind byte.
+pub(crate) fn parse_child_frame(buf: &[u8]) -> Result<Option<(usize, ChildFrame)>, u8> {
+    let Some(&kind) = buf.first() else {
+        return Ok(None);
+    };
+    match kind {
+        FRAME_MSG => {
+            if buf.len() < 21 {
+                return Ok(None);
+            }
+            let len = peek_u32(buf, 17) as usize;
+            if buf.len() < 21 + len {
+                return Ok(None);
+            }
+            Ok(Some((
+                21 + len,
+                ChildFrame::Msg {
+                    dst: peek_u32(buf, 1) as usize,
+                    tag: peek_u32(buf, 5),
+                    modeled: peek_u64(buf, 9),
+                    body: buf[21..21 + len].to_vec(),
+                },
+            )))
+        }
+        FRAME_RESULT => {
+            if buf.len() < 5 {
+                return Ok(None);
+            }
+            let len = peek_u32(buf, 1) as usize;
+            if buf.len() < 5 + len {
+                return Ok(None);
+            }
+            Ok(Some((
+                5 + len,
+                ChildFrame::Result(buf[5..5 + len].to_vec()),
+            )))
+        }
+        FRAME_STATS => {
+            if buf.len() < 17 {
+                return Ok(None);
+            }
+            Ok(Some((
+                17,
+                ChildFrame::Stats(TrafficStats {
+                    messages: peek_u64(buf, 1),
+                    bytes: peek_u64(buf, 9),
+                }),
+            )))
+        }
+        k => Err(k),
+    }
+}
+
+/// Parse one kind-less `src:u32 tag:u32 len:u32 payload` frame (the
+/// parent→child and peer↔peer grammar) from the front of `buf`;
+/// `None` if incomplete. Returns `(consumed, src, tag, body)`.
+pub(crate) fn parse_plain_frame(buf: &[u8]) -> Option<(usize, usize, u32, Vec<u8>)> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let len = peek_u32(buf, 8) as usize;
+    if buf.len() < 12 + len {
+        return None;
+    }
+    Some((
+        12 + len,
+        peek_u32(buf, 0) as usize,
+        peek_u32(buf, 4),
+        buf[12..12 + len].to_vec(),
+    ))
+}
+
 // ---------------------------------------------------------------------
 // WireTransport: a child rank's endpoint
 // ---------------------------------------------------------------------
 
-/// A child rank's endpoint: one TCP connection to the parent router.
-/// `send` frames and writes; `recv` blocks reading the next downward
-/// frame. Both take `&self` (the rank API sends through `&self`), so
-/// each direction is guarded by its own mutex — uncontended in
-/// practice, since a rank is single-threaded.
+/// Which wire a child↔child message rides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireTopology {
+    /// Every message goes child→parent→child: two hops, but the only
+    /// sockets in the world are the `p` parent connections.
+    Star,
+    /// Children hold a direct connection per pair: one hop for data,
+    /// with the parent connection kept for control traffic only.
+    #[default]
+    Mesh,
+}
+
+impl WireTopology {
+    fn env_value(self) -> &'static str {
+        match self {
+            WireTopology::Star => "star",
+            WireTopology::Mesh => "mesh",
+        }
+    }
+}
+
+/// How long a mesh sender waits for a lower-rank peer's inbound dial
+/// before declaring the pair dead.
+const PEER_DIAL_WAIT: Duration = Duration::from_secs(30);
+
+/// Poller token for a mesh child's parent connection.
+const TOK_PARENT: usize = usize::MAX - 1;
+/// Poller token for a mesh child's peer listener.
+const TOK_LISTENER: usize = usize::MAX - 2;
+
+/// One peer's slot in a mesh endpoint.
+enum PeerSlot {
+    /// This rank itself (self-sends short-circuit to the ready queue).
+    Me,
+    /// Never a peer: rank 0 of a hub world is the parent connection.
+    Absent,
+    /// A lower rank that has not dialed us yet.
+    Pending,
+    /// A live connection.
+    Up(Conn),
+    /// Hung up, reset, failed to dial, or dead at bootstrap. Sending
+    /// here is `Err(PeerClosed)`; anything mid-flight was lost.
+    Dead,
+}
+
+/// The mesh endpoint's single-threaded engine: every connection this
+/// rank owns (parent + one per peer + the accept listener) on one
+/// [`Poller`], with decoded-order delivery through `ready`.
+struct Mesh {
+    me: usize,
+    /// World size (for a hub world this counts the hub as rank 0).
+    world: usize,
+    /// Hub world: rank 0 is the parent connection, not a peer.
+    hub: bool,
+    parent: Conn,
+    /// Set once the parent connection fails; sticky and fatal to
+    /// `try_recv` once `ready` drains.
+    parent_err: Option<TransportError>,
+    listener: TcpListener,
+    poller: Poller,
+    peers: Vec<PeerSlot>,
+    /// Frames received and not yet consumed: `(src, tag, body)`.
+    ready: VecDeque<(usize, u32, Vec<u8>)>,
+    scratch: Vec<Event>,
+}
+
+impl Mesh {
+    /// One readiness sweep: flush every queued write, wait up to
+    /// `timeout` for events, service them. `Err` only if the poll
+    /// syscall itself fails.
+    fn sweep(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        self.flush_conns();
+        let mut events = std::mem::take(&mut self.scratch);
+        self.poller
+            .poll(&mut events, timeout)
+            .map_err(|_| TransportError::PeerClosed)?;
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOK_LISTENER => self.accept_peers(),
+                TOK_PARENT => self.service_parent(ev),
+                r => self.service_peer(r, ev),
+            }
+        }
+        events.clear();
+        self.scratch = events;
+        Ok(())
+    }
+
+    fn flush_conns(&mut self) {
+        if self.parent_err.is_none() && self.parent.wants_write() && self.parent.flush().is_err() {
+            self.fail_parent();
+        }
+        self.update_parent_interest();
+        for r in 0..self.peers.len() {
+            let died = match &mut self.peers[r] {
+                PeerSlot::Up(c) => c.wants_write() && c.flush().is_err(),
+                _ => false,
+            };
+            if died {
+                self.kill_peer(r);
+            } else {
+                self.update_peer_interest(r);
+            }
+        }
+    }
+
+    fn fail_parent(&mut self) {
+        if self.parent_err.is_none() {
+            self.parent_err = Some(TransportError::PeerClosed);
+            self.poller.deregister(TOK_PARENT);
+        }
+    }
+
+    fn kill_peer(&mut self, r: usize) {
+        self.poller.deregister(r);
+        self.peers[r] = PeerSlot::Dead;
+    }
+
+    fn update_parent_interest(&mut self) {
+        if self.parent_err.is_none() {
+            let want = if self.parent.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            self.poller.reregister(TOK_PARENT, want);
+        }
+    }
+
+    fn update_peer_interest(&mut self, r: usize) {
+        if let PeerSlot::Up(c) = &self.peers[r] {
+            let want = if c.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            self.poller.reregister(r, want);
+        }
+    }
+
+    fn service_parent(&mut self, ev: Event) {
+        if self.parent_err.is_some() {
+            return;
+        }
+        if ev.writable && self.parent.flush().is_err() {
+            self.fail_parent();
+            return;
+        }
+        if ev.readable {
+            if self.parent.read_ready().is_err() {
+                self.fail_parent();
+                return;
+            }
+            while let Some((n, src, tag, body)) = parse_plain_frame(self.parent.buffered()) {
+                self.parent.consume(n);
+                self.ready.push_back((src, tag, body));
+            }
+            if self.parent.is_eof() {
+                // A torn trailing frame means the parent died mid-write.
+                self.parent_err = Some(if self.parent.buffered().is_empty() {
+                    TransportError::PeerClosed
+                } else {
+                    TransportError::Truncated
+                });
+                self.poller.deregister(TOK_PARENT);
+            }
+        }
+        self.update_parent_interest();
+    }
+
+    fn service_peer(&mut self, r: usize, ev: Event) {
+        let died = match &mut self.peers[r] {
+            PeerSlot::Up(c) => {
+                let mut dead = ev.writable && c.flush().is_err();
+                if !dead && ev.readable {
+                    if c.read_ready().is_err() {
+                        dead = true;
+                    } else {
+                        while let Some((n, src, tag, body)) = parse_plain_frame(c.buffered()) {
+                            c.consume(n);
+                            debug_assert_eq!(src, r, "peer frame with mismatched src");
+                            self.ready.push_back((r, tag, body));
+                        }
+                        // Peer death — clean or torn mid-frame (SIGKILL
+                        // during a write) — is tolerated silently: the
+                        // world's failure story belongs to the parent
+                        // and the layers above (heartbeats, Down
+                        // events), not to every pairwise socket.
+                        dead = c.is_eof();
+                    }
+                }
+                dead
+            }
+            _ => false,
+        };
+        if died {
+            self.kill_peer(r);
+        } else {
+            self.update_peer_interest(r);
+        }
+    }
+
+    /// Accept inbound dials from lower ranks (lazily, whenever the
+    /// listener polls readable — a dead lower rank therefore never
+    /// blocks anyone).
+    fn accept_peers(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((s, _)) => {
+                    let Some((rank, conn)) = greet_peer(s, self.world) else {
+                        continue;
+                    };
+                    if matches!(self.peers[rank], PeerSlot::Pending) {
+                        self.poller.register(conn.fd(), rank, Interest::READABLE);
+                        self.peers[rank] = PeerSlot::Up(conn);
+                    }
+                    // Any other state: duplicate or stale dial — drop it.
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        dst: usize,
+        tag: u32,
+        modeled: u64,
+        body: &[u8],
+    ) -> Result<(), TransportError> {
+        if dst == self.me {
+            self.ready.push_back((dst, tag, body.to_vec()));
+            return Ok(());
+        }
+        if self.hub && dst == 0 {
+            // Control-plane send to the hub process itself.
+            if self.parent_err.is_some() {
+                return Err(TransportError::PeerClosed);
+            }
+            self.parent.queue(&msg_frame(0, tag, modeled, body));
+            if self.parent.flush().is_err() {
+                self.fail_parent();
+                return Err(TransportError::PeerClosed);
+            }
+            self.update_parent_interest();
+            return Ok(());
+        }
+        let deadline = Instant::now() + PEER_DIAL_WAIT;
+        loop {
+            match &mut self.peers[dst] {
+                PeerSlot::Up(c) => {
+                    c.queue(&down_frame(self.me, tag, body));
+                    if c.flush().is_err() {
+                        self.kill_peer(dst);
+                        return Err(TransportError::PeerClosed);
+                    }
+                    self.update_peer_interest(dst);
+                    return Ok(());
+                }
+                PeerSlot::Dead => return Err(TransportError::PeerClosed),
+                PeerSlot::Pending => {
+                    // The lower rank has not dialed us yet; keep
+                    // servicing the loop (its dial lands through
+                    // accept_peers) with a bounded patience.
+                    if self.parent_err.is_some() || Instant::now() > deadline {
+                        self.kill_peer(dst);
+                        return Err(TransportError::PeerClosed);
+                    }
+                    self.sweep(Some(Duration::from_millis(20)))?;
+                }
+                PeerSlot::Me | PeerSlot::Absent => {
+                    panic!("mesh send to non-peer rank {dst}")
+                }
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<(usize, u32, Vec<u8>), TransportError> {
+        loop {
+            if let Some(hit) = self.ready.pop_front() {
+                return Ok(hit);
+            }
+            if let Some(err) = self.parent_err {
+                return Err(err);
+            }
+            self.sweep(None)?;
+        }
+    }
+
+    /// Pump until every queued outbound byte has left (or its peer
+    /// died), bounded by `limit`.
+    fn flush_pending(&mut self, limit: Duration) {
+        let deadline = Instant::now() + limit;
+        while Instant::now() < deadline {
+            let waiting = (self.parent_err.is_none() && self.parent.wants_write())
+                || self
+                    .peers
+                    .iter()
+                    .any(|p| matches!(p, PeerSlot::Up(c) if c.wants_write()));
+            if !waiting {
+                return;
+            }
+            if self.sweep(Some(Duration::from_millis(20))).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Collect everything in flight: sweep with a short grace window
+    /// until a full window passes with no new frames, then drain
+    /// `ready`. The grace absorbs bytes a peer flushed just before we
+    /// were told to drain but that the kernel has not delivered yet.
+    fn drain_pending(&mut self) -> Vec<(usize, u32, Vec<u8>)> {
+        loop {
+            let before = self.ready.len();
+            if self.sweep(Some(Duration::from_millis(10))).is_err() {
+                break;
+            }
+            if self.ready.len() == before {
+                break;
+            }
+        }
+        self.ready.drain(..).collect()
+    }
+}
+
+/// Complete an inbound peer handshake: read the dialer's rank hello
+/// (briefly blocking, bounded) and wrap the stream. `None` drops the
+/// connection (garbage hello or a peer that died mid-dial).
+fn greet_peer(s: TcpStream, world: usize) -> Option<(usize, Conn)> {
+    s.set_nonblocking(false).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let rank = read_u32(&mut (&s)).ok()? as usize;
+    if rank >= world {
+        return None;
+    }
+    s.set_read_timeout(None).ok();
+    Some((rank, Conn::new(s).ok()?))
+}
+
+/// A child rank's endpoint.
+///
+/// * **Star**: one TCP connection to the parent router; `send` frames
+///   and writes, `recv` blocks reading the next downward frame. Each
+///   direction is guarded by its own mutex — uncontended in practice,
+///   since a rank is single-threaded.
+/// * **Mesh**: a [`Mesh`] engine — peer-direct connections plus the
+///   parent control plane — behind one mutex.
 pub struct WireTransport<M> {
-    reader: Mutex<BufReader<TcpStream>>,
-    writer: Mutex<TcpStream>,
+    inner: Endpoint,
     _msg: PhantomData<fn() -> M>,
+}
+
+enum Endpoint {
+    Star {
+        reader: Mutex<BufReader<TcpStream>>,
+        writer: Mutex<TcpStream>,
+    },
+    Mesh(Mutex<Mesh>),
 }
 
 impl<M: WireMessage> WireTransport<M> {
     pub(crate) fn new(stream: &TcpStream) -> io::Result<WireTransport<M>> {
         Ok(WireTransport {
-            reader: Mutex::new(BufReader::new(stream.try_clone()?)),
-            writer: Mutex::new(stream.try_clone()?),
+            inner: Endpoint::Star {
+                reader: Mutex::new(BufReader::new(stream.try_clone()?)),
+                writer: Mutex::new(stream.try_clone()?),
+            },
             _msg: PhantomData,
         })
     }
 
-    /// Connect to a router (a [`WireWorld`] parent or a
-    /// [`crate::hub::WireHub`]) listening at `addr` and introduce this
-    /// endpoint as `rank` with the hello frame.
+    /// Connect a **star** endpoint to a router (a [`WireWorld`] parent
+    /// or a [`crate::hub::WireHub`]) listening at `addr` and introduce
+    /// this endpoint as `rank` with the hello frame. Topology-aware
+    /// children should prefer [`WireTransport::connect_env`].
     pub fn connect(addr: &str, rank: usize) -> io::Result<WireTransport<M>> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         (&stream).write_all(&(rank as u32).to_le_bytes())?;
         WireTransport::new(&stream)
     }
+
+    /// Connect the endpoint this child's environment asks for: star or
+    /// mesh, world or hub. Custom child entry points (e.g. `db::serve`
+    /// shards) pair this with [`take_child_env`].
+    pub fn connect_env(env: &ChildEnv) -> io::Result<WireTransport<M>> {
+        match env.topology {
+            WireTopology::Star => WireTransport::connect(&env.addr, env.rank),
+            WireTopology::Mesh => WireTransport::connect_mesh(env),
+        }
+    }
+
+    /// Mesh bootstrap: hello + listener address up to the parent, read
+    /// the rank→address table back, dial every higher-ranked live
+    /// peer; lower ranks dial us (accepted lazily by the event loop).
+    fn connect_mesh(env: &ChildEnv) -> io::Result<WireTransport<M>> {
+        let me = env.rank;
+        let stream = TcpStream::connect(&env.addr)?;
+        stream.set_nodelay(true).ok();
+        (&stream).write_all(&(me as u32).to_le_bytes())?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let my_addr = listener.local_addr()?.to_string();
+        (&stream).write_all(&(my_addr.len() as u32).to_le_bytes())?;
+        (&stream).write_all(my_addr.as_bytes())?;
+
+        // Table: count, then count length-prefixed addresses ("" =
+        // absent/dead — or the hub itself at rank 0).
+        let count = read_u32(&mut (&stream))? as usize;
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = read_u32(&mut (&stream))? as usize;
+            let mut b = vec![0u8; len];
+            (&stream).read_exact(&mut b)?;
+            table.push(
+                String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            );
+        }
+        assert_eq!(count, env.procs, "mesh table size != world size");
+
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new();
+        poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READABLE);
+        let mut peers = Vec::with_capacity(count);
+        for (rank, addr) in table.iter().enumerate() {
+            let slot = if rank == me {
+                PeerSlot::Me
+            } else if rank == 0 && env.hub {
+                PeerSlot::Absent
+            } else if addr.is_empty() {
+                PeerSlot::Dead
+            } else if rank > me {
+                // Dial higher ranks; their listener predates the table.
+                match TcpStream::connect(addr) {
+                    Ok(ps) => {
+                        ps.set_nodelay(true).ok();
+                        if (&ps).write_all(&(me as u32).to_le_bytes()).is_err() {
+                            PeerSlot::Dead
+                        } else {
+                            let conn = Conn::new(ps)?;
+                            poller.register(conn.fd(), rank, Interest::READABLE);
+                            PeerSlot::Up(conn)
+                        }
+                    }
+                    Err(_) => PeerSlot::Dead,
+                }
+            } else {
+                PeerSlot::Pending
+            };
+            peers.push(slot);
+        }
+        let parent = Conn::new(stream)?;
+        poller.register(parent.fd(), TOK_PARENT, Interest::READABLE);
+        Ok(WireTransport {
+            inner: Endpoint::Mesh(Mutex::new(Mesh {
+                me,
+                world: count,
+                hub: env.hub,
+                parent,
+                parent_err: None,
+                listener,
+                poller,
+                peers,
+                ready: VecDeque::new(),
+                scratch: Vec::new(),
+            })),
+            _msg: PhantomData,
+        })
+    }
+
+    fn mesh(&self) -> Option<std::sync::MutexGuard<'_, Mesh>> {
+        match &self.inner {
+            Endpoint::Mesh(m) => Some(m.lock().expect("wire mesh poisoned")),
+            Endpoint::Star { .. } => None,
+        }
+    }
+
+    /// Pump the endpoint until every queued outbound frame has hit the
+    /// kernel (or its peer died). A star endpoint writes blockingly and
+    /// has nothing pending; a mesh endpoint drains its write queues.
+    /// Call before a drain barrier (e.g. reporting "done" in a
+    /// stop/exit protocol) so in-flight peer traffic is really out.
+    pub fn flush_pending(&self) {
+        if let Some(mut m) = self.mesh() {
+            m.flush_pending(Duration::from_secs(10));
+        }
+    }
+
+    /// Collect every message already in flight to this endpoint without
+    /// blocking (undecodable payloads are dropped). Star endpoints
+    /// return nothing — the parent serializes their traffic, so there
+    /// is no cross-socket in-flight window to drain.
+    pub fn drain_pending(&self) -> Vec<Envelope<M>> {
+        match self.mesh() {
+            None => Vec::new(),
+            Some(mut m) => m
+                .drain_pending()
+                .into_iter()
+                .filter_map(|(src, tag, body)| {
+                    M::from_bytes(&body).map(|msg| Envelope { src, tag, msg })
+                })
+                .collect(),
+        }
+    }
+
+    /// Deliver the result frame (plus, on mesh, the self-counted
+    /// traffic stats) to the parent and drain every write queue. The
+    /// last thing a wire child does before exiting.
+    pub(crate) fn finish(&self, result_body: &[u8], stats: TrafficStats) {
+        let mut frame = Vec::with_capacity(5 + result_body.len());
+        frame.push(FRAME_RESULT);
+        frame.extend_from_slice(&(result_body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(result_body);
+        match &self.inner {
+            Endpoint::Star { writer, .. } => {
+                writer
+                    .lock()
+                    .expect("wire writer poisoned")
+                    .write_all(&frame)
+                    .expect("wire child: result");
+            }
+            Endpoint::Mesh(m) => {
+                let mut m = m.lock().expect("wire mesh poisoned");
+                m.parent.queue(&stats_frame(stats));
+                m.parent.queue(&frame);
+                m.update_parent_interest();
+                m.flush_pending(Duration::from_secs(60));
+                assert!(
+                    m.parent_err.is_some() || !m.parent.wants_write(),
+                    "wire child: result undeliverable"
+                );
+            }
+        }
+    }
 }
 
 impl<M: WireMessage> Transport<M> for WireTransport<M> {
-    // The infallible rank API keeps its historical panic behaviour —
-    // a thread-rank world has no sensible way to continue without its
-    // router — but both paths now go through the fallible endpoints so
-    // failure-aware layers (db::serve) can observe a death instead.
+    // The infallible rank API keeps its panic-on-failure contract — a
+    // rank has no sensible way to continue without its world — but the
+    // panic now carries the typed [`TransportError`] instead of
+    // unconditionally blaming the parent router, and both paths go
+    // through the fallible endpoints so failure-aware layers
+    // (db::serve) can observe a death instead.
     fn send(&self, src: usize, dst: usize, tag: u32, msg: M) {
-        self.try_send(src, dst, tag, msg)
-            .expect("wire transport: parent router hung up");
+        if let Err(e) = self.try_send(src, dst, tag, msg) {
+            panic!("wire transport: send from rank {src} to rank {dst}: {e}");
+        }
     }
 
     fn recv(&self) -> Envelope<M> {
         match self.try_recv() {
             Ok(env) => env,
-            Err(TransportError::PeerClosed) => panic!("wire transport: parent closed mid-recv"),
+            Err(TransportError::PeerClosed) => panic!("wire transport: peer closed mid-recv"),
             Err(TransportError::Truncated) => panic!("wire transport: truncated frame"),
             Err(TransportError::Undecodable) => panic!("wire transport: undecodable payload"),
         }
     }
 
     fn try_send(&self, _src: usize, dst: usize, tag: u32, msg: M) -> Result<(), TransportError> {
-        let frame = msg_frame(dst, tag, msg.size_bytes(), &msg.to_bytes());
-        self.writer
-            .lock()
-            .expect("wire writer poisoned")
-            .write_all(&frame)
-            .map_err(|_| TransportError::PeerClosed)
+        match &self.inner {
+            Endpoint::Star { writer, .. } => {
+                let frame = msg_frame(dst, tag, msg.size_bytes(), &msg.to_bytes());
+                writer
+                    .lock()
+                    .expect("wire writer poisoned")
+                    .write_all(&frame)
+                    .map_err(|_| TransportError::PeerClosed)
+            }
+            Endpoint::Mesh(m) => m.lock().expect("wire mesh poisoned").try_send(
+                dst,
+                tag,
+                msg.size_bytes(),
+                &msg.to_bytes(),
+            ),
+        }
     }
 
     fn try_recv(&self) -> Result<Envelope<M>, TransportError> {
-        let mut r = self.reader.lock().expect("wire reader poisoned");
-        // EOF on the first header field is a frame boundary: the peer
-        // hung up cleanly. EOF anywhere later is a torn frame.
-        let src = read_u32(&mut *r).map_err(|_| TransportError::PeerClosed)? as usize;
-        let tag = read_u32(&mut *r).map_err(|_| TransportError::Truncated)?;
-        let body = read_body(&mut *r).map_err(|_| TransportError::Truncated)?;
-        let msg = M::from_bytes(&body).ok_or(TransportError::Undecodable)?;
-        Ok(Envelope { src, tag, msg })
+        match &self.inner {
+            Endpoint::Star { reader, .. } => {
+                let mut r = reader.lock().expect("wire reader poisoned");
+                // EOF on the first header field is a frame boundary:
+                // the peer hung up cleanly. EOF later is a torn frame.
+                let src = read_u32(&mut *r).map_err(|_| TransportError::PeerClosed)? as usize;
+                let tag = read_u32(&mut *r).map_err(|_| TransportError::Truncated)?;
+                let body = read_body(&mut *r).map_err(|_| TransportError::Truncated)?;
+                let msg = M::from_bytes(&body).ok_or(TransportError::Undecodable)?;
+                Ok(Envelope { src, tag, msg })
+            }
+            Endpoint::Mesh(m) => {
+                let (src, tag, body) = m.lock().expect("wire mesh poisoned").try_recv()?;
+                let msg = M::from_bytes(&body).ok_or(TransportError::Undecodable)?;
+                Ok(Envelope { src, tag, msg })
+            }
+        }
     }
 }
 
@@ -446,6 +1112,8 @@ pub(crate) const ENV_RANK: &str = "PDC_WIRE_RANK";
 pub(crate) const ENV_PROCS: &str = "PDC_WIRE_PROCS";
 pub(crate) const ENV_ADDR: &str = "PDC_WIRE_ADDR";
 pub(crate) const ENV_TRACE_DIR: &str = "PDC_WIRE_TRACE_DIR";
+pub(crate) const ENV_TOPO: &str = "PDC_WIRE_TOPO";
+pub(crate) const ENV_HUB: &str = "PDC_WIRE_HUB";
 
 /// What a spawned wire-child process learns from its environment: who
 /// it is, how big the world is, where the router listens, and whether
@@ -463,6 +1131,11 @@ pub struct ChildEnv {
     pub addr: String,
     /// Trace snapshot directory, when the world is traced.
     pub trace_dir: Option<PathBuf>,
+    /// Which topology this world runs.
+    pub topology: WireTopology,
+    /// Whether the parent is a participating [`crate::hub::WireHub`]
+    /// (rank 0 of the world) rather than a pure router.
+    pub hub: bool,
 }
 
 /// In a wire-child process, read **and clear** the child env markers —
@@ -482,7 +1155,21 @@ pub fn take_child_env() -> Option<ChildEnv> {
         .expect("bad wire procs");
     let addr = std::env::var(ENV_ADDR).expect("wire child without addr");
     let trace_dir = std::env::var(ENV_TRACE_DIR).ok().map(PathBuf::from);
-    for k in [ENV_WORLD, ENV_RANK, ENV_PROCS, ENV_ADDR, ENV_TRACE_DIR] {
+    // Spawners that predate the topology marker mean the star protocol.
+    let topology = match std::env::var(ENV_TOPO).as_deref() {
+        Ok("mesh") => WireTopology::Mesh,
+        _ => WireTopology::Star,
+    };
+    let hub = std::env::var(ENV_HUB).is_ok();
+    for k in [
+        ENV_WORLD,
+        ENV_RANK,
+        ENV_PROCS,
+        ENV_ADDR,
+        ENV_TRACE_DIR,
+        ENV_TOPO,
+        ENV_HUB,
+    ] {
         std::env::remove_var(k);
     }
     Some(ChildEnv {
@@ -491,6 +1178,8 @@ pub fn take_child_env() -> Option<ChildEnv> {
         procs,
         addr,
         trace_dir,
+        topology,
+        hub,
     })
 }
 
@@ -503,6 +1192,7 @@ pub(crate) fn spawn_rank_process(
     rank: usize,
     procs: usize,
     addr: &str,
+    hub: bool,
 ) -> io::Result<Child> {
     let exe = std::env::current_exe()?;
     let mut cmd = Command::new(exe);
@@ -511,7 +1201,11 @@ pub(crate) fn spawn_rank_process(
         .env(ENV_RANK, rank.to_string())
         .env(ENV_PROCS, procs.to_string())
         .env(ENV_ADDR, addr)
+        .env(ENV_TOPO, opts.topology.env_value())
         .stdout(Stdio::null());
+    if hub {
+        cmd.env(ENV_HUB, "1");
+    }
     if let Some(dir) = &opts.trace_dir {
         cmd.env(ENV_TRACE_DIR, dir);
     }
@@ -535,6 +1229,9 @@ pub struct WireOptions {
     /// When set, each rank writes a `pdc-trace/2` snapshot here and the
     /// parent merges them into a `pdc-trace/3` [`MergedTrace`].
     pub trace_dir: Option<PathBuf>,
+    /// Star (two-hop via the parent) or the default full mesh
+    /// (peer-direct data, parent as control plane).
+    pub topology: WireTopology,
 }
 
 impl WireOptions {
@@ -552,6 +1249,7 @@ impl WireOptions {
                 "--nocapture".to_string(),
             ],
             trace_dir: None,
+            topology: WireTopology::default(),
         }
     }
 
@@ -563,6 +1261,7 @@ impl WireOptions {
             world_id: world_id.to_string(),
             child_args: args.iter().map(|a| a.to_string()).collect(),
             trace_dir: None,
+            topology: WireTopology::default(),
         }
     }
 
@@ -571,15 +1270,33 @@ impl WireOptions {
         self.trace_dir = Some(dir.into());
         self
     }
+
+    /// Run on the two-hop star topology (the parent forwards all data).
+    pub fn star(mut self) -> WireOptions {
+        self.topology = WireTopology::Star;
+        self
+    }
+
+    /// Run on the full-mesh topology (the default).
+    pub fn mesh(mut self) -> WireOptions {
+        self.topology = WireTopology::Mesh;
+        self
+    }
 }
 
 /// The outcome of a multi-process world run, as seen by the parent.
 pub struct WireRun<R> {
     /// Each rank's return value, in rank order.
     pub results: Vec<R>,
-    /// Traffic counted by the parent router from `modeled` frame
-    /// fields — the same numbers a `LocalTransport` world reports.
+    /// World traffic — the same numbers a `LocalTransport` world
+    /// reports. On the star topology the parent counts `modeled` frame
+    /// fields as it forwards; on the mesh the parent never sees data
+    /// frames, so children report their own totals via `STATS` frames.
     pub stats: TrafficStats,
+    /// Data frames the parent relayed. This is the hop-count witness:
+    /// star forwards every message (`forwarded == stats.messages`, two
+    /// hops each), mesh forwards none (`forwarded == 0`, one hop).
+    pub forwarded: u64,
     /// Merged per-process traces, when [`WireOptions::trace_dir`] was
     /// set.
     pub trace: Option<MergedTrace>,
@@ -637,31 +1354,26 @@ impl WireWorld {
         F: FnOnce(&mut Rank<M, WireTransport<M>>) -> R,
     {
         let env = take_child_env().expect("wire child without env markers");
-        let (rank_id, procs, trace_dir) = (env.rank, env.procs, env.trace_dir);
+        let (rank_id, procs, trace_dir) = (env.rank, env.procs, env.trace_dir.clone());
 
         let transport: WireTransport<M> =
-            WireTransport::connect(&env.addr, rank_id).expect("wire child: connect to parent");
-        let result_stream = transport
-            .writer
-            .lock()
-            .expect("wire writer poisoned")
-            .try_clone()
-            .expect("wire child: clone stream");
+            WireTransport::connect_env(&env).expect("wire child: connect to parent");
         let session = trace_dir.as_ref().map(|_| TraceSession::new());
         if let Some(s) = &session {
             // Rank-local pdc-sync locking records under this rank's id,
             // exactly as a traced thread-rank does.
             trace::install_sync_trace(s.thread(rank_id as u32));
         }
+        let traffic = Arc::new(Traffic::default());
         let mut rank = Rank::new(
             rank_id,
             procs,
             transport,
-            Arc::new(Traffic::default()),
+            Arc::clone(&traffic),
             session.as_ref(),
         );
         let result = f(&mut rank);
-        drop(rank);
+        let transport = rank.into_transport();
         trace::clear_sync_trace();
 
         if let (Some(s), Some(dir)) = (&session, &trace_dir) {
@@ -674,92 +1386,36 @@ impl WireWorld {
             .expect("wire child: write trace snapshot");
         }
 
-        let body = result.to_bytes();
-        let mut frame = Vec::with_capacity(5 + body.len());
-        frame.push(FRAME_RESULT);
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        (&result_stream)
-            .write_all(&frame)
-            .expect("wire child: result");
+        // Result (plus mesh stats), then drain every write queue so no
+        // peer frame queued by `f` is lost to the process exit.
+        transport.finish(&result.to_bytes(), traffic.stats());
         std::process::exit(0);
     }
 
     fn run_parent<R: WireMessage>(opts: &WireOptions) -> WireRun<R> {
         let p = opts.procs;
         assert!(p > 0, "world needs at least one rank");
+        let mesh = opts.topology == WireTopology::Mesh;
         let listener = TcpListener::bind("127.0.0.1:0").expect("wire parent: bind loopback");
         let addr = listener.local_addr().expect("wire parent: local addr");
 
         let mut children: Vec<Child> = (0..p)
             .map(|i| {
-                spawn_rank_process(opts, i, p, &addr.to_string())
+                spawn_rank_process(opts, i, p, &addr.to_string(), false)
                     .expect("wire parent: spawn rank process")
             })
             .collect();
 
-        let socks = Self::accept_ranks(&listener, &mut children);
+        // Strict bootstrap: a symmetric world tolerates no deaths, so
+        // every slot comes back Some.
+        let socks: Vec<TcpStream> =
+            bootstrap_children(&listener, &mut children, 0, p, mesh, false, "wire parent")
+                .into_iter()
+                .map(|s| s.expect("strict bootstrap"))
+                .collect();
 
-        // Star router: one reader and one writer thread per child. A
-        // reader forwards frames into per-destination unbounded queues;
-        // the queue (not the socket) absorbs bursts, so a rank sending
-        // while its peer's TCP buffer is full can never wedge the
-        // router. Writers drain their queue until every reader is done.
-        let traffic = Arc::new(Traffic::default());
-        let mut out_tx: Vec<Sender<Vec<u8>>> = Vec::with_capacity(p);
-        let mut out_rx: Vec<Receiver<Vec<u8>>> = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded();
-            out_tx.push(tx);
-            out_rx.push(rx);
-        }
-        let (res_tx, res_rx) = unbounded::<(usize, Vec<u8>)>();
+        let routed = route_world(socks, mesh);
 
-        let readers: Vec<_> = socks
-            .iter()
-            .enumerate()
-            .map(|(rank, s)| {
-                let stream = s.try_clone().expect("wire parent: clone for reader");
-                let out_tx = out_tx.clone();
-                let traffic = Arc::clone(&traffic);
-                let res_tx = res_tx.clone();
-                std::thread::spawn(move || {
-                    route_from_child(rank, stream, &out_tx, &traffic, &res_tx)
-                })
-            })
-            .collect();
-        drop(out_tx);
-        drop(res_tx);
-
-        let writers: Vec<_> = socks
-            .into_iter()
-            .zip(out_rx)
-            .enumerate()
-            .map(|(rank, (mut stream, rx))| {
-                std::thread::spawn(move || {
-                    for frame in rx {
-                        stream
-                            .write_all(&frame)
-                            .unwrap_or_else(|e| panic!("wire: deliver to rank {rank}: {e}"));
-                    }
-                })
-            })
-            .collect();
-
-        let mut results: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
-        for _ in 0..p {
-            let (rank, body) = res_rx
-                .recv_timeout(Duration::from_secs(300))
-                .expect("wire world stalled waiting for rank results");
-            assert!(results[rank].is_none(), "duplicate result from rank {rank}");
-            results[rank] = Some(body);
-        }
-        for h in readers {
-            h.join().expect("wire reader thread panicked");
-        }
-        for h in writers {
-            h.join().expect("wire writer thread panicked");
-        }
         for (i, c) in children.iter_mut().enumerate() {
             let status = c.wait().expect("wire parent: wait for rank");
             assert!(status.success(), "wire rank {i} exited with {status}");
@@ -777,7 +1433,8 @@ impl WireWorld {
                 .collect();
             MergedTrace::merge(parts)
         });
-        let results = results
+        let results = routed
+            .results
             .into_iter()
             .enumerate()
             .map(|(i, b)| {
@@ -787,104 +1444,296 @@ impl WireWorld {
             .collect();
         WireRun {
             results,
-            stats: traffic.stats(),
+            stats: routed.stats,
+            forwarded: routed.forwarded,
             trace,
         }
     }
+}
 
-    /// Accept `children.len()` hello frames, failing fast (instead of
-    /// hanging) when a child dies before connecting — the usual cause
-    /// is `child_args` that don't re-enter the calling code path.
-    fn accept_ranks(listener: &TcpListener, children: &mut [Child]) -> Vec<TcpStream> {
-        let p = children.len();
-        listener
-            .set_nonblocking(true)
-            .expect("wire parent: nonblocking listener");
-        let deadline = Instant::now() + Duration::from_secs(60);
-        let mut socks: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
-        let mut connected = 0;
-        while connected < p {
-            match listener.accept() {
-                Ok((s, _)) => {
-                    s.set_nonblocking(false)
-                        .expect("wire parent: blocking conn");
-                    s.set_nodelay(true).ok();
-                    let mut hello = [0u8; 4];
-                    (&s).read_exact(&mut hello)
-                        .expect("wire parent: read hello");
-                    let r = u32::from_le_bytes(hello) as usize;
-                    assert!(r < p, "hello from out-of-range rank {r}");
-                    assert!(socks[r].is_none(), "duplicate hello from rank {r}");
-                    socks[r] = Some(s);
-                    connected += 1;
+/// What [`route_world`] hands back to the parent.
+struct Routed {
+    results: Vec<Option<Vec<u8>>>,
+    stats: TrafficStats,
+    forwarded: u64,
+}
+
+/// The symmetric parent's event loop: all child connections on one
+/// [`Poller`]. On the star topology this is the router — `MSG` frames
+/// are re-framed with the verified source (a child cannot spoof `src`)
+/// and queued to the destination, with userspace write queues absorbing
+/// bursts exactly like the old per-child writer threads' unbounded
+/// channels did. On the mesh it is a pure control plane: a data frame
+/// arriving here is a routing bug and panics. Either way the loop ends
+/// only when every result is in **and every write queue is empty** —
+/// drain completion waits on the queues, so a rank exiting cannot strand
+/// frames queued toward a slower peer.
+fn route_world(socks: Vec<TcpStream>, mesh: bool) -> Routed {
+    let p = socks.len();
+    let mut poller = Poller::new();
+    let mut conns: Vec<Option<Conn>> = socks
+        .into_iter()
+        .map(|s| Some(Conn::new(s).expect("wire parent: conn")))
+        .collect();
+    for (r, c) in conns.iter().enumerate() {
+        poller.register(c.as_ref().expect("fresh conn").fd(), r, Interest::READABLE);
+    }
+    let mut results: Vec<Option<Vec<u8>>> = (0..p).map(|_| None).collect();
+    let mut done = 0;
+    let fwd_traffic = Traffic::default(); // star: counted while forwarding
+    let mut reported = TrafficStats {
+        messages: 0,
+        bytes: 0,
+    }; // mesh: summed from STATS frames
+    let mut forwarded = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut events: Vec<Event> = Vec::new();
+    let mut parsed: Vec<ChildFrame> = Vec::new();
+
+    while done < p || conns.iter().flatten().any(Conn::wants_write) {
+        assert!(
+            Instant::now() < deadline,
+            "wire world stalled waiting for rank results"
+        );
+        poller
+            .poll(&mut events, Some(Duration::from_millis(100)))
+            .expect("wire parent: poll");
+        for ev in events.iter().copied() {
+            let r = ev.token;
+            if ev.writable {
+                if let Some(c) = conns[r].as_mut() {
+                    c.flush()
+                        .unwrap_or_else(|e| panic!("wire: deliver to rank {r}: {e}"));
+                    if !c.wants_write() {
+                        poller.reregister(r, Interest::READABLE);
+                    }
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    for (i, c) in children.iter_mut().enumerate() {
-                        if let Some(status) = c.try_wait().expect("wire parent: try_wait") {
-                            panic!(
-                                "wire rank {i} exited ({status}) before connecting; \
-                                 check that WireOptions::child_args re-enter this world"
-                            );
+            }
+            if !ev.readable {
+                continue;
+            }
+            let Some(c) = conns[r].as_mut() else { continue };
+            c.read_ready()
+                .unwrap_or_else(|e| panic!("wire: read from rank {r}: {e}"));
+            // Parse first, dispatch second: forwarding may need a
+            // mutable borrow of any destination conn, including r's own
+            // (a star rank may send to itself).
+            parsed.clear();
+            loop {
+                match parse_child_frame(c.buffered()) {
+                    Ok(Some((n, frame))) => {
+                        c.consume(n);
+                        parsed.push(frame);
+                    }
+                    Ok(None) => break,
+                    Err(k) => panic!("wire: unknown frame kind {k} from rank {r}"),
+                }
+            }
+            for frame in parsed.drain(..) {
+                match frame {
+                    ChildFrame::Msg {
+                        dst,
+                        tag,
+                        modeled,
+                        body,
+                    } => {
+                        assert!(dst < p, "rank {r} sent to bad rank {dst}");
+                        assert!(
+                            !mesh,
+                            "wire: data frame from rank {r} on the mesh control plane"
+                        );
+                        fwd_traffic.count(1, modeled);
+                        forwarded += 1;
+                        let frame = down_frame(r, tag, &body);
+                        let dst_conn = conns[dst]
+                            .as_mut()
+                            .unwrap_or_else(|| panic!("wire: deliver to rank {dst}: peer exited"));
+                        dst_conn.queue(&frame);
+                        dst_conn
+                            .flush()
+                            .unwrap_or_else(|e| panic!("wire: deliver to rank {dst}: {e}"));
+                        if dst_conn.wants_write() {
+                            poller.reregister(dst, Interest::BOTH);
                         }
                     }
-                    assert!(
-                        Instant::now() < deadline,
-                        "wire ranks failed to connect within 60s"
-                    );
-                    std::thread::sleep(Duration::from_millis(2));
+                    ChildFrame::Result(body) => {
+                        assert!(results[r].is_none(), "duplicate result from rank {r}");
+                        results[r] = Some(body);
+                        done += 1;
+                    }
+                    ChildFrame::Stats(s) => {
+                        reported.messages += s.messages;
+                        reported.bytes += s.bytes;
+                    }
                 }
-                Err(e) => panic!("wire parent: accept: {e}"),
+            }
+            let hung_up = conns[r].as_ref().is_some_and(Conn::is_eof);
+            if hung_up {
+                let c = conns[r].as_ref().expect("checked above");
+                assert!(
+                    c.buffered().is_empty(),
+                    "wire: torn trailing frame from rank {r}"
+                );
+                assert!(
+                    results[r].is_some(),
+                    "wire rank {r} hung up before its result"
+                );
+                assert!(
+                    !c.wants_write(),
+                    "wire: rank {r} exited with undelivered frames"
+                );
+                poller.deregister(r);
+                conns[r] = None;
             }
         }
-        socks
-            .into_iter()
-            .map(|s| s.expect("all connected"))
-            .collect()
+    }
+    Routed {
+        results,
+        stats: if mesh { reported } else { fwd_traffic.stats() },
+        forwarded,
     }
 }
 
-/// Parent-side reader loop for one child: forward `MSG` frames to the
-/// destination's queue (re-framed with the verified source rank, so a
-/// child cannot spoof `src`), surface the `RESULT` frame, stop at EOF.
-fn route_from_child(
-    rank: usize,
-    stream: TcpStream,
-    out_tx: &[Sender<Vec<u8>>],
-    traffic: &Traffic,
-    res_tx: &Sender<(usize, Vec<u8>)>,
-) {
-    let mut r = BufReader::new(stream);
-    loop {
-        let mut kind = [0u8; 1];
-        match r.read_exact(&mut kind) {
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
-            Err(e) => panic!("wire: read from rank {rank}: {e}"),
-            Ok(()) => {}
-        }
-        match kind[0] {
-            FRAME_MSG => {
-                let dst = read_u32(&mut r).expect("wire: truncated dst") as usize;
-                let tag = read_u32(&mut r).expect("wire: truncated tag");
-                let modeled = read_u64(&mut r).expect("wire: truncated size");
-                let body = read_body(&mut r).expect("wire: truncated payload");
-                assert!(dst < out_tx.len(), "rank {rank} sent to bad rank {dst}");
-                traffic.count(1, modeled);
-                let mut frame = Vec::with_capacity(12 + body.len());
-                frame.extend_from_slice(&(rank as u32).to_le_bytes());
-                frame.extend_from_slice(&tag.to_le_bytes());
-                frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-                frame.extend_from_slice(&body);
-                out_tx[dst]
-                    .send(frame)
-                    .expect("wire: destination writer gone");
+/// Shared parent/hub bootstrap: accept one hello per child (plus, on
+/// mesh, its peer-listener address), then broadcast the rank→address
+/// table. `base_rank` is the rank of `children[0]` (0 for a symmetric
+/// world, 1 for a hub); `world` the full world size the table covers.
+///
+/// With `tolerant` set, a child that dies before or **during** its
+/// handshake gets a `None` slot (its table entry stays empty, so peers
+/// mark it dead instead of dialing) — the caller turns that into a
+/// `Down` event. Without it, any death is a startup panic, same policy
+/// as the historical accept loops.
+pub(crate) fn bootstrap_children(
+    listener: &TcpListener,
+    children: &mut [Child],
+    base_rank: usize,
+    world: usize,
+    mesh: bool,
+    tolerant: bool,
+    who: &str,
+) -> Vec<Option<TcpStream>> {
+    let p = children.len();
+    listener
+        .set_nonblocking(true)
+        .unwrap_or_else(|e| panic!("{who}: nonblocking listener: {e}"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut socks: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+    let mut addrs: Vec<String> = vec![String::new(); p];
+    let mut dead: Vec<bool> = vec![false; p];
+    let mut settled = 0;
+    while settled < p {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)
+                    .unwrap_or_else(|e| panic!("{who}: blocking conn: {e}"));
+                s.set_nodelay(true).ok();
+                s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                let Ok(hello) = read_u32(&mut (&s)) else {
+                    // Died after connecting, before the hello: the
+                    // try_wait sweep below will claim this child.
+                    continue;
+                };
+                let r = hello as usize;
+                assert!(
+                    r >= base_rank && r < base_rank + p,
+                    "{who}: hello from out-of-range rank {r}"
+                );
+                let i = r - base_rank;
+                assert!(
+                    socks[i].is_none() && !dead[i],
+                    "{who}: duplicate hello from rank {r}"
+                );
+                if mesh {
+                    match read_peer_addr(&s) {
+                        Ok(a) => addrs[i] = a,
+                        Err(e) => {
+                            // Mid-handshake death (e.g. SIGKILL between
+                            // hello and address).
+                            if !tolerant {
+                                panic!("{who}: rank {r} died mid-handshake: {e}");
+                            }
+                            dead[i] = true;
+                            settled += 1;
+                            continue;
+                        }
+                    }
+                }
+                s.set_read_timeout(None).ok();
+                socks[i] = Some(s);
+                settled += 1;
             }
-            FRAME_RESULT => {
-                let body = read_body(&mut r).expect("wire: truncated result");
-                res_tx.send((rank, body)).expect("wire: result sink gone");
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                for (i, c) in children.iter_mut().enumerate() {
+                    if socks[i].is_none() && !dead[i] {
+                        if let Some(status) = c
+                            .try_wait()
+                            .unwrap_or_else(|e| panic!("{who}: try_wait: {e}"))
+                        {
+                            if !tolerant {
+                                panic!(
+                                    "{who}: rank {} exited ({status}) before connecting; \
+                                     check that WireOptions::child_args re-enter this world",
+                                    base_rank + i
+                                );
+                            }
+                            dead[i] = true;
+                            settled += 1;
+                        }
+                    }
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "{who}: ranks failed to connect within 60s"
+                );
+                std::thread::sleep(Duration::from_millis(2));
             }
-            k => panic!("wire: unknown frame kind {k} from rank {rank}"),
+            Err(e) => panic!("{who}: accept: {e}"),
         }
     }
+    if mesh {
+        let mut table = Vec::new();
+        table.extend_from_slice(&(world as u32).to_le_bytes());
+        for rank in 0..world {
+            let a: &str = if rank >= base_rank && rank - base_rank < p {
+                &addrs[rank - base_rank]
+            } else {
+                "" // the hub's own rank 0 slot
+            };
+            table.extend_from_slice(&(a.len() as u32).to_le_bytes());
+            table.extend_from_slice(a.as_bytes());
+        }
+        for i in 0..p {
+            let failed = match &socks[i] {
+                Some(s) => (&mut &*s).write_all(&table).is_err(),
+                None => false,
+            };
+            if failed {
+                if !tolerant {
+                    panic!(
+                        "{who}: rank {} died receiving the mesh table",
+                        base_rank + i
+                    );
+                }
+                socks[i] = None;
+                dead[i] = true;
+            }
+        }
+    }
+    socks
+}
+
+fn read_peer_addr(s: &TcpStream) -> io::Result<String> {
+    let len = read_u32(&mut (&*s))? as usize;
+    if len > 256 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized peer address",
+        ));
+    }
+    let mut b = vec![0u8; len];
+    (&*s).read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -1003,7 +1852,100 @@ mod tests {
         assert_eq!(run.results, vec![43, 42]);
         assert_eq!(run.stats.messages, 2);
         assert_eq!(run.stats.bytes, 16, "modeled bytes, same as local");
+        assert_eq!(run.forwarded, 0, "mesh data never crosses the parent");
         assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn wire_star_topology_still_routes_through_the_parent() {
+        // Regression pin for the legacy topology: identical results and
+        // counts, but every data frame takes the two-hop path.
+        let opts = WireOptions::for_test(
+            2,
+            "transport::tests::wire_star_topology_still_routes_through_the_parent",
+        )
+        .star();
+        let run = WireWorld::run(&opts, |r: &mut Rank<u64, WireTransport<u64>>| {
+            if r.id() == 0 {
+                r.send(1, 0, 42);
+                r.recv(1, 0)
+            } else {
+                let v = r.recv(0, 0);
+                r.send(0, 0, v + 1);
+                v
+            }
+        });
+        assert_eq!(run.results, vec![43, 42]);
+        assert_eq!(run.stats.messages, 2);
+        assert_eq!(run.stats.bytes, 16);
+        assert_eq!(
+            run.forwarded, run.stats.messages,
+            "star forwards every data frame through the parent"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wire transport: send from rank 7 to rank 0")]
+    fn send_to_closed_peer_panics_with_context_not_expect() {
+        // Satellite pin: the infallible Transport::send must surface a
+        // dead router as a contextual panic routed through the typed
+        // error path — not the old `expect("parent router hung up")`.
+        let (t, server) = loopback_pair();
+        drop(server);
+        for _ in 0..2000 {
+            t.send(7, 0, 1, 99);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        unreachable!("send to a closed peer never panicked");
+    }
+
+    fn drain_world(opts: &WireOptions) {
+        const K: u64 = 50;
+        let run = WireWorld::run(opts, |r: &mut Rank<u64, WireTransport<u64>>| {
+            if r.id() == 1 {
+                // Fire a burst and exit immediately: every frame is
+                // queued (or in flight) when this rank's process dies.
+                for i in 0..K {
+                    r.send(0, 3, i);
+                }
+                0
+            } else {
+                // Give the sender time to be long gone before reading.
+                std::thread::sleep(Duration::from_millis(200));
+                (0..K).map(|_| r.recv(1, 3)).sum()
+            }
+        });
+        assert_eq!(
+            run.results[0],
+            (0..K).sum::<u64>(),
+            "a queued frame was dropped"
+        );
+    }
+
+    #[test]
+    fn wire_drain_delivers_queued_frames_after_sender_exit() {
+        // Satellite pin: shutdown may not race the write queues — every
+        // frame queued before a rank exits must still be delivered, on
+        // both topologies (the parent's queue on star, the child's own
+        // peer queue flushed by `finish` on mesh).
+        let path = "transport::tests::wire_drain_delivers_queued_frames_after_sender_exit";
+        let star = WireOptions {
+            world_id: format!("{path}#star"),
+            ..WireOptions::for_test(2, path)
+        }
+        .star();
+        let mesh = WireOptions {
+            world_id: format!("{path}#mesh"),
+            ..WireOptions::for_test(2, path)
+        };
+        if let Some(id) = WireWorld::child_world_id() {
+            if id == star.world_id {
+                drain_world(&star);
+            }
+            drain_world(&mesh);
+        }
+        drain_world(&star);
+        drain_world(&mesh);
     }
 
     #[test]
@@ -1121,6 +2063,10 @@ mod tests {
             + cost::ring_allreduce_msgs(p as u64)
             + cost::allgather_msgs(p as u64); // alltoall: p(p−1)
         assert_eq!(run.stats.messages, want);
+        assert_eq!(
+            run.forwarded, 0,
+            "acceptance witness: on the mesh every child↔child message is one hop"
+        );
     }
 
     #[test]

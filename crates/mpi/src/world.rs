@@ -182,6 +182,13 @@ impl<M: Payload, T: Transport<M>> Rank<M, T> {
         }
     }
 
+    /// Tear down the rank endpoint and recover its transport — a wire
+    /// child uses this to deliver its result and drain write queues
+    /// after the rank body returns.
+    pub(crate) fn into_transport(self) -> T {
+        self.transport
+    }
+
     /// This rank's id in `0..size`.
     pub fn id(&self) -> usize {
         self.id
