@@ -1,0 +1,230 @@
+//! Per-event dependence queries: which trace events *conflict*, i.e.
+//! cannot be reordered without possibly changing the behaviour of the
+//! execution.
+//!
+//! The verdict pipeline ([`crate::analyze_events`]) answers "was this
+//! schedule correct?"; this module exposes the underlying dependence
+//! relation as a reusable primitive, so tools that reason *about
+//! schedules* — most importantly `pdc-check`'s dynamic partial-order
+//! reduction — share one definition of independence with the HB race
+//! detector instead of re-deriving their own.
+//!
+//! Two events are dependent when they touch the same resource and at
+//! least one side mutates or transfers it. The resource vocabulary
+//! ([`Access`]) is deliberately coarser than the HB rules: it only has
+//! to be *sound* (never call a dependent pair independent), because a
+//! spurious conflict merely costs a DPOR exploration branch, while a
+//! missed one would break the reduction's proof.
+
+use pdc_core::trace::{Event, EventKind};
+
+/// A resource touched by one event or scheduler step. Conflicts
+/// between accesses ([`accesses_conflict`]) define the dependence
+/// relation used by partial-order reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A shared variable; `write` distinguishes mutation from
+    /// observation (two reads of one variable are independent).
+    Var {
+        /// Caller-chosen variable id (the `var` payload of
+        /// `read`/`write` events).
+        id: u64,
+        /// Whether the access mutates the variable.
+        write: bool,
+    },
+    /// A synchronisation site (mutex, rwlock, semaphore, condvar,
+    /// barrier, …): acquires, releases, waits, signals and failed-probe
+    /// spins on the same site all conflict.
+    Site(u64),
+    /// A probe of an unidentified site (a `spin_wait` with no site id).
+    /// Conservatively conflicts with every [`Access::Site`] and with
+    /// itself.
+    AnySite,
+    /// An in-process channel endpoint: sends and receives on the same
+    /// channel conflict (FIFO order is behaviour).
+    Channel(u64),
+    /// A published causal-history handle (`fork`/`join` pairing).
+    Handle(u64),
+    /// A message operation with no stable channel identity (MPI-style
+    /// `send`/`recv` paired by actor). Conservatively conflicts with
+    /// every other such operation.
+    Message,
+    /// A work-stealing pool queue operation (submit, steal, pop).
+    /// Conservatively conflicts with every other pool queue operation.
+    PoolQueue,
+    /// A thread park token: parking and unparking the same task
+    /// conflict.
+    ParkToken(u32),
+    /// Task termination: the exiting task's final step and any step a
+    /// joiner makes observing that exit. Exit/join pairs order the
+    /// joiner *after* the exit in every schedule, so these conflicts
+    /// are happens-before edges but can never be reversed.
+    TaskExit(u32),
+}
+
+impl Access {
+    /// Whether this access can only ever order steps, never be
+    /// reversed: a join cannot be scheduled before the exit it waits
+    /// for, and a `join` edge cannot adopt a causal history before the
+    /// paired `fork` published it (handle ids are unique per pairing),
+    /// so no alternative interleaving exists to explore.
+    pub fn irreversible(&self) -> bool {
+        matches!(self, Access::TaskExit(_) | Access::Handle(_))
+    }
+}
+
+/// The resources one trace event touches. Events that carry no
+/// cross-thread ordering (counters, phase marks, kernel launches)
+/// return an empty list and are independent of everything.
+pub fn event_accesses(e: &Event) -> Vec<Access> {
+    match e.kind {
+        EventKind::Read => vec![Access::Var {
+            id: e.a,
+            write: false,
+        }],
+        EventKind::Write => vec![Access::Var {
+            id: e.a,
+            write: true,
+        }],
+        EventKind::Acquire | EventKind::Release | EventKind::Wait | EventKind::Signal => {
+            vec![Access::Site(e.a)]
+        }
+        EventKind::Fork | EventKind::Join => vec![Access::Handle(e.a)],
+        EventKind::ChanSend | EventKind::ChanRecv => vec![Access::Channel(e.a)],
+        EventKind::Send | EventKind::Recv => vec![Access::Message],
+        EventKind::Spawn | EventKind::Steal => vec![Access::PoolQueue],
+        EventKind::Barrier
+        | EventKind::Lock
+        | EventKind::Phase
+        | EventKind::Mark
+        | EventKind::Kernel
+        | EventKind::CollBegin
+        | EventKind::CollEnd => Vec::new(),
+    }
+}
+
+/// Whether two accesses conflict (touch the same resource with at
+/// least one mutating/transferring side).
+pub fn accesses_conflict(a: &Access, b: &Access) -> bool {
+    match (a, b) {
+        (Access::Var { id: x, write: wx }, Access::Var { id: y, write: wy }) => {
+            x == y && (*wx || *wy)
+        }
+        (Access::Site(x), Access::Site(y)) => x == y,
+        (Access::AnySite, Access::Site(_))
+        | (Access::Site(_), Access::AnySite)
+        | (Access::AnySite, Access::AnySite) => true,
+        (Access::Channel(x), Access::Channel(y)) => x == y,
+        (Access::Handle(x), Access::Handle(y)) => x == y,
+        (Access::Message, Access::Message) => true,
+        (Access::PoolQueue, Access::PoolQueue) => true,
+        (Access::ParkToken(x), Access::ParkToken(y)) => x == y,
+        (Access::TaskExit(x), Access::TaskExit(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Whether two footprints (access lists) conflict.
+pub fn footprints_conflict(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| accesses_conflict(x, y)))
+}
+
+/// Whether two footprints conflict through at least one *reversible*
+/// access pair — i.e. whether reordering the two steps could actually
+/// produce a different execution. Exit/join conflicts order steps but
+/// cannot be flipped, so they never justify a backtrack point.
+pub fn footprints_race(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| {
+        b.iter()
+            .any(|y| accesses_conflict(x, y) && !(x.irreversible() && y.irreversible()))
+    })
+}
+
+/// Whether two events are dependent: same actor (program order), or
+/// conflicting resource footprints. This is the per-event dependence
+/// query the DPOR layer builds its relation from.
+pub fn events_dependent(a: &Event, b: &Event) -> bool {
+    a.actor == b.actor || footprints_conflict(&event_accesses(a), &event_accesses(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, actor: u32, a: u64) -> Event {
+        Event {
+            ts: 0,
+            actor,
+            kind,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn writes_conflict_reads_of_same_var_only() {
+        let w = ev(EventKind::Write, 0, 7);
+        let r_same = ev(EventKind::Read, 1, 7);
+        let r_other = ev(EventKind::Read, 1, 8);
+        assert!(events_dependent(&w, &r_same));
+        assert!(!events_dependent(&w, &r_other));
+        // Two reads of the same variable are independent.
+        let r2 = ev(EventKind::Read, 2, 7);
+        assert!(!events_dependent(&r_same, &r2));
+    }
+
+    #[test]
+    fn same_actor_is_always_dependent() {
+        let a = ev(EventKind::Read, 3, 1);
+        let b = ev(EventKind::Kernel, 3, 99);
+        assert!(events_dependent(&a, &b), "program order is dependence");
+    }
+
+    #[test]
+    fn sites_channels_and_handles_pair_by_id() {
+        assert!(events_dependent(
+            &ev(EventKind::Acquire, 0, 5),
+            &ev(EventKind::Release, 1, 5)
+        ));
+        assert!(!events_dependent(
+            &ev(EventKind::Acquire, 0, 5),
+            &ev(EventKind::Release, 1, 6)
+        ));
+        assert!(events_dependent(
+            &ev(EventKind::ChanSend, 0, 9),
+            &ev(EventKind::ChanRecv, 1, 9)
+        ));
+        assert!(!events_dependent(
+            &ev(EventKind::ChanSend, 0, 9),
+            &ev(EventKind::Acquire, 1, 9)
+        ));
+        assert!(events_dependent(
+            &ev(EventKind::Fork, 0, 4),
+            &ev(EventKind::Join, 1, 4)
+        ));
+    }
+
+    #[test]
+    fn task_exit_conflicts_are_irreversible() {
+        let a = [Access::TaskExit(2)];
+        let b = [Access::TaskExit(2)];
+        assert!(footprints_conflict(&a, &b), "exit/join still orders steps");
+        assert!(!footprints_race(&a, &b), "but can never be reversed");
+        let c = [Access::TaskExit(2), Access::Site(1)];
+        let d = [Access::TaskExit(2), Access::Site(1)];
+        assert!(
+            footprints_race(&c, &d),
+            "a reversible pair revives the race"
+        );
+    }
+
+    #[test]
+    fn any_site_is_conservative() {
+        assert!(accesses_conflict(&Access::AnySite, &Access::Site(3)));
+        assert!(accesses_conflict(&Access::AnySite, &Access::AnySite));
+        assert!(!accesses_conflict(
+            &Access::AnySite,
+            &Access::Var { id: 3, write: true }
+        ));
+    }
+}

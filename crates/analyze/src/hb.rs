@@ -61,6 +61,10 @@ pub struct HbDetector {
     fork_history: HashMap<u64, VectorClock>,
     /// Per (src, dst) FIFO of sender clocks awaiting a matching recv.
     msgs: HashMap<(u32, u32), VecDeque<VectorClock>>,
+    /// Per-channel FIFO of sender clocks: the n-th `chan_recv` on a
+    /// channel adopts the n-th `chan_send`'s history, regardless of
+    /// which actors performed them.
+    chan_msgs: HashMap<u64, VecDeque<VectorClock>>,
     vars: HashMap<u64, VarState>,
     races: Vec<Defect>,
 }
@@ -79,6 +83,7 @@ impl HbDetector {
             lock_release: HashMap::new(),
             fork_history: HashMap::new(),
             msgs: HashMap::new(),
+            chan_msgs: HashMap::new(),
             vars: HashMap::new(),
             races: Vec::new(),
         }
@@ -141,6 +146,20 @@ impl HbDetector {
             }
             EventKind::Recv => {
                 if let Some(q) = self.msgs.get_mut(&(e.a as u32, actor)) {
+                    if let Some(snd) = q.pop_front() {
+                        self.clock_mut(actor).join(&snd);
+                    }
+                }
+            }
+            // In-process channels pair FIFO per channel id (`e.a`),
+            // not per actor pair: a receiver needn't know who sent.
+            EventKind::ChanSend => {
+                let ct = self.clock_mut(actor).clone();
+                self.chan_msgs.entry(e.a).or_default().push_back(ct);
+                self.clock_mut(actor).tick(actor);
+            }
+            EventKind::ChanRecv => {
+                if let Some(q) = self.chan_msgs.get_mut(&e.a) {
                     if let Some(snd) = q.pop_front() {
                         self.clock_mut(actor).join(&snd);
                     }
@@ -374,6 +393,43 @@ mod tests {
             ev(5, 1, EventKind::Write, V, 0),
         ]);
         assert_eq!(races.len(), 1);
+    }
+
+    #[test]
+    fn channel_edges_pair_fifo_per_channel() {
+        // Sender publishes, receiver adopts: the write handoff through
+        // the channel is ordered even though the actors never share a
+        // lock — and the pairing is by channel id, not actor pair.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::ChanSend, L, 0),
+            ev(3, 1, EventKind::ChanRecv, L, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
+        // A recv on a *different* channel adopts nothing: still a race.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::Write, V, 0),
+            ev(2, 0, EventKind::ChanSend, L, 0),
+            ev(3, 1, EventKind::ChanRecv, L + 1, 0),
+            ev(4, 1, EventKind::Write, V, 0),
+        ]);
+        assert_eq!(races.len(), 1, "{races:?}");
+    }
+
+    #[test]
+    fn chan_fifo_matches_nth_recv_to_nth_send() {
+        // Second recv adopts the second send's history, so the write
+        // between the sends is ordered before it.
+        let races = detect_races(&[
+            ev(1, 0, EventKind::ChanSend, L, 0),
+            ev(2, 0, EventKind::Write, V, 0),
+            ev(3, 0, EventKind::ChanSend, L, 1),
+            ev(4, 1, EventKind::ChanRecv, L, 0),
+            ev(5, 1, EventKind::ChanRecv, L, 1),
+            ev(6, 1, EventKind::Write, V, 0),
+        ]);
+        assert!(races.is_empty(), "{races:?}");
     }
 
     #[test]

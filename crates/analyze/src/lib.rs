@@ -38,6 +38,7 @@
 //! assert!(fixed.clean());
 //! ```
 
+pub mod deps;
 pub mod fixtures;
 pub mod hb;
 pub mod lockorder;

@@ -47,7 +47,9 @@ fn namespace_local_ids(process: u32, e: &mut Event) {
         | EventKind::Fork
         | EventKind::Join
         | EventKind::Wait
-        | EventKind::Signal => {
+        | EventKind::Signal
+        | EventKind::ChanSend
+        | EventKind::ChanRecv => {
             e.a = ((process as u64) << PROCESS_ID_SHIFT).wrapping_add(e.a);
         }
         // Ranks, collective codes, byte counts, sequence numbers: global

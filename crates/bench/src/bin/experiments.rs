@@ -577,7 +577,7 @@ fn run_shard_gate() {
 }
 
 /// `--check`: the model-checker soundness gate, CI's check-gate step.
-/// Three verdicts, each printed as a greppable line and any mismatch
+/// Seven verdicts, each printed as a greppable line and any mismatch
 /// exits non-zero:
 ///
 /// 1. PCT exploration must flag the racy counter fixture within 1000
@@ -587,13 +587,25 @@ fn run_shard_gate() {
 ///    alarm" direction);
 /// 3. the minimized failing schedule is written to
 ///    `target/pdc-check/minimal.schedule.json`, parsed back from disk,
-///    and replayed — the replay must reproduce the race verdict and a
-///    byte-identical canonical trace (the record/replay contract).
+///    and strict-replayed — the replay must reproduce the race verdict
+///    and a byte-identical canonical trace (the record/replay
+///    contract);
+/// 4. DPOR must prove the same fixed counter clean with the same
+///    `complete` certificate in *strictly fewer* schedules than DFS
+///    (the reduction is real, not a renamed DFS);
+/// 5. DPOR must still flag the racy counter (pruning never drops a
+///    behaviour class);
+/// 6. DPOR must still find the AB-BA deadlock precisely;
+/// 7. DPOR must finish the independent-counters body `complete` at a
+///    budget where DFS provably cannot (the scaling claim).
 ///
 /// The minimal run's analyze report and HTML timeline land next to the
 /// schedule for artifact upload.
 fn run_check_gate() {
-    use pdc_check::{explore_dfs, explore_pct, fixtures as check_fx, replay, Config, Schedule};
+    use pdc_check::{
+        explore_dfs, explore_dpor, explore_pct, fixtures as check_fx, replay_strict, Config,
+        Outcome,
+    };
 
     let mut failures: Vec<String> = Vec::new();
     let cfg = Config {
@@ -673,24 +685,96 @@ fn run_check_gate() {
         .expect("write minimal timeline");
 
         let reread = std::fs::read_to_string(&sched_path).expect("re-read minimal schedule");
-        match Schedule::parse(&reread) {
-            Ok(parsed) => {
-                let rerun = replay(check_fx::racy_counter_body(2), &parsed, &cfg);
-                let verdict_ok =
-                    rerun.failed(&cfg) && rerun.report.count_kind(DefectKind::DataRace) >= 1;
-                let trace_ok = rerun.trace_jsonl == found.minimal_run.trace_jsonl;
-                if verdict_ok && trace_ok {
-                    println!(
-                        "check gate: minimal schedule replay reproduced the race verdict byte-identically"
-                    );
-                } else {
-                    failures.push(format!(
-                        "replay of the written schedule diverged: verdict_ok={verdict_ok}, trace_ok={trace_ok}"
-                    ));
+        match pdc_check::Schedule::parse(&reread) {
+            // Strict replay: a schedule naming tasks the body never
+            // spawned is a typed error here, not a mid-replay panic.
+            Ok(parsed) => match replay_strict(check_fx::racy_counter_body(2), &parsed, &cfg) {
+                Ok(rerun) => {
+                    let verdict_ok =
+                        rerun.failed(&cfg) && rerun.report.count_kind(DefectKind::DataRace) >= 1;
+                    let trace_ok = rerun.trace_jsonl == found.minimal_run.trace_jsonl;
+                    if verdict_ok && trace_ok {
+                        println!(
+                            "check gate: minimal schedule replay reproduced the race verdict byte-identically"
+                        );
+                    } else {
+                        failures.push(format!(
+                            "replay of the written schedule diverged: verdict_ok={verdict_ok}, trace_ok={trace_ok}"
+                        ));
+                    }
                 }
-            }
+                Err(e) => failures.push(format!("strict replay rejected the schedule: {e}")),
+            },
             Err(e) => failures.push(format!("written schedule failed to parse: {e}")),
         }
+    }
+
+    // Directions 4-7: the partial-order reduction, both ways. A
+    // reduction that misses bugs is unsound; one that runs as many
+    // schedules as DFS is not a reduction.
+    let dpor_fixed = explore_dpor(check_fx::fixed_counter_body(2, 1), &dfs_cfg);
+    if dpor_fixed.complete && dpor_fixed.passed() && dpor_fixed.schedules_run < fixed.schedules_run
+    {
+        println!(
+            "check gate: dpor proves fixed counter clean in strictly fewer schedules than dfs ({} vs {}, {} sleep-set prunes)",
+            dpor_fixed.schedules_run, fixed.schedules_run, dpor_fixed.pruned
+        );
+    } else {
+        failures.push(format!(
+            "dpor on the fixed counter: complete={}, passed={}, schedules {} vs dfs {}",
+            dpor_fixed.complete,
+            dpor_fixed.passed(),
+            dpor_fixed.schedules_run,
+            fixed.schedules_run
+        ));
+    }
+
+    let dpor_racy = explore_dpor(check_fx::racy_counter_body(2), &cfg);
+    match &dpor_racy.failure {
+        Some(found) => println!(
+            "check gate: dpor flags racy counter after {} schedule(s): {}",
+            dpor_racy.schedules_run, found.description
+        ),
+        None => failures.push(format!(
+            "dpor missed the racy counter in {} schedules",
+            dpor_racy.schedules_run
+        )),
+    }
+
+    let dl_cfg = Config {
+        max_schedules: 50_000,
+        fail_on_defects: false,
+        ..Config::default()
+    };
+    let dpor_dl = explore_dpor(check_fx::abba_deadlock_body(), &dl_cfg);
+    match dpor_dl.failure.as_ref().map(|f| &f.run.outcome) {
+        Some(Outcome::Deadlock(live)) => println!(
+            "check gate: dpor finds ab-ba deadlock of tasks {live:?} ({} schedules)",
+            dpor_dl.schedules_run
+        ),
+        other => failures.push(format!("dpor on AB-BA locks returned {other:?}")),
+    }
+
+    let scale_cfg = Config {
+        max_schedules: 200,
+        ..Config::default()
+    };
+    let dfs_scale = explore_dfs(check_fx::independent_counters_body(4, 1), &scale_cfg);
+    let dpor_scale = explore_dpor(check_fx::independent_counters_body(4, 1), &scale_cfg);
+    if !dfs_scale.complete && dpor_scale.complete && dpor_scale.passed() {
+        println!(
+            "check gate: dpor completes a body dfs could not finish at equal budget ({} schedules vs {}+ for dfs)",
+            dpor_scale.schedules_run, dfs_scale.schedules_run
+        );
+    } else {
+        failures.push(format!(
+            "scaling direction: dfs complete={} ({} schedules), dpor complete={} passed={} ({} schedules)",
+            dfs_scale.complete,
+            dfs_scale.schedules_run,
+            dpor_scale.complete,
+            dpor_scale.passed(),
+            dpor_scale.schedules_run
+        ));
     }
 
     let mut t = Table::new(
@@ -717,7 +801,7 @@ fn run_check_gate() {
     ]);
     t.row(&[
         "replay reproduces the verdict".into(),
-        "replay".into(),
+        "strict replay".into(),
         "1".into(),
         if failures.is_empty() {
             "byte-identical".into()
@@ -725,10 +809,54 @@ fn run_check_gate() {
             "see failures".into()
         },
     ]);
+    t.row(&[
+        "fixed counter, reduced".into(),
+        "dpor".into(),
+        format!(
+            "{} (dfs: {})",
+            dpor_fixed.schedules_run, fixed.schedules_run
+        ),
+        if dpor_fixed.complete && dpor_fixed.passed() {
+            "clean, complete".into()
+        } else {
+            "FAILED".into()
+        },
+    ]);
+    t.row(&[
+        "racy counter, reduced".into(),
+        "dpor".into(),
+        dpor_racy.schedules_run.to_string(),
+        dpor_racy
+            .failure
+            .as_ref()
+            .map_or("MISSED".into(), |f| f.description.clone()),
+    ]);
+    t.row(&[
+        "AB-BA deadlock, reduced".into(),
+        "dpor".into(),
+        dpor_dl.schedules_run.to_string(),
+        dpor_dl
+            .failure
+            .as_ref()
+            .map_or("MISSED".into(), |f| f.description.clone()),
+    ]);
+    t.row(&[
+        "independent counters scale".into(),
+        "dpor vs dfs @200".into(),
+        format!(
+            "{} vs {}+",
+            dpor_scale.schedules_run, dfs_scale.schedules_run
+        ),
+        if dpor_scale.complete && !dfs_scale.complete {
+            "dpor complete, dfs out of budget".into()
+        } else {
+            "FAILED".into()
+        },
+    ]);
     print!("{}", t.render());
 
     if failures.is_empty() {
-        println!("check gate: all 3 verdicts match");
+        println!("check gate: all 7 verdicts match");
     } else {
         for f in &failures {
             eprintln!("check gate FAILED: {f}");

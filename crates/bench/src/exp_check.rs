@@ -11,14 +11,29 @@
 //! `pdc-analyze` — the multiplier the tentpole exists for: analyzers ×
 //! schedules, not analyzers × one lucky run.
 
-use pdc_check::{explore_dfs, explore_pct, fixtures, Config, Outcome};
-use pdc_core::report::Table;
+use pdc_check::{explore_dfs, explore_dpor, explore_pct, fixtures, Config, Outcome};
+use pdc_core::report::{capture_tables, write_text_file, Table};
 
 /// Seeds per budget row of the detection curve.
 const SEEDS: u64 = 16;
 
-/// Run the curve and the exhaustive-search summary.
+/// Run the curves and the exhaustive-search summary, and snapshot the
+/// tables as `pdc-tables/1` JSON under `target/pdc-check/` for the CI
+/// artifact.
 pub fn check() -> String {
+    let (out, tables) = capture_tables(check_tables);
+    let dir = std::path::Path::new("target/pdc-check");
+    let json = format!(
+        "{{\"schema\":\"pdc-tables/1\",\"experiments\":[{{\"id\":\"e-check\",\"tables\":[{}]}}]}}",
+        tables.join(",")
+    );
+    if let Err(e) = write_text_file(&dir.join("echeck.curve.json"), &json) {
+        eprintln!("e-check: could not write curve json: {e}");
+    }
+    out
+}
+
+fn check_tables() -> String {
     let mut out = String::new();
 
     // Detection-by-symptom: only a failing assertion counts, no trace
@@ -110,6 +125,49 @@ pub fn check() -> String {
         deadlock_outcome,
     ]);
     out.push_str(&dfs.render());
+
+    // The scaling curve the tentpole exists for: plain DFS enumerates
+    // the full interleaving tree of embarrassingly-parallel workers and
+    // drowns, while DPOR's persistent/sleep sets recognise the tasks as
+    // independent and prove the same completeness in a handful of
+    // schedules. Same budget on both sides; "complete" is the proof.
+    let mut reduction = Table::new(
+        "e-check: DPOR vs DFS, independent counters (n tasks x 1 op)",
+        &[
+            "tasks",
+            "dfs schedules",
+            "dfs complete",
+            "dfs ms",
+            "dpor schedules",
+            "dpor pruned",
+            "dpor complete",
+            "dpor ms",
+        ],
+    );
+    for tasks in [2u32, 3, 4] {
+        let cfg = Config {
+            max_schedules: 2_000,
+            shrink_budget: 0,
+            ..Config::default()
+        };
+        let t0 = std::time::Instant::now();
+        let dfs_rep = explore_dfs(fixtures::independent_counters_body(tasks, 1), &cfg);
+        let dfs_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let dpor_rep = explore_dpor(fixtures::independent_counters_body(tasks, 1), &cfg);
+        let dpor_ms = t1.elapsed().as_secs_f64() * 1e3;
+        reduction.row(&[
+            tasks.to_string(),
+            dfs_rep.schedules_run.to_string(),
+            dfs_rep.complete.to_string(),
+            format!("{dfs_ms:.1}"),
+            dpor_rep.schedules_run.to_string(),
+            dpor_rep.pruned.to_string(),
+            dpor_rep.complete.to_string(),
+            format!("{dpor_ms:.1}"),
+        ]);
+    }
+    out.push_str(&reduction.render());
     out
 }
 
@@ -123,5 +181,10 @@ mod tests {
         assert!(out.contains("with pdc-analyze"));
         assert!(out.contains("deadlock of tasks"));
         assert!(out.contains("clean"));
+        assert!(out.contains("DPOR vs DFS"));
+        let json = std::fs::read_to_string("target/pdc-check/echeck.curve.json")
+            .expect("e-check writes its curve snapshot");
+        assert!(json.starts_with("{\"schema\":\"pdc-tables/1\""));
+        assert!(json.contains("DPOR vs DFS"));
     }
 }

@@ -38,6 +38,8 @@ fn a_is_site_id(kind: EventKind) -> bool {
             | EventKind::Write
             | EventKind::Fork
             | EventKind::Join
+            | EventKind::ChanSend
+            | EventKind::ChanRecv
     )
 }
 

@@ -30,13 +30,40 @@
 //! degrade to no-ops so teardown itself never blocks.
 
 use crate::strategy::{ChoiceRecord, Decide};
+use pdc_analyze::deps::Access;
+use pdc_core::trace::TraceSession;
 pub use pdc_sync::hooks::AbortSchedule;
-use pdc_sync::hooks::{Checker, TaskId};
+use pdc_sync::hooks::{Checker, ChoiceKind, TaskId};
 use std::collections::HashMap;
 use std::panic::panic_any;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{Thread, ThreadId};
 use std::time::{Duration, Instant};
+
+/// Per-decision metadata the partial-order reducer consumes: what kind
+/// of choice it was, who ran, where the session clock stood at the
+/// grant, and which scheduler-level resources the step touched.
+///
+/// The step's *full* footprint is this hook-level list plus every trace
+/// event whose timestamp falls in `[ts, next step's ts)` — the events
+/// the granted task recorded while it held the baton. The hook-level
+/// accesses cover what the event stream cannot see: failed probes
+/// (a spin re-check that found the site still held records no event),
+/// park/unpark token traffic, and the exit a joiner resumed on. Without
+/// them, blocked steps would have empty footprints and the dependence
+/// relation would be unsound.
+#[derive(Debug, Clone)]
+pub struct StepInfo {
+    /// What the decision chose between.
+    pub kind: ChoiceKind,
+    /// The task that was granted (or, for data choices, kept) the baton.
+    pub task: TaskId,
+    /// Session logical clock at the grant; events with `ts >= this` and
+    /// `< next.ts` were recorded during this step.
+    pub ts: u64,
+    /// Hook-level accesses accumulated while the step ran.
+    pub accesses: Vec<Access>,
+}
 
 /// Why a schedule stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +120,8 @@ struct State {
     any_epoch: u64,
     strategy: Box<dyn Decide>,
     choices: Vec<ChoiceRecord>,
+    /// One entry per choice record (same indexing).
+    step_infos: Vec<StepInfo>,
     steps: usize,
     aborting: bool,
     truncated: bool,
@@ -108,12 +137,27 @@ pub struct Controller {
     inner: Mutex<State>,
     cond: Condvar,
     max_steps: usize,
+    /// Session clock for attributing trace events to steps; `None`
+    /// keeps all step timestamps at 0 (footprints then carry only
+    /// hook-level accesses).
+    clock: Option<TraceSession>,
 }
 
 impl Controller {
     /// A controller with the root body registered as task 0, already
     /// holding the baton.
     pub fn new(strategy: Box<dyn Decide>, max_steps: usize) -> Self {
+        Controller::with_clock(strategy, max_steps, None)
+    }
+
+    /// As [`Controller::new`], additionally reading `clock`'s logical
+    /// clock at every grant so each recorded decision knows which trace
+    /// events its step produced.
+    pub fn with_clock(
+        strategy: Box<dyn Decide>,
+        max_steps: usize,
+        clock: Option<TraceSession>,
+    ) -> Self {
         Controller {
             inner: Mutex::new(State {
                 tasks: vec![TaskState::new()],
@@ -122,6 +166,7 @@ impl Controller {
                 any_epoch: 0,
                 strategy,
                 choices: Vec::new(),
+                step_infos: Vec::new(),
                 steps: 0,
                 aborting: false,
                 truncated: false,
@@ -130,6 +175,17 @@ impl Controller {
             }),
             cond: Condvar::new(),
             max_steps,
+            clock,
+        }
+    }
+
+    /// Append a hook-level access to the step currently holding the
+    /// baton (the most recent decision). Accesses before the first
+    /// decision belong to the root preamble every schedule shares and
+    /// are deliberately dropped.
+    fn note_access(st: &mut MutexGuard<'_, State>, access: Access) {
+        if let Some(info) = st.step_infos.last_mut() {
+            info.accesses.push(access);
         }
     }
 
@@ -209,6 +265,25 @@ impl Controller {
             enabled,
             picked_index: idx,
         });
+        // Waking from a blocked state *consumes* whatever enabled the
+        // task: seed the new step's footprint with it, so the enabling
+        // step (release / unpark / exit) and this wake are dependent —
+        // the DPOR dependence graph needs that edge to know the pair
+        // cannot be freely commuted.
+        let wake_access = match &st.tasks[id as usize].status {
+            Status::SpinWaiting { site: Some(s), .. } => Some(Access::Site(*s)),
+            Status::SpinWaiting { site: None, .. } => Some(Access::AnySite),
+            Status::Parked => Some(Access::ParkToken(id)),
+            Status::JoinWaiting(child) => Some(Access::TaskExit(*child)),
+            Status::Runnable | Status::Finished => None,
+        };
+        let ts = self.clock.as_ref().map(|c| c.now()).unwrap_or(0);
+        st.step_infos.push(StepInfo {
+            kind: ChoiceKind::Task,
+            task: id,
+            ts,
+            accesses: wake_access.into_iter().collect(),
+        });
         let t = &mut st.tasks[id as usize];
         if t.status == Status::Parked {
             t.park_token = false; // park consumes the token on wake
@@ -279,8 +354,9 @@ impl Controller {
         }
     }
 
-    /// The schedule's outcome and decision log, read after teardown.
-    pub fn summary(&self) -> (Outcome, Vec<ChoiceRecord>, usize) {
+    /// The schedule's outcome, decision log, per-step metadata, and
+    /// step count, read after teardown.
+    pub fn summary(&self) -> (Outcome, Vec<ChoiceRecord>, Vec<StepInfo>, usize) {
         let st = self.lock();
         let outcome = if let Some(msg) = &st.panic_msg {
             Outcome::Panic(msg.clone())
@@ -291,7 +367,13 @@ impl Controller {
         } else {
             Outcome::Ok
         };
-        (outcome, st.choices.clone(), st.steps)
+        (outcome, st.choices.clone(), st.step_infos.clone(), st.steps)
+    }
+
+    /// Total tasks registered during the schedule (the spawned set, root
+    /// included). Used by strict replay validation.
+    pub fn task_count(&self) -> usize {
+        self.lock().tasks.len()
     }
 }
 
@@ -308,6 +390,15 @@ impl Checker for Controller {
         if self.abort_check(&st) {
             return;
         }
+        // The failed probe read the site's state: record it, so the
+        // probe conflicts with the release that will change it.
+        Self::note_access(
+            &mut st,
+            match site {
+                Some(s) => Access::Site(s),
+                None => Access::AnySite,
+            },
+        );
         let epoch = match site {
             Some(s) => st.site_epoch.get(&s).copied().unwrap_or(0),
             None => st.any_epoch,
@@ -323,6 +414,7 @@ impl Checker for Controller {
         if st.aborting {
             return; // teardown: nothing is spin-waiting anymore
         }
+        Self::note_access(&mut st, Access::Site(site));
         *st.site_epoch.entry(site).or_insert(0) += 1;
         st.any_epoch += 1;
         // Not a decision point: the caller continues to its own next
@@ -334,6 +426,7 @@ impl Checker for Controller {
         if self.abort_check(&st) {
             return;
         }
+        Self::note_access(&mut st, Access::ParkToken(task));
         if st.tasks[task as usize].park_token {
             // Token already available: park returns immediately, but it
             // is still a preemption point.
@@ -362,6 +455,7 @@ impl Checker for Controller {
         else {
             return false; // unmanaged thread: caller does a real unpark
         };
+        Self::note_access(&mut st, Access::ParkToken(idx as TaskId));
         st.tasks[idx].park_token = true;
         // Not a decision point (unpark never blocks the caller); the
         // parked task becomes enabled at the caller's next yield.
@@ -390,6 +484,10 @@ impl Checker for Controller {
         // Never panics, never blocks: every task must reach Finished so
         // teardown can complete.
         let mut st = self.lock();
+        // The exit is what a joiner's wake consumes: putting it in the
+        // final step's footprint chains the child's last step before
+        // the joiner's resume in the dependence graph.
+        Self::note_access(&mut st, Access::TaskExit(task));
         st.tasks[task as usize].status = Status::Finished;
         if !st.aborting && st.current == Some(task) {
             self.decide(&mut st);
@@ -398,10 +496,59 @@ impl Checker for Controller {
     }
 
     fn join_wait(&self, waiter: TaskId, child: TaskId) {
+        // Deliberately NOT a footprint access: the probe ("is the child
+        // still running?") has no observable effect, and noting it would
+        // make it conflict with the child's exit. That conflict is
+        // excluded from races as irreversible, but it would still count
+        // as a happens-before edge — and an edge that can never be
+        // reversed must not *cover* (and thereby suppress) the seeding
+        // of genuine reversible races across it. Only the exit itself
+        // and the wake it grants carry `Access::TaskExit`.
         self.block_as(waiter, Status::JoinWaiting(child));
     }
 
     fn task_panicked(&self, _task: TaskId, message: &str) {
         self.abort_for_panic(message);
+    }
+
+    fn choice_point(&self, task: TaskId, kind: ChoiceKind, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let mut st = self.lock();
+        if self.abort_check(&st) {
+            return 0;
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.truncated = true;
+            st.aborting = true;
+            st.current = None;
+            self.cond.notify_all();
+            drop(st);
+            if std::thread::panicking() {
+                return 0;
+            }
+            panic_any(AbortSchedule);
+        }
+        // A data decision: recorded like a scheduling decision (so
+        // replay, DFS backtracking and shrinking handle it unchanged)
+        // with pseudo-ids 0..n standing in for the alternatives. The
+        // baton stays with the calling task.
+        let enabled: Vec<TaskId> = (0..n as TaskId).collect();
+        let decision_index = st.choices.len();
+        let idx = st.strategy.pick(decision_index, &enabled).min(n - 1);
+        st.choices.push(ChoiceRecord {
+            enabled,
+            picked_index: idx,
+        });
+        let ts = self.clock.as_ref().map(|c| c.now()).unwrap_or(0);
+        st.step_infos.push(StepInfo {
+            kind,
+            task,
+            ts,
+            accesses: Vec::new(),
+        });
+        idx
     }
 }

@@ -18,8 +18,8 @@
 //! minimal schedule is failing *by construction*, not by assumption.
 
 use crate::canon;
-use crate::controller::{AbortSchedule, Controller, Outcome};
-use crate::strategy::{ChoiceRecord, Decide, Dfs, Pct, Replay, Schedule};
+use crate::controller::{AbortSchedule, Controller, Outcome, StepInfo};
+use crate::strategy::{ChoiceRecord, Decide, Dfs, Pct, Replay, Schedule, ScheduleError};
 use pdc_analyze::Report;
 use pdc_core::trace::{self, Event, TraceSession};
 use pdc_sync::hooks::{self, Checker as _, TaskId};
@@ -77,6 +77,14 @@ pub struct RunResult {
     pub schedule: Schedule,
     /// Full decision log (enabled sets + picks), for DFS backtracking.
     pub decisions: Vec<ChoiceRecord>,
+    /// Per-decision metadata (kind, acting task, clock window, hook
+    /// accesses) — what DPOR's dependence analysis consumes.
+    pub step_infos: Vec<StepInfo>,
+    /// Raw (un-canonicalized) events with their original timestamps,
+    /// for attributing events to decision windows.
+    pub raw_events: Vec<Event>,
+    /// How many tasks the body spawned (root included).
+    pub task_count: usize,
     /// Canonicalized trace events (see [`crate::canon`]).
     pub events: Vec<Event>,
     /// Canonical `pdc-trace/2` JSONL — byte-comparable across replays.
@@ -123,13 +131,18 @@ pub struct FoundFailure {
 /// What an exploration established.
 #[derive(Debug)]
 pub struct ExploreReport {
-    /// `"dfs"` or `"pct"`.
+    /// `"dfs"`, `"pct"`, or `"dpor"`.
     pub mode: &'static str,
     /// Schedules actually executed (excluding shrink replays).
     pub schedules_run: usize,
-    /// DFS only: the whole schedule tree was enumerated without
-    /// failure — a proof over the bounded body, not a sample.
+    /// DFS/DPOR only: the whole schedule tree was enumerated without
+    /// failure — a proof over the bounded body, not a sample. Under
+    /// DPOR the proof is relative to the instrumented footprint (the
+    /// same observability contract `pdc-analyze` assumes).
     pub complete: bool,
+    /// DPOR only: schedules provably redundant and skipped (sleep-set
+    /// hits). Always 0 for DFS/PCT.
+    pub pruned: usize,
     /// The first failure, if any schedule failed.
     pub failure: Option<FoundFailure>,
 }
@@ -146,17 +159,17 @@ impl ExploreReport {
 // never call back into `explore`.
 static EXPLORATION: Mutex<()> = Mutex::new(());
 
-fn exploration_lock() -> MutexGuard<'static, ()> {
+pub(crate) fn exploration_lock() -> MutexGuard<'static, ()> {
     EXPLORATION.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Silence the default panic hook while exploring: schedule teardown
 /// unwinds every task via [`AbortSchedule`] panics, and failing bodies
 /// panic once per shrink replay — hundreds of backtraces of noise.
-struct QuietPanics;
+pub(crate) struct QuietPanics;
 
 impl QuietPanics {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         std::panic::set_hook(Box::new(|_| {}));
         QuietPanics
     }
@@ -178,11 +191,11 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type Body = Arc<dyn Fn() + Send + Sync + 'static>;
+pub(crate) type Body = Arc<dyn Fn() + Send + Sync + 'static>;
 
 /// Execute the body once under `strategy`. Caller holds the
 /// exploration lock.
-fn run_schedule_locked(
+pub(crate) fn run_schedule_locked(
     body: &Body,
     strategy: Box<dyn Decide>,
     strategy_name: &str,
@@ -190,7 +203,11 @@ fn run_schedule_locked(
     cfg: &Config,
 ) -> RunResult {
     let session = TraceSession::with_capacity(cfg.trace_capacity);
-    let controller = Arc::new(Controller::new(strategy, cfg.max_steps));
+    let controller = Arc::new(Controller::with_clock(
+        strategy,
+        cfg.max_steps,
+        Some(session.clone()),
+    ));
     let prev = hooks::install_checker(controller.clone());
     debug_assert!(prev.is_none(), "explorations must be serialized");
     let root_trace = session.thread(0);
@@ -220,7 +237,9 @@ fn run_schedule_locked(
         finished,
         "pdc-check teardown stalled: a task never reached Finished"
     );
-    let (outcome, decisions, steps) = controller.summary();
+    let (outcome, decisions, step_infos, steps) = controller.summary();
+    let task_count = controller.task_count();
+    let raw_events = session.events();
     let events = canon::canonicalize(session.events());
     let report = pdc_analyze::analyze_events(&events);
     let trace_jsonl = canon::to_jsonl(&events);
@@ -229,6 +248,9 @@ fn run_schedule_locked(
         steps,
         schedule: Schedule::from_records(strategy_name, seed, &decisions),
         decisions,
+        step_infos,
+        raw_events,
+        task_count,
         events,
         trace_jsonl,
         report,
@@ -248,7 +270,29 @@ pub fn replay(
     replay_locked(&body, schedule, cfg)
 }
 
-fn replay_locked(body: &Body, schedule: &Schedule, cfg: &Config) -> RunResult {
+/// Like [`replay`], but validate the schedule against the body first:
+/// a schedule naming a task the body never spawns is rejected with a
+/// typed [`ScheduleError`] instead of silently replaying something
+/// else (lenient replay would substitute enabled index 0 — right for
+/// shrinking's self-generated candidates, wrong for external input).
+///
+/// The task count is only known by running the body, so validation is
+/// a probe replay followed by the range check against the tasks that
+/// probe actually spawned.
+pub fn replay_strict(
+    body: impl Fn() + Send + Sync + 'static,
+    schedule: &Schedule,
+    cfg: &Config,
+) -> Result<RunResult, ScheduleError> {
+    let body: Body = Arc::new(body);
+    let _lock = exploration_lock();
+    let _quiet = QuietPanics::install();
+    let run = replay_locked(&body, schedule, cfg);
+    schedule.validate_tasks(run.task_count)?;
+    Ok(run)
+}
+
+pub(crate) fn replay_locked(body: &Body, schedule: &Schedule, cfg: &Config) -> RunResult {
     run_schedule_locked(
         body,
         Box::new(Replay::new(schedule.choices.clone())),
@@ -327,7 +371,7 @@ fn shrink_locked(body: &Body, choices: &[TaskId], cfg: &Config) -> Option<(Sched
     Some((minimal, run))
 }
 
-fn found(body: &Body, run: RunResult, cfg: &Config) -> FoundFailure {
+pub(crate) fn found(body: &Body, run: RunResult, cfg: &Config) -> FoundFailure {
     let description = run
         .failure(cfg)
         .unwrap_or_else(|| "failure vanished".into());
@@ -354,21 +398,30 @@ fn found(body: &Body, run: RunResult, cfg: &Config) -> FoundFailure {
 /// Randomized PCT exploration: up to [`Config::max_schedules`] runs
 /// with seeds `seed, seed+1, …`; stops (and shrinks) at the first
 /// failing schedule.
+///
+/// [`Config::pct_len_estimate`] only seeds the *first* run's
+/// change-point range; every later run derives `k` from the previous
+/// run's observed decision count, so a stale or wildly-wrong estimate
+/// self-corrects after one schedule instead of pushing every change
+/// point past (or in front of) the schedule's real length.
 pub fn explore_pct(body: impl Fn() + Send + Sync + 'static, cfg: &Config) -> ExploreReport {
     let body: Body = Arc::new(body);
     let _lock = exploration_lock();
     let _quiet = QuietPanics::install();
     let mut schedules_run = 0usize;
+    let mut len_estimate = cfg.pct_len_estimate;
     for i in 0..cfg.max_schedules {
         let seed = cfg.seed.wrapping_add(i as u64);
-        let strategy = Box::new(Pct::new(seed, cfg.pct_depth, cfg.pct_len_estimate));
+        let strategy = Box::new(Pct::new(seed, cfg.pct_depth, len_estimate));
         let run = run_schedule_locked(&body, strategy, "pct", seed, cfg);
         schedules_run += 1;
+        len_estimate = run.decisions.len().max(1);
         if run.failed(cfg) {
             return ExploreReport {
                 mode: "pct",
                 schedules_run,
                 complete: false,
+                pruned: 0,
                 failure: Some(found(&body, run, cfg)),
             };
         }
@@ -377,6 +430,7 @@ pub fn explore_pct(body: impl Fn() + Send + Sync + 'static, cfg: &Config) -> Exp
         mode: "pct",
         schedules_run,
         complete: false,
+        pruned: 0,
         failure: None,
     }
 }
@@ -397,6 +451,7 @@ pub fn explore_dfs(body: impl Fn() + Send + Sync + 'static, cfg: &Config) -> Exp
                 mode: "dfs",
                 schedules_run,
                 complete: false,
+                pruned: 0,
                 failure: None,
             };
         }
@@ -408,6 +463,7 @@ pub fn explore_dfs(body: impl Fn() + Send + Sync + 'static, cfg: &Config) -> Exp
                 mode: "dfs",
                 schedules_run,
                 complete: false,
+                pruned: 0,
                 failure: Some(found(&body, run, cfg)),
             };
         }
@@ -426,9 +482,74 @@ pub fn explore_dfs(body: impl Fn() + Send + Sync + 'static, cfg: &Config) -> Exp
                     mode: "dfs",
                     schedules_run,
                     complete: true,
+                    pruned: 0,
                     failure: None,
                 }
             }
+        }
+    }
+}
+
+/// One executed schedule, summarized for set comparison (property
+/// tests compare DPOR's schedule set against full DFS's).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ScheduleSummary {
+    /// Task id granted at each decision (the replayable identity).
+    pub choices: Vec<TaskId>,
+    /// Whether the run ended [`Outcome::Ok`].
+    pub ok: bool,
+    /// Sorted, deduplicated defect kind names from `pdc-analyze`.
+    pub defect_kinds: Vec<String>,
+}
+
+impl ScheduleSummary {
+    pub(crate) fn of(run: &RunResult) -> ScheduleSummary {
+        let mut defect_kinds: Vec<String> = run
+            .report
+            .defects
+            .iter()
+            .map(|d| d.kind.name().to_string())
+            .collect();
+        defect_kinds.sort_unstable();
+        defect_kinds.dedup();
+        ScheduleSummary {
+            choices: run.schedule.choices.clone(),
+            ok: run.outcome == Outcome::Ok,
+            defect_kinds,
+        }
+    }
+}
+
+/// Exhaustive DFS that does *not* stop at failures: every schedule in
+/// the tree (up to `max_schedules`) is executed and summarized. The
+/// bool is the completeness flag. This is the ground truth the DPOR
+/// property tests compare against; no shrinking, no early exit.
+pub fn enumerate_dfs(
+    body: impl Fn() + Send + Sync + 'static,
+    cfg: &Config,
+) -> (Vec<ScheduleSummary>, bool) {
+    let body: Body = Arc::new(body);
+    let _lock = exploration_lock();
+    let _quiet = QuietPanics::install();
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        if out.len() >= cfg.max_schedules {
+            return (out, false);
+        }
+        let strategy = Box::new(Dfs::new(prefix.clone()));
+        let run = run_schedule_locked(&body, strategy, "dfs", 0, cfg);
+        out.push(ScheduleSummary::of(&run));
+        let next = run.decisions.iter().enumerate().rev().find_map(|(i, rec)| {
+            (rec.picked_index + 1 < rec.enabled.len()).then(|| {
+                let mut p: Vec<usize> = run.decisions[..i].iter().map(|r| r.picked_index).collect();
+                p.push(rec.picked_index + 1);
+                p
+            })
+        });
+        match next {
+            Some(p) => prefix = p,
+            None => return (out, true),
         }
     }
 }

@@ -9,7 +9,7 @@
 //! `pdc-analyze` passes can judge each interleaving's trace.
 
 use pdc_core::trace;
-use pdc_sync::PdcMutex;
+use pdc_sync::{channel, Fairness, PdcMutex, Semaphore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -69,6 +69,123 @@ pub fn fixed_counter_body(tasks: u32, ops_per_task: u64) -> impl Fn() + Send + S
             h.join();
         }
         assert_eq!(*counter.lock(), tasks as u64 * ops_per_task);
+    }
+}
+
+/// Embarrassingly-parallel workers: each task owns a *private* mutex
+/// and counter, increments it, and asserts locally; the root only
+/// joins. No two tasks ever touch the same resource, so every
+/// interleaving is equivalent — DPOR proves the body clean in ~one
+/// schedule, while plain DFS still enumerates the full factorial tree
+/// and cannot finish a modest size within any reasonable budget. This
+/// is the scaling fixture for the DPOR-vs-DFS gate.
+pub fn independent_counters_body(
+    tasks: u32,
+    ops_per_task: u64,
+) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let handles: Vec<_> = (0..tasks)
+            .map(|_| {
+                crate::spawn(move || {
+                    let counter = PdcMutex::new(0u64);
+                    let var = trace::next_site_id();
+                    for _ in 0..ops_per_task {
+                        let mut g = counter.lock();
+                        trace::record_var_read(var);
+                        let v = *g;
+                        crate::yield_now();
+                        trace::record_var_write(var);
+                        *g = v + 1;
+                    }
+                    assert_eq!(*counter.lock(), ops_per_task);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+/// A clean producer/consumer handoff over the checked channel: the
+/// producer writes message `i`'s variable, then sends `i`; the
+/// consumer receives `i`, then reads that variable. Each write/read
+/// pair is ordered *only* by the channel's per-message FIFO
+/// happens-before edge, so this body is clean if and only if the
+/// `chan_send`/`chan_recv` HB rule works end to end. (One variable
+/// shared across messages would genuinely race: the consumer's read
+/// of message `i` is concurrent with the producer writing `i+1`.)
+pub fn channel_handoff_body(messages: usize) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let (tx, rx) = channel::<u64>();
+        let vars: Arc<Vec<u64>> = Arc::new((0..messages).map(|_| trace::next_site_id()).collect());
+        let producer = {
+            let vars = Arc::clone(&vars);
+            crate::spawn(move || {
+                for (i, &var) in vars.iter().enumerate() {
+                    trace::record_var_write(var);
+                    tx.send(i as u64).unwrap();
+                }
+            })
+        };
+        let consumer = crate::spawn(move || {
+            for (i, &var) in vars.iter().enumerate() {
+                let got = rx.recv().unwrap();
+                trace::record_var_read(var);
+                assert_eq!(got, i as u64, "FIFO order");
+            }
+        });
+        producer.join();
+        consumer.join();
+    }
+}
+
+/// The racy variant of the handoff: the consumer reads the shared
+/// variable *before* receiving, so the channel edge does not cover the
+/// access pair and every schedule's trace carries a data race.
+pub fn channel_racy_body() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let (tx, rx) = channel::<u64>();
+        let var = trace::next_site_id();
+        let producer = crate::spawn(move || {
+            trace::record_var_write(var);
+            tx.send(1).unwrap();
+        });
+        let consumer = crate::spawn(move || {
+            // Read outside the channel's ordering: racy.
+            trace::record_var_read(var);
+            let _ = rx.recv();
+        });
+        producer.join();
+        consumer.join();
+    }
+}
+
+/// Two waiters block on a zero-permit semaphore; the root releases two
+/// permits one at a time. With [`Fairness::Adversarial`] the wake
+/// order at each release is a schedulable choice point, so exploration
+/// covers wake orders FIFO alone can never produce. The body is clean
+/// under every wake order — the point is the extra coverage, not a
+/// bug.
+pub fn semaphore_wake_order_body(fairness: Fairness) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sem = Arc::new(Semaphore::with_fairness(0, fairness));
+        let woken = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (sem, woken) = (Arc::clone(&sem), Arc::clone(&woken));
+                crate::spawn(move || {
+                    sem.acquire();
+                    woken.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        sem.release();
+        sem.release();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(woken.load(Ordering::Relaxed), 2);
     }
 }
 

@@ -12,6 +12,9 @@
 //!
 //! * **systematic search** — [`explore_dfs`] enumerates *every*
 //!   schedule of a bounded body (and can certify it clean);
+//!   [`explore_dpor`] proves the same completeness while skipping
+//!   interleavings the dependence relation shows equivalent (sleep
+//!   sets + persistent backtrack sets over per-step footprints);
 //!   [`explore_pct`] samples schedules with PCT's randomized-priority
 //!   bias toward rare orderings;
 //! * **exact replay** — each run's decisions are recorded as a
@@ -44,15 +47,18 @@
 
 pub mod canon;
 pub mod controller;
+pub mod dpor;
 pub mod explore;
 pub mod fixtures;
 pub mod strategy;
 
-pub use controller::{AbortSchedule, Outcome};
+pub use controller::{AbortSchedule, Outcome, StepInfo};
+pub use dpor::{enumerate_dpor, explore_dpor};
 pub use explore::{
-    explore_dfs, explore_pct, replay, Config, ExploreReport, FoundFailure, RunResult,
+    enumerate_dfs, explore_dfs, explore_pct, replay, replay_strict, Config, ExploreReport,
+    FoundFailure, RunResult, ScheduleSummary,
 };
-pub use strategy::Schedule;
+pub use strategy::{Schedule, ScheduleError};
 
 use pdc_core::trace::{self, EventKind};
 use pdc_sync::hooks;

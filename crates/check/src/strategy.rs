@@ -142,6 +142,56 @@ impl Decide for Replay {
     }
 }
 
+/// Why a schedule file could not be parsed or replayed.
+///
+/// A schedule is external input (a file on disk, possibly hand-edited
+/// or from another run): every way it can be wrong must surface as a
+/// typed error here, never as a panic mid-replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The `"schema"` tag is present but not `pdc-check/1`.
+    UnsupportedSchema(String),
+    /// Structurally broken JSON, a missing key, or a bad value.
+    Malformed(String),
+    /// The schedule names a task id the body never spawned: decision
+    /// `decision` wants task `task`, but only `task_count` tasks exist.
+    TaskOutOfRange {
+        /// 0-based decision index within the schedule.
+        decision: usize,
+        /// The out-of-range task id the schedule asked for.
+        task: TaskId,
+        /// How many tasks the body actually spawned (valid ids are
+        /// `0..task_count`).
+        task_count: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::UnsupportedSchema(s) => {
+                write!(
+                    f,
+                    "unsupported schema {s:?} (expected {:?})",
+                    Schedule::SCHEMA
+                )
+            }
+            ScheduleError::Malformed(msg) => write!(f, "malformed schedule: {msg}"),
+            ScheduleError::TaskOutOfRange {
+                decision,
+                task,
+                task_count,
+            } => write!(
+                f,
+                "schedule references task {task} at decision {decision}, \
+                 but the body only spawned {task_count} tasks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// A recorded schedule: the task-id sequence that reproduces one
 /// interleaving, serialised as `pdc-check/1` JSON.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,7 +231,8 @@ impl Schedule {
 
     /// Parse a `pdc-check/1` JSON object (the inverse of
     /// [`Schedule::to_json`]; whitespace-tolerant, order-insensitive).
-    pub fn parse(text: &str) -> Result<Schedule, String> {
+    pub fn parse(text: &str) -> Result<Schedule, ScheduleError> {
+        let malformed = ScheduleError::Malformed;
         let mut schema = None;
         let mut strategy = None;
         let mut seed = None;
@@ -193,7 +244,7 @@ impl Schedule {
                 i += 1;
                 continue;
             }
-            let (key, after_key) = scan_string(b, i)?;
+            let (key, after_key) = scan_string(b, i).map_err(malformed)?;
             i = skip_ws(b, after_key);
             if i >= b.len() || b[i] != b':' {
                 // A string *value* (e.g. the schema tag itself), not a key.
@@ -202,38 +253,54 @@ impl Schedule {
             i = skip_ws(b, i + 1);
             match key.as_str() {
                 "schema" => {
-                    let (v, next) = scan_string(b, i)?;
+                    let (v, next) = scan_string(b, i).map_err(malformed)?;
                     schema = Some(v);
                     i = next;
                 }
                 "strategy" => {
-                    let (v, next) = scan_string(b, i)?;
+                    let (v, next) = scan_string(b, i).map_err(malformed)?;
                     strategy = Some(v);
                     i = next;
                 }
                 "seed" => {
-                    let (v, next) = scan_u64(b, i)?;
+                    let (v, next) = scan_u64(b, i).map_err(malformed)?;
                     seed = Some(v);
                     i = next;
                 }
                 "choices" => {
-                    let (v, next) = scan_u32_array(b, i)?;
+                    let (v, next) = scan_u32_array(b, i).map_err(malformed)?;
                     choices = Some(v);
                     i = next;
                 }
-                other => return Err(format!("unknown key {other:?}")),
+                other => return Err(malformed(format!("unknown key {other:?}"))),
             }
         }
         match schema.as_deref() {
             Some(s) if s == Self::SCHEMA => {}
-            Some(s) => return Err(format!("unsupported schema {s:?}")),
-            None => return Err("missing \"schema\"".into()),
+            Some(s) => return Err(ScheduleError::UnsupportedSchema(s.to_string())),
+            None => return Err(malformed("missing \"schema\"".into())),
         }
         Ok(Schedule {
-            strategy: strategy.ok_or("missing \"strategy\"")?,
-            seed: seed.ok_or("missing \"seed\"")?,
-            choices: choices.ok_or("missing \"choices\"")?,
+            strategy: strategy.ok_or_else(|| malformed("missing \"strategy\"".into()))?,
+            seed: seed.ok_or_else(|| malformed("missing \"seed\"".into()))?,
+            choices: choices.ok_or_else(|| malformed("missing \"choices\"".into()))?,
         })
+    }
+
+    /// Check every choice against the number of tasks the body actually
+    /// spawns. Replay itself is lenient (shrinking depends on that);
+    /// this is the up-front validation external schedules go through.
+    pub fn validate_tasks(&self, task_count: usize) -> Result<(), ScheduleError> {
+        for (decision, &task) in self.choices.iter().enumerate() {
+            if task as usize >= task_count {
+                return Err(ScheduleError::TaskOutOfRange {
+                    decision,
+                    task,
+                    task_count,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -339,7 +406,28 @@ mod tests {
             "{\"schema\":\"pdc-check/9\",\"strategy\":\"pct\",\"seed\":0,\"choices\":[]}",
         )
         .unwrap_err();
-        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(matches!(err, ScheduleError::UnsupportedSchema(_)), "{err}");
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn validate_tasks_rejects_out_of_range_ids() {
+        let s = Schedule {
+            strategy: "replay".into(),
+            seed: 0,
+            choices: vec![0, 1, 99],
+        };
+        let err = s.validate_tasks(3).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::TaskOutOfRange {
+                decision: 2,
+                task: 99,
+                task_count: 3
+            }
+        );
+        assert!(err.to_string().contains("task 99"), "{err}");
+        s.validate_tasks(100).unwrap();
     }
 
     #[test]

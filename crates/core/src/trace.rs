@@ -189,6 +189,17 @@ pub enum EventKind {
     /// release: publishes the signaller's history to every waiter woken
     /// by this notification. Recorded *before* waiters are woken.
     Signal,
+    /// A message was sent on an in-process channel (`chan` = stable
+    /// channel id from [`next_site_id`], `seq` = per-channel send
+    /// sequence number). Unlike [`EventKind::Send`], which pairs by
+    /// (sender, peer) actor ids, channel events pair FIFO per channel:
+    /// the *n*-th `chan_recv` on a channel adopts the history published
+    /// by the *n*-th `chan_send`. Recorded *before* the message is
+    /// enqueued.
+    ChanSend,
+    /// A message was received on an in-process channel (`chan`, `seq`
+    /// match the send). Recorded *after* the message is dequeued.
+    ChanRecv,
 }
 
 impl EventKind {
@@ -214,6 +225,8 @@ impl EventKind {
             EventKind::Join => "join",
             EventKind::Wait => "wait",
             EventKind::Signal => "signal",
+            EventKind::ChanSend => "chan_send",
+            EventKind::ChanRecv => "chan_recv",
         }
     }
 
@@ -242,6 +255,8 @@ impl EventKind {
             "join" => EventKind::Join,
             "wait" => EventKind::Wait,
             "signal" => EventKind::Signal,
+            "chan_send" => EventKind::ChanSend,
+            "chan_recv" => EventKind::ChanRecv,
             _ => return None,
         })
     }
@@ -268,6 +283,8 @@ impl EventKind {
             EventKind::Join => ("handle", "task"),
             EventKind::Wait => ("site", "seq"),
             EventKind::Signal => ("site", "seq"),
+            EventKind::ChanSend => ("chan", "seq"),
+            EventKind::ChanRecv => ("chan", "seq"),
         }
     }
 }
@@ -580,6 +597,13 @@ impl TraceSession {
     /// Events dropped due to full buffers.
     pub fn dropped(&self) -> u64 {
         self.recorder.dropped()
+    }
+
+    /// Current value of the session-wide logical clock: the timestamp
+    /// the next recorded event will receive. Lets controllers attribute
+    /// events to execution windows without re-reading the whole stream.
+    pub fn now(&self) -> u64 {
+        self.recorder.now()
     }
 
     /// Export the whole session as `pdc-trace/2` JSON.

@@ -12,6 +12,7 @@
 //! token then guarantees the unpark is not lost even if it races ahead
 //! of the park.
 
+use crate::fairness::Fairness;
 use crate::hooks;
 use crate::mutex::{MutexGuard, PdcMutex};
 use crate::spin::SpinLock;
@@ -24,17 +25,26 @@ use std::thread::Thread;
 pub struct PdcCondvar {
     waiters: SpinLock<VecDeque<Thread>>,
     notifications: AtomicU64,
+    /// Which queued waiter `notify_one` wakes.
+    fairness: Fairness,
     /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
     site: SiteId,
 }
 
 impl PdcCondvar {
-    /// A new condition variable.
+    /// A new condition variable with FIFO wake order.
     pub fn new() -> Self {
+        PdcCondvar::with_fairness(Fairness::Fifo)
+    }
+
+    /// A condition variable with an explicit wake-order policy for
+    /// `notify_one` (`notify_all` wakes everyone regardless).
+    pub fn with_fairness(fairness: Fairness) -> Self {
         PdcCondvar {
             // Implementation-internal lock: keep it out of traces.
             waiters: SpinLock::untraced(VecDeque::new()),
             notifications: AtomicU64::new(0),
+            fairness,
             site: SiteId::new(),
         }
     }
@@ -85,7 +95,7 @@ impl PdcCondvar {
         // Publish the notifier's history (`signal` = pulse release)
         // before any waiter can wake.
         self.record_cond(EventKind::Signal);
-        let w = self.waiters.lock().pop_front();
+        let w = self.fairness.select(&mut self.waiters.lock());
         if let Some(t) = w {
             hooks::unpark(&t);
         }

@@ -1,0 +1,64 @@
+//! Wake-order policies for queue-based blocking primitives.
+//!
+//! POSIX leaves *which* waiter a release/notify wakes unspecified;
+//! student code that accidentally depends on FIFO hand-off is correct
+//! on Linux and broken on a different allocator of wakeups. Making the
+//! policy explicit turns that nondeterminism into something a course
+//! (and the `pdc-check` explorer) can vary on purpose:
+//!
+//! * [`Fairness::Fifo`] — wake the longest waiter (starvation-free,
+//!   the default and the previous hard-coded behaviour);
+//! * [`Fairness::Lifo`] — wake the most recent waiter (cache-warm,
+//!   starvation-prone: the classic unfair hand-off);
+//! * [`Fairness::Adversarial`] — under a `pdc-check` exploration the
+//!   wake target becomes a first-class choice point
+//!   ([`crate::hooks::wake_order`]), so the checker explores *every*
+//!   wake order; outside a checker it behaves like FIFO.
+
+use crate::hooks;
+use std::collections::VecDeque;
+
+/// Which queued waiter a release-style wake picks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fairness {
+    /// Wake the oldest waiter (starvation-free).
+    #[default]
+    Fifo,
+    /// Wake the newest waiter (unfair, cache-warm).
+    Lifo,
+    /// Let the checker choose among all waiters (FIFO unchecked).
+    Adversarial,
+}
+
+impl Fairness {
+    /// Remove and return the waiter this policy wakes, if any.
+    pub(crate) fn select<T>(&self, queue: &mut VecDeque<T>) -> Option<T> {
+        match self {
+            Fairness::Fifo => queue.pop_front(),
+            Fairness::Lifo => queue.pop_back(),
+            Fairness::Adversarial => {
+                let n = queue.len();
+                if n == 0 {
+                    None
+                } else {
+                    queue.remove(hooks::wake_order(n))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_pick_the_expected_end_unchecked() {
+        let mut q: VecDeque<u32> = (0..4).collect();
+        assert_eq!(Fairness::Fifo.select(&mut q), Some(0));
+        assert_eq!(Fairness::Lifo.select(&mut q), Some(3));
+        // Unchecked adversarial degrades to FIFO (wake_order returns 0).
+        assert_eq!(Fairness::Adversarial.select(&mut q), Some(1));
+        assert_eq!(Fairness::Fifo.select(&mut VecDeque::<u32>::new()), None);
+    }
+}

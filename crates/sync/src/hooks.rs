@@ -38,6 +38,22 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// the schedule's root body).
 pub type TaskId = u32;
 
+/// What a recorded decision chose between. Task scheduling picks the
+/// next runnable task; *data* choice points ([`Checker::choice_point`])
+/// resolve a nondeterministic value inside the currently running task —
+/// a steal victim, a wake order — without moving the baton. Checkers
+/// record the kind alongside each decision so replay, DFS backtracking
+/// and partial-order reduction can tell the two apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// Which runnable task runs next.
+    Task,
+    /// Which non-empty queue a work-stealing thief steals from.
+    StealVictim,
+    /// Which queued waiter a semaphore release / condvar notify wakes.
+    WakeOrder,
+}
+
 /// Panic payload a [`Checker`] uses to unwind checked tasks during
 /// schedule teardown. Lives here (not in the checker crate) so every
 /// layer that catches panics around checked code — `pdc-check`'s own
@@ -83,6 +99,14 @@ pub trait Checker: Send + Sync {
     /// not block or panic: the caller is already unwinding and will
     /// still call [`Checker::exit_task`] afterwards.
     fn task_panicked(&self, task: TaskId, message: &str);
+    /// Resolve a data nondeterminism inside `task`: pick one of `n`
+    /// alternatives (`n >= 1`). The baton stays with `task`; the
+    /// decision is recorded so exploration can backtrack over it. The
+    /// default keeps old checkers compiling: always alternative 0.
+    fn choice_point(&self, task: TaskId, kind: ChoiceKind, n: usize) -> usize {
+        let _ = (task, kind, n);
+        0
+    }
 }
 
 // Fast global gate, mirroring trace::SYNC_TRACING_EVER: stays false
@@ -218,6 +242,32 @@ pub fn unpark(thread: &std::thread::Thread) {
     thread.unpark();
 }
 
+/// Ask the checker which of `n` non-empty victims a work-stealing
+/// thief should steal from. Unchecked (or with `n < 2`) this is always
+/// 0 — the caller's existing preference order — so production pools
+/// pay one relaxed load and keep their policy.
+#[inline]
+pub fn steal_victim(n: usize) -> usize {
+    if n >= 2 {
+        if let Some((c, task)) = checked() {
+            return c.choice_point(task, ChoiceKind::StealVictim, n).min(n - 1);
+        }
+    }
+    0
+}
+
+/// Ask the checker which of `n` queued waiters an adversarial-fairness
+/// wake should pick. Unchecked this is 0 (FIFO: the oldest waiter).
+#[inline]
+pub fn wake_order(n: usize) -> usize {
+    if n >= 2 {
+        if let Some((c, task)) = checked() {
+            return c.choice_point(task, ChoiceKind::WakeOrder, n).min(n - 1);
+        }
+    }
+    0
+}
+
 /// Capability to run a child closure as a checked task; obtained by the
 /// parent via [`checked_spawn`]. `Copy` so the parent can keep one for
 /// [`join_task`] while moving another into the child closure.
@@ -309,6 +359,8 @@ mod tests {
         spin_wait(&mut spins, &site);
         assert_eq!(spins, 1, "unchecked spin_wait counts iterations");
         assert!(checked_spawn().is_none());
+        assert_eq!(steal_victim(4), 0, "unchecked steals keep policy order");
+        assert_eq!(wake_order(3), 0, "unchecked wakes stay FIFO");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`once::OnceCell`] — one-shot lazy initialization.
 //! * [`buffer::BoundedBuffer`] — the producer-consumer bounded buffer.
 //! * [`condvar::PdcCondvar`] — a condition variable over [`mutex::PdcMutex`].
+//! * [`channel::channel`] — a traced, checkable MPSC channel whose
+//!   send/recv carry per-channel FIFO happens-before edges.
+//! * [`fairness::Fairness`] — wake-order policies (FIFO / LIFO /
+//!   adversarial) for the semaphore and condvar.
 //! * [`hooks`] — the yield-point seam controlled schedulers (`pdc-check`)
 //!   install into; a no-op unless a checker is installed.
 //! * [`waitgraph`] — wait-for-graph deadlock detection.
@@ -33,7 +37,9 @@
 
 pub mod barrier;
 pub mod buffer;
+pub mod channel;
 pub mod condvar;
+pub mod fairness;
 pub mod hooks;
 pub mod mutex;
 pub mod once;
@@ -46,7 +52,9 @@ pub mod waitgraph;
 
 pub use barrier::SenseBarrier;
 pub use buffer::BoundedBuffer;
+pub use channel::{channel, PdcReceiver, PdcSender};
 pub use condvar::PdcCondvar;
+pub use fairness::Fairness;
 pub use mutex::PdcMutex;
 pub use once::OnceCell;
 pub use rwlock::PdcRwLock;

@@ -5,6 +5,7 @@
 //! wakes a waiter. Implemented with a CAS loop on the count plus the same
 //! waiter-queue parking protocol as [`crate::mutex::PdcMutex`].
 
+use crate::fairness::Fairness;
 use crate::hooks;
 use crate::spin::SpinLock;
 use pdc_core::trace::{self, EventKind, SiteId};
@@ -17,19 +18,28 @@ pub struct Semaphore {
     count: AtomicI64,
     waiters: SpinLock<VecDeque<Thread>>,
     parks: AtomicU64,
+    /// Which queued waiter a release wakes.
+    fairness: Fairness,
     /// Stable analysis site id (lazily allocated; see `pdc-analyze`).
     site: SiteId,
 }
 
 impl Semaphore {
-    /// Create a semaphore with `permits` initial permits.
+    /// Create a semaphore with `permits` initial permits and FIFO wake
+    /// order.
     pub fn new(permits: i64) -> Self {
+        Semaphore::with_fairness(permits, Fairness::Fifo)
+    }
+
+    /// Create a semaphore with an explicit wake-order policy.
+    pub fn with_fairness(permits: i64, fairness: Fairness) -> Self {
         assert!(permits >= 0, "initial permits must be non-negative");
         Semaphore {
             count: AtomicI64::new(permits),
             // Implementation-internal lock: keep it out of traces.
             waiters: SpinLock::untraced(VecDeque::new()),
             parks: AtomicU64::new(0),
+            fairness,
             site: SiteId::new(),
         }
     }
@@ -95,7 +105,7 @@ impl Semaphore {
         // Release ordering pairs with acquirers' Acquire CAS.
         self.count.fetch_add(1, Ordering::Release);
         hooks::site_changed(&self.site);
-        let waiter = self.waiters.lock().pop_front();
+        let waiter = self.fairness.select(&mut self.waiters.lock());
         if let Some(t) = waiter {
             hooks::unpark(&t);
         }
@@ -112,7 +122,7 @@ impl Semaphore {
         hooks::site_changed(&self.site);
         let mut q = self.waiters.lock();
         for _ in 0..n {
-            match q.pop_front() {
+            match self.fairness.select(&mut q) {
                 Some(t) => hooks::unpark(&t),
                 None => break,
             }

@@ -10,7 +10,8 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use pdc_core::metrics::Counter;
-use pdc_core::trace::{self, EventKind, ThreadTrace, TraceSession};
+use pdc_core::trace::{self, EventKind, SiteId, ThreadTrace, TraceSession};
+use pdc_sync::hooks::{self, AbortSchedule, SpawnToken};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,6 +47,10 @@ struct Shared {
     completed: Counter,
     /// Event stream for submissions; workers get their own handles.
     submit_trace: ThreadTrace,
+    /// Under a `pdc-check` exploration, the site idle workers and
+    /// `wait_idle` block on; submits, completions and shutdown announce
+    /// changes to it. Never allocated outside a checker.
+    idle_site: SiteId,
 }
 
 impl Shared {
@@ -71,6 +76,9 @@ impl Shared {
             seq,
             run: task,
         });
+        // Wake idle checked workers (and a checked wait_idle) blocked
+        // on the pool going quiet. No-op outside a checker.
+        hooks::site_changed(&self.idle_site);
     }
 }
 
@@ -78,6 +86,11 @@ impl Shared {
 pub struct WorkStealingPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Checker task tokens for the workers, when the pool was built
+    /// inside a `pdc-check` exploration (empty otherwise). Drop joins
+    /// these through the checker *before* the OS joins, so the baton
+    /// can keep moving while workers drain.
+    tokens: Vec<SpawnToken>,
     trace: TraceSession,
 }
 
@@ -104,6 +117,16 @@ impl WorkStealingPool {
         assert!(workers > 0, "pool needs at least one worker");
         let locals: Vec<Worker<QueuedTask>> = (0..workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
+        // Built inside a pdc-check exploration? Then the workers become
+        // checked tasks, and their events must land in the exploration's
+        // session (via sibling traces of the constructing task's thread
+        // trace), not in the pool's private one — otherwise the checker
+        // could neither schedule the workers nor see what they did.
+        let checked_parent = trace::current_sync_trace().filter(|_| hooks::is_checked());
+        let submit_trace = match &checked_parent {
+            Some(parent) => parent.sibling_auto(),
+            None => session.thread(workers as u32),
+        };
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
@@ -114,23 +137,38 @@ impl WorkStealingPool {
             steals: session.counter("pool.steals"),
             submitted: session.counter("pool.submitted"),
             completed: session.counter("pool.completed"),
-            submit_trace: session.thread(workers as u32),
+            submit_trace,
+            idle_site: SiteId::new(),
         });
+        let mut tokens = Vec::new();
         let handles = locals
             .into_iter()
             .enumerate()
             .map(|(idx, local)| {
                 let shared = Arc::clone(&shared);
-                let trace = session.thread(idx as u32);
+                let token = hooks::checked_spawn();
+                if let Some(t) = token {
+                    tokens.push(t);
+                }
+                let trace = match &checked_parent {
+                    Some(parent) => parent.sibling_auto(),
+                    None => session.thread(idx as u32),
+                };
                 std::thread::Builder::new()
                     .name(format!("pdc-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, local, shared, trace))
+                    .spawn(move || worker_loop(idx, local, shared, trace, token))
                     .expect("failed to spawn worker")
             })
             .collect();
+        // Give the checker a chance to run the freshly spawned workers
+        // (the hooks contract: yield once the OS threads exist).
+        if !tokens.is_empty() {
+            hooks::yield_point();
+        }
         WorkStealingPool {
             shared,
             handles,
+            tokens,
             trace: session,
         }
     }
@@ -145,6 +183,14 @@ impl WorkStealingPool {
     /// has finished.
     pub fn wait_idle(&self) {
         let mut spins = 0u32;
+        if hooks::is_checked() {
+            // Deterministic blocking: sleep until a submit/completion/
+            // shutdown announces a change, then re-check.
+            while self.shared.pending.load(Ordering::SeqCst) != 0 {
+                hooks::spin_wait(&mut spins, &self.shared.idle_site);
+            }
+            return;
+        }
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
             std::hint::spin_loop();
             spins = spins.wrapping_add(1);
@@ -205,16 +251,47 @@ impl PoolHandle {
 impl Drop for WorkStealingPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake idle checked workers so they can observe the shutdown,
+        // then join them through the checker *before* the blocking OS
+        // joins: a checked task stuck in an OS join would hold the
+        // baton and deadlock the whole exploration.
+        hooks::site_changed(&self.shared.idle_site);
+        for token in self.tokens.drain(..) {
+            hooks::join_task(&token);
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(idx: usize, local: Worker<QueuedTask>, shared: Arc<Shared>, trace: ThreadTrace) {
+fn worker_loop(
+    idx: usize,
+    local: Worker<QueuedTask>,
+    shared: Arc<Shared>,
+    trace: ThreadTrace,
+    token: Option<SpawnToken>,
+) {
     // Workers record acquire/release events from pdc-sync primitives
     // used inside tasks under their own actor id.
     trace::install_sync_trace(trace.clone());
+    if let Some(token) = token {
+        // Checked mode: the worker is a schedulable task. Teardown
+        // unwinds (AbortSchedule) and real panics both end in end_task,
+        // so the checker never waits on a dead worker.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hooks::begin_task(&token);
+            checked_worker_loop(idx, &local, &shared, &trace)
+        }));
+        if let Err(payload) = &result {
+            if !payload.is::<AbortSchedule>() {
+                let msg = panic_message(payload);
+                hooks::task_panicked(&token, &msg);
+            }
+        }
+        hooks::end_task(&token);
+        return;
+    }
     // In steal events, `victim` is the sibling worker's index, or the
     // worker count (== the submit actor id) for the global injector.
     let injector_id = shared.stealers.len() as u64;
@@ -281,6 +358,107 @@ fn worker_loop(idx: usize, local: Worker<QueuedTask>, shared: Arc<Shared>, trace
                 }
             }
         }
+    }
+}
+
+/// The worker body under a `pdc-check` exploration. The checker holds
+/// the whole pool to one runnable task at a time, which changes the
+/// shape of the loop:
+///
+/// * *which queue to steal from* becomes a recorded choice point
+///   ([`hooks::steal_victim`]) over the currently non-empty victims,
+///   instead of a fixed probe order — so exploration covers every
+///   victim-selection the scheduler could make;
+/// * idling blocks deterministically on the pool's idle site instead
+///   of spinning, and wakes only when a submit/completion/shutdown
+///   announces a change.
+fn checked_worker_loop(
+    idx: usize,
+    local: &Worker<QueuedTask>,
+    shared: &Arc<Shared>,
+    trace: &ThreadTrace,
+) {
+    let injector_id = shared.stealers.len() as u64;
+    let mut idle_spins = 0u32;
+    loop {
+        // A preemption point per dequeue attempt: grabbing the next
+        // task is itself a schedulable step.
+        hooks::yield_point();
+        let task = local.pop().or_else(|| {
+            // Enumerate non-empty victims under the baton (nothing can
+            // change concurrently), then let the checker pick.
+            let mut victims: Vec<Option<usize>> = Vec::new();
+            if !shared.injector.is_empty() {
+                victims.push(None);
+            }
+            for (s_idx, stealer) in shared.stealers.iter().enumerate() {
+                if s_idx != idx && !stealer.is_empty() {
+                    victims.push(Some(s_idx));
+                }
+            }
+            if victims.is_empty() {
+                return None;
+            }
+            let pick = victims[hooks::steal_victim(victims.len())];
+            match pick {
+                None => loop {
+                    match shared.injector.steal_batch_and_pop(local) {
+                        crossbeam::deque::Steal::Success(t) => {
+                            shared.steals.inc();
+                            trace.record(EventKind::Steal, injector_id, 1 + local.len() as u64);
+                            return Some(t);
+                        }
+                        crossbeam::deque::Steal::Retry => continue,
+                        crossbeam::deque::Steal::Empty => return None,
+                    }
+                },
+                Some(s_idx) => loop {
+                    match shared.stealers[s_idx].steal() {
+                        crossbeam::deque::Steal::Success(t) => {
+                            shared.steals.inc();
+                            trace.record(EventKind::Steal, s_idx as u64, 1);
+                            return Some(t);
+                        }
+                        crossbeam::deque::Steal::Retry => continue,
+                        crossbeam::deque::Steal::Empty => return None,
+                    }
+                },
+            }
+        });
+        match task {
+            Some(t) => {
+                trace.record(EventKind::Join, t.handle, t.seq);
+                if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t.run))
+                {
+                    if payload.is::<AbortSchedule>() {
+                        // Schedule teardown, not a task failure: keep
+                        // unwinding so the worker exits cleanly.
+                        std::panic::resume_unwind(payload);
+                    }
+                    shared.panicked.inc();
+                }
+                shared.executed.inc();
+                shared.completed.inc();
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                hooks::site_changed(&shared.idle_site);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                hooks::spin_wait(&mut idle_spins, &shared.idle_site);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
     }
 }
 

@@ -89,6 +89,19 @@ impl<T> Stealer<T> {
             None => Steal::Empty,
         }
     }
+
+    /// Number of tasks in the victim's deque (approximate under
+    /// concurrency; exact under a controlled scheduler). Real
+    /// crossbeam exposes the same accessor, which schedulers use to
+    /// pick a non-empty victim instead of probing blindly.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the victim's deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The global injection queue tasks enter the pool through.
