@@ -950,7 +950,7 @@ fn main() {
     // Wire children re-exec this binary; route them straight back into
     // the world they belong to before any argument handling.
     if let Some(world) = pdc_mpi::WireWorld::child_world_id() {
-        if world == pdc_bench::exp_serve::WORLD_ID {
+        if world == pdc_bench::exp_serve::WORLD_ID || world == pdc_bench::exp_scenario::WORLD_ID {
             pdc_db::serve::run_shard_child();
         }
         if world == pdc_bench::exp_wire::WORLD_STAR || world == pdc_bench::exp_wire::WORLD_MESH {
@@ -964,7 +964,8 @@ fn main() {
     match args.as_slice() {
         [flag] if flag == "--list" => {
             for e in &reg {
-                println!("{:16} {}", e.id, e.anchor);
+                let kind = if e.gate { " [gate]" } else { "" };
+                println!("{:16} {}{kind}", e.id, e.anchor);
             }
         }
         [flag, rest @ ..] if flag == "--trace" && rest.len() <= 1 => {
@@ -976,6 +977,7 @@ fn main() {
         [flag] if flag == "--shard" => run_shard_gate(),
         [flag] if flag == "--serve" => pdc_bench::exp_serve::run_serve_gate(),
         [flag] if flag == "--wire" => pdc_bench::exp_wire::run_wire_gate(),
+        [flag] if flag == "--scenario" => pdc_bench::exp_scenario::run_scenario_gate(),
         [flag] if flag == "--check" => run_check_gate(),
         [flag, rest @ ..] if flag == "--render" && rest.len() <= 1 => {
             let default = "target/pdc-trace/experiments.timeline.html".to_string();
@@ -996,7 +998,9 @@ fn main() {
         },
         [] => {
             let mut entries = Vec::new();
-            for e in &reg {
+            // Gates self-check, spawn OS processes, and exit non-zero on
+            // failure — they run behind their own flags, not the sweep.
+            for e in reg.iter().filter(|e| !e.gate) {
                 let (out, tables) = capture_tables(e.run);
                 println!("=== {} — {}\n", e.id, e.anchor);
                 println!("{out}");
@@ -1006,7 +1010,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --wire | --check | --render [path]]"
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --wire | --scenario | --check | --render [path]]"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,9 @@
 //!   scalability benches so that speedup *shapes* reproduce on any host
 //!   (including single-core CI boxes).
 //! * [`scaling`] — strong- and weak-scaling experiment drivers.
+//! * [`scenario`] — the `Scenario`×`Backend` execution seam: run one
+//!   deterministic workload on several backends, digest the outcomes
+//!   for cross-backend equality, and emit speedup/crossover tables.
 //! * [`stats`] — small-sample statistics and a repetition-based timer.
 //! * [`report`] — aligned text tables for regenerating the paper's
 //!   table-style summaries, plus the JSON helpers behind the trace
@@ -38,6 +41,7 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod scaling;
+pub mod scenario;
 pub mod stats;
 pub mod taskgraph;
 pub mod timeline;
@@ -48,6 +52,10 @@ pub use laws::{amdahl_speedup, efficiency, gustafson_speedup, karp_flatt, speedu
 pub use machine::{BarrierModel, CoreTrace, MachineConfig, SimMachine};
 pub use metrics::{Counter, Registry, Snapshot};
 pub use rng::Rng;
+pub use scenario::{
+    run_scenario, AnalyzeVerdict, Backend, BackendRun, Digest, Outcome, Scenario, ScenarioConfig,
+    ScenarioCtx, ScenarioReport,
+};
 pub use taskgraph::{ScheduleResult, TaskGraph, TaskId};
 pub use trace::{Event, EventKind, ThreadTrace, TraceRecorder, TraceSession};
 pub use workspan::WorkSpan;

@@ -26,9 +26,11 @@ pub mod join;
 pub mod serve;
 pub mod sharded;
 pub mod twopc;
+pub mod wordcount;
 
 pub use dht::HashRing;
 pub use join::{hash_join, parallel_hash_join, sort_merge_join};
 pub use serve::{ServeHandle, ServeOptions, ServeOutcome};
 pub use sharded::{apply_op, apply_script, Applied, KvState, ShardMsg, ShardOp};
 pub use twopc::{Coordinator, Decision};
+pub use wordcount::WordCountScenario;

@@ -1,0 +1,238 @@
+//! MapReduce word count behind the [`pdc_core::scenario`] seam — the
+//! serving stack's first non-synthetic client.
+//!
+//! `size` is the document count; documents are drawn from a skewed
+//! seeded vocabulary (a few hot words, a long tail — the shape that
+//! stresses a shuffle). Three ways to count:
+//!
+//! * **Sequential** — one `BTreeMap` pass, the baseline.
+//! * **Threads** — [`pdc_mpi::mapreduce::run_job`] with
+//!   [`tokenize`] as the map side: parallel mappers, hash shuffle,
+//!   parallel reducers.
+//! * **Mpi** — the shuffle *rides the sharded KV*: every token becomes
+//!   a `Put(word, "1")` routed through [`crate::sharded`], and the
+//!   store's version counter (bumped on every overwrite) **is** the
+//!   reduce — `count(word) = final version of key word`.
+//!
+//! The same versions-are-counts trick lets the scenario gate drive the
+//! full `db::serve` TCP stack as a fourth, out-of-process counter and
+//! compare digests; [`counts_from_kv`] converts either KV state.
+
+use crate::sharded::{run_local_traced, KvState, ShardOp};
+use pdc_core::rng::Rng;
+use pdc_core::scenario::{Backend, Digest, Outcome, Scenario, ScenarioCtx};
+use pdc_core::trace::TraceSession;
+use pdc_mpi::mapreduce::run_job;
+use std::collections::BTreeMap;
+
+/// Split a document into normalized words: whitespace-separated tokens,
+/// punctuation trimmed from both ends, lowercased, empties dropped.
+/// This is the exact normalization `pdc_mpi::mapreduce::word_count`
+/// applies, extracted so every backend counts the same tokens.
+pub fn tokenize(doc: &str) -> Vec<String> {
+    doc.split_whitespace()
+        .map(|w| {
+            w.trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase()
+        })
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+/// Deterministic corpus: `ndocs` documents of ~40 words drawn from a
+/// Zipf-flavored vocabulary (hot words picked often, tail words
+/// rarely), with occasional punctuation so [`tokenize`] has work to do.
+pub fn gen_docs(seed: u64, ndocs: usize) -> Vec<String> {
+    const HOT: &[&str] = &["the", "map", "reduce", "shard", "key", "data"];
+    const TAIL: &[&str] = &[
+        "cluster", "router", "shuffle", "merge", "halo", "trace", "digest", "backend", "version",
+        "commit", "replica", "quorum", "socket", "batch", "stream", "vector", "thread", "kernel",
+        "block", "cache",
+    ];
+    let mut rng = Rng::new(seed ^ 0x77c0_afee);
+    (0..ndocs)
+        .map(|_| {
+            let words = rng.usize_in(30, 50);
+            let doc: Vec<String> = (0..words)
+                .map(|_| {
+                    let w = if rng.chance(0.6) {
+                        *rng.choose(HOT)
+                    } else {
+                        *rng.choose(TAIL)
+                    };
+                    match rng.gen_range(10) {
+                        0 => format!("{w},"),
+                        1 => format!("{w}."),
+                        2 => {
+                            let mut u = w.to_string();
+                            u[..1].make_ascii_uppercase();
+                            u
+                        }
+                        _ => w.to_string(),
+                    }
+                })
+                .collect();
+            doc.join(" ")
+        })
+        .collect()
+}
+
+/// Baseline: count every token of every document in one `BTreeMap`.
+pub fn count_sequential(docs: &[String]) -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for doc in docs {
+        for word in tokenize(doc) {
+            *counts.entry(word).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Recover word counts from a sharded-KV final state where every token
+/// was `Put` exactly once: a key's version bumps on each overwrite, so
+/// its final version equals the number of `Put`s — the count. Works on
+/// both [`run_local_traced`]'s state and a `db::serve` outcome's.
+pub fn counts_from_kv(state: &KvState) -> Vec<(String, u64)> {
+    state
+        .iter()
+        .map(|(key, (_val, ver))| (key.clone(), *ver))
+        .collect()
+}
+
+/// The `Put(word, "1")` stream for `docs`, in document/token order —
+/// the shuffle traffic the KV backends route.
+pub fn put_ops(docs: &[String]) -> Vec<ShardOp> {
+    docs.iter()
+        .flat_map(|doc| tokenize(doc))
+        .map(|word| ShardOp::Put {
+            key: word,
+            val: "1".to_string(),
+        })
+        .collect()
+}
+
+/// Digest a sorted `(word, count)` table.
+pub fn digest_counts(counts: &[(String, u64)]) -> u64 {
+    let mut d = Digest::new();
+    d.write_u64(counts.len() as u64);
+    for (word, n) in counts {
+        d.write_str(word);
+        d.write_u64(*n);
+    }
+    d.finish()
+}
+
+/// MapReduce word count on sequential / threads / sharded-KV backends.
+pub struct WordCountScenario;
+
+/// Count words using [`run_job`]'s thread-parallel map/shuffle/reduce.
+fn count_mapreduce(docs: Vec<String>, workers: usize) -> Vec<(String, u64)> {
+    let (mut counts, _stats) = run_job(
+        docs,
+        workers,
+        workers,
+        |doc: String| {
+            tokenize(&doc)
+                .into_iter()
+                .map(|w| (w, 1u64))
+                .collect::<Vec<_>>()
+        },
+        |_word, ones: Vec<u64>| ones.iter().sum::<u64>(),
+    );
+    counts.sort();
+    counts
+}
+
+/// Count words by routing one `Put` per token through the sharded KV
+/// (coalesced batches) and reading counts back out of the versions.
+fn count_sharded(docs: &[String], shards: usize, session: &TraceSession) -> Vec<(String, u64)> {
+    let ops = put_ops(docs);
+    session
+        .counter("wordcount.shuffle_puts")
+        .add(ops.len() as u64);
+    let (state, _traffic) = run_local_traced(shards, &ops, true, session);
+    counts_from_kv(&state)
+}
+
+impl Scenario for WordCountScenario {
+    fn name(&self) -> &'static str {
+        "wordcount"
+    }
+
+    fn backends(&self) -> Vec<Backend> {
+        vec![
+            Backend::Sequential,
+            Backend::Threads { workers: 4 },
+            Backend::Mpi {
+                ranks: 3,
+                wire: false,
+            },
+        ]
+    }
+
+    fn run(&self, backend: &Backend, ctx: &ScenarioCtx<'_>) -> Outcome {
+        let docs = gen_docs(ctx.seed, ctx.size);
+        let counts = match backend {
+            Backend::Sequential => count_sequential(&docs),
+            Backend::Threads { workers } => count_mapreduce(docs.clone(), *workers),
+            Backend::Mpi { ranks, wire: false } => count_sharded(&docs, *ranks, ctx.session),
+            other => panic!("wordcount scenario does not support {other}"),
+        };
+        let items: u64 = counts.iter().map(|(_, n)| n).sum();
+        ctx.session.counter("wordcount.words").add(items);
+        Outcome {
+            digest: digest_counts(&counts),
+            items,
+            detail: format!("distinct={}", counts.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::scenario::{run_scenario, AnalyzeVerdict, ScenarioConfig};
+
+    fn no_analyzer(_: &TraceSession) -> AnalyzeVerdict {
+        AnalyzeVerdict {
+            clean: true,
+            defects: 0,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn tokenize_matches_word_count_normalization() {
+        assert_eq!(
+            tokenize("The map, the REDUCE. (shard)"),
+            vec!["the", "map", "the", "reduce", "shard"]
+        );
+        assert_eq!(tokenize("  ... !!! "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn all_backends_agree_on_small_corpora() {
+        let cfg = ScenarioConfig::new(21, &[3, 10]);
+        let report = run_scenario(&WordCountScenario, &cfg, &no_analyzer);
+        assert_eq!(report.runs.len(), 6);
+        assert!(report.outcomes_agree(), "{:?}", report.mismatches());
+        assert!(report.rows_valid());
+    }
+
+    #[test]
+    fn sharded_versions_equal_sequential_counts() {
+        let docs = gen_docs(4, 6);
+        let session = TraceSession::with_capacity(1 << 16);
+        let seq = count_sequential(&docs);
+        let kv = count_sharded(&docs, 3, &session);
+        assert_eq!(kv, seq);
+        let puts: u64 = seq.iter().map(|(_, n)| n).sum();
+        assert_eq!(session.snapshot().get("wordcount.shuffle_puts"), puts);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_seed_sensitive() {
+        assert_eq!(gen_docs(9, 4), gen_docs(9, 4));
+        assert_ne!(gen_docs(9, 4), gen_docs(10, 4));
+    }
+}

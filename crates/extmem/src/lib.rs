@@ -15,6 +15,8 @@
 //! * [`matrix`] — out-of-core matrix transpose, naive vs blocked.
 //! * [`theory`] — closed-form I/O bounds (scan, sort, permute) used by
 //!   tests and the experiment tables.
+//! * [`scenario`] — the sort behind the [`pdc_core::scenario`] seam:
+//!   sequential vs pool-sorted run formation, same I/O count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,9 +25,11 @@ pub mod device;
 pub mod extsort;
 pub mod matrix;
 pub mod pool;
+pub mod scenario;
 pub mod theory;
 
 pub use device::{Disk, FileId, IoStats};
-pub use extsort::external_merge_sort;
+pub use extsort::{external_merge_sort, external_merge_sort_pooled};
 pub use matrix::{multiply_into, OocMatrix};
 pub use pool::CachedArray;
+pub use scenario::ExtsortScenario;

@@ -332,9 +332,74 @@ impl Device {
     }
 }
 
+/// Data-parallel map on a fresh device: one simulated GPU thread per
+/// element, `out[i] = f(i)`. This is the scenario seam's GpuSim-backend
+/// primitive — the workload packs whatever it computes per element into
+/// one `i64` word.
+///
+/// Launches `ceil(n / block_dim)` blocks of `block_dim` threads over a
+/// device with `n` words of global memory (threads past `n` idle, as a
+/// real padded launch would). With `Some(session)` the device publishes
+/// `gpu.*` counters and a `kernel` event; the memory result is
+/// identical either way, and — since blocks execute sequentially — the
+/// output is deterministic.
+///
+/// # Panics
+/// Panics if `block_dim == 0`.
+pub fn map_kernel(
+    n: usize,
+    block_dim: usize,
+    session: Option<&TraceSession>,
+    f: &(dyn Fn(usize) -> i64 + Sync),
+) -> (Vec<i64>, KernelStats) {
+    assert!(block_dim > 0, "empty block");
+    let mut device = Device::new(n.max(1));
+    if let Some(session) = session {
+        device.attach_trace(session);
+    }
+    let grid_dim = n.div_ceil(block_dim).max(1);
+    let phase: Phase<'_> = Box::new(move |t: &mut ThreadCtx<'_>| {
+        let i = t.gtid();
+        if i < n {
+            t.compute();
+            t.write_global(i, f(i));
+        }
+    });
+    let stats = device.launch(grid_dim, block_dim, 0, &[phase]);
+    device.global.truncate(n);
+    (device.global, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn map_kernel_matches_host_map() {
+        let n = 100;
+        let (out, stats) = map_kernel(n, 32, None, &|i| (i as i64) * 3 - 7);
+        let host: Vec<i64> = (0..n).map(|i| (i as i64) * 3 - 7).collect();
+        assert_eq!(out, host);
+        assert!(stats.executed_ops > 0);
+    }
+
+    #[test]
+    fn map_kernel_traced_is_identical_and_publishes_counters() {
+        let session = TraceSession::new();
+        let (traced, _) = map_kernel(17, 8, Some(&session), &|i| i as i64 + 1);
+        let (bare, _) = map_kernel(17, 8, None, &|i| i as i64 + 1);
+        assert_eq!(traced, bare);
+        let snap = session.snapshot();
+        assert_eq!(snap.get("gpu.launches"), 1);
+        assert!(snap.get("gpu.executed_ops") > 0);
+        assert!(session.events().iter().any(|e| e.kind == EventKind::Kernel));
+    }
+
+    #[test]
+    fn map_kernel_empty_input() {
+        let (out, _) = map_kernel(0, 16, None, &|_| unreachable!("no elements"));
+        assert!(out.is_empty());
+    }
 
     fn copy_phase<'k>(n: usize, stride: usize) -> Vec<Phase<'k>> {
         vec![Box::new(move |t: &mut ThreadCtx<'_>| {

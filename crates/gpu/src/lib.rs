@@ -30,4 +30,4 @@
 pub mod device;
 pub mod kernels;
 
-pub use device::{Device, GpuConfig, KernelStats, ThreadCtx};
+pub use device::{map_kernel, Device, GpuConfig, KernelStats, ThreadCtx};

@@ -10,6 +10,7 @@
 //! sequential engine; message counts are exactly `2 · p · generations`.
 
 use crate::grid::{Boundary, Grid};
+use pdc_core::trace::TraceSession;
 use pdc_mpi::world::{Rank, TrafficStats, World};
 
 const TAG_UP: u32 = 1; // a row traveling toward lower rank ids
@@ -18,6 +19,9 @@ const TAG_DOWN: u32 = 2; // a row traveling toward higher rank ids
 /// Advance a torus board by `generations` on `ranks` message-passing
 /// ranks. Returns the final board and the traffic counters.
 ///
+/// Untraced convenience wrapper around
+/// [`dist_step_generations_traced`].
+///
 /// # Panics
 /// Panics if the board is not a torus (bands assume ring wrap), or if
 /// `ranks == 0`.
@@ -25,6 +29,25 @@ pub fn dist_step_generations(
     grid: &Grid,
     generations: usize,
     ranks: usize,
+) -> (Grid, TrafficStats) {
+    dist_step_generations_traced(grid, generations, ranks, None)
+}
+
+/// [`dist_step_generations`] with optional pdc-trace observability:
+/// with `Some(session)`, every rank records its send/recv events as
+/// actor `rank.id()` (so `pdc-analyze`'s MPI lint sees the halo
+/// exchange), each boundary row shipped bumps `life.halo_rows`, and the
+/// generation count lands in `life.generations`. The resulting board is
+/// identical either way.
+///
+/// # Panics
+/// Panics if the board is not a torus (bands assume ring wrap), or if
+/// `ranks == 0`.
+pub fn dist_step_generations_traced(
+    grid: &Grid,
+    generations: usize,
+    ranks: usize,
+    session: Option<&TraceSession>,
 ) -> (Grid, TrafficStats) {
     assert!(
         grid.boundary() == Boundary::Torus,
@@ -51,7 +74,11 @@ pub fn dist_step_generations(
         .map(|r| (0..cols).map(|c| u8::from(grid.get(r, c))).collect())
         .collect();
 
-    let (bands, stats) = World::run(p, |rank: &mut Rank<Vec<u8>>| {
+    if let Some(session) = session {
+        session.counter("life.generations").add(generations as u64);
+    }
+
+    let (bands, stats) = World::run_opt(p, session, |rank: &mut Rank<Vec<u8>>| {
         let me = rank.id();
         let up = (me + p - 1) % p;
         let down = (me + 1) % p;
@@ -68,7 +95,9 @@ pub fn dist_step_generations(
         for _ in 0..generations {
             // Halo exchange: my top row travels up, my bottom row down.
             rank.send(up, TAG_UP, cur[1].clone());
+            rank.count("life.halo_rows");
             rank.send(down, TAG_DOWN, cur[band_rows].clone());
+            rank.count("life.halo_rows");
             // My ghost-bottom is the down neighbor's top row (tag UP);
             // my ghost-top is the up neighbor's bottom row (tag DOWN).
             let ghost_bottom = rank.recv(down, TAG_UP);
@@ -166,6 +195,28 @@ mod tests {
         let (seq, _) = step_generations(&g, 4);
         let (dist, _) = dist_step_generations(&g, 4, 1);
         assert_eq!(dist, seq);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_halo_rows() {
+        let g = Grid::random(24, 12, Boundary::Torus, 0.4, 9);
+        let (gens, ranks) = (5usize, 3usize);
+        let session = TraceSession::new();
+        let (traced, _) = dist_step_generations_traced(&g, gens, ranks, Some(&session));
+        let (bare, _) = dist_step_generations(&g, gens, ranks);
+        assert_eq!(traced, bare, "tracing must not change the board");
+        let snap = session.snapshot();
+        // Two boundary rows shipped per rank per generation.
+        assert_eq!(snap.get("life.halo_rows"), (2 * ranks * gens) as u64);
+        assert_eq!(snap.get("life.generations"), gens as u64);
+        assert_eq!(snap.get("mpi.msgs"), (2 * ranks * gens) as u64);
+        // The halo sends/recvs are in the event stream for the analyzer.
+        let events = session.events();
+        let sends = events
+            .iter()
+            .filter(|e| e.kind == pdc_core::trace::EventKind::Send)
+            .count();
+        assert_eq!(sends, 2 * ranks * gens);
     }
 
     #[test]

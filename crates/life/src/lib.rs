@@ -16,6 +16,8 @@
 //!   reproduces the lab's speedup curves on any host.
 //! * [`dist`] — the distributed version on [`pdc_mpi`]: row bands with
 //!   ghost-row exchange, the halo pattern CS87 teaches.
+//! * [`scenario`] — all of the above behind the
+//!   [`pdc_core::scenario`] seam, digest-checked across backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +27,9 @@ pub mod engine;
 pub mod grid;
 pub mod parallel;
 pub mod scaling;
+pub mod scenario;
 
 pub use engine::step_generations;
 pub use grid::{Boundary, Grid};
 pub use parallel::parallel_step_generations;
+pub use scenario::LifeScenario;

@@ -1,0 +1,108 @@
+//! The Game of Life behind the [`pdc_core::scenario`] seam.
+//!
+//! `size` is the board's side length (a `size × size` torus, random
+//! fill from the seed); the work is a fixed number of generations. The
+//! sequential engine is the baseline; the threads backend is the
+//! barrier-per-generation row-partitioned stepper; the MPI backend is
+//! the halo-exchange band decomposition, traced so `pdc-analyze` sees
+//! the exchange. All three are bit-identical, which is exactly what the
+//! outcome digest asserts.
+
+use crate::dist::dist_step_generations_traced;
+use crate::engine::step_generations;
+use crate::grid::{Boundary, Grid};
+use crate::parallel::parallel_step_generations;
+use pdc_core::scenario::{Backend, Digest, Outcome, Scenario, ScenarioCtx};
+
+/// Generations per run: enough for patterns to cross band boundaries,
+/// small enough that the sweep stays fast.
+pub const GENERATIONS: usize = 8;
+
+/// Live-cell density of the seeded random board.
+const DENSITY: f64 = 0.35;
+
+/// Digest a board: dimensions plus every cell in row-major order.
+pub fn digest_grid(grid: &Grid) -> u64 {
+    let mut d = Digest::new();
+    d.write_u64(grid.rows() as u64);
+    d.write_u64(grid.cols() as u64);
+    for r in 0..grid.rows() {
+        for c in 0..grid.cols() {
+            d.write(&[u8::from(grid.get(r, c))]);
+        }
+    }
+    d.finish()
+}
+
+/// Game of Life on sequential / threads / MPI backends.
+pub struct LifeScenario;
+
+impl Scenario for LifeScenario {
+    fn name(&self) -> &'static str {
+        "life"
+    }
+
+    fn backends(&self) -> Vec<Backend> {
+        vec![
+            Backend::Sequential,
+            Backend::Threads { workers: 4 },
+            Backend::Mpi {
+                ranks: 4,
+                wire: false,
+            },
+        ]
+    }
+
+    fn run(&self, backend: &Backend, ctx: &ScenarioCtx<'_>) -> Outcome {
+        let grid = Grid::random(ctx.size, ctx.size, Boundary::Torus, DENSITY, ctx.seed);
+        let out = match backend {
+            Backend::Sequential => step_generations(&grid, GENERATIONS).0,
+            Backend::Threads { workers } => {
+                parallel_step_generations(&grid, GENERATIONS, *workers).0
+            }
+            Backend::Mpi { ranks, wire: false } => {
+                dist_step_generations_traced(&grid, GENERATIONS, *ranks, Some(ctx.session)).0
+            }
+            other => panic!("life scenario does not support {other}"),
+        };
+        let items = (ctx.size * ctx.size * GENERATIONS) as u64;
+        ctx.session.counter("life.cell_updates").add(items);
+        Outcome {
+            digest: digest_grid(&out),
+            items,
+            detail: format!("pop={}", out.population()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::scenario::{run_scenario, AnalyzeVerdict, ScenarioConfig};
+    use pdc_core::trace::TraceSession;
+
+    fn no_analyzer(_: &TraceSession) -> AnalyzeVerdict {
+        AnalyzeVerdict {
+            clean: true,
+            defects: 0,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_small_boards() {
+        let cfg = ScenarioConfig::new(42, &[12, 20]);
+        let report = run_scenario(&LifeScenario, &cfg, &no_analyzer);
+        assert_eq!(report.runs.len(), 6);
+        assert!(report.outcomes_agree(), "{:?}", report.mismatches());
+        assert!(report.rows_valid());
+    }
+
+    #[test]
+    fn digest_tracks_board_content() {
+        let a = Grid::random(10, 10, Boundary::Torus, 0.5, 1);
+        let b = Grid::random(10, 10, Boundary::Torus, 0.5, 2);
+        assert_ne!(digest_grid(&a), digest_grid(&b));
+        assert_eq!(digest_grid(&a), digest_grid(&a.clone()));
+    }
+}

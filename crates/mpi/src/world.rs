@@ -329,6 +329,26 @@ impl World {
         World::run_inner(p, Some(session), f)
     }
 
+    /// [`World::run`] or [`World::run_traced`] behind one signature:
+    /// `Some(session)` traces, `None` runs bare. Lets callers that are
+    /// themselves generic over tracing (the scenario seam's workload
+    /// wrappers) avoid duplicating both code paths.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or if any rank panics.
+    pub fn run_opt<M, R, F>(
+        p: usize,
+        session: Option<&TraceSession>,
+        f: F,
+    ) -> (Vec<R>, TrafficStats)
+    where
+        M: Payload,
+        R: Send,
+        F: Fn(&mut Rank<M>) -> R + Sync,
+    {
+        World::run_inner(p, session, f)
+    }
+
     fn run_inner<M, R, F>(p: usize, session: Option<&TraceSession>, f: F) -> (Vec<R>, TrafficStats)
     where
         M: Payload,

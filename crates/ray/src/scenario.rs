@@ -1,0 +1,104 @@
+//! The ray tracer behind the [`pdc_core::scenario`] seam.
+//!
+//! `size` is the image width (height is `3·size/4`, the demo aspect);
+//! the scene is the seed-jittered demo scene. The sequential renderer
+//! is the baseline; the threads backend renders rows on the
+//! work-stealing pool; the GpuSim backend shades one simulated GPU
+//! thread per pixel. Shading is a pure function of (scene, pixel), so
+//! all backends are bit-identical — the digest covers the full PPM
+//! encoding.
+
+use crate::render::{render_gpu, render_pool, render_sequential, Image};
+use crate::scene::{Camera, Scene};
+use pdc_core::scenario::{Backend, Digest, Outcome, Scenario, ScenarioCtx};
+use pdc_threads::pool::WorkStealingPool;
+
+/// Mirror-recursion depth per run.
+pub const DEPTH: u32 = 2;
+
+/// Digest an image: its full PPM byte stream (dimensions included via
+/// the header).
+pub fn digest_image(img: &Image) -> u64 {
+    let mut d = Digest::new();
+    d.write(&img.to_ppm());
+    d.finish()
+}
+
+/// Ray tracing on sequential / pool / GPU-sim backends.
+pub struct RayScenario;
+
+impl RayScenario {
+    fn dims(size: usize) -> (usize, usize) {
+        (size, (size * 3 / 4).max(1))
+    }
+}
+
+impl Scenario for RayScenario {
+    fn name(&self) -> &'static str {
+        "ray"
+    }
+
+    fn backends(&self) -> Vec<Backend> {
+        vec![
+            Backend::Sequential,
+            Backend::Threads { workers: 4 },
+            Backend::GpuSim,
+        ]
+    }
+
+    fn run(&self, backend: &Backend, ctx: &ScenarioCtx<'_>) -> Outcome {
+        let scene = Scene::seeded(ctx.seed);
+        let cam = Camera::demo();
+        let (w, h) = Self::dims(ctx.size);
+        let img = match backend {
+            Backend::Sequential => render_sequential(&scene, &cam, w, h, DEPTH),
+            Backend::Threads { workers } => {
+                let pool = WorkStealingPool::with_trace(*workers, ctx.session.clone());
+                render_pool(&scene, &cam, w, h, DEPTH, &pool)
+            }
+            Backend::GpuSim => render_gpu(&scene, &cam, w, h, DEPTH, Some(ctx.session)).0,
+            other => panic!("ray scenario does not support {other}"),
+        };
+        let items = (w * h) as u64;
+        ctx.session.counter("ray.pixels").add(items);
+        Outcome {
+            digest: digest_image(&img),
+            items,
+            detail: format!("lum={:.1}", img.mean_luminance()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_core::scenario::{run_scenario, AnalyzeVerdict, ScenarioConfig};
+    use pdc_core::trace::TraceSession;
+
+    fn no_analyzer(_: &TraceSession) -> AnalyzeVerdict {
+        AnalyzeVerdict {
+            clean: true,
+            defects: 0,
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_small_images() {
+        let cfg = ScenarioConfig::new(11, &[16, 32]);
+        let report = run_scenario(&RayScenario, &cfg, &no_analyzer);
+        assert_eq!(report.runs.len(), 6);
+        assert!(report.outcomes_agree(), "{:?}", report.mismatches());
+        assert!(report.rows_valid());
+    }
+
+    #[test]
+    fn different_seeds_render_different_images() {
+        let a = Scene::seeded(1);
+        let b = Scene::seeded(2);
+        let cam = Camera::demo();
+        let ia = render_sequential(&a, &cam, 24, 18, DEPTH);
+        let ib = render_sequential(&b, &cam, 24, 18, DEPTH);
+        assert_ne!(digest_image(&ia), digest_image(&ib));
+    }
+}

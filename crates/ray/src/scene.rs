@@ -237,6 +237,21 @@ impl Scene {
             ambient: Vec3::new(0.08, 0.08, 0.08),
         }
     }
+
+    /// A deterministic variation of the demo scene: sphere centers are
+    /// jittered (±0.2 in x and z) by a [`pdc_core::Rng`] seeded with
+    /// `seed`, so different seeds render different images while a fixed
+    /// seed reproduces exactly. The scenario seam uses this for its
+    /// seed-parameterized inputs.
+    pub fn seeded(seed: u64) -> Scene {
+        let mut rng = pdc_core::Rng::new(seed);
+        let mut scene = Scene::demo();
+        for s in &mut scene.spheres {
+            s.center.x += rng.f64() * 0.4 - 0.2;
+            s.center.z += rng.f64() * 0.4 - 0.2;
+        }
+        scene
+    }
 }
 
 /// A pinhole camera.

@@ -24,4 +24,4 @@ pub mod sliceops;
 
 pub use join::join;
 pub use parfor::{parallel_for, Schedule};
-pub use pool::WorkStealingPool;
+pub use pool::{pool_map, WorkStealingPool};

@@ -248,6 +248,48 @@ impl PoolHandle {
     }
 }
 
+/// Map `f` over `items` on the pool, preserving order: the scenario
+/// seam's threads-backend primitive. Each item becomes one pool task;
+/// results land in per-item lock slots and are collected after
+/// [`WorkStealingPool::wait_idle`], so the output is index-for-index
+/// with the input regardless of which worker ran what (or in what
+/// stolen order).
+///
+/// Blocks until the pool is idle, so callers should hand this a pool
+/// with no unrelated in-flight tasks.
+pub fn pool_map<T, R>(
+    pool: &WorkStealingPool,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Send + Sync + 'static,
+) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    type Slot<T, R> = pdc_sync::SpinLock<(Option<T>, Option<R>)>;
+    let slots: Arc<Vec<Slot<T, R>>> = Arc::new(
+        items
+            .into_iter()
+            .map(|t| pdc_sync::SpinLock::new((Some(t), None)))
+            .collect(),
+    );
+    let f = Arc::new(f);
+    for i in 0..slots.len() {
+        let slots = Arc::clone(&slots);
+        let f = Arc::clone(&f);
+        pool.spawn(move || {
+            let input = slots[i].lock().0.take().expect("each item is taken once");
+            let output = f(input);
+            slots[i].lock().1 = Some(output);
+        });
+    }
+    pool.wait_idle();
+    slots
+        .iter()
+        .map(|s| s.lock().1.take().expect("task completed before wait_idle"))
+        .collect()
+}
+
 impl Drop for WorkStealingPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -709,6 +751,24 @@ mod tests {
             .filter(|e| e.kind == EventKind::Release)
             .count();
         assert_eq!(releases, 10);
+    }
+
+    #[test]
+    fn pool_map_preserves_order_and_matches_sequential() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * v + 1).collect();
+        let got = pool_map(&pool, items, |v| v * v + 1);
+        assert_eq!(got, expected);
+        assert_eq!(pool.executed(), 500);
+    }
+
+    #[test]
+    fn pool_map_handles_empty_and_single_item() {
+        let pool = WorkStealingPool::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(pool_map(&pool, empty, |v| v + 1), Vec::<u32>::new());
+        assert_eq!(pool_map(&pool, vec![41u32], |v| v + 1), vec![42]);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Property tests for the `Scenario`×`Backend` seam: for random seeds
+//! and sizes, every scenario's `Outcome` digest is invariant across all
+//! backends it supports, the real `pdc-analyze` pass is clean on every
+//! run, and the speedup tables contain no NaN or zero-duration rows.
+
+use pdc::core::scenario::{run_scenario, AnalyzeVerdict, Scenario, ScenarioConfig};
+use pdc::core::trace::TraceSession;
+use proptest::prelude::*;
+
+/// The real analyzer, condensed to the seam's verdict type.
+fn analyzer(session: &TraceSession) -> AnalyzeVerdict {
+    let report = pdc::analyze::analyze(session);
+    AnalyzeVerdict {
+        clean: report.clean(),
+        defects: report.defects.len(),
+        events: report.events_analyzed,
+    }
+}
+
+/// The shared property: sweep the scenario at one size, then assert the
+/// seam's three contracts.
+fn check(scenario: &dyn Scenario, seed: u64, size: usize) {
+    let cfg = ScenarioConfig::new(seed, &[size]);
+    let report = run_scenario(scenario, &cfg, &analyzer);
+    assert!(
+        report.runs.len() >= 2,
+        "{} must run on at least two backends",
+        scenario.name()
+    );
+    assert!(
+        report.outcomes_agree(),
+        "digest mismatch: {:?}",
+        report.mismatches()
+    );
+    assert!(report.all_clean(), "pdc-analyze flagged a run");
+    assert!(
+        report.rows_valid(),
+        "table rows must have positive durations and finite speedups"
+    );
+    for r in &report.runs {
+        assert_eq!(r.dropped, 0, "{} dropped trace events", r.backend);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn life_digest_invariant_across_backends(seed in any::<u64>(), size in 8usize..24) {
+        check(&pdc::life::LifeScenario, seed, size);
+    }
+
+    #[test]
+    fn ray_digest_invariant_across_backends(seed in any::<u64>(), width in 8usize..20) {
+        check(&pdc::ray::RayScenario, seed, width);
+    }
+
+    #[test]
+    fn extsort_digest_and_io_schedule_invariant(seed in any::<u64>(), n in 64usize..512) {
+        check(&pdc::extmem::ExtsortScenario, seed, n);
+    }
+
+    #[test]
+    fn wordcount_digest_invariant_across_backends(seed in any::<u64>(), docs in 1usize..5) {
+        check(&pdc::db::WordCountScenario, seed, docs);
+    }
+}
