@@ -12,8 +12,26 @@
 //!
 //! (The out-of-core variant lives in `pdc-extmem::extsort`.)
 
-use pdc_core::workspan::{closed_form, WorkSpan};
+use pdc_core::workspan::{closed_form, Bounds, Theta, WorkSpan};
 use pdc_threads::join::{depth_for, join_depth};
+
+/// Declared asymptotic bounds for the three merge-sort variants — the
+/// registry entries the span gate (and the tests below) curve-fit
+/// measured/closed-form size sweeps against. Order matches the module
+/// table: sequential, serial-merge parallel, parallel-merge parallel.
+pub fn declared_bounds() -> Vec<(&'static str, Bounds)> {
+    vec![
+        ("merge_sort", Bounds::new(Theta::NLogN, Theta::NLogN)),
+        (
+            "parallel_merge_sort",
+            Bounds::new(Theta::NLogN, Theta::Linear),
+        ),
+        (
+            "parallel_merge_sort_pmerge",
+            Bounds::new(Theta::NLogN, Theta::LogCubed),
+        ),
+    ]
+}
 
 /// Stable sequential merge of two sorted slices into a vector.
 pub fn merge<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
@@ -261,6 +279,42 @@ mod tests {
         // Parallelism ordering follows.
         assert!(pm.parallelism() > par.parallelism());
         assert!(par.parallelism() > seq.parallelism());
+    }
+
+    #[test]
+    fn declared_bounds_track_closed_form_sweeps() {
+        // Sweep the closed-form analyses over a 64x size range and
+        // curve-fit against the registry declarations: the right shape
+        // fits tightly, swapping declarations between variants fails.
+        let sizes = [1u64 << 10, 1 << 12, 1 << 14, 1 << 16];
+        let sweep = |f: fn(u64) -> WorkSpan| -> Vec<(u64, WorkSpan)> {
+            sizes.iter().map(|&n| (n, f(n))).collect()
+        };
+        let registry = declared_bounds();
+        let find = |name: &str| {
+            registry
+                .iter()
+                .find(|(k, _)| *k == name)
+                .unwrap_or_else(|| panic!("{name} not in registry"))
+                .1
+        };
+        type AnalysisCase = (&'static str, fn(u64) -> WorkSpan);
+        let cases: [AnalysisCase; 3] = [
+            ("merge_sort", analysis_sequential),
+            ("parallel_merge_sort", analysis_parallel_serial_merge),
+            ("parallel_merge_sort_pmerge", analysis_parallel_pmerge),
+        ];
+        for (name, f) in cases {
+            let (w, s) = find(name).fit(&sweep(f), 1.5);
+            assert!(w.ok, "{name} work: {w:?}");
+            assert!(s.ok, "{name} span: {s:?}");
+        }
+        // Cross-check: the sequential span is NOT Θ(n) and the
+        // serial-merge span is NOT Θ(n log n) over this range.
+        let (_, s) = find("parallel_merge_sort").fit(&sweep(analysis_sequential), 1.5);
+        assert!(!s.ok, "n log n span must not fit a Θ(n) declaration");
+        let (_, s) = find("merge_sort").fit(&sweep(analysis_parallel_serial_merge), 1.5);
+        assert!(!s.ok, "Θ(n) span must not fit an n log n declaration");
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! | lock-order cycles | can these acquisitions deadlock? | [`lockorder`] |
 //! | MPI lint | do messages and collectives match up? | [`mpi_lint`] |
 //!
+//! Alongside the correctness verdicts, [`span`] profiles *performance
+//! shape*: it reconstructs the computation DAG from the same stream
+//! and measures empirical work, span (critical path), and parallelism
+//! — the quantities Brent's bound turns into predicted `Tp`.
+//!
 //! Multi-process (`pdc-trace/3`) snapshots go through
 //! [`merged::analyze_merged`], which causally reorders the per-process
 //! streams and namespaces process-local ids before running the same
@@ -46,10 +51,12 @@ pub mod lockset;
 pub mod merged;
 pub mod mpi_lint;
 pub mod report;
+pub mod span;
 pub mod vc;
 
 pub use merged::{analyze_merged, shrink_failed};
 pub use report::{Defect, DefectKind, Report};
+pub use span::{analyze_span, analyze_span_merged, analyze_span_session, SpanReport};
 
 use pdc_core::trace::{Event, TraceSession};
 

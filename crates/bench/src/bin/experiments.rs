@@ -953,6 +953,12 @@ fn main() {
         if world == pdc_bench::exp_serve::WORLD_ID || world == pdc_bench::exp_scenario::WORLD_ID {
             pdc_db::serve::run_shard_child();
         }
+        if world.starts_with(pdc_bench::exp_scenario::WC_WIRE_PREFIX) {
+            pdc_db::run_wire_wordcount_child(
+                &pdc_bench::exp_scenario::wordcount_wire_spec(),
+                &world,
+            );
+        }
         if world == pdc_bench::exp_wire::WORLD_STAR || world == pdc_bench::exp_wire::WORLD_MESH {
             pdc_bench::exp_wire::reenter(&world);
         }
@@ -978,6 +984,7 @@ fn main() {
         [flag] if flag == "--serve" => pdc_bench::exp_serve::run_serve_gate(),
         [flag] if flag == "--wire" => pdc_bench::exp_wire::run_wire_gate(),
         [flag] if flag == "--scenario" => pdc_bench::exp_scenario::run_scenario_gate(),
+        [flag] if flag == "--span" => pdc_bench::exp_span::run_span_gate(),
         [flag] if flag == "--check" => run_check_gate(),
         [flag, rest @ ..] if flag == "--render" && rest.len() <= 1 => {
             let default = "target/pdc-trace/experiments.timeline.html".to_string();
@@ -1010,7 +1017,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --wire | --scenario | --check | --render [path]]"
+                "usage: experiments [--list | --exp <id> | --trace [path] | --analyze | --shard | --serve | --wire | --scenario | --span | --check | --render [path]]"
             );
             std::process::exit(2);
         }

@@ -1,10 +1,14 @@
 //! `experiments --scenario`: the cross-backend workload gate.
 //!
 //! Every real workload in the workspace — Game of Life, the ray
-//! tracer, external merge sort, MapReduce word count — runs through
-//! the [`pdc_core::scenario`] seam on every backend it supports, at
-//! three problem sizes, three timed repetitions each. The gate passes
-//! only if the seam's contracts hold:
+//! tracer, external merge sort, MapReduce word count, iterative
+//! pagerank — runs through the [`pdc_core::scenario`] seam on every
+//! backend it supports, at three problem sizes, three timed
+//! repetitions each. Word count additionally runs on `mpi-wire`: the
+//! same sharded-KV shuffle over real OS processes on loopback TCP,
+//! with each re-exec'd rank reconstructing the identical op stream
+//! from a seed/size-carrying world id. The gate passes only if the
+//! seam's contracts hold:
 //!
 //! * **Backend equality** — every backend reproduces the identical
 //!   `Outcome` digest at every size (for extsort the digest also folds
@@ -42,6 +46,11 @@ use pdc_mpi::WireOptions;
 /// (see `experiments::main`).
 pub const WORLD_ID: &str = "scenario-gate";
 
+/// World-id prefix of the wordcount `mpi-wire` backend's rank children
+/// (the full id carries the run's seed and size; see
+/// [`wordcount_wire_spec`] and `experiments::main`).
+pub const WC_WIRE_PREFIX: &str = "scenario-wordcount-wire";
+
 const TRACE_DIR: &str = "target/pdc-trace/scenario";
 const SEED: u64 = 0x05CE_AA10 ^ 9;
 const REPEATS: u32 = 3;
@@ -61,7 +70,19 @@ fn sweep(name: &str) -> Vec<usize> {
         "ray" => vec![64, 128, 192],
         "extsort" => vec![4_000, 20_000, 60_000],
         "wordcount" => vec![40, 120, 360],
+        "pagerank" => vec![64, 192, 512],
         other => panic!("no sweep for scenario {other}"),
+    }
+}
+
+/// The wire spec for wordcount's `mpi-wire` backend: children re-exec
+/// `experiments --scenario` and `main` routes them to
+/// [`pdc_db::run_wire_wordcount_child`] by this prefix.
+pub fn wordcount_wire_spec() -> pdc_db::WireSpec {
+    pdc_db::WireSpec {
+        world_prefix: WC_WIRE_PREFIX.to_string(),
+        child_args: vec!["--scenario".to_string()],
+        trace_dir: Some(format!("{TRACE_DIR}/wordcount-wire").into()),
     }
 }
 
@@ -192,7 +213,8 @@ pub fn run_scenario_gate() {
         Box::new(pdc_life::LifeScenario),
         Box::new(pdc_ray::RayScenario),
         Box::new(pdc_extmem::ExtsortScenario),
-        Box::new(pdc_db::WordCountScenario),
+        Box::new(pdc_db::WordCountScenario::new().with_wire(wordcount_wire_spec())),
+        Box::new(pdc_db::PageRankScenario),
     ];
     let mut reports = Vec::new();
     for s in &scenarios {

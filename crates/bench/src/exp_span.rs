@@ -1,0 +1,441 @@
+//! `experiments --span`: the empirical work/span gate.
+//!
+//! Every scenario sweep from the `--scenario` gate re-runs here with the
+//! fork-join DAG reconstruction of [`pdc_analyze::span`] applied to each
+//! kept trace: empirical **work** (total attributed steps), **span**
+//! (longest weighted path over program order + Fork/Join + channel/lock
+//! happens-before edges), and **parallelism** `W/S`. The gate passes
+//! only if the profiler's outputs obey the theory the curriculum
+//! teaches (CLRS ch. 27):
+//!
+//! * **Span ≤ work** — on every backend at every size; the longest path
+//!   through the DAG can never exceed the sum of all its weights.
+//! * **Declared Θ tracking** — each scenario's measured sequential work
+//!   curve-fits its declared Θ-class over the size sweep (life/ray
+//!   Θ(n²), extsort Θ(n log n), wordcount/pagerank Θ(n)) via
+//!   [`pdc_core::workspan::Bounds::fit`]; a deliberately wrong class is
+//!   also checked to *fail*, so the fit discriminates both directions.
+//! * **Brent's bound** — for life/ray/extsort on the threads backend at
+//!   every size, measured wall-clock `T_P` sits within a generous
+//!   constant band of the predicted `c·(W/P + S)` where `c` is the
+//!   per-step cost calibrated from the same machine's sequential run.
+//!   Wall-clock needs real parallel hardware, so a single-core host
+//!   downgrades this to a visible skip.
+//! * **Parallelism direction** — at least one compute-bound scenario's
+//!   measured parallelism grows from the smallest to the largest size.
+//! * **Serial chain** — a single-strand trace reports parallelism
+//!   exactly 1 (span == work), the degenerate case every formula must
+//!   anchor.
+//!
+//! Artifacts land under `target/pdc-trace/span/` for the CI job: a
+//! combined `pdc-span-tables/1` JSON of every work/span/parallelism
+//! row, a representative `pdc-span/1` report, and a timeline HTML whose
+//! critical-path events render in a distinct lane color.
+
+use pdc_analyze::{analyze_span, analyze_span_session, SpanReport};
+use pdc_core::report::{write_text_file, Table};
+use pdc_core::scenario::{
+    run_scenario, AnalyzeVerdict, Backend, BackendRun, Scenario, ScenarioConfig,
+};
+use pdc_core::timeline::render_html_with_path;
+use pdc_core::trace::{EventKind, TraceSession, MARK_STEPS};
+use pdc_core::workspan::{Bounds, Theta, WorkSpan};
+
+const TRACE_DIR: &str = "target/pdc-trace/span";
+const SEED: u64 = 0x05CE_AA10 ^ 10;
+const REPEATS: u32 = 3;
+/// Workers every scenario's threads backend uses.
+const POOL_WORKERS: usize = 4;
+/// Tolerance for the Θ curve fits (max/min ratio spread over the sweep).
+const FIT_TOL: f64 = 1.5;
+/// Both-direction slack on the Brent prediction. Wall-clock carries
+/// thread-spawn and scheduling constants the DAG does not model, so the
+/// band is generous; it still catches a profiler whose work or span is
+/// off by orders of magnitude.
+const BRENT_SLACK: f64 = 32.0;
+
+/// The same sweeps the `--scenario` gate uses, so the two gates testify
+/// about the same runs.
+fn sweep(name: &str) -> Vec<usize> {
+    match name {
+        "life" => vec![48, 96, 192],
+        "ray" => vec![64, 128, 192],
+        "extsort" => vec![4_000, 20_000, 60_000],
+        "wordcount" => vec![40, 120, 360],
+        "pagerank" => vec![64, 192, 512],
+        other => panic!("no sweep for scenario {other}"),
+    }
+}
+
+/// Declared Θ-class of each scenario's *sequential* work — what one
+/// strand executing the whole problem must cost. (The declared span
+/// classes of the underlying algorithms live with the algorithms
+/// themselves: `pdc_algos::mergesort::declared_bounds`,
+/// `pdc_pram::algos::declared_bounds`, `pdc_db::pagerank::declared_bounds`.)
+fn declared_work(name: &str) -> Theta {
+    match name {
+        // n is the board side; 8 generations of n² cells.
+        "life" => Theta::Quadratic,
+        // n is the image width; height scales with it.
+        "ray" => Theta::Quadratic,
+        "extsort" => Theta::NLogN,
+        "wordcount" => Theta::Linear,
+        "pagerank" => pdc_db::pagerank::declared_bounds().work,
+        other => panic!("no declared work for scenario {other}"),
+    }
+}
+
+/// One measured row of the span tables.
+struct SpanRow {
+    scenario: &'static str,
+    backend: String,
+    size: usize,
+    nanos: u64,
+    report: SpanReport,
+    is_sequential: bool,
+    is_threads: bool,
+}
+
+/// The span pass itself is the verdict here; the analyzer hook just
+/// reports the event count (the `--scenario` gate already runs the
+/// defect analyzer over identical sweeps).
+fn event_counter(session: &TraceSession) -> AnalyzeVerdict {
+    AnalyzeVerdict {
+        clean: true,
+        defects: 0,
+        events: session.events().len(),
+    }
+}
+
+/// Sweep one scenario and reduce every kept run to a [`SpanRow`].
+fn sweep_scenario(scenario: &dyn Scenario) -> Vec<SpanRow> {
+    let name = scenario.name();
+    let cfg = ScenarioConfig::new(SEED, &sweep(name)).with_repeats(REPEATS);
+    let report = run_scenario(scenario, &cfg, &event_counter);
+    report
+        .runs
+        .iter()
+        .map(|r: &BackendRun| SpanRow {
+            scenario: name,
+            backend: r.backend.to_string(),
+            size: r.size,
+            nanos: r.nanos,
+            report: analyze_span(&r.events),
+            is_sequential: r.backend == Backend::Sequential,
+            is_threads: matches!(r.backend, Backend::Threads { .. }),
+        })
+        .collect()
+}
+
+/// Gate: span ≤ work on every trace, and every compute trace attributed
+/// at least one step of work.
+fn gate_span_le_work(rows: &[SpanRow], failures: &mut Vec<String>) {
+    let mut ok = 0usize;
+    for row in rows {
+        if row.report.span > row.report.work {
+            failures.push(format!(
+                "{} on {} at n={}: span {} exceeds work {}",
+                row.scenario, row.backend, row.size, row.report.span, row.report.work
+            ));
+        } else {
+            ok += 1;
+        }
+        if row.report.work == 0 {
+            failures.push(format!(
+                "{} on {} at n={}: no attributed work in trace",
+                row.scenario, row.backend, row.size
+            ));
+        }
+    }
+    println!("span gate: span <= work on every trace ({ok} backend x size traces)");
+}
+
+/// Gate: each scenario's measured sequential work tracks its declared
+/// Θ-class, and a deliberately wrong class is rejected.
+fn gate_declared_fit(rows: &[SpanRow], names: &[&str], failures: &mut Vec<String>) {
+    for &name in names {
+        let samples: Vec<(u64, WorkSpan)> = rows
+            .iter()
+            .filter(|r| r.scenario == name && r.is_sequential)
+            .map(|r| {
+                let w = r.report.work.max(r.report.span);
+                (r.size as u64, WorkSpan::new(w, r.report.span))
+            })
+            .collect();
+        let theta = declared_work(name);
+        // A sequential trace is one strand, so its span class equals its
+        // work class; fitting both sides of the declaration checks that
+        // the profiler agrees.
+        let (wfit, sfit) = Bounds::new(theta, theta).fit(&samples, FIT_TOL);
+        if wfit.ok && sfit.ok {
+            println!(
+                "span gate: {name} measured sequential work tracks {} (spread {:.2} <= {FIT_TOL})",
+                theta.label(),
+                wfit.spread
+            );
+        } else {
+            failures.push(format!(
+                "{name}: sequential work does not track {} (work spread {:.2}, span spread {:.2}, tol {FIT_TOL})",
+                theta.label(),
+                wfit.spread,
+                sfit.spread
+            ));
+        }
+    }
+
+    // The discriminating direction: life's Θ(n²) work must NOT fit a
+    // linear declaration, or the fit proves nothing.
+    let life: Vec<(u64, WorkSpan)> = rows
+        .iter()
+        .filter(|r| r.scenario == "life" && r.is_sequential)
+        .map(|r| {
+            let w = r.report.work.max(r.report.span);
+            (r.size as u64, WorkSpan::new(w, r.report.span))
+        })
+        .collect();
+    let (wrong, _) = Bounds::new(Theta::Linear, Theta::Linear).fit(&life, FIT_TOL);
+    if wrong.ok {
+        failures.push(format!(
+            "declared-bounds fit failed to reject life work as {} (spread {:.2})",
+            Theta::Linear.label(),
+            wrong.spread
+        ));
+    } else {
+        println!(
+            "span gate: fit rejects life work as {} (spread {:.2} > {FIT_TOL}) — discriminates both directions",
+            Theta::Linear.label(),
+            wrong.spread
+        );
+    }
+}
+
+/// Gate: Brent's bound. Calibrate the per-step cost `c = T_seq/W_seq`
+/// at each size, predict `T_P ≈ c·(W_P/P + S_P)` from the threads
+/// trace, and require the measurement within [`BRENT_SLACK`] of the
+/// prediction in both directions.
+fn gate_brent(rows: &[SpanRow], names: &[&str], failures: &mut Vec<String>) -> Vec<String> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json_rows = Vec::new();
+    for &name in names {
+        for size in sweep(name) {
+            let seq = rows
+                .iter()
+                .find(|r| r.scenario == name && r.is_sequential && r.size == size);
+            let par = rows
+                .iter()
+                .find(|r| r.scenario == name && r.is_threads && r.size == size);
+            let (Some(seq), Some(par)) = (seq, par) else {
+                failures.push(format!(
+                    "{name} at n={size}: missing sequential or threads run"
+                ));
+                continue;
+            };
+            if seq.report.work == 0 {
+                failures.push(format!("{name} at n={size}: no work to calibrate against"));
+                continue;
+            }
+            let c = seq.nanos as f64 / seq.report.work as f64;
+            let predicted =
+                c * (par.report.work as f64 / POOL_WORKERS as f64 + par.report.span as f64);
+            let measured = par.nanos as f64;
+            let ratio = measured / predicted;
+            json_rows.push(format!(
+                "{{\"scenario\":\"{name}\",\"n\":{size},\"measured_ns\":{},\"predicted_ns\":{:.0},\"ratio\":{ratio:.4}}}",
+                par.nanos, predicted
+            ));
+            if cores < 2 {
+                println!(
+                    "span gate: {name} Brent bound skipped on a single-core host \
+                     (n={size}: measured/predicted ratio {ratio:.2})"
+                );
+            } else if (1.0 / BRENT_SLACK..=BRENT_SLACK).contains(&ratio) {
+                println!(
+                    "span gate: {name} threads T_P within Brent band at n={size} \
+                     (measured {:.2}ms vs predicted W/P+S {:.2}ms, ratio {ratio:.2})",
+                    measured / 1e6,
+                    predicted / 1e6
+                );
+            } else {
+                failures.push(format!(
+                    "{name} at n={size}: measured T_P {:.2}ms vs Brent prediction {:.2}ms \
+                     (ratio {ratio:.2} outside [{:.3}, {BRENT_SLACK}])",
+                    measured / 1e6,
+                    predicted / 1e6,
+                    1.0 / BRENT_SLACK
+                ));
+            }
+        }
+    }
+    json_rows
+}
+
+/// Gate: measured parallelism grows with size for at least one
+/// compute-bound scenario's threads backend.
+fn gate_parallelism_growth(rows: &[SpanRow], names: &[&str], failures: &mut Vec<String>) {
+    let mut grew = Vec::new();
+    for &name in names {
+        let sizes = sweep(name);
+        let (first, last) = (sizes[0], *sizes.last().expect("non-empty sweep"));
+        let at = |n: usize| {
+            rows.iter()
+                .find(|r| r.scenario == name && r.is_threads && r.size == n)
+                .map(|r| r.report.parallelism())
+        };
+        if let (Some(small), Some(large)) = (at(first), at(last)) {
+            if large > small {
+                grew.push(format!("{name} {small:.2} -> {large:.2}"));
+            }
+        }
+    }
+    if grew.is_empty() {
+        failures.push(format!(
+            "parallelism did not grow with size for any compute-bound scenario ({})",
+            names.join(", ")
+        ));
+    } else {
+        println!(
+            "span gate: parallelism grows with size ({})",
+            grew.join("; ")
+        );
+    }
+}
+
+/// Gate: a purely serial chain — one strand, no forks — must report
+/// span == work and parallelism exactly 1.
+fn gate_serial_chain(failures: &mut Vec<String>) {
+    let session = TraceSession::with_capacity(1 << 8);
+    let strand = session.thread(1);
+    for _ in 0..64 {
+        strand.record(EventKind::Mark, MARK_STEPS, 7);
+    }
+    let report = analyze_span_session(&session);
+    let par = report.parallelism();
+    if report.span == report.work && report.work == 64 * 7 && par == 1.0 {
+        println!(
+            "span gate: serial chain reports parallelism exactly 1 (work == span == {})",
+            report.work
+        );
+    } else {
+        failures.push(format!(
+            "serial chain: work {} span {} parallelism {par} (expected 448/448/1)",
+            report.work, report.span
+        ));
+    }
+}
+
+/// Write the combined tables JSON, a representative `pdc-span/1`
+/// document, and the critical-path timeline HTML.
+fn write_artifacts(rows: &[SpanRow], brent_json: &[String], table: &Table) {
+    let dir = std::path::Path::new(TRACE_DIR);
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"n\":{},\"work\":{},\"span\":{},\"parallelism\":{:.4},\"events\":{}}}",
+                r.scenario,
+                r.backend,
+                r.size,
+                r.report.work,
+                r.report.span,
+                r.report.parallelism(),
+                r.report.events
+            )
+        })
+        .collect();
+    let combined = format!(
+        "{{\"schema\":\"pdc-span-tables/1\",\"rows\":[{}],\"brent\":[{}],\"table\":{}}}",
+        row_json.join(","),
+        brent_json.join(","),
+        table.to_json()
+    );
+    write_text_file(&dir.join("span.tables.json"), &combined).expect("write span tables json");
+
+    // Representative run for the pdc-span/1 document and the timeline:
+    // ray on threads at its largest size (pool forks, steals, and a
+    // heavy compute path make the critical path worth looking at).
+    let scenario = pdc_ray::RayScenario;
+    let sizes = [*sweep("ray").last().expect("non-empty sweep")];
+    let cfg = ScenarioConfig::new(SEED, &sizes);
+    let rep = run_scenario(&scenario, &cfg, &event_counter);
+    let run = rep
+        .runs
+        .iter()
+        .find(|r| matches!(r.backend, Backend::Threads { .. }))
+        .expect("ray has a threads backend");
+    let span = analyze_span(&run.events);
+    write_text_file(&dir.join("ray.threads.span.json"), &span.to_json())
+        .expect("write pdc-span/1 json");
+    let html = render_html_with_path(
+        &format!("ray on {} at n={} — critical path", run.backend, run.size),
+        &run.events,
+        &span.critical_ts(),
+    );
+    write_text_file(&dir.join("critical-path.timeline.html"), &html)
+        .expect("write critical path html");
+    println!("span artifacts written under {}", dir.display());
+}
+
+/// Run the gate; exits the process non-zero on any failed check.
+pub fn run_span_gate() {
+    let mut failures: Vec<String> = Vec::new();
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(pdc_life::LifeScenario),
+        Box::new(pdc_ray::RayScenario),
+        Box::new(pdc_extmem::ExtsortScenario),
+        Box::new(pdc_db::WordCountScenario::new()),
+        Box::new(pdc_db::PageRankScenario),
+    ];
+    let mut rows: Vec<SpanRow> = Vec::new();
+    for s in &scenarios {
+        rows.extend(sweep_scenario(s.as_ref()));
+    }
+    let all_names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
+
+    let mut table = Table::new(
+        "empirical work/span per scenario x backend x size",
+        &[
+            "scenario",
+            "backend",
+            "n",
+            "work",
+            "span",
+            "parallelism",
+            "events",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.scenario.to_string(),
+            r.backend.clone(),
+            r.size.to_string(),
+            r.report.work.to_string(),
+            r.report.span.to_string(),
+            format!("{:.2}", r.report.parallelism()),
+            r.report.events.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    gate_span_le_work(&rows, &mut failures);
+    gate_declared_fit(&rows, &all_names, &mut failures);
+    let brent_json = gate_brent(&rows, &["life", "ray", "extsort"], &mut failures);
+    gate_parallelism_growth(
+        &rows,
+        &["life", "ray", "extsort", "pagerank"],
+        &mut failures,
+    );
+    gate_serial_chain(&mut failures);
+    write_artifacts(&rows, &brent_json, &table);
+
+    if !failures.is_empty() {
+        eprintln!("span gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "span gate passed: {} traces profiled, span <= work everywhere, declared bounds tracked, Brent band held",
+        rows.len()
+    );
+}

@@ -23,6 +23,7 @@ pub mod exp_ext;
 pub mod exp_scenario;
 pub mod exp_serve;
 pub mod exp_shard;
+pub mod exp_span;
 pub mod exp_t1;
 pub mod exp_t2;
 pub mod exp_t3;

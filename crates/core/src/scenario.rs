@@ -18,9 +18,15 @@
 //! Strout's "applications-first" argument turned into a harness.
 
 use crate::report::{f, json_escape, speedup_fmt, Table};
-use crate::trace::TraceSession;
+use crate::trace::{self, Event, TraceSession};
 use std::fmt;
 use std::time::Instant;
+
+/// Actor id the driver's own thread records under while a scenario
+/// runs (see [`run_scenario`]): just below the automatic range so it
+/// never collides with worker indices, ranks, or
+/// [`trace::AUTO_ACTOR_BASE`] siblings.
+pub const DRIVER_ACTOR: u32 = trace::AUTO_ACTOR_BASE - 1;
 
 /// Where a scenario's work executes.
 ///
@@ -226,6 +232,9 @@ pub struct BackendRun {
     pub analyze: AnalyzeVerdict,
     /// Events the kept run's session dropped (full buffers).
     pub dropped: u64,
+    /// The kept (fastest) run's full event stream, ts-sorted — the
+    /// input the span pass consumes for empirical work/span.
+    pub events: Vec<Event>,
 }
 
 /// The full sweep of one scenario: every backend at every size.
@@ -446,9 +455,24 @@ pub fn run_scenario(
                     size,
                     session: &session,
                 };
+                // The driver's thread records under DRIVER_ACTOR for
+                // the duration of the run, so sequential code paths
+                // (and `trace::record_steps` attribution in them) land
+                // in the session without every scenario threading a
+                // handle through. The previous trace (if the caller
+                // nested) is restored afterwards.
+                let prev = trace::install_sync_trace(session.thread(DRIVER_ACTOR));
                 let t0 = Instant::now();
                 let outcome = scenario.run(&backend, &ctx);
                 let nanos = (t0.elapsed().as_nanos() as u64).max(1);
+                match prev {
+                    Some(p) => {
+                        trace::install_sync_trace(p);
+                    }
+                    None => {
+                        trace::clear_sync_trace();
+                    }
+                }
                 session.counter("scenario.runs").inc();
                 session.counter("scenario.items").add(outcome.items);
                 if let Some((_, first, _)) = &best {
@@ -473,6 +497,7 @@ pub fn run_scenario(
                 nanos,
                 analyze,
                 dropped: session.dropped(),
+                events: session.events(),
             });
         }
     }
@@ -511,6 +536,9 @@ mod tests {
                 other => panic!("sum scenario does not support {other}"),
             };
             ctx.session.counter("sum.values").add(ctx.size as u64);
+            // Attribute one step per summed value: the driver installs
+            // a sync trace, so this lands in the session's events.
+            trace::record_steps(ctx.size as u64);
             let mut d = Digest::new();
             d.write_u64(total);
             Outcome {
@@ -539,6 +567,24 @@ mod tests {
         assert!(report.rows_valid());
         assert_eq!(report.sizes(), vec![10, 100]);
         assert_eq!(report.backend_labels(), vec!["seq", "threads(2)"]);
+    }
+
+    #[test]
+    fn driver_installs_sync_trace_and_keeps_events() {
+        let report = run_scenario(&SumScenario, &ScenarioConfig::new(5, &[16]), &no_analyzer);
+        for r in &report.runs {
+            let marks: Vec<_> = r
+                .events
+                .iter()
+                .filter(|e| e.kind == crate::trace::EventKind::Mark)
+                .collect();
+            assert_eq!(marks.len(), 1, "one step mark per run on {}", r.backend);
+            assert_eq!(marks[0].actor, DRIVER_ACTOR);
+            assert_eq!(marks[0].a, crate::trace::MARK_STEPS);
+            assert_eq!(marks[0].b, 16);
+        }
+        // The driver cleared its trace: nothing records afterwards.
+        assert!(!trace::record_steps(1));
     }
 
     #[test]

@@ -51,6 +51,16 @@ fn esc(s: &str) -> String {
 /// positions so sparse clocks do not stretch the picture. Works on any
 /// `pdc-trace/2` stream, including `pdc-check` canonical traces.
 pub fn render_html(title: &str, events: &[Event]) -> String {
+    render_html_with_path(title, events, &[])
+}
+
+/// [`render_html`] with a critical path highlighted: `critical_ts` is
+/// the ordered list of timestamps on the path (as computed by the span
+/// pass). On-path events render as larger ringed markers whose hover
+/// payload carries their position (`critical path i/N`), so the
+/// bottleneck chain is visually distinct from off-path events in the
+/// artifact CI uploads.
+pub fn render_html_with_path(title: &str, events: &[Event], critical_ts: &[u64]) -> String {
     let mut events: Vec<Event> = events.to_vec();
     events.sort_by_key(|e| e.ts);
     // Compact timestamps: x-position = rank of ts among distinct ts.
@@ -121,11 +131,42 @@ pub fn render_html(title: &str, events: &[Event]) -> String {
             LANE_H - 4
         ));
     }
-    // Event markers.
+    // Critical-path position per timestamp (the span pass guarantees
+    // distinct timestamps along the path).
+    let mut path_pos: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, &ts) in critical_ts.iter().enumerate() {
+        path_pos.entry(ts).or_insert(i);
+    }
+    // The path itself, drawn under the markers: a polyline hopping
+    // lane-to-lane along the bottleneck chain.
+    if critical_ts.len() > 1 {
+        let mut points = String::new();
+        for e in &events {
+            if path_pos.contains_key(&e.ts) {
+                points.push_str(&format!("{},{} ", x_of(e.ts), y_of(e.actor) + LANE_H / 2));
+            }
+        }
+        svg.push_str(&format!(
+            "<polyline class=\"critpath\" points=\"{}\"/>\n",
+            points.trim_end()
+        ));
+    }
+    // Event markers. On-path events get the `crit` class (bigger,
+    // ringed, recolored by CSS) and their path index in the tooltip.
     for e in &events {
         let (fa, fb) = e.kind.field_names();
+        let crit = path_pos.get(&e.ts);
+        let (class, r) = if crit.is_some() {
+            (" class=\"crit\"", 6)
+        } else {
+            ("", 4)
+        };
+        let crit_note = match crit {
+            Some(i) => format!(" · critical path {}/{}", i + 1, critical_ts.len()),
+            None => String::new(),
+        };
         svg.push_str(&format!(
-            "<circle cx=\"{}\" cy=\"{}\" r=\"4\" fill=\"{}\"><title>ts {} · {} · {}={} {}={}</title></circle>\n",
+            "<circle{class} cx=\"{}\" cy=\"{}\" r=\"{r}\" fill=\"{}\"><title>ts {} · {} · {}={} {}={}{crit_note}</title></circle>\n",
             x_of(e.ts),
             y_of(e.actor) + LANE_H / 2,
             kind_color(e.kind),
@@ -166,13 +207,23 @@ pub fn render_html(title: &str, events: &[Event]) -> String {
          .coll{{fill:#6b7a90;opacity:.25}}\n\
          .label{{text-anchor:end;fill:#444;font-size:12px}}\n\
          .legend{{fill:#444;font-size:11px}}\n\
+         .crit{{stroke:#c2184a;stroke-width:2.5}}\n\
+         .critpath{{fill:none;stroke:#c2184a;stroke-width:1.5;opacity:.55;stroke-dasharray:5 3}}\n\
          </style></head><body>\n\
          <h1>{title}</h1>\n\
-         <p>{} events · {} actors · logical time → (hover markers for payloads; shaded bands are collective begin/end spans)</p>\n\
+         <p>{} events · {} actors · logical time → (hover markers for payloads; shaded bands are collective begin/end spans{})</p>\n\
          <svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">\n{svg}{legend}</svg>\n\
          </body></html>\n",
         events.len(),
         lanes.len(),
+        if critical_ts.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "; ringed markers joined by the dashed line are the {}-event critical path",
+                critical_ts.len()
+            )
+        },
         title = esc(title),
     )
 }
@@ -238,6 +289,28 @@ mod tests {
         let html = render_html("<bad & title>", &[]);
         assert!(html.contains("&lt;bad &amp; title&gt;"));
         assert!(!html.contains("<bad &"));
+    }
+
+    #[test]
+    fn critical_path_events_are_visually_distinct() {
+        let events = [
+            ev(1, 0, EventKind::Fork, 5, 0),
+            ev(2, 1, EventKind::Join, 5, 0),
+            ev(3, 1, EventKind::Mark, 0, 9),
+            ev(4, 0, EventKind::Mark, 0, 1),
+        ];
+        let html = render_html_with_path("crit", &events, &[1, 2, 3]);
+        // Three on-path markers, one off-path.
+        assert_eq!(html.matches("class=\"crit\"").count(), 3);
+        assert_eq!(html.matches("r=\"6\"").count(), 3);
+        assert!(html.contains("critical path 1/3"));
+        assert!(html.contains("critical path 3/3"));
+        assert!(html.contains("class=\"critpath\""));
+        assert!(html.contains("3-event critical path"));
+        // Plain render_html never marks anything as on-path.
+        let plain = render_html("plain", &events);
+        assert!(!plain.contains("class=\"crit\""));
+        assert!(!plain.contains("critical path"));
     }
 
     #[test]

@@ -534,6 +534,21 @@ pub fn record_sync_site(kind: EventKind, site: &SiteId, mode: u64) {
     });
 }
 
+/// `a` payload of a [`EventKind::Mark`] carrying a step-attribution
+/// weight in `b`: the recording strand performed `b` abstract unit-cost
+/// operations since its previous event. The span pass
+/// (`pdc_analyze::span`) weighs these marks by `b` when measuring
+/// empirical work and critical-path length; every other event weighs 1.
+pub const MARK_STEPS: u64 = u64::MAX - 1;
+
+/// Attribute `steps` unit-cost operations to this thread's installed
+/// sync trace (see [`MARK_STEPS`]). A no-op when no trace is installed,
+/// so algorithm kernels can call it unconditionally. Returns whether an
+/// event was recorded.
+pub fn record_steps(steps: u64) -> bool {
+    record_sync(EventKind::Mark, MARK_STEPS, steps)
+}
+
 /// Record a shared-variable read of `var` (see [`EventKind::Read`]).
 pub fn record_var_read(var: u64) {
     record_sync(EventKind::Read, var, 0);

@@ -185,6 +185,150 @@ pub mod closed_form {
     }
 }
 
+/// An asymptotic growth class Θ(f(n)), evaluable at concrete sizes so a
+/// measured size sweep can be curve-fitted against a declaration.
+///
+/// Constant factors are deliberately absent: [`Bounds::fit`] divides
+/// each measurement by `eval(n)` and checks the *ratios* stay inside a
+/// band, which is exactly "measured ∈ Θ(declared)" over the observed
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Theta {
+    /// Θ(1).
+    Const,
+    /// Θ(log n).
+    Log,
+    /// Θ(n).
+    Linear,
+    /// Θ(n log n).
+    NLogN,
+    /// Θ(n²).
+    Quadratic,
+    /// Θ(log² n).
+    LogSquared,
+    /// Θ(log³ n) — e.g. the span of merge sort with parallel merges
+    /// (CLRS 27.3).
+    LogCubed,
+    /// Θ(rounds · log n) — an iterative algorithm whose per-round
+    /// critical path is logarithmic (e.g. a multi-round shuffle whose
+    /// reduce tree is Θ(log n) deep). `rounds` is the declared
+    /// iteration count, a constant of the algorithm configuration.
+    RoundsLog {
+        /// Declared number of iterations.
+        rounds: u64,
+    },
+}
+
+impl Theta {
+    /// Evaluate the growth function at `n` (clamped to `n >= 2` so the
+    /// logarithmic classes never return 0 and ratios stay finite).
+    pub fn eval(self, n: u64) -> f64 {
+        let n = n.max(2) as f64;
+        let lg = n.log2();
+        match self {
+            Theta::Const => 1.0,
+            Theta::Log => lg,
+            Theta::Linear => n,
+            Theta::NLogN => n * lg,
+            Theta::Quadratic => n * n,
+            Theta::LogSquared => lg * lg,
+            Theta::LogCubed => lg * lg * lg,
+            Theta::RoundsLog { rounds } => rounds.max(1) as f64 * lg,
+        }
+    }
+
+    /// Stable name used in gate output and JSON.
+    pub fn label(self) -> String {
+        match self {
+            Theta::Const => "Θ(1)".to_string(),
+            Theta::Log => "Θ(log n)".to_string(),
+            Theta::Linear => "Θ(n)".to_string(),
+            Theta::NLogN => "Θ(n log n)".to_string(),
+            Theta::Quadratic => "Θ(n²)".to_string(),
+            Theta::LogSquared => "Θ(log² n)".to_string(),
+            Theta::LogCubed => "Θ(log³ n)".to_string(),
+            Theta::RoundsLog { rounds } => format!("Θ({rounds}·log n)"),
+        }
+    }
+}
+
+/// Declared asymptotic work and span of an algorithm — the registry
+/// entry each algorithm in `pdc-algos` / `pdc-pram` (and each scenario)
+/// publishes so measured [`WorkSpan`] sweeps can be checked against the
+/// curriculum's analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Declared Θ-class of the work `T1`.
+    pub work: Theta,
+    /// Declared Θ-class of the span `T∞`.
+    pub span: Theta,
+}
+
+/// Result of curve-fitting one measured sweep against one Θ-class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaFit {
+    /// max ratio / min ratio over the sweep, where ratio(n) =
+    /// measured(n) / θ(n). 1.0 is a perfect fit; the constant factor
+    /// itself cancels out.
+    pub spread: f64,
+    /// Whether `spread <= tolerance` (the fit the caller asked about).
+    pub ok: bool,
+}
+
+impl Bounds {
+    /// Construct a declaration.
+    pub const fn new(work: Theta, span: Theta) -> Self {
+        Bounds { work, span }
+    }
+
+    /// Curve-fit measured `(n, WorkSpan)` samples against this
+    /// declaration: for each sample the measured work (resp. span) is
+    /// divided by the declared Θ evaluated at `n`, and the fit passes
+    /// when the largest such ratio is within `tolerance`× the smallest
+    /// — i.e. the measurement tracks the declared shape up to a
+    /// constant factor. Needs ≥ 2 samples to say anything (a single
+    /// point fits every curve); fewer samples yield a vacuous pass.
+    pub fn fit(&self, samples: &[(u64, WorkSpan)], tolerance: f64) -> (ThetaFit, ThetaFit) {
+        (
+            fit_one(
+                self.work,
+                samples.iter().map(|(n, ws)| (*n, ws.work)),
+                tolerance,
+            ),
+            fit_one(
+                self.span,
+                samples.iter().map(|(n, ws)| (*n, ws.span)),
+                tolerance,
+            ),
+        )
+    }
+}
+
+fn fit_one(theta: Theta, samples: impl Iterator<Item = (u64, u64)>, tolerance: f64) -> ThetaFit {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut count = 0usize;
+    for (n, measured) in samples {
+        // A zero measurement at some size cannot track any positive
+        // Θ-class; treat it as ratio 0 (forces an infinite spread).
+        let ratio = measured as f64 / theta.eval(n);
+        min = min.min(ratio);
+        max = max.max(ratio);
+        count += 1;
+    }
+    if count < 2 {
+        return ThetaFit {
+            spread: 1.0,
+            ok: true,
+        };
+    }
+    let spread = if min > 0.0 { max / min } else { f64::INFINITY };
+    ThetaFit {
+        spread,
+        ok: spread <= tolerance,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +395,59 @@ mod tests {
         acc += WorkSpan::strand(3);
         acc += WorkSpan::new(10, 2);
         assert_eq!(acc, WorkSpan::new(13, 5));
+    }
+
+    #[test]
+    fn theta_eval_shapes() {
+        assert_eq!(Theta::Const.eval(1_000_000), 1.0);
+        assert!((Theta::Log.eval(1024) - 10.0).abs() < 1e-9);
+        assert_eq!(Theta::Linear.eval(64), 64.0);
+        assert!((Theta::NLogN.eval(64) - 384.0).abs() < 1e-9);
+        assert_eq!(Theta::Quadratic.eval(32), 1024.0);
+        assert!((Theta::RoundsLog { rounds: 5 }.eval(256) - 40.0).abs() < 1e-9);
+        // Clamp: no zero/negative values from tiny n.
+        assert!(Theta::Log.eval(0) > 0.0);
+        assert!(Theta::Log.eval(1) > 0.0);
+    }
+
+    #[test]
+    fn bounds_fit_accepts_matching_shape_and_rejects_wrong_one() {
+        // Fabricate a sweep whose work is exactly 3·n·log2(n) and span
+        // exactly 7·log2(n): the NLogN/Log declaration fits tightly...
+        let sizes = [64u64, 256, 1024, 4096];
+        let samples: Vec<(u64, WorkSpan)> = sizes
+            .iter()
+            .map(|&n| {
+                let lg = (n as f64).log2();
+                (
+                    n,
+                    WorkSpan::new((3.0 * n as f64 * lg) as u64, (7.0 * lg) as u64),
+                )
+            })
+            .collect();
+        let good = Bounds::new(Theta::NLogN, Theta::Log);
+        let (w, s) = good.fit(&samples, 1.5);
+        assert!(w.ok && s.ok, "true shape fits: {w:?} {s:?}");
+        // ...while declaring the work linear drifts by a log factor
+        // (log2 4096 / log2 64 = 2x) and quadratic by ~64x.
+        let linear = Bounds::new(Theta::Linear, Theta::Log);
+        let (w, _) = linear.fit(&samples, 1.5);
+        assert!(!w.ok, "n log n is not Θ(n) over a 64x range: {w:?}");
+        let quad = Bounds::new(Theta::Quadratic, Theta::Log);
+        let (w, _) = quad.fit(&samples, 1.5);
+        assert!(!w.ok);
+    }
+
+    #[test]
+    fn bounds_fit_edge_cases() {
+        let b = Bounds::new(Theta::Linear, Theta::Const);
+        // Fewer than 2 samples: vacuous pass.
+        let (w, s) = b.fit(&[(100, WorkSpan::new(100, 1))], 1.01);
+        assert!(w.ok && s.ok);
+        // A zero measurement forces an infinite spread.
+        let samples = [(10u64, WorkSpan::new(0, 0)), (20, WorkSpan::new(20, 1))];
+        let (w, _) = b.fit(&samples, 1e9);
+        assert!(!w.ok);
+        assert!(w.spread.is_infinite());
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod dht;
 pub mod join;
+pub mod pagerank;
 pub mod serve;
 pub mod sharded;
 pub mod twopc;
@@ -30,7 +31,8 @@ pub mod wordcount;
 
 pub use dht::HashRing;
 pub use join::{hash_join, parallel_hash_join, sort_merge_join};
+pub use pagerank::PageRankScenario;
 pub use serve::{ServeHandle, ServeOptions, ServeOutcome};
 pub use sharded::{apply_op, apply_script, Applied, KvState, ShardMsg, ShardOp};
 pub use twopc::{Coordinator, Decision};
-pub use wordcount::WordCountScenario;
+pub use wordcount::{run_wire_wordcount_child, WireSpec, WordCountScenario};

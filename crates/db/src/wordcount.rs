@@ -18,12 +18,18 @@
 //! full `db::serve` TCP stack as a fourth, out-of-process counter and
 //! compare digests; [`counts_from_kv`] converts either KV state.
 
-use crate::sharded::{run_local_traced, KvState, ShardOp};
+use crate::sharded::{run_local_traced, run_wire, KvState, ShardOp};
 use pdc_core::rng::Rng;
 use pdc_core::scenario::{Backend, Digest, Outcome, Scenario, ScenarioCtx};
 use pdc_core::trace::TraceSession;
 use pdc_mpi::mapreduce::run_job;
+use pdc_mpi::WireOptions;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Shards used by both MPI backends (in-process thread ranks and wire
+/// OS processes); the wire world is `WIRE_SHARDS + 1` processes.
+pub const WIRE_SHARDS: usize = 3;
 
 /// Split a document into normalized words: whitespace-separated tokens,
 /// punctuation trimmed from both ends, lowercased, empties dropped.
@@ -80,11 +86,16 @@ pub fn gen_docs(seed: u64, ndocs: usize) -> Vec<String> {
 /// Baseline: count every token of every document in one `BTreeMap`.
 pub fn count_sequential(docs: &[String]) -> Vec<(String, u64)> {
     let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tokens = 0u64;
     for doc in docs {
         for word in tokenize(doc) {
             *counts.entry(word).or_insert(0) += 1;
+            tokens += 1;
         }
     }
+    // One unit of attributed work per token — the empirical-work metric
+    // the span gate's curve fit checks against Θ(n). No-op untraced.
+    pdc_core::trace::record_steps(tokens.max(1));
     counts.into_iter().collect()
 }
 
@@ -122,8 +133,102 @@ pub fn digest_counts(counts: &[(String, u64)]) -> u64 {
     d.finish()
 }
 
-/// MapReduce word count on sequential / threads / sharded-KV backends.
-pub struct WordCountScenario;
+/// How the `wire: true` MPI backend re-executes rank children: a
+/// world-id prefix (the per-run id appends the seed and size so a
+/// child can regenerate the exact corpus), the argv that brings the
+/// re-executed binary back to the same scenario run, and where the
+/// per-rank trace snapshots land.
+#[derive(Debug, Clone)]
+pub struct WireSpec {
+    /// World-id prefix; [`WireSpec::options`] appends `#s<seed>n<size>`.
+    pub world_prefix: String,
+    /// argv for the re-executed binary (e.g. `["--scenario"]`, or a
+    /// libtest `--exact` filter).
+    pub child_args: Vec<String>,
+    /// When set, ranks snapshot `pdc-trace/2` here and the parent
+    /// merges them into the run's `pdc-trace/3`.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl WireSpec {
+    /// The concrete [`WireOptions`] for one `(seed, size)` run — the
+    /// *same* construction in the parent and in the re-entered child,
+    /// so the world ids match.
+    pub fn options(&self, seed: u64, size: usize) -> WireOptions {
+        let mut opts = WireOptions::for_args(
+            WIRE_SHARDS + 1,
+            &format!("{}#s{seed:x}n{size}", self.world_prefix),
+            &[],
+        );
+        opts.child_args = self.child_args.clone();
+        opts.trace_dir = self.trace_dir.clone();
+        opts
+    }
+
+    /// Parse `(seed, size)` back out of a world id minted by
+    /// [`WireSpec::options`]; `None` for ids with a different prefix.
+    pub fn parse_world(&self, world_id: &str) -> Option<(u64, usize)> {
+        let rest = world_id.strip_prefix(self.world_prefix.as_str())?;
+        let rest = rest.strip_prefix("#s")?;
+        let (seed, size) = rest.split_once('n')?;
+        Some((u64::from_str_radix(seed, 16).ok()?, size.parse().ok()?))
+    }
+}
+
+/// Wire-child entry: regenerate the corpus from the world id and
+/// re-enter the exact [`run_wire`] call the parent is blocked on. Call
+/// from the binary's dispatch on `WireWorld::child_world_id` when the
+/// id carries `spec.world_prefix`.
+///
+/// # Panics
+/// Panics if `world_id` was not minted by `spec` (and never returns
+/// otherwise — the wire child exits inside `run_wire`).
+pub fn run_wire_wordcount_child(spec: &WireSpec, world_id: &str) -> ! {
+    let (seed, size) = spec
+        .parse_world(world_id)
+        .expect("world id minted by WireSpec::options");
+    let ops = put_ops(&gen_docs(seed, size));
+    run_wire(&spec.options(seed, size), WIRE_SHARDS, &ops, true);
+    unreachable!("wire child returned from its world");
+}
+
+/// Count words by running the sharded shuffle as `WIRE_SHARDS + 1` OS
+/// processes over loopback TCP (the `mpi-wire` backend).
+fn count_wire(docs: &[String], spec: &WireSpec, ctx: &ScenarioCtx<'_>) -> Vec<(String, u64)> {
+    let ops = put_ops(docs);
+    ctx.session
+        .counter("wordcount.shuffle_puts")
+        .add(ops.len() as u64);
+    let run = run_wire(&spec.options(ctx.seed, ctx.size), WIRE_SHARDS, &ops, true);
+    ctx.session
+        .counter("wordcount.wire_msgs")
+        .add(run.stats.messages);
+    counts_from_kv(&run.results[0])
+}
+
+/// MapReduce word count on sequential / threads / sharded-KV backends,
+/// plus — when constructed [`WordCountScenario::with_wire`] — the same
+/// shuffle as real OS processes over loopback TCP.
+#[derive(Default)]
+pub struct WordCountScenario {
+    wire: Option<WireSpec>,
+}
+
+impl WordCountScenario {
+    /// The in-process backends only (sequential / threads / mpi-local).
+    pub fn new() -> Self {
+        WordCountScenario { wire: None }
+    }
+
+    /// Also list the `mpi-wire` backend, re-executing children per
+    /// `spec`. The hosting binary must dispatch wire children carrying
+    /// `spec.world_prefix` to [`run_wire_wordcount_child`].
+    #[must_use]
+    pub fn with_wire(mut self, spec: WireSpec) -> Self {
+        self.wire = Some(spec);
+        self
+    }
+}
 
 /// Count words using [`run_job`]'s thread-parallel map/shuffle/reduce.
 fn count_mapreduce(docs: Vec<String>, workers: usize) -> Vec<(String, u64)> {
@@ -140,6 +245,12 @@ fn count_mapreduce(docs: Vec<String>, workers: usize) -> Vec<(String, u64)> {
         |_word, ones: Vec<u64>| ones.iter().sum::<u64>(),
     );
     counts.sort();
+    // `run_job`'s worker threads are its own (no trace installed), so
+    // the token work lands as one coarse mark on the calling strand —
+    // enough for the span gate's work accounting, though the DAG sees
+    // this backend as serial.
+    let tokens: u64 = counts.iter().map(|(_, c)| *c).sum();
+    pdc_core::trace::record_steps(tokens.max(1));
     counts
 }
 
@@ -160,14 +271,21 @@ impl Scenario for WordCountScenario {
     }
 
     fn backends(&self) -> Vec<Backend> {
-        vec![
+        let mut backends = vec![
             Backend::Sequential,
             Backend::Threads { workers: 4 },
             Backend::Mpi {
-                ranks: 3,
+                ranks: WIRE_SHARDS,
                 wire: false,
             },
-        ]
+        ];
+        if self.wire.is_some() {
+            backends.push(Backend::Mpi {
+                ranks: WIRE_SHARDS,
+                wire: true,
+            });
+        }
+        backends
     }
 
     fn run(&self, backend: &Backend, ctx: &ScenarioCtx<'_>) -> Outcome {
@@ -176,6 +294,10 @@ impl Scenario for WordCountScenario {
             Backend::Sequential => count_sequential(&docs),
             Backend::Threads { workers } => count_mapreduce(docs.clone(), *workers),
             Backend::Mpi { ranks, wire: false } => count_sharded(&docs, *ranks, ctx.session),
+            Backend::Mpi { wire: true, .. } => {
+                let spec = self.wire.as_ref().expect("wire backend requires a spec");
+                count_wire(&docs, spec, ctx)
+            }
             other => panic!("wordcount scenario does not support {other}"),
         };
         let items: u64 = counts.iter().map(|(_, n)| n).sum();
@@ -213,7 +335,7 @@ mod tests {
     #[test]
     fn all_backends_agree_on_small_corpora() {
         let cfg = ScenarioConfig::new(21, &[3, 10]);
-        let report = run_scenario(&WordCountScenario, &cfg, &no_analyzer);
+        let report = run_scenario(&WordCountScenario::new(), &cfg, &no_analyzer);
         assert_eq!(report.runs.len(), 6);
         assert!(report.outcomes_agree(), "{:?}", report.mismatches());
         assert!(report.rows_valid());
@@ -228,6 +350,35 @@ mod tests {
         assert_eq!(kv, seq);
         let puts: u64 = seq.iter().map(|(_, n)| n).sum();
         assert_eq!(session.snapshot().get("wordcount.shuffle_puts"), puts);
+    }
+
+    #[test]
+    fn wire_backend_agrees_with_in_process_backends() {
+        let path = "wordcount::tests::wire_backend_agrees_with_in_process_backends";
+        let spec = WireSpec {
+            world_prefix: path.to_string(),
+            child_args: vec![
+                path.to_string(),
+                "--exact".to_string(),
+                "--nocapture".to_string(),
+            ],
+            trace_dir: None,
+        };
+        // A spawned rank child re-runs exactly this test; route it back
+        // into the world it belongs to.
+        if let Some(id) = pdc_mpi::WireWorld::child_world_id() {
+            run_wire_wordcount_child(&spec, &id);
+        }
+        let scenario = WordCountScenario::new().with_wire(spec.clone());
+        assert_eq!(scenario.backends().len(), 4, "wire backend listed");
+        let cfg = ScenarioConfig::new(33, &[5]);
+        let report = run_scenario(&scenario, &cfg, &no_analyzer);
+        assert_eq!(report.runs.len(), 4);
+        assert!(report.outcomes_agree(), "{:?}", report.mismatches());
+        // Round-trip of the world-id encoding the child relies on.
+        let opts = spec.options(33, 5);
+        assert_eq!(spec.parse_world(&opts.world_id), Some((33, 5)));
+        assert_eq!(spec.parse_world("other#s21n5"), None);
     }
 
     #[test]

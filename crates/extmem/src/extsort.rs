@@ -8,9 +8,18 @@
 //! [`crate::theory::sort_ios`] exactly for block-aligned inputs.
 
 use crate::device::{Disk, FileId};
+use pdc_core::trace::record_steps;
+use pdc_core::workspan::closed_form::ceil_log2;
 use pdc_threads::pool::{pool_map, WorkStealingPool};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Comparison cost of an in-memory sort of `len` records, attributed
+/// to whichever strand runs it (caller or pool worker) so the span
+/// pass sees the CPU-bound phase: `n · ⌈log₂ n⌉`, floor one step.
+fn chunk_sort_steps(len: usize) -> u64 {
+    (len as u64 * ceil_log2(len as u64)).max(1)
+}
 
 /// Configuration: internal memory `m` records, fan-in derived as
 /// `m / B − 1` (one block reserved for output buffering).
@@ -66,12 +75,17 @@ fn merge_runs<T: Ord + Clone>(disk: &mut Disk<T>, mut runs: Vec<FileId>, fan_in:
                         heap.push(Reverse((v, i)));
                     }
                 }
+                let mut merged = 0u64;
                 while let Some(Reverse((v, i))) = heap.pop() {
                     w.push(v);
+                    merged += 1;
                     if let Some(nv) = readers[i].next() {
                         heap.push(Reverse((nv, i)));
                     }
                 }
+                // Heap work: one ⌈log₂ k⌉-cost sift per merged record,
+                // on the calling thread (the merge phase is serial).
+                record_steps((merged * ceil_log2(group.len() as u64)).max(1));
             }
             w.finish(disk, out);
             next_runs.push(out);
@@ -117,6 +131,7 @@ pub fn external_merge_sort<T: Ord + Clone>(
     sort_with(disk, input, config, |mut chunks| {
         for chunk in &mut chunks {
             chunk.sort(); // in-memory sort of <= M records
+            record_steps(chunk_sort_steps(chunk.len()));
         }
         chunks
     })
@@ -146,6 +161,7 @@ pub fn external_merge_sort_pooled<T: Ord + Clone + Send + 'static>(
     sort_with(disk, input, config, |chunks| {
         pool_map(pool, chunks, |mut chunk| {
             chunk.sort();
+            record_steps(chunk_sort_steps(chunk.len()));
             chunk
         })
     })
@@ -295,6 +311,39 @@ mod tests {
         let input = disk.create_file(vec![]);
         let out = external_merge_sort_pooled(&mut disk, input, SortConfig { memory: 8 }, &pool);
         assert!(disk.is_empty(out));
+    }
+
+    #[test]
+    fn traced_sort_attributes_sort_and_merge_steps() {
+        use pdc_core::trace::{self, EventKind, TraceSession, MARK_STEPS};
+        let session = TraceSession::with_capacity(1 << 12);
+        let prev = trace::install_sync_trace(session.thread(700));
+        let mut rng = Rng::new(17);
+        let n = 1000usize;
+        let mut disk = Disk::new(10);
+        let input = disk.create_file(rng.u64_vec(n));
+        let out = external_merge_sort(&mut disk, input, SortConfig { memory: 100 });
+        match prev {
+            Some(p) => {
+                trace::install_sync_trace(p);
+            }
+            None => {
+                trace::clear_sync_trace();
+            }
+        }
+        check_sorted(&disk, out, n);
+        let marks: Vec<_> = session
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Mark && e.a == MARK_STEPS)
+            .collect();
+        // 10 memory-sized chunks of 100 records + at least one merge
+        // group mark.
+        assert!(marks.len() > 10, "{} marks", marks.len());
+        let total: u64 = marks.iter().map(|e| e.b).sum();
+        // Run formation alone is 10 x 100·log2(100) = 7000 steps; the
+        // merge passes add more on top.
+        assert!(total > 7000, "attributed {total} steps");
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub fn step(grid: &Grid) -> Grid {
 /// Advance `grid` by `generations`, returning the final board and the
 /// total number of cell updates performed (the lab's work metric).
 pub fn step_generations(grid: &Grid, generations: usize) -> (Grid, u64) {
+    let gen_steps = (grid.rows() * grid.cols()) as u64;
     let mut cur = grid.clone();
     for _ in 0..generations {
         cur = step(&cur);
+        // One unit-cost operation per cell update, attributed to the
+        // caller's sync trace when one is installed (no-op otherwise)
+        // so the span pass can measure the engine's empirical work.
+        pdc_core::trace::record_steps(gen_steps);
     }
-    let updates = (grid.rows() * grid.cols() * generations) as u64;
+    let updates = gen_steps * generations as u64;
     (cur, updates)
 }
 

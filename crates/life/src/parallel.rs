@@ -12,6 +12,7 @@
 //! ordering publishes every write before the next generation reads it.
 
 use crate::grid::{Boundary, Grid};
+use pdc_core::trace::{self, EventKind};
 use pdc_sync::SenseBarrier;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -94,10 +95,31 @@ pub fn parallel_step_generations(
         lo += len;
     }
 
-    std::thread::scope(|s| {
-        for band in bands.clone() {
+    // When the calling thread has a sync trace installed (the scenario
+    // driver does), the run becomes observable: each worker records
+    // under its own sibling actor — barrier pulses from pdc-sync plus
+    // one step mark per generation (its band's cell updates) — with
+    // fork/join handles tying the workers' lifetimes to the caller so
+    // the span pass sees one connected DAG. With no trace installed
+    // all of this is a no-op.
+    let parent = trace::current_sync_trace();
+    let done_handles = std::thread::scope(|s| {
+        let mut done_handles = Vec::new();
+        for (w, band) in bands.clone().into_iter().enumerate() {
             let (buf_a, buf_b, barrier) = (&buf_a, &buf_b, &barrier);
+            let tracing = parent.as_ref().map(|p| {
+                let start = trace::next_site_id();
+                let done = trace::next_site_id();
+                p.record(EventKind::Fork, start, w as u64);
+                done_handles.push(done);
+                (p.sibling_auto(), start, done)
+            });
+            let band_steps = (band.len() * cols) as u64;
             s.spawn(move || {
+                if let Some((t, start, _)) = &tracing {
+                    t.record(EventKind::Join, *start, w as u64);
+                    trace::install_sync_trace(t.clone());
+                }
                 for generation in 0..generations {
                     let (src, dst) = if generation % 2 == 0 {
                         (buf_a, buf_b)
@@ -112,13 +134,25 @@ pub fn parallel_step_generations(
                             dst[r * cols + c].store(next, Ordering::Relaxed);
                         }
                     }
+                    trace::record_steps(band_steps);
                     // The barrier both synchronizes the generation and
                     // publishes this worker's writes to every reader.
                     barrier.wait();
                 }
+                if let Some((t, _, done)) = &tracing {
+                    t.record(EventKind::Fork, *done, w as u64);
+                    trace::clear_sync_trace();
+                }
             });
         }
+        done_handles
     });
+    // The scope joined every worker; adopt their completion histories.
+    if let Some(p) = &parent {
+        for (w, handle) in done_handles.iter().enumerate() {
+            p.record(EventKind::Join, *handle, w as u64);
+        }
+    }
 
     let final_buf = if generations.is_multiple_of(2) {
         &buf_a
@@ -196,6 +230,55 @@ mod tests {
         let mut expected = Grid::new(12, 12, Boundary::Dead);
         expected.stamp(2, 2, &patterns::GLIDER);
         assert_eq!(par, expected);
+    }
+
+    #[test]
+    fn traced_run_records_forks_steps_and_barrier_pulses() {
+        use pdc_core::trace::{self, EventKind, TraceSession, MARK_STEPS};
+        let session = TraceSession::with_capacity(1 << 12);
+        let prev = trace::install_sync_trace(session.thread(500));
+        let g = random_board(12, 10, Boundary::Torus, 21);
+        let (out, _) = parallel_step_generations(&g, 3, 4);
+        match prev {
+            Some(p) => {
+                trace::install_sync_trace(p);
+            }
+            None => {
+                trace::clear_sync_trace();
+            }
+        }
+        let (seq, _) = step_generations(&g, 3);
+        assert_eq!(out, seq, "tracing must not change the result");
+        let events = session.events();
+        // 4 workers x (start fork by caller + start join + done fork +
+        // done join by caller) = 16 fork/join events.
+        let forks = events.iter().filter(|e| e.kind == EventKind::Fork).count();
+        let joins = events.iter().filter(|e| e.kind == EventKind::Join).count();
+        assert_eq!(forks, 8);
+        assert_eq!(joins, 8);
+        // One step mark per worker per generation, band cells each.
+        let marks: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Mark && e.a == MARK_STEPS)
+            .collect();
+        assert_eq!(marks.len(), 4 * 3);
+        assert_eq!(
+            marks.iter().map(|e| e.b).sum::<u64>(),
+            12 * 10 * 3,
+            "attributed steps cover every cell update"
+        );
+        // The sense barrier's pulses are visible (release on arrival,
+        // acquire on wakeup, every worker, every generation).
+        let pulses = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Acquire | EventKind::Release))
+            .count();
+        assert_eq!(pulses, 2 * 4 * 3);
+        // Untraced runs record nothing.
+        assert!(trace::current_sync_trace().is_none());
+        let before = session.events().len();
+        parallel_step_generations(&g, 2, 2);
+        assert_eq!(session.events().len(), before);
     }
 
     #[test]

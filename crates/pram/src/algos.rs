@@ -15,6 +15,29 @@
 //! | list ranking         | CREW        | ⌈log₂ n⌉+1   | Θ(n log n)  |
 
 use crate::machine::{Mode, Pram, PramError};
+use pdc_core::workspan::{Bounds, Theta};
+
+/// Declared asymptotic bounds for every algorithm in this module — the
+/// registry entries the span gate (and the sweep test below) curve-fit
+/// measured `Pram::work_span` sweeps against. Names match the function
+/// names; span classes are the `steps()` column of the module table.
+pub fn declared_bounds() -> Vec<(&'static str, Bounds)> {
+    vec![
+        ("reduce_sum", Bounds::new(Theta::Linear, Theta::Log)),
+        ("scan_hillis_steele", Bounds::new(Theta::NLogN, Theta::Log)),
+        ("scan_blelloch", Bounds::new(Theta::Linear, Theta::Log)),
+        ("broadcast_erew", Bounds::new(Theta::Linear, Theta::Log)),
+        (
+            "max_crcw_constant_time",
+            Bounds::new(Theta::Quadratic, Theta::Const),
+        ),
+        ("list_rank", Bounds::new(Theta::NLogN, Theta::Log)),
+        (
+            "odd_even_transposition_sort",
+            Bounds::new(Theta::Quadratic, Theta::Linear),
+        ),
+    ]
+}
 
 /// Parallel sum-reduce of `input` on an EREW PRAM (binary tree).
 ///
@@ -489,6 +512,95 @@ mod tests {
         // Span linear => parallelism ~ n/2: far below reduce's n/log n.
         assert!(ws.parallelism() < n as f64);
     }
+    #[test]
+    fn declared_bounds_track_measured_sweeps() {
+        // Run each algorithm over a 64x size sweep and curve-fit the
+        // simulator's *measured* work/span against the registry
+        // declaration. Tolerance 1.6 absorbs ceil_log2 granularity and
+        // the +1-ish additive terms of the real implementations.
+        let registry = declared_bounds();
+        let find = |name: &str| {
+            registry
+                .iter()
+                .find(|(k, _)| *k == name)
+                .unwrap_or_else(|| panic!("{name} not in registry"))
+                .1
+        };
+        let sizes = [64usize, 256, 1024, 4096];
+        let sweep = |measure: &dyn Fn(usize) -> Pram| -> Vec<_> {
+            sizes
+                .iter()
+                .map(|&n| (n as u64, measure(n).work_span()))
+                .collect()
+        };
+        type MeasuredCase = (&'static str, Box<dyn Fn(usize) -> Pram>);
+        let cases: Vec<MeasuredCase> = vec![
+            (
+                "reduce_sum",
+                Box::new(|n| reduce_sum(&vec![1i64; n]).unwrap().1),
+            ),
+            (
+                "scan_hillis_steele",
+                Box::new(|n| scan_hillis_steele(&vec![1i64; n]).unwrap().1),
+            ),
+            (
+                "scan_blelloch",
+                Box::new(|n| scan_blelloch(&vec![1i64; n]).unwrap().2),
+            ),
+            (
+                "broadcast_erew",
+                Box::new(|n| broadcast_erew(7, n).unwrap().1),
+            ),
+            (
+                "list_rank",
+                Box::new(|n| {
+                    let next: Vec<usize> = (0..n).map(|i| (i + 1).min(n - 1)).collect();
+                    list_rank(&next).unwrap().1
+                }),
+            ),
+        ];
+        for (name, measure) in &cases {
+            let samples = sweep(measure.as_ref());
+            let (w, s) = find(name).fit(&samples, 1.6);
+            assert!(w.ok, "{name} work: {w:?} over {samples:?}");
+            assert!(s.ok, "{name} span: {s:?}");
+        }
+        // The quadratic-work pair sweeps smaller sizes (n² processors).
+        let small: Vec<_> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| {
+                (
+                    n as u64,
+                    max_crcw_constant_time(&(0..n as i64).collect::<Vec<_>>())
+                        .unwrap()
+                        .1
+                        .work_span(),
+                )
+            })
+            .collect();
+        let (w, s) = find("max_crcw_constant_time").fit(&small, 1.6);
+        assert!(w.ok && s.ok, "max: {w:?} {s:?}");
+        let small: Vec<_> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&n| {
+                (
+                    n as u64,
+                    odd_even_transposition_sort(&(0..n as i64).rev().collect::<Vec<_>>())
+                        .unwrap()
+                        .1
+                        .work_span(),
+                )
+            })
+            .collect();
+        let (w, s) = find("odd_even_transposition_sort").fit(&small, 1.6);
+        assert!(w.ok && s.ok, "odd-even: {w:?} {s:?}");
+        // Wrong declarations are rejected: Hillis–Steele's extra log
+        // factor does not fit the work-efficient Θ(n) class.
+        let hs = sweep(&|n| scan_hillis_steele(&vec![1i64; n]).unwrap().1);
+        let (w, _) = find("scan_blelloch").fit(&hs, 1.6);
+        assert!(!w.ok, "Θ(n log n) work must not pass as Θ(n): {w:?}");
+    }
+
     #[test]
     fn erew_would_reject_naive_broadcast() {
         // Direct demonstration of why broadcast_erew exists: everyone

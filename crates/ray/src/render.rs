@@ -107,12 +107,17 @@ fn render_row(
     y: usize,
     depth: u32,
 ) -> Vec<[u8; 3]> {
-    (0..w)
+    let row = (0..w)
         .map(|x| {
             let ray = cam.primary_ray(x, y, w, h);
             to_rgb8(trace(scene, &ray, depth))
         })
-        .collect()
+        .collect();
+    // One unit-cost operation per pixel, attributed to whichever
+    // strand rendered the row (sequential caller, pool worker, rank
+    // thread) — the span pass's work metric. No-op untraced.
+    pdc_core::trace::record_steps(w as u64);
+    row
 }
 
 /// Sequential renderer — the baseline.

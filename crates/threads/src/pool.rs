@@ -47,6 +47,13 @@ struct Shared {
     completed: Counter,
     /// Event stream for submissions; workers get their own handles.
     submit_trace: ThreadTrace,
+    /// Completion fork handles published by workers and not yet adopted
+    /// by a waiter: each finished task records a `Fork` under a fresh
+    /// handle *before* decrementing `pending`, and `wait_idle` records
+    /// the matching `Join`s after observing zero — the trace edge that
+    /// makes "task body happens-before the code after wait_idle"
+    /// visible to the span/HB analyses.
+    done_handles: std::sync::Mutex<Vec<u64>>,
     /// Under a `pdc-check` exploration, the site idle workers and
     /// `wait_idle` block on; submits, completions and shutdown announce
     /// changes to it. Never allocated outside a checker.
@@ -138,6 +145,7 @@ impl WorkStealingPool {
             submitted: session.counter("pool.submitted"),
             completed: session.counter("pool.completed"),
             submit_trace,
+            done_handles: std::sync::Mutex::new(Vec::new()),
             idle_site: SiteId::new(),
         });
         let mut tokens = Vec::new();
@@ -189,13 +197,32 @@ impl WorkStealingPool {
             while self.shared.pending.load(Ordering::SeqCst) != 0 {
                 hooks::spin_wait(&mut spins, &self.shared.idle_site);
             }
-            return;
+        } else {
+            while self.shared.pending.load(Ordering::SeqCst) != 0 {
+                std::hint::spin_loop();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(32) {
+                    std::thread::yield_now();
+                }
+            }
         }
-        while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            std::hint::spin_loop();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(32) {
-                std::thread::yield_now();
+        // Adopt every finished task's completion fork. Each worker
+        // published its handle *before* decrementing `pending`, so at
+        // pending == 0 the list is complete and these `Join`s give the
+        // trace a path from every task body to the caller's next event
+        // — the edge the span pass walks when the critical path runs
+        // through a task. Recorded against the caller's own sync trace
+        // when it has one, else under the shared submit actor.
+        let done: Vec<u64> = std::mem::take(
+            &mut *self
+                .shared
+                .done_handles
+                .lock()
+                .expect("done handles poisoned"),
+        );
+        for handle in done {
+            if !trace::record_sync(EventKind::Join, handle, 0) {
+                self.shared.submit_trace.record(EventKind::Join, handle, 0);
             }
         }
     }
@@ -384,6 +411,7 @@ fn worker_loop(
                 if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t.run)).is_err() {
                     shared.panicked.inc();
                 }
+                publish_completion(&shared, &trace, t.seq);
                 shared.executed.inc();
                 shared.completed.inc();
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
@@ -479,6 +507,7 @@ fn checked_worker_loop(
                     }
                     shared.panicked.inc();
                 }
+                publish_completion(shared, trace, t.seq);
                 shared.executed.inc();
                 shared.completed.inc();
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
@@ -492,6 +521,20 @@ fn checked_worker_loop(
             }
         }
     }
+}
+
+/// Record a finished task's completion `Fork` under a fresh handle and
+/// queue the handle for [`WorkStealingPool::wait_idle`] to `Join`. Must
+/// run *before* the `pending` decrement so a waiter that observes zero
+/// is guaranteed to see the handle.
+fn publish_completion(shared: &Shared, trace: &ThreadTrace, seq: u64) {
+    let handle = trace::next_site_id();
+    trace.record(EventKind::Fork, handle, seq);
+    shared
+        .done_handles
+        .lock()
+        .expect("done handles poisoned")
+        .push(handle);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -695,12 +738,13 @@ mod tests {
     }
 
     #[test]
-    fn every_task_gets_a_fork_join_pair() {
+    fn every_task_gets_submit_and_completion_fork_join_pairs() {
         let pool = WorkStealingPool::new(2);
         for _ in 0..40 {
             pool.spawn(|| {});
         }
         pool.wait_idle();
+        let workers = pool.workers() as u32;
         let events = pool.trace().events();
         let forks: Vec<_> = events
             .iter()
@@ -710,18 +754,28 @@ mod tests {
             .iter()
             .filter(|e| e.kind == EventKind::Join)
             .collect();
-        assert_eq!(forks.len(), 40);
-        assert_eq!(joins.len(), 40);
+        // Two pairs per task: submit fork (submit actor) adopted by the
+        // running worker, and completion fork (worker) adopted by
+        // wait_idle (recorded under the submit actor — no caller trace
+        // is installed here).
+        assert_eq!(forks.len(), 80);
+        assert_eq!(joins.len(), 80);
+        assert_eq!(forks.iter().filter(|f| f.actor == workers).count(), 40);
+        assert_eq!(forks.iter().filter(|f| f.actor < workers).count(), 40);
+        assert_eq!(joins.iter().filter(|j| j.actor < workers).count(), 40);
+        assert_eq!(joins.iter().filter(|j| j.actor == workers).count(), 40);
         for j in &joins {
             let f = forks
                 .iter()
                 .find(|f| f.a == j.a)
                 .unwrap_or_else(|| panic!("join of unknown handle {}", j.a));
             assert!(f.ts < j.ts, "fork must precede its join in trace order");
-            assert!(
-                (j.actor as usize) < pool.workers(),
-                "joins are recorded by workers"
-            );
+            // Pairs cross the submit/worker boundary in both directions.
+            if f.actor == workers {
+                assert!((j.actor as usize) < pool.workers());
+            } else {
+                assert_eq!(j.actor, workers);
+            }
         }
     }
 

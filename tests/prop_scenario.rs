@@ -62,6 +62,6 @@ proptest! {
 
     #[test]
     fn wordcount_digest_invariant_across_backends(seed in any::<u64>(), docs in 1usize..5) {
-        check(&pdc::db::WordCountScenario, seed, docs);
+        check(&pdc::db::WordCountScenario::new(), seed, docs);
     }
 }

@@ -1,0 +1,100 @@
+//! Property tests for the work/span profiler (`pdc_analyze::span`):
+//! for randomly generated fork-join schedules the reconstructed DAG
+//! must obey the textbook laws — span never exceeds work, parallelism
+//! never exceeds the number of strands, a serial chain has span equal
+//! to work, and the `pdc-span/1` report of a fixed schedule is
+//! byte-identical across analyses.
+
+use pdc::analyze::analyze_span_session;
+use pdc::core::trace::{EventKind, TraceSession, MARK_STEPS};
+use proptest::prelude::*;
+
+/// Record a fork-join schedule onto a fresh session: a driver strand
+/// forks one task per entry of `tasks`, each task strand joins its
+/// fork handle, runs its weighted marks, and publishes a completion
+/// fork the driver joins — the same handle discipline the real
+/// work-stealing pool traces.
+fn record_fork_join(tasks: &[Vec<u64>], driver_marks: &[u64]) -> TraceSession {
+    let session = TraceSession::with_capacity(1 << 14);
+    let driver = session.thread(1);
+    for w in driver_marks {
+        driver.record(EventKind::Mark, MARK_STEPS, *w);
+    }
+    for (i, _) in tasks.iter().enumerate() {
+        driver.record(EventKind::Fork, i as u64, 0);
+    }
+    for (i, weights) in tasks.iter().enumerate() {
+        let strand = session.thread(100 + i as u32);
+        strand.record(EventKind::Join, i as u64, 0);
+        for w in weights {
+            strand.record(EventKind::Mark, MARK_STEPS, *w);
+        }
+        strand.record(EventKind::Fork, 1_000 + i as u64, 0);
+    }
+    for (i, _) in tasks.iter().enumerate() {
+        driver.record(EventKind::Join, 1_000 + i as u64, 0);
+    }
+    session
+}
+
+/// Weighted-step lists for a random task set.
+fn tasks_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(1u64..50, 0..8), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_never_exceeds_work(tasks in tasks_strategy(), driver in prop::collection::vec(1u64..50, 0..4)) {
+        let session = record_fork_join(&tasks, &driver);
+        let report = analyze_span_session(&session);
+        prop_assert!(report.span <= report.work, "span {} > work {}", report.span, report.work);
+        // Everything recorded is accounted: work is the sum of all
+        // event weights, so it is at least the marks' total.
+        let marks: u64 = driver.iter().sum::<u64>()
+            + tasks.iter().flatten().sum::<u64>();
+        prop_assert!(report.work >= marks);
+    }
+
+    #[test]
+    fn parallelism_never_exceeds_strands(tasks in tasks_strategy()) {
+        let session = record_fork_join(&tasks, &[]);
+        let report = analyze_span_session(&session);
+        // Each strand's whole program order is a path in the DAG, so
+        // the span is at least the heaviest strand and W/S can never
+        // beat the strand count (driver + one per spawned task).
+        let strands = (tasks.len() + 1) as f64;
+        prop_assert!(
+            report.parallelism() <= strands + 1e-9,
+            "parallelism {} > {} strands",
+            report.parallelism(),
+            strands
+        );
+    }
+
+    #[test]
+    fn serial_chain_span_equals_work(weights in prop::collection::vec(1u64..100, 1..32)) {
+        let session = TraceSession::with_capacity(1 << 10);
+        let strand = session.thread(7);
+        for w in &weights {
+            strand.record(EventKind::Mark, MARK_STEPS, *w);
+        }
+        let report = analyze_span_session(&session);
+        let total: u64 = weights.iter().sum();
+        prop_assert_eq!(report.work, total);
+        prop_assert_eq!(report.span, total, "one strand has no parallelism to find");
+        prop_assert_eq!(report.parallelism(), 1.0);
+    }
+
+    #[test]
+    fn same_schedule_yields_byte_identical_report(tasks in tasks_strategy(), driver in prop::collection::vec(1u64..50, 0..4)) {
+        // The same recorded schedule analyzed twice — and re-recorded
+        // identically — must serialize to byte-identical pdc-span/1.
+        let first = analyze_span_session(&record_fork_join(&tasks, &driver));
+        let again = first.to_json();
+        let rerecorded = analyze_span_session(&record_fork_join(&tasks, &driver));
+        prop_assert_eq!(first.to_json(), again, "re-serialization drifted");
+        prop_assert_eq!(first.to_json(), rerecorded.to_json(), "re-recorded schedule drifted");
+    }
+}
